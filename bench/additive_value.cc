@@ -1,0 +1,6 @@
+// Reproduces the paper's Sec. 4: additive value of audio fingerprinting.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Sec. 4: additive value of audio fingerprinting", &wafp::study::report_additive_value);
+}

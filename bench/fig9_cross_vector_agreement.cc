@@ -1,0 +1,6 @@
+// Reproduces the paper's Fig. 9: cross-vector cluster agreement.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Fig. 9: cross-vector cluster agreement", &wafp::study::report_fig9);
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Sec. 5: e_norm ranking stability across user subsets.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Sec. 5: e_norm ranking stability across user subsets", &wafp::study::report_subset_rankings);
+}

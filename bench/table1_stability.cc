@@ -1,0 +1,6 @@
+// Reproduces the paper's Table 1: per-user fingerprint stability.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Table 1: per-user fingerprint stability", &wafp::study::report_table1);
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Table 2: diversity of audio fingerprints.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Table 2: diversity of audio fingerprints", &wafp::study::report_table2);
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Table 3: diversity of Canvas/Fonts/User-Agent.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Table 3: diversity of Canvas/Fonts/User-Agent", &wafp::study::report_table3);
+}

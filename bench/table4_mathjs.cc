@@ -1,0 +1,6 @@
+// Reproduces the paper's Table 4: audio vs Math JS fingerprinting (follow-up).
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Table 4: audio vs Math JS fingerprinting (follow-up)", &wafp::study::report_table4, true);
+}

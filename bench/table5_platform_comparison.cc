@@ -1,0 +1,6 @@
+// Reproduces the paper's Table 5: per-platform DC vs Math JS (follow-up).
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Table 5: per-platform DC vs Math JS (follow-up)", &wafp::study::report_table5, true);
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Table 6: fingerprint match scores.
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Table 6: fingerprint match scores", &wafp::study::report_table6);
+}

@@ -1,0 +1,6 @@
+// Reproduces the paper's Sec. 4: User-Agent span analysis (W3C claim check).
+#include "bench_common.h"
+
+int main() {
+  return wafp::bench::run_report("Sec. 4: User-Agent span analysis (W3C claim check)", &wafp::study::report_ua_span);
+}

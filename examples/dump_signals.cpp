@@ -1,0 +1,105 @@
+// Export the audio each fingerprinting vector actually renders as WAV
+// files, for listening or inspecting in any audio tool. Two platforms are
+// rendered side by side; diffing the files shows how small the
+// fingerprint-bearing differences really are (the paper's whole premise:
+// inaudible, hash-visible).
+//
+//   ./build/examples/dump_signals [output_dir]
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "platform/catalog.h"
+#include "platform/population.h"
+#include "util/wav.h"
+#include "webaudio/dynamics_compressor_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+
+namespace {
+
+using namespace wafp;
+
+util::WavData render_dc_signal(const platform::PlatformProfile& profile) {
+  webaudio::OfflineAudioContext ctx(1, 44100, 44100.0,
+                                    profile.make_engine_config());
+  auto& osc = ctx.create<webaudio::OscillatorNode>(
+      webaudio::OscillatorType::kTriangle);
+  osc.frequency().set_value(10000.0);
+  auto& comp = ctx.create<webaudio::DynamicsCompressorNode>();
+  osc.connect(comp);
+  comp.connect(ctx.destination());
+  osc.start(0.0);
+  const webaudio::AudioBuffer buffer = ctx.start_rendering();
+
+  util::WavData wav;
+  wav.sample_rate = 44100;
+  wav.channels.emplace_back(buffer.channel(0).begin(),
+                            buffer.channel(0).end());
+  return wav;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "signal_dumps";
+  std::filesystem::create_directories(out_dir);
+
+  const platform::DeviceCatalog catalog;
+  const platform::Population population(catalog, 50, 31337);
+
+  // Pick two users on different audio stacks.
+  const platform::StudyUser* a = &population.user(0);
+  const platform::StudyUser* b = nullptr;
+  for (const auto& user : population.users()) {
+    if (user.profile.audio.class_key() != a->profile.audio.class_key()) {
+      b = &user;
+      break;
+    }
+  }
+  if (b == nullptr) {
+    std::puts("population too uniform; try another seed");
+    return 1;
+  }
+
+  std::printf("Platform A: %s / %s\n",
+              std::string(to_string(a->profile.os)).c_str(),
+              std::string(to_string(a->profile.browser)).c_str());
+  std::printf("Platform B: %s / %s\n\n",
+              std::string(to_string(b->profile.os)).c_str(),
+              std::string(to_string(b->profile.browser)).c_str());
+
+  const util::WavData wav_a = render_dc_signal(a->profile);
+  const util::WavData wav_b = render_dc_signal(b->profile);
+
+  const std::string path_a = out_dir + "/dc_platform_a.wav";
+  const std::string path_b = out_dir + "/dc_platform_b.wav";
+  if (!util::write_wav_f32(path_a, wav_a) ||
+      !util::write_wav_f32(path_b, wav_b)) {
+    std::puts("failed to write WAV files");
+    return 1;
+  }
+
+  // Difference signal: what the fingerprint hash "hears".
+  util::WavData diff;
+  diff.sample_rate = 44100;
+  diff.channels.emplace_back();
+  float max_diff = 0.0f;
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < wav_a.channels[0].size(); ++i) {
+    const float d = wav_a.channels[0][i] - wav_b.channels[0][i];
+    diff.channels[0].push_back(d);
+    max_diff = std::max(max_diff, std::abs(d));
+    differing += d != 0.0f;
+  }
+  const std::string path_diff = out_dir + "/dc_difference.wav";
+  (void)util::write_wav_f32(path_diff, diff);
+
+  std::printf("Wrote %s, %s, %s\n", path_a.c_str(), path_b.c_str(),
+              path_diff.c_str());
+  std::printf("Differing samples: %zu / %zu; max |difference| = %.3g "
+              "(inaudible, hash-visible)\n",
+              differing, wav_a.channels[0].size(),
+              static_cast<double>(max_diff));
+  return 0;
+}

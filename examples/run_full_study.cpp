@@ -1,0 +1,46 @@
+// Reproduce the paper's entire evaluation end to end: collect the 2093-user
+// main study and the 528-user follow-up, then print every table and figure
+// next to the paper's published values.
+//
+//   ./build/examples/run_full_study [num_users] [iterations]
+//
+// Pass a smaller user count for a quick look (the shape holds from a few
+// hundred users up).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "study/report.h"
+
+int main(int argc, char** argv) {
+  using namespace wafp::study;
+
+  StudyConfig config;
+  if (argc > 1) config.num_users = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) {
+    config.iterations =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+
+  std::printf("Collecting main study: %zu users x %u iterations x 7 audio "
+              "vectors...\n\n",
+              config.num_users, config.iterations);
+  const Dataset ds = Dataset::collect(config);
+
+  std::puts(report_table1(ds).c_str());
+  std::puts(report_fig3(ds).c_str());
+  std::puts(report_table2(ds).c_str());
+  std::puts(report_table3(ds).c_str());
+  std::puts(report_fig5(ds).c_str());
+  std::puts(report_table6(ds).c_str());
+  std::puts(report_fig9(ds).c_str());
+  std::puts(report_ua_span(ds).c_str());
+  std::puts(report_additive_value(ds).c_str());
+  std::puts(report_subset_rankings(ds).c_str());
+
+  std::printf("Collecting follow-up study (528 users)...\n\n");
+  const Dataset followup = Dataset::collect(StudyConfig::followup());
+  std::puts(report_table4(followup).c_str());
+  std::puts(report_table5(followup).c_str());
+  return 0;
+}

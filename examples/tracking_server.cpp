@@ -1,0 +1,98 @@
+// An online fingerprinter, as §3.2 envisions one: visitors are enrolled
+// into the collation graph as they arrive; returning visitors are
+// re-identified from a handful of fresh iterations — including the dynamic
+// cluster merges of the paper's Fig. 4 (a new visitor can reveal that two
+// previously distinct clusters were the same platform all along).
+//
+//   ./build/examples/tracking_server [num_visitors]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "collation/fingerprint_graph.h"
+#include "fingerprint/collector.h"
+#include "platform/catalog.h"
+#include "platform/population.h"
+
+int main(int argc, char** argv) {
+  using namespace wafp;
+
+  std::size_t num_visitors = 400;
+  if (argc > 1) num_visitors = std::strtoul(argv[1], nullptr, 10);
+
+  const fingerprint::VectorId vector = fingerprint::VectorId::kAm;
+  constexpr std::uint32_t kEnrolIterations = 2;
+  constexpr std::uint32_t kReturnIterations = 3;
+
+  const platform::DeviceCatalog catalog;
+  const platform::Population population(catalog, num_visitors, 99);
+  fingerprint::RenderCache cache;
+  fingerprint::FingerprintCollector collector(cache);
+
+  // --- Phase 1: first visits enrol everyone. -----------------------------
+  collation::FingerprintGraph graph;
+  std::size_t new_clusters = 0;
+  std::size_t joined_existing = 0;
+  std::size_t bridged_clusters = 0;
+  for (const platform::StudyUser& user : population.users()) {
+    const std::size_t before = graph.cluster_count();
+    for (std::uint32_t it = 0; it < kEnrolIterations; ++it) {
+      graph.add_observation(user.id, collector.collect(user, vector, it));
+    }
+    const std::size_t after = graph.cluster_count();
+    if (after > before) {
+      ++new_clusters;  // a previously unseen fingerprint family
+    } else if (after == before) {
+      ++joined_existing;  // collided with one existing cluster
+    } else {
+      // The paper's Fig. 4 U5 case: the visitor's fingerprints connected
+      // clusters that were previously considered distinct.
+      ++bridged_clusters;
+    }
+  }
+
+  std::printf("Enrolled %zu visitors (%u iterations each) -> %zu collated "
+              "clusters, %zu elementary fingerprints\n",
+              num_visitors, kEnrolIterations, graph.cluster_count(),
+              graph.fingerprint_count());
+  std::printf("  opened a new cluster : %zu visitors\n", new_clusters);
+  std::printf("  joined an existing   : %zu visitors\n", joined_existing);
+  std::printf("  bridged clusters     : %zu visitors (dynamic merge, "
+              "Fig. 4)\n\n",
+              bridged_clusters);
+
+  // --- Phase 2: everyone returns; re-identify from fresh iterations. -----
+  std::size_t identified = 0;
+  std::size_t misses = 0;
+  std::vector<util::Digest> probe;
+  for (const platform::StudyUser& user : population.users()) {
+    probe.clear();
+    for (std::uint32_t it = kEnrolIterations;
+         it < kEnrolIterations + kReturnIterations; ++it) {
+      probe.push_back(collector.collect(user, vector, it));
+    }
+    const auto matched = graph.match(probe);
+    const auto expected = graph.user_component(user.id);
+    if (matched.has_value() && expected.has_value() && *matched == *expected) {
+      ++identified;
+    } else {
+      ++misses;
+    }
+  }
+
+  std::printf("Returning visitors re-identified: %zu / %zu (%.2f%%)\n",
+              identified, num_visitors,
+              100.0 * static_cast<double>(identified) /
+                  static_cast<double>(num_visitors));
+  std::printf("Misses (fresh fingerprints never seen in enrolment): %zu\n",
+              misses);
+  std::printf("\nCluster sizes (largest 10):\n");
+  std::vector<std::size_t> sizes = graph.cluster_user_counts();
+  std::sort(sizes.rbegin(), sizes.rend());
+  for (std::size_t i = 0; i < sizes.size() && i < 10; ++i) {
+    std::printf("  #%zu: %zu users\n", i + 1, sizes[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "analysis/ami.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace wafp::analysis {
+namespace {
+
+/// Remap arbitrary labels to dense 0..k-1.
+std::vector<int> densify(std::span<const int> labels, std::size_t& k) {
+  std::unordered_map<int, int> map;
+  std::vector<int> out;
+  out.reserve(labels.size());
+  for (const int label : labels) {
+    const auto [it, inserted] =
+        map.try_emplace(label, static_cast<int>(map.size()));
+    out.push_back(it->second);
+  }
+  k = map.size();
+  return out;
+}
+
+}  // namespace
+
+ContingencyTable build_contingency(std::span<const int> a,
+                                   std::span<const int> b) {
+  assert(a.size() == b.size());
+  std::size_t ka = 0, kb = 0;
+  const std::vector<int> da = densify(a, ka);
+  const std::vector<int> db = densify(b, kb);
+
+  ContingencyTable table;
+  table.cells.assign(ka, std::vector<std::size_t>(kb, 0));
+  table.row_sums.assign(ka, 0);
+  table.col_sums.assign(kb, 0);
+  table.total = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++table.cells[da[i]][db[i]];
+    ++table.row_sums[da[i]];
+    ++table.col_sums[db[i]];
+  }
+  return table;
+}
+
+double mutual_information(const ContingencyTable& table) {
+  const auto n = static_cast<double>(table.total);
+  double mi = 0.0;
+  for (std::size_t i = 0; i < table.row_sums.size(); ++i) {
+    for (std::size_t j = 0; j < table.col_sums.size(); ++j) {
+      const std::size_t nij = table.cells[i][j];
+      if (nij == 0) continue;
+      const double pij = static_cast<double>(nij) / n;
+      const double pi = static_cast<double>(table.row_sums[i]) / n;
+      const double pj = static_cast<double>(table.col_sums[j]) / n;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double marginal_entropy(std::span<const std::size_t> sums, std::size_t total) {
+  const auto n = static_cast<double>(total);
+  double h = 0.0;
+  for (const std::size_t s : sums) {
+    if (s == 0) continue;
+    const double p = static_cast<double>(s) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double expected_mutual_information(const ContingencyTable& table) {
+  // Vinh et al. (2009), Eq. for E[MI] under the hypergeometric model:
+  // sum over all (i, j) and all feasible nij of
+  //   (nij/N) * ln(N*nij / (a_i*b_j)) * P_hypergeometric(nij; N, a_i, b_j).
+  const std::size_t n = table.total;
+  const auto nd = static_cast<double>(n);
+  const double ln_n_fact = util::ln_factorial(n);
+
+  double emi = 0.0;
+  for (const std::size_t ai : table.row_sums) {
+    for (const std::size_t bj : table.col_sums) {
+      const std::size_t lo =
+          ai + bj > n ? ai + bj - n : std::size_t{1};
+      const std::size_t hi = std::min(ai, bj);
+      for (std::size_t nij = std::max<std::size_t>(lo, 1); nij <= hi; ++nij) {
+        const double term1 = static_cast<double>(nij) / nd;
+        const double term2 =
+            std::log(nd * static_cast<double>(nij) /
+                     (static_cast<double>(ai) * static_cast<double>(bj)));
+        const double ln_p =
+            util::ln_factorial(ai) + util::ln_factorial(bj) +
+            util::ln_factorial(n - ai) + util::ln_factorial(n - bj) -
+            ln_n_fact - util::ln_factorial(nij) -
+            util::ln_factorial(ai - nij) - util::ln_factorial(bj - nij) -
+            util::ln_factorial(n - ai - bj + nij);
+        emi += term1 * term2 * std::exp(ln_p);
+      }
+    }
+  }
+  return emi;
+}
+
+double adjusted_mutual_information(std::span<const int> a,
+                                   std::span<const int> b) {
+  const ContingencyTable table = build_contingency(a, b);
+  const double mi = mutual_information(table);
+  const double h_a = marginal_entropy(table.row_sums, table.total);
+  const double h_b = marginal_entropy(table.col_sums, table.total);
+  // Degenerate cases: single-cluster partitions.
+  if (h_a == 0.0 && h_b == 0.0) return 1.0;
+  const double emi = expected_mutual_information(table);
+  const double denom = 0.5 * (h_a + h_b) - emi;
+  if (std::fabs(denom) < 1e-15) {
+    return mi >= 0.5 * (h_a + h_b) ? 1.0 : 0.0;
+  }
+  return (mi - emi) / denom;
+}
+
+double normalized_mutual_information(std::span<const int> a,
+                                     std::span<const int> b) {
+  const ContingencyTable table = build_contingency(a, b);
+  const double mi = mutual_information(table);
+  const double h_a = marginal_entropy(table.row_sums, table.total);
+  const double h_b = marginal_entropy(table.col_sums, table.total);
+  if (h_a == 0.0 && h_b == 0.0) return 1.0;
+  const double denom = 0.5 * (h_a + h_b);
+  return denom > 0.0 ? mi / denom : 0.0;
+}
+
+}  // namespace wafp::analysis

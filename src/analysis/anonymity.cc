@@ -1,0 +1,38 @@
+#include "analysis/anonymity.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace wafp::analysis {
+
+std::vector<std::size_t> anonymity_set_sizes(std::span<const int> labels) {
+  std::unordered_map<int, std::size_t> counts;
+  for (const int label : labels) ++counts[label];
+  std::vector<std::size_t> sizes;
+  sizes.reserve(labels.size());
+  for (const int label : labels) sizes.push_back(counts[label]);
+  return sizes;
+}
+
+AnonymityStats anonymity_from_labels(std::span<const int> labels) {
+  AnonymityStats stats;
+  if (labels.empty()) return stats;
+
+  std::vector<std::size_t> sizes = anonymity_set_sizes(labels);
+  std::sort(sizes.begin(), sizes.end());
+  stats.min_k = sizes.front();
+  stats.max_k = sizes.back();
+  stats.median_k = sizes[sizes.size() / 2];
+
+  double sum = 0.0;
+  for (const std::size_t k : sizes) {
+    if (k == 1) ++stats.unique_users;
+    if (k < 5) ++stats.below_5;
+    if (k < 20) ++stats.below_20;
+    sum += static_cast<double>(k);
+  }
+  stats.expected_k = sum / static_cast<double>(sizes.size());
+  return stats;
+}
+
+}  // namespace wafp::analysis

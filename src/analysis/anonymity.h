@@ -1,0 +1,35 @@
+// Anonymity-set analysis: the privacy-facing reading of fingerprint
+// diversity. A user's anonymity set is the cluster of users sharing their
+// fingerprint; its size k is how many people they "hide among". This is
+// the lens the paper's Mitigations discussion implies browser vendors use
+// when weighing defenses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wafp::analysis {
+
+struct AnonymityStats {
+  /// Smallest / median / largest anonymity-set size across users.
+  std::size_t min_k = 0;
+  std::size_t median_k = 0;
+  std::size_t max_k = 0;
+  /// Users whose set size is exactly 1 (uniquely identified).
+  std::size_t unique_users = 0;
+  /// Users with k below 5 / below 20 (weakly protected).
+  std::size_t below_5 = 0;
+  std::size_t below_20 = 0;
+  /// Expected anonymity-set size of a random user (size-biased mean).
+  double expected_k = 0.0;
+};
+
+/// Compute anonymity statistics from dense cluster labels (one per user).
+[[nodiscard]] AnonymityStats anonymity_from_labels(std::span<const int> labels);
+
+/// Per-user anonymity-set sizes, aligned with `labels`.
+[[nodiscard]] std::vector<std::size_t> anonymity_set_sizes(
+    std::span<const int> labels);
+
+}  // namespace wafp::analysis

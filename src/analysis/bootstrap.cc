@@ -1,0 +1,46 @@
+#include "analysis/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wafp::analysis {
+
+BootstrapInterval bootstrap_labels(
+    std::span<const int> labels,
+    const std::function<double(std::span<const int>)>& statistic,
+    std::size_t resamples, double confidence, std::uint64_t seed) {
+  BootstrapInterval interval;
+  interval.point = statistic(labels);
+  if (labels.empty() || resamples == 0) return interval;
+
+  util::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(resamples);
+  std::vector<int> resample(labels.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      resample[i] = labels[rng.next_below(labels.size())];
+    }
+    values.push_back(statistic(resample));
+  }
+  std::sort(values.begin(), values.end());
+
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto index = [&](double q) {
+    const auto i = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    return values[std::min(i, values.size() - 1)];
+  };
+  interval.low = index(alpha);
+  interval.high = index(1.0 - alpha);
+
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  interval.std_error = std::sqrt(var / static_cast<double>(values.size()));
+  return interval;
+}
+
+}  // namespace wafp::analysis

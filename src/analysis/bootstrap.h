@@ -1,0 +1,33 @@
+// Bootstrap confidence intervals for diversity estimates.
+//
+// The paper (§5 "Participant Pool Size") argues its entropy rankings are
+// robust to the 2093-user sample size by re-running the analysis on four
+// disjoint subsets. Bootstrap resampling is the sharper version of that
+// robustness check: resample users with replacement and report the spread
+// of the statistic.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wafp::analysis {
+
+struct BootstrapInterval {
+  double point = 0.0;    // statistic on the full sample
+  double low = 0.0;      // percentile lower bound
+  double high = 0.0;     // percentile upper bound
+  double std_error = 0.0;
+};
+
+/// Percentile-bootstrap interval for a statistic computed from per-user
+/// labels. `statistic` maps a label vector to a scalar (e.g. Shannon
+/// entropy); `confidence` in (0, 1), e.g. 0.95.
+[[nodiscard]] BootstrapInterval bootstrap_labels(
+    std::span<const int> labels,
+    const std::function<double(std::span<const int>)>& statistic,
+    std::size_t resamples, double confidence, std::uint64_t seed);
+
+}  // namespace wafp::analysis

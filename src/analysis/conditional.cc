@@ -1,0 +1,47 @@
+#include "analysis/conditional.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "analysis/ami.h"
+#include "analysis/entropy.h"
+
+namespace wafp::analysis {
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+double entropy_bits_of(std::span<const int> labels) {
+  return diversity_from_labels(labels).entropy;
+}
+
+}  // namespace
+
+double mutual_information_bits(std::span<const int> x,
+                               std::span<const int> y) {
+  assert(x.size() == y.size());
+  const ContingencyTable table = build_contingency(x, y);
+  return mutual_information(table) / kLn2;  // nats -> bits
+}
+
+double conditional_entropy_bits(std::span<const int> x,
+                                std::span<const int> y) {
+  // H(X | Y) = H(X) - I(X; Y); clamp tiny negatives from rounding.
+  const double h = entropy_bits_of(x) - mutual_information_bits(x, y);
+  return h < 0.0 ? 0.0 : h;
+}
+
+std::vector<std::vector<double>> conditional_entropy_matrix(
+    std::span<const std::vector<int>> label_sets) {
+  const std::size_t n = label_sets.size();
+  std::vector<std::vector<double>> matrix(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      matrix[i][j] =
+          i == j ? 0.0 : conditional_entropy_bits(label_sets[i], label_sets[j]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace wafp::analysis

@@ -1,0 +1,25 @@
+// Conditional entropy between fingerprinting vectors: H(X | Y) answers
+// "how much of vector X is left once a tracker already knows Y?" — the
+// information-theoretic generalization of the paper's §4 additive-value
+// analysis and the precise form of the W3C claim it refutes (the claim is
+// H(audio | UA) ≈ 0; the paper—and this reproduction—measure it ≫ 0).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wafp::analysis {
+
+/// H(X | Y) in bits, from dense per-user labels of equal length.
+[[nodiscard]] double conditional_entropy_bits(std::span<const int> x,
+                                              std::span<const int> y);
+
+/// Mutual information I(X; Y) in bits.
+[[nodiscard]] double mutual_information_bits(std::span<const int> x,
+                                             std::span<const int> y);
+
+/// Full pairwise conditional-entropy matrix: result[i][j] = H(X_i | X_j).
+[[nodiscard]] std::vector<std::vector<double>> conditional_entropy_matrix(
+    std::span<const std::vector<int>> label_sets);
+
+}  // namespace wafp::analysis

@@ -1,0 +1,70 @@
+#include "analysis/entropy.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace wafp::analysis {
+
+double shannon_entropy_bits(std::span<const std::size_t> cluster_sizes) {
+  std::size_t total = 0;
+  for (const std::size_t s : cluster_sizes) total += s;
+  if (total == 0) return 0.0;
+  double e = 0.0;
+  for (const std::size_t s : cluster_sizes) {
+    if (s == 0) continue;
+    const double p = static_cast<double>(s) / static_cast<double>(total);
+    e -= p * std::log2(p);
+  }
+  return e;
+}
+
+double normalized_entropy(std::span<const std::size_t> cluster_sizes,
+                          std::size_t total_users) {
+  if (total_users < 2) return 0.0;
+  return shannon_entropy_bits(cluster_sizes) /
+         std::log2(static_cast<double>(total_users));
+}
+
+DiversityStats diversity_from_labels(std::span<const int> labels) {
+  std::unordered_map<int, std::size_t> counts;
+  for (const int label : labels) ++counts[label];
+
+  DiversityStats stats;
+  stats.distinct = counts.size();
+  std::vector<std::size_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [label, count] : counts) {
+    sizes.push_back(count);
+    if (count == 1) ++stats.unique;
+  }
+  stats.entropy = shannon_entropy_bits(sizes);
+  stats.normalized = normalized_entropy(sizes, labels.size());
+  return stats;
+}
+
+std::vector<int> combine_labels(std::span<const std::vector<int>> label_sets) {
+  if (label_sets.empty()) return {};
+  const std::size_t n = label_sets.front().size();
+  for (const auto& set : label_sets) {
+    assert(set.size() == n);
+    (void)set;
+  }
+
+  std::map<std::vector<int>, int> tuple_ids;
+  std::vector<int> combined;
+  combined.reserve(n);
+  std::vector<int> tuple(label_sets.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t v = 0; v < label_sets.size(); ++v) {
+      tuple[v] = label_sets[v][i];
+    }
+    const auto [it, inserted] =
+        tuple_ids.try_emplace(tuple, static_cast<int>(tuple_ids.size()));
+    combined.push_back(it->second);
+  }
+  return combined;
+}
+
+}  // namespace wafp::analysis

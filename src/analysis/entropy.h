@@ -1,0 +1,37 @@
+// Diversity measures (paper §4): Shannon bit entropy and normalized
+// entropy over fingerprint clusterings, plus tuple combination of vectors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wafp::analysis {
+
+/// e = -sum_i (u_i / U) log2(u_i / U) over cluster sizes u_i.
+[[nodiscard]] double shannon_entropy_bits(
+    std::span<const std::size_t> cluster_sizes);
+
+/// e / log2(U): 1 means every user is uniquely fingerprintable.
+[[nodiscard]] double normalized_entropy(
+    std::span<const std::size_t> cluster_sizes, std::size_t total_users);
+
+/// The paper's per-vector diversity row (Tables 2-4).
+struct DiversityStats {
+  std::size_t distinct = 0;  // number of clusters
+  std::size_t unique = 0;    // clusters with exactly one user
+  double entropy = 0.0;      // Shannon bits
+  double normalized = 0.0;   // entropy / log2(U)
+};
+
+/// Compute the row from dense cluster labels (one per user).
+[[nodiscard]] DiversityStats diversity_from_labels(
+    std::span<const int> labels);
+
+/// Combine several clusterings into their tuple clustering (§4: "we simply
+/// compute the diversity of tuples (f_i, g_i, h_i, ...)"); every input must
+/// have the same length.
+[[nodiscard]] std::vector<int> combine_labels(
+    std::span<const std::vector<int>> label_sets);
+
+}  // namespace wafp::analysis

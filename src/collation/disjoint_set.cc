@@ -1,0 +1,53 @@
+#include "collation/disjoint_set.h"
+
+#include <cassert>
+
+namespace wafp::collation {
+
+DisjointSet::DisjointSet(std::size_t initial) {
+  parent_.reserve(initial);
+  size_.reserve(initial);
+  for (std::size_t i = 0; i < initial; ++i) add();
+}
+
+std::size_t DisjointSet::add() {
+  const std::size_t id = parent_.size();
+  parent_.push_back(id);
+  size_.push_back(1);
+  ++components_;
+  return id;
+}
+
+std::size_t DisjointSet::find(std::size_t x) const {
+  assert(x < parent_.size());
+  std::size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    const std::size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool DisjointSet::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --components_;
+  return true;
+}
+
+bool DisjointSet::connected(std::size_t a, std::size_t b) const {
+  return find(a) == find(b);
+}
+
+std::size_t DisjointSet::component_size(std::size_t x) const {
+  return size_[find(x)];
+}
+
+}  // namespace wafp::collation

@@ -1,0 +1,149 @@
+#include "collation/dynamic_connectivity.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace wafp::collation {
+
+DynamicConnectivity::DynamicConnectivity(std::size_t n, std::uint64_t seed)
+    : n_(n), components_(n) {
+  max_level_ = 0;
+  while ((std::size_t{1} << max_level_) < std::max<std::size_t>(n, 2)) {
+    ++max_level_;
+  }
+  forests_.reserve(max_level_ + 1);
+  for (int level = 0; level <= max_level_; ++level) {
+    forests_.emplace_back(n, util::derive_seed(seed, level));
+  }
+  nontree_.resize(max_level_ + 1);
+}
+
+bool DynamicConnectivity::connected(std::uint32_t u, std::uint32_t v) const {
+  return forests_[0].connected(u, v);
+}
+
+std::size_t DynamicConnectivity::component_size(std::uint32_t u) const {
+  return forests_[0].component_size(u);
+}
+
+bool DynamicConnectivity::has_edge(std::uint32_t u, std::uint32_t v) const {
+  return edges_.contains(edge_key(u, v));
+}
+
+void DynamicConnectivity::refresh_vertex_flag(int level, std::uint32_t u) {
+  const auto& level_adj = nontree_[level];
+  const auto it = level_adj.find(u);
+  forests_[level].set_vertex_flag(u,
+                                  it != level_adj.end() && !it->second.empty());
+}
+
+void DynamicConnectivity::add_nontree(int level, std::uint32_t u,
+                                      std::uint32_t v) {
+  nontree_[level][u].insert(v);
+  nontree_[level][v].insert(u);
+  refresh_vertex_flag(level, u);
+  refresh_vertex_flag(level, v);
+}
+
+void DynamicConnectivity::remove_nontree(int level, std::uint32_t u,
+                                         std::uint32_t v) {
+  auto& level_adj = nontree_[level];
+  level_adj[u].erase(v);
+  level_adj[v].erase(u);
+  refresh_vertex_flag(level, u);
+  refresh_vertex_flag(level, v);
+}
+
+bool DynamicConnectivity::insert_edge(std::uint32_t u, std::uint32_t v) {
+  if (u == v || u >= n_ || v >= n_) return false;
+  const std::uint64_t key = edge_key(u, v);
+  if (edges_.contains(key)) return false;
+
+  EdgeInfo info;
+  info.level = 0;
+  if (!forests_[0].connected(u, v)) {
+    info.tree = true;
+    forests_[0].link(u, v);
+    forests_[0].set_edge_flag(u, v, true);  // level-0 tree edge
+    --components_;
+  } else {
+    info.tree = false;
+    add_nontree(0, u, v);
+  }
+  edges_.emplace(key, info);
+  return true;
+}
+
+bool DynamicConnectivity::delete_edge(std::uint32_t u, std::uint32_t v) {
+  const auto it = edges_.find(edge_key(u, v));
+  if (it == edges_.end()) return false;
+  const EdgeInfo info = it->second;
+  edges_.erase(it);
+
+  if (!info.tree) {
+    remove_nontree(info.level, u, v);
+    return true;
+  }
+
+  // Cut the tree edge out of every forest that contains it, then search for
+  // a replacement from its level downward.
+  forests_[info.level].set_edge_flag(u, v, false);
+  for (int i = 0; i <= info.level; ++i) forests_[i].cut(u, v);
+  if (!find_replacement(u, v, info.level)) ++components_;
+  return true;
+}
+
+bool DynamicConnectivity::find_replacement(std::uint32_t u, std::uint32_t v,
+                                           int level) {
+  for (int i = level; i >= 0; --i) {
+    EulerTourForest& forest = forests_[i];
+    // Work on the smaller side (call it the v-side) so promotions keep the
+    // size invariant |T_v| <= n / 2^(i+1).
+    std::uint32_t side_u = u;
+    std::uint32_t side_v = v;
+    if (forest.component_size(side_v) > forest.component_size(side_u)) {
+      std::swap(side_u, side_v);
+    }
+
+    // 1. Promote all level-i tree edges inside the v-side to level i+1.
+    while (const auto edge = forest.find_flagged_edge(side_v)) {
+      const auto [a, b] = *edge;
+      auto& info = edges_.at(edge_key(a, b));
+      assert(info.tree && info.level == i);
+      info.level = i + 1;
+      forest.set_edge_flag(a, b, false);
+      forests_[i + 1].link(a, b);
+      forests_[i + 1].set_edge_flag(a, b, true);
+    }
+
+    // 2. Scan level-i non-tree edges incident to the v-side.
+    while (const auto vertex = forest.find_flagged_vertex(side_v)) {
+      const std::uint32_t x = *vertex;
+      auto& neighbours = nontree_[i][x];
+      while (!neighbours.empty()) {
+        const std::uint32_t y = *neighbours.begin();
+        if (forest.connected(y, side_v)) {
+          // Both endpoints inside the v-side: promote to level i+1.
+          remove_nontree(i, x, y);
+          add_nontree(i + 1, x, y);
+          edges_.at(edge_key(x, y)).level = i + 1;
+        } else {
+          // Replacement found: reconnect at every level <= i.
+          remove_nontree(i, x, y);
+          auto& info = edges_.at(edge_key(x, y));
+          info.tree = true;
+          info.level = i;
+          for (int j = 0; j <= i; ++j) forests_[j].link(x, y);
+          forest.set_edge_flag(x, y, true);
+          return true;
+        }
+      }
+      refresh_vertex_flag(i, x);
+    }
+  }
+  return false;
+}
+
+}  // namespace wafp::collation

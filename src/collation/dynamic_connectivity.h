@@ -1,0 +1,77 @@
+// Fully-dynamic connectivity (Holm, de Lichtenberg, Thorup 2001) — the
+// structure the paper's §3.2 cites ([11]) for maintaining the fingerprint
+// graph online: O(log^2 n) amortized edge updates, O(log n) connectivity
+// queries, WITH edge deletions. The insert-only workload of the base study
+// is served by the simpler disjoint-set (disjoint_set.h); this structure is
+// what a fingerprinter needs once observations can *expire* (data-retention
+// limits, sliding windows) — see ExpiringFingerprintGraph.
+//
+// Implementation: the standard level scheme. Every edge carries a level
+// l(e) <= L = ceil(log2 n); forest F_i spans the subgraph of edges with
+// level >= i (so F_0 is the spanning forest of the whole graph). Deleting
+// a tree edge searches for a replacement among non-tree edges level by
+// level, promoting scanned edges so each edge is scanned O(log n) times.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "collation/euler_tour_forest.h"
+
+namespace wafp::collation {
+
+class DynamicConnectivity {
+ public:
+  /// A graph over `n` vertices (fixed capacity), initially edgeless.
+  explicit DynamicConnectivity(std::size_t n, std::uint64_t seed = 0x48d7);
+
+  [[nodiscard]] std::size_t vertex_count() const { return n_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t component_count() const { return components_; }
+
+  [[nodiscard]] bool connected(std::uint32_t u, std::uint32_t v) const;
+  [[nodiscard]] std::size_t component_size(std::uint32_t u) const;
+
+  /// Insert edge (u, v). Returns false (no-op) if it already exists or is a
+  /// self-loop.
+  bool insert_edge(std::uint32_t u, std::uint32_t v);
+
+  /// Delete edge (u, v). Returns false (no-op) if absent.
+  bool delete_edge(std::uint32_t u, std::uint32_t v);
+
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+ private:
+  struct EdgeInfo {
+    int level = 0;
+    bool tree = false;
+  };
+
+  [[nodiscard]] static std::uint64_t edge_key(std::uint32_t u,
+                                              std::uint32_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  void add_nontree(int level, std::uint32_t u, std::uint32_t v);
+  void remove_nontree(int level, std::uint32_t u, std::uint32_t v);
+  void refresh_vertex_flag(int level, std::uint32_t u);
+
+  /// Search levels <= `level` for a replacement after cutting tree edge
+  /// (u, v); returns true if the components were reconnected.
+  bool find_replacement(std::uint32_t u, std::uint32_t v, int level);
+
+  std::size_t n_;
+  int max_level_;
+  std::vector<EulerTourForest> forests_;  // index = level
+  // Per level: vertex -> set of non-tree neighbours at exactly that level.
+  std::vector<std::unordered_map<std::uint32_t,
+                                 std::unordered_set<std::uint32_t>>>
+      nontree_;
+  std::unordered_map<std::uint64_t, EdgeInfo> edges_;
+  std::size_t components_;
+};
+
+}  // namespace wafp::collation

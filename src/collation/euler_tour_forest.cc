@@ -1,0 +1,219 @@
+#include "collation/euler_tour_forest.h"
+
+#include <cassert>
+
+namespace wafp::collation {
+
+EulerTourForest::EulerTourForest(std::size_t n, std::uint64_t seed)
+    : rng_(seed) {
+  vertices_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    vertices_.push_back(allocate(true, static_cast<std::uint32_t>(i), 0));
+  }
+}
+
+void EulerTourForest::pull(Node* n) {
+  n->subtree_nodes = 1;
+  n->subtree_vertices = n->is_vertex ? 1u : 0u;
+  n->agg_vertex_flag = n->is_vertex && n->vertex_flag;
+  n->agg_edge_flag = !n->is_vertex && n->edge_flag;
+  for (Node* child : {n->left, n->right}) {
+    if (child == nullptr) continue;
+    n->subtree_nodes += child->subtree_nodes;
+    n->subtree_vertices += child->subtree_vertices;
+    n->agg_vertex_flag = n->agg_vertex_flag || child->agg_vertex_flag;
+    n->agg_edge_flag = n->agg_edge_flag || child->agg_edge_flag;
+  }
+}
+
+EulerTourForest::Node* EulerTourForest::tree_root(Node* n) {
+  while (n->parent != nullptr) n = n->parent;
+  return n;
+}
+
+std::uint32_t EulerTourForest::index_of(Node* n) {
+  // Number of nodes strictly before n in tour order.
+  std::uint32_t index = n->left ? n->left->subtree_nodes : 0;
+  for (Node* cur = n; cur->parent != nullptr; cur = cur->parent) {
+    if (cur->parent->right == cur) {
+      index += 1 + (cur->parent->left ? cur->parent->left->subtree_nodes : 0);
+    }
+  }
+  return index;
+}
+
+EulerTourForest::Node* EulerTourForest::merge(Node* a, Node* b) {
+  if (a == nullptr) return b;
+  if (b == nullptr) return a;
+  if (a->priority >= b->priority) {
+    Node* merged = merge(a->right, b);
+    a->right = merged;
+    if (merged != nullptr) merged->parent = a;
+    pull(a);
+    return a;
+  }
+  Node* merged = merge(a, b->left);
+  b->left = merged;
+  if (merged != nullptr) merged->parent = b;
+  pull(b);
+  return b;
+}
+
+std::pair<EulerTourForest::Node*, EulerTourForest::Node*>
+EulerTourForest::split(Node* t, std::uint32_t count) {
+  if (t == nullptr) return {nullptr, nullptr};
+  t->parent = nullptr;
+  const std::uint32_t left_size = t->left ? t->left->subtree_nodes : 0;
+  if (count <= left_size) {
+    auto [l, r] = split(t->left, count);
+    t->left = r;
+    if (r != nullptr) r->parent = t;
+    pull(t);
+    if (l != nullptr) l->parent = nullptr;
+    return {l, t};
+  }
+  auto [l, r] = split(t->right, count - left_size - 1);
+  t->right = l;
+  if (l != nullptr) l->parent = t;
+  pull(t);
+  if (r != nullptr) r->parent = nullptr;
+  return {t, r};
+}
+
+void EulerTourForest::update_to_root(Node* n) {
+  for (; n != nullptr; n = n->parent) pull(n);
+}
+
+EulerTourForest::Node* EulerTourForest::allocate(bool is_vertex,
+                                                 std::uint32_t a,
+                                                 std::uint32_t b) {
+  Node* n = nullptr;
+  if (!free_list_.empty()) {
+    n = free_list_.back();
+    free_list_.pop_back();
+    *n = Node{};
+  } else {
+    pool_.emplace_back();
+    n = &pool_.back();
+  }
+  n->priority = rng_.next_u64();
+  n->is_vertex = is_vertex;
+  n->a = a;
+  n->b = b;
+  pull(n);
+  return n;
+}
+
+void EulerTourForest::release(Node* n) { free_list_.push_back(n); }
+
+bool EulerTourForest::connected(std::uint32_t u, std::uint32_t v) const {
+  return tree_root(vertices_[u]) == tree_root(vertices_[v]);
+}
+
+std::size_t EulerTourForest::component_size(std::uint32_t u) const {
+  return tree_root(vertices_[u])->subtree_vertices;
+}
+
+bool EulerTourForest::has_edge(std::uint32_t u, std::uint32_t v) const {
+  return arcs_.contains(arc_key(u, v));
+}
+
+void EulerTourForest::reroot(std::uint32_t u) {
+  Node* vnode = vertices_[u];
+  Node* root = tree_root(vnode);
+  const std::uint32_t index = index_of(vnode);
+  if (index == 0) return;
+  auto [before, from_u] = split(root, index);
+  merge(from_u, before);
+}
+
+void EulerTourForest::link(std::uint32_t u, std::uint32_t v) {
+  assert(!connected(u, v));
+  reroot(u);
+  reroot(v);
+  Node* arc_uv = allocate(false, u, v);
+  Node* arc_vu = allocate(false, v, u);
+  arcs_.emplace(arc_key(u, v), arc_uv);
+  arcs_.emplace(arc_key(v, u), arc_vu);
+  Node* tour_u = tree_root(vertices_[u]);
+  Node* tour_v = tree_root(vertices_[v]);
+  merge(merge(merge(tour_u, arc_uv), tour_v), arc_vu);
+}
+
+void EulerTourForest::cut(std::uint32_t u, std::uint32_t v) {
+  const auto it_uv = arcs_.find(arc_key(u, v));
+  const auto it_vu = arcs_.find(arc_key(v, u));
+  assert(it_uv != arcs_.end() && it_vu != arcs_.end());
+  Node* first = it_uv->second;
+  Node* second = it_vu->second;
+  if (index_of(first) > index_of(second)) std::swap(first, second);
+
+  Node* root = tree_root(first);
+  const std::uint32_t first_index = index_of(first);
+  auto [prefix, rest1] = split(root, first_index);
+  auto [first_alone, rest2] = split(rest1, 1);
+  assert(first_alone == first);
+  const std::uint32_t second_index = index_of(second);
+  auto [middle, rest3] = split(rest2, second_index);
+  auto [second_alone, suffix] = split(rest3, 1);
+  assert(second_alone == second);
+
+  merge(prefix, suffix);  // the u-side tour (circularly rotated)
+  (void)middle;           // the v-side tour stands alone
+
+  arcs_.erase(it_uv);
+  arcs_.erase(it_vu);
+  release(first);
+  release(second);
+}
+
+void EulerTourForest::set_vertex_flag(std::uint32_t u, bool flag) {
+  Node* n = vertices_[u];
+  if (n->vertex_flag == flag) return;
+  n->vertex_flag = flag;
+  update_to_root(n);
+}
+
+void EulerTourForest::set_edge_flag(std::uint32_t u, std::uint32_t v,
+                                    bool flag) {
+  const auto it = arcs_.find(arc_key(u, v));
+  assert(it != arcs_.end());
+  Node* n = it->second;
+  if (n->edge_flag == flag) return;
+  n->edge_flag = flag;
+  update_to_root(n);
+}
+
+std::optional<std::uint32_t> EulerTourForest::find_flagged_vertex(
+    std::uint32_t u) const {
+  Node* n = tree_root(vertices_[u]);
+  if (!n->agg_vertex_flag) return std::nullopt;
+  while (n != nullptr) {
+    if (n->left != nullptr && n->left->agg_vertex_flag) {
+      n = n->left;
+    } else if (n->is_vertex && n->vertex_flag) {
+      return n->a;
+    } else {
+      n = n->right;
+    }
+  }
+  return std::nullopt;  // unreachable if aggregates are consistent
+}
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>>
+EulerTourForest::find_flagged_edge(std::uint32_t u) const {
+  Node* n = tree_root(vertices_[u]);
+  if (!n->agg_edge_flag) return std::nullopt;
+  while (n != nullptr) {
+    if (n->left != nullptr && n->left->agg_edge_flag) {
+      n = n->left;
+    } else if (!n->is_vertex && n->edge_flag) {
+      return std::make_pair(n->a, n->b);
+    } else {
+      n = n->right;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace wafp::collation

@@ -1,0 +1,93 @@
+// Euler tour trees over implicit treaps: the per-level building block of
+// the fully-dynamic connectivity structure (Holm, de Lichtenberg, Thorup,
+// J.ACM 2001 — the paper's reference [11] for maintaining the fingerprint
+// graph online). Each spanning forest is stored as Euler tours supporting
+// O(log n) link, cut, connectivity and component size, plus the two
+// flag-search aggregates HDT's replacement-edge scan needs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wafp::collation {
+
+class EulerTourForest {
+ public:
+  /// A forest over vertices 0..n-1, initially edgeless.
+  EulerTourForest(std::size_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+
+  [[nodiscard]] bool connected(std::uint32_t u, std::uint32_t v) const;
+
+  /// Number of vertices in u's tree.
+  [[nodiscard]] std::size_t component_size(std::uint32_t u) const;
+
+  /// Add tree edge (u, v); u and v must be in different trees.
+  void link(std::uint32_t u, std::uint32_t v);
+
+  /// Remove tree edge (u, v); must currently be a tree edge here.
+  void cut(std::uint32_t u, std::uint32_t v);
+
+  [[nodiscard]] bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  /// Mark/unmark a vertex as "has non-tree edges at this level".
+  void set_vertex_flag(std::uint32_t u, bool flag);
+  /// Mark/unmark a tree edge as "its level equals this forest's level".
+  void set_edge_flag(std::uint32_t u, std::uint32_t v, bool flag);
+
+  /// Any flagged vertex in u's tree.
+  [[nodiscard]] std::optional<std::uint32_t> find_flagged_vertex(
+      std::uint32_t u) const;
+  /// Any flagged tree edge in u's tree.
+  [[nodiscard]] std::optional<std::pair<std::uint32_t, std::uint32_t>>
+  find_flagged_edge(std::uint32_t u) const;
+
+ private:
+  struct Node {
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    std::uint64_t priority = 0;
+    std::uint32_t subtree_nodes = 1;
+    std::uint32_t subtree_vertices = 0;
+    bool is_vertex = false;
+    std::uint32_t a = 0;  // vertex id, or arc tail
+    std::uint32_t b = 0;  // arc head (arcs only)
+    bool vertex_flag = false;
+    bool edge_flag = false;
+    bool agg_vertex_flag = false;
+    bool agg_edge_flag = false;
+  };
+
+  static void pull(Node* n);
+  static Node* tree_root(Node* n);
+  static std::uint32_t index_of(Node* n);
+  static Node* merge(Node* a, Node* b);
+  /// Split off the first `count` nodes; returns {left, right}.
+  static std::pair<Node*, Node*> split(Node* t, std::uint32_t count);
+  static void update_to_root(Node* n);
+
+  Node* allocate(bool is_vertex, std::uint32_t a, std::uint32_t b);
+  void release(Node* n);
+  void reroot(std::uint32_t u);
+
+  [[nodiscard]] static std::uint64_t arc_key(std::uint32_t u,
+                                             std::uint32_t v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  std::deque<Node> pool_;
+  std::vector<Node*> free_list_;
+  std::vector<Node*> vertices_;
+  std::unordered_map<std::uint64_t, Node*> arcs_;  // directed arc -> node
+  util::Rng rng_;
+};
+
+}  // namespace wafp::collation

@@ -1,0 +1,158 @@
+#include "collation/expiring_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wafp::collation {
+namespace {
+
+std::uint64_t pack_edge(std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+ExpiringFingerprintGraph::ExpiringFingerprintGraph(std::size_t max_nodes)
+    : max_nodes_(max_nodes),
+      connectivity_(max_nodes),
+      node_degree_(max_nodes, 0) {}
+
+std::uint32_t ExpiringFingerprintGraph::allocate_node() {
+  if (next_node_ >= max_nodes_) {
+    throw std::length_error("ExpiringFingerprintGraph: node capacity");
+  }
+  return next_node_++;
+}
+
+std::uint32_t ExpiringFingerprintGraph::user_node(std::uint32_t user) {
+  const auto it = user_nodes_.find(user);
+  if (it != user_nodes_.end()) return it->second;
+  const std::uint32_t node = allocate_node();
+  user_nodes_.emplace(user, node);
+  return node;
+}
+
+std::uint32_t ExpiringFingerprintGraph::efp_node(const util::Digest& efp) {
+  const auto it = efp_nodes_.find(efp);
+  if (it != efp_nodes_.end()) return it->second;
+  const std::uint32_t node = allocate_node();
+  efp_nodes_.emplace(efp, node);
+  return node;
+}
+
+void ExpiringFingerprintGraph::add_observation(std::uint32_t user,
+                                               const util::Digest& efp,
+                                               std::uint64_t timestamp) {
+  const std::uint32_t un = user_node(user);
+  const std::uint32_t en = efp_node(efp);
+  const std::uint64_t key = pack_edge(un, en);
+
+  const auto [it, inserted] = edge_timestamp_.try_emplace(key, timestamp);
+  if (inserted) {
+    connectivity_.insert_edge(un, en);
+    ++node_degree_[un];
+    ++node_degree_[en];
+  } else {
+    // Refresh: keep the newest timestamp (the stale queue entry becomes a
+    // no-op when popped).
+    it->second = std::max(it->second, timestamp);
+  }
+  expiry_queue_.push({timestamp, un, en});
+}
+
+void ExpiringFingerprintGraph::expire_before(std::uint64_t cutoff) {
+  while (!expiry_queue_.empty() && expiry_queue_.top().timestamp < cutoff) {
+    const PendingExpiry entry = expiry_queue_.top();
+    expiry_queue_.pop();
+    const std::uint64_t key = pack_edge(entry.user_node, entry.efp_node);
+    const auto it = edge_timestamp_.find(key);
+    if (it == edge_timestamp_.end() || it->second != entry.timestamp) {
+      continue;  // refreshed or already expired
+    }
+    edge_timestamp_.erase(it);
+    connectivity_.delete_edge(entry.user_node, entry.efp_node);
+    --node_degree_[entry.user_node];
+    --node_degree_[entry.efp_node];
+  }
+}
+
+std::size_t ExpiringFingerprintGraph::active_user_count() const {
+  std::size_t active = 0;
+  for (const auto& [user, node] : user_nodes_) {
+    active += node_degree_[node] > 0;
+  }
+  return active;
+}
+
+std::size_t ExpiringFingerprintGraph::cluster_count() const {
+  // Group active user nodes by connectivity: each unmatched user probes the
+  // representatives found so far (O(active * clusters * log n); fine for
+  // the analysis sizes this library targets).
+  std::vector<std::uint32_t> representatives;
+  for (const auto& [user, node] : user_nodes_) {
+    if (node_degree_[node] == 0) continue;
+    bool found = false;
+    for (const std::uint32_t rep : representatives) {
+      if (connectivity_.connected(rep, node)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) representatives.push_back(node);
+  }
+  return representatives.size();
+}
+
+bool ExpiringFingerprintGraph::same_cluster(std::uint32_t user_a,
+                                            std::uint32_t user_b) const {
+  const auto a = user_nodes_.find(user_a);
+  const auto b = user_nodes_.find(user_b);
+  if (a == user_nodes_.end() || b == user_nodes_.end()) return false;
+  if (node_degree_[a->second] == 0 || node_degree_[b->second] == 0) {
+    return false;
+  }
+  return connectivity_.connected(a->second, b->second);
+}
+
+std::optional<std::uint32_t> ExpiringFingerprintGraph::match(
+    std::span<const util::Digest> probe) const {
+  std::vector<std::uint32_t> hits;
+  for (const util::Digest& d : probe) {
+    const auto it = efp_nodes_.find(d);
+    if (it != efp_nodes_.end() && node_degree_[it->second] > 0) {
+      hits.push_back(it->second);
+    }
+  }
+  if (hits.empty()) return std::nullopt;
+  // Majority component among hits (components identified by their first
+  // probe representative).
+  std::vector<std::pair<std::uint32_t, std::size_t>> groups;
+  for (const std::uint32_t hit : hits) {
+    bool grouped = false;
+    for (auto& [rep, count] : groups) {
+      if (connectivity_.connected(rep, hit)) {
+        ++count;
+        grouped = true;
+        break;
+      }
+    }
+    if (!grouped) groups.emplace_back(hit, 1);
+  }
+  const auto best = std::max_element(
+      groups.begin(), groups.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best->first;
+}
+
+std::optional<std::uint32_t> ExpiringFingerprintGraph::user_component(
+    std::uint32_t user) const {
+  const auto it = user_nodes_.find(user);
+  if (it == user_nodes_.end() || node_degree_[it->second] == 0) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace wafp::collation

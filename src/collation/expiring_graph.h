@@ -1,0 +1,96 @@
+// ExpiringFingerprintGraph: the paper's collation graph (§3.2) with a data
+// lifetime — observations older than a cutoff can be expired, after which
+// clusters that were only held together by stale fingerprints fall apart.
+// This is the workload that actually needs the fully-dynamic connectivity
+// structure the paper cites ([11]): the insert-only graph is fine with a
+// disjoint-set, but retention limits (GDPR-style deletion, sliding
+// analysis windows) demand edge *removal*.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "collation/dynamic_connectivity.h"
+#include "util/hash.h"
+
+namespace wafp::collation {
+
+class ExpiringFingerprintGraph {
+ public:
+  /// `max_nodes` caps users + distinct fingerprints combined.
+  explicit ExpiringFingerprintGraph(std::size_t max_nodes);
+
+  /// Record that `user` exhibited `efp` at `timestamp`. Re-observing an
+  /// existing pair refreshes its timestamp. Throws std::length_error when
+  /// node capacity is exhausted.
+  void add_observation(std::uint32_t user, const util::Digest& efp,
+                       std::uint64_t timestamp);
+
+  /// Drop every observation with timestamp < cutoff.
+  void expire_before(std::uint64_t cutoff);
+
+  /// Users currently holding at least one live observation.
+  [[nodiscard]] std::size_t active_user_count() const;
+  /// Live observations (edges).
+  [[nodiscard]] std::size_t observation_count() const {
+    return connectivity_.edge_count();
+  }
+
+  /// Collated clusters among active users.
+  [[nodiscard]] std::size_t cluster_count() const;
+
+  /// True iff both users are active and share a cluster.
+  [[nodiscard]] bool same_cluster(std::uint32_t user_a,
+                                  std::uint32_t user_b) const;
+
+  /// Match a probe of fresh fingerprints against the live graph: returns a
+  /// node handle inside the cluster the majority of known digests belong
+  /// to. Compare handles with nodes_connected() — unlike the union-find
+  /// graph there is no canonical root id.
+  [[nodiscard]] std::optional<std::uint32_t> match(
+      std::span<const util::Digest> probe) const;
+
+  /// Node handle of a user's current cluster (nullopt if inactive).
+  [[nodiscard]] std::optional<std::uint32_t> user_component(
+      std::uint32_t user) const;
+
+  /// Whether two node handles currently share a component.
+  [[nodiscard]] bool nodes_connected(std::uint32_t a, std::uint32_t b) const {
+    return connectivity_.connected(a, b);
+  }
+
+ private:
+  struct PendingExpiry {
+    std::uint64_t timestamp;
+    std::uint32_t user_node;
+    std::uint32_t efp_node;
+    friend bool operator>(const PendingExpiry& a, const PendingExpiry& b) {
+      return a.timestamp > b.timestamp;
+    }
+  };
+
+  [[nodiscard]] std::uint32_t user_node(std::uint32_t user);
+  [[nodiscard]] std::uint32_t efp_node(const util::Digest& efp);
+  [[nodiscard]] std::uint32_t allocate_node();
+
+  /// Stable id for a component: the smallest node index in it would be
+  /// O(n); instead we return the node's root via a connectivity probe
+  /// against each candidate — kept O(log n) by returning the probe node
+  /// itself and comparing with connected().
+  std::size_t max_nodes_;
+  DynamicConnectivity connectivity_;
+  std::unordered_map<std::uint32_t, std::uint32_t> user_nodes_;
+  std::unordered_map<util::Digest, std::uint32_t> efp_nodes_;
+  std::vector<std::uint32_t> node_degree_;  // live edges per node
+  std::unordered_map<std::uint64_t, std::uint64_t> edge_timestamp_;
+  std::priority_queue<PendingExpiry, std::vector<PendingExpiry>,
+                      std::greater<>>
+      expiry_queue_;
+  std::uint32_t next_node_ = 0;
+};
+
+}  // namespace wafp::collation

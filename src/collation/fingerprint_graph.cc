@@ -1,0 +1,90 @@
+#include "collation/fingerprint_graph.h"
+
+#include <algorithm>
+
+namespace wafp::collation {
+
+std::size_t FingerprintGraph::user_node(std::uint32_t user) {
+  const auto it = user_nodes_.find(user);
+  if (it != user_nodes_.end()) return it->second;
+  const std::size_t id = nodes_.add();
+  user_nodes_.emplace(user, id);
+  return id;
+}
+
+std::size_t FingerprintGraph::efp_node(const util::Digest& efp) {
+  const auto it = efp_nodes_.find(efp);
+  if (it != efp_nodes_.end()) return it->second;
+  const std::size_t id = nodes_.add();
+  efp_nodes_.emplace(efp, id);
+  return id;
+}
+
+void FingerprintGraph::add_observation(std::uint32_t user,
+                                       const util::Digest& efp) {
+  nodes_.unite(user_node(user), efp_node(efp));
+}
+
+bool FingerprintGraph::same_cluster(std::uint32_t user_a,
+                                    std::uint32_t user_b) const {
+  const auto a = user_nodes_.find(user_a);
+  const auto b = user_nodes_.find(user_b);
+  if (a == user_nodes_.end() || b == user_nodes_.end()) return false;
+  return nodes_.connected(a->second, b->second);
+}
+
+std::vector<std::size_t> FingerprintGraph::cluster_user_counts() const {
+  std::unordered_map<std::size_t, std::size_t> counts;
+  for (const auto& [user, node] : user_nodes_) {
+    ++counts[nodes_.find(node)];
+  }
+  std::vector<std::size_t> result;
+  result.reserve(counts.size());
+  for (const auto& [root, count] : counts) result.push_back(count);
+  return result;
+}
+
+Clustering FingerprintGraph::extract_clustering(
+    std::span<const std::uint32_t> users) const {
+  Clustering clustering;
+  clustering.labels.reserve(users.size());
+  std::unordered_map<std::size_t, int> dense;
+  int next = 0;
+  for (const std::uint32_t user : users) {
+    const auto it = user_nodes_.find(user);
+    if (it == user_nodes_.end()) {
+      // Unseen user: fresh singleton cluster.
+      clustering.labels.push_back(next++);
+      continue;
+    }
+    const std::size_t root = nodes_.find(it->second);
+    const auto [entry, inserted] = dense.try_emplace(root, next);
+    if (inserted) ++next;
+    clustering.labels.push_back(entry->second);
+  }
+  clustering.num_clusters = next;
+  return clustering;
+}
+
+std::optional<std::size_t> FingerprintGraph::match(
+    std::span<const util::Digest> probe) const {
+  std::unordered_map<std::size_t, std::size_t> votes;
+  for (const util::Digest& efp : probe) {
+    const auto it = efp_nodes_.find(efp);
+    if (it != efp_nodes_.end()) ++votes[nodes_.find(it->second)];
+  }
+  if (votes.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best->first;
+}
+
+std::optional<std::size_t> FingerprintGraph::user_component(
+    std::uint32_t user) const {
+  const auto it = user_nodes_.find(user);
+  if (it == user_nodes_.end()) return std::nullopt;
+  return nodes_.find(it->second);
+}
+
+}  // namespace wafp::collation

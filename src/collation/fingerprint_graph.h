@@ -1,0 +1,76 @@
+// FingerprintGraph: the paper's core contribution (§3.2, Fig. 4) — an
+// online bipartite graph between users and elementary fingerprints whose
+// connected components are the *collated* fingerprints. Adding an
+// observation may merge previously distinct clusters (the paper's dynamic
+// collision example with user U5), which the disjoint-set handles in
+// amortized near-constant time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "collation/disjoint_set.h"
+#include "util/hash.h"
+
+namespace wafp::collation {
+
+/// A clustering of users: dense labels (0..num_clusters-1) aligned with the
+/// user order the graph was asked about.
+struct Clustering {
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+
+class FingerprintGraph {
+ public:
+  /// Record that `user` exhibited elementary fingerprint `efp`; creates
+  /// nodes on demand and merges components online.
+  void add_observation(std::uint32_t user, const util::Digest& efp);
+
+  [[nodiscard]] std::size_t user_count() const { return user_nodes_.size(); }
+  [[nodiscard]] std::size_t fingerprint_count() const {
+    return efp_nodes_.size();
+  }
+
+  /// Number of collated fingerprints = connected components.
+  [[nodiscard]] std::size_t cluster_count() const {
+    return nodes_.component_count();
+  }
+
+  /// True iff the two users currently share a collated fingerprint.
+  [[nodiscard]] bool same_cluster(std::uint32_t user_a,
+                                  std::uint32_t user_b) const;
+
+  /// Number of *users* in each cluster (ignores fingerprint-only nodes),
+  /// unordered.
+  [[nodiscard]] std::vector<std::size_t> cluster_user_counts() const;
+
+  /// Dense cluster labels for the given users, in order. Users never
+  /// observed each get a fresh singleton label.
+  [[nodiscard]] Clustering extract_clustering(
+      std::span<const std::uint32_t> users) const;
+
+  /// Match a probe (a set of elementary fingerprints from fresh
+  /// iterations) against the graph: returns the component representative
+  /// that the majority of known probe fingerprints belong to, or nullopt if
+  /// none of them has ever been seen (§3.3 "fingerprint match").
+  [[nodiscard]] std::optional<std::size_t> match(
+      std::span<const util::Digest> probe) const;
+
+  /// Component representative of a user (for comparing against match()).
+  [[nodiscard]] std::optional<std::size_t> user_component(
+      std::uint32_t user) const;
+
+ private:
+  std::size_t user_node(std::uint32_t user);
+  std::size_t efp_node(const util::Digest& efp);
+
+  DisjointSet nodes_;
+  std::unordered_map<std::uint32_t, std::size_t> user_nodes_;
+  std::unordered_map<util::Digest, std::size_t> efp_nodes_;
+};
+
+}  // namespace wafp::collation

@@ -1,0 +1,37 @@
+// Denormal (subnormal) handling policy.
+//
+// Real audio stacks differ in whether the render thread runs with
+// flush-to-zero / denormals-are-zero enabled (x86 MXCSR FTZ/DAZ, ARM FPCR
+// FZ). Dynamics-compressor release tails decay into the subnormal range, so
+// this single CPU-mode bit is visible in rendered samples — one of the
+// hardware-level knobs behind cross-platform audio fingerprint diversity.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace wafp::dsp {
+
+enum class DenormalPolicy {
+  kPreserve,     // IEEE-754 gradual underflow (typical ARM default)
+  kFlushToZero,  // FTZ/DAZ behaviour (typical x86 audio-thread setting)
+};
+
+/// Apply the policy to one value.
+[[nodiscard]] inline float flush_denormal(float v, DenormalPolicy policy) {
+  if (policy == DenormalPolicy::kFlushToZero && v != 0.0f &&
+      std::fabs(v) < std::numeric_limits<float>::min()) {
+    return 0.0f;
+  }
+  return v;
+}
+
+[[nodiscard]] inline double flush_denormal(double v, DenormalPolicy policy) {
+  if (policy == DenormalPolicy::kFlushToZero && v != 0.0 &&
+      std::fabs(v) < std::numeric_limits<double>::min()) {
+    return 0.0;
+  }
+  return v;
+}
+
+}  // namespace wafp::dsp

@@ -1,0 +1,532 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+#include <vector>
+
+namespace wafp::dsp {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+template <typename T>
+struct TwiddleTables {
+  std::vector<T> cos;
+  std::vector<T> sin;
+};
+
+/// Per-size twiddle tables, per precision. Double tables come from the
+/// platform math library directly. Float tables are *not* mere casts: in
+/// recurrence mode the complex-multiplication recurrence runs in float (as
+/// float FFT libraries do), so its characteristic drift is visible at float
+/// scale. Cached per engine; engines are single-thread objects.
+class TwiddleCache {
+ public:
+  TwiddleCache(std::shared_ptr<const MathLibrary> math, TwiddleMode mode)
+      : math_(std::move(math)), mode_(mode) {}
+
+  const TwiddleTables<double>& get_double(std::size_t n) const {
+    auto it = cache_d_.find(n);
+    if (it != cache_d_.end()) return it->second;
+    TwiddleTables<double> t;
+    t.cos.resize(n);
+    t.sin.resize(n);
+    if (mode_ == TwiddleMode::kDirect || n < 2) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double phase =
+            kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+        t.cos[k] = math_->cos(phase);
+        t.sin[k] = math_->sin(phase);
+      }
+    } else {
+      // w_k = w_{k-1} * w_1, re-anchored every 256 steps to bound drift.
+      const double step = kTwoPi / static_cast<double>(n);
+      const double c1 = math_->cos(step);
+      const double s1 = math_->sin(step);
+      double cr = 1.0, sr = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k % 256 == 0) {
+          const double phase = step * static_cast<double>(k);
+          cr = math_->cos(phase);
+          sr = math_->sin(phase);
+        }
+        t.cos[k] = cr;
+        t.sin[k] = sr;
+        const double next_c = cr * c1 - sr * s1;
+        const double next_s = cr * s1 + sr * c1;
+        cr = next_c;
+        sr = next_s;
+      }
+    }
+    return cache_d_.emplace(n, std::move(t)).first->second;
+  }
+
+  const TwiddleTables<float>& get_float(std::size_t n) const {
+    auto it = cache_f_.find(n);
+    if (it != cache_f_.end()) return it->second;
+    TwiddleTables<float> t;
+    t.cos.resize(n);
+    t.sin.resize(n);
+    if (mode_ == TwiddleMode::kDirect || n < 2) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double phase =
+            kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+        t.cos[k] = static_cast<float>(math_->cos(phase));
+        t.sin[k] = static_cast<float>(math_->sin(phase));
+      }
+    } else {
+      // Float recurrence: the drift is O(k * 2^-24) — exactly the rounding
+      // signature that distinguishes this build at float scale.
+      const double step = kTwoPi / static_cast<double>(n);
+      const auto c1 = static_cast<float>(math_->cos(step));
+      const auto s1 = static_cast<float>(math_->sin(step));
+      float cr = 1.0f, sr = 0.0f;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k % 256 == 0) {
+          const double phase = step * static_cast<double>(k);
+          cr = static_cast<float>(math_->cos(phase));
+          sr = static_cast<float>(math_->sin(phase));
+        }
+        t.cos[k] = cr;
+        t.sin[k] = sr;
+        const float next_c = cr * c1 - sr * s1;
+        const float next_s = cr * s1 + sr * c1;
+        cr = next_c;
+        sr = next_s;
+      }
+    }
+    return cache_f_.emplace(n, std::move(t)).first->second;
+  }
+
+  template <typename T>
+  const TwiddleTables<T>& get(std::size_t n) const {
+    if constexpr (std::is_same_v<T, float>) {
+      return get_float(n);
+    } else {
+      return get_double(n);
+    }
+  }
+
+  const MathLibrary& math() const { return *math_; }
+
+ private:
+  std::shared_ptr<const MathLibrary> math_;
+  TwiddleMode mode_;
+  mutable std::unordered_map<std::size_t, TwiddleTables<double>> cache_d_;
+  mutable std::unordered_map<std::size_t, TwiddleTables<float>> cache_f_;
+};
+
+/// --- Algorithm kernels, templated over the scalar type ------------------
+
+template <typename T>
+void radix2_forward(std::span<T> re, std::span<T> im,
+                    const TwiddleTables<T>& tw) {
+  const std::size_t n = re.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t step = n / len;
+    for (std::size_t base = 0; base < n; base += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const T wr = tw.cos[k * step];
+        const T wi = -tw.sin[k * step];
+        const std::size_t a = base + k;
+        const std::size_t b = base + k + len / 2;
+        const T tr = re[b] * wr - im[b] * wi;
+        const T ti = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] += tr;
+        im[a] += ti;
+      }
+    }
+  }
+}
+
+template <typename T>
+void radix4_recurse(std::span<T> re, std::span<T> im,
+                    const TwiddleCache& twiddles) {
+  const std::size_t n = re.size();
+  if (n <= 1) return;
+  if (n == 2) {
+    const T ar = re[0], ai = im[0], br = re[1], bi = im[1];
+    re[0] = ar + br;
+    im[0] = ai + bi;
+    re[1] = ar - br;
+    im[1] = ai - bi;
+    return;
+  }
+
+  const auto& tw = twiddles.get<T>(n);
+  if (n % 4 != 0) {
+    // Radix-2 split for sizes 2 * odd-power-of-two.
+    const std::size_t h = n / 2;
+    std::vector<T> sub_re(n), sub_im(n);
+    for (std::size_t m = 0; m < h; ++m) {
+      sub_re[m] = re[2 * m];
+      sub_im[m] = im[2 * m];
+      sub_re[h + m] = re[2 * m + 1];
+      sub_im[h + m] = im[2 * m + 1];
+    }
+    radix4_recurse(std::span(sub_re).subspan(0, h),
+                   std::span(sub_im).subspan(0, h), twiddles);
+    radix4_recurse(std::span(sub_re).subspan(h, h),
+                   std::span(sub_im).subspan(h, h), twiddles);
+    for (std::size_t k = 0; k < h; ++k) {
+      const T wr = tw.cos[k];
+      const T wi = -tw.sin[k];
+      const T or_ = sub_re[h + k] * wr - sub_im[h + k] * wi;
+      const T oi = sub_re[h + k] * wi + sub_im[h + k] * wr;
+      re[k] = sub_re[k] + or_;
+      im[k] = sub_im[k] + oi;
+      re[k + h] = sub_re[k] - or_;
+      im[k + h] = sub_im[k] - oi;
+    }
+    return;
+  }
+
+  const std::size_t q = n / 4;
+  std::vector<T> sub_re(n), sub_im(n);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t m = 0; m < q; ++m) {
+      sub_re[j * q + m] = re[4 * m + j];
+      sub_im[j * q + m] = im[4 * m + j];
+    }
+  }
+  for (std::size_t j = 0; j < 4; ++j) {
+    radix4_recurse(std::span(sub_re).subspan(j * q, q),
+                   std::span(sub_im).subspan(j * q, q), twiddles);
+  }
+  for (std::size_t k = 0; k < q; ++k) {
+    // t_j = W_n^{jk} * S_j[k]
+    T tr[4], ti[4];
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t idx = (j * k) % n;
+      const T wr = tw.cos[idx];
+      const T wi = -tw.sin[idx];
+      const T sr = sub_re[j * q + k];
+      const T si = sub_im[j * q + k];
+      tr[j] = sr * wr - si * wi;
+      ti[j] = sr * wi + si * wr;
+    }
+    // Radix-4 butterfly: multiplications by powers of -i.
+    re[k] = tr[0] + tr[1] + tr[2] + tr[3];
+    im[k] = ti[0] + ti[1] + ti[2] + ti[3];
+    re[k + q] = tr[0] + ti[1] - tr[2] - ti[3];
+    im[k + q] = ti[0] - tr[1] - ti[2] + tr[3];
+    re[k + 2 * q] = tr[0] - tr[1] + tr[2] - tr[3];
+    im[k + 2 * q] = ti[0] - ti[1] + ti[2] - ti[3];
+    re[k + 3 * q] = tr[0] - ti[1] - tr[2] + ti[3];
+    im[k + 3 * q] = ti[0] + tr[1] - ti[2] - tr[3];
+  }
+}
+
+template <typename T>
+void split_radix_recurse(std::span<T> re, std::span<T> im,
+                         const TwiddleCache& twiddles) {
+  const std::size_t n = re.size();
+  if (n <= 1) return;
+  if (n == 2) {
+    const T ar = re[0], ai = im[0], br = re[1], bi = im[1];
+    re[0] = ar + br;
+    im[0] = ai + bi;
+    re[1] = ar - br;
+    im[1] = ai - bi;
+    return;
+  }
+  const std::size_t h = n / 2;
+  const std::size_t q = n / 4;
+
+  // u = x[2m], z = x[4m+1], zp = x[4m+3]
+  std::vector<T> u_re(h), u_im(h), z_re(q), z_im(q), zp_re(q), zp_im(q);
+  for (std::size_t m = 0; m < h; ++m) {
+    u_re[m] = re[2 * m];
+    u_im[m] = im[2 * m];
+  }
+  for (std::size_t m = 0; m < q; ++m) {
+    z_re[m] = re[4 * m + 1];
+    z_im[m] = im[4 * m + 1];
+    zp_re[m] = re[4 * m + 3];
+    zp_im[m] = im[4 * m + 3];
+  }
+  split_radix_recurse(std::span<T>(u_re), std::span<T>(u_im), twiddles);
+  split_radix_recurse(std::span<T>(z_re), std::span<T>(z_im), twiddles);
+  split_radix_recurse(std::span<T>(zp_re), std::span<T>(zp_im), twiddles);
+
+  const auto& tw = twiddles.get<T>(n);
+  for (std::size_t k = 0; k < q; ++k) {
+    const T w1r = tw.cos[k], w1i = -tw.sin[k];
+    const std::size_t k3 = (3 * k) % n;
+    const T w3r = tw.cos[k3], w3i = -tw.sin[k3];
+
+    const T pr = z_re[k] * w1r - z_im[k] * w1i;
+    const T pi = z_re[k] * w1i + z_im[k] * w1r;
+    const T qr = zp_re[k] * w3r - zp_im[k] * w3i;
+    const T qi = zp_re[k] * w3i + zp_im[k] * w3r;
+
+    const T sum_r = pr + qr, sum_i = pi + qi;
+    const T dif_r = pr - qr, dif_i = pi - qi;
+
+    re[k] = u_re[k] + sum_r;
+    im[k] = u_im[k] + sum_i;
+    re[k + h] = u_re[k] - sum_r;
+    im[k + h] = u_im[k] - sum_i;
+    // -i * (dif_r + i*dif_i) = dif_i - i*dif_r
+    re[k + q] = u_re[k + q] + dif_i;
+    im[k + q] = u_im[k + q] - dif_r;
+    re[k + 3 * q] = u_re[k + q] - dif_i;
+    im[k + 3 * q] = u_im[k + q] + dif_r;
+  }
+}
+
+template <typename T>
+void bluestein_forward(std::span<T> re, std::span<T> im,
+                       const TwiddleCache& twiddles) {
+  const std::size_t n = re.size();
+  if (n <= 1) return;
+  if (n == 2) {
+    const T ar = re[0], ai = im[0], br = re[1], bi = im[1];
+    re[0] = ar + br;
+    im[0] = ai + bi;
+    re[1] = ar - br;
+    im[1] = ai - bi;
+    return;
+  }
+
+  std::size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+
+  // Chirp w_k = exp(-i*pi*k^2/n); phases use k^2 mod 2n to stay accurate.
+  const MathLibrary& math = twiddles.math();
+  std::vector<T> wr(n), wi(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double phase =
+        std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    wr[k] = static_cast<T>(math.cos(phase));
+    wi[k] = static_cast<T>(-math.sin(phase));
+  }
+
+  // a_k = x_k * w_k, padded to m.
+  std::vector<T> ar(m, T{0}), ai(m, T{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    ar[k] = re[k] * wr[k] - im[k] * wi[k];
+    ai[k] = re[k] * wi[k] + im[k] * wr[k];
+  }
+
+  // b_k = conj(w_k), arranged circularly so b[-k] lands at m-k.
+  std::vector<T> br(m, T{0}), bi(m, T{0});
+  br[0] = wr[0];
+  bi[0] = -wi[0];
+  for (std::size_t k = 1; k < n; ++k) {
+    br[k] = wr[k];
+    bi[k] = -wi[k];
+    br[m - k] = br[k];
+    bi[m - k] = bi[k];
+  }
+
+  const auto& core_tw = twiddles.get<T>(m);
+  radix2_forward(std::span<T>(ar), std::span<T>(ai), core_tw);
+  radix2_forward(std::span<T>(br), std::span<T>(bi), core_tw);
+  for (std::size_t k = 0; k < m; ++k) {
+    const T cr = ar[k] * br[k] - ai[k] * bi[k];
+    const T ci = ar[k] * bi[k] + ai[k] * br[k];
+    ar[k] = cr;
+    ai[k] = ci;
+  }
+  // Inverse core via the swap trick.
+  radix2_forward(std::span<T>(ai), std::span<T>(ar), core_tw);
+  const T scale = T{1} / static_cast<T>(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    ar[k] *= scale;
+    ai[k] *= scale;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    re[k] = ar[k] * wr[k] - ai[k] * wi[k];
+    im[k] = ar[k] * wi[k] + ai[k] * wr[k];
+  }
+}
+
+/// --- Engine wrappers -----------------------------------------------------
+
+class Radix2Fft final : public FftEngine {
+ public:
+  Radix2Fft(std::shared_ptr<const MathLibrary> math, TwiddleMode mode)
+      : twiddles_(std::move(math), mode) {}
+
+  std::string_view name() const override { return "radix2"; }
+  FftVariant variant() const override { return FftVariant::kRadix2; }
+  bool supports_size(std::size_t n) const override {
+    return is_power_of_two(n);
+  }
+
+  void forward(std::span<double> re, std::span<double> im) const override {
+    assert(im.size() == re.size() && supports_size(re.size()));
+    radix2_forward(re, im, twiddles_.get<double>(re.size()));
+  }
+  void forward(std::span<float> re, std::span<float> im) const override {
+    assert(im.size() == re.size() && supports_size(re.size()));
+    radix2_forward(re, im, twiddles_.get<float>(re.size()));
+  }
+
+ private:
+  TwiddleCache twiddles_;
+};
+
+class Radix4Fft final : public FftEngine {
+ public:
+  Radix4Fft(std::shared_ptr<const MathLibrary> math, TwiddleMode mode)
+      : twiddles_(std::move(math), mode) {}
+
+  std::string_view name() const override { return "radix4"; }
+  FftVariant variant() const override { return FftVariant::kRadix4; }
+  bool supports_size(std::size_t n) const override {
+    return is_power_of_two(n);
+  }
+
+  void forward(std::span<double> re, std::span<double> im) const override {
+    assert(im.size() == re.size() && supports_size(re.size()));
+    radix4_recurse(re, im, twiddles_);
+  }
+  void forward(std::span<float> re, std::span<float> im) const override {
+    assert(im.size() == re.size() && supports_size(re.size()));
+    radix4_recurse(re, im, twiddles_);
+  }
+
+ private:
+  TwiddleCache twiddles_;
+};
+
+class SplitRadixFft final : public FftEngine {
+ public:
+  SplitRadixFft(std::shared_ptr<const MathLibrary> math, TwiddleMode mode)
+      : twiddles_(std::move(math), mode) {}
+
+  std::string_view name() const override { return "split-radix"; }
+  FftVariant variant() const override { return FftVariant::kSplitRadix; }
+  bool supports_size(std::size_t n) const override {
+    return is_power_of_two(n);
+  }
+
+  void forward(std::span<double> re, std::span<double> im) const override {
+    assert(im.size() == re.size() && supports_size(re.size()));
+    split_radix_recurse(re, im, twiddles_);
+  }
+  void forward(std::span<float> re, std::span<float> im) const override {
+    assert(im.size() == re.size() && supports_size(re.size()));
+    split_radix_recurse(re, im, twiddles_);
+  }
+
+ private:
+  TwiddleCache twiddles_;
+};
+
+class BluesteinFft final : public FftEngine {
+ public:
+  BluesteinFft(std::shared_ptr<const MathLibrary> math, TwiddleMode mode)
+      : twiddles_(std::move(math), mode) {}
+
+  std::string_view name() const override { return "bluestein"; }
+  FftVariant variant() const override { return FftVariant::kBluestein; }
+  bool supports_size(std::size_t n) const override { return n > 0; }
+
+  void forward(std::span<double> re, std::span<double> im) const override {
+    assert(im.size() == re.size());
+    bluestein_forward(re, im, twiddles_);
+  }
+  void forward(std::span<float> re, std::span<float> im) const override {
+    assert(im.size() == re.size());
+    bluestein_forward(re, im, twiddles_);
+  }
+
+ private:
+  TwiddleCache twiddles_;
+};
+
+}  // namespace
+
+std::string_view to_string(FftVariant v) {
+  switch (v) {
+    case FftVariant::kRadix2: return "radix2";
+    case FftVariant::kRadix4: return "radix4";
+    case FftVariant::kSplitRadix: return "split-radix";
+    case FftVariant::kBluestein: return "bluestein";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TwiddleMode m) {
+  switch (m) {
+    case TwiddleMode::kDirect: return "twiddle-direct";
+    case TwiddleMode::kRecurrence: return "twiddle-recurrence";
+  }
+  return "unknown";
+}
+
+void FftEngine::inverse(std::span<double> re, std::span<double> im) const {
+  // IDFT(x) = swap(DFT(swap(x))) / N, where swap exchanges real and
+  // imaginary parts.
+  forward(im, re);
+  const double scale = 1.0 / static_cast<double>(re.size());
+  for (double& v : re) v *= scale;
+  for (double& v : im) v *= scale;
+}
+
+void FftEngine::inverse(std::span<float> re, std::span<float> im) const {
+  forward(im, re);
+  const float scale = 1.0f / static_cast<float>(re.size());
+  for (float& v : re) v *= scale;
+  for (float& v : im) v *= scale;
+}
+
+std::unique_ptr<FftEngine> make_fft_engine(
+    FftVariant variant, std::shared_ptr<const MathLibrary> math,
+    TwiddleMode twiddle_mode) {
+  switch (variant) {
+    case FftVariant::kRadix2:
+      return std::make_unique<Radix2Fft>(std::move(math), twiddle_mode);
+    case FftVariant::kRadix4:
+      return std::make_unique<Radix4Fft>(std::move(math), twiddle_mode);
+    case FftVariant::kSplitRadix:
+      return std::make_unique<SplitRadixFft>(std::move(math), twiddle_mode);
+    case FftVariant::kBluestein:
+      return std::make_unique<BluesteinFft>(std::move(math), twiddle_mode);
+  }
+  return std::make_unique<Radix2Fft>(std::move(math), twiddle_mode);
+}
+
+void naive_dft(std::span<const double> in_re, std::span<const double> in_im,
+               std::span<double> out_re, std::span<double> out_im,
+               const MathLibrary& math) {
+  const std::size_t n = in_re.size();
+  assert(in_im.size() == n && out_re.size() == n && out_im.size() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum_r = 0.0, sum_i = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double phase = kTwoPi * static_cast<double>(t * k % n) /
+                           static_cast<double>(n);
+      const double wr = math.cos(phase);
+      const double wi = -math.sin(phase);
+      sum_r += in_re[t] * wr - in_im[t] * wi;
+      sum_i += in_re[t] * wi + in_im[t] * wr;
+    }
+    out_re[k] = sum_r;
+    out_im[k] = sum_i;
+  }
+}
+
+}  // namespace wafp::dsp

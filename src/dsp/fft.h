@@ -1,0 +1,88 @@
+// Pluggable FFT implementations.
+//
+// The paper's FFT fingerprinting vector (§2.1, Fig. 2) exploits
+// "characteristic differences existing in the Fast Fourier Transformation
+// calculations performed by the web browsers". Real browsers ship different
+// FFT libraries per platform (e.g. Blink has used FFmpeg's RDFT and PFFFT;
+// Gecko uses its own); each has a distinct butterfly order and therefore a
+// distinct floating-point rounding pattern. We reproduce that surface with
+// four structurally different FFT algorithms. All compute the same DFT
+//
+//     X[k] = sum_n x[n] * exp(-2*pi*i*n*k / N)
+//
+// to near machine precision, yet differ in low-order bits — which is exactly
+// what the fingerprint hash sees.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "dsp/math_library.h"
+
+namespace wafp::dsp {
+
+enum class FftVariant {
+  kRadix2,      // iterative Cooley-Tukey, radix 2 (classic textbook order)
+  kRadix4,      // recursive radix-4 with radix-2 fix-up stage
+  kSplitRadix,  // recursive split-radix (L-shaped butterflies)
+  kBluestein,   // chirp-z transform over a padded radix-2 core
+};
+
+[[nodiscard]] std::string_view to_string(FftVariant v);
+
+/// How an engine materializes its twiddle factors — a real axis of FFT
+/// library variation. kDirect calls sin/cos per factor; kRecurrence derives
+/// w_k = w_{k-1} * w_1 by complex multiplication (the classic cheap scheme,
+/// which accumulates rounding drift). Same algorithm, different low-order
+/// bits — visible to fingerprint hashes.
+enum class TwiddleMode { kDirect, kRecurrence };
+
+[[nodiscard]] std::string_view to_string(TwiddleMode m);
+
+/// A complex FFT engine. Engines are constructed against a MathLibrary so
+/// that even the twiddle factors inherit the platform's libm flavour.
+/// Engines cache twiddle tables per size; they are not thread-safe.
+class FftEngine {
+ public:
+  virtual ~FftEngine() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual FftVariant variant() const = 0;
+
+  /// True if `n` is a legal transform size for this engine.
+  [[nodiscard]] virtual bool supports_size(std::size_t n) const = 0;
+
+  /// In-place forward transform. `re` and `im` must have equal length and
+  /// the length must satisfy supports_size().
+  virtual void forward(std::span<double> re, std::span<double> im) const = 0;
+
+  /// Single-precision forward transform: the butterflies run in genuine
+  /// float arithmetic (as production analyser FFTs do — e.g. Blink's
+  /// FFTFrame), so the rounding pattern of each algorithm is visible at
+  /// float scale. This is the path the AnalyserNode uses; the double path
+  /// serves wavetable synthesis and tests.
+  virtual void forward(std::span<float> re, std::span<float> im) const = 0;
+
+  /// In-place inverse transform (conjugate trick + 1/N scaling), defined in
+  /// terms of forward() so it inherits the variant's rounding behaviour.
+  void inverse(std::span<double> re, std::span<double> im) const;
+  void inverse(std::span<float> re, std::span<float> im) const;
+};
+
+/// Factory; the math library seeds the twiddle computation.
+[[nodiscard]] std::unique_ptr<FftEngine> make_fft_engine(
+    FftVariant variant, std::shared_ptr<const MathLibrary> math,
+    TwiddleMode twiddle_mode = TwiddleMode::kDirect);
+
+/// O(N^2) reference DFT used by tests to validate every engine.
+void naive_dft(std::span<const double> in_re, std::span<const double> in_im,
+               std::span<double> out_re, std::span<double> out_im,
+               const MathLibrary& math);
+
+/// True if n is a power of two.
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace wafp::dsp

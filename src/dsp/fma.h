@@ -1,0 +1,22 @@
+// FMA-contraction modelling.
+//
+// Compilers/CPUs differ in whether a*b+c is emitted as one fused
+// multiply-add (single rounding) or two operations (two roundings); audio
+// kernels built for x86-64-v3/ARM64 fuse, older x86 builds do not. The
+// difference is one ULP but fingerprint hashes see it. Platform profiles
+// carry this flag; hot kernels route multiply-accumulates through here.
+#pragma once
+
+#include <cmath>
+
+namespace wafp::dsp {
+
+[[nodiscard]] inline double mul_add(double a, double b, double c, bool fused) {
+  return fused ? std::fma(a, b, c) : a * b + c;
+}
+
+[[nodiscard]] inline float mul_add(float a, float b, float c, bool fused) {
+  return fused ? std::fma(a, b, c) : a * b + c;
+}
+
+}  // namespace wafp::dsp

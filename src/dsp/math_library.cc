@@ -1,0 +1,487 @@
+#include "dsp/math_library.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+namespace wafp::dsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kLn2 = std::numbers::ln2;
+constexpr double kLn10 = std::numbers::ln10;
+
+// Cody-Waite two-part pi/2 for trig range reduction. Accurate for the
+// argument magnitudes the audio engine produces (phases within a few
+// periods); not a full Payne-Hanek reduction.
+constexpr double kPio2Hi = 1.57079632679489655800e+00;
+constexpr double kPio2Lo = 6.12323399573676603587e-17;
+
+// Two-part ln2 for exp range reduction.
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/// Reduce x to r in [-pi/4, pi/4] with quadrant index k mod 4.
+int trig_reduce(double x, double& r) {
+  const double k_real = std::nearbyint(x / (kPi / 2.0));
+  const auto k = static_cast<long long>(k_real);
+  r = (x - k_real * kPio2Hi) - k_real * kPio2Lo;
+  return static_cast<int>(((k % 4) + 4) % 4);
+}
+
+/// Taylor kernel for sin on [-pi/4, pi/4], `terms` terms beyond x, evaluated
+/// by Horner recurrence over the ratio of consecutive factorial coefficients.
+double sin_kernel_taylor(double x, int terms) {
+  const double z = x * x;
+  double acc = 0.0;
+  for (int n = terms; n >= 1; --n) {
+    const double c = -1.0 / static_cast<double>((2 * n) * (2 * n + 1));
+    acc = c * (1.0 + acc) * z;
+  }
+  return x * (1.0 + acc);
+}
+
+/// Taylor kernel for cos on [-pi/4, pi/4].
+double cos_kernel_taylor(double x, int terms) {
+  const double z = x * x;
+  double acc = 0.0;
+  for (int n = terms; n >= 1; --n) {
+    const double c = -1.0 / static_cast<double>((2 * n - 1) * (2 * n));
+    acc = c * (1.0 + acc) * z;
+  }
+  return 1.0 + acc;
+}
+
+double sin_reduced(double x, int terms) {
+  if (!std::isfinite(x)) return std::numeric_limits<double>::quiet_NaN();
+  double r = 0.0;
+  switch (trig_reduce(x, r)) {
+    case 0: return sin_kernel_taylor(r, terms);
+    case 1: return cos_kernel_taylor(r, terms);
+    case 2: return -sin_kernel_taylor(r, terms);
+    default: return -cos_kernel_taylor(r, terms);
+  }
+}
+
+double cos_reduced(double x, int terms) {
+  if (!std::isfinite(x)) return std::numeric_limits<double>::quiet_NaN();
+  double r = 0.0;
+  switch (trig_reduce(x, r)) {
+    case 0: return cos_kernel_taylor(r, terms);
+    case 1: return -sin_kernel_taylor(r, terms);
+    case 2: return -cos_kernel_taylor(r, terms);
+    default: return sin_kernel_taylor(r, terms);
+  }
+}
+
+/// exp via k*ln2 reduction and a Taylor kernel of the given degree on
+/// r in [-ln2/2, ln2/2].
+double exp_taylor(double x, int degree) {
+  if (std::isnan(x)) return x;
+  if (x > 709.0) return std::numeric_limits<double>::infinity();
+  if (x < -745.0) return 0.0;
+  const double k_real = std::nearbyint(x / kLn2);
+  const auto k = static_cast<int>(k_real);
+  const double r = (x - k_real * kLn2Hi) - k_real * kLn2Lo;
+  double acc = 1.0;
+  for (int n = degree; n >= 1; --n) {
+    acc = 1.0 + acc * r / static_cast<double>(n);
+  }
+  return std::ldexp(acc, k);
+}
+
+/// log via mantissa reduction to [sqrt(1/2), sqrt(2)) and the atanh series
+/// ln(m) = 2*(s + s^3/3 + ... ) with s = (m-1)/(m+1), truncated at s^(2T+1).
+double log_series(double x, int terms) {
+  if (std::isnan(x)) return x;
+  if (x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  if (std::isinf(x)) return x;
+  int e = 0;
+  double m = std::frexp(x, &e);  // m in [0.5, 1)
+  if (m < std::numbers::sqrt2 / 2.0) {
+    m *= 2.0;
+    --e;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  double acc = 0.0;
+  for (int n = terms; n >= 1; --n) {
+    acc = z * (1.0 / static_cast<double>(2 * n + 1) + acc);
+  }
+  return 2.0 * s * (1.0 + acc) + static_cast<double>(e) * kLn2;
+}
+
+double pow_via(double base, double exponent,
+               double (*exp_fn)(double), double (*log_fn)(double)) {
+  if (exponent == 0.0) return 1.0;
+  if (base == 0.0) return exponent > 0.0 ? 0.0
+                                         : std::numeric_limits<double>::infinity();
+  if (base < 0.0) {
+    // Only integral exponents are meaningful for negative bases.
+    const double rounded = std::nearbyint(exponent);
+    if (rounded != exponent) return std::numeric_limits<double>::quiet_NaN();
+    const double magnitude = exp_fn(exponent * log_fn(-base));
+    const bool odd = std::fmod(rounded, 2.0) != 0.0;
+    return odd ? -magnitude : magnitude;
+  }
+  return exp_fn(exponent * log_fn(base));
+}
+
+/// --- Variant: host libm -------------------------------------------------
+
+class PreciseMath final : public MathLibrary {
+ public:
+  std::string_view name() const override { return "precise"; }
+  MathVariant variant() const override { return MathVariant::kPrecise; }
+  double sin(double x) const override { return std::sin(x); }
+  double cos(double x) const override { return std::cos(x); }
+  double exp(double x) const override { return std::exp(x); }
+  double log(double x) const override { return std::log(x); }
+  double log10(double x) const override { return std::log10(x); }
+  double pow(double b, double e) const override { return std::pow(b, e); }
+  double tanh(double x) const override { return std::tanh(x); }
+  double atan(double x) const override { return std::atan(x); }
+  double sqrt(double x) const override { return std::sqrt(x); }
+  double expm1(double x) const override { return std::expm1(x); }
+};
+
+/// --- Variant: fdlibm-style polynomial kernels ---------------------------
+
+class FdlibmMath final : public MathLibrary {
+ public:
+  /// `legacy` selects the older kernel generation (lower degrees).
+  explicit FdlibmMath(bool legacy)
+      : legacy_(legacy),
+        trig_terms_(legacy ? 6 : 7),
+        exp_degree_(legacy ? 11 : 13),
+        log_terms_(legacy ? 6 : 7) {}
+
+  std::string_view name() const override {
+    return legacy_ ? "fdlibm-legacy" : "fdlibm";
+  }
+  MathVariant variant() const override {
+    return legacy_ ? MathVariant::kFdlibmLegacy : MathVariant::kFdlibm;
+  }
+
+  double sin(double x) const override { return sin_reduced(x, trig_terms_); }
+  double cos(double x) const override { return cos_reduced(x, trig_terms_); }
+  double exp(double x) const override { return exp_taylor(x, exp_degree_); }
+  double log(double x) const override { return log_series(x, log_terms_); }
+  double log10(double x) const override { return log(x) / kLn10; }
+  double pow(double b, double e) const override {
+    const int exp_degree = exp_degree_;
+    const int log_terms = log_terms_;
+    if (exp_degree == 13 && log_terms == 7) {
+      return pow_via(b, e, [](double v) { return exp_taylor(v, 13); },
+                     [](double v) { return log_series(v, 7); });
+    }
+    return pow_via(b, e, [](double v) { return exp_taylor(v, 11); },
+                   [](double v) { return log_series(v, 6); });
+  }
+  double tanh(double x) const override {
+    if (std::isnan(x)) return x;
+    const double ax = std::fabs(x);
+    double t;
+    if (ax >= 20.0) {
+      t = 1.0;
+    } else {
+      const double e2 = expm1(2.0 * ax);
+      t = e2 / (e2 + 2.0);
+    }
+    return x < 0.0 ? -t : t;
+  }
+  double atan(double x) const override {
+    if (std::isnan(x)) return x;
+    const double ax = std::fabs(x);
+    double r;
+    if (ax > 1.0) {
+      r = kPi / 2.0 - atan_small(1.0 / ax);
+    } else {
+      r = atan_small(ax);
+    }
+    return x < 0.0 ? -r : r;
+  }
+  double sqrt(double x) const override { return std::sqrt(x); }
+  double expm1(double x) const override {
+    if (std::fabs(x) > 0.5) return exp(x) - 1.0;
+    // Taylor for expm1 to avoid cancellation near zero.
+    double acc = 0.0;
+    for (int n = 12; n >= 2; --n) {
+      acc = (1.0 + acc) * x / static_cast<double>(n);
+    }
+    return x * (1.0 + acc);
+  }
+
+ private:
+  bool legacy_;
+  int trig_terms_;
+  int exp_degree_;
+  int log_terms_;
+
+  /// atan on [0, 1] by two argument-halving steps then a Taylor tail.
+  static double atan_small(double x) {
+    int halvings = 0;
+    while (x > 0.25 && halvings < 3) {
+      x = x / (1.0 + std::sqrt(1.0 + x * x));
+      ++halvings;
+    }
+    const double z = x * x;
+    double acc = 0.0;
+    for (int n = 9; n >= 1; --n) {
+      const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+      acc = z * (sign / static_cast<double>(2 * n + 1) + acc);
+    }
+    const double base = x * (1.0 + acc);
+    return base * static_cast<double>(1 << halvings);
+  }
+};
+
+/// --- Variant: low-degree fast polynomials -------------------------------
+
+class FastPolyMath final : public MathLibrary {
+ public:
+  /// `trim` selects the shortest kernel generation.
+  explicit FastPolyMath(bool trim)
+      : trim_(trim),
+        trig_terms_(trim ? 3 : 4),
+        exp_degree_(trim ? 7 : 8),
+        log_terms_(trim ? 3 : 4) {}
+
+  std::string_view name() const override {
+    return trim_ ? "fastpoly-trim" : "fastpoly";
+  }
+  MathVariant variant() const override {
+    return trim_ ? MathVariant::kFastPolyTrim : MathVariant::kFastPoly;
+  }
+
+  double sin(double x) const override { return sin_reduced(x, trig_terms_); }
+  double cos(double x) const override { return cos_reduced(x, trig_terms_); }
+  double exp(double x) const override { return exp_taylor(x, exp_degree_); }
+  double log(double x) const override { return log_series(x, log_terms_); }
+  double log10(double x) const override { return log(x) / kLn10; }
+  double pow(double b, double e) const override {
+    if (trim_) {
+      return pow_via(b, e, [](double v) { return exp_taylor(v, 7); },
+                     [](double v) { return log_series(v, 3); });
+    }
+    return pow_via(b, e, [](double v) { return exp_taylor(v, 8); },
+                   [](double v) { return log_series(v, 4); });
+  }
+  double tanh(double x) const override {
+    if (std::isnan(x)) return x;
+    const double ax = std::fabs(x);
+    double t;
+    if (ax >= 19.0) {
+      t = 1.0;
+    } else if (ax < 1.0) {
+      // Continued-fraction truncation (Lambert): accurate to ~1e-7 on [0,1).
+      const double z = ax * ax;
+      t = ax * (945.0 + z * (105.0 + z)) / (945.0 + z * (420.0 + 15.0 * z));
+    } else {
+      const double e2 = exp(2.0 * ax);
+      t = 1.0 - 2.0 / (e2 + 1.0);
+    }
+    return x < 0.0 ? -t : t;
+  }
+  double atan(double x) const override {
+    if (std::isnan(x)) return x;
+    const double ax = std::fabs(x);
+    double r;
+    if (ax > 1.0) {
+      r = kPi / 2.0 - atan_poly(1.0 / ax);
+    } else {
+      r = atan_poly(ax);
+    }
+    return x < 0.0 ? -r : r;
+  }
+  double sqrt(double x) const override { return std::sqrt(x); }
+  double expm1(double x) const override { return exp(x) - 1.0; }
+
+ private:
+  bool trim_;
+  int trig_terms_;
+  int exp_degree_;
+  int log_terms_;
+
+  static double atan_poly(double x) {
+    // Single halving then degree-9 Taylor tail.
+    const double h = x / (1.0 + std::sqrt(1.0 + x * x));
+    const double z = h * h;
+    const double tail = h * (1.0 + z * (-1.0 / 3.0 + z * (1.0 / 5.0 +
+                             z * (-1.0 / 7.0 + z / 9.0))));
+    return 2.0 * tail;
+  }
+};
+
+/// --- Variant: float-precision intermediates (SIMD-like) -----------------
+
+class VectorizedMath final : public MathLibrary {
+ public:
+  std::string_view name() const override { return "vector-f32"; }
+  MathVariant variant() const override { return MathVariant::kVectorized; }
+
+  double sin(double x) const override { return w(std::sin(n(x))); }
+  double cos(double x) const override { return w(std::cos(n(x))); }
+  double exp(double x) const override { return w(std::exp(n(x))); }
+  double log(double x) const override { return w(std::log(n(x))); }
+  double log10(double x) const override { return w(std::log10(n(x))); }
+  double pow(double b, double e) const override {
+    return w(std::pow(n(b), n(e)));
+  }
+  double tanh(double x) const override { return w(std::tanh(n(x))); }
+  double atan(double x) const override { return w(std::atan(n(x))); }
+  double sqrt(double x) const override { return w(std::sqrt(n(x))); }
+  double expm1(double x) const override { return w(std::expm1(n(x))); }
+
+ private:
+  static float n(double x) { return static_cast<float>(x); }
+  static double w(float x) { return static_cast<double>(x); }
+};
+
+/// --- Variant: lookup tables + linear interpolation ----------------------
+
+class TableMath final : public MathLibrary {
+ public:
+  TableMath() {
+    sin_table_.resize(kSinTableSize + 1);
+    for (std::size_t i = 0; i <= kSinTableSize; ++i) {
+      sin_table_[i] =
+          std::sin(2.0 * kPi * static_cast<double>(i) / kSinTableSize);
+    }
+    exp2_table_.resize(kExpTableSize + 1);
+    for (std::size_t i = 0; i <= kExpTableSize; ++i) {
+      exp2_table_[i] =
+          std::exp2(static_cast<double>(i) / kExpTableSize);
+    }
+    log2_table_.resize(kLogTableSize + 1);
+    for (std::size_t i = 0; i <= kLogTableSize; ++i) {
+      log2_table_[i] =
+          std::log2(1.0 + static_cast<double>(i) / kLogTableSize);
+    }
+    tanh_table_.resize(kTanhTableSize + 1);
+    for (std::size_t i = 0; i <= kTanhTableSize; ++i) {
+      const double x = kTanhRange * (2.0 * static_cast<double>(i) /
+                                         kTanhTableSize - 1.0);
+      tanh_table_[i] = std::tanh(x);
+    }
+  }
+
+  std::string_view name() const override { return "table-lerp"; }
+  MathVariant variant() const override { return MathVariant::kTable; }
+
+  double sin(double x) const override {
+    if (!std::isfinite(x)) return std::numeric_limits<double>::quiet_NaN();
+    double frac = x / (2.0 * kPi);
+    frac -= std::floor(frac);
+    return lerp_table(sin_table_, frac * kSinTableSize);
+  }
+  double cos(double x) const override { return sin(x + kPi / 2.0); }
+  double exp(double x) const override {
+    if (std::isnan(x)) return x;
+    const double y = x / kLn2;
+    if (y >= 1024.0) return std::numeric_limits<double>::infinity();
+    if (y <= -1074.0) return 0.0;
+    const double fl = std::floor(y);
+    const double frac = y - fl;
+    return std::ldexp(lerp_table(exp2_table_, frac * kExpTableSize),
+                      static_cast<int>(fl));
+  }
+  double log(double x) const override {
+    if (std::isnan(x)) return x;
+    if (x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+    if (x == 0.0) return -std::numeric_limits<double>::infinity();
+    if (std::isinf(x)) return x;
+    int e = 0;
+    const double m = std::frexp(x, &e) * 2.0;  // m in [1, 2)
+    const double l2 = lerp_table(log2_table_, (m - 1.0) * kLogTableSize) +
+                      static_cast<double>(e - 1);
+    return l2 * kLn2;
+  }
+  double log10(double x) const override { return log(x) / kLn10; }
+  double pow(double b, double e) const override {
+    if (e == 0.0) return 1.0;
+    if (b == 0.0) return e > 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    if (b < 0.0) return std::numeric_limits<double>::quiet_NaN();
+    return exp(e * log(b));
+  }
+  double tanh(double x) const override {
+    if (std::isnan(x)) return x;
+    if (x >= kTanhRange) return 1.0;
+    if (x <= -kTanhRange) return -1.0;
+    const double pos = (x / kTanhRange + 1.0) / 2.0;
+    return lerp_table(tanh_table_, pos * kTanhTableSize);
+  }
+  double atan(double x) const override {
+    // Tables give no benefit for our atan call sites; one Newton-ish
+    // correction over the float result keeps this variant distinct.
+    return static_cast<double>(std::atan(static_cast<float>(x)));
+  }
+  double sqrt(double x) const override { return std::sqrt(x); }
+  double expm1(double x) const override { return exp(x) - 1.0; }
+
+ private:
+  static constexpr std::size_t kSinTableSize = 8192;
+  static constexpr std::size_t kExpTableSize = 2048;
+  static constexpr std::size_t kLogTableSize = 2048;
+  static constexpr std::size_t kTanhTableSize = 4096;
+  static constexpr double kTanhRange = 9.0;
+
+  static double lerp_table(const std::vector<double>& table, double pos) {
+    if (pos < 0.0) pos = 0.0;
+    const auto max_index = static_cast<double>(table.size() - 2);
+    if (pos > max_index + 1.0) pos = max_index + 1.0;
+    const double fl = std::floor(pos);
+    auto i = static_cast<std::size_t>(fl);
+    if (i >= table.size() - 1) i = table.size() - 2;
+    const double t = pos - static_cast<double>(i);
+    return table[i] + t * (table[i + 1] - table[i]);
+  }
+
+  std::vector<double> sin_table_;
+  std::vector<double> exp2_table_;
+  std::vector<double> log2_table_;
+  std::vector<double> tanh_table_;
+};
+
+}  // namespace
+
+std::string_view to_string(MathVariant v) {
+  switch (v) {
+    case MathVariant::kPrecise: return "precise";
+    case MathVariant::kFdlibm: return "fdlibm";
+    case MathVariant::kFdlibmLegacy: return "fdlibm-legacy";
+    case MathVariant::kFastPoly: return "fastpoly";
+    case MathVariant::kFastPolyTrim: return "fastpoly-trim";
+    case MathVariant::kVectorized: return "vector-f32";
+    case MathVariant::kTable: return "table-lerp";
+  }
+  return "unknown";
+}
+
+double MathLibrary::linear_to_decibels(double linear) const {
+  if (linear <= 0.0) return -1000.0;
+  return 20.0 * log10(linear);
+}
+
+double MathLibrary::decibels_to_linear(double db) const {
+  return pow(10.0, db / 20.0);
+}
+
+std::shared_ptr<const MathLibrary> make_math_library(MathVariant variant) {
+  switch (variant) {
+    case MathVariant::kPrecise: return std::make_shared<PreciseMath>();
+    case MathVariant::kFdlibm: return std::make_shared<FdlibmMath>(false);
+    case MathVariant::kFdlibmLegacy: return std::make_shared<FdlibmMath>(true);
+    case MathVariant::kFastPoly: return std::make_shared<FastPolyMath>(false);
+    case MathVariant::kFastPolyTrim:
+      return std::make_shared<FastPolyMath>(true);
+    case MathVariant::kVectorized: return std::make_shared<VectorizedMath>();
+    case MathVariant::kTable: return std::make_shared<TableMath>();
+  }
+  return std::make_shared<PreciseMath>();
+}
+
+}  // namespace wafp::dsp

@@ -1,0 +1,67 @@
+// Pluggable transcendental-math implementations.
+//
+// The paper (§5 "Causal Factors") attributes a large part of audio
+// fingerprint diversity to differences in the math libraries browsers link
+// against ("the fingerprintability of Math JS"). We model that surface
+// directly: every transcendental evaluated inside the audio engine (periodic
+// wave synthesis, compressor knee curve, analyser dB conversion, window
+// generation, FFT twiddles) goes through a MathLibrary, and simulated
+// platforms differ in which implementation they carry. Each implementation
+// is a genuinely different numerical algorithm, so swapping it produces
+// bit-different renders — the same mechanism as real cross-platform libm
+// differences.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+namespace wafp::dsp {
+
+/// The math-stack flavours carried by simulated platforms. "Legacy"/"trim"
+/// entries are earlier generations of the same algorithm family with
+/// different kernel degrees — modelling libm revisions across OS releases.
+enum class MathVariant {
+  kPrecise,       // host libm (the "reference" build)
+  kFdlibm,        // fdlibm-style polynomial kernels
+  kFdlibmLegacy,  // older-generation fdlibm kernels (lower degrees)
+  kFastPoly,      // low-degree polynomial kernels (fast, less accurate)
+  kFastPolyTrim,  // even shorter kernels (embedded/legacy builds)
+  kVectorized,    // float-precision intermediates (SIMD-like rounding)
+  kTable,         // lookup-table + linear interpolation kernels
+};
+
+inline constexpr int kNumMathVariants = 7;
+
+[[nodiscard]] std::string_view to_string(MathVariant v);
+
+/// All entry points take/return double; implementations differ in the
+/// internal algorithm and therefore in low-order result bits.
+class MathLibrary {
+ public:
+  virtual ~MathLibrary() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual MathVariant variant() const = 0;
+
+  [[nodiscard]] virtual double sin(double x) const = 0;
+  [[nodiscard]] virtual double cos(double x) const = 0;
+  [[nodiscard]] virtual double exp(double x) const = 0;
+  [[nodiscard]] virtual double log(double x) const = 0;
+  [[nodiscard]] virtual double log10(double x) const = 0;
+  [[nodiscard]] virtual double pow(double base, double exponent) const = 0;
+  [[nodiscard]] virtual double tanh(double x) const = 0;
+  [[nodiscard]] virtual double atan(double x) const = 0;
+  [[nodiscard]] virtual double sqrt(double x) const = 0;
+  [[nodiscard]] virtual double expm1(double x) const = 0;
+
+  /// dB conversions used by the analyser and compressor, derived from the
+  /// virtual primitives so they inherit the variant's rounding behaviour.
+  [[nodiscard]] double linear_to_decibels(double linear) const;
+  [[nodiscard]] double decibels_to_linear(double db) const;
+};
+
+/// Factory. The returned object is immutable and thread-compatible.
+[[nodiscard]] std::shared_ptr<const MathLibrary> make_math_library(
+    MathVariant variant);
+
+}  // namespace wafp::dsp

@@ -1,0 +1,28 @@
+#include "dsp/window.h"
+
+#include <cassert>
+#include <numbers>
+
+namespace wafp::dsp {
+
+std::vector<double> blackman_window(std::size_t size, const MathLibrary& math,
+                                    double alpha) {
+  const double kA0 = 0.5 * (1.0 - alpha);
+  const double kA1 = 0.5;
+  const double kA2 = 0.5 * alpha;
+
+  std::vector<double> window(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(size);
+    window[i] = kA0 - kA1 * math.cos(2.0 * std::numbers::pi * x) +
+                kA2 * math.cos(4.0 * std::numbers::pi * x);
+  }
+  return window;
+}
+
+void apply_window(std::span<double> data, std::span<const double> window) {
+  assert(data.size() == window.size());
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] *= window[i];
+}
+
+}  // namespace wafp::dsp

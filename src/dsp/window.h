@@ -1,0 +1,24 @@
+// Analysis windows. Blink's AnalyserNode applies a Blackman window to the
+// time-domain block before the FFT; we do the same, computing the window
+// through the platform math library so its coefficients carry the libm
+// flavour.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/math_library.h"
+
+namespace wafp::dsp {
+
+/// Generalized Blackman window: w[i] = a0 - a1*cos(2*pi*i/N)
+/// + a2*cos(4*pi*i/N) with a0 = (1-alpha)/2, a1 = 0.5, a2 = alpha/2.
+/// The classic window has alpha = 0.16 (a0 = 0.42, a2 = 0.08).
+[[nodiscard]] std::vector<double> blackman_window(std::size_t size,
+                                                  const MathLibrary& math,
+                                                  double alpha = 0.16);
+
+/// Multiply `data` by `window` elementwise (sizes must match).
+void apply_window(std::span<double> data, std::span<const double> window);
+
+}  // namespace wafp::dsp

@@ -1,0 +1,55 @@
+// FingerprintCollector: plays the role of the study's fingerprinting web
+// page for one participant — it produces the digest a given (user, vector,
+// iteration) triple would have submitted, applying the per-user fickleness
+// model (paper §3.1) to decide each iteration's render-jitter state.
+#pragma once
+
+#include <cstdint>
+
+#include "fingerprint/render_cache.h"
+#include "fingerprint/vector.h"
+#include "platform/population.h"
+
+namespace wafp::fingerprint {
+
+struct CollectorStats {
+  std::size_t stable_draws = 0;
+  std::size_t jitter_draws = 0;
+  std::size_t chaos_draws = 0;
+};
+
+class FingerprintCollector {
+ public:
+  explicit FingerprintCollector(RenderCache& cache) : cache_(cache) {}
+
+  /// Deterministically draw the jitter state for (user, vector, iteration):
+  /// an event occurs with probability min(0.93, flakiness * susceptibility);
+  /// it is a recurring platform jitter state with probability jitter_share,
+  /// otherwise a one-off chaotic glitch.
+  [[nodiscard]] webaudio::RenderJitter draw_jitter(
+      const platform::StudyUser& user, const AudioFingerprintVector& vector,
+      std::uint32_t iteration);
+
+  /// Fingerprint for one (user, vector, iteration). Audio vectors go
+  /// through the render cache; for chaotic draws the digest is derived from
+  /// the stable render plus the glitch entropy — equivalent in equality
+  /// structure to the engine's chaos path (any ULP glitch yields a distinct
+  /// digest), which collect_rendered() exercises for real.
+  [[nodiscard]] util::Digest collect(const platform::StudyUser& user,
+                                     VectorId id, std::uint32_t iteration);
+
+  /// Ground-truth slow path: renders through the engine even for chaotic
+  /// draws (used by tests and the quickstart example).
+  [[nodiscard]] util::Digest collect_rendered(const platform::StudyUser& user,
+                                              VectorId id,
+                                              std::uint32_t iteration);
+
+  [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+  [[nodiscard]] RenderCache& cache() { return cache_; }
+
+ private:
+  RenderCache& cache_;
+  CollectorStats stats_;
+};
+
+}  // namespace wafp::fingerprint

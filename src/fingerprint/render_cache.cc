@@ -1,0 +1,26 @@
+#include "fingerprint/render_cache.h"
+
+namespace wafp::fingerprint {
+
+const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
+                                     const platform::PlatformProfile& profile,
+                                     std::uint32_t jitter_state) {
+  std::string key = profile.audio.class_key();
+  key += '|';
+  key += vector.name();
+  key += '|';
+  key += std::to_string(jitter_state);
+
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  webaudio::RenderJitter jitter;
+  jitter.state = jitter_state;
+  util::Digest digest = vector.run(profile, jitter);
+  return cache_.emplace(std::move(key), digest).first->second;
+}
+
+}  // namespace wafp::fingerprint

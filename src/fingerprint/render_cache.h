@@ -1,0 +1,39 @@
+// RenderCache: memoizes audio fingerprint digests per (audio stack, vector,
+// jitter state).
+//
+// Correctness rests on a property tests assert directly: a rendered digest
+// is a pure function of the profile's AudioStack and the RenderJitter —
+// nothing else in the profile can reach the audio engine. Two users on the
+// same stack therefore share digests, which is both the paper's collision
+// phenomenon (Fig. 4: users in one cluster) and what makes a 2093-user x 30
+// iteration x 7 vector study tractable (a few hundred renders instead of
+// 440k).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "fingerprint/vector.h"
+
+namespace wafp::fingerprint {
+
+class RenderCache {
+ public:
+  /// Digest of `vector` on `profile`'s stack with the given jitter state
+  /// (chaos-free); renders on first use.
+  const util::Digest& get(const AudioFingerprintVector& vector,
+                          const platform::PlatformProfile& profile,
+                          std::uint32_t jitter_state);
+
+  [[nodiscard]] std::size_t entries() const { return cache_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, util::Digest> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace wafp::fingerprint

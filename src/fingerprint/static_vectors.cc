@@ -1,0 +1,28 @@
+// Non-audio comparison vectors (paper Tables 3-5): thin adapters over the
+// platform-simulation implementations.
+#include <stdexcept>
+
+#include "fingerprint/vector.h"
+#include "platform/canvas_sim.h"
+#include "platform/synthetic_vectors.h"
+
+namespace wafp::fingerprint {
+
+util::Digest run_static_vector(VectorId id,
+                               const platform::PlatformProfile& profile) {
+  switch (id) {
+    case VectorId::kCanvas:
+      return platform::canvas_fingerprint(profile);
+    case VectorId::kFonts:
+      return platform::fonts_fingerprint(profile);
+    case VectorId::kUserAgent:
+      return platform::user_agent_fingerprint(profile);
+    case VectorId::kMathJs:
+      return platform::math_js_fingerprint(profile);
+    default:
+      throw std::invalid_argument(
+          "run_static_vector: id is an audio vector; use audio_vector()");
+  }
+}
+
+}  // namespace wafp::fingerprint

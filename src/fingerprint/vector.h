@@ -1,0 +1,80 @@
+// Fingerprinting vectors (paper §2.1): the three known audio vectors (DC,
+// FFT, Hybrid), the paper's four new ones (Custom Signal, Merged Signals,
+// AM, FM), and the comparison vectors (Canvas, Fonts, User-Agent, Math JS).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "platform/profile.h"
+#include "util/hash.h"
+#include "webaudio/engine_config.h"
+
+namespace wafp::fingerprint {
+
+enum class VectorId {
+  kDc,
+  kFft,
+  kHybrid,
+  kCustomSignal,
+  kMergedSignals,
+  kAm,
+  kFm,
+  kCanvas,
+  kFonts,
+  kUserAgent,
+  kMathJs,
+  // Extension vectors beyond the paper (its §5 future work asks about
+  // "other potential factors"): two more audio graphs harvesting node types
+  // the seven study vectors never touch.
+  kFilterSweep,  // BiquadFilterNode response + filtered audio
+  kDistortion,   // WaveShaperNode with 4x oversampling
+};
+
+[[nodiscard]] std::string_view to_string(VectorId id);
+
+/// The seven Web Audio vectors, in the paper's table order.
+[[nodiscard]] std::span<const VectorId> audio_vector_ids();
+
+/// The post-paper extension vectors (see extension_vectors.cc).
+[[nodiscard]] std::span<const VectorId> extension_vector_ids();
+
+/// One Web Audio fingerprinting vector: builds its audio graph on a
+/// platform-configured OfflineAudioContext, renders, and hashes the
+/// characteristic outputs.
+class AudioFingerprintVector {
+ public:
+  virtual ~AudioFingerprintVector() = default;
+
+  [[nodiscard]] virtual VectorId id() const = 0;
+  [[nodiscard]] std::string_view name() const { return to_string(id()); }
+
+  /// Relative sensitivity of this vector to render-timing perturbations
+  /// (paper Table 1: DC never wavers; modulation vectors waver most, which
+  /// the authors attribute to heavier render loads). Scales the per-user
+  /// flakiness when the study harness draws each iteration's jitter.
+  [[nodiscard]] virtual double jitter_susceptibility() const = 0;
+
+  /// Render the vector's graph on the given platform with the given jitter
+  /// state and return the fingerprint digest. Deterministic in
+  /// (profile.audio, jitter).
+  [[nodiscard]] virtual util::Digest run(
+      const platform::PlatformProfile& profile,
+      const webaudio::RenderJitter& jitter) const = 0;
+};
+
+/// Registry lookup (objects are stateless singletons).
+[[nodiscard]] const AudioFingerprintVector& audio_vector(VectorId id);
+
+/// Non-audio vectors share this entry point: digest from the profile alone.
+[[nodiscard]] util::Digest run_static_vector(
+    VectorId id, const platform::PlatformProfile& profile);
+
+/// True for the four non-audio vectors.
+[[nodiscard]] constexpr bool is_static_vector(VectorId id) {
+  return id == VectorId::kCanvas || id == VectorId::kFonts ||
+         id == VectorId::kUserAgent || id == VectorId::kMathJs;
+}
+
+}  // namespace wafp::fingerprint

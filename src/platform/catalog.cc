@@ -1,0 +1,560 @@
+#include "platform/catalog.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "util/hash.h"
+
+namespace wafp::platform {
+namespace {
+
+using util::CategoricalSampler;
+using util::Rng;
+
+// ---------------------------------------------------------------------------
+// Attribute pools. Values are period-appropriate (the study ran March-May
+// 2021); exact strings only matter for UA/Canvas diversity, not semantics.
+// ---------------------------------------------------------------------------
+
+constexpr std::array kChromeVersions = {
+    "90.0.4430.93",  "90.0.4430.85",  "89.0.4389.114", "89.0.4389.90",
+    "89.0.4389.82",  "90.0.4430.72",  "88.0.4324.190", "88.0.4324.150",
+    "88.0.4324.104", "87.0.4280.141", "87.0.4280.88",  "86.0.4240.198",
+    "90.0.4430.91",  "89.0.4389.105", "88.0.4324.182", "87.0.4280.66",
+    "86.0.4240.111", "85.0.4183.121", "84.0.4147.135", "83.0.4103.116",
+    "81.0.4044.138", "80.0.3987.163", "90.0.4430.66",  "89.0.4389.72",
+};
+
+constexpr std::array kLegacyChromeVersions = {
+    "79.0.3945.130", "78.0.3904.108", "77.0.3865.120", "76.0.3809.132",
+    "75.0.3770.142", "74.0.3729.169", "72.0.3626.121", "70.0.3538.110",
+    "68.0.3440.106", "65.0.3325.181", "63.0.3239.132", "60.0.3112.113",
+    "55.0.2883.87",  "49.0.2623.112",
+};
+
+constexpr std::array kFirefoxVersions = {
+    "87.0", "86.0", "88.0", "85.0", "78.0", "84.0",
+    "86.0.1", "87.0.1", "82.0", "68.0",
+};
+
+constexpr std::array kSamsungVersions = {"13.2", "14.0", "12.1", "13.0", "11.2"};
+constexpr std::array kSilkVersions = {"86.2.8", "85.3.6", "84.1.9"};
+
+constexpr std::array kWindowsVersions = {"10.0", "6.1", "6.3"};
+constexpr std::array kWindowsVersionWeights = {0.86, 0.08, 0.06};
+
+constexpr std::array kMacVersions = {"10_15_7", "11_2_3", "11_3_1", "10_14_6",
+                                     "11_4"};
+constexpr std::array kMacVersionWeights = {0.40, 0.25, 0.18, 0.09, 0.08};
+
+constexpr std::array kAndroidVersions = {"11", "10", "9", "8.1.0", "7.0"};
+constexpr std::array kAndroidVersionWeights = {0.28, 0.36, 0.20, 0.10, 0.06};
+
+constexpr std::array kAndroidDevices = {
+    "SM-G973F",        "SM-A515F",      "SM-G991B",     "SM-A217F",
+    "Redmi Note 8 Pro", "Redmi Note 9S", "M2102J20SG",   "Pixel 4a",
+    "Pixel 5",         "moto g(8) power", "ONEPLUS A6013", "CPH2113",
+    "SM-N975F",        "SM-A705FN",     "vivo 1904",    "RMX2193",
+    "KFMUWI",          "KFTRWI",        "SM-T510",      "LM-K500",
+    "HUAWEI P30",      "POCO X3",       "SM-M315F",     "Nokia 5.4",
+};
+
+constexpr std::array kWindowsGpus = {
+    "ANGLE (Intel(R) UHD Graphics 620 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) HD Graphics 520 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce GTX 1050 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce GTX 1060 6GB Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) UHD Graphics 630 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (AMD Radeon(TM) Vega 8 Graphics Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce RTX 2060 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) HD Graphics 4000 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (AMD Radeon RX 580 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) HD Graphics 530 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce GTX 1650 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) HD Graphics 620 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce MX150 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (AMD Radeon(TM) R5 Graphics Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce GT 710 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) Iris(R) Xe Graphics Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce RTX 3070 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (AMD Radeon RX 5700 XT Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (Intel(R) HD Graphics 3000 Direct3D9Ex vs_3_0 ps_3_0)",
+    "ANGLE (NVIDIA GeForce GTX 970 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (NVIDIA GeForce GTX 1080 Direct3D11 vs_5_0 ps_5_0)",
+    "ANGLE (AMD Radeon(TM) Graphics Direct3D11 vs_5_0 ps_5_0)",
+};
+
+constexpr std::array kMacGpus = {
+    "Intel Iris Plus Graphics 655",
+    "Apple M1",
+    "Intel UHD Graphics 630",
+    "AMD Radeon Pro 5300M",
+    "Intel Iris Plus Graphics 640",
+    "AMD Radeon Pro 560X",
+    "Intel HD Graphics 6000",
+    "Apple M1 (8-core GPU)",
+};
+
+constexpr std::array kAndroidGpus = {
+    "Adreno (TM) 640",  "Adreno (TM) 618", "Mali-G72 MP3",  "Adreno (TM) 612",
+    "Mali-G76 MC4",     "Adreno (TM) 650", "Mali-G52 MC2",  "Adreno (TM) 506",
+    "Mali-T830",        "Adreno (TM) 530", "PowerVR GE8320", "Mali-G77 MC9",
+    "Adreno (TM) 610",  "Mali-G71 MP2",   "Adreno (TM) 540", "PowerVR GE8100",
+    "Adreno (TM) 630",  "Mali-G57 MC3",
+};
+
+constexpr std::array kLinuxGpus = {
+    "Mesa Intel(R) UHD Graphics 620 (KBL GT2)",
+    "Mesa Intel(R) HD Graphics 520 (SKL GT2)",
+    "Mesa DRI Intel(R) Haswell Mobile",
+    "NVIDIA GeForce GTX 1050/PCIe/SSE2",
+    "AMD RENOIR (DRM 3.40.0)",
+    "Mesa Intel(R) Xe Graphics (TGL GT2)",
+    "llvmpipe (LLVM 11.0.0, 256 bits)",
+    "NVIDIA GeForce GTX 1650/PCIe/SSE2",
+    "AMD Radeon RX 570 Series",
+};
+
+constexpr std::array kTopCountries = {"US", "IN", "BR", "IT"};
+constexpr std::array kTopCountryWeights = {0.30, 0.20, 0.085, 0.075};
+constexpr std::array kTailCountries = {
+    "GB", "CA", "DE", "FR", "ES", "PT", "MX", "AR", "CO", "CL", "PE", "VE",
+    "NL", "BE", "PL", "RO", "GR", "TR", "RU", "UA", "RS", "HU", "CZ", "SE",
+    "NO", "FI", "DK", "IE", "AU", "NZ", "JP", "KR", "PH", "ID", "MY", "SG",
+    "TH", "VN", "BD", "PK", "LK", "NP", "AE", "SA", "IL", "EG", "NG", "KE",
+    "ZA", "MA", "GH", "TN", "JM",
+};
+
+/// Per-OS browser mix; Firefox marginal lands near the paper's 9.6%.
+CategoricalSampler browser_sampler(OsFamily os) {
+  switch (os) {
+    case OsFamily::kWindows: {
+      constexpr std::array w = {0.72, 0.13, 0.092, 0.043, 0.015};
+      return CategoricalSampler(w);
+    }
+    case OsFamily::kMacOs: {
+      constexpr std::array w = {0.80, 0.03, 0.13, 0.04, 0.0};
+      return CategoricalSampler(w);
+    }
+    case OsFamily::kAndroid: {
+      constexpr std::array w = {0.73, 0.0, 0.04, 0.02, 0.0, 0.19, 0.02};
+      return CategoricalSampler(w);
+    }
+    case OsFamily::kLinux: {
+      constexpr std::array w = {0.73, 0.0, 0.27};
+      return CategoricalSampler(w);
+    }
+  }
+  constexpr std::array w = {1.0};
+  return CategoricalSampler(w);
+}
+
+BrowserFamily browser_from_index(OsFamily os, std::size_t idx) {
+  // Index layout must match browser_sampler's weight ordering.
+  static constexpr std::array<BrowserFamily, 7> kOrder = {
+      BrowserFamily::kChrome,          BrowserFamily::kEdge,
+      BrowserFamily::kFirefox,         BrowserFamily::kOpera,
+      BrowserFamily::kYandex,          BrowserFamily::kSamsungInternet,
+      BrowserFamily::kSilk,
+  };
+  (void)os;
+  return kOrder[idx];
+}
+
+}  // namespace
+
+DeviceCatalog::DeviceCatalog(CatalogTuning tuning)
+    : tuning_(tuning),
+      version_zipf_(kChromeVersions.size(), tuning.version_zipf_exponent),
+      font_zipf_(tuning.font_pool_size, tuning.font_zipf_exponent),
+      country_tail_zipf_(kTailCountries.size(), 1.1) {}
+
+PlatformProfile DeviceCatalog::sample_profile(Rng& rng) const {
+  PlatformProfile p;
+  sample_identity(p, rng);
+
+  // Out-of-date builds are far more common on Android (OEM builds lag
+  // badly) than on auto-updating desktop Chrome — this is the source of
+  // the paper's long tail of rare fingerprints while Windows/Chrome stays
+  // a single DC class (Table 5).
+  double legacy_rate = tuning_.legacy_build_rate;
+  switch (p.os) {
+    case OsFamily::kWindows: legacy_rate *= 0.35; break;
+    case OsFamily::kMacOs: legacy_rate *= 2.0; break;
+    case OsFamily::kAndroid: legacy_rate *= 5.0; break;
+    case OsFamily::kLinux: legacy_rate *= 1.8; break;
+  }
+  const bool legacy =
+      rng.next_bool(legacy_rate) && p.engine == BrowserEngine::kBlink;
+  std::size_t version_index = 0;
+  // Browser version string.
+  switch (p.browser) {
+    case BrowserFamily::kFirefox:
+      version_index = std::min<std::size_t>(
+          version_zipf_.sample(rng), kFirefoxVersions.size() - 1);
+      p.browser_version = kFirefoxVersions[version_index];
+      break;
+    case BrowserFamily::kSamsungInternet:
+      version_index = rng.next_below(kSamsungVersions.size());
+      p.browser_version = kSamsungVersions[version_index];
+      break;
+    case BrowserFamily::kSilk:
+      version_index = rng.next_below(kSilkVersions.size());
+      p.browser_version = kSilkVersions[version_index];
+      break;
+    default:
+      if (legacy) {
+        version_index = rng.next_below(kLegacyChromeVersions.size());
+        p.browser_version = kLegacyChromeVersions[version_index];
+      } else {
+        version_index = version_zipf_.sample(rng);
+        p.browser_version = kChromeVersions[version_index];
+      }
+      break;
+  }
+
+  assign_audio_stack(p, rng, legacy, version_index);
+  sample_graphics(p, rng);
+  sample_fonts(p, rng);
+  sample_fickleness(p, rng);
+  sample_country(p, rng);
+  return p;
+}
+
+void DeviceCatalog::sample_identity(PlatformProfile& p, Rng& rng) const {
+  constexpr std::array kOsWeights = {0.785, 0.094, 0.069, 0.052};
+  static const CategoricalSampler os_sampler{kOsWeights};
+  p.os = static_cast<OsFamily>(os_sampler.sample(rng));
+
+  const CategoricalSampler browsers = browser_sampler(p.os);
+  p.browser = browser_from_index(p.os, browsers.sample(rng));
+  p.engine = p.browser == BrowserFamily::kFirefox ? BrowserEngine::kGecko
+                                                  : BrowserEngine::kBlink;
+
+  switch (p.os) {
+    case OsFamily::kWindows: {
+      p.arch = rng.next_bool(0.97) ? CpuArch::kX86_64 : CpuArch::kArm64;
+      static const CategoricalSampler vs{kWindowsVersionWeights};
+      p.os_version = kWindowsVersions[vs.sample(rng)];
+      break;
+    }
+    case OsFamily::kMacOs: {
+      p.arch = rng.next_bool(0.55) ? CpuArch::kArm64 : CpuArch::kX86_64;
+      static const CategoricalSampler vs{kMacVersionWeights};
+      p.os_version = kMacVersions[vs.sample(rng)];
+      break;
+    }
+    case OsFamily::kAndroid: {
+      p.arch = rng.next_bool(0.85) ? CpuArch::kArm64 : CpuArch::kArm32;
+      static const CategoricalSampler vs{kAndroidVersionWeights};
+      p.os_version = kAndroidVersions[vs.sample(rng)];
+      p.device_model = kAndroidDevices[util::ZipfSampler(
+          kAndroidDevices.size(), tuning_.device_zipf_exponent)
+                                           .sample(rng)];
+      break;
+    }
+    case OsFamily::kLinux: {
+      p.arch = CpuArch::kX86_64;
+      p.os_version = "x86_64";
+      break;
+    }
+  }
+}
+
+void DeviceCatalog::assign_audio_stack(PlatformProfile& p, Rng& rng,
+                                       bool legacy,
+                                       std::size_t version_index) const {
+  AudioStack& a = p.audio;
+
+  // --- Math library generation: engine + OS + OS release era. -------------
+  if (p.engine == BrowserEngine::kGecko) {
+    a.math = dsp::MathVariant::kFdlibm;
+  } else {
+    switch (p.os) {
+      case OsFamily::kWindows:
+        a.math = dsp::MathVariant::kPrecise;
+        break;
+      case OsFamily::kMacOs:
+        // Apple's libm generation tracks the OS release.
+        a.math = p.os_version.starts_with("10_")
+                     ? dsp::MathVariant::kFdlibmLegacy
+                     : dsp::MathVariant::kVectorized;
+        break;
+      case OsFamily::kAndroid:
+        // Bionic kernels trimmed on pre-10 releases.
+        a.math = (p.os_version == "9" || p.os_version == "8.1.0" ||
+                  p.os_version == "7.0")
+                     ? dsp::MathVariant::kFastPolyTrim
+                     : dsp::MathVariant::kFastPoly;
+        break;
+      case OsFamily::kLinux:
+        a.math = dsp::MathVariant::kTable;
+        break;
+    }
+  }
+
+  // --- FMA contraction: a build property of the browser binary. -----------
+  switch (p.os) {
+    case OsFamily::kWindows:
+      a.fma_contraction = false;  // baseline x86-64 build
+      break;
+    case OsFamily::kMacOs:
+    case OsFamily::kAndroid:
+      a.fma_contraction = p.arch == CpuArch::kArm64;
+      break;
+    case OsFamily::kLinux:
+      a.fma_contraction = true;
+      break;
+  }
+
+  // --- Denormal policy of the render thread. ------------------------------
+  switch (p.os) {
+    case OsFamily::kWindows:
+      a.denormal = dsp::DenormalPolicy::kFlushToZero;
+      break;
+    case OsFamily::kMacOs:
+      a.denormal = p.arch == CpuArch::kX86_64
+                       ? dsp::DenormalPolicy::kFlushToZero
+                       : dsp::DenormalPolicy::kPreserve;
+      break;
+    case OsFamily::kAndroid:
+      // Vendor kernels differ on arm64; arm32 builds never flush.
+      a.denormal = (p.arch == CpuArch::kArm64 && rng.next_bool(0.3))
+                       ? dsp::DenormalPolicy::kFlushToZero
+                       : dsp::DenormalPolicy::kPreserve;
+      break;
+    case OsFamily::kLinux:
+      a.denormal = dsp::DenormalPolicy::kFlushToZero;
+      break;
+  }
+
+  // --- SIMD tier of the user's CPU (runtime property, not a build
+  // property): real analyser FFTs dispatch on CPU features, so users with
+  // identical browsers diverge here. x86 spans baseline SSE2 up to AVX2;
+  // 64-bit ARM has two ASIMD generations; 32-bit ARM has one NEON path.
+  switch (p.arch) {
+    case CpuArch::kX86_64: {
+      // Heavily skewed: most consumer CPUs land on the common AVX2 path.
+      const double r = rng.next_double();
+      p.simd_tier = r < 0.02 ? 0 : (r < 0.07 ? 1 : (r < 0.93 ? 2 : 3));
+      break;
+    }
+    case CpuArch::kArm64:
+      p.simd_tier = rng.next_bool(0.88) ? 2 : 1;
+      break;
+    case CpuArch::kArm32:
+      p.simd_tier = 0;
+      break;
+  }
+
+  // --- FFT build: engine + runtime SIMD dispatch (analyser-visible only).
+  if (p.engine == BrowserEngine::kGecko) {
+    a.fft = dsp::FftVariant::kSplitRadix;
+    a.twiddle = p.simd_tier >= 2 ? dsp::TwiddleMode::kRecurrence
+                                 : dsp::TwiddleMode::kDirect;
+  } else if (p.browser == BrowserFamily::kSilk ||
+             p.browser == BrowserFamily::kYandex) {
+    a.fft = dsp::FftVariant::kBluestein;
+    a.twiddle = p.simd_tier >= 2 ? dsp::TwiddleMode::kRecurrence
+                                 : dsp::TwiddleMode::kDirect;
+  } else if (legacy) {
+    static constexpr std::array<dsp::FftVariant, 5> kLegacyFfts = {
+        dsp::FftVariant::kRadix2, dsp::FftVariant::kRadix4,
+        dsp::FftVariant::kBluestein, dsp::FftVariant::kRadix2,
+        dsp::FftVariant::kRadix4};
+    const std::size_t slot = rng.next_below(tuning_.legacy_fft_pool);
+    a.fft = kLegacyFfts[slot % kLegacyFfts.size()];
+    a.twiddle = (slot / kLegacyFfts.size()) % 2 == 0
+                    ? dsp::TwiddleMode::kRecurrence
+                    : dsp::TwiddleMode::kDirect;
+  } else {
+    // Mainstream Blink: the dispatched kernel per tier.
+    switch (p.simd_tier) {
+      case 0:
+        a.fft = dsp::FftVariant::kRadix2;
+        a.twiddle = dsp::TwiddleMode::kDirect;
+        break;
+      case 1:
+        a.fft = dsp::FftVariant::kRadix2;
+        a.twiddle = dsp::TwiddleMode::kRecurrence;
+        break;
+      case 2:
+        a.fft = dsp::FftVariant::kRadix4;
+        a.twiddle = dsp::TwiddleMode::kDirect;
+        break;
+      default:
+        a.fft = dsp::FftVariant::kRadix4;
+        a.twiddle = dsp::TwiddleMode::kRecurrence;
+        break;
+    }
+  }
+
+  // --- Compressor tuning: engine/vendor base + legacy-era perturbations. --
+  webaudio::CompressorTuning tuning;  // Blink default
+  if (p.engine == BrowserEngine::kGecko) {
+    tuning.makeup_exponent = 0.55;
+    tuning.release_zone2 = 1.25;
+    tuning.release_zone3 = 2.1;
+  } else if (p.browser == BrowserFamily::kSamsungInternet) {
+    tuning.release_zone4 = 3.24;
+  } else if (p.browser == BrowserFamily::kYandex) {
+    tuning.metering_release_seconds = 0.30;
+  } else if (p.browser == BrowserFamily::kSilk) {
+    tuning.pre_delay_seconds = 0.005;
+  } else if (p.browser == BrowserFamily::kEdge) {
+    tuning.release_zone3 = 2.01;  // vendor fork patch
+  } else if (p.browser == BrowserFamily::kOpera) {
+    tuning.metering_release_seconds = 0.318;
+  }
+  webaudio::AnalyserTuning analyser;  // spec defaults
+  if (p.engine == BrowserEngine::kGecko) {
+    analyser.smoothing = 0.79;  // Gecko's analyser pipeline differs
+  } else if (version_index >= 18 && !legacy) {
+    analyser.blackman_alpha = 0.158;  // older mainstream Blink era
+  }
+  if (legacy) {
+    // Each legacy slot perturbs a distinct combination of kernel constants,
+    // standing in for years of Chromium kernel revisions. Compressor
+    // perturbations are DC-visible; window/smoothing perturbations are
+    // analyser-visible; the zone-4 tweak only shows under deep compression
+    // (AM/FM vectors).
+    const std::size_t slot = rng.next_below(tuning_.legacy_tuning_pool);
+    tuning.release_zone2 += 0.004 * static_cast<double>(slot % 7);
+    tuning.metering_release_seconds +=
+        0.002 * static_cast<double>((slot / 7) % 4);
+    if (slot % 8 == 1) tuning.release_zone4 += 0.05;
+    analyser.blackman_alpha += 0.0004 * static_cast<double>(slot % 6);
+    analyser.smoothing += 0.0025 * static_cast<double>((slot / 6) % 4);
+  }
+  a.compressor = tuning;
+  a.analyser = analyser;
+
+  // --- JS-engine math (Math JS vector only; invisible to the audio
+  // path). V8 ships its own OS-independent kernels, so every
+  // Chromium-family browser lands on one Math JS fingerprint; SpiderMonkey
+  // mixes its own kernels with system functions, giving Windows/Firefox
+  // several builds (paper Table 5).
+  p.atan_build = 0;
+  if (p.engine == BrowserEngine::kBlink) {
+    p.js_math = dsp::MathVariant::kPrecise;  // V8's single implementation
+    if (rng.next_bool(0.02)) p.atan_build = 1;  // pre-standardization V8
+  } else {
+    p.js_math = dsp::MathVariant::kFdlibm;
+    if (p.os == OsFamily::kWindows) {
+      const double r = rng.next_double();
+      p.atan_build = r < 0.60 ? 0 : (r < 0.85 ? 1 : 2);
+    }
+  }
+}
+
+void DeviceCatalog::sample_graphics(PlatformProfile& p, Rng& rng) const {
+  const util::ZipfSampler gpu_zipf(
+      [&] {
+        switch (p.os) {
+          case OsFamily::kWindows: return kWindowsGpus.size();
+          case OsFamily::kMacOs: return kMacGpus.size();
+          case OsFamily::kAndroid: return kAndroidGpus.size();
+          case OsFamily::kLinux: return kLinuxGpus.size();
+        }
+        return std::size_t{1};
+      }(),
+      tuning_.gpu_zipf_exponent);
+  const std::size_t gpu_idx = gpu_zipf.sample(rng);
+  switch (p.os) {
+    case OsFamily::kWindows: p.gpu_renderer = kWindowsGpus[gpu_idx]; break;
+    case OsFamily::kMacOs: p.gpu_renderer = kMacGpus[gpu_idx]; break;
+    case OsFamily::kAndroid: p.gpu_renderer = kAndroidGpus[gpu_idx]; break;
+    case OsFamily::kLinux: p.gpu_renderer = kLinuxGpus[gpu_idx]; break;
+  }
+
+  static constexpr std::array<std::uint32_t, 5> kWinBuilds = {19042, 19041,
+                                                              18363, 17763,
+                                                              22000};
+  switch (p.os) {
+    case OsFamily::kWindows:
+      p.os_build = kWinBuilds[std::min<std::size_t>(
+          util::ZipfSampler(kWinBuilds.size(), 1.0).sample(rng),
+          kWinBuilds.size() - 1)];
+      break;
+    default:
+      p.os_build = static_cast<std::uint32_t>(
+          util::fnv1a64(std::string(to_string(p.os)) + p.os_version) % 97);
+      break;
+  }
+
+  // Driver AA/gamma quirk class: mostly determined by the GPU vendor, with
+  // a rare per-device oddity.
+  p.canvas_quirk = static_cast<std::uint32_t>(
+      util::fnv1a64(p.gpu_renderer) % 4);
+  if (rng.next_bool(0.01)) {
+    p.canvas_quirk = 4 + static_cast<std::uint32_t>(rng.next_below(6));
+  }
+}
+
+void DeviceCatalog::sample_fonts(PlatformProfile& p, Rng& rng) const {
+  // Base stack: OS family + version + browser family + major version (the
+  // browser ships and exposes its own font additions) + engine.
+  const std::string major =
+      p.browser_version.substr(0, p.browser_version.find('.'));
+  std::uint64_t h = util::fnv1a64(to_string(p.os));
+  h = util::fnv1a64_mix(h, util::fnv1a64(p.os_version));
+  h = util::fnv1a64_mix(h, util::fnv1a64(to_string(p.browser)));
+  h = util::fnv1a64_mix(h, util::fnv1a64(major));
+  p.font_profile = static_cast<std::uint32_t>(h % 100000);
+  if (p.engine == BrowserEngine::kGecko) p.font_profile += 1000000;
+
+  p.extra_fonts.clear();
+  if (rng.next_bool(tuning_.extra_font_rate)) {
+    std::size_t count = 1;
+    while (rng.next_bool(tuning_.extra_font_geometric_p) && count < 12) {
+      ++count;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      p.extra_fonts.push_back(
+          static_cast<std::uint16_t>(font_zipf_.sample(rng)));
+    }
+    std::sort(p.extra_fonts.begin(), p.extra_fonts.end());
+    p.extra_fonts.erase(
+        std::unique(p.extra_fonts.begin(), p.extra_fonts.end()),
+        p.extra_fonts.end());
+  }
+}
+
+void DeviceCatalog::sample_fickleness(PlatformProfile& p, Rng& rng) const {
+  Fickleness& f = p.fickle;
+  const double r = rng.next_double();
+  if (r < tuning_.stable_user_share) {
+    f.flakiness = 0.0;
+    f.jitter_share = tuning_.low_flaky_jitter_share;
+  } else if (r < tuning_.stable_user_share + tuning_.low_flaky_share) {
+    f.flakiness = tuning_.low_flaky_min +
+                  rng.next_double() *
+                      (tuning_.low_flaky_max - tuning_.low_flaky_min);
+    f.jitter_share = tuning_.low_flaky_jitter_share;
+  } else {
+    f.flakiness = tuning_.high_flaky_min +
+                  rng.next_double() *
+                      (tuning_.high_flaky_max - tuning_.high_flaky_min);
+    f.jitter_share = tuning_.high_flaky_jitter_share;
+  }
+  // Mobile stacks fall into more distinct timing states.
+  f.jitter_states = p.os == OsFamily::kAndroid
+                        ? 4 + static_cast<std::uint32_t>(rng.next_below(5))
+                        : 3 + static_cast<std::uint32_t>(rng.next_below(3));
+}
+
+void DeviceCatalog::sample_country(PlatformProfile& p, Rng& rng) const {
+  double top_total = 0.0;
+  for (const double w : kTopCountryWeights) top_total += w;
+  if (rng.next_double() < top_total) {
+    static const CategoricalSampler top{kTopCountryWeights};
+    p.country = kTopCountries[top.sample(rng)];
+  } else {
+    p.country = kTailCountries[country_tail_zipf_.sample(rng)];
+  }
+}
+
+}  // namespace wafp::platform

@@ -1,0 +1,84 @@
+// DeviceCatalog: samples PlatformProfiles whose attribute distributions
+// match the paper's participant pool (§2.3: 2093 users; Windows 78.5%,
+// macOS 9.4%, Android 6.9%, Linux 5.2%; Firefox 9.6% vs Chromium-family
+// 90.4%; 57 countries with US/India/Brazil/Italy heading the list).
+//
+// The catalog is hierarchical: OS -> browser -> CPU architecture ->
+// build-level audio knobs. Audio-stack assignments follow the reproduction
+// substitution documented in DESIGN.md: each (engine, OS, build era)
+// carries a specific math library generation, FFT build, FMA-contraction
+// flag, denormal policy, and compressor tuning, so the *number and relative
+// popularity* of audio-distinguishable stacks lands in the regime of the
+// paper's Tables 2, 4 and 5. A small share of users runs out-of-date
+// ("legacy") builds drawn from larger tuning pools — they supply the long
+// tail of rare and unique fingerprints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "platform/profile.h"
+#include "util/rng.h"
+
+namespace wafp::platform {
+
+/// The calibration levers. Defaults are tuned so a 2093-user population
+/// reproduces the shape of the paper's diversity results; EXPERIMENTS.md
+/// records the measured values.
+struct CatalogTuning {
+  /// Share of users on out-of-date browser builds (long-tail source).
+  double legacy_build_rate = 0.030;
+  /// Distinct legacy compressor/analyser tuning slots (tail classes).
+  std::size_t legacy_tuning_pool = 36;
+  /// Distinct legacy FFT builds (analyser-visible tail classes).
+  std::size_t legacy_fft_pool = 10;
+
+  /// Fickleness mixture (paper §3.1 / Fig. 3): a stable mass, a lightly
+  /// flaky mass (mostly recurring jitter states), and a small heavily
+  /// flaky tail (mostly one-off chaotic digests).
+  double stable_user_share = 0.33;
+  double low_flaky_share = 0.658;
+  double low_flaky_min = 0.008;
+  double low_flaky_max = 0.105;
+  double high_flaky_min = 0.50;
+  double high_flaky_max = 0.72;
+  double low_flaky_jitter_share = 0.88;
+  double high_flaky_jitter_share = 0.15;
+
+  /// Fonts vector: users with at least one user-installed font.
+  double extra_font_rate = 0.50;
+  double extra_font_geometric_p = 0.45;  // count = 1 + Geometric(p)
+  std::size_t font_pool_size = 280;
+  double font_zipf_exponent = 0.9;
+
+  /// UA/Canvas attribute skews.
+  double version_zipf_exponent = 1.5;
+  double gpu_zipf_exponent = 1.1;
+  double device_zipf_exponent = 1.2;
+};
+
+class DeviceCatalog {
+ public:
+  explicit DeviceCatalog(CatalogTuning tuning = {});
+
+  /// Sample one participant's device. Deterministic in the RNG stream.
+  [[nodiscard]] PlatformProfile sample_profile(util::Rng& rng) const;
+
+  [[nodiscard]] const CatalogTuning& tuning() const { return tuning_; }
+
+ private:
+  void sample_identity(PlatformProfile& p, util::Rng& rng) const;
+  void assign_audio_stack(PlatformProfile& p, util::Rng& rng,
+                          bool legacy, std::size_t version_index) const;
+  void sample_graphics(PlatformProfile& p, util::Rng& rng) const;
+  void sample_fonts(PlatformProfile& p, util::Rng& rng) const;
+  void sample_fickleness(PlatformProfile& p, util::Rng& rng) const;
+  void sample_country(PlatformProfile& p, util::Rng& rng) const;
+
+  CatalogTuning tuning_;
+  util::ZipfSampler version_zipf_;
+  util::ZipfSampler font_zipf_;
+  util::ZipfSampler country_tail_zipf_;
+};
+
+}  // namespace wafp::platform

@@ -1,0 +1,21 @@
+#include "platform/population.h"
+
+#include "util/rng.h"
+
+namespace wafp::platform {
+
+Population::Population(const DeviceCatalog& catalog, std::size_t size,
+                       std::uint64_t seed) {
+  users_.reserve(size);
+  util::Rng root(util::derive_seed(seed, "population"));
+  for (std::size_t i = 0; i < size; ++i) {
+    StudyUser user;
+    user.id = static_cast<std::uint32_t>(i);
+    util::Rng user_rng = root.fork(i);
+    user.profile = catalog.sample_profile(user_rng);
+    user.seed = util::derive_seed(seed, 0x757365720000ULL + i);  // "user"+i
+    users_.push_back(std::move(user));
+  }
+}
+
+}  // namespace wafp::platform

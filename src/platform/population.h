@@ -1,0 +1,38 @@
+// Population: the simulated participant pool — N users with deterministic
+// per-user RNG streams (so iteration-level perturbation draws reproduce
+// bit-for-bit across runs and across analysis binaries).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "platform/catalog.h"
+#include "platform/profile.h"
+
+namespace wafp::platform {
+
+struct StudyUser {
+  std::uint32_t id = 0;
+  PlatformProfile profile;
+  /// Root seed of this user's per-iteration randomness.
+  std::uint64_t seed = 0;
+};
+
+class Population {
+ public:
+  /// Sample `size` users from the catalog, deterministically in `seed`.
+  Population(const DeviceCatalog& catalog, std::size_t size,
+             std::uint64_t seed);
+
+  [[nodiscard]] std::span<const StudyUser> users() const { return users_; }
+  [[nodiscard]] std::size_t size() const { return users_.size(); }
+  [[nodiscard]] const StudyUser& user(std::size_t i) const {
+    return users_[i];
+  }
+
+ private:
+  std::vector<StudyUser> users_;
+};
+
+}  // namespace wafp::platform

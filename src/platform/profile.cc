@@ -1,0 +1,131 @@
+#include "platform/profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace wafp::platform {
+
+std::string_view to_string(OsFamily v) {
+  switch (v) {
+    case OsFamily::kWindows: return "Windows";
+    case OsFamily::kMacOs: return "macOS";
+    case OsFamily::kAndroid: return "Android";
+    case OsFamily::kLinux: return "Linux";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(BrowserFamily v) {
+  switch (v) {
+    case BrowserFamily::kChrome: return "Chrome";
+    case BrowserFamily::kFirefox: return "Firefox";
+    case BrowserFamily::kEdge: return "Edge";
+    case BrowserFamily::kOpera: return "Opera";
+    case BrowserFamily::kSamsungInternet: return "SamsungInternet";
+    case BrowserFamily::kSilk: return "Silk";
+    case BrowserFamily::kYandex: return "Yandex";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(BrowserEngine v) {
+  switch (v) {
+    case BrowserEngine::kBlink: return "Blink";
+    case BrowserEngine::kGecko: return "Gecko";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(CpuArch v) {
+  switch (v) {
+    case CpuArch::kX86_64: return "x86_64";
+    case CpuArch::kArm64: return "arm64";
+    case CpuArch::kArm32: return "arm32";
+  }
+  return "unknown";
+}
+
+std::string AudioStack::class_key() const {
+  std::ostringstream key;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g",
+                compressor.pre_delay_seconds,
+                compressor.metering_release_seconds, compressor.release_zone1,
+                compressor.release_zone2, compressor.release_zone3,
+                compressor.release_zone4, compressor.makeup_exponent,
+                compressor.knee_solver_tolerance, analyser.blackman_alpha,
+                analyser.smoothing);
+  key << dsp::to_string(math) << '|' << dsp::to_string(fft) << '|'
+      << dsp::to_string(twiddle) << '|'
+      << (denormal == dsp::DenormalPolicy::kFlushToZero ? "ftz" : "ieee")
+      << '|' << (fma_contraction ? "fma" : "mul+add") << '|' << buf;
+  return key.str();
+}
+
+std::string PlatformProfile::user_agent() const {
+  std::ostringstream ua;
+  ua << "Mozilla/5.0 (";
+  switch (os) {
+    case OsFamily::kWindows:
+      ua << "Windows NT " << os_version;
+      if (arch == CpuArch::kX86_64) ua << "; Win64; x64";
+      break;
+    case OsFamily::kMacOs:
+      ua << "Macintosh; Intel Mac OS X " << os_version;
+      break;
+    case OsFamily::kAndroid:
+      ua << "Linux; Android " << os_version;
+      if (!device_model.empty()) ua << "; " << device_model;
+      break;
+    case OsFamily::kLinux:
+      ua << "X11; Linux x86_64";
+      break;
+  }
+  ua << ") ";
+
+  if (engine == BrowserEngine::kGecko) {
+    ua << "Gecko/20100101 Firefox/" << browser_version;
+    return ua.str();
+  }
+
+  ua << "AppleWebKit/537.36 (KHTML, like Gecko) ";
+  switch (browser) {
+    case BrowserFamily::kChrome:
+      ua << "Chrome/" << browser_version;
+      break;
+    case BrowserFamily::kEdge:
+      ua << "Chrome/" << browser_version << " Edg/" << browser_version;
+      break;
+    case BrowserFamily::kOpera:
+      ua << "Chrome/" << browser_version << " OPR/" << browser_version;
+      break;
+    case BrowserFamily::kSamsungInternet:
+      ua << "SamsungBrowser/" << browser_version << " Chrome/87.0.4280.141";
+      break;
+    case BrowserFamily::kSilk:
+      ua << "Silk/" << browser_version << " like Chrome/86.0.4240.198";
+      break;
+    case BrowserFamily::kYandex:
+      ua << "Chrome/" << browser_version << " YaBrowser/21.3.0";
+      break;
+    case BrowserFamily::kFirefox:
+      break;  // unreachable: Firefox is Gecko
+  }
+  ua << " Safari/537.36";
+  if (os == OsFamily::kAndroid) ua << " Mobile";
+  return ua.str();
+}
+
+webaudio::EngineConfig PlatformProfile::make_engine_config() const {
+  webaudio::EngineConfig cfg;
+  cfg.math = dsp::make_math_library(audio.math);
+  cfg.fft = dsp::make_fft_engine(audio.fft, cfg.math, audio.twiddle);
+  cfg.denormal = audio.denormal;
+  cfg.fma_contraction = audio.fma_contraction;
+  cfg.compressor = audio.compressor;
+  cfg.analyser = audio.analyser;
+  return cfg;
+}
+
+}  // namespace wafp::platform

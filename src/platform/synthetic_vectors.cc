@@ -1,0 +1,108 @@
+#include "platform/synthetic_vectors.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace wafp::platform {
+namespace {
+
+/// Candidate list size for font probing (a superset of the lists real
+/// scripts carry).
+constexpr std::size_t kFontCandidates = 512;
+
+/// Whether the base stack identified by `font_profile` ships candidate `i`.
+/// Derived deterministically from the profile id; ~35% density like real
+/// platform font sets.
+bool base_stack_has_font(std::uint32_t font_profile, std::size_t i) {
+  const std::uint64_t h = util::fnv1a64_mix(
+      util::fnv1a64_mix(util::fnv1a64("base-font"), font_profile), i);
+  return (h % 100) < 35;
+}
+
+}  // namespace
+
+util::Digest user_agent_fingerprint(const PlatformProfile& profile) {
+  return util::sha256(profile.user_agent());
+}
+
+std::vector<bool> detect_fonts(const PlatformProfile& profile) {
+  std::vector<bool> detected(kFontCandidates, false);
+  for (std::size_t i = 0; i < kFontCandidates; ++i) {
+    detected[i] = base_stack_has_font(profile.font_profile, i);
+  }
+  for (const std::uint16_t extra : profile.extra_fonts) {
+    if (extra < kFontCandidates) detected[extra] = true;
+  }
+  return detected;
+}
+
+util::Digest fonts_fingerprint(const PlatformProfile& profile) {
+  const std::vector<bool> detected = detect_fonts(profile);
+  std::vector<std::uint8_t> mask((kFontCandidates + 7) / 8, 0);
+  for (std::size_t i = 0; i < detected.size(); ++i) {
+    if (detected[i]) mask[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return util::sha256(std::span<const std::uint8_t>(mask));
+}
+
+std::vector<double> math_js_battery(const PlatformProfile& profile) {
+  // The battery runs through the JS engine's math, not the audio libm.
+  const auto math = dsp::make_math_library(profile.js_math);
+  std::vector<double> values;
+  values.reserve(40);
+
+  // Transcendentals at the awkward arguments platform-probing scripts use.
+  constexpr std::array kTrigArgs = {1.0e10, 123456.789, 0.5, 1.0,
+                                    2.0 * std::numbers::pi * 1.0e5, -7.77};
+  for (const double x : kTrigArgs) {
+    values.push_back(math->sin(x));
+    values.push_back(math->cos(x));
+  }
+  constexpr std::array kExpArgs = {100.0, -45.5, 0.0001, 1.0, 709.0 / 2.0};
+  for (const double x : kExpArgs) {
+    values.push_back(math->exp(x));
+    values.push_back(math->expm1(x / 100.0));
+  }
+  constexpr std::array kLogArgs = {1.0e-5, 2.0, 10.0, 123456789.0};
+  for (const double x : kLogArgs) {
+    values.push_back(math->log(x));
+    values.push_back(math->log10(x));
+  }
+  values.push_back(math->pow(std::numbers::pi, 100.1));
+  values.push_back(math->pow(2.0, -100.3));
+  values.push_back(math->tanh(0.7));
+  values.push_back(math->tanh(3.3));
+  values.push_back(math->sqrt(2.0));
+
+  // atan through the build-specific identity — the knob that is visible to
+  // Math JS probing but not to the audio path (Table 5's asymmetry).
+  constexpr std::array kAtanArgs = {0.5, 2.2, 1.0e4, 0.0321};
+  for (const double x : kAtanArgs) {
+    double v = 0.0;
+    switch (profile.atan_build) {
+      case 0:
+        v = math->atan(x);
+        break;
+      case 1:
+        // pi/2 - atan(1/x) identity (valid for x > 0).
+        v = std::numbers::pi / 2.0 - math->atan(1.0 / x);
+        break;
+      default:
+        // Argument-halving identity.
+        v = 2.0 * math->atan(x / (1.0 + math->sqrt(1.0 + x * x)));
+        break;
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+util::Digest math_js_fingerprint(const PlatformProfile& profile) {
+  const std::vector<double> values = math_js_battery(profile);
+  util::Sha256 hasher;
+  hasher.update(std::span<const double>(values));
+  return hasher.finish();
+}
+
+}  // namespace wafp::platform

@@ -1,0 +1,35 @@
+// Non-audio fingerprinting vectors used by the paper for comparison
+// (Table 3) and for the additive-value analysis (§4): Canvas, JS-Font
+// enumeration, User-Agent, and the Math JS battery from the follow-up study
+// (Tables 4/5).
+#pragma once
+
+#include <vector>
+
+#include "platform/profile.h"
+#include "util/hash.h"
+
+namespace wafp::platform {
+
+/// SHA-256 of the User-Agent header string.
+[[nodiscard]] util::Digest user_agent_fingerprint(
+    const PlatformProfile& profile);
+
+/// JS font-enumeration fingerprint: probes a fixed candidate list against
+/// the profile's base font stack plus user-installed fonts, hashes the
+/// detection bitmask (what fingerprintjs's font module effectively does).
+[[nodiscard]] util::Digest fonts_fingerprint(const PlatformProfile& profile);
+
+/// The candidate-by-candidate detection mask (exposed for tests/examples).
+[[nodiscard]] std::vector<bool> detect_fonts(const PlatformProfile& profile);
+
+/// Math JS battery (Saito et al. style): a fixed set of transcendental
+/// evaluations through the platform's math library, plus atan computed via
+/// the profile's atan-build identity. Returns the raw values.
+[[nodiscard]] std::vector<double> math_js_battery(
+    const PlatformProfile& profile);
+
+/// SHA-256 of the battery values.
+[[nodiscard]] util::Digest math_js_fingerprint(const PlatformProfile& profile);
+
+}  // namespace wafp::platform

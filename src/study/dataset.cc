@@ -1,0 +1,216 @@
+#include "study/dataset.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fingerprint/collector.h"
+#include "util/csv.h"
+
+namespace wafp::study {
+namespace {
+
+constexpr std::array<fingerprint::VectorId, 4> kStaticVectors = {
+    fingerprint::VectorId::kCanvas,
+    fingerprint::VectorId::kFonts,
+    fingerprint::VectorId::kUserAgent,
+    fingerprint::VectorId::kMathJs,
+};
+
+util::Digest parse_digest_hex(const std::string& hex) {
+  util::Digest d;
+  if (hex.size() != 64) throw std::runtime_error("bad digest hex length");
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    throw std::runtime_error("bad digest hex digit");
+  };
+  for (std::size_t i = 0; i < 32; ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+  }
+  return d;
+}
+
+/// Key identifying everything a static vector can see (for memoization
+/// across users sharing the same visible attributes).
+std::string static_vector_key(fingerprint::VectorId id,
+                              const platform::PlatformProfile& p) {
+  std::string key(to_string(id));
+  switch (id) {
+    case fingerprint::VectorId::kCanvas:
+      key += p.gpu_renderer + '|' + std::to_string(p.canvas_quirk) + '|' +
+             std::to_string(p.font_profile) + '|' + p.browser_version + '|' +
+             std::string(to_string(p.engine)) + '|' +
+             std::to_string(p.os_build);
+      break;
+    case fingerprint::VectorId::kUserAgent:
+      key += p.user_agent();
+      break;
+    case fingerprint::VectorId::kMathJs:
+      key += std::string(dsp::to_string(p.js_math)) + '|' +
+             std::to_string(p.atan_build);
+      break;
+    case fingerprint::VectorId::kFonts:
+      // Extra fonts are per-user; memoization rarely helps. No key reuse.
+      return {};
+    default:
+      break;
+  }
+  return key;
+}
+
+}  // namespace
+
+Dataset::Dataset(const StudyConfig& config)
+    : config_(config),
+      catalog_(std::make_unique<platform::DeviceCatalog>(config.tuning)),
+      population_(std::make_unique<platform::Population>(
+          *catalog_, config.num_users, config.seed)) {
+  audio_.resize(config.num_users * 7 * config.iterations);
+  static_.resize(config.num_users * kStaticVectors.size());
+}
+
+std::size_t Dataset::audio_vector_index(fingerprint::VectorId id) {
+  const auto ids = fingerprint::audio_vector_ids();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == id) return i;
+  }
+  throw std::invalid_argument("not an audio vector");
+}
+
+std::size_t Dataset::static_vector_index(fingerprint::VectorId id) {
+  for (std::size_t i = 0; i < kStaticVectors.size(); ++i) {
+    if (kStaticVectors[i] == id) return i;
+  }
+  throw std::invalid_argument("not a static vector");
+}
+
+Dataset Dataset::collect(const StudyConfig& config) {
+  Dataset ds(config);
+  fingerprint::RenderCache cache;
+  fingerprint::FingerprintCollector collector(cache);
+  std::unordered_map<std::string, util::Digest> static_cache;
+
+  const auto audio_ids = fingerprint::audio_vector_ids();
+  for (std::size_t u = 0; u < ds.population_->size(); ++u) {
+    const platform::StudyUser& user = ds.population_->user(u);
+    for (std::size_t v = 0; v < audio_ids.size(); ++v) {
+      for (std::uint32_t it = 0; it < config.iterations; ++it) {
+        ds.audio_[(u * audio_ids.size() + v) * config.iterations + it] =
+            collector.collect(user, audio_ids[v], it);
+      }
+    }
+    for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
+      const std::string key = static_vector_key(kStaticVectors[s], user.profile);
+      if (key.empty()) {
+        ds.static_[u * kStaticVectors.size() + s] =
+            fingerprint::run_static_vector(kStaticVectors[s], user.profile);
+        continue;
+      }
+      const auto it = static_cache.find(key);
+      if (it != static_cache.end()) {
+        ds.static_[u * kStaticVectors.size() + s] = it->second;
+      } else {
+        const util::Digest d =
+            fingerprint::run_static_vector(kStaticVectors[s], user.profile);
+        static_cache.emplace(key, d);
+        ds.static_[u * kStaticVectors.size() + s] = d;
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset Dataset::load_or_collect(const StudyConfig& config,
+                                 const std::string& path) {
+  if (!path.empty() && std::filesystem::exists(path)) {
+    const auto rows = util::read_csv_file(path);
+    // Header row: config fingerprint. Accept only an exact match.
+    if (!rows.empty() && rows[0].size() >= 3 &&
+        rows[0][0] == std::to_string(config.num_users) &&
+        rows[0][1] == std::to_string(config.iterations) &&
+        rows[0][2] == std::to_string(config.seed)) {
+      Dataset ds(config);
+      const std::size_t expected =
+          ds.audio_.size() + ds.static_.size() + 1;
+      if (rows.size() == expected) {
+        std::size_t r = 1;
+        for (std::size_t i = 0; i < ds.audio_.size(); ++i, ++r) {
+          ds.audio_[i] = parse_digest_hex(rows[r].at(3));
+        }
+        for (std::size_t i = 0; i < ds.static_.size(); ++i, ++r) {
+          ds.static_[i] = parse_digest_hex(rows[r].at(3));
+        }
+        return ds;
+      }
+    }
+  }
+  Dataset ds = collect(config);
+  if (!path.empty()) ds.save_csv(path);
+  return ds;
+}
+
+const util::Digest& Dataset::audio_observation(std::size_t user,
+                                               fingerprint::VectorId id,
+                                               std::uint32_t iteration) const {
+  return audio_[(user * 7 + audio_vector_index(id)) * config_.iterations +
+                iteration];
+}
+
+std::span<const util::Digest> Dataset::audio_observations(
+    std::size_t user, fingerprint::VectorId id) const {
+  return std::span(audio_).subspan(
+      (user * 7 + audio_vector_index(id)) * config_.iterations,
+      config_.iterations);
+}
+
+const util::Digest& Dataset::static_observation(
+    std::size_t user, fingerprint::VectorId id) const {
+  return static_[user * kStaticVectors.size() + static_vector_index(id)];
+}
+
+bool Dataset::save_csv(const std::string& path) const {
+  util::CsvWriter csv;
+  csv.add_row({std::to_string(config_.num_users),
+               std::to_string(config_.iterations),
+               std::to_string(config_.seed)});
+  const auto audio_ids = fingerprint::audio_vector_ids();
+  for (std::size_t u = 0; u < num_users(); ++u) {
+    for (std::size_t v = 0; v < audio_ids.size(); ++v) {
+      for (std::uint32_t it = 0; it < config_.iterations; ++it) {
+        csv.add_row({std::to_string(u), std::string(to_string(audio_ids[v])),
+                     std::to_string(it),
+                     audio_[(u * 7 + v) * config_.iterations + it].hex()});
+      }
+    }
+  }
+  for (std::size_t u = 0; u < num_users(); ++u) {
+    for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
+      csv.add_row({std::to_string(u),
+                   std::string(to_string(kStaticVectors[s])), "0",
+                   static_[u * kStaticVectors.size() + s].hex()});
+    }
+  }
+  return csv.write_file(path);
+}
+
+bool Dataset::save_profiles_csv(const std::string& path) const {
+  util::CsvWriter csv;
+  csv.add_row({"user", "os", "os_version", "browser", "browser_version",
+               "engine", "arch", "device_model", "country", "simd_tier",
+               "flakiness", "user_agent", "audio_class_key"});
+  for (const platform::StudyUser& user : population_->users()) {
+    const platform::PlatformProfile& p = user.profile;
+    csv.add_row({std::to_string(user.id), std::string(to_string(p.os)),
+                 p.os_version, std::string(to_string(p.browser)),
+                 p.browser_version, std::string(to_string(p.engine)),
+                 std::string(to_string(p.arch)), p.device_model, p.country,
+                 std::to_string(p.simd_tier),
+                 std::to_string(p.fickle.flakiness), p.user_agent(),
+                 p.audio.class_key()});
+  }
+  return csv.write_file(path);
+}
+
+}  // namespace wafp::study

@@ -1,0 +1,328 @@
+#include "study/experiments.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/ami.h"
+
+namespace wafp::study {
+namespace {
+
+using fingerprint::VectorId;
+
+std::vector<std::uint32_t> all_user_ids(const Dataset& ds) {
+  std::vector<std::uint32_t> ids(ds.num_users());
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+}  // namespace
+
+collation::FingerprintGraph build_graph(const Dataset& ds, VectorId id,
+                                        std::uint32_t begin, std::uint32_t end,
+                                        std::span<const std::uint32_t> users) {
+  collation::FingerprintGraph graph;
+  const std::vector<std::uint32_t> everyone =
+      users.empty() ? all_user_ids(ds) : std::vector<std::uint32_t>();
+  const std::span<const std::uint32_t> scope =
+      users.empty() ? std::span<const std::uint32_t>(everyone) : users;
+  for (const std::uint32_t u : scope) {
+    for (std::uint32_t it = begin; it < end && it < ds.iterations(); ++it) {
+      graph.add_observation(u, ds.audio_observation(u, id, it));
+    }
+  }
+  return graph;
+}
+
+collation::Clustering collated_clustering(const Dataset& ds, VectorId id) {
+  const collation::FingerprintGraph graph =
+      build_graph(ds, id, 0, ds.iterations());
+  const std::vector<std::uint32_t> ids = all_user_ids(ds);
+  return graph.extract_clustering(ids);
+}
+
+std::vector<int> static_labels(const Dataset& ds, VectorId id) {
+  std::unordered_map<util::Digest, int> dense;
+  std::vector<int> labels;
+  labels.reserve(ds.num_users());
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    const util::Digest& d = ds.static_observation(u, id);
+    const auto [it, inserted] =
+        dense.try_emplace(d, static_cast<int>(dense.size()));
+    labels.push_back(it->second);
+  }
+  return labels;
+}
+
+std::vector<StabilityRow> table1_stability(const Dataset& ds) {
+  std::vector<StabilityRow> rows;
+  for (const VectorId id : fingerprint::audio_vector_ids()) {
+    StabilityRow row;
+    row.id = id;
+    row.min = std::numeric_limits<std::size_t>::max();
+    double sum = 0.0;
+    for (std::size_t u = 0; u < ds.num_users(); ++u) {
+      const auto observations = ds.audio_observations(u, id);
+      const std::unordered_set<util::Digest> distinct(observations.begin(),
+                                                      observations.end());
+      row.min = std::min(row.min, distinct.size());
+      row.max = std::max(row.max, distinct.size());
+      sum += static_cast<double>(distinct.size());
+    }
+    row.mean = sum / static_cast<double>(ds.num_users());
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<std::size_t> fig3_distribution(const Dataset& ds, VectorId id) {
+  std::vector<std::size_t> histogram(ds.iterations(), 0);
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    const auto observations = ds.audio_observations(u, id);
+    const std::unordered_set<util::Digest> distinct(observations.begin(),
+                                                    observations.end());
+    ++histogram[distinct.size() - 1];
+  }
+  while (histogram.size() > 1 && histogram.back() == 0) histogram.pop_back();
+  return histogram;
+}
+
+AgreementPoint cluster_agreement(const Dataset& ds, VectorId id,
+                                 std::size_t s) {
+  AgreementPoint point;
+  point.s = s;
+  const std::size_t subsets = ds.iterations() / s;
+  if (subsets < 2) {
+    point.mean_ami = 1.0;
+    point.min_ami = 1.0;
+    return point;
+  }
+  const std::vector<std::uint32_t> ids = all_user_ids(ds);
+  std::vector<collation::Clustering> clusterings;
+  clusterings.reserve(subsets);
+  for (std::size_t i = 0; i < subsets; ++i) {
+    const auto graph =
+        build_graph(ds, id, static_cast<std::uint32_t>(i * s),
+                    static_cast<std::uint32_t>((i + 1) * s));
+    clusterings.push_back(graph.extract_clustering(ids));
+  }
+  double total = 0.0;
+  double min_ami = 1.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < subsets; ++i) {
+    for (std::size_t j = i + 1; j < subsets; ++j) {
+      const double ami = analysis::adjusted_mutual_information(
+          clusterings[i].labels, clusterings[j].labels);
+      total += ami;
+      min_ami = std::min(min_ami, ami);
+      ++pairs;
+    }
+  }
+  point.mean_ami = total / static_cast<double>(pairs);
+  point.min_ami = min_ami;
+  return point;
+}
+
+double fingerprint_match_score(const Dataset& ds, VectorId id,
+                               std::size_t s) {
+  const std::size_t subsets = ds.iterations() / s;
+  if (subsets < 2) return 1.0;
+
+  const collation::FingerprintGraph training =
+      build_graph(ds, id, 0, static_cast<std::uint32_t>(s));
+
+  std::size_t probes = 0;
+  std::size_t successes = 0;
+  std::vector<util::Digest> probe;
+  for (std::size_t subset = 1; subset < subsets; ++subset) {
+    for (std::size_t u = 0; u < ds.num_users(); ++u) {
+      probe.clear();
+      for (std::size_t it = subset * s; it < (subset + 1) * s; ++it) {
+        probe.push_back(
+            ds.audio_observation(u, id, static_cast<std::uint32_t>(it)));
+      }
+      ++probes;
+      const auto matched = training.match(probe);
+      const auto expected =
+          training.user_component(static_cast<std::uint32_t>(u));
+      if (matched.has_value() && expected.has_value() &&
+          *matched == *expected) {
+        ++successes;
+      }
+    }
+  }
+  return static_cast<double>(successes) / static_cast<double>(probes);
+}
+
+analysis::DiversityStats vector_diversity(const Dataset& ds, VectorId id) {
+  if (fingerprint::is_static_vector(id)) {
+    return analysis::diversity_from_labels(static_labels(ds, id));
+  }
+  return analysis::diversity_from_labels(collated_clustering(ds, id).labels);
+}
+
+std::vector<int> combined_audio_labels(const Dataset& ds) {
+  std::vector<std::vector<int>> label_sets;
+  for (const VectorId id : fingerprint::audio_vector_ids()) {
+    label_sets.push_back(collated_clustering(ds, id).labels);
+  }
+  return analysis::combine_labels(label_sets);
+}
+
+analysis::DiversityStats combined_audio_diversity(const Dataset& ds) {
+  return analysis::diversity_from_labels(combined_audio_labels(ds));
+}
+
+std::vector<std::vector<double>> cross_vector_agreement(const Dataset& ds) {
+  const auto ids = fingerprint::audio_vector_ids();
+  std::vector<std::vector<int>> labels;
+  for (const VectorId id : ids) {
+    labels.push_back(collated_clustering(ds, id).labels);
+  }
+  std::vector<std::vector<double>> matrix(
+      ids.size(), std::vector<double>(ids.size(), 1.0));
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      const double ami =
+          analysis::adjusted_mutual_information(labels[i], labels[j]);
+      matrix[i][j] = ami;
+      matrix[j][i] = ami;
+    }
+  }
+  return matrix;
+}
+
+UaSpanResult ua_span_analysis(const Dataset& ds, VectorId audio_id) {
+  const collation::Clustering clustering = collated_clustering(ds, audio_id);
+
+  std::unordered_map<std::string, std::vector<std::size_t>> by_ua;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    by_ua[users[u].profile.user_agent()].push_back(u);
+  }
+
+  UaSpanResult result;
+  for (const auto& [ua, members] : by_ua) {
+    if (members.size() < 2) continue;
+    ++result.multi_user_uas;
+    result.multi_user_ua_users += members.size();
+    std::set<int> clusters;
+    for (const std::size_t u : members) {
+      clusters.insert(clustering.labels[u]);
+    }
+    if (clusters.size() > 1) {
+      ++result.spanning_uas;
+      result.spanning_ua_users += members.size();
+    }
+    if (clusters.size() >= 5) ++result.uas_with_5plus_clusters;
+    result.max_clusters_single_ua =
+        std::max(result.max_clusters_single_ua, clusters.size());
+  }
+  return result;
+}
+
+AdditiveResult additive_value(const Dataset& ds, VectorId base_id) {
+  const std::vector<int> base = static_labels(ds, base_id);
+  const std::vector<int> audio = combined_audio_labels(ds);
+  const std::vector<std::vector<int>> sets = {base, audio};
+  const std::vector<int> combined = analysis::combine_labels(sets);
+
+  AdditiveResult result;
+  result.base_entropy = analysis::diversity_from_labels(base).entropy;
+  result.combined_entropy = analysis::diversity_from_labels(combined).entropy;
+  result.percent_increase =
+      (result.combined_entropy - result.base_entropy) / result.base_entropy *
+      100.0;
+  return result;
+}
+
+std::vector<PlatformComparisonRow> platform_comparison(const Dataset& ds,
+                                                       std::size_t max_rows) {
+  const collation::Clustering dc = collated_clustering(ds, VectorId::kDc);
+  const std::vector<int> mathjs = static_labels(ds, VectorId::kMathJs);
+
+  struct Group {
+    std::set<int> dc_clusters;
+    std::set<int> mathjs_clusters;
+    std::size_t users = 0;
+  };
+  std::map<std::string, Group> groups;
+  const auto users = ds.users();
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const auto& p = users[u].profile;
+    const std::string key =
+        std::string(to_string(p.os)) + "/" + std::string(to_string(p.browser));
+    Group& g = groups[key];
+    ++g.users;
+    g.dc_clusters.insert(dc.labels[u]);
+    g.mathjs_clusters.insert(mathjs[u]);
+  }
+
+  std::vector<PlatformComparisonRow> rows;
+  for (const auto& [platform, g] : groups) {
+    rows.push_back({platform, g.users, g.dc_clusters.size(),
+                    g.mathjs_clusters.size()});
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.users > b.users;
+  });
+  if (rows.size() > max_rows) rows.resize(max_rows);
+  return rows;
+}
+
+std::vector<std::vector<std::string>> subset_rankings(const Dataset& ds,
+                                                      std::size_t parts) {
+  // Vectors ranked: the 7 audio vectors (collated within the subset) plus
+  // Canvas, Fonts, User-Agent.
+  std::vector<VectorId> ranked_ids(fingerprint::audio_vector_ids().begin(),
+                                   fingerprint::audio_vector_ids().end());
+  ranked_ids.push_back(VectorId::kCanvas);
+  ranked_ids.push_back(VectorId::kFonts);
+  ranked_ids.push_back(VectorId::kUserAgent);
+
+  auto ranking_for = [&](std::span<const std::uint32_t> subset_users)
+      -> std::vector<std::string> {
+    std::vector<std::pair<double, std::string>> scored;
+    for (const VectorId id : ranked_ids) {
+      std::vector<int> labels;
+      if (fingerprint::is_static_vector(id)) {
+        std::unordered_map<util::Digest, int> dense;
+        for (const std::uint32_t u : subset_users) {
+          const util::Digest& d = ds.static_observation(u, id);
+          const auto [it, inserted] =
+              dense.try_emplace(d, static_cast<int>(dense.size()));
+          labels.push_back(it->second);
+        }
+      } else {
+        const auto graph =
+            build_graph(ds, id, 0, ds.iterations(), subset_users);
+        labels = graph.extract_clustering(subset_users).labels;
+      }
+      const auto stats = analysis::diversity_from_labels(labels);
+      scored.emplace_back(stats.normalized, std::string(to_string(id)));
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<std::string> names;
+    for (const auto& [score, name] : scored) names.push_back(name);
+    return names;
+  };
+
+  std::vector<std::vector<std::string>> rankings;
+  const std::vector<std::uint32_t> everyone = all_user_ids(ds);
+  const std::size_t per_part = ds.num_users() / parts;
+  for (std::size_t part = 0; part < parts; ++part) {
+    const std::span<const std::uint32_t> subset(
+        everyone.data() + part * per_part, per_part);
+    rankings.push_back(ranking_for(subset));
+  }
+  rankings.push_back(ranking_for(everyone));
+  return rankings;
+}
+
+}  // namespace wafp::study

@@ -1,0 +1,291 @@
+#include "study/report.h"
+
+#include <sstream>
+
+#include "study/experiments.h"
+#include "util/table.h"
+
+namespace wafp::study {
+namespace {
+
+using fingerprint::VectorId;
+using util::TextTable;
+
+std::string vector_name(VectorId id) { return std::string(to_string(id)); }
+
+/// Paper values for side-by-side comparison (IMC '22, Tables 1-6).
+struct PaperDiversityRow {
+  VectorId id;
+  std::size_t distinct;
+  std::size_t unique;
+  double entropy;
+  double normalized;
+};
+
+constexpr PaperDiversityRow kPaperTable2[] = {
+    {VectorId::kDc, 59, 34, 1.935, 0.175},
+    {VectorId::kFft, 73, 42, 2.593, 0.235},
+    {VectorId::kHybrid, 84, 42, 2.692, 0.244},
+    {VectorId::kCustomSignal, 72, 41, 2.582, 0.234},
+    {VectorId::kMergedSignals, 87, 45, 2.767, 0.251},
+    {VectorId::kAm, 82, 45, 2.690, 0.244},
+    {VectorId::kFm, 82, 43, 2.717, 0.246},
+};
+
+constexpr PaperDiversityRow kPaperTable3[] = {
+    {VectorId::kCanvas, 352, 224, 6.109, 0.554},
+    {VectorId::kFonts, 690, 555, 7.146, 0.648},
+    {VectorId::kUserAgent, 427, 284, 6.466, 0.586},
+};
+
+constexpr PaperDiversityRow kPaperTable4[] = {
+    {VectorId::kDc, 16, 4, 1.301, 0.144},
+    {VectorId::kFft, 24, 7, 2.288, 0.253},
+    {VectorId::kHybrid, 25, 9, 2.240, 0.248},
+    {VectorId::kMathJs, 7, 2, 0.416, 0.046},
+};
+
+struct PaperStabilityRow {
+  VectorId id;
+  std::size_t max;
+  double mean;
+};
+
+constexpr PaperStabilityRow kPaperTable1[] = {
+    {VectorId::kDc, 1, 1.0},           {VectorId::kFft, 21, 1.81},
+    {VectorId::kHybrid, 18, 2.08},     {VectorId::kCustomSignal, 18, 2.08},
+    {VectorId::kMergedSignals, 21, 2.92}, {VectorId::kAm, 26, 4.28},
+    {VectorId::kFm, 24, 4.33},
+};
+
+void add_diversity_row(TextTable& table, const std::string& name,
+                       const analysis::DiversityStats& measured,
+                       const PaperDiversityRow* paper) {
+  table.add_row({name, TextTable::fmt(measured.distinct),
+                 TextTable::fmt(measured.unique),
+                 TextTable::fmt(measured.entropy),
+                 TextTable::fmt(measured.normalized),
+                 paper ? TextTable::fmt(paper->distinct) : "-",
+                 paper ? TextTable::fmt(paper->entropy) : "-",
+                 paper ? TextTable::fmt(paper->normalized) : "-"});
+}
+
+}  // namespace
+
+std::string report_table1(const Dataset& ds) {
+  TextTable table({"Vector", "Min", "Max", "Mean", "paper Max", "paper Mean"});
+  const auto rows = table1_stability(ds);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table.add_row({vector_name(rows[i].id), TextTable::fmt(rows[i].min),
+                   TextTable::fmt(rows[i].max),
+                   TextTable::fmt(rows[i].mean, 2),
+                   TextTable::fmt(kPaperTable1[i].max),
+                   TextTable::fmt(kPaperTable1[i].mean, 2)});
+  }
+  std::ostringstream out;
+  out << "Table 1: # distinct fingerprints across " << ds.iterations()
+      << " iterations per user (" << ds.num_users() << " users)\n"
+      << table.render();
+  return out.str();
+}
+
+std::string report_fig3(const Dataset& ds) {
+  const auto histogram = fig3_distribution(ds, VectorId::kHybrid);
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  double cumulative = 0.0;
+  std::ostringstream out;
+  out << "Fig. 3: distribution of distinct Hybrid (DC+FFT) fingerprints per "
+         "user ("
+      << ds.num_users() << " users; paper: 938 users with exactly 1)\n";
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    labels.push_back("n=" + std::to_string(i + 1));
+    values.push_back(static_cast<double>(histogram[i]));
+  }
+  out << util::render_bar_chart(labels, values);
+  out << "CDF: ";
+  for (std::size_t i = 0; i < histogram.size(); ++i) {
+    cumulative += static_cast<double>(histogram[i]) /
+                  static_cast<double>(ds.num_users());
+    out << TextTable::fmt(cumulative, 3) << (i + 1 < histogram.size() ? " " : "");
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string report_fig5(const Dataset& ds) {
+  std::ostringstream out;
+  out << "Fig. 5: average cluster-agreement AMI vs subset size s "
+         "(paper: min 0.986 at s=4, 0.997 at s=15)\n";
+  TextTable table({"s", "DC", "FFT", "Hybrid", "Custom", "Merged", "AM",
+                   "FM"});
+  for (std::size_t s = 1; s <= 15; ++s) {
+    std::vector<std::string> row{std::to_string(s)};
+    for (const VectorId id : fingerprint::audio_vector_ids()) {
+      row.push_back(TextTable::fmt(cluster_agreement(ds, id, s).mean_ami, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string report_table6(const Dataset& ds) {
+  std::ostringstream out;
+  out << "Table 6: fingerprint match scores (paper minimum: 0.9899 at "
+         "s=3)\n";
+  TextTable table({"Vector", "s=15", "s=10", "s=3"});
+  for (const VectorId id : fingerprint::audio_vector_ids()) {
+    table.add_row({vector_name(id),
+                   TextTable::fmt(fingerprint_match_score(ds, id, 15), 4),
+                   TextTable::fmt(fingerprint_match_score(ds, id, 10), 4),
+                   TextTable::fmt(fingerprint_match_score(ds, id, 3), 4)});
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string report_table2(const Dataset& ds) {
+  TextTable table({"Vector", "Distinct", "Unique", "Entropy", "e_norm",
+                   "paper Distinct", "paper Entropy", "paper e_norm"});
+  for (const auto& paper : kPaperTable2) {
+    add_diversity_row(table, vector_name(paper.id),
+                      vector_diversity(ds, paper.id), &paper);
+  }
+  const PaperDiversityRow paper_combined{VectorId::kDc, 95, 49, 2.803, 0.254};
+  add_diversity_row(table, "Combined", combined_audio_diversity(ds),
+                    &paper_combined);
+  std::ostringstream out;
+  out << "Table 2: diversity of audio fingerprints (" << ds.num_users()
+      << " users)\n"
+      << table.render();
+  return out.str();
+}
+
+std::string report_table3(const Dataset& ds) {
+  TextTable table({"Vector", "Distinct", "Unique", "Entropy", "e_norm",
+                   "paper Distinct", "paper Entropy", "paper e_norm"});
+  for (const auto& paper : kPaperTable3) {
+    add_diversity_row(table, vector_name(paper.id),
+                      vector_diversity(ds, paper.id), &paper);
+  }
+  std::ostringstream out;
+  out << "Table 3: diversity of other vectors (" << ds.num_users()
+      << " users)\n"
+      << table.render();
+  return out.str();
+}
+
+std::string report_fig9(const Dataset& ds) {
+  const auto matrix = cross_vector_agreement(ds);
+  std::vector<std::string> labels;
+  for (const VectorId id : fingerprint::audio_vector_ids()) {
+    labels.push_back(vector_name(id));
+  }
+  std::ostringstream out;
+  out << "Fig. 9: cluster-agreement AMI between audio vectors (paper: "
+         "FFT-family mutually ~1, DC lower)\n"
+      << util::render_heatmap(labels, matrix);
+  return out.str();
+}
+
+std::string report_ua_span(const Dataset& ds) {
+  std::ostringstream out;
+  out << "UA-span analysis (paper §4: 143 multi-user UAs covering 1950 "
+         "users; 90 span multiple clusters covering ~1610; one UA maps to "
+         "10 Merged-Signals clusters)\n";
+  TextTable table({"Audio vector", "multi-user UAs", "their users",
+                   "spanning UAs", "their users", "UAs w/ >=5 clusters",
+                   "max clusters"});
+  for (const VectorId id :
+       {VectorId::kFft, VectorId::kHybrid, VectorId::kMergedSignals}) {
+    const UaSpanResult r = ua_span_analysis(ds, id);
+    table.add_row({vector_name(id), TextTable::fmt(r.multi_user_uas),
+                   TextTable::fmt(r.multi_user_ua_users),
+                   TextTable::fmt(r.spanning_uas),
+                   TextTable::fmt(r.spanning_ua_users),
+                   TextTable::fmt(r.uas_with_5plus_clusters),
+                   TextTable::fmt(r.max_clusters_single_ua)});
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string report_additive_value(const Dataset& ds) {
+  std::ostringstream out;
+  out << "Additive value of audio fingerprinting (paper §4: Canvas 6.109 -> "
+         "6.699, +9.6%; UA +9.7%)\n";
+  TextTable table({"Base vector", "base entropy", "base+audio entropy",
+                   "increase %"});
+  for (const VectorId id : {VectorId::kCanvas, VectorId::kUserAgent}) {
+    const AdditiveResult r = additive_value(ds, id);
+    table.add_row({vector_name(id), TextTable::fmt(r.base_entropy),
+                   TextTable::fmt(r.combined_entropy),
+                   TextTable::fmt(r.percent_increase, 1)});
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string report_table4(const Dataset& followup) {
+  TextTable table({"Vector", "Distinct", "Unique", "Entropy", "e_norm",
+                   "paper Distinct", "paper Entropy", "paper e_norm"});
+  for (const auto& paper : kPaperTable4) {
+    add_diversity_row(table, vector_name(paper.id),
+                      vector_diversity(followup, paper.id), &paper);
+  }
+  std::ostringstream out;
+  out << "Table 4: audio vs Math JS fingerprinting (" << followup.num_users()
+      << " users)\n"
+      << table.render();
+  return out.str();
+}
+
+std::string report_table5(const Dataset& followup) {
+  std::ostringstream out;
+  out << "Table 5: distinct DC vs Math JS fingerprints per platform (paper: "
+         "Windows/Chrome 1 vs 1; macOS/Chrome 5 vs 1; Windows/Firefox 1 vs "
+         "3; Android/Chrome 5 vs 1)\n";
+  TextTable table({"Platform", "#Users", "DC", "Math JS"});
+  for (const auto& row : platform_comparison(followup)) {
+    table.add_row({row.platform, TextTable::fmt(row.users),
+                   TextTable::fmt(row.dc_distinct),
+                   TextTable::fmt(row.mathjs_distinct)});
+  }
+  out << table.render();
+  return out.str();
+}
+
+std::string report_subset_rankings(const Dataset& ds) {
+  const auto rankings = subset_rankings(ds, 4);
+  std::ostringstream out;
+  out << "§5 ranking stability: e_norm ranking per quarter-subset (paper: "
+         "identical across subsets)\n";
+  for (std::size_t i = 0; i < rankings.size(); ++i) {
+    out << (i + 1 < rankings.size() ? "  subset " + std::to_string(i + 1)
+                                    : "  full   ");
+    out << ": ";
+    for (std::size_t j = 0; j < rankings[i].size(); ++j) {
+      out << rankings[i][j] << (j + 1 < rankings[i].size() ? " > " : "");
+    }
+    out << "\n";
+  }
+  bool identical = true;
+  for (std::size_t i = 1; i < rankings.size(); ++i) {
+    if (rankings[i] != rankings[0]) identical = false;
+  }
+  out << "  rankings identical across subsets: " << (identical ? "yes" : "no")
+      << "\n";
+  return out.str();
+}
+
+Dataset main_dataset() {
+  return Dataset::load_or_collect(StudyConfig{}, "dataset_main.csv");
+}
+
+Dataset followup_dataset() {
+  return Dataset::load_or_collect(StudyConfig::followup(),
+                                  "dataset_followup.csv");
+}
+
+}  // namespace wafp::study

@@ -1,0 +1,32 @@
+// Report formatting: renders each of the paper's tables/figures from a
+// Dataset in the same rows/series layout, side by side with the paper's
+// published values where they are fixed constants. Shared by the benchmark
+// binaries and the run_full_study example.
+#pragma once
+
+#include <string>
+
+#include "study/dataset.h"
+
+namespace wafp::study {
+
+[[nodiscard]] std::string report_table1(const Dataset& ds);
+[[nodiscard]] std::string report_fig3(const Dataset& ds);
+[[nodiscard]] std::string report_fig5(const Dataset& ds);
+[[nodiscard]] std::string report_table6(const Dataset& ds);
+[[nodiscard]] std::string report_table2(const Dataset& ds);
+[[nodiscard]] std::string report_table3(const Dataset& ds);
+[[nodiscard]] std::string report_fig9(const Dataset& ds);
+[[nodiscard]] std::string report_ua_span(const Dataset& ds);
+[[nodiscard]] std::string report_additive_value(const Dataset& ds);
+[[nodiscard]] std::string report_table4(const Dataset& followup);
+[[nodiscard]] std::string report_table5(const Dataset& followup);
+[[nodiscard]] std::string report_subset_rankings(const Dataset& ds);
+
+/// Convenience: the standard dataset used by the bench binaries (loads
+/// `dataset_main.csv` from the working directory when present, collects and
+/// saves it otherwise).
+[[nodiscard]] Dataset main_dataset();
+[[nodiscard]] Dataset followup_dataset();
+
+}  // namespace wafp::study

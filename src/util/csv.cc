@@ -1,0 +1,105 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace wafp::util {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << (needs_quoting(row[i]) ? quote(row[i]) : row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << str();
+  return static_cast<bool>(file);
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"' && !cell_started) {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == ',') {
+      end_cell();
+    } else if (c == '\n') {
+      end_row();
+    } else if (c == '\r') {
+      // Swallow; the following '\n' (if any) ends the row.
+    } else {
+      cell += c;
+      cell_started = true;
+    }
+  }
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return {};
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace wafp::util

@@ -1,0 +1,35 @@
+// Minimal CSV reading/writing: the study harness persists raw fingerprint
+// datasets the way the paper's Firebase backend stored submissions, so the
+// analysis stages can be re-run without re-rendering audio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wafp::util {
+
+/// Writes rows of cells, quoting any cell containing a delimiter, quote, or
+/// newline (RFC 4180 style).
+class CsvWriter {
+ public:
+  void add_row(std::vector<std::string> cells);
+
+  /// Serialize all rows to one string.
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse CSV text (RFC 4180 quoting, LF or CRLF line endings).
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text);
+
+/// Read and parse a CSV file; empty result if the file cannot be read.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv_file(
+    const std::string& path);
+
+}  // namespace wafp::util

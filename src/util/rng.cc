@@ -1,0 +1,151 @@
+#include "util/rng.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/hash.h"
+
+namespace wafp::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) {
+  std::uint64_t mixed = fnv1a64_mix(fnv1a64(label), seed);
+  return splitmix64(mixed);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t mixed = fnv1a64_mix(seed ^ 0xa5a5a5a5a5a5a5a5ULL, index);
+  return splitmix64(mixed);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  // Seed the four xoshiro words from SplitMix64 as recommended by the
+  // xoshiro authors; guards against the all-zero state.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_gaussian() {
+  // Box-Muller; discard the second variate to keep the stream stateless.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  return Rng(derive_seed(seed_, label));
+}
+
+Rng Rng::fork(std::uint64_t index) const {
+  return Rng(derive_seed(seed_, index));
+}
+
+CategoricalSampler::CategoricalSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  assert(n > 0);
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const std::size_t i : large) prob_[i] = 1.0;
+  for (const std::size_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t CategoricalSampler::sample(Rng& rng) const {
+  const std::size_t column = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[column] ? column : alias_[column];
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace wafp::util

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random generation for the study simulator.
+//
+// Every stochastic decision in the reproduction (population sampling, jitter
+// states, chaotic glitches) is driven by named, seeded streams so that the
+// whole 2093-user study is bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace wafp::util {
+
+/// SplitMix64: used to derive stream seeds from a master seed plus a label.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Derive a child seed from (seed, label) deterministically.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::string_view label);
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index);
+
+/// xoshiro256** 1.0 — fast, high-quality, deterministic across platforms
+/// (unlike std::mt19937 distributions, whose results are unspecified).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic; no cached spare).
+  double next_gaussian();
+
+  /// Fork a deterministically-derived child stream.
+  [[nodiscard]] Rng fork(std::string_view label) const;
+  [[nodiscard]] Rng fork(std::uint64_t index) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+/// O(1) sampling from a fixed categorical distribution (Walker/Vose alias
+/// method). Used for drawing device archetypes from the weighted catalog.
+class CategoricalSampler {
+ public:
+  /// Weights need not be normalized; they must be non-negative with a
+  /// positive sum.
+  explicit CategoricalSampler(std::span<const double> weights);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::size_t> alias_;
+};
+
+/// Zipf(s) over ranks {1..n}; used to give attribute values (browser builds,
+/// GPU models, ...) the long-tailed popularity seen in real populations.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Returns a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wafp::util

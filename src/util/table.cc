@@ -1,0 +1,112 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wafp::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt(std::size_t v) { return std::to_string(v); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string render_bar_chart(std::span<const std::string> labels,
+                             std::span<const double> values,
+                             std::size_t max_width) {
+  double max_v = 0.0;
+  for (const double v : values) max_v = std::max(max_v, v);
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::round(values[i] / max_v * static_cast<double>(max_width)));
+    out << labels[i] << std::string(label_width - labels[i].size(), ' ')
+        << " | " << std::string(bar_len, '#') << " " << values[i] << "\n";
+  }
+  return out.str();
+}
+
+std::string render_series(std::span<const double> xs,
+                          std::span<const double> ys, std::size_t max_width) {
+  double max_v = 0.0;
+  for (const double v : ys) max_v = std::max(max_v, v);
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        std::round(ys[i] / max_v * static_cast<double>(max_width)));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%8.3f  %8.5f  ", xs[i], ys[i]);
+    out << buf << std::string(bar_len, '*') << "\n";
+  }
+  return out.str();
+}
+
+std::string render_heatmap(std::span<const std::string> labels,
+                           const std::vector<std::vector<double>>& m) {
+  static constexpr const char* kShades[] = {" ", ".", ":", "-", "=", "+",
+                                            "*", "#", "%", "@"};
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+
+  std::ostringstream out;
+  for (std::size_t r = 0; r < m.size(); ++r) {
+    const std::string& label = r < labels.size() ? labels[r] : "";
+    out << label << std::string(label_width - label.size(), ' ') << " ";
+    for (const double v : m[r]) {
+      const double clamped = std::clamp(v, 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(std::round(clamped * 9.0));
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "[%s %.2f]", kShades[idx], v);
+      out << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wafp::util

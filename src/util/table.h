@@ -1,0 +1,48 @@
+// ASCII table and bar-chart rendering for the benchmark harness: every
+// table/figure of the paper is re-printed in the same row/series layout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wafp::util {
+
+/// A simple text table with a header row; columns are auto-sized.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::size_t v);
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal text bar chart: one row per (label, value), bar scaled to the
+/// maximum value. Used to re-plot the paper's figures in the terminal.
+[[nodiscard]] std::string render_bar_chart(
+    std::span<const std::string> labels, std::span<const double> values,
+    std::size_t max_width = 50);
+
+/// A (x, y) line series rendered as rows "x  y  <bar>"; good enough to
+/// eyeball the shape of Fig. 5-style curves.
+[[nodiscard]] std::string render_series(std::span<const double> xs,
+                                        std::span<const double> ys,
+                                        std::size_t max_width = 50);
+
+/// Render a square matrix as a heatmap with one shaded cell per entry
+/// (Fig. 9-style). Values are expected in [0, 1].
+[[nodiscard]] std::string render_heatmap(std::span<const std::string> labels,
+                                         const std::vector<std::vector<double>>& m);
+
+}  // namespace wafp::util

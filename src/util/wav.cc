@@ -1,0 +1,158 @@
+#include "util/wav.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+namespace wafp::util {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+bool valid(const WavData& data) {
+  if (data.channels.empty() || data.sample_rate == 0) return false;
+  const std::size_t frames = data.channels.front().size();
+  if (frames == 0) return false;
+  for (const auto& channel : data.channels) {
+    if (channel.size() != frames) return false;
+  }
+  return true;
+}
+
+bool write_wav(const std::string& path, const WavData& data,
+               bool float_format) {
+  if (!valid(data)) return false;
+  const auto channels = static_cast<std::uint16_t>(data.channels.size());
+  const std::size_t frames = data.channels.front().size();
+  const std::uint16_t bytes_per_sample = float_format ? 4 : 2;
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(frames) * channels * bytes_per_sample;
+
+  std::string out;
+  out.reserve(44 + data_bytes);
+  out += "RIFF";
+  put_u32(out, 36 + data_bytes);
+  out += "WAVE";
+  out += "fmt ";
+  put_u32(out, 16);
+  put_u16(out, float_format ? 3 : 1);  // IEEE float / PCM
+  put_u16(out, channels);
+  put_u32(out, data.sample_rate);
+  put_u32(out, data.sample_rate * channels * bytes_per_sample);  // byte rate
+  put_u16(out, static_cast<std::uint16_t>(channels * bytes_per_sample));
+  put_u16(out, static_cast<std::uint16_t>(bytes_per_sample * 8));
+  out += "data";
+  put_u32(out, data_bytes);
+
+  for (std::size_t frame = 0; frame < frames; ++frame) {
+    for (std::uint16_t c = 0; c < channels; ++c) {
+      const float sample = data.channels[c][frame];
+      if (float_format) {
+        char bytes[4];
+        std::memcpy(bytes, &sample, 4);
+        out.append(bytes, 4);
+      } else {
+        const float clamped = std::clamp(sample, -1.0f, 1.0f);
+        const auto pcm = static_cast<std::int16_t>(clamped * 32767.0f);
+        put_u16(out, static_cast<std::uint16_t>(pcm));
+      }
+    }
+  }
+
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  return static_cast<bool>(file);
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(in[offset + i]);
+  }
+  return v;
+}
+
+std::uint16_t get_u16(const std::string& in, std::size_t offset) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(in[offset]) |
+      (static_cast<std::uint8_t>(in[offset + 1]) << 8));
+}
+
+}  // namespace
+
+bool write_wav_f32(const std::string& path, const WavData& data) {
+  return write_wav(path, data, /*float_format=*/true);
+}
+
+bool write_wav_pcm16(const std::string& path, const WavData& data) {
+  return write_wav(path, data, /*float_format=*/false);
+}
+
+WavData read_wav(const std::string& path) {
+  WavData result;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return result;
+  std::string in((std::istreambuf_iterator<char>(file)),
+                 std::istreambuf_iterator<char>());
+  if (in.size() < 44 || in.compare(0, 4, "RIFF") != 0 ||
+      in.compare(8, 4, "WAVE") != 0) {
+    return result;
+  }
+
+  // Walk chunks for fmt and data.
+  std::uint16_t format = 0, channels = 0, bits = 0;
+  std::uint32_t sample_rate = 0;
+  std::size_t data_offset = 0, data_size = 0;
+  std::size_t cursor = 12;
+  while (cursor + 8 <= in.size()) {
+    const std::string id = in.substr(cursor, 4);
+    const std::uint32_t size = get_u32(in, cursor + 4);
+    if (id == "fmt " && cursor + 8 + 16 <= in.size()) {
+      format = get_u16(in, cursor + 8);
+      channels = get_u16(in, cursor + 10);
+      sample_rate = get_u32(in, cursor + 12);
+      bits = get_u16(in, cursor + 22);
+    } else if (id == "data") {
+      data_offset = cursor + 8;
+      data_size = size;
+    }
+    cursor += 8 + size + (size % 2);
+  }
+  if (channels == 0 || data_offset == 0 ||
+      data_offset + data_size > in.size()) {
+    return result;
+  }
+  const std::size_t bytes_per_sample = bits / 8;
+  if (!((format == 1 && bits == 16) || (format == 3 && bits == 32))) {
+    return result;
+  }
+  const std::size_t frames = data_size / (channels * bytes_per_sample);
+
+  result.sample_rate = sample_rate;
+  result.channels.assign(channels, std::vector<float>(frames));
+  std::size_t pos = data_offset;
+  for (std::size_t frame = 0; frame < frames; ++frame) {
+    for (std::uint16_t c = 0; c < channels; ++c) {
+      if (format == 3) {
+        float v = 0.0f;
+        std::memcpy(&v, in.data() + pos, 4);
+        result.channels[c][frame] = v;
+      } else {
+        const auto pcm = static_cast<std::int16_t>(get_u16(in, pos));
+        result.channels[c][frame] = static_cast<float>(pcm) / 32767.0f;
+      }
+      pos += bytes_per_sample;
+    }
+  }
+  return result;
+}
+
+}  // namespace wafp::util

@@ -1,0 +1,29 @@
+// Minimal RIFF/WAVE writer and reader (PCM16 and IEEE-float32), so rendered
+// fingerprint signals can be exported for inspection in any audio tool and
+// reference buffers can be loaded in tests/examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wafp::util {
+
+struct WavData {
+  std::uint32_t sample_rate = 44100;
+  /// One vector per channel, equal lengths.
+  std::vector<std::vector<float>> channels;
+};
+
+/// Write 32-bit IEEE-float WAV (format 3). Returns false on I/O failure or
+/// empty/ragged channel data.
+bool write_wav_f32(const std::string& path, const WavData& data);
+
+/// Write 16-bit PCM WAV (format 1), clamping samples to [-1, 1].
+bool write_wav_pcm16(const std::string& path, const WavData& data);
+
+/// Read a WAV file written by either writer (PCM16 or float32, any channel
+/// count). Returns empty channels on failure.
+[[nodiscard]] WavData read_wav(const std::string& path);
+
+}  // namespace wafp::util

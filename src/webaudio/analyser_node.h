@@ -1,0 +1,66 @@
+// AnalyserNode: pass-through node exposing windowed-FFT frequency data —
+// the heart of the paper's FFT fingerprinting vector (Fig. 2) and, per
+// §3.1, the source of the fingerprints' apparent fickleness. The frequency
+// pipeline follows Blink: time-domain ring buffer -> Blackman window ->
+// FFT -> magnitude -> exponential smoothing -> dB conversion.
+//
+// The render jitter model (see engine_config.h) hooks in here and only
+// here: a nonzero jitter state skews the ring-buffer read offset, and a
+// chaos seed perturbs isolated output bins by one ULP. The time-domain
+// signal path is never touched, so DC-only fingerprints stay stable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+class AnalyserNode final : public AudioNode {
+ public:
+  explicit AnalyserNode(OfflineAudioContext& context,
+                        std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "AnalyserNode";
+  }
+
+  /// Power of two in [32, 32768]; default 2048.
+  void set_fft_size(std::size_t fft_size);
+  [[nodiscard]] std::size_t fft_size() const { return fft_size_; }
+  [[nodiscard]] std::size_t frequency_bin_count() const {
+    return fft_size_ / 2;
+  }
+
+  /// Smoothing factor in [0, 1); default 0.8 (Web Audio default).
+  void set_smoothing_time_constant(double tau);
+  [[nodiscard]] double smoothing_time_constant() const { return smoothing_; }
+
+  /// Write frequency_bin_count() dB magnitudes of the most recent fftSize
+  /// input frames into `out` (getFloatFrequencyData semantics).
+  void get_float_frequency_data(std::span<float> out);
+
+  /// Copy the most recent fftSize time-domain samples into `out`
+  /// (getFloatTimeDomainData semantics).
+  void get_float_time_domain_data(std::span<float> out) const;
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  /// Gather the latest fftSize ring samples, honouring the jitter skew.
+  void gather_block(std::span<double> block, std::size_t skew) const;
+
+  AudioBus input_scratch_;
+  std::size_t fft_size_ = 2048;
+  double smoothing_ = 0.8;
+  std::vector<float> ring_;
+  std::size_t write_index_ = 0;
+  std::vector<float> smoothed_magnitudes_;
+  std::vector<double> window_;        // cached per fftSize
+  std::size_t window_fft_size_ = 0;   // size the cache was built for
+  std::uint64_t capture_counter_ = 0; // distinguishes chaos draws per call
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,18 @@
+#include "webaudio/audio_buffer.h"
+
+#include <stdexcept>
+
+namespace wafp::webaudio {
+
+AudioBuffer::AudioBuffer(std::size_t channels, std::size_t length,
+                         double sample_rate)
+    : length_(length), sample_rate_(sample_rate) {
+  if (channels == 0) throw std::invalid_argument("AudioBuffer: 0 channels");
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("AudioBuffer: non-positive sample rate");
+  }
+  channels_.resize(channels);
+  for (auto& ch : channels_) ch.assign(length, 0.0f);
+}
+
+}  // namespace wafp::webaudio

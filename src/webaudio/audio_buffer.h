@@ -1,0 +1,36 @@
+// The result of an offline render: per-channel float32 sample arrays,
+// mirroring Web Audio's AudioBuffer. Fingerprint vectors hash these samples
+// bit-exactly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wafp::webaudio {
+
+class AudioBuffer {
+ public:
+  AudioBuffer(std::size_t channels, std::size_t length, double sample_rate);
+
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+  [[nodiscard]] double duration() const {
+    return static_cast<double>(length_) / sample_rate_;
+  }
+
+  [[nodiscard]] std::span<float> channel(std::size_t c) {
+    return channels_[c];
+  }
+  [[nodiscard]] std::span<const float> channel(std::size_t c) const {
+    return channels_[c];
+  }
+
+ private:
+  std::vector<std::vector<float>> channels_;
+  std::size_t length_;
+  double sample_rate_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,77 @@
+#include "webaudio/audio_bus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace wafp::webaudio {
+
+AudioBus::AudioBus(std::size_t channels, std::size_t frames)
+    : channels_(channels), frames_(frames) {
+  if (channels < 1 || channels > kMaxChannels) {
+    throw std::invalid_argument("AudioBus: channel count out of range");
+  }
+  for (std::size_t c = 0; c < channels_; ++c) data_[c].assign(frames_, 0.0f);
+}
+
+void AudioBus::set_channel_count(std::size_t channels) {
+  if (channels < 1 || channels > kMaxChannels) {
+    throw std::invalid_argument("AudioBus: channel count out of range");
+  }
+  for (std::size_t c = channels_; c < channels; ++c) {
+    data_[c].assign(frames_, 0.0f);
+  }
+  channels_ = channels;
+}
+
+void AudioBus::zero() {
+  for (std::size_t c = 0; c < channels_; ++c) {
+    std::fill(data_[c].begin(), data_[c].end(), 0.0f);
+  }
+}
+
+void AudioBus::sum_from(const AudioBus& source) {
+  assert(source.frames_ == frames_);
+  if (source.channels_ == channels_) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* in = source.channel(c);
+      float* out = channel(c);
+      for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i];
+    }
+    return;
+  }
+  if (source.channels_ == 1) {
+    // Mono -> N: replicate into every destination channel.
+    const float* in = source.channel(0);
+    for (std::size_t c = 0; c < channels_; ++c) {
+      float* out = channel(c);
+      for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i];
+    }
+    return;
+  }
+  if (channels_ == 1) {
+    // N -> mono: average.
+    float* out = channel(0);
+    const float scale = 1.0f / static_cast<float>(source.channels_);
+    for (std::size_t c = 0; c < source.channels_; ++c) {
+      const float* in = source.channel(c);
+      for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i] * scale;
+    }
+    return;
+  }
+  // General mismatch: index-wise, folding surplus source channels into the
+  // last destination channel.
+  for (std::size_t c = 0; c < source.channels_; ++c) {
+    const std::size_t dest = std::min(c, channels_ - 1);
+    const float* in = source.channel(c);
+    float* out = channel(dest);
+    for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i];
+  }
+}
+
+void AudioBus::copy_from(const AudioBus& source) {
+  zero();
+  sum_from(source);
+}
+
+}  // namespace wafp::webaudio

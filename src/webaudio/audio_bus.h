@@ -1,0 +1,51 @@
+// A fixed-size block of interleaved-by-channel float samples — the unit of
+// data flowing between nodes during one render quantum. Web Audio renders in
+// 128-frame quanta with float32 samples; we keep both choices since they are
+// visible in fingerprint hashes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace wafp::webaudio {
+
+/// Frames per render quantum (Web Audio spec fixed value).
+inline constexpr std::size_t kRenderQuantumFrames = 128;
+
+/// Maximum channel count the engine carries (enough for the paper's
+/// four-oscillator ChannelMerger graph).
+inline constexpr std::size_t kMaxChannels = 8;
+
+class AudioBus {
+ public:
+  explicit AudioBus(std::size_t channels = 1,
+                    std::size_t frames = kRenderQuantumFrames);
+
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+
+  [[nodiscard]] float* channel(std::size_t c) { return data_[c].data(); }
+  [[nodiscard]] const float* channel(std::size_t c) const {
+    return data_[c].data();
+  }
+
+  void set_channel_count(std::size_t channels);
+  void zero();
+
+  /// Mix `source` into this bus (accumulating), applying Web Audio
+  /// up/down-mix rules: mono -> N replicates; N -> mono averages; otherwise
+  /// channels are matched index-wise and surplus source channels fold into
+  /// the last destination channel.
+  void sum_from(const AudioBus& source);
+
+  /// Overwrite this bus with a copy of `source` (after channel mixing).
+  void copy_from(const AudioBus& source);
+
+ private:
+  std::size_t channels_;
+  std::size_t frames_;
+  std::array<std::vector<float>, kMaxChannels> data_;
+};
+
+}  // namespace wafp::webaudio

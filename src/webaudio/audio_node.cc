@@ -1,0 +1,46 @@
+#include "webaudio/audio_node.h"
+
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+AudioNode::AudioNode(OfflineAudioContext& context, std::size_t num_inputs,
+                     std::size_t output_channels)
+    : context_(context),
+      inputs_(num_inputs),
+      output_(output_channels, kRenderQuantumFrames) {}
+
+void AudioNode::connect(AudioNode& destination, std::size_t input) {
+  if (&destination.context_ != &context_) {
+    throw std::invalid_argument(
+        "AudioNode::connect: nodes belong to different contexts");
+  }
+  if (input >= destination.inputs_.size()) {
+    throw std::out_of_range("AudioNode::connect: invalid input index");
+  }
+  destination.inputs_[input].push_back(this);
+}
+
+void AudioNode::connect(AudioParam& param) { param.add_input(this); }
+
+std::span<AudioNode* const> AudioNode::input_sources(std::size_t input) const {
+  if (input >= inputs_.size()) {
+    throw std::out_of_range("AudioNode::input_sources: invalid input index");
+  }
+  return inputs_[input];
+}
+
+void AudioNode::mix_input(std::size_t input, AudioBus& scratch) const {
+  scratch.zero();
+  for (const AudioNode* source : inputs_[input]) {
+    scratch.sum_from(source->output());
+  }
+}
+
+double AudioNode::sample_rate() const { return context_.sample_rate(); }
+
+const dsp::MathLibrary& AudioNode::math() const { return context_.math(); }
+
+}  // namespace wafp::webaudio

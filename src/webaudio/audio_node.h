@@ -1,0 +1,70 @@
+// AudioNode: base class for all processing nodes and the graph's edge
+// bookkeeping. Nodes form the "Audio Graph" of the Web Audio API (§2 of the
+// paper); the offline context walks the graph once per 128-frame quantum.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "webaudio/audio_bus.h"
+#include "webaudio/audio_param.h"
+
+namespace wafp::webaudio {
+
+class OfflineAudioContext;
+
+class AudioNode {
+ public:
+  AudioNode(OfflineAudioContext& context, std::size_t num_inputs,
+            std::size_t output_channels);
+  virtual ~AudioNode() = default;
+
+  AudioNode(const AudioNode&) = delete;
+  AudioNode& operator=(const AudioNode&) = delete;
+
+  [[nodiscard]] virtual std::string_view node_name() const = 0;
+
+  /// Connect this node's output to `destination`'s input slot `input`.
+  /// Throws std::out_of_range for an invalid slot and std::invalid_argument
+  /// when the two nodes belong to different contexts.
+  void connect(AudioNode& destination, std::size_t input = 0);
+
+  /// Connect this node's output as an audio-rate modulation input of a
+  /// parameter (must belong to a node of the same context).
+  void connect(AudioParam& param);
+
+  [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
+  [[nodiscard]] std::span<AudioNode* const> input_sources(std::size_t input) const;
+
+  /// The node's output for the current quantum.
+  [[nodiscard]] const AudioBus& output() const { return output_; }
+
+  /// Parameters of this node (for graph traversal over modulation edges).
+  [[nodiscard]] virtual std::vector<AudioParam*> params() { return {}; }
+
+  /// Called once per quantum, after all upstream nodes. `start_frame` is the
+  /// absolute frame index of the quantum start, `frames` how many frames of
+  /// the quantum are within the render length.
+  virtual void process(std::size_t start_frame, std::size_t frames) = 0;
+
+  [[nodiscard]] OfflineAudioContext& context() { return context_; }
+  [[nodiscard]] const OfflineAudioContext& context() const { return context_; }
+
+ protected:
+  /// Sum all sources connected to input slot `input` into `scratch`
+  /// (resizing its channel count to this node's preference first).
+  void mix_input(std::size_t input, AudioBus& scratch) const;
+
+  [[nodiscard]] AudioBus& mutable_output() { return output_; }
+  [[nodiscard]] double sample_rate() const;
+  [[nodiscard]] const dsp::MathLibrary& math() const;
+
+ private:
+  OfflineAudioContext& context_;
+  std::vector<std::vector<AudioNode*>> inputs_;
+  AudioBus output_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,118 @@
+#include "webaudio/audio_param.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+AudioParam::AudioParam(std::string name, double default_value,
+                       double min_value, double max_value)
+    : name_(std::move(name)),
+      base_value_(default_value),
+      min_value_(min_value),
+      max_value_(max_value) {}
+
+void AudioParam::set_value(double v) { base_value_ = v; }
+
+void AudioParam::set_value_at_time(double value, double time) {
+  if (!events_.empty() && time < events_.back().time) {
+    throw std::invalid_argument("AudioParam: events must be non-decreasing");
+  }
+  events_.push_back({EventType::kSetValue, value, time});
+}
+
+void AudioParam::linear_ramp_to_value_at_time(double value, double end_time) {
+  if (!events_.empty() && end_time < events_.back().time) {
+    throw std::invalid_argument("AudioParam: events must be non-decreasing");
+  }
+  events_.push_back({EventType::kLinearRamp, value, end_time});
+}
+
+void AudioParam::exponential_ramp_to_value_at_time(double value,
+                                                   double end_time) {
+  if (value == 0.0) {
+    throw std::invalid_argument("AudioParam: exponential ramp target is 0");
+  }
+  if (!events_.empty() && end_time < events_.back().time) {
+    throw std::invalid_argument("AudioParam: events must be non-decreasing");
+  }
+  events_.push_back({EventType::kExponentialRamp, value, end_time});
+}
+
+void AudioParam::add_input(AudioNode* source) {
+  assert(source != nullptr);
+  inputs_.push_back(source);
+}
+
+double AudioParam::value_at_time(double time,
+                                 const dsp::MathLibrary& math) const {
+  if (events_.empty()) return base_value_;
+
+  // Value and time the timeline held before the first event.
+  double prev_value = base_value_;
+  double prev_time = 0.0;
+
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (time < e.time) {
+      switch (e.type) {
+        case EventType::kSetValue:
+          // Holds the previous value until the event fires.
+          return prev_value;
+        case EventType::kLinearRamp: {
+          if (e.time == prev_time) return e.value;
+          const double frac = (time - prev_time) / (e.time - prev_time);
+          return prev_value + (e.value - prev_value) * std::clamp(frac, 0.0, 1.0);
+        }
+        case EventType::kExponentialRamp: {
+          if (e.time == prev_time || prev_value == 0.0 ||
+              (prev_value < 0.0) != (e.value < 0.0)) {
+            return e.value;
+          }
+          const double frac = (time - prev_time) / (e.time - prev_time);
+          return prev_value *
+                 math.pow(e.value / prev_value, std::clamp(frac, 0.0, 1.0));
+        }
+      }
+    }
+    prev_value = e.value;
+    prev_time = e.time;
+  }
+  return prev_value;
+}
+
+void AudioParam::compute_values(std::span<float> out, double start_time,
+                                double sample_rate,
+                                const dsp::MathLibrary& math) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double t = start_time + static_cast<double>(i) / sample_rate;
+    out[i] = static_cast<float>(value_at_time(t, math));
+  }
+  // Audio-rate modulation: sum mono-mixed connected node outputs.
+  for (const AudioNode* source : inputs_) {
+    const AudioBus& bus = source->output();
+    if (bus.channels() == 1) {
+      const float* in = bus.channel(0);
+      for (std::size_t i = 0; i < out.size() && i < bus.frames(); ++i) {
+        out[i] += in[i];
+      }
+    } else {
+      const float scale = 1.0f / static_cast<float>(bus.channels());
+      for (std::size_t c = 0; c < bus.channels(); ++c) {
+        const float* in = bus.channel(c);
+        for (std::size_t i = 0; i < out.size() && i < bus.frames(); ++i) {
+          out[i] += in[i] * scale;
+        }
+      }
+    }
+  }
+  for (float& v : out) {
+    v = std::clamp(v, static_cast<float>(min_value_),
+                   static_cast<float>(max_value_));
+  }
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,72 @@
+// AudioParam: a named node parameter that supports both an automation
+// timeline (setValueAtTime / ramps) and audio-rate modulation via node
+// connections — the mechanism the paper's AM and FM vectors use (App. B:
+// an oscillator drives a GainNode's gain, or another oscillator's
+// frequency).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsp/math_library.h"
+
+namespace wafp::webaudio {
+
+class AudioNode;
+
+class AudioParam {
+ public:
+  AudioParam(std::string name, double default_value, double min_value,
+             double max_value);
+
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] double value() const { return base_value_; }
+  [[nodiscard]] double min_value() const { return min_value_; }
+  [[nodiscard]] double max_value() const { return max_value_; }
+
+  /// Set the static (un-automated) value.
+  void set_value(double v);
+
+  /// Automation timeline, Web Audio semantics. Events must be scheduled
+  /// with non-decreasing times; ramps interpolate from the previous event.
+  void set_value_at_time(double value, double time);
+  void linear_ramp_to_value_at_time(double value, double end_time);
+  /// Exponential ramp; target and origin must be non-zero and same-signed.
+  void exponential_ramp_to_value_at_time(double value, double end_time);
+
+  /// Audio-rate modulation input (used by AudioNode::connect(param)).
+  void add_input(AudioNode* source);
+  [[nodiscard]] std::span<AudioNode* const> inputs() const { return inputs_; }
+  [[nodiscard]] bool has_inputs() const { return !inputs_.empty(); }
+
+  /// Compute the clamped per-frame parameter values for a render quantum
+  /// starting at `start_time` seconds. Connected modulation inputs must
+  /// already have been processed for this quantum; their (mono-mixed)
+  /// outputs are summed onto the timeline value. Exponential ramps evaluate
+  /// through `math`, so automation curves inherit the platform's libm.
+  void compute_values(std::span<float> out, double start_time,
+                      double sample_rate, const dsp::MathLibrary& math) const;
+
+  /// Timeline value at one instant (no modulation inputs).
+  [[nodiscard]] double value_at_time(double time,
+                                     const dsp::MathLibrary& math) const;
+
+ private:
+  enum class EventType { kSetValue, kLinearRamp, kExponentialRamp };
+  struct Event {
+    EventType type;
+    double value;
+    double time;
+  };
+
+  std::string name_;
+  double base_value_;
+  double min_value_;
+  double max_value_;
+  std::vector<Event> events_;
+  std::vector<AudioNode*> inputs_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,227 @@
+#include "webaudio/biquad_filter_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/denormal.h"
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+std::string_view to_string(BiquadFilterType t) {
+  switch (t) {
+    case BiquadFilterType::kLowpass: return "lowpass";
+    case BiquadFilterType::kHighpass: return "highpass";
+    case BiquadFilterType::kBandpass: return "bandpass";
+    case BiquadFilterType::kLowshelf: return "lowshelf";
+    case BiquadFilterType::kHighshelf: return "highshelf";
+    case BiquadFilterType::kPeaking: return "peaking";
+    case BiquadFilterType::kNotch: return "notch";
+    case BiquadFilterType::kAllpass: return "allpass";
+  }
+  return "unknown";
+}
+
+BiquadFilterNode::BiquadFilterNode(OfflineAudioContext& context,
+                                   std::size_t channels)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      frequency_("frequency", 350.0, 0.0, context.sample_rate() / 2.0),
+      q_("Q", 1.0, -700.0, 1500.0),
+      gain_("gain", 0.0, -40.0, 40.0),
+      detune_("detune", 0.0, -153600.0, 153600.0),
+      input_scratch_(channels, kRenderQuantumFrames) {}
+
+void BiquadFilterNode::set_type(BiquadFilterType type) {
+  type_ = type;
+  coefficients_dirty_ = true;
+}
+
+void BiquadFilterNode::update_coefficients(double when_time) {
+  const auto& m = math();
+  const double f0 = frequency_.value_at_time(when_time, m);
+  const double q_value = q_.value_at_time(when_time, m);
+  const double gain_db = gain_.value_at_time(when_time, m);
+  const double detune = detune_.value_at_time(when_time, m);
+  if (!coefficients_dirty_ && f0 == cached_frequency_ &&
+      q_value == cached_q_ && gain_db == cached_gain_ &&
+      detune == cached_detune_) {
+    return;
+  }
+  cached_frequency_ = f0;
+  cached_q_ = q_value;
+  cached_gain_ = gain_db;
+  cached_detune_ = detune;
+  coefficients_dirty_ = false;
+
+  const double nyquist = sample_rate() / 2.0;
+  double frequency = f0;
+  if (detune != 0.0) frequency *= m.pow(2.0, detune / 1200.0);
+  // Normalized and clamped as the spec prescribes.
+  const double normalized = std::clamp(frequency / nyquist, 0.0, 1.0);
+  const double w0 = std::numbers::pi * normalized;
+  const double cos_w0 = m.cos(w0);
+  const double sin_w0 = m.sin(w0);
+
+  // A (shelf/peaking amplitude) per spec.
+  const double big_a = m.pow(10.0, gain_db / 40.0);
+
+  Coefficients c;
+  double a0 = 1.0;
+  switch (type_) {
+    case BiquadFilterType::kLowpass:
+    case BiquadFilterType::kHighpass: {
+      // Spec: Q in dB for these two types.
+      const double resonance = m.pow(10.0, q_value / 20.0);
+      const double alpha =
+          sin_w0 / (2.0 * std::max(resonance, 1.0e-8));
+      if (type_ == BiquadFilterType::kLowpass) {
+        c.b0 = (1.0 - cos_w0) / 2.0;
+        c.b1 = 1.0 - cos_w0;
+        c.b2 = (1.0 - cos_w0) / 2.0;
+      } else {
+        c.b0 = (1.0 + cos_w0) / 2.0;
+        c.b1 = -(1.0 + cos_w0);
+        c.b2 = (1.0 + cos_w0) / 2.0;
+      }
+      a0 = 1.0 + alpha;
+      c.a1 = -2.0 * cos_w0;
+      c.a2 = 1.0 - alpha;
+      break;
+    }
+    case BiquadFilterType::kBandpass: {
+      const double q_lin = std::max(q_value, 1.0e-4);
+      const double alpha = sin_w0 / (2.0 * q_lin);
+      c.b0 = alpha;
+      c.b1 = 0.0;
+      c.b2 = -alpha;
+      a0 = 1.0 + alpha;
+      c.a1 = -2.0 * cos_w0;
+      c.a2 = 1.0 - alpha;
+      break;
+    }
+    case BiquadFilterType::kNotch: {
+      const double q_lin = std::max(q_value, 1.0e-4);
+      const double alpha = sin_w0 / (2.0 * q_lin);
+      c.b0 = 1.0;
+      c.b1 = -2.0 * cos_w0;
+      c.b2 = 1.0;
+      a0 = 1.0 + alpha;
+      c.a1 = -2.0 * cos_w0;
+      c.a2 = 1.0 - alpha;
+      break;
+    }
+    case BiquadFilterType::kAllpass: {
+      const double q_lin = std::max(q_value, 1.0e-4);
+      const double alpha = sin_w0 / (2.0 * q_lin);
+      c.b0 = 1.0 - alpha;
+      c.b1 = -2.0 * cos_w0;
+      c.b2 = 1.0 + alpha;
+      a0 = 1.0 + alpha;
+      c.a1 = -2.0 * cos_w0;
+      c.a2 = 1.0 - alpha;
+      break;
+    }
+    case BiquadFilterType::kPeaking: {
+      const double q_lin = std::max(q_value, 1.0e-4);
+      const double alpha = sin_w0 / (2.0 * q_lin);
+      c.b0 = 1.0 + alpha * big_a;
+      c.b1 = -2.0 * cos_w0;
+      c.b2 = 1.0 - alpha * big_a;
+      a0 = 1.0 + alpha / big_a;
+      c.a1 = -2.0 * cos_w0;
+      c.a2 = 1.0 - alpha / big_a;
+      break;
+    }
+    case BiquadFilterType::kLowshelf:
+    case BiquadFilterType::kHighshelf: {
+      // Spec: shelf slope S = 1, Q ignored; the cookbook alpha reduces to
+      // sin(w0)/2 * sqrt(2).
+      const double alpha = sin_w0 / 2.0 * m.sqrt(2.0);
+      const double two_sqrt_a_alpha = 2.0 * m.sqrt(big_a) * alpha;
+      const double ap1 = big_a + 1.0;
+      const double am1 = big_a - 1.0;
+      if (type_ == BiquadFilterType::kLowshelf) {
+        c.b0 = big_a * (ap1 - am1 * cos_w0 + two_sqrt_a_alpha);
+        c.b1 = 2.0 * big_a * (am1 - ap1 * cos_w0);
+        c.b2 = big_a * (ap1 - am1 * cos_w0 - two_sqrt_a_alpha);
+        a0 = ap1 + am1 * cos_w0 + two_sqrt_a_alpha;
+        c.a1 = -2.0 * (am1 + ap1 * cos_w0);
+        c.a2 = ap1 + am1 * cos_w0 - two_sqrt_a_alpha;
+      } else {
+        c.b0 = big_a * (ap1 + am1 * cos_w0 + two_sqrt_a_alpha);
+        c.b1 = -2.0 * big_a * (am1 + ap1 * cos_w0);
+        c.b2 = big_a * (ap1 + am1 * cos_w0 - two_sqrt_a_alpha);
+        a0 = ap1 - am1 * cos_w0 + two_sqrt_a_alpha;
+        c.a1 = 2.0 * (am1 - ap1 * cos_w0);
+        c.a2 = ap1 - am1 * cos_w0 - two_sqrt_a_alpha;
+      }
+      break;
+    }
+  }
+
+  coefficients_.b0 = c.b0 / a0;
+  coefficients_.b1 = c.b1 / a0;
+  coefficients_.b2 = c.b2 / a0;
+  coefficients_.a1 = c.a1 / a0;
+  coefficients_.a2 = c.a2 / a0;
+}
+
+void BiquadFilterNode::process(std::size_t start_frame, std::size_t frames) {
+  mix_input(0, input_scratch_);
+  const double when = static_cast<double>(start_frame) / sample_rate();
+  update_coefficients(when);
+
+  AudioBus& out = mutable_output();
+  const auto& cfg = context().config();
+  const Coefficients& c = coefficients_;
+  for (std::size_t ch = 0; ch < out.channels(); ++ch) {
+    ChannelState& s = state_[ch];
+    const float* in = input_scratch_.channel(ch);
+    float* dst = out.channel(ch);
+    for (std::size_t i = 0; i < frames; ++i) {
+      const double x = static_cast<double>(in[i]);
+      const double y =
+          c.b0 * x + c.b1 * s.x1 + c.b2 * s.x2 - c.a1 * s.y1 - c.a2 * s.y2;
+      s.x2 = s.x1;
+      s.x1 = x;
+      s.y2 = s.y1;
+      s.y1 = dsp::flush_denormal(y, cfg.denormal);
+      dst[i] = static_cast<float>(s.y1);
+    }
+  }
+}
+
+void BiquadFilterNode::get_frequency_response(
+    std::span<const float> frequencies, std::span<float> mag_response,
+    std::span<float> phase_response) {
+  if (frequencies.size() != mag_response.size() ||
+      frequencies.size() != phase_response.size()) {
+    throw std::invalid_argument(
+        "BiquadFilterNode::get_frequency_response: array lengths differ");
+  }
+  update_coefficients(context().current_time());
+  const auto& m = math();
+  const Coefficients& c = coefficients_;
+  const double nyquist = sample_rate() / 2.0;
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    const double normalized =
+        std::clamp(static_cast<double>(frequencies[i]) / nyquist, 0.0, 1.0);
+    const double w = std::numbers::pi * normalized;
+    // H(z) at z = e^{jw}: evaluate numerator/denominator as complex sums.
+    const double cw = m.cos(w), sw = m.sin(w);
+    const double c2w = m.cos(2.0 * w), s2w = m.sin(2.0 * w);
+    const double num_re = c.b0 + c.b1 * cw + c.b2 * c2w;
+    const double num_im = -(c.b1 * sw + c.b2 * s2w);
+    const double den_re = 1.0 + c.a1 * cw + c.a2 * c2w;
+    const double den_im = -(c.a1 * sw + c.a2 * s2w);
+    const double den_mag2 = den_re * den_re + den_im * den_im;
+    const double re = (num_re * den_re + num_im * den_im) / den_mag2;
+    const double im = (num_im * den_re - num_re * den_im) / den_mag2;
+    mag_response[i] = static_cast<float>(m.sqrt(re * re + im * im));
+    phase_response[i] = static_cast<float>(std::atan2(im, re));
+  }
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,92 @@
+// BiquadFilterNode: the Web Audio second-order IIR filter (Audio EQ
+// Cookbook coefficients, computed per the Web Audio spec's parameter
+// interpretation). Not used by the paper's seven vectors, but part of the
+// real fingerprintable API surface — the filter's coefficient math runs
+// through the platform MathLibrary, and getFrequencyResponse() exposes it
+// to scripts directly, which is why we ship it and an extension vector
+// built on it (see fingerprint/extension_vectors.cc).
+#pragma once
+
+#include <array>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+enum class BiquadFilterType {
+  kLowpass,
+  kHighpass,
+  kBandpass,
+  kLowshelf,
+  kHighshelf,
+  kPeaking,
+  kNotch,
+  kAllpass,
+};
+
+[[nodiscard]] std::string_view to_string(BiquadFilterType t);
+
+class BiquadFilterNode final : public AudioNode {
+ public:
+  explicit BiquadFilterNode(OfflineAudioContext& context,
+                            std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "BiquadFilterNode";
+  }
+
+  void set_type(BiquadFilterType type);
+  [[nodiscard]] BiquadFilterType type() const { return type_; }
+
+  /// Centre/corner frequency in Hz (default 350).
+  [[nodiscard]] AudioParam& frequency() { return frequency_; }
+  /// Quality factor; interpreted in dB for lowpass/highpass, linear
+  /// otherwise (Web Audio spec).
+  [[nodiscard]] AudioParam& q() { return q_; }
+  /// Gain in dB (peaking/shelf types only).
+  [[nodiscard]] AudioParam& gain() { return gain_; }
+  /// Detune in cents applied to frequency.
+  [[nodiscard]] AudioParam& detune() { return detune_; }
+
+  std::vector<AudioParam*> params() override {
+    return {&frequency_, &q_, &gain_, &detune_};
+  }
+
+  /// Complex response magnitude/phase at the given frequencies (Hz) —
+  /// Web Audio's getFrequencyResponse. Arrays must share a length.
+  void get_frequency_response(std::span<const float> frequencies,
+                              std::span<float> mag_response,
+                              std::span<float> phase_response);
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  struct Coefficients {
+    double b0 = 1.0, b1 = 0.0, b2 = 0.0, a1 = 0.0, a2 = 0.0;
+  };
+
+  /// Recompute coefficients from the current (k-rate) parameter values.
+  void update_coefficients(double when_time);
+
+  BiquadFilterType type_ = BiquadFilterType::kLowpass;
+  AudioParam frequency_;
+  AudioParam q_;
+  AudioParam gain_;
+  AudioParam detune_;
+
+  Coefficients coefficients_;
+  double cached_frequency_ = -1.0;
+  double cached_q_ = -1.0e99;
+  double cached_gain_ = -1.0e99;
+  double cached_detune_ = -1.0e99;
+  bool coefficients_dirty_ = true;
+
+  AudioBus input_scratch_;
+  // Direct-form-I state per channel.
+  struct ChannelState {
+    double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+  };
+  std::array<ChannelState, kMaxChannels> state_{};
+};
+
+}  // namespace wafp::webaudio

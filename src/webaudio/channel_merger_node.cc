@@ -1,0 +1,29 @@
+#include "webaudio/channel_merger_node.h"
+
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+ChannelMergerNode::ChannelMergerNode(OfflineAudioContext& context,
+                                     std::size_t num_inputs)
+    : AudioNode(context, num_inputs, num_inputs),
+      input_scratch_(1, kRenderQuantumFrames) {
+  if (num_inputs == 0 || num_inputs > kMaxChannels) {
+    throw std::invalid_argument("ChannelMergerNode: bad input count");
+  }
+}
+
+void ChannelMergerNode::process(std::size_t /*start_frame*/,
+                                std::size_t frames) {
+  AudioBus& out = mutable_output();
+  for (std::size_t input = 0; input < num_inputs(); ++input) {
+    mix_input(input, input_scratch_);  // mono-mixes each input slot
+    const float* in = input_scratch_.channel(0);
+    float* dst = out.channel(input);
+    for (std::size_t i = 0; i < frames; ++i) dst[i] = in[i];
+  }
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,24 @@
+// ChannelMergerNode: combines K mono inputs into one K-channel stream —
+// used by the paper's Merged Signals vector (Fig. 7) to stack four
+// different-shaped oscillators into a single signal.
+#pragma once
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+class ChannelMergerNode final : public AudioNode {
+ public:
+  ChannelMergerNode(OfflineAudioContext& context, std::size_t num_inputs = 6);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "ChannelMergerNode";
+  }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioBus input_scratch_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,60 @@
+#include "webaudio/delay_node.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+DelayNode::DelayNode(OfflineAudioContext& context, double max_delay_seconds,
+                     std::size_t channels)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      delay_time_("delayTime", 0.0, 0.0, max_delay_seconds),
+      input_scratch_(channels, kRenderQuantumFrames) {
+  if (max_delay_seconds <= 0.0 || max_delay_seconds > 180.0) {
+    throw std::invalid_argument("DelayNode: maxDelay out of (0, 180] s");
+  }
+  // One quantum of slack so a full-scale delay never reads the write head.
+  ring_frames_ = static_cast<std::size_t>(
+                     std::ceil(max_delay_seconds * context.sample_rate())) +
+                 kRenderQuantumFrames;
+  ring_.resize(channels);
+  for (auto& ring : ring_) ring.assign(ring_frames_, 0.0f);
+}
+
+void DelayNode::process(std::size_t start_frame, std::size_t frames) {
+  mix_input(0, input_scratch_);
+
+  std::array<float, kRenderQuantumFrames> delay_values;
+  const double start_time = static_cast<double>(start_frame) / sample_rate();
+  delay_time_.compute_values(std::span(delay_values.data(), frames),
+                             start_time, sample_rate(), math());
+
+  AudioBus& out = mutable_output();
+  for (std::size_t ch = 0; ch < out.channels(); ++ch) {
+    float* dst = out.channel(ch);
+    const float* in = input_scratch_.channel(ch);
+    std::vector<float>& ring = ring_[ch];
+    std::size_t w = write_index_;
+    for (std::size_t i = 0; i < frames; ++i) {
+      ring[w] = in[i];
+      const double delay_frames =
+          static_cast<double>(delay_values[i]) * sample_rate();
+      const double read_pos = static_cast<double>(w) - delay_frames;
+      // Wrap into [0, ring_frames_).
+      double wrapped = std::fmod(read_pos, static_cast<double>(ring_frames_));
+      if (wrapped < 0.0) wrapped += static_cast<double>(ring_frames_);
+      const auto idx0 = static_cast<std::size_t>(wrapped);
+      const std::size_t idx1 = (idx0 + 1) % ring_frames_;
+      const auto frac = static_cast<float>(wrapped - static_cast<double>(idx0));
+      // Linear interpolation between adjacent delayed samples.
+      dst[i] = ring[idx0] + frac * (ring[idx1] - ring[idx0]);
+      w = (w + 1) % ring_frames_;
+    }
+  }
+  write_index_ = (write_index_ + frames) % ring_frames_;
+}
+
+}  // namespace wafp::webaudio

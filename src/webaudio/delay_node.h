@@ -1,0 +1,36 @@
+// DelayNode: fractional delay line with an a-rate delayTime parameter and
+// linear interpolation between samples (the Web Audio processing model).
+#pragma once
+
+#include <vector>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+class DelayNode final : public AudioNode {
+ public:
+  /// `max_delay_seconds` bounds delayTime (spec default 1.0).
+  DelayNode(OfflineAudioContext& context, double max_delay_seconds = 1.0,
+            std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "DelayNode";
+  }
+
+  /// Delay in seconds, clamped to [0, maxDelay]; a-rate.
+  [[nodiscard]] AudioParam& delay_time() { return delay_time_; }
+
+  std::vector<AudioParam*> params() override { return {&delay_time_}; }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioParam delay_time_;
+  AudioBus input_scratch_;
+  std::vector<std::vector<float>> ring_;  // per channel
+  std::size_t ring_frames_ = 0;
+  std::size_t write_index_ = 0;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,30 @@
+#include "webaudio/gain_node.h"
+
+#include <array>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+GainNode::GainNode(OfflineAudioContext& context, std::size_t channels)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      gain_("gain", 1.0, -1.0e9, 1.0e9),
+      input_scratch_(channels, kRenderQuantumFrames) {}
+
+void GainNode::process(std::size_t start_frame, std::size_t frames) {
+  mix_input(0, input_scratch_);
+
+  std::array<float, kRenderQuantumFrames> gain_values;
+  const double start_time = static_cast<double>(start_frame) / sample_rate();
+  gain_.compute_values(std::span(gain_values.data(), frames), start_time,
+                       sample_rate(), math());
+
+  AudioBus& out = mutable_output();
+  for (std::size_t c = 0; c < out.channels(); ++c) {
+    const float* in = input_scratch_.channel(c);
+    float* dst = out.channel(c);
+    for (std::size_t i = 0; i < frames; ++i) dst[i] = in[i] * gain_values[i];
+  }
+}
+
+}  // namespace wafp::webaudio

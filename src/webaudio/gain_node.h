@@ -1,0 +1,30 @@
+// GainNode: multiplies its input by the (possibly audio-rate modulated)
+// gain parameter. The paper's vectors use it both as the zero-gain "mute"
+// before the destination (Fig. 2: keeps fingerprinting inaudible) and as
+// the modulated element of the AM vector (Fig. 8).
+#pragma once
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+class GainNode final : public AudioNode {
+ public:
+  explicit GainNode(OfflineAudioContext& context, std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "GainNode";
+  }
+
+  [[nodiscard]] AudioParam& gain() { return gain_; }
+
+  std::vector<AudioParam*> params() override { return {&gain_}; }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioParam gain_;
+  AudioBus input_scratch_;
+};
+
+}  // namespace wafp::webaudio

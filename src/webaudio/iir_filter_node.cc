@@ -1,0 +1,109 @@
+#include "webaudio/iir_filter_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/denormal.h"
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+IIRFilterNode::IIRFilterNode(OfflineAudioContext& context,
+                             std::vector<double> feedforward,
+                             std::vector<double> feedback,
+                             std::size_t channels)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      input_scratch_(channels, kRenderQuantumFrames) {
+  if (feedforward.empty() || feedforward.size() > 20 || feedback.empty() ||
+      feedback.size() > 20) {
+    throw std::invalid_argument(
+        "IIRFilterNode: coefficient arrays must have 1..20 entries");
+  }
+  if (feedback[0] == 0.0) {
+    throw std::invalid_argument("IIRFilterNode: feedback[0] must be nonzero");
+  }
+  const bool all_zero = std::all_of(feedforward.begin(), feedforward.end(),
+                                    [](double v) { return v == 0.0; });
+  if (all_zero) {
+    throw std::invalid_argument(
+        "IIRFilterNode: feedforward must not be all zero");
+  }
+
+  // Normalize by a[0].
+  const double a0 = feedback[0];
+  b_.reserve(feedforward.size());
+  for (const double b : feedforward) b_.push_back(b / a0);
+  a_.reserve(feedback.size() - 1);
+  for (std::size_t k = 1; k < feedback.size(); ++k) {
+    a_.push_back(feedback[k] / a0);
+  }
+
+  x_history_.assign(channels, std::vector<double>(b_.size(), 0.0));
+  y_history_.assign(channels, std::vector<double>(a_.size(), 0.0));
+}
+
+void IIRFilterNode::process(std::size_t /*start_frame*/, std::size_t frames) {
+  mix_input(0, input_scratch_);
+  AudioBus& out = mutable_output();
+  const auto& cfg = context().config();
+
+  for (std::size_t ch = 0; ch < out.channels(); ++ch) {
+    const float* in = input_scratch_.channel(ch);
+    float* dst = out.channel(ch);
+    std::vector<double>& xh = x_history_[ch];
+    std::vector<double>& yh = y_history_[ch];
+    for (std::size_t i = 0; i < frames; ++i) {
+      // Shift histories (order <= 20, so the naive shift is fine).
+      for (std::size_t k = xh.size() - 1; k > 0; --k) xh[k] = xh[k - 1];
+      xh[0] = static_cast<double>(in[i]);
+
+      double y = 0.0;
+      for (std::size_t k = 0; k < b_.size(); ++k) y += b_[k] * xh[k];
+      for (std::size_t k = 0; k < a_.size(); ++k) y -= a_[k] * yh[k];
+      y = dsp::flush_denormal(y, cfg.denormal);
+
+      if (!yh.empty()) {
+        for (std::size_t k = yh.size() - 1; k > 0; --k) yh[k] = yh[k - 1];
+        yh[0] = y;
+      }
+      dst[i] = static_cast<float>(y);
+    }
+  }
+}
+
+void IIRFilterNode::get_frequency_response(
+    std::span<const float> frequencies, std::span<float> mag_response,
+    std::span<float> phase_response) const {
+  if (frequencies.size() != mag_response.size() ||
+      frequencies.size() != phase_response.size()) {
+    throw std::invalid_argument(
+        "IIRFilterNode::get_frequency_response: array lengths differ");
+  }
+  const auto& m = math();
+  const double nyquist = sample_rate() / 2.0;
+  for (std::size_t i = 0; i < frequencies.size(); ++i) {
+    const double normalized =
+        std::clamp(static_cast<double>(frequencies[i]) / nyquist, 0.0, 1.0);
+    const double w = std::numbers::pi * normalized;
+    double num_re = 0.0, num_im = 0.0, den_re = 1.0, den_im = 0.0;
+    for (std::size_t k = 0; k < b_.size(); ++k) {
+      const double phase = w * static_cast<double>(k);
+      num_re += b_[k] * m.cos(phase);
+      num_im -= b_[k] * m.sin(phase);
+    }
+    for (std::size_t k = 0; k < a_.size(); ++k) {
+      const double phase = w * static_cast<double>(k + 1);
+      den_re += a_[k] * m.cos(phase);
+      den_im -= a_[k] * m.sin(phase);
+    }
+    const double den_mag2 = den_re * den_re + den_im * den_im;
+    const double re = (num_re * den_re + num_im * den_im) / den_mag2;
+    const double im = (num_im * den_re - num_re * den_im) / den_mag2;
+    mag_response[i] = static_cast<float>(m.sqrt(re * re + im * im));
+    phase_response[i] = static_cast<float>(std::atan2(im, re));
+  }
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,44 @@
+// IIRFilterNode: the Web Audio general IIR filter with caller-supplied
+// feedforward/feedback coefficients (up to order 20, per spec). Unlike
+// BiquadFilterNode its coefficients are fixed at construction; it exists so
+// scripts can realize arbitrary responses — and its double-precision
+// recursion is one more implementation-defined surface.
+#pragma once
+
+#include <vector>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+class IIRFilterNode final : public AudioNode {
+ public:
+  /// `feedforward` (b coefficients, 1..20 values, not all zero) and
+  /// `feedback` (a coefficients, 1..20 values, a[0] != 0) define
+  ///   a0*y[n] = sum_k b[k] x[n-k] - sum_{k>=1} a[k] y[n-k].
+  /// Throws std::invalid_argument on out-of-spec coefficients.
+  IIRFilterNode(OfflineAudioContext& context,
+                std::vector<double> feedforward, std::vector<double> feedback,
+                std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "IIRFilterNode";
+  }
+
+  /// Complex response at the given frequencies (getFrequencyResponse).
+  void get_frequency_response(std::span<const float> frequencies,
+                              std::span<float> mag_response,
+                              std::span<float> phase_response) const;
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  std::vector<double> b_;  // normalized feedforward
+  std::vector<double> a_;  // normalized feedback (a[0] == 1 implied, stored from a[1])
+  AudioBus input_scratch_;
+  // Per channel delay lines for x and y history.
+  std::vector<std::vector<double>> x_history_;
+  std::vector<std::vector<double>> y_history_;
+};
+
+}  // namespace wafp::webaudio

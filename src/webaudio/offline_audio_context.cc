@@ -1,0 +1,125 @@
+#include "webaudio/offline_audio_context.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dsp/fft.h"
+
+namespace wafp::webaudio {
+
+EngineConfig EngineConfig::reference() {
+  EngineConfig cfg;
+  cfg.math = dsp::make_math_library(dsp::MathVariant::kPrecise);
+  cfg.fft = dsp::make_fft_engine(dsp::FftVariant::kRadix2, cfg.math);
+  return cfg;
+}
+
+OfflineAudioContext::OfflineAudioContext(std::size_t channels,
+                                         std::size_t length,
+                                         double sample_rate,
+                                         EngineConfig config)
+    : config_(std::move(config)), sample_rate_(sample_rate), length_(length) {
+  if (channels == 0 || channels > kMaxChannels) {
+    throw std::invalid_argument("OfflineAudioContext: bad channel count");
+  }
+  if (length == 0) {
+    throw std::invalid_argument("OfflineAudioContext: zero length");
+  }
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("OfflineAudioContext: bad sample rate");
+  }
+  if (!config_.math || !config_.fft) {
+    throw std::invalid_argument("OfflineAudioContext: config missing math/fft");
+  }
+  target_ = std::make_unique<AudioBuffer>(channels, length, sample_rate);
+  destination_ = &create<DestinationNode>(channels, *target_);
+}
+
+OfflineAudioContext::~OfflineAudioContext() = default;
+
+std::vector<AudioNode*> OfflineAudioContext::topological_order() const {
+  enum class Mark { kUnvisited, kInProgress, kDone };
+  std::unordered_map<const AudioNode*, Mark> marks;
+  std::vector<AudioNode*> order;
+  order.reserve(nodes_.size());
+
+  // Iterative DFS from the destination over audio and param edges.
+  struct Frame {
+    AudioNode* node;
+    std::vector<AudioNode*> deps;
+    std::size_t next_dep = 0;
+  };
+
+  auto collect_deps = [](AudioNode* node) {
+    std::vector<AudioNode*> deps;
+    for (std::size_t i = 0; i < node->num_inputs(); ++i) {
+      for (AudioNode* src : node->input_sources(i)) deps.push_back(src);
+    }
+    for (AudioParam* param : node->params()) {
+      for (AudioNode* src : param->inputs()) deps.push_back(src);
+    }
+    return deps;
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back({destination_, collect_deps(destination_)});
+  marks[destination_] = Mark::kInProgress;
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_dep < frame.deps.size()) {
+      AudioNode* dep = frame.deps[frame.next_dep++];
+      const Mark mark = marks.contains(dep) ? marks[dep] : Mark::kUnvisited;
+      if (mark == Mark::kInProgress) {
+        throw std::runtime_error(
+            "OfflineAudioContext: cycle in the audio graph");
+      }
+      if (mark == Mark::kUnvisited) {
+        marks[dep] = Mark::kInProgress;
+        stack.push_back({dep, collect_deps(dep)});
+      }
+    } else {
+      marks[frame.node] = Mark::kDone;
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // sources first, destination last
+}
+
+AudioBuffer OfflineAudioContext::start_rendering() {
+  if (rendered_) {
+    throw std::runtime_error("OfflineAudioContext: already rendered");
+  }
+  rendered_ = true;
+
+  const std::vector<AudioNode*> order = topological_order();
+  for (current_frame_ = 0; current_frame_ < length_;
+       current_frame_ += kRenderQuantumFrames) {
+    const std::size_t frames =
+        std::min(kRenderQuantumFrames, length_ - current_frame_);
+    for (AudioNode* node : order) node->process(current_frame_, frames);
+  }
+
+  AudioBuffer result = std::move(*target_);
+  target_.reset();
+  return result;
+}
+
+DestinationNode::DestinationNode(OfflineAudioContext& context,
+                                 std::size_t channels, AudioBuffer& target)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      target_(target),
+      scratch_(channels, kRenderQuantumFrames) {}
+
+void DestinationNode::process(std::size_t start_frame, std::size_t frames) {
+  mix_input(0, scratch_);
+  for (std::size_t c = 0; c < target_.channel_count(); ++c) {
+    auto out = target_.channel(c);
+    const float* in = scratch_.channel(c);
+    for (std::size_t i = 0; i < frames; ++i) out[start_frame + i] = in[i];
+  }
+  mutable_output().copy_from(scratch_);
+}
+
+}  // namespace wafp::webaudio

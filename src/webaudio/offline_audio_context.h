@@ -1,0 +1,90 @@
+// OfflineAudioContext: owns the audio graph, renders it quantum by quantum
+// into an AudioBuffer — the C++ analogue of the construct every
+// fingerprinting vector in the paper is built on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "webaudio/audio_buffer.h"
+#include "webaudio/audio_node.h"
+#include "webaudio/engine_config.h"
+
+namespace wafp::webaudio {
+
+class DestinationNode;
+
+class OfflineAudioContext {
+ public:
+  /// `length` is the total number of frames to render.
+  OfflineAudioContext(std::size_t channels, std::size_t length,
+                      double sample_rate, EngineConfig config);
+  ~OfflineAudioContext();
+
+  OfflineAudioContext(const OfflineAudioContext&) = delete;
+  OfflineAudioContext& operator=(const OfflineAudioContext&) = delete;
+
+  /// Create a node owned by this context. NodeT's constructor must take
+  /// (OfflineAudioContext&, Args...).
+  template <typename NodeT, typename... Args>
+  NodeT& create(Args&&... args) {
+    auto node = std::make_unique<NodeT>(*this, std::forward<Args>(args)...);
+    NodeT& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  [[nodiscard]] DestinationNode& destination() { return *destination_; }
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] const dsp::MathLibrary& math() const { return *config_.math; }
+  [[nodiscard]] const dsp::FftEngine& fft() const { return *config_.fft; }
+
+  /// Absolute frame index of the current quantum start (valid during
+  /// rendering).
+  [[nodiscard]] std::size_t current_frame() const { return current_frame_; }
+  [[nodiscard]] double current_time() const {
+    return static_cast<double>(current_frame_) / sample_rate_;
+  }
+
+  /// Render the whole graph. May be called exactly once; walks the nodes
+  /// reachable from the destination in topological order each quantum.
+  /// Throws std::runtime_error on a graph cycle or repeated rendering.
+  [[nodiscard]] AudioBuffer start_rendering();
+
+ private:
+  /// Topologically order all nodes reachable from the destination
+  /// (following both audio and parameter-modulation edges).
+  [[nodiscard]] std::vector<AudioNode*> topological_order() const;
+
+  EngineConfig config_;
+  double sample_rate_;
+  std::size_t length_;
+  std::vector<std::unique_ptr<AudioNode>> nodes_;
+  DestinationNode* destination_ = nullptr;
+  std::unique_ptr<AudioBuffer> target_;
+  std::size_t current_frame_ = 0;
+  bool rendered_ = false;
+};
+
+/// Terminal node: accumulates its input into the render target.
+class DestinationNode final : public AudioNode {
+ public:
+  DestinationNode(OfflineAudioContext& context, std::size_t channels,
+                  AudioBuffer& target);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "AudioDestinationNode";
+  }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioBuffer& target_;
+  AudioBus scratch_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,94 @@
+#include "webaudio/oscillator_node.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+OscillatorNode::OscillatorNode(OfflineAudioContext& context,
+                               OscillatorType type)
+    : AudioNode(context, /*num_inputs=*/0, /*output_channels=*/1),
+      type_(type),
+      frequency_("frequency", 440.0, -context.sample_rate() / 2.0,
+                 context.sample_rate() / 2.0),
+      detune_("detune", 0.0, -153600.0, 153600.0) {
+  if (type == OscillatorType::kCustom) {
+    throw std::invalid_argument(
+        "OscillatorNode: construct with a standard type, then call "
+        "set_periodic_wave for custom waves");
+  }
+}
+
+void OscillatorNode::set_type(OscillatorType type) {
+  if (type == OscillatorType::kCustom) {
+    throw std::invalid_argument(
+        "OscillatorNode::set_type: use set_periodic_wave for custom waves");
+  }
+  type_ = type;
+  wave_.reset();
+}
+
+void OscillatorNode::set_periodic_wave(
+    std::shared_ptr<const PeriodicWave> wave) {
+  if (!wave) {
+    throw std::invalid_argument("OscillatorNode: null PeriodicWave");
+  }
+  type_ = OscillatorType::kCustom;
+  wave_ = std::move(wave);
+}
+
+void OscillatorNode::start(double when) {
+  if (started_) {
+    throw std::runtime_error("OscillatorNode::start called twice");
+  }
+  started_ = true;
+  start_time_ = when;
+}
+
+void OscillatorNode::stop(double when) {
+  if (!started_) {
+    throw std::runtime_error("OscillatorNode::stop before start");
+  }
+  stop_time_ = when;
+}
+
+void OscillatorNode::process(std::size_t start_frame, std::size_t frames) {
+  AudioBus& out = mutable_output();
+  out.zero();
+  if (!started_) return;
+
+  if (!wave_) {
+    wave_ = PeriodicWave::standard(type_, sample_rate(), context().config());
+  }
+
+  std::array<float, kRenderQuantumFrames> freq_values;
+  std::array<float, kRenderQuantumFrames> detune_values;
+  const double start_time =
+      static_cast<double>(start_frame) / sample_rate();
+  frequency_.compute_values(std::span(freq_values.data(), frames), start_time,
+                            sample_rate(), math());
+  detune_.compute_values(std::span(detune_values.data(), frames), start_time,
+                         sample_rate(), math());
+
+  float* samples = out.channel(0);
+  const double dt = 1.0 / sample_rate();
+  for (std::size_t i = 0; i < frames; ++i) {
+    const double t = start_time + static_cast<double>(i) * dt;
+    if (t < start_time_ || (stop_time_ >= 0.0 && t >= stop_time_)) {
+      samples[i] = 0.0f;
+      continue;
+    }
+    double f = freq_values[i];
+    if (detune_values[i] != 0.0f) {
+      f *= math().pow(2.0, static_cast<double>(detune_values[i]) / 1200.0);
+    }
+    samples[i] = wave_->sample(phase_, f);
+    phase_ += f * dt;
+    phase_ -= std::floor(phase_);  // wrap to [0, 1), handles negative f too
+  }
+}
+
+}  // namespace wafp::webaudio

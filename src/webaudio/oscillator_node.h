@@ -1,0 +1,57 @@
+// OscillatorNode: the signal source of every fingerprinting vector in the
+// paper (triangle @ 10 kHz for DC/FFT/Hybrid; four shapes for Merged
+// Signals; carrier/modulator pairs for AM/FM).
+#pragma once
+
+#include <memory>
+
+#include "webaudio/audio_node.h"
+#include "webaudio/periodic_wave.h"
+
+namespace wafp::webaudio {
+
+class OscillatorNode final : public AudioNode {
+ public:
+  OscillatorNode(OfflineAudioContext& context,
+                 OscillatorType type = OscillatorType::kSine);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "OscillatorNode";
+  }
+
+  /// Frequency in Hz; a-rate, accepts modulation connections (FM vector).
+  [[nodiscard]] AudioParam& frequency() { return frequency_; }
+  /// Detune in cents; applied as frequency * 2^(detune/1200).
+  [[nodiscard]] AudioParam& detune() { return detune_; }
+
+  [[nodiscard]] OscillatorType type() const { return type_; }
+
+  /// Switch to one of the standard shapes (throws for kCustom; use
+  /// set_periodic_wave instead).
+  void set_type(OscillatorType type);
+
+  /// Provide a custom wavetable (sets type to kCustom).
+  void set_periodic_wave(std::shared_ptr<const PeriodicWave> wave);
+
+  /// Schedule playback, seconds. start() may be called once.
+  void start(double when = 0.0);
+  void stop(double when);
+
+  std::vector<AudioParam*> params() override {
+    return {&frequency_, &detune_};
+  }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  OscillatorType type_;
+  std::shared_ptr<const PeriodicWave> wave_;
+  AudioParam frequency_;
+  AudioParam detune_;
+  double phase_ = 0.0;  // normalized [0, 1)
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double stop_time_ = -1.0;  // < 0: never
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,148 @@
+#include "webaudio/periodic_wave.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Fourier sine coefficients b_k (k >= 1) of the spec waveforms. These are
+/// exact rational-in-pi constants; platform flavour enters through the
+/// inverse FFT and normalization, as in Blink.
+double standard_sine_coefficient(OscillatorType type, std::size_t k) {
+  const auto kd = static_cast<double>(k);
+  switch (type) {
+    case OscillatorType::kSine:
+      return k == 1 ? 1.0 : 0.0;
+    case OscillatorType::kSquare:
+      return (k % 2 == 1) ? 4.0 / (kd * kPi) : 0.0;
+    case OscillatorType::kSawtooth:
+      return (k % 2 == 1 ? 1.0 : -1.0) * 2.0 / (kd * kPi);
+    case OscillatorType::kTriangle:
+      if (k % 2 == 0) return 0.0;
+      return (k % 4 == 1 ? 1.0 : -1.0) * 8.0 / (kPi * kPi * kd * kd);
+    case OscillatorType::kCustom:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string_view to_string(OscillatorType t) {
+  switch (t) {
+    case OscillatorType::kSine: return "sine";
+    case OscillatorType::kSquare: return "square";
+    case OscillatorType::kSawtooth: return "sawtooth";
+    case OscillatorType::kTriangle: return "triangle";
+    case OscillatorType::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+std::size_t PeriodicWave::max_partials_for_range(std::size_t r) {
+  // Range 0 keeps 4 partials; each range doubles, up to kTableSize/4.
+  return std::min<std::size_t>(std::size_t{4} << r, kTableSize / 4);
+}
+
+PeriodicWave::PeriodicWave(std::span<const double> real,
+                           std::span<const double> imag, double sample_rate,
+                           const EngineConfig& config, bool normalize)
+    : sample_rate_(sample_rate), nyquist_(sample_rate / 2.0) {
+  if (!config.fft || !config.math) {
+    throw std::invalid_argument("PeriodicWave: config missing math/fft");
+  }
+  const std::size_t coeff_count = std::max(real.size(), imag.size());
+
+  tables_.resize(kNumRanges);
+  std::vector<double> re(kTableSize), im(kTableSize);
+  for (std::size_t r = 0; r < kNumRanges; ++r) {
+    const std::size_t partials =
+        std::min(max_partials_for_range(r),
+                 coeff_count == 0 ? std::size_t{0} : coeff_count - 1);
+    std::fill(re.begin(), re.end(), 0.0);
+    std::fill(im.begin(), im.end(), 0.0);
+    // x_n = sum_k a_k cos(2 pi n k / N) + b_k sin(2 pi n k / N)
+    // <=> X_k = (N/2)(a_k - i b_k), X_{N-k} = conj(X_k).
+    for (std::size_t k = 1; k <= partials; ++k) {
+      const double a = k < real.size() ? real[k] : 0.0;
+      const double b = k < imag.size() ? imag[k] : 0.0;
+      const double scale = static_cast<double>(kTableSize) / 2.0;
+      re[k] = a * scale;
+      im[k] = -b * scale;
+      re[kTableSize - k] = a * scale;
+      im[kTableSize - k] = b * scale;
+    }
+    config.fft->inverse(re, im);
+
+    auto& table = tables_[r];
+    table.resize(kTableSize + 1);
+    for (std::size_t n = 0; n < kTableSize; ++n) {
+      table[n] = static_cast<float>(re[n]);
+    }
+    table[kTableSize] = table[0];
+  }
+
+  if (normalize) {
+    // Blink-style: one scale derived from the full-bandwidth table, applied
+    // to every range so relative band-limiting is preserved.
+    float max_abs = 0.0f;
+    for (const float v : tables_.back()) max_abs = std::max(max_abs, std::fabs(v));
+    if (max_abs > 0.0f) {
+      const float scale = 1.0f / max_abs;
+      for (auto& table : tables_) {
+        for (float& v : table) v *= scale;
+      }
+    }
+  }
+}
+
+std::shared_ptr<const PeriodicWave> PeriodicWave::standard(
+    OscillatorType type, double sample_rate, const EngineConfig& config) {
+  if (type == OscillatorType::kCustom) {
+    throw std::invalid_argument(
+        "PeriodicWave::standard: custom waves need explicit coefficients");
+  }
+  const std::size_t coeffs = kTableSize / 4 + 1;
+  std::vector<double> real(coeffs, 0.0), imag(coeffs, 0.0);
+  for (std::size_t k = 1; k < coeffs; ++k) {
+    imag[k] = standard_sine_coefficient(type, k);
+  }
+  return std::make_shared<const PeriodicWave>(real, imag, sample_rate, config,
+                                              /*normalize=*/true);
+}
+
+double PeriodicWave::range_position(double fundamental_hz) const {
+  const double f = std::max(std::fabs(fundamental_hz), 1.0);
+  const double allowed = std::max(nyquist_ / f, 1.0);
+  // Range r admits 4 * 2^r partials; invert that relationship.
+  const double pos = std::log2(allowed / 4.0);
+  return std::clamp(pos, 0.0, static_cast<double>(kNumRanges - 1));
+}
+
+float PeriodicWave::table_lookup(const std::vector<float>& table,
+                                 double phase) {
+  const double pos = phase * static_cast<double>(kTableSize);
+  const auto idx = static_cast<std::size_t>(pos);
+  const auto t = static_cast<float>(pos - static_cast<double>(idx));
+  return table[idx] + t * (table[idx + 1] - table[idx]);
+}
+
+float PeriodicWave::sample(double phase, double fundamental_hz) const {
+  assert(phase >= 0.0 && phase < 1.0);
+  const double pos = range_position(fundamental_hz);
+  const auto lower = static_cast<std::size_t>(pos);
+  const auto frac = static_cast<float>(pos - static_cast<double>(lower));
+  const float a = table_lookup(tables_[lower], phase);
+  if (frac == 0.0f || lower + 1 >= kNumRanges) return a;
+  const float b = table_lookup(tables_[lower + 1], phase);
+  // Blend toward the less band-limited table as the fundamental drops.
+  return a + frac * (b - a);
+}
+
+}  // namespace wafp::webaudio

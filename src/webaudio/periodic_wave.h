@@ -1,0 +1,62 @@
+// PeriodicWave: band-limited wavetable synthesis, modelled on Blink's
+// implementation — per-octave tables built by inverse FFT of a truncated
+// Fourier series, with linear interpolation both within a table and between
+// adjacent range tables. Because the tables are produced by the platform's
+// FFT engine and math library, the oscillator's very first sample already
+// carries the platform fingerprint.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "webaudio/engine_config.h"
+
+namespace wafp::webaudio {
+
+enum class OscillatorType { kSine, kSquare, kSawtooth, kTriangle, kCustom };
+
+[[nodiscard]] std::string_view to_string(OscillatorType t);
+
+class PeriodicWave {
+ public:
+  static constexpr std::size_t kTableSize = 4096;
+  static constexpr std::size_t kNumRanges = 9;  // partials 4 .. 1024
+
+  /// Web Audio constructor semantics: `real` are the cosine coefficients
+  /// a_k and `imag` the sine coefficients b_k; index 0 (DC) is ignored.
+  /// When `normalize` is set (the spec default), tables are scaled so the
+  /// full-bandwidth waveform peaks at 1.
+  PeriodicWave(std::span<const double> real, std::span<const double> imag,
+               double sample_rate, const EngineConfig& config,
+               bool normalize = true);
+
+  /// Build one of the four spec-defined waveforms.
+  [[nodiscard]] static std::shared_ptr<const PeriodicWave> standard(
+      OscillatorType type, double sample_rate, const EngineConfig& config);
+
+  /// Waveform value at `phase` in [0, 1) for the given fundamental; the
+  /// fundamental picks (and blends) the band-limited range tables.
+  [[nodiscard]] float sample(double phase, double fundamental_hz) const;
+
+  [[nodiscard]] double sample_rate() const { return sample_rate_; }
+
+ private:
+  /// Max partial count synthesized into range table `r`.
+  [[nodiscard]] static std::size_t max_partials_for_range(std::size_t r);
+
+  /// Continuous range position for a fundamental (0 = most band-limited).
+  [[nodiscard]] double range_position(double fundamental_hz) const;
+
+  [[nodiscard]] static float table_lookup(const std::vector<float>& table,
+                                          double phase);
+
+  double sample_rate_;
+  double nyquist_;
+  // kNumRanges tables of kTableSize+1 samples (first sample duplicated at
+  // the end so lookup never wraps mid-interpolation).
+  std::vector<std::vector<float>> tables_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,48 @@
+#include "webaudio/script_processor_node.h"
+
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+ScriptProcessorNode::ScriptProcessorNode(OfflineAudioContext& context,
+                                         std::size_t buffer_size,
+                                         std::size_t channels)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      input_scratch_(channels, kRenderQuantumFrames) {
+  // Spec: power of two in [256, 16384].
+  if (buffer_size < 256 || buffer_size > 16384 ||
+      (buffer_size & (buffer_size - 1)) != 0) {
+    throw std::invalid_argument(
+        "ScriptProcessorNode: buffer size must be a power of two in "
+        "[256, 16384]");
+  }
+  block_.assign(buffer_size, 0.0f);
+}
+
+void ScriptProcessorNode::set_on_audio_process(AudioProcessCallback callback) {
+  callback_ = std::move(callback);
+}
+
+void ScriptProcessorNode::process(std::size_t start_frame,
+                                  std::size_t frames) {
+  mix_input(0, input_scratch_);
+  mutable_output().copy_from(input_scratch_);
+
+  // Mono-mix into the pending block; fire the callback per completed block.
+  const std::size_t channels = input_scratch_.channels();
+  for (std::size_t i = 0; i < frames; ++i) {
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < channels; ++c) {
+      acc += input_scratch_.channel(c)[i];
+    }
+    block_[filled_++] = acc / static_cast<float>(channels);
+    if (filled_ == block_.size()) {
+      filled_ = 0;
+      if (callback_) callback_(block_, start_frame + i + 1);
+    }
+  }
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,42 @@
+// ScriptProcessorNode: delivers fixed-size blocks of the passing audio to a
+// user callback, as the (deprecated but fingerprinting-beloved) Web Audio
+// node of the same name does. The paper's FFT vector (Fig. 2) uses it to
+// trigger AnalyserNode spectrum captures while the graph renders.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+class ScriptProcessorNode final : public AudioNode {
+ public:
+  /// `block` is the mono-mixed input of the elapsed block; `when_frame` the
+  /// absolute frame index at which the block completed.
+  using AudioProcessCallback =
+      std::function<void(std::span<const float> block, std::size_t when_frame)>;
+
+  ScriptProcessorNode(OfflineAudioContext& context, std::size_t buffer_size,
+                      std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "ScriptProcessorNode";
+  }
+
+  void set_on_audio_process(AudioProcessCallback callback);
+
+  [[nodiscard]] std::size_t buffer_size() const { return block_.size(); }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioBus input_scratch_;
+  std::vector<float> block_;
+  std::size_t filled_ = 0;
+  AudioProcessCallback callback_;
+};
+
+}  // namespace wafp::webaudio

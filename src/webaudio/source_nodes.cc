@@ -1,0 +1,179 @@
+#include "webaudio/source_nodes.h"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+/// --- ConstantSourceNode --------------------------------------------------
+
+ConstantSourceNode::ConstantSourceNode(OfflineAudioContext& context)
+    : AudioNode(context, /*num_inputs=*/0, /*output_channels=*/1),
+      offset_("offset", 1.0, -1.0e9, 1.0e9) {}
+
+void ConstantSourceNode::start(double when) {
+  if (started_) {
+    throw std::runtime_error("ConstantSourceNode::start called twice");
+  }
+  started_ = true;
+  start_time_ = when;
+}
+
+void ConstantSourceNode::stop(double when) {
+  if (!started_) {
+    throw std::runtime_error("ConstantSourceNode::stop before start");
+  }
+  stop_time_ = when;
+}
+
+void ConstantSourceNode::process(std::size_t start_frame,
+                                 std::size_t frames) {
+  AudioBus& out = mutable_output();
+  out.zero();
+  if (!started_) return;
+
+  std::array<float, kRenderQuantumFrames> values;
+  const double start_time = static_cast<double>(start_frame) / sample_rate();
+  offset_.compute_values(std::span(values.data(), frames), start_time,
+                         sample_rate(), math());
+  float* dst = out.channel(0);
+  const double dt = 1.0 / sample_rate();
+  for (std::size_t i = 0; i < frames; ++i) {
+    const double t = start_time + static_cast<double>(i) * dt;
+    if (t < start_time_ || (stop_time_ >= 0.0 && t >= stop_time_)) continue;
+    dst[i] = values[i];
+  }
+}
+
+/// --- AudioBufferSourceNode -----------------------------------------------
+
+AudioBufferSourceNode::AudioBufferSourceNode(OfflineAudioContext& context)
+    : AudioNode(context, /*num_inputs=*/0, /*output_channels=*/1),
+      playback_rate_("playbackRate", 1.0, -32.0, 32.0) {}
+
+void AudioBufferSourceNode::set_buffer(
+    std::shared_ptr<const AudioBuffer> buffer) {
+  if (!buffer) {
+    throw std::invalid_argument("AudioBufferSourceNode: null buffer");
+  }
+  buffer_ = std::move(buffer);
+  mutable_output().set_channel_count(buffer_->channel_count());
+}
+
+void AudioBufferSourceNode::start(double when) {
+  if (started_) {
+    throw std::runtime_error("AudioBufferSourceNode::start called twice");
+  }
+  started_ = true;
+  start_time_ = when;
+}
+
+void AudioBufferSourceNode::stop(double when) {
+  if (!started_) {
+    throw std::runtime_error("AudioBufferSourceNode::stop before start");
+  }
+  stop_time_ = when;
+}
+
+void AudioBufferSourceNode::process(std::size_t start_frame,
+                                    std::size_t frames) {
+  AudioBus& out = mutable_output();
+  out.zero();
+  if (!started_ || finished_ || !buffer_) return;
+
+  std::array<float, kRenderQuantumFrames> rate_values;
+  const double start_time = static_cast<double>(start_frame) / sample_rate();
+  playback_rate_.compute_values(std::span(rate_values.data(), frames),
+                                start_time, sample_rate(), math());
+
+  const auto length = static_cast<double>(buffer_->length());
+  const double dt = 1.0 / sample_rate();
+  for (std::size_t i = 0; i < frames; ++i) {
+    const double t = start_time + static_cast<double>(i) * dt;
+    if (t < start_time_ || (stop_time_ >= 0.0 && t >= stop_time_)) continue;
+    if (position_ >= length || position_ < 0.0) {
+      if (!loop_) {
+        finished_ = true;
+        break;
+      }
+      position_ = std::fmod(position_, length);
+      if (position_ < 0.0) position_ += length;
+    }
+    const auto idx0 = static_cast<std::size_t>(position_);
+    const std::size_t idx1 = loop_ ? (idx0 + 1) % buffer_->length()
+                                   : std::min(idx0 + 1, buffer_->length() - 1);
+    const auto frac = static_cast<float>(position_ - static_cast<double>(idx0));
+    for (std::size_t ch = 0; ch < out.channels(); ++ch) {
+      const auto samples = buffer_->channel(ch);
+      out.channel(ch)[i] =
+          samples[idx0] + frac * (samples[idx1] - samples[idx0]);
+    }
+    // Playback-rate scaling also accounts for buffer/context rate mismatch.
+    position_ += static_cast<double>(rate_values[i]) *
+                 (buffer_->sample_rate() / sample_rate());
+  }
+}
+
+/// --- StereoPannerNode ----------------------------------------------------
+
+StereoPannerNode::StereoPannerNode(OfflineAudioContext& context)
+    : AudioNode(context, /*num_inputs=*/1, /*output_channels=*/2),
+      pan_("pan", 0.0, -1.0, 1.0),
+      input_scratch_(2, kRenderQuantumFrames) {}
+
+void StereoPannerNode::process(std::size_t start_frame, std::size_t frames) {
+  mix_input(0, input_scratch_);
+
+  std::array<float, kRenderQuantumFrames> pan_values;
+  const double start_time = static_cast<double>(start_frame) / sample_rate();
+  pan_.compute_values(std::span(pan_values.data(), frames), start_time,
+                      sample_rate(), math());
+
+  AudioBus& out = mutable_output();
+  const auto& m = math();
+  const float* in_l = input_scratch_.channel(0);
+  const float* in_r = input_scratch_.channel(1);
+  for (std::size_t i = 0; i < frames; ++i) {
+    // Spec stereo formula: pan <= 0 redistributes right into left.
+    const double pan = pan_values[i];
+    const double x = (pan <= 0.0 ? pan + 1.0 : pan) * std::numbers::pi / 2.0;
+    const auto gain_l = static_cast<float>(m.cos(x));
+    const auto gain_r = static_cast<float>(m.sin(x));
+    if (pan <= 0.0) {
+      out.channel(0)[i] = in_l[i] + in_r[i] * gain_l;
+      out.channel(1)[i] = in_r[i] * gain_r;
+    } else {
+      out.channel(0)[i] = in_l[i] * gain_l;
+      out.channel(1)[i] = in_r[i] + in_l[i] * gain_r;
+    }
+  }
+}
+
+/// --- ChannelSplitterNode -------------------------------------------------
+
+ChannelSplitterNode::ChannelSplitterNode(OfflineAudioContext& context,
+                                         std::size_t channel)
+    : AudioNode(context, /*num_inputs=*/1, /*output_channels=*/1),
+      channel_(channel),
+      input_scratch_(kMaxChannels, kRenderQuantumFrames) {
+  if (channel >= kMaxChannels) {
+    throw std::invalid_argument("ChannelSplitterNode: channel out of range");
+  }
+}
+
+void ChannelSplitterNode::process(std::size_t /*start_frame*/,
+                                  std::size_t frames) {
+  mix_input(0, input_scratch_);
+  AudioBus& out = mutable_output();
+  // Note: mix_input up-mixes mono sources to all scratch channels; for a
+  // multi-channel source the selected channel carries its own data.
+  const float* in = input_scratch_.channel(channel_);
+  float* dst = out.channel(0);
+  for (std::size_t i = 0; i < frames; ++i) dst[i] = in[i];
+}
+
+}  // namespace wafp::webaudio

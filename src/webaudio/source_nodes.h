@@ -1,0 +1,113 @@
+// Small source/routing nodes: ConstantSourceNode, AudioBufferSourceNode,
+// StereoPannerNode and ChannelSplitterNode — completing the Web Audio node
+// set a downstream user of the engine expects.
+#pragma once
+
+#include <memory>
+
+#include "webaudio/audio_buffer.h"
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+/// Emits its (modulatable) offset parameter as audio — the spec's
+/// ConstantSourceNode, handy for control signals and DC offsets.
+class ConstantSourceNode final : public AudioNode {
+ public:
+  explicit ConstantSourceNode(OfflineAudioContext& context);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "ConstantSourceNode";
+  }
+
+  [[nodiscard]] AudioParam& offset() { return offset_; }
+  std::vector<AudioParam*> params() override { return {&offset_}; }
+
+  void start(double when = 0.0);
+  void stop(double when);
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioParam offset_;
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double stop_time_ = -1.0;
+};
+
+/// Plays a shared AudioBuffer, optionally looping, with a playbackRate
+/// parameter (linear-interpolated resampling).
+class AudioBufferSourceNode final : public AudioNode {
+ public:
+  explicit AudioBufferSourceNode(OfflineAudioContext& context);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "AudioBufferSourceNode";
+  }
+
+  void set_buffer(std::shared_ptr<const AudioBuffer> buffer);
+  void set_loop(bool loop) { loop_ = loop; }
+  [[nodiscard]] bool loop() const { return loop_; }
+
+  [[nodiscard]] AudioParam& playback_rate() { return playback_rate_; }
+  std::vector<AudioParam*> params() override { return {&playback_rate_}; }
+
+  void start(double when = 0.0);
+  void stop(double when);
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  std::shared_ptr<const AudioBuffer> buffer_;
+  AudioParam playback_rate_;
+  bool loop_ = false;
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double stop_time_ = -1.0;
+  double position_ = 0.0;  // in buffer frames
+  bool finished_ = false;
+};
+
+/// Equal-power stereo panner: mono or stereo in, stereo out, pan in
+/// [-1, 1] (a-rate). The cos/sin panning gains run through the platform
+/// math library.
+class StereoPannerNode final : public AudioNode {
+ public:
+  explicit StereoPannerNode(OfflineAudioContext& context);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "StereoPannerNode";
+  }
+
+  [[nodiscard]] AudioParam& pan() { return pan_; }
+  std::vector<AudioParam*> params() override { return {&pan_}; }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  AudioParam pan_;
+  AudioBus input_scratch_;
+};
+
+/// Extracts one channel of its input as a mono stream. (The Web Audio
+/// ChannelSplitterNode exposes N outputs; this engine models one output
+/// bus per node, so a splitter instance selects a single channel — create
+/// one per channel to split fully.)
+class ChannelSplitterNode final : public AudioNode {
+ public:
+  ChannelSplitterNode(OfflineAudioContext& context, std::size_t channel);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "ChannelSplitterNode";
+  }
+
+  [[nodiscard]] std::size_t channel() const { return channel_; }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  std::size_t channel_;
+  AudioBus input_scratch_;
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,78 @@
+#include "webaudio/wave_shaper_node.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+
+std::string_view to_string(OverSampleType t) {
+  switch (t) {
+    case OverSampleType::kNone: return "none";
+    case OverSampleType::k2x: return "2x";
+    case OverSampleType::k4x: return "4x";
+  }
+  return "unknown";
+}
+
+WaveShaperNode::WaveShaperNode(OfflineAudioContext& context,
+                               std::size_t channels)
+    : AudioNode(context, /*num_inputs=*/1, channels),
+      input_scratch_(channels, kRenderQuantumFrames) {}
+
+void WaveShaperNode::set_curve(std::vector<float> curve) {
+  if (!curve.empty() && curve.size() < 2) {
+    throw std::invalid_argument("WaveShaperNode: curve needs >= 2 points");
+  }
+  curve_ = std::move(curve);
+}
+
+float WaveShaperNode::shape(float x) const {
+  if (curve_.empty()) return x;  // spec: null curve passes through
+  // Map [-1, 1] onto the curve with linear interpolation; clamp outside.
+  const auto n = static_cast<double>(curve_.size());
+  const double v = (static_cast<double>(x) + 1.0) * 0.5 * (n - 1.0);
+  if (v <= 0.0) return curve_.front();
+  if (v >= n - 1.0) return curve_.back();
+  const auto index = static_cast<std::size_t>(v);
+  const auto frac = static_cast<float>(v - static_cast<double>(index));
+  return curve_[index] + frac * (curve_[index + 1] - curve_[index]);
+}
+
+void WaveShaperNode::process(std::size_t /*start_frame*/,
+                             std::size_t frames) {
+  mix_input(0, input_scratch_);
+  AudioBus& out = mutable_output();
+
+  const int factor = oversample_ == OverSampleType::kNone ? 1
+                     : oversample_ == OverSampleType::k2x ? 2
+                                                          : 4;
+  for (std::size_t ch = 0; ch < out.channels(); ++ch) {
+    const float* in = input_scratch_.channel(ch);
+    float* dst = out.channel(ch);
+    if (factor == 1) {
+      for (std::size_t i = 0; i < frames; ++i) dst[i] = shape(in[i]);
+      continue;
+    }
+    // Simplified oversampling: linear-interpolation upsample between
+    // consecutive input samples, shape each sub-sample, average back down.
+    // (Real engines use polyphase FIRs; the averaging decimator keeps the
+    // same structure — shape at a higher rate, then low-pass.)
+    float prev = previous_sample_[ch];
+    for (std::size_t i = 0; i < frames; ++i) {
+      const float current = in[i];
+      float acc = 0.0f;
+      for (int s = 1; s <= factor; ++s) {
+        const float t = static_cast<float>(s) / static_cast<float>(factor);
+        acc += shape(prev + t * (current - prev));
+      }
+      dst[i] = acc / static_cast<float>(factor);
+      prev = current;
+    }
+    previous_sample_[ch] = prev;
+  }
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,48 @@
+// WaveShaperNode: nonlinear distortion by curve lookup, with the spec's
+// 2x/4x oversampling modes (simplified resampler; see .cc). The shaping
+// table interpolation and the oversampling filters are yet another
+// implementation-defined numeric surface of the real API.
+#pragma once
+
+#include <vector>
+
+#include "webaudio/audio_node.h"
+
+namespace wafp::webaudio {
+
+enum class OverSampleType { kNone, k2x, k4x };
+
+[[nodiscard]] std::string_view to_string(OverSampleType t);
+
+class WaveShaperNode final : public AudioNode {
+ public:
+  explicit WaveShaperNode(OfflineAudioContext& context,
+                          std::size_t channels = 1);
+
+  [[nodiscard]] std::string_view node_name() const override {
+    return "WaveShaperNode";
+  }
+
+  /// The shaping curve: input -1 maps to curve.front(), +1 to
+  /// curve.back(), linear interpolation between. Empty curve = identity.
+  /// Throws if fewer than 2 points.
+  void set_curve(std::vector<float> curve);
+  [[nodiscard]] const std::vector<float>& curve() const { return curve_; }
+
+  void set_oversample(OverSampleType type) { oversample_ = type; }
+  [[nodiscard]] OverSampleType oversample() const { return oversample_; }
+
+  void process(std::size_t start_frame, std::size_t frames) override;
+
+ private:
+  [[nodiscard]] float shape(float x) const;
+
+  std::vector<float> curve_;
+  OverSampleType oversample_ = OverSampleType::kNone;
+  AudioBus input_scratch_;
+  // Last input sample per channel, for oversampling interpolation across
+  // quantum boundaries.
+  std::array<float, kMaxChannels> previous_sample_{};
+};
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,51 @@
+#include "analysis/anonymity.h"
+
+#include <gtest/gtest.h>
+
+namespace wafp::analysis {
+namespace {
+
+TEST(AnonymityTest, SetSizesPerUser) {
+  const std::vector<int> labels = {0, 0, 0, 1, 2, 2};
+  const auto sizes = anonymity_set_sizes(labels);
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 3, 1, 2, 2}));
+}
+
+TEST(AnonymityTest, StatsOnMixedClusters) {
+  const std::vector<int> labels = {0, 0, 0, 0, 0, 1, 2, 2, 3, 3};
+  const AnonymityStats stats = anonymity_from_labels(labels);
+  EXPECT_EQ(stats.min_k, 1u);
+  EXPECT_EQ(stats.max_k, 5u);
+  EXPECT_EQ(stats.unique_users, 1u);
+  EXPECT_EQ(stats.below_5, 5u);   // the 1 + two pairs
+  EXPECT_EQ(stats.below_20, 10u);
+  EXPECT_NEAR(stats.expected_k, (5 * 5 + 1 * 1 + 2 * 2 + 2 * 2) / 10.0,
+              1e-12);
+}
+
+TEST(AnonymityTest, EveryoneUnique) {
+  const std::vector<int> labels = {0, 1, 2, 3};
+  const AnonymityStats stats = anonymity_from_labels(labels);
+  EXPECT_EQ(stats.min_k, 1u);
+  EXPECT_EQ(stats.median_k, 1u);
+  EXPECT_EQ(stats.unique_users, 4u);
+  EXPECT_DOUBLE_EQ(stats.expected_k, 1.0);
+}
+
+TEST(AnonymityTest, OneBigCrowd) {
+  const std::vector<int> labels(100, 7);
+  const AnonymityStats stats = anonymity_from_labels(labels);
+  EXPECT_EQ(stats.min_k, 100u);
+  EXPECT_EQ(stats.unique_users, 0u);
+  EXPECT_EQ(stats.below_20, 0u);
+  EXPECT_DOUBLE_EQ(stats.expected_k, 100.0);
+}
+
+TEST(AnonymityTest, EmptyInput) {
+  const AnonymityStats stats = anonymity_from_labels({});
+  EXPECT_EQ(stats.min_k, 0u);
+  EXPECT_EQ(stats.max_k, 0u);
+}
+
+}  // namespace
+}  // namespace wafp::analysis

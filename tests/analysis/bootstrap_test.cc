@@ -1,0 +1,62 @@
+#include "analysis/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/entropy.h"
+#include "util/rng.h"
+
+namespace wafp::analysis {
+namespace {
+
+double entropy_statistic(std::span<const int> labels) {
+  return diversity_from_labels(labels).entropy;
+}
+
+TEST(BootstrapTest, PointEstimateMatchesDirectComputation) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2, 3, 3};
+  const BootstrapInterval interval =
+      bootstrap_labels(labels, entropy_statistic, 200, 0.95, 7);
+  EXPECT_DOUBLE_EQ(interval.point, 3.0 - 1.0);  // H = 2 bits for 4 equal
+}
+
+TEST(BootstrapTest, IntervalContainsPointForLargeSamples) {
+  util::Rng rng(5);
+  std::vector<int> labels(2000);
+  for (auto& v : labels) v = static_cast<int>(rng.next_below(16));
+  const BootstrapInterval interval =
+      bootstrap_labels(labels, entropy_statistic, 300, 0.95, 11);
+  EXPECT_LE(interval.low, interval.point + 0.02);
+  EXPECT_GE(interval.high, interval.point - 0.02);
+  EXPECT_LT(interval.high - interval.low, 0.3);
+  EXPECT_GT(interval.std_error, 0.0);
+}
+
+TEST(BootstrapTest, WiderConfidenceWiderInterval) {
+  util::Rng rng(9);
+  std::vector<int> labels(300);
+  for (auto& v : labels) v = static_cast<int>(rng.next_below(30));
+  const auto narrow = bootstrap_labels(labels, entropy_statistic, 400, 0.5, 3);
+  const auto wide = bootstrap_labels(labels, entropy_statistic, 400, 0.99, 3);
+  EXPECT_GE(wide.high - wide.low, narrow.high - narrow.low);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  const std::vector<int> labels = {0, 1, 1, 2, 2, 2, 3};
+  const auto a = bootstrap_labels(labels, entropy_statistic, 100, 0.9, 42);
+  const auto b = bootstrap_labels(labels, entropy_statistic, 100, 0.9, 42);
+  EXPECT_EQ(a.low, b.low);
+  EXPECT_EQ(a.high, b.high);
+}
+
+TEST(BootstrapTest, EmptyInputsAreSafe) {
+  const auto interval =
+      bootstrap_labels({}, entropy_statistic, 100, 0.95, 1);
+  EXPECT_EQ(interval.point, 0.0);
+  const std::vector<int> labels = {1, 2};
+  const auto zero_resamples =
+      bootstrap_labels(labels, entropy_statistic, 0, 0.95, 1);
+  EXPECT_EQ(zero_resamples.low, 0.0);
+}
+
+}  // namespace
+}  // namespace wafp::analysis

@@ -1,0 +1,57 @@
+#include "analysis/conditional.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/entropy.h"
+
+namespace wafp::analysis {
+namespace {
+
+TEST(ConditionalEntropyTest, IdenticalVectorsLeaveNothing) {
+  const std::vector<int> x = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(conditional_entropy_bits(x, x), 0.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, IndependentVectorsLeaveEverything) {
+  const std::vector<int> x = {0, 0, 1, 1, 0, 0, 1, 1};
+  const std::vector<int> y = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(conditional_entropy_bits(x, y), 1.0, 1e-12);  // H(x) = 1 bit
+  EXPECT_NEAR(mutual_information_bits(x, y), 0.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, RefinementIsFullyDetermined) {
+  // y refines x: knowing y determines x entirely.
+  const std::vector<int> x = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> y = {0, 0, 1, 1, 2, 2, 3, 3};
+  EXPECT_NEAR(conditional_entropy_bits(x, y), 0.0, 1e-12);
+  // ... but not the other way around.
+  EXPECT_NEAR(conditional_entropy_bits(y, x), 1.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, ChainRuleHolds) {
+  const std::vector<int> x = {0, 1, 2, 0, 1, 2, 0, 1, 2, 1};
+  const std::vector<int> y = {0, 0, 1, 1, 2, 2, 0, 1, 2, 0};
+  const double h_x = diversity_from_labels(x).entropy;
+  const double mi = mutual_information_bits(x, y);
+  EXPECT_NEAR(conditional_entropy_bits(x, y), h_x - mi, 1e-12);
+  // Symmetric MI.
+  EXPECT_NEAR(mutual_information_bits(x, y), mutual_information_bits(y, x),
+              1e-12);
+}
+
+TEST(ConditionalEntropyTest, MatrixDiagonalZeroAndShape) {
+  const std::vector<std::vector<int>> sets = {
+      {0, 0, 1, 1}, {0, 1, 0, 1}, {0, 1, 2, 3}};
+  const auto matrix = conditional_entropy_matrix(sets);
+  ASSERT_EQ(matrix.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(matrix[i][i], 0.0);
+    // Conditioning on the all-distinct vector leaves nothing.
+    EXPECT_NEAR(matrix[i][2], 0.0, 1e-12);
+  }
+  // The all-distinct vector retains entropy given the coarse ones.
+  EXPECT_GT(matrix[2][0], 0.9);
+}
+
+}  // namespace
+}  // namespace wafp::analysis

@@ -1,0 +1,102 @@
+#include "analysis/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wafp::analysis {
+namespace {
+
+TEST(EntropyTest, UniformDistribution) {
+  const std::vector<std::size_t> sizes = {25, 25, 25, 25};
+  EXPECT_NEAR(shannon_entropy_bits(sizes), 2.0, 1e-12);
+}
+
+TEST(EntropyTest, SingleCluster) {
+  const std::vector<std::size_t> sizes = {100};
+  EXPECT_EQ(shannon_entropy_bits(sizes), 0.0);
+}
+
+TEST(EntropyTest, KnownAsymmetricCase) {
+  // p = {0.5, 0.25, 0.25} -> H = 1.5 bits.
+  const std::vector<std::size_t> sizes = {2, 1, 1};
+  EXPECT_NEAR(shannon_entropy_bits(sizes), 1.5, 1e-12);
+}
+
+TEST(EntropyTest, EmptyAndZeroClusters) {
+  EXPECT_EQ(shannon_entropy_bits({}), 0.0);
+  const std::vector<std::size_t> sizes = {10, 0, 0};
+  EXPECT_EQ(shannon_entropy_bits(sizes), 0.0);
+}
+
+TEST(NormalizedEntropyTest, AllUniqueIsOne) {
+  const std::vector<std::size_t> sizes(64, 1);
+  EXPECT_NEAR(normalized_entropy(sizes, 64), 1.0, 1e-12);
+}
+
+TEST(NormalizedEntropyTest, MatchesPaperFormula) {
+  // e_norm = e / log2(U); check with the paper's own numbers: DC has
+  // e = 1.935 over U = 2093 -> e_norm = 1.935 / log2(2093) = 0.1754.
+  EXPECT_NEAR(1.935 / std::log2(2093.0), 0.175, 0.001);
+}
+
+TEST(DiversityStatsTest, CountsDistinctAndUnique) {
+  const std::vector<int> labels = {0, 0, 1, 2, 2, 2, 3};
+  const DiversityStats stats = diversity_from_labels(labels);
+  EXPECT_EQ(stats.distinct, 4u);
+  EXPECT_EQ(stats.unique, 2u);  // labels 1 and 3
+  EXPECT_GT(stats.entropy, 0.0);
+  EXPECT_LT(stats.normalized, 1.0);
+}
+
+TEST(DiversityStatsTest, AllSameLabel) {
+  const std::vector<int> labels(50, 7);
+  const DiversityStats stats = diversity_from_labels(labels);
+  EXPECT_EQ(stats.distinct, 1u);
+  EXPECT_EQ(stats.unique, 0u);
+  EXPECT_EQ(stats.entropy, 0.0);
+}
+
+TEST(CombineLabelsTest, TupleSemantics) {
+  const std::vector<std::vector<int>> sets = {
+      {0, 0, 1, 1},
+      {0, 1, 0, 0},
+  };
+  const std::vector<int> combined = combine_labels(sets);
+  // Tuples: (0,0), (0,1), (1,0), (1,0) -> 3 distinct.
+  EXPECT_EQ(combined[0] == combined[1], false);
+  EXPECT_EQ(combined[2], combined[3]);
+  EXPECT_EQ(diversity_from_labels(combined).distinct, 3u);
+}
+
+TEST(CombineLabelsTest, CombinationAtLeastAsDiverse) {
+  // §4: "the diversity of a combination vector will at least be as much as
+  // the diversity of the most diverse component vector."
+  const std::vector<std::vector<int>> sets = {
+      {0, 1, 2, 0, 1, 2, 0, 1},
+      {0, 0, 0, 0, 1, 1, 1, 1},
+  };
+  const std::vector<int> combined = combine_labels(sets);
+  const auto combined_stats = diversity_from_labels(combined);
+  for (const auto& set : sets) {
+    EXPECT_GE(combined_stats.distinct, diversity_from_labels(set).distinct);
+    EXPECT_GE(combined_stats.entropy,
+              diversity_from_labels(set).entropy - 1e-12);
+  }
+}
+
+TEST(CombineLabelsTest, SingleSetIsIsomorphic) {
+  const std::vector<std::vector<int>> sets = {{5, 7, 5, 9}};
+  const std::vector<int> combined = combine_labels(sets);
+  EXPECT_EQ(combined[0], combined[2]);
+  EXPECT_NE(combined[0], combined[1]);
+  EXPECT_NE(combined[1], combined[3]);
+}
+
+TEST(CombineLabelsTest, EmptyInput) {
+  EXPECT_TRUE(combine_labels({}).empty());
+}
+
+}  // namespace
+}  // namespace wafp::analysis

@@ -1,0 +1,105 @@
+#include "collation/disjoint_set.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wafp::collation {
+namespace {
+
+TEST(DisjointSetTest, FreshElementsAreSingletons) {
+  DisjointSet ds(5);
+  EXPECT_EQ(ds.component_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ds.find(i), i);
+    EXPECT_EQ(ds.component_size(i), 1u);
+  }
+}
+
+TEST(DisjointSetTest, UniteMergesAndCounts) {
+  DisjointSet ds(4);
+  EXPECT_TRUE(ds.unite(0, 1));
+  EXPECT_EQ(ds.component_count(), 3u);
+  EXPECT_TRUE(ds.connected(0, 1));
+  EXPECT_FALSE(ds.connected(0, 2));
+  EXPECT_EQ(ds.component_size(0), 2u);
+
+  EXPECT_FALSE(ds.unite(1, 0));  // already merged
+  EXPECT_EQ(ds.component_count(), 3u);
+}
+
+TEST(DisjointSetTest, TransitiveConnectivity) {
+  DisjointSet ds(6);
+  ds.unite(0, 1);
+  ds.unite(2, 3);
+  ds.unite(1, 2);
+  EXPECT_TRUE(ds.connected(0, 3));
+  EXPECT_EQ(ds.component_size(0), 4u);
+  EXPECT_EQ(ds.component_count(), 3u);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(DisjointSetTest, AddGrowsStructure) {
+  DisjointSet ds;
+  const std::size_t a = ds.add();
+  const std::size_t b = ds.add();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(ds.component_count(), 2u);
+  ds.unite(a, b);
+  EXPECT_EQ(ds.component_count(), 1u);
+}
+
+TEST(DisjointSetTest, ChainCollapsesWithPathCompression) {
+  DisjointSet ds(1000);
+  for (std::size_t i = 1; i < 1000; ++i) ds.unite(i - 1, i);
+  EXPECT_EQ(ds.component_count(), 1u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(ds.find(i), ds.find(0));
+  }
+  EXPECT_EQ(ds.component_size(42), 1000u);
+}
+
+/// Property sweep: random union sequences must agree with a naive
+/// label-propagation implementation.
+class DisjointSetRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisjointSetRandomTest, MatchesNaiveImplementation) {
+  constexpr std::size_t n = 200;
+  DisjointSet ds(n);
+  std::vector<std::size_t> naive(n);
+  for (std::size_t i = 0; i < n; ++i) naive[i] = i;
+
+  util::Rng rng(GetParam());
+  for (int op = 0; op < 400; ++op) {
+    const auto a = static_cast<std::size_t>(rng.next_below(n));
+    const auto b = static_cast<std::size_t>(rng.next_below(n));
+    ds.unite(a, b);
+    const std::size_t from = naive[a];
+    const std::size_t to = naive[b];
+    if (from != to) {
+      for (auto& label : naive) {
+        if (label == from) label = to;
+      }
+    }
+  }
+
+  std::map<std::size_t, std::size_t> naive_sizes;
+  for (const std::size_t label : naive) ++naive_sizes[label];
+  EXPECT_EQ(ds.component_count(), naive_sizes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ASSERT_EQ(ds.connected(i, j), naive[i] == naive[j])
+          << i << " vs " << j;
+    }
+    EXPECT_EQ(ds.component_size(i), naive_sizes[naive[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointSetRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace wafp::collation

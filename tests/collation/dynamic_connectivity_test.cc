@@ -1,0 +1,261 @@
+#include "collation/dynamic_connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "collation/euler_tour_forest.h"
+#include "util/rng.h"
+
+namespace wafp::collation {
+namespace {
+
+/// Naive reference graph: connectivity by BFS, recomputed per query.
+class NaiveGraph {
+ public:
+  explicit NaiveGraph(std::size_t n) : adjacency_(n) {}
+
+  bool insert(std::uint32_t u, std::uint32_t v) {
+    if (u == v || adjacency_[u].contains(v)) return false;
+    adjacency_[u].insert(v);
+    adjacency_[v].insert(u);
+    return true;
+  }
+  bool erase(std::uint32_t u, std::uint32_t v) {
+    if (!adjacency_[u].contains(v)) return false;
+    adjacency_[u].erase(v);
+    adjacency_[v].erase(u);
+    return true;
+  }
+  [[nodiscard]] bool connected(std::uint32_t u, std::uint32_t v) const {
+    return component_of(u).contains(v);
+  }
+  [[nodiscard]] std::set<std::uint32_t> component_of(std::uint32_t u) const {
+    std::set<std::uint32_t> seen = {u};
+    std::vector<std::uint32_t> stack = {u};
+    while (!stack.empty()) {
+      const std::uint32_t x = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t y : adjacency_[x]) {
+        if (seen.insert(y).second) stack.push_back(y);
+      }
+    }
+    return seen;
+  }
+  [[nodiscard]] std::size_t component_count() const {
+    std::set<std::uint32_t> seen;
+    std::size_t count = 0;
+    for (std::uint32_t u = 0; u < adjacency_.size(); ++u) {
+      if (seen.contains(u)) continue;
+      ++count;
+      for (const std::uint32_t x : component_of(u)) seen.insert(x);
+    }
+    return count;
+  }
+
+ private:
+  std::vector<std::set<std::uint32_t>> adjacency_;
+};
+
+TEST(EulerTourForestTest, LinkCutConnectivity) {
+  EulerTourForest forest(6, 1);
+  EXPECT_FALSE(forest.connected(0, 1));
+  forest.link(0, 1);
+  forest.link(1, 2);
+  forest.link(3, 4);
+  EXPECT_TRUE(forest.connected(0, 2));
+  EXPECT_FALSE(forest.connected(0, 3));
+  EXPECT_EQ(forest.component_size(0), 3u);
+  EXPECT_EQ(forest.component_size(3), 2u);
+  EXPECT_EQ(forest.component_size(5), 1u);
+
+  forest.cut(1, 2);
+  EXPECT_FALSE(forest.connected(0, 2));
+  EXPECT_TRUE(forest.connected(0, 1));
+  EXPECT_EQ(forest.component_size(2), 1u);
+}
+
+TEST(EulerTourForestTest, RelinkAfterCut) {
+  EulerTourForest forest(4, 2);
+  forest.link(0, 1);
+  forest.link(2, 3);
+  forest.link(1, 2);
+  EXPECT_TRUE(forest.connected(0, 3));
+  forest.cut(1, 2);
+  forest.link(0, 3);  // reconnect through the other ends
+  EXPECT_TRUE(forest.connected(1, 2));
+  EXPECT_EQ(forest.component_size(0), 4u);
+}
+
+TEST(EulerTourForestTest, FlaggedVertexSearch) {
+  EulerTourForest forest(5, 3);
+  forest.link(0, 1);
+  forest.link(1, 2);
+  EXPECT_FALSE(forest.find_flagged_vertex(0).has_value());
+  forest.set_vertex_flag(2, true);
+  const auto hit = forest.find_flagged_vertex(0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2u);
+  // Flags are per component.
+  EXPECT_FALSE(forest.find_flagged_vertex(3).has_value());
+  forest.set_vertex_flag(2, false);
+  EXPECT_FALSE(forest.find_flagged_vertex(0).has_value());
+}
+
+TEST(EulerTourForestTest, FlaggedEdgeSearch) {
+  EulerTourForest forest(4, 4);
+  forest.link(0, 1);
+  forest.link(1, 2);
+  forest.set_edge_flag(1, 2, true);
+  const auto hit = forest.find_flagged_edge(0);
+  ASSERT_TRUE(hit.has_value());
+  const auto [a, b] = *hit;
+  EXPECT_TRUE((a == 1 && b == 2) || (a == 2 && b == 1));
+  forest.set_edge_flag(1, 2, false);
+  EXPECT_FALSE(forest.find_flagged_edge(0).has_value());
+}
+
+/// Randomized differential test of the forest alone (links/cuts chosen so
+/// the structure stays a forest).
+TEST(EulerTourForestTest, RandomizedAgainstNaive) {
+  constexpr std::size_t n = 40;
+  EulerTourForest forest(n, 5);
+  NaiveGraph naive(n);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> tree_edges;
+  util::Rng rng(99);
+
+  for (int op = 0; op < 3000; ++op) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    if (u == v) continue;
+    if (!forest.connected(u, v)) {
+      forest.link(u, v);
+      naive.insert(u, v);
+      tree_edges.insert({std::min(u, v), std::max(u, v)});
+    } else if (!tree_edges.empty() && rng.next_bool(0.5)) {
+      // Cut a random existing tree edge.
+      auto it = tree_edges.begin();
+      std::advance(it, rng.next_below(tree_edges.size()));
+      forest.cut(it->first, it->second);
+      naive.erase(it->first, it->second);
+      tree_edges.erase(it);
+    }
+    // Spot-check connectivity + sizes.
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    ASSERT_EQ(forest.connected(a, b), naive.connected(a, b))
+        << "op " << op << " pair " << a << "," << b;
+    ASSERT_EQ(forest.component_size(a), naive.component_of(a).size())
+        << "op " << op;
+  }
+}
+
+TEST(DynamicConnectivityTest, BasicInsertDelete) {
+  DynamicConnectivity dc(5);
+  EXPECT_EQ(dc.component_count(), 5u);
+  EXPECT_TRUE(dc.insert_edge(0, 1));
+  EXPECT_TRUE(dc.insert_edge(1, 2));
+  EXPECT_EQ(dc.component_count(), 3u);
+  EXPECT_TRUE(dc.connected(0, 2));
+
+  EXPECT_TRUE(dc.delete_edge(0, 1));
+  EXPECT_FALSE(dc.connected(0, 2));
+  EXPECT_EQ(dc.component_count(), 4u);
+}
+
+TEST(DynamicConnectivityTest, ReplacementEdgeFound) {
+  // Delete a tree edge when a parallel path exists: must stay connected.
+  DynamicConnectivity dc(4);
+  dc.insert_edge(0, 1);
+  dc.insert_edge(1, 2);
+  dc.insert_edge(2, 3);
+  dc.insert_edge(3, 0);  // cycle
+  EXPECT_EQ(dc.component_count(), 1u);
+  EXPECT_TRUE(dc.delete_edge(0, 1));
+  EXPECT_TRUE(dc.connected(0, 1));  // via 0-3-2-1
+  EXPECT_EQ(dc.component_count(), 1u);
+  EXPECT_TRUE(dc.delete_edge(2, 3));
+  EXPECT_FALSE(dc.connected(0, 1));
+}
+
+TEST(DynamicConnectivityTest, DuplicateAndSelfEdgesRejected) {
+  DynamicConnectivity dc(3);
+  EXPECT_TRUE(dc.insert_edge(0, 1));
+  EXPECT_FALSE(dc.insert_edge(0, 1));
+  EXPECT_FALSE(dc.insert_edge(1, 0));
+  EXPECT_FALSE(dc.insert_edge(2, 2));
+  EXPECT_FALSE(dc.delete_edge(0, 2));
+  EXPECT_TRUE(dc.has_edge(1, 0));
+}
+
+TEST(DynamicConnectivityTest, ComponentSizes) {
+  DynamicConnectivity dc(6);
+  dc.insert_edge(0, 1);
+  dc.insert_edge(1, 2);
+  dc.insert_edge(3, 4);
+  EXPECT_EQ(dc.component_size(0), 3u);
+  EXPECT_EQ(dc.component_size(4), 2u);
+  EXPECT_EQ(dc.component_size(5), 1u);
+}
+
+class DynamicConnectivityRandomTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicConnectivityRandomTest, MatchesNaiveUnderChurn) {
+  constexpr std::size_t n = 48;
+  DynamicConnectivity dc(n, GetParam());
+  NaiveGraph naive(n);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> live_edges;
+  util::Rng rng(GetParam() * 7919 + 13);
+
+  for (int op = 0; op < 2500; ++op) {
+    const auto u = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto v = static_cast<std::uint32_t>(rng.next_below(n));
+    const bool do_delete = !live_edges.empty() && rng.next_bool(0.45);
+    if (do_delete) {
+      auto it = live_edges.begin();
+      std::advance(it, rng.next_below(live_edges.size()));
+      ASSERT_TRUE(dc.delete_edge(it->first, it->second));
+      naive.erase(it->first, it->second);
+      live_edges.erase(it);
+    } else if (u != v) {
+      const bool inserted = dc.insert_edge(u, v);
+      ASSERT_EQ(inserted, naive.insert(u, v));
+      if (inserted) live_edges.insert({std::min(u, v), std::max(u, v)});
+    }
+
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    ASSERT_EQ(dc.connected(a, b), naive.connected(a, b)) << "op " << op;
+    if (op % 50 == 0) {
+      ASSERT_EQ(dc.component_count(), naive.component_count()) << "op " << op;
+      ASSERT_EQ(dc.component_size(a), naive.component_of(a).size())
+          << "op " << op;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicConnectivityRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DynamicConnectivityTest, DenseThenTeardown) {
+  // Build a complete-ish graph, then delete every edge; component count
+  // must return to n.
+  constexpr std::size_t n = 20;
+  DynamicConnectivity dc(n);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      dc.insert_edge(u, v);
+      edges.emplace_back(u, v);
+    }
+  }
+  EXPECT_EQ(dc.component_count(), 1u);
+  for (const auto& [u, v] : edges) ASSERT_TRUE(dc.delete_edge(u, v));
+  EXPECT_EQ(dc.component_count(), n);
+  EXPECT_EQ(dc.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wafp::collation

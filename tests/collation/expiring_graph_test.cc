@@ -1,0 +1,117 @@
+#include "collation/expiring_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace wafp::collation {
+namespace {
+
+util::Digest efp(int i) { return util::sha256("exp-" + std::to_string(i)); }
+
+TEST(ExpiringGraphTest, BehavesLikePlainGraphWithoutExpiry) {
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 10);
+  graph.add_observation(1, efp(2), 11);
+  graph.add_observation(2, efp(2), 12);
+  graph.add_observation(3, efp(3), 13);
+  EXPECT_EQ(graph.active_user_count(), 3u);
+  EXPECT_EQ(graph.cluster_count(), 2u);
+  EXPECT_TRUE(graph.same_cluster(1, 2));
+  EXPECT_FALSE(graph.same_cluster(1, 3));
+}
+
+TEST(ExpiringGraphTest, ExpiryDisconnectsStaleBridges) {
+  ExpiringFingerprintGraph graph(64);
+  // Users 1 and 2 were joined only by an old shared fingerprint.
+  graph.add_observation(1, efp(1), 5);   // old
+  graph.add_observation(2, efp(1), 5);   // old
+  graph.add_observation(1, efp(10), 50);  // fresh personal prints
+  graph.add_observation(2, efp(20), 50);
+  EXPECT_TRUE(graph.same_cluster(1, 2));
+
+  graph.expire_before(20);
+  EXPECT_FALSE(graph.same_cluster(1, 2));
+  EXPECT_EQ(graph.cluster_count(), 2u);
+  EXPECT_EQ(graph.active_user_count(), 2u);
+}
+
+TEST(ExpiringGraphTest, UsersVanishWhenAllObservationsExpire) {
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 1);
+  graph.add_observation(2, efp(2), 100);
+  EXPECT_EQ(graph.active_user_count(), 2u);
+  graph.expire_before(50);
+  EXPECT_EQ(graph.active_user_count(), 1u);
+  EXPECT_EQ(graph.cluster_count(), 1u);
+  EXPECT_FALSE(graph.user_component(1).has_value());
+  EXPECT_TRUE(graph.user_component(2).has_value());
+}
+
+TEST(ExpiringGraphTest, ReobservationRefreshesTimestamp) {
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 10);
+  graph.add_observation(1, efp(1), 90);  // refreshed
+  graph.expire_before(50);
+  EXPECT_EQ(graph.active_user_count(), 1u);  // survived thanks to refresh
+  graph.expire_before(95);
+  EXPECT_EQ(graph.active_user_count(), 0u);
+}
+
+TEST(ExpiringGraphTest, MatchAgainstLiveGraph) {
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 10);
+  graph.add_observation(1, efp(2), 10);
+  graph.add_observation(2, efp(3), 10);
+
+  const std::vector<util::Digest> probe = {efp(2)};
+  const auto hit = graph.match(probe);
+  const auto expected = graph.user_component(1);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_TRUE(graph.nodes_connected(*hit, *expected));
+
+  const std::vector<util::Digest> unknown = {efp(999)};
+  EXPECT_FALSE(graph.match(unknown).has_value());
+}
+
+TEST(ExpiringGraphTest, MatchIgnoresExpiredFingerprints) {
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 10);
+  graph.add_observation(1, efp(2), 95);
+  graph.expire_before(50);
+  const std::vector<util::Digest> stale_probe = {efp(1)};
+  EXPECT_FALSE(graph.match(stale_probe).has_value());
+  const std::vector<util::Digest> live_probe = {efp(2)};
+  EXPECT_TRUE(graph.match(live_probe).has_value());
+}
+
+TEST(ExpiringGraphTest, SlidingWindowChurn) {
+  // Simulate a fingerprinter keeping a 100-tick window over a population
+  // of 10 platforms x 20 users with repeated visits.
+  ExpiringFingerprintGraph graph(4096);
+  std::uint64_t now = 0;
+  for (int round = 0; round < 30; ++round) {
+    now += 10;  // each round is one "day"; the window covers 10 rounds
+    for (std::uint32_t user = 0; user < 200; ++user) {
+      graph.add_observation(user, efp(static_cast<int>(user % 10)), now);
+    }
+    graph.expire_before(now > 100 ? now - 100 : 0);
+  }
+  // All users revisit within the window, so the 10 platform clusters stand.
+  EXPECT_EQ(graph.cluster_count(), 10u);
+  EXPECT_EQ(graph.active_user_count(), 200u);
+
+  // Stop the visits; expire everything.
+  graph.expire_before(now + 1);
+  EXPECT_EQ(graph.active_user_count(), 0u);
+  EXPECT_EQ(graph.cluster_count(), 0u);
+}
+
+TEST(ExpiringGraphTest, CapacityExhaustionThrows) {
+  ExpiringFingerprintGraph graph(3);
+  graph.add_observation(1, efp(1), 1);   // 2 nodes
+  graph.add_observation(1, efp(2), 1);   // 3 nodes
+  EXPECT_THROW(graph.add_observation(2, efp(3), 1), std::length_error);
+}
+
+}  // namespace
+}  // namespace wafp::collation

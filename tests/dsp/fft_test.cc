@@ -1,0 +1,231 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wafp::dsp {
+namespace {
+
+std::shared_ptr<const MathLibrary> precise() {
+  static const std::shared_ptr<const MathLibrary> math =
+      make_math_library(MathVariant::kPrecise);
+  return math;
+}
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.next_double() * 2.0 - 1.0;
+  return out;
+}
+
+using FftParam = std::tuple<FftVariant, TwiddleMode, std::size_t>;
+
+class FftAccuracyTest : public ::testing::TestWithParam<FftParam> {};
+
+TEST_P(FftAccuracyTest, MatchesNaiveDft) {
+  const auto [variant, mode, n] = GetParam();
+  const auto engine = make_fft_engine(variant, precise(), mode);
+  ASSERT_TRUE(engine->supports_size(n));
+
+  std::vector<double> re = random_signal(n, 1);
+  std::vector<double> im = random_signal(n, 2);
+  std::vector<double> want_re(n), want_im(n);
+  naive_dft(re, im, want_re, want_im, *precise());
+
+  engine->forward(re, im);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], want_re[k], 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+    EXPECT_NEAR(im[k], want_im[k], 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+  }
+}
+
+TEST_P(FftAccuracyTest, InverseRoundTrip) {
+  const auto [variant, mode, n] = GetParam();
+  const auto engine = make_fft_engine(variant, precise(), mode);
+
+  const std::vector<double> orig_re = random_signal(n, 3);
+  const std::vector<double> orig_im = random_signal(n, 4);
+  std::vector<double> re = orig_re, im = orig_im;
+  engine->forward(re, im);
+  engine->inverse(re, im);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], orig_re[k], 1e-9);
+    EXPECT_NEAR(im[k], orig_im[k], 1e-9);
+  }
+}
+
+TEST_P(FftAccuracyTest, ImpulseGivesFlatSpectrum) {
+  const auto [variant, mode, n] = GetParam();
+  const auto engine = make_fft_engine(variant, precise(), mode);
+  std::vector<double> re(n, 0.0), im(n, 0.0);
+  re[0] = 1.0;
+  engine->forward(re, im);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(re[k], 1.0, 1e-10);
+    EXPECT_NEAR(im[k], 0.0, 1e-10);
+  }
+}
+
+TEST_P(FftAccuracyTest, ParsevalHolds) {
+  const auto [variant, mode, n] = GetParam();
+  const auto engine = make_fft_engine(variant, precise(), mode);
+  std::vector<double> re = random_signal(n, 5);
+  std::vector<double> im(n, 0.0);
+  double time_energy = 0.0;
+  for (const double v : re) time_energy += v * v;
+  engine->forward(re, im);
+  double freq_energy = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    freq_energy += re[k] * re[k] + im[k] * im[k];
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-7 * time_energy);
+}
+
+TEST_P(FftAccuracyTest, Linearity) {
+  const auto [variant, mode, n] = GetParam();
+  const auto engine = make_fft_engine(variant, precise(), mode);
+  std::vector<double> a = random_signal(n, 6);
+  std::vector<double> b = random_signal(n, 7);
+  std::vector<double> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + b[i];
+
+  std::vector<double> a_im(n, 0.0), b_im(n, 0.0), sum_im(n, 0.0);
+  engine->forward(a, a_im);
+  engine->forward(b, b_im);
+  engine->forward(sum, sum_im);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(sum[k], 2.0 * a[k] + b[k], 1e-8);
+    EXPECT_NEAR(sum_im[k], 2.0 * a_im[k] + b_im[k], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAndSizes, FftAccuracyTest,
+    ::testing::Combine(
+        ::testing::Values(FftVariant::kRadix2, FftVariant::kRadix4,
+                          FftVariant::kSplitRadix, FftVariant::kBluestein),
+        ::testing::Values(TwiddleMode::kDirect, TwiddleMode::kRecurrence),
+        ::testing::Values(std::size_t{2}, std::size_t{8}, std::size_t{64},
+                          std::size_t{256}, std::size_t{2048})),
+    [](const ::testing::TestParamInfo<FftParam>& info) {
+      std::string name(to_string(std::get<0>(info.param)));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      name += std::get<1>(info.param) == TwiddleMode::kDirect ? "_direct"
+                                                              : "_recur";
+      name += "_n" + std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+TEST(BluesteinTest, SupportsNonPowerOfTwoSizes) {
+  const auto engine =
+      make_fft_engine(FftVariant::kBluestein, precise(), TwiddleMode::kDirect);
+  for (const std::size_t n : {3u, 5u, 7u, 12u, 100u, 441u}) {
+    ASSERT_TRUE(engine->supports_size(n));
+    std::vector<double> re = random_signal(n, n);
+    std::vector<double> im = random_signal(n, n + 1);
+    std::vector<double> want_re(n), want_im(n);
+    naive_dft(re, im, want_re, want_im, *precise());
+    engine->forward(re, im);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(re[k], want_re[k], 1e-7) << "n=" << n << " k=" << k;
+      EXPECT_NEAR(im[k], want_im[k], 1e-7) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FftEngineTest, PowerOfTwoOnlyEnginesRejectOtherSizes) {
+  for (const FftVariant v :
+       {FftVariant::kRadix2, FftVariant::kRadix4, FftVariant::kSplitRadix}) {
+    const auto engine = make_fft_engine(v, precise());
+    EXPECT_TRUE(engine->supports_size(1024));
+    EXPECT_FALSE(engine->supports_size(1000));
+    EXPECT_FALSE(engine->supports_size(0));
+  }
+}
+
+TEST(FftEngineTest, VariantsDifferInLowOrderBits) {
+  // The fingerprinting premise: all engines compute the same DFT, but at
+  // least some of them disagree in the exact bits.
+  constexpr std::size_t n = 2048;
+  const std::vector<double> signal = random_signal(n, 11);
+
+  std::vector<std::vector<double>> spectra;
+  for (const FftVariant v :
+       {FftVariant::kRadix2, FftVariant::kRadix4, FftVariant::kSplitRadix,
+        FftVariant::kBluestein}) {
+    std::vector<double> re = signal, im(n, 0.0);
+    make_fft_engine(v, precise())->forward(re, im);
+    spectra.push_back(std::move(re));
+  }
+  int differing_pairs = 0;
+  for (std::size_t i = 0; i < spectra.size(); ++i) {
+    for (std::size_t j = i + 1; j < spectra.size(); ++j) {
+      if (spectra[i] != spectra[j]) ++differing_pairs;
+    }
+  }
+  EXPECT_EQ(differing_pairs, 6);  // all pairs differ bit-wise
+}
+
+TEST(FftEngineTest, TwiddleModesDifferInLowOrderBits) {
+  constexpr std::size_t n = 2048;
+  const std::vector<double> signal = random_signal(n, 13);
+  std::vector<double> re_a = signal, im_a(n, 0.0);
+  std::vector<double> re_b = signal, im_b(n, 0.0);
+  make_fft_engine(FftVariant::kRadix2, precise(), TwiddleMode::kDirect)
+      ->forward(re_a, im_a);
+  make_fft_engine(FftVariant::kRadix2, precise(), TwiddleMode::kRecurrence)
+      ->forward(re_b, im_b);
+  EXPECT_NE(re_a, re_b);
+}
+
+TEST(FftEngineTest, MathVariantChangesBits) {
+  constexpr std::size_t n = 1024;
+  const std::vector<double> signal = random_signal(n, 17);
+  std::vector<double> re_a = signal, im_a(n, 0.0);
+  std::vector<double> re_b = signal, im_b(n, 0.0);
+  make_fft_engine(FftVariant::kRadix2, precise())->forward(re_a, im_a);
+  make_fft_engine(FftVariant::kRadix2,
+                  make_math_library(MathVariant::kFdlibm))
+      ->forward(re_b, im_b);
+  EXPECT_NE(re_a, re_b);
+}
+
+TEST(FftEngineTest, DeterministicAcrossCalls) {
+  constexpr std::size_t n = 512;
+  const auto engine = make_fft_engine(FftVariant::kSplitRadix, precise());
+  const std::vector<double> signal = random_signal(n, 19);
+  std::vector<double> re_a = signal, im_a(n, 0.0);
+  std::vector<double> re_b = signal, im_b(n, 0.0);
+  engine->forward(re_a, im_a);
+  engine->forward(re_b, im_b);
+  EXPECT_EQ(re_a, re_b);
+  EXPECT_EQ(im_a, im_b);
+}
+
+TEST(NaiveDftTest, SingleToneLandsInOneBin) {
+  constexpr std::size_t n = 64;
+  std::vector<double> re(n), im(n, 0.0), out_re(n), out_im(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    re[t] = std::cos(2.0 * std::numbers::pi * 4.0 * static_cast<double>(t) /
+                     static_cast<double>(n));
+  }
+  naive_dft(re, im, out_re, out_im, *precise());
+  EXPECT_NEAR(out_re[4], static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(out_re[n - 4], static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(out_re[5], 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wafp::dsp

@@ -1,0 +1,174 @@
+#include "dsp/math_library.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+namespace wafp::dsp {
+namespace {
+
+const std::vector<MathVariant> kAllVariants = {
+    MathVariant::kPrecise,      MathVariant::kFdlibm,
+    MathVariant::kFdlibmLegacy, MathVariant::kFastPoly,
+    MathVariant::kFastPolyTrim, MathVariant::kVectorized,
+    MathVariant::kTable,
+};
+
+/// Worst acceptable absolute error per variant on moderate arguments.
+double tolerance(MathVariant v) {
+  switch (v) {
+    case MathVariant::kPrecise: return 1e-15;
+    case MathVariant::kFdlibm: return 1e-12;
+    case MathVariant::kFdlibmLegacy: return 1e-10;
+    case MathVariant::kFastPoly: return 1e-6;
+    case MathVariant::kFastPolyTrim: return 1e-5;
+    case MathVariant::kVectorized: return 1e-4;  // float precision
+    case MathVariant::kTable: return 2e-3;       // linear interpolation
+  }
+  return 1e-3;
+}
+
+class MathVariantTest : public ::testing::TestWithParam<MathVariant> {
+ protected:
+  std::shared_ptr<const MathLibrary> lib_ = make_math_library(GetParam());
+  double tol_ = tolerance(GetParam());
+};
+
+TEST_P(MathVariantTest, SinCosAccuracy) {
+  for (double x = -10.0; x <= 10.0; x += 0.0917) {
+    EXPECT_NEAR(lib_->sin(x), std::sin(x), tol_ * 2.0) << "x=" << x;
+    EXPECT_NEAR(lib_->cos(x), std::cos(x), tol_ * 2.0) << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, PythagoreanIdentity) {
+  for (double x = -6.0; x <= 6.0; x += 0.371) {
+    const double s = lib_->sin(x);
+    const double c = lib_->cos(x);
+    EXPECT_NEAR(s * s + c * c, 1.0, tol_ * 8.0) << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, ExpAccuracy) {
+  for (double x = -20.0; x <= 20.0; x += 0.477) {
+    const double want = std::exp(x);
+    EXPECT_NEAR(lib_->exp(x), want, tol_ * want * 4.0 + 1e-300) << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, LogAccuracy) {
+  for (double x = 1e-6; x <= 1e6; x *= 3.7) {
+    EXPECT_NEAR(lib_->log(x), std::log(x), tol_ * 16.0) << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, Log10ConsistentWithLog) {
+  // Native log10 implementations round independently of log/ln10, so only
+  // demand agreement to a few parts in 1e9.
+  for (double x = 0.001; x <= 1000.0; x *= 2.3) {
+    EXPECT_NEAR(lib_->log10(x), lib_->log(x) / std::numbers::ln10,
+                tol_ * 8.0 + 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, PowAccuracy) {
+  for (double base = 0.1; base <= 10.0; base *= 2.1) {
+    for (double e = -3.0; e <= 3.0; e += 0.7) {
+      const double want = std::pow(base, e);
+      EXPECT_NEAR(lib_->pow(base, e), want, tol_ * want * 32.0 + tol_)
+          << base << "^" << e;
+    }
+  }
+}
+
+TEST_P(MathVariantTest, TanhAccuracyAndSaturation) {
+  for (double x = -10.0; x <= 10.0; x += 0.23) {
+    EXPECT_NEAR(lib_->tanh(x), std::tanh(x), tol_ * 16.0 + 2e-5) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(lib_->tanh(40.0), 1.0);
+  EXPECT_DOUBLE_EQ(lib_->tanh(-40.0), -1.0);
+}
+
+TEST_P(MathVariantTest, AtanAccuracy) {
+  for (double x = -20.0; x <= 20.0; x += 0.313) {
+    EXPECT_NEAR(lib_->atan(x), std::atan(x), tol_ * 8.0 + 3e-5) << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, Expm1NearZero) {
+  for (double x = -0.4; x <= 0.4; x += 0.037) {
+    EXPECT_NEAR(lib_->expm1(x), std::expm1(x), tol_ * 4.0 + 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST_P(MathVariantTest, SpecialValues) {
+  EXPECT_TRUE(std::isnan(lib_->sin(std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isnan(lib_->log(-1.0)));
+  EXPECT_EQ(lib_->log(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(lib_->exp(-1000.0), 0.0);
+  EXPECT_EQ(lib_->pow(5.0, 0.0), 1.0);
+  EXPECT_EQ(lib_->pow(0.0, 2.0), 0.0);
+}
+
+TEST_P(MathVariantTest, DecibelConversionsRoundTrip) {
+  for (double db = -90.0; db <= 20.0; db += 7.3) {
+    const double linear = lib_->decibels_to_linear(db);
+    EXPECT_NEAR(lib_->linear_to_decibels(linear), db, 1e-3) << db;
+  }
+  EXPECT_EQ(lib_->linear_to_decibels(0.0), -1000.0);
+}
+
+TEST_P(MathVariantTest, NameMatchesVariant) {
+  EXPECT_EQ(lib_->variant(), GetParam());
+  EXPECT_EQ(lib_->name(), to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, MathVariantTest,
+                         ::testing::ValuesIn(kAllVariants),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(MathLibraryTest, VariantsDifferBitwise) {
+  // Every pair of variants must disagree in at least one battery value —
+  // otherwise two "different" platforms would collapse.
+  const std::vector<double> args = {0.5, 1.0, 2.0, 3.3, 7.7, 123.456};
+  int indistinguishable_pairs = 0;
+  for (std::size_t i = 0; i < kAllVariants.size(); ++i) {
+    for (std::size_t j = i + 1; j < kAllVariants.size(); ++j) {
+      const auto a = make_math_library(kAllVariants[i]);
+      const auto b = make_math_library(kAllVariants[j]);
+      bool differs = false;
+      for (const double x : args) {
+        if (a->sin(x) != b->sin(x) || a->exp(x) != b->exp(x) ||
+            a->log(x) != b->log(x) || a->tanh(x) != b->tanh(x)) {
+          differs = true;
+          break;
+        }
+      }
+      if (!differs) ++indistinguishable_pairs;
+    }
+  }
+  EXPECT_EQ(indistinguishable_pairs, 0);
+}
+
+TEST(MathLibraryTest, DeterministicAcrossInstances) {
+  const auto a = make_math_library(MathVariant::kTable);
+  const auto b = make_math_library(MathVariant::kTable);
+  for (double x = -5.0; x <= 5.0; x += 0.1) {
+    EXPECT_EQ(a->sin(x), b->sin(x));
+    EXPECT_EQ(a->exp(x), b->exp(x));
+  }
+}
+
+}  // namespace
+}  // namespace wafp::dsp

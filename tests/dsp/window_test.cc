@@ -1,0 +1,63 @@
+#include "dsp/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wafp::dsp {
+namespace {
+
+std::shared_ptr<const MathLibrary> precise() {
+  return make_math_library(MathVariant::kPrecise);
+}
+
+TEST(BlackmanWindowTest, ClassicEndpointsNearZero) {
+  const auto w = blackman_window(256, *precise());
+  ASSERT_EQ(w.size(), 256u);
+  // a0 - a1 + a2 = 0.42 - 0.5 + 0.08 = 0 at i = 0.
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+}
+
+TEST(BlackmanWindowTest, PeakNearCentre) {
+  const auto w = blackman_window(512, *precise());
+  EXPECT_NEAR(w[256], 1.0, 1e-9);  // a0 + a1 + a2 = 1 at i = N/2
+  for (const double v : w) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(BlackmanWindowTest, SymmetricAboutCentre) {
+  const auto w = blackman_window(128, *precise());
+  for (std::size_t i = 1; i < 64; ++i) {
+    EXPECT_NEAR(w[i], w[128 - i], 1e-12) << i;
+  }
+}
+
+TEST(BlackmanWindowTest, AlphaChangesWindow) {
+  const auto classic = blackman_window(64, *precise(), 0.16);
+  const auto variant = blackman_window(64, *precise(), 0.158);
+  EXPECT_NE(classic, variant);
+  // ... but only slightly: same shape.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(classic[i], variant[i], 0.01);
+  }
+}
+
+TEST(BlackmanWindowTest, MathVariantChangesBits) {
+  const auto a = blackman_window(64, *precise());
+  const auto b = blackman_window(64, *make_math_library(MathVariant::kTable));
+  EXPECT_NE(a, b);
+}
+
+TEST(ApplyWindowTest, MultipliesElementwise) {
+  std::vector<double> data = {1.0, 2.0, 3.0};
+  const std::vector<double> window = {0.5, 1.0, 0.0};
+  apply_window(data, window);
+  EXPECT_DOUBLE_EQ(data[0], 0.5);
+  EXPECT_DOUBLE_EQ(data[1], 2.0);
+  EXPECT_DOUBLE_EQ(data[2], 0.0);
+}
+
+}  // namespace
+}  // namespace wafp::dsp

@@ -1,0 +1,227 @@
+#include "platform/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "platform/population.h"
+
+namespace wafp::platform {
+namespace {
+
+/// One shared 2093-user population (matching the study size) for the
+/// distribution checks.
+const Population& test_population() {
+  static const DeviceCatalog catalog;
+  static const Population population(catalog, 2093, 777);
+  return population;
+}
+
+TEST(CatalogTest, OsMarginalsMatchPaper) {
+  std::map<OsFamily, int> counts;
+  for (const auto& u : test_population().users()) ++counts[u.profile.os];
+  const double n = 2093.0;
+  // Paper §2.3: Windows 78.5%, macOS 9.4%, Android 6.9%, Linux 5.2%.
+  EXPECT_NEAR(counts[OsFamily::kWindows] / n, 0.785, 0.03);
+  EXPECT_NEAR(counts[OsFamily::kMacOs] / n, 0.094, 0.02);
+  EXPECT_NEAR(counts[OsFamily::kAndroid] / n, 0.069, 0.02);
+  EXPECT_NEAR(counts[OsFamily::kLinux] / n, 0.052, 0.02);
+}
+
+TEST(CatalogTest, FirefoxShareMatchesPaper) {
+  int firefox = 0;
+  for (const auto& u : test_population().users()) {
+    if (u.profile.browser == BrowserFamily::kFirefox) ++firefox;
+  }
+  // Paper §2.3: 9.6% Firefox, rest Chromium-family.
+  EXPECT_NEAR(firefox / 2093.0, 0.096, 0.03);
+}
+
+TEST(CatalogTest, EngineConsistentWithBrowser) {
+  for (const auto& u : test_population().users()) {
+    if (u.profile.browser == BrowserFamily::kFirefox) {
+      EXPECT_EQ(u.profile.engine, BrowserEngine::kGecko);
+      EXPECT_EQ(u.profile.audio.fft, dsp::FftVariant::kSplitRadix);
+    } else {
+      EXPECT_EQ(u.profile.engine, BrowserEngine::kBlink);
+    }
+  }
+}
+
+TEST(CatalogTest, BrowserOsCombinationsAreRealistic) {
+  for (const auto& u : test_population().users()) {
+    const auto& p = u.profile;
+    if (p.browser == BrowserFamily::kSamsungInternet ||
+        p.browser == BrowserFamily::kSilk) {
+      EXPECT_EQ(p.os, OsFamily::kAndroid);
+    }
+    if (p.browser == BrowserFamily::kYandex) {
+      EXPECT_EQ(p.os, OsFamily::kWindows);
+    }
+    if (p.os == OsFamily::kAndroid) {
+      EXPECT_FALSE(p.device_model.empty());
+    } else {
+      EXPECT_TRUE(p.device_model.empty());
+    }
+  }
+}
+
+TEST(CatalogTest, CountryPoolIsWide) {
+  std::map<std::string, int> countries;
+  for (const auto& u : test_population().users()) ++countries[u.profile.country];
+  // Paper: 57 countries; US, India, Brazil, Italy each >= 100 participants.
+  EXPECT_GE(countries.size(), 40u);
+  EXPECT_GE(countries["US"], 100);
+  EXPECT_GE(countries["IN"], 100);
+  EXPECT_GE(countries["BR"], 100);
+  EXPECT_GE(countries["IT"], 100);
+}
+
+TEST(CatalogTest, UserAgentsAreWellFormed) {
+  for (const auto& u : test_population().users()) {
+    const std::string ua = u.profile.user_agent();
+    EXPECT_TRUE(ua.starts_with("Mozilla/5.0 (")) << ua;
+    if (u.profile.engine == BrowserEngine::kGecko) {
+      EXPECT_NE(ua.find("Firefox/"), std::string::npos) << ua;
+    } else {
+      EXPECT_NE(ua.find("AppleWebKit/537.36"), std::string::npos) << ua;
+    }
+  }
+}
+
+TEST(CatalogTest, DeterministicForSameSeed) {
+  const DeviceCatalog catalog;
+  const Population a(catalog, 50, 42);
+  const Population b(catalog, 50, 42);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.user(i).profile.user_agent(), b.user(i).profile.user_agent());
+    EXPECT_EQ(a.user(i).profile.audio.class_key(),
+              b.user(i).profile.audio.class_key());
+    EXPECT_EQ(a.user(i).seed, b.user(i).seed);
+  }
+}
+
+TEST(CatalogTest, DifferentSeedsDiffer) {
+  const DeviceCatalog catalog;
+  const Population a(catalog, 50, 1);
+  const Population b(catalog, 50, 2);
+  int identical = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    if (a.user(i).profile.user_agent() == b.user(i).profile.user_agent()) {
+      ++identical;
+    }
+  }
+  EXPECT_LT(identical, 40);
+}
+
+TEST(CatalogTest, FicklenessMixtureHasThreeModes) {
+  int stable = 0, low = 0, high = 0;
+  for (const auto& u : test_population().users()) {
+    const double f = u.profile.fickle.flakiness;
+    if (f == 0.0) ++stable;
+    else if (f < 0.2) ++low;
+    else ++high;
+  }
+  EXPECT_NEAR(stable / 2093.0, 0.33, 0.05);
+  EXPECT_GT(low, high);
+  EXPECT_GT(high, 5);       // the heavy tail exists
+  EXPECT_LT(high / 2093.0, 0.05);  // ... but is small
+}
+
+TEST(CatalogTest, WindowsChromeMainstreamSharesOneDcClass) {
+  // Paper Table 5: 393 Windows/Chrome users -> one DC fingerprint. The
+  // DC-visible part of the stack must be near-constant for mainstream
+  // Windows Chrome.
+  std::map<std::string, int> dc_keys;
+  for (const auto& u : test_population().users()) {
+    const auto& p = u.profile;
+    if (p.os != OsFamily::kWindows || p.browser != BrowserFamily::kChrome) {
+      continue;
+    }
+    // DC-visible knobs only (no FFT/twiddle/analyser fields).
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s|%d|%d|%.17g|%.17g|%.17g",
+                  std::string(dsp::to_string(p.audio.math)).c_str(),
+                  static_cast<int>(p.audio.denormal),
+                  p.audio.fma_contraction ? 1 : 0,
+                  p.audio.compressor.release_zone2,
+                  p.audio.compressor.release_zone3,
+                  p.audio.compressor.metering_release_seconds);
+    ++dc_keys[buf];
+  }
+  // The dominant class holds the vast majority (legacy builds are the only
+  // exception).
+  int max_count = 0, total = 0;
+  for (const auto& [key, count] : dc_keys) {
+    max_count = std::max(max_count, count);
+    total += count;
+  }
+  EXPECT_GT(max_count, total * 9 / 10);
+}
+
+TEST(CatalogTest, SimdTierIndependentOfBrowserVersion) {
+  // The tier is a CPU property: within one browser version users must span
+  // several tiers (this is what lets one UA cover many audio clusters).
+  std::map<std::string, std::set<int>> tiers_by_version;
+  for (const auto& u : test_population().users()) {
+    const auto& p = u.profile;
+    if (p.os == OsFamily::kWindows && p.browser == BrowserFamily::kChrome) {
+      tiers_by_version[p.browser_version].insert(p.simd_tier);
+    }
+  }
+  std::size_t multi_tier_versions = 0;
+  for (const auto& [version, tiers] : tiers_by_version) {
+    if (tiers.size() > 1) ++multi_tier_versions;
+  }
+  EXPECT_GE(multi_tier_versions, 3u);
+}
+
+TEST(CatalogTest, JsMathFollowsEngineNotOs) {
+  for (const auto& u : test_population().users()) {
+    if (u.profile.engine == BrowserEngine::kBlink) {
+      EXPECT_EQ(u.profile.js_math, dsp::MathVariant::kPrecise);
+    } else {
+      EXPECT_EQ(u.profile.js_math, dsp::MathVariant::kFdlibm);
+    }
+  }
+}
+
+TEST(AudioStackTest, ClassKeyDistinguishesEveryKnob) {
+  AudioStack base;
+  const std::string base_key = base.class_key();
+
+  AudioStack m = base;
+  m.math = dsp::MathVariant::kTable;
+  EXPECT_NE(m.class_key(), base_key);
+
+  AudioStack f = base;
+  f.fft = dsp::FftVariant::kBluestein;
+  EXPECT_NE(f.class_key(), base_key);
+
+  AudioStack t = base;
+  t.twiddle = dsp::TwiddleMode::kRecurrence;
+  EXPECT_NE(t.class_key(), base_key);
+
+  AudioStack d = base;
+  d.denormal = dsp::DenormalPolicy::kFlushToZero;
+  EXPECT_NE(d.class_key(), base_key);
+
+  AudioStack fm = base;
+  fm.fma_contraction = true;
+  EXPECT_NE(fm.class_key(), base_key);
+
+  AudioStack c = base;
+  c.compressor.release_zone4 += 0.01;
+  EXPECT_NE(c.class_key(), base_key);
+
+  AudioStack a = base;
+  a.analyser.blackman_alpha = 0.158;
+  EXPECT_NE(a.class_key(), base_key);
+
+  AudioStack copy = base;
+  EXPECT_EQ(copy.class_key(), base_key);
+}
+
+}  // namespace
+}  // namespace wafp::platform

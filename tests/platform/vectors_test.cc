@@ -1,0 +1,153 @@
+#include "platform/synthetic_vectors.h"
+
+#include <gtest/gtest.h>
+
+#include "platform/canvas_sim.h"
+#include "platform/catalog.h"
+#include "platform/population.h"
+
+namespace wafp::platform {
+namespace {
+
+PlatformProfile base_profile() {
+  const DeviceCatalog catalog;
+  util::Rng rng(1);
+  return catalog.sample_profile(rng);
+}
+
+TEST(CanvasSimTest, Deterministic) {
+  const PlatformProfile p = base_profile();
+  EXPECT_EQ(canvas_fingerprint(p), canvas_fingerprint(p));
+  EXPECT_EQ(render_canvas_scene(p), render_canvas_scene(p));
+}
+
+TEST(CanvasSimTest, SceneHasExpectedDimensions) {
+  const auto pixels = render_canvas_scene(base_profile());
+  EXPECT_EQ(pixels.size(), kCanvasWidth * kCanvasHeight * 4);
+}
+
+TEST(CanvasSimTest, SceneIsNotBlank) {
+  const auto pixels = render_canvas_scene(base_profile());
+  std::size_t non_zero = 0;
+  for (const std::uint8_t b : pixels) non_zero += b != 0;
+  EXPECT_GT(non_zero, pixels.size() / 2);
+}
+
+TEST(CanvasSimTest, GpuRendererChangesPixels) {
+  PlatformProfile a = base_profile();
+  PlatformProfile b = a;
+  b.gpu_renderer = "ANGLE (Somebody Else's GPU)";
+  EXPECT_NE(canvas_fingerprint(a), canvas_fingerprint(b));
+}
+
+TEST(CanvasSimTest, QuirkChangesPixels) {
+  PlatformProfile a = base_profile();
+  PlatformProfile b = a;
+  b.canvas_quirk = a.canvas_quirk + 1;
+  EXPECT_NE(canvas_fingerprint(a), canvas_fingerprint(b));
+}
+
+TEST(CanvasSimTest, EngineChangesPixels) {
+  PlatformProfile a = base_profile();
+  PlatformProfile b = a;
+  b.engine = a.engine == BrowserEngine::kBlink ? BrowserEngine::kGecko
+                                               : BrowserEngine::kBlink;
+  EXPECT_NE(canvas_fingerprint(a), canvas_fingerprint(b));
+}
+
+TEST(CanvasSimTest, PointReleaseDoesNotChangePixels) {
+  // Text rendering depends on the major version only.
+  PlatformProfile a = base_profile();
+  a.browser_version = "90.0.4430.93";
+  PlatformProfile b = a;
+  b.browser_version = "90.0.4430.85";
+  EXPECT_EQ(canvas_fingerprint(a), canvas_fingerprint(b));
+}
+
+TEST(FontsTest, ExtraFontsChangeFingerprint) {
+  PlatformProfile a = base_profile();
+  a.extra_fonts = {10, 20};
+  PlatformProfile b = a;
+  b.extra_fonts = {10, 21};
+  EXPECT_NE(fonts_fingerprint(a), fonts_fingerprint(b));
+}
+
+TEST(FontsTest, DetectionIncludesExtras) {
+  PlatformProfile p = base_profile();
+  p.extra_fonts = {7, 99};
+  const auto detected = detect_fonts(p);
+  EXPECT_TRUE(detected[7]);
+  EXPECT_TRUE(detected[99]);
+}
+
+TEST(FontsTest, BaseStackHasPlausibleDensity) {
+  PlatformProfile p = base_profile();
+  p.extra_fonts.clear();
+  const auto detected = detect_fonts(p);
+  std::size_t installed = 0;
+  for (const bool b : detected) installed += b;
+  EXPECT_GT(installed, detected.size() / 5);
+  EXPECT_LT(installed, detected.size() / 2);
+}
+
+TEST(FontsTest, FontProfileChangesFingerprint) {
+  PlatformProfile a = base_profile();
+  PlatformProfile b = a;
+  b.font_profile = a.font_profile + 1;
+  EXPECT_NE(fonts_fingerprint(a), fonts_fingerprint(b));
+}
+
+TEST(UserAgentTest, FingerprintIsHashOfHeader) {
+  const PlatformProfile p = base_profile();
+  EXPECT_EQ(user_agent_fingerprint(p), util::sha256(p.user_agent()));
+}
+
+TEST(MathJsTest, BatteryIsDeterministic) {
+  const PlatformProfile p = base_profile();
+  EXPECT_EQ(math_js_battery(p), math_js_battery(p));
+  EXPECT_EQ(math_js_fingerprint(p), math_js_fingerprint(p));
+}
+
+TEST(MathJsTest, JsEngineMathChangesFingerprint) {
+  PlatformProfile a = base_profile();
+  a.js_math = dsp::MathVariant::kPrecise;
+  PlatformProfile b = a;
+  b.js_math = dsp::MathVariant::kFdlibm;
+  EXPECT_NE(math_js_fingerprint(a), math_js_fingerprint(b));
+}
+
+TEST(MathJsTest, AtanBuildChangesFingerprint) {
+  PlatformProfile a = base_profile();
+  a.atan_build = 0;
+  PlatformProfile b = a;
+  b.atan_build = 1;
+  PlatformProfile c = a;
+  c.atan_build = 2;
+  EXPECT_NE(math_js_fingerprint(a), math_js_fingerprint(b));
+  EXPECT_NE(math_js_fingerprint(a), math_js_fingerprint(c));
+  EXPECT_NE(math_js_fingerprint(b), math_js_fingerprint(c));
+}
+
+TEST(MathJsTest, AudioMathInvisibleToMathJs) {
+  // The paper's Table 5 asymmetry: audio-stack libm differences must NOT
+  // show in the Math JS fingerprint (the JS engine ships its own math).
+  PlatformProfile a = base_profile();
+  a.audio.math = dsp::MathVariant::kPrecise;
+  PlatformProfile b = a;
+  b.audio.math = dsp::MathVariant::kTable;
+  EXPECT_EQ(math_js_fingerprint(a), math_js_fingerprint(b));
+}
+
+TEST(MathJsTest, BatteryValuesAreFinite) {
+  for (const auto variant :
+       {dsp::MathVariant::kPrecise, dsp::MathVariant::kFdlibm}) {
+    PlatformProfile p = base_profile();
+    p.js_math = variant;
+    for (const double v : math_js_battery(p)) {
+      EXPECT_TRUE(std::isfinite(v)) << to_string(variant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wafp::platform

@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace wafp::util {
+namespace {
+
+TEST(CsvTest, SimpleRows) {
+  CsvWriter writer;
+  writer.add_row({"a", "b", "c"});
+  writer.add_row({"1", "2", "3"});
+  EXPECT_EQ(writer.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter writer;
+  writer.add_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(writer.str(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvTest, ParseSimple) {
+  const auto rows = parse_csv("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  const auto rows = parse_csv("\"x,y\",\"he said \"\"hi\"\"\"\nplain,2\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "x,y");
+  EXPECT_EQ(rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseCrlf) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvTest, ParseMissingTrailingNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(CsvTest, RoundTripArbitraryContent) {
+  CsvWriter writer;
+  const std::vector<std::string> nasty = {"", ",", "\"", "\n", "a\"b,c\nd"};
+  writer.add_row(nasty);
+  const auto rows = parse_csv(writer.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], nasty);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "csv_test_tmp.csv";
+  CsvWriter writer;
+  writer.add_row({"x", "1"});
+  writer.add_row({"y", "2"});
+  ASSERT_TRUE(writer.write_file(path));
+  const auto rows = read_csv_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReturnsEmpty) {
+  EXPECT_TRUE(read_csv_file("does_not_exist_12345.csv").empty());
+}
+
+}  // namespace
+}  // namespace wafp::util

@@ -1,0 +1,145 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wafp::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.next_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(5);
+  int truths = 0;
+  for (int i = 0; i < 10000; ++i) truths += rng.next_bool(0.3);
+  EXPECT_NEAR(truths / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  const Rng root(99);
+  Rng a = root.fork("alpha");
+  Rng a2 = root.fork("alpha");
+  Rng b = root.fork("beta");
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  EXPECT_NE(a.next_u64(), b.next_u64());
+
+  Rng i0 = root.fork(std::uint64_t{0});
+  Rng i1 = root.fork(std::uint64_t{1});
+  EXPECT_NE(i0.next_u64(), i1.next_u64());
+}
+
+TEST(DeriveSeedTest, LabelAndIndexSensitive) {
+  EXPECT_EQ(derive_seed(1, "x"), derive_seed(1, "x"));
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(1, "y"));
+  EXPECT_NE(derive_seed(1, "x"), derive_seed(2, "x"));
+  EXPECT_NE(derive_seed(1, std::uint64_t{5}), derive_seed(1, std::uint64_t{6}));
+}
+
+TEST(CategoricalSamplerTest, MatchesWeights) {
+  const std::array weights = {0.5, 0.3, 0.2};
+  const CategoricalSampler sampler{weights};
+  Rng rng(17);
+  std::array<int, 3> counts{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(CategoricalSamplerTest, ZeroWeightNeverSampled) {
+  const std::array weights = {0.7, 0.0, 0.3};
+  const CategoricalSampler sampler{weights};
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.sample(rng), 1u);
+}
+
+TEST(CategoricalSamplerTest, SingleCategory) {
+  const std::array weights = {2.0};
+  const CategoricalSampler sampler{weights};
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(ZipfSamplerTest, RankPopularityDecreases) {
+  const ZipfSampler zipf(20, 1.2);
+  Rng rng(31);
+  std::array<int, 20> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[15]);
+}
+
+TEST(ZipfSamplerTest, InRange) {
+  const ZipfSampler zipf(5, 1.0);
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 5u);
+}
+
+}  // namespace
+}  // namespace wafp::util

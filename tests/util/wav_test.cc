@@ -1,0 +1,82 @@
+#include "util/wav.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace wafp::util {
+namespace {
+
+WavData make_test_data() {
+  WavData data;
+  data.sample_rate = 44100;
+  data.channels.resize(2);
+  for (int i = 0; i < 500; ++i) {
+    data.channels[0].push_back(
+        static_cast<float>(std::sin(2.0 * 3.14159 * 440.0 * i / 44100.0)));
+    data.channels[1].push_back(static_cast<float>(i % 100) / 100.0f - 0.5f);
+  }
+  return data;
+}
+
+TEST(WavTest, Float32RoundTripIsBitExact) {
+  const std::string path = "wav_test_f32.wav";
+  const WavData data = make_test_data();
+  ASSERT_TRUE(write_wav_f32(path, data));
+  const WavData loaded = read_wav(path);
+  ASSERT_EQ(loaded.channels.size(), 2u);
+  EXPECT_EQ(loaded.sample_rate, 44100u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    ASSERT_EQ(loaded.channels[c].size(), data.channels[c].size());
+    for (std::size_t i = 0; i < data.channels[c].size(); ++i) {
+      ASSERT_EQ(loaded.channels[c][i], data.channels[c][i]) << c << "," << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, Pcm16RoundTripWithinQuantization) {
+  const std::string path = "wav_test_pcm.wav";
+  const WavData data = make_test_data();
+  ASSERT_TRUE(write_wav_pcm16(path, data));
+  const WavData loaded = read_wav(path);
+  ASSERT_EQ(loaded.channels.size(), 2u);
+  for (std::size_t i = 0; i < data.channels[0].size(); ++i) {
+    ASSERT_NEAR(loaded.channels[0][i], data.channels[0][i], 1.0f / 32000.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, Pcm16ClampsOutOfRange) {
+  const std::string path = "wav_test_clamp.wav";
+  WavData data;
+  data.channels = {{2.0f, -3.0f, 0.0f}};
+  ASSERT_TRUE(write_wav_pcm16(path, data));
+  const WavData loaded = read_wav(path);
+  ASSERT_EQ(loaded.channels.size(), 1u);
+  EXPECT_NEAR(loaded.channels[0][0], 1.0f, 1e-4f);
+  EXPECT_NEAR(loaded.channels[0][1], -1.0f, 1e-4f);
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, RejectsInvalidData) {
+  WavData empty;
+  EXPECT_FALSE(write_wav_f32("nope.wav", empty));
+  WavData ragged;
+  ragged.channels = {{1.0f, 2.0f}, {1.0f}};
+  EXPECT_FALSE(write_wav_f32("nope.wav", ragged));
+}
+
+TEST(WavTest, ReadMissingOrGarbageFile) {
+  EXPECT_TRUE(read_wav("does_not_exist.wav").channels.empty());
+  const std::string path = "wav_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("definitely not a wav file", f);
+  std::fclose(f);
+  EXPECT_TRUE(read_wav(path).channels.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wafp::util

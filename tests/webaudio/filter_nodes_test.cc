@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "webaudio/biquad_filter_node.h"
+#include "webaudio/channel_merger_node.h"
+#include "webaudio/delay_node.h"
+#include "webaudio/gain_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+#include "webaudio/source_nodes.h"
+#include "webaudio/wave_shaper_node.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+/// RMS of a tone after passing through a biquad of the given type/config.
+double filtered_rms(BiquadFilterType type, double filter_hz, double tone_hz,
+                    double q = 1.0, double gain_db = 0.0) {
+  OfflineAudioContext ctx(1, 16384, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(tone_hz);
+  auto& filter = ctx.create<BiquadFilterNode>();
+  filter.set_type(type);
+  filter.frequency().set_value(filter_hz);
+  filter.q().set_value(q);
+  filter.gain().set_value(gain_db);
+  osc.connect(filter);
+  filter.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  double acc = 0.0;
+  // Skip the settle-in transient.
+  for (std::size_t i = 8192; i < 16384; ++i) {
+    acc += static_cast<double>(buffer.channel(0)[i]) * buffer.channel(0)[i];
+  }
+  return std::sqrt(acc / 8192.0);
+}
+
+TEST(BiquadFilterTest, LowpassPassesLowRejectsHigh) {
+  const double low = filtered_rms(BiquadFilterType::kLowpass, 1000.0, 200.0);
+  const double high = filtered_rms(BiquadFilterType::kLowpass, 1000.0, 8000.0);
+  EXPECT_GT(low, 0.5);
+  EXPECT_LT(high, 0.1);
+}
+
+TEST(BiquadFilterTest, HighpassPassesHighRejectsLow) {
+  const double low = filtered_rms(BiquadFilterType::kHighpass, 2000.0, 200.0);
+  const double high =
+      filtered_rms(BiquadFilterType::kHighpass, 2000.0, 10000.0);
+  EXPECT_LT(low, 0.1);
+  EXPECT_GT(high, 0.5);
+}
+
+TEST(BiquadFilterTest, BandpassSelectsCentre) {
+  const double centre =
+      filtered_rms(BiquadFilterType::kBandpass, 3000.0, 3000.0, 5.0);
+  const double off = filtered_rms(BiquadFilterType::kBandpass, 3000.0, 500.0,
+                                  5.0);
+  EXPECT_GT(centre, 3.0 * off);
+}
+
+TEST(BiquadFilterTest, NotchRejectsCentre) {
+  const double centre =
+      filtered_rms(BiquadFilterType::kNotch, 3000.0, 3000.0, 10.0);
+  const double off =
+      filtered_rms(BiquadFilterType::kNotch, 3000.0, 500.0, 10.0);
+  EXPECT_LT(centre, off / 3.0);
+}
+
+TEST(BiquadFilterTest, PeakingBoostsCentre) {
+  const double boosted =
+      filtered_rms(BiquadFilterType::kPeaking, 3000.0, 3000.0, 2.0, 12.0);
+  const double flat =
+      filtered_rms(BiquadFilterType::kPeaking, 3000.0, 3000.0, 2.0, 0.0);
+  EXPECT_GT(boosted, flat * 1.5);
+}
+
+TEST(BiquadFilterTest, AllpassPreservesMagnitude) {
+  const double through =
+      filtered_rms(BiquadFilterType::kAllpass, 3000.0, 1000.0);
+  EXPECT_NEAR(through, 1.0 / std::numbers::sqrt2, 0.05);  // sine RMS
+}
+
+TEST(BiquadFilterTest, ShelvesBoostTheirBand) {
+  const double low_boosted =
+      filtered_rms(BiquadFilterType::kLowshelf, 2000.0, 300.0, 1.0, 12.0);
+  const double low_flat =
+      filtered_rms(BiquadFilterType::kLowshelf, 2000.0, 300.0, 1.0, 0.0);
+  EXPECT_GT(low_boosted, low_flat * 1.5);
+
+  const double high_boosted =
+      filtered_rms(BiquadFilterType::kHighshelf, 2000.0, 10000.0, 1.0, 12.0);
+  const double high_flat =
+      filtered_rms(BiquadFilterType::kHighshelf, 2000.0, 10000.0, 1.0, 0.0);
+  EXPECT_GT(high_boosted, high_flat * 1.5);
+}
+
+TEST(BiquadFilterTest, FrequencyResponseMatchesTimeDomain) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  auto& filter = ctx.create<BiquadFilterNode>();
+  filter.set_type(BiquadFilterType::kLowpass);
+  filter.frequency().set_value(1000.0);
+
+  const std::vector<float> freqs = {200.0f, 1000.0f, 8000.0f};
+  std::vector<float> mag(3), phase(3);
+  filter.get_frequency_response(freqs, mag, phase);
+  EXPECT_NEAR(mag[0], 1.0f, 0.1f);   // passband
+  EXPECT_LT(mag[2], 0.1f);           // stopband
+  EXPECT_GT(mag[1], mag[2]);
+  // Phase is within (-pi, pi].
+  for (const float p : phase) {
+    EXPECT_GE(p, -static_cast<float>(std::numbers::pi) - 1e-5f);
+    EXPECT_LE(p, static_cast<float>(std::numbers::pi) + 1e-5f);
+  }
+}
+
+TEST(BiquadFilterTest, FrequencyResponseLengthValidation) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  auto& filter = ctx.create<BiquadFilterNode>();
+  const std::vector<float> freqs = {100.0f, 200.0f};
+  std::vector<float> mag(2), phase(3);
+  EXPECT_THROW(filter.get_frequency_response(freqs, mag, phase),
+               std::invalid_argument);
+}
+
+TEST(BiquadFilterTest, MathVariantVisibleInResponse) {
+  // The extension-vector premise: the filter response carries the libm
+  // flavour.
+  auto response_with = [](dsp::MathVariant variant) {
+    EngineConfig cfg;
+    cfg.math = dsp::make_math_library(variant);
+    cfg.fft = dsp::make_fft_engine(dsp::FftVariant::kRadix2, cfg.math);
+    OfflineAudioContext ctx(1, 128, kSampleRate, std::move(cfg));
+    auto& filter = ctx.create<BiquadFilterNode>();
+    filter.set_type(BiquadFilterType::kPeaking);
+    filter.frequency().set_value(3000.0);
+    filter.gain().set_value(6.0);
+    std::vector<float> freqs(64), mag(64), phase(64);
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      freqs[i] = static_cast<float>(100.0 + 300.0 * static_cast<double>(i));
+    }
+    filter.get_frequency_response(freqs, mag, phase);
+    return mag;
+  };
+  EXPECT_NE(response_with(dsp::MathVariant::kPrecise),
+            response_with(dsp::MathVariant::kFastPoly));
+}
+
+TEST(DelayNodeTest, IntegerDelayShiftsSignal) {
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& delay = ctx.create<DelayNode>(1.0);
+  delay.delay_time().set_value(100.0 / kSampleRate);  // 100 frames
+  osc.connect(delay);
+  delay.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer delayed = ctx.start_rendering();
+
+  OfflineAudioContext ref_ctx(1, 4096, kSampleRate,
+                              EngineConfig::reference());
+  auto& ref_osc = ref_ctx.create<OscillatorNode>(OscillatorType::kSine);
+  ref_osc.frequency().set_value(440.0);
+  ref_osc.connect(ref_ctx.destination());
+  ref_osc.start(0.0);
+  const AudioBuffer reference = ref_ctx.start_rendering();
+
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(delayed.channel(0)[i], 0.0f) << i;
+  }
+  for (std::size_t i = 100; i < 4096; ++i) {
+    ASSERT_NEAR(delayed.channel(0)[i], reference.channel(0)[i - 100], 1e-5)
+        << i;
+  }
+}
+
+TEST(DelayNodeTest, ZeroDelayPassesThrough) {
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& delay = ctx.create<DelayNode>(0.5);
+  osc.connect(delay);
+  delay.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  bool active = false;
+  for (const float v : out.channel(0)) active |= v != 0.0f;
+  EXPECT_TRUE(active);
+}
+
+TEST(DelayNodeTest, MaxDelayValidation) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  EXPECT_THROW(ctx.create<DelayNode>(0.0), std::invalid_argument);
+  EXPECT_THROW(ctx.create<DelayNode>(200.0), std::invalid_argument);
+}
+
+TEST(WaveShaperTest, EmptyCurvePassesThrough) {
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& shaper = ctx.create<WaveShaperNode>();
+  osc.connect(shaper);
+  shaper.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer shaped = ctx.start_rendering();
+
+  OfflineAudioContext ref(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& ref_osc = ref.create<OscillatorNode>(OscillatorType::kSine);
+  ref_osc.frequency().set_value(440.0);
+  ref_osc.connect(ref.destination());
+  ref_osc.start(0.0);
+  const AudioBuffer plain = ref.start_rendering();
+  for (std::size_t i = 0; i < 1024; ++i) {
+    ASSERT_EQ(shaped.channel(0)[i], plain.channel(0)[i]);
+  }
+}
+
+TEST(WaveShaperTest, HardClipCurveClips) {
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& boost = ctx.create<GainNode>();
+  boost.gain().set_value(4.0);
+  auto& shaper = ctx.create<WaveShaperNode>();
+  shaper.set_curve({-0.5f, 0.5f});  // linear curve saturating at +-0.5
+  osc.connect(boost);
+  boost.connect(shaper);
+  shaper.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  float max_abs = 0.0f;
+  for (const float v : out.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_NEAR(max_abs, 0.5f, 1e-4f);
+}
+
+TEST(WaveShaperTest, SinglePointCurveRejected) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  auto& shaper = ctx.create<WaveShaperNode>();
+  EXPECT_THROW(shaper.set_curve({1.0f}), std::invalid_argument);
+}
+
+TEST(WaveShaperTest, OversamplingChangesNonlinearResult) {
+  auto render = [](OverSampleType type) {
+    OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+    auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+    osc.frequency().set_value(10000.0);
+    auto& shaper = ctx.create<WaveShaperNode>();
+    // A strongly nonlinear (cubic-ish) curve.
+    std::vector<float> curve(9);
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const float x = static_cast<float>(i) / 4.0f - 1.0f;
+      curve[i] = x * x * x;
+    }
+    shaper.set_curve(std::move(curve));
+    shaper.set_oversample(type);
+    osc.connect(shaper);
+    shaper.connect(ctx.destination());
+    osc.start(0.0);
+    const AudioBuffer out = ctx.start_rendering();
+    return std::vector<float>(out.channel(0).begin(), out.channel(0).end());
+  };
+  const auto none = render(OverSampleType::kNone);
+  const auto two = render(OverSampleType::k2x);
+  const auto four = render(OverSampleType::k4x);
+  EXPECT_NE(none, two);
+  EXPECT_NE(two, four);
+}
+
+TEST(ConstantSourceTest, EmitsOffset) {
+  OfflineAudioContext ctx(1, 512, kSampleRate, EngineConfig::reference());
+  auto& source = ctx.create<ConstantSourceNode>();
+  source.offset().set_value(0.75);
+  source.connect(ctx.destination());
+  source.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  for (const float v : out.channel(0)) EXPECT_EQ(v, 0.75f);
+}
+
+TEST(ConstantSourceTest, ModulatesParameters) {
+  // ConstantSource into a gain param acts as a static gain change.
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& gain = ctx.create<GainNode>();
+  gain.gain().set_value(0.0);
+  auto& mod = ctx.create<ConstantSourceNode>();
+  mod.offset().set_value(0.5);
+  mod.connect(gain.gain());
+  osc.connect(gain);
+  gain.connect(ctx.destination());
+  osc.start(0.0);
+  mod.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  float max_abs = 0.0f;
+  for (const float v : out.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_NEAR(max_abs, 0.5f, 0.02f);
+}
+
+TEST(BufferSourceTest, PlaysBufferVerbatimAtUnitRate) {
+  auto buffer = std::make_shared<AudioBuffer>(1, 300, kSampleRate);
+  for (std::size_t i = 0; i < 300; ++i) {
+    buffer->channel(0)[i] = static_cast<float>(i) / 300.0f;
+  }
+  OfflineAudioContext ctx(1, 512, kSampleRate, EngineConfig::reference());
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  source.set_buffer(buffer);
+  source.connect(ctx.destination());
+  source.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  for (std::size_t i = 0; i < 300; ++i) {
+    ASSERT_NEAR(out.channel(0)[i], buffer->channel(0)[i], 1e-6) << i;
+  }
+  for (std::size_t i = 301; i < 512; ++i) {
+    EXPECT_EQ(out.channel(0)[i], 0.0f) << i;  // ended, not looping
+  }
+}
+
+TEST(BufferSourceTest, LoopWrapsAround) {
+  auto buffer = std::make_shared<AudioBuffer>(1, 100, kSampleRate);
+  for (std::size_t i = 0; i < 100; ++i) buffer->channel(0)[i] = 1.0f;
+  OfflineAudioContext ctx(1, 512, kSampleRate, EngineConfig::reference());
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  source.set_buffer(buffer);
+  source.set_loop(true);
+  source.connect(ctx.destination());
+  source.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  for (std::size_t i = 0; i < 512; ++i) EXPECT_EQ(out.channel(0)[i], 1.0f);
+}
+
+TEST(BufferSourceTest, DoublePlaybackRateHalvesDuration) {
+  auto buffer = std::make_shared<AudioBuffer>(1, 400, kSampleRate);
+  for (std::size_t i = 0; i < 400; ++i) buffer->channel(0)[i] = 1.0f;
+  OfflineAudioContext ctx(1, 512, kSampleRate, EngineConfig::reference());
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  source.set_buffer(buffer);
+  source.playback_rate().set_value(2.0);
+  source.connect(ctx.destination());
+  source.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  EXPECT_NE(out.channel(0)[150], 0.0f);
+  EXPECT_EQ(out.channel(0)[250], 0.0f);  // done after ~200 frames
+}
+
+TEST(BufferSourceTest, NullBufferRejected) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  EXPECT_THROW(source.set_buffer(nullptr), std::invalid_argument);
+}
+
+TEST(StereoPannerTest, HardLeftSilencesRight) {
+  OfflineAudioContext ctx(2, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& panner = ctx.create<StereoPannerNode>();
+  panner.pan().set_value(-1.0);
+  osc.connect(panner);
+  panner.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  float left = 0.0f, right = 0.0f;
+  for (std::size_t i = 0; i < 1024; ++i) {
+    left = std::max(left, std::fabs(out.channel(0)[i]));
+    right = std::max(right, std::fabs(out.channel(1)[i]));
+  }
+  EXPECT_GT(left, 0.5f);
+  EXPECT_NEAR(right, 0.0f, 1e-6f);
+}
+
+TEST(StereoPannerTest, CentreIsBalanced) {
+  OfflineAudioContext ctx(2, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& panner = ctx.create<StereoPannerNode>();
+  panner.pan().set_value(0.0);
+  osc.connect(panner);
+  panner.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  for (std::size_t i = 0; i < 1024; ++i) {
+    ASSERT_NEAR(out.channel(0)[i], out.channel(1)[i], 1e-4f) << i;
+  }
+}
+
+TEST(ChannelSplitterTest, SelectsRequestedChannel) {
+  OfflineAudioContext ctx(1, 512, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& merger = ctx.create<ChannelMergerNode>(2);
+  osc.connect(merger, 1);  // signal only on channel 1
+  auto& splitter0 = ctx.create<ChannelSplitterNode>(0);
+  auto& splitter1 = ctx.create<ChannelSplitterNode>(1);
+  merger.connect(splitter0);
+  merger.connect(splitter1);
+  auto& sink = ctx.create<GainNode>();
+  splitter1.connect(sink);
+  sink.connect(ctx.destination());
+  splitter0.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  bool active = false;
+  for (const float v : out.channel(0)) active |= std::fabs(v) > 0.1f;
+  EXPECT_TRUE(active);  // channel 1 carried the tone through splitter1
+  EXPECT_THROW(ctx.create<ChannelSplitterNode>(kMaxChannels),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wafp::webaudio

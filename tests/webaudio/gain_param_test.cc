@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "webaudio/gain_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+TEST(GainNodeTest, ScalesInput) {
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& gain = ctx.create<GainNode>();
+  gain.gain().set_value(0.25);
+  osc.connect(gain);
+  gain.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  float max_abs = 0.0f;
+  for (const float v : buffer.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_NEAR(max_abs, 0.25f, 0.01f);
+}
+
+TEST(GainNodeTest, ZeroGainMutesExactly) {
+  // The paper's graphs route through a zero-gain node so fingerprinting is
+  // inaudible (Fig. 2); the output must be exactly zero.
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kTriangle);
+  osc.frequency().set_value(10000.0);
+  auto& gain = ctx.create<GainNode>();
+  gain.gain().set_value(0.0);
+  osc.connect(gain);
+  gain.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  for (const float v : buffer.channel(0)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(AudioParamTest, SetValueAtTimeSwitchesMidRender) {
+  OfflineAudioContext ctx(1, 8192, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& gain = ctx.create<GainNode>();
+  gain.gain().set_value(1.0);
+  gain.gain().set_value_at_time(0.0, 4096.0 / kSampleRate);
+  osc.connect(gain);
+  gain.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  bool head_active = false;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    if (buffer.channel(0)[i] != 0.0f) head_active = true;
+  }
+  EXPECT_TRUE(head_active);
+  for (std::size_t i = 4096; i < 8192; ++i) {
+    EXPECT_EQ(buffer.channel(0)[i], 0.0f) << i;
+  }
+}
+
+TEST(AudioParamTest, LinearRampInterpolates) {
+  const auto math = dsp::make_math_library(dsp::MathVariant::kPrecise);
+  AudioParam param("test", 0.0, -1000.0, 1000.0);
+  param.set_value_at_time(0.0, 0.0);
+  param.linear_ramp_to_value_at_time(10.0, 1.0);
+  EXPECT_NEAR(param.value_at_time(0.0, *math), 0.0, 1e-12);
+  EXPECT_NEAR(param.value_at_time(0.25, *math), 2.5, 1e-12);
+  EXPECT_NEAR(param.value_at_time(0.5, *math), 5.0, 1e-12);
+  EXPECT_NEAR(param.value_at_time(1.0, *math), 10.0, 1e-12);
+  EXPECT_NEAR(param.value_at_time(2.0, *math), 10.0, 1e-12);  // holds after
+}
+
+TEST(AudioParamTest, ExponentialRampIsGeometric) {
+  const auto math = dsp::make_math_library(dsp::MathVariant::kPrecise);
+  AudioParam param("test", 0.0, 0.0, 1000.0);
+  param.set_value_at_time(1.0, 0.0);
+  param.exponential_ramp_to_value_at_time(100.0, 1.0);
+  EXPECT_NEAR(param.value_at_time(0.5, *math), 10.0, 1e-9);
+  EXPECT_NEAR(param.value_at_time(1.0, *math), 100.0, 1e-9);
+}
+
+TEST(AudioParamTest, ExponentialRampToZeroThrows) {
+  AudioParam param("test", 1.0, 0.0, 10.0);
+  EXPECT_THROW(param.exponential_ramp_to_value_at_time(0.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(AudioParamTest, NonMonotonicEventTimesThrow) {
+  AudioParam param("test", 0.0, 0.0, 10.0);
+  param.set_value_at_time(1.0, 2.0);
+  EXPECT_THROW(param.set_value_at_time(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(param.linear_ramp_to_value_at_time(2.0, 1.5),
+               std::invalid_argument);
+}
+
+TEST(AudioParamTest, ValuesClampedToRange) {
+  const auto math = dsp::make_math_library(dsp::MathVariant::kPrecise);
+  AudioParam param("test", 5.0, 0.0, 1.0);
+  std::array<float, 4> values{};
+  param.compute_values(values, 0.0, kSampleRate, *math);
+  for (const float v : values) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(AudioParamTest, ModulationInputSumsOntoBase) {
+  // AM-style: oscillator drives a gain parameter (paper Fig. 8).
+  OfflineAudioContext ctx(1, 8192, kSampleRate, EngineConfig::reference());
+  auto& carrier = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  carrier.frequency().set_value(4000.0);
+  auto& mod = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  mod.frequency().set_value(50.0);
+  auto& gain = ctx.create<GainNode>();
+  gain.gain().set_value(1.0);
+  mod.connect(gain.gain());
+  carrier.connect(gain);
+  gain.connect(ctx.destination());
+  carrier.start(0.0);
+  mod.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  // Effective gain swings between ~0 and ~2, so peaks approach 2.0.
+  float max_abs = 0.0f;
+  for (const float v : buffer.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_GT(max_abs, 1.5f);
+}
+
+TEST(AudioParamTest, FrequencyModulationChangesSpectrumOverTime) {
+  // FM-style: oscillator drives another oscillator's frequency parameter.
+  OfflineAudioContext ctx(1, 8192, kSampleRate, EngineConfig::reference());
+  auto& carrier = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  carrier.frequency().set_value(440.0);
+  auto& mod = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  mod.frequency().set_value(5.0);
+  auto& mod_gain = ctx.create<GainNode>();
+  mod_gain.gain().set_value(200.0);
+  mod.connect(mod_gain);
+  mod_gain.connect(carrier.frequency());
+  carrier.connect(ctx.destination());
+  carrier.start(0.0);
+  mod.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+
+  // Instantaneous frequency varies: zero-crossing spacing is not constant.
+  std::vector<std::size_t> crossings;
+  for (std::size_t i = 1; i < buffer.length(); ++i) {
+    if (buffer.channel(0)[i - 1] <= 0.0f && buffer.channel(0)[i] > 0.0f) {
+      crossings.push_back(i);
+    }
+  }
+  ASSERT_GT(crossings.size(), 10u);
+  std::size_t min_gap = 1u << 30, max_gap = 0;
+  for (std::size_t i = 1; i < crossings.size(); ++i) {
+    const std::size_t gap = crossings[i] - crossings[i - 1];
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+  }
+  EXPECT_GT(max_gap, min_gap + min_gap / 4);
+}
+
+}  // namespace
+}  // namespace wafp::webaudio

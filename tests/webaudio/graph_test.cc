@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "webaudio/channel_merger_node.h"
+#include "webaudio/gain_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+#include "webaudio/script_processor_node.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+TEST(OfflineContextTest, ConstructorValidation) {
+  EXPECT_THROW(
+      OfflineAudioContext(0, 128, kSampleRate, EngineConfig::reference()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      OfflineAudioContext(1, 0, kSampleRate, EngineConfig::reference()),
+      std::invalid_argument);
+  EXPECT_THROW(OfflineAudioContext(1, 128, 0.0, EngineConfig::reference()),
+               std::invalid_argument);
+  EXPECT_THROW(OfflineAudioContext(1, 128, kSampleRate, EngineConfig{}),
+               std::invalid_argument);  // missing math/fft
+}
+
+TEST(OfflineContextTest, RenderTwiceThrows) {
+  OfflineAudioContext ctx(1, 256, kSampleRate, EngineConfig::reference());
+  (void)ctx.start_rendering();
+  EXPECT_THROW((void)ctx.start_rendering(), std::runtime_error);
+}
+
+TEST(OfflineContextTest, RenderLengthNotQuantumAligned) {
+  OfflineAudioContext ctx(1, 300, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(1000.0);
+  osc.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  EXPECT_EQ(buffer.length(), 300u);
+  EXPECT_NE(buffer.channel(0)[299], 0.0f);
+}
+
+TEST(OfflineContextTest, CycleDetection) {
+  OfflineAudioContext ctx(1, 256, kSampleRate, EngineConfig::reference());
+  auto& a = ctx.create<GainNode>();
+  auto& b = ctx.create<GainNode>();
+  a.connect(b);
+  b.connect(a);  // cycle
+  b.connect(ctx.destination());
+  EXPECT_THROW((void)ctx.start_rendering(), std::runtime_error);
+}
+
+TEST(OfflineContextTest, ParamModulationCycleDetected) {
+  OfflineAudioContext ctx(1, 256, kSampleRate, EngineConfig::reference());
+  auto& a = ctx.create<GainNode>();
+  auto& b = ctx.create<GainNode>();
+  a.connect(b);
+  b.connect(a.gain());  // cycle through a parameter edge
+  b.connect(ctx.destination());
+  EXPECT_THROW((void)ctx.start_rendering(), std::runtime_error);
+}
+
+TEST(OfflineContextTest, CrossContextConnectThrows) {
+  OfflineAudioContext ctx1(1, 256, kSampleRate, EngineConfig::reference());
+  OfflineAudioContext ctx2(1, 256, kSampleRate, EngineConfig::reference());
+  auto& a = ctx1.create<GainNode>();
+  EXPECT_THROW(a.connect(ctx2.destination()), std::invalid_argument);
+}
+
+TEST(OfflineContextTest, UnconnectedNodesDoNotAffectOutput) {
+  OfflineAudioContext ctx(1, 512, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.start(0.0);  // started but never connected
+  const AudioBuffer buffer = ctx.start_rendering();
+  for (const float v : buffer.channel(0)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OfflineContextTest, FanInSumsSources) {
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc1 = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc1.frequency().set_value(440.0);
+  auto& osc2 = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc2.frequency().set_value(440.0);
+  osc1.connect(ctx.destination());
+  osc2.connect(ctx.destination());
+  osc1.start(0.0);
+  osc2.start(0.0);
+  const AudioBuffer two = ctx.start_rendering();
+
+  OfflineAudioContext ctx2(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& solo = ctx2.create<OscillatorNode>(OscillatorType::kSine);
+  solo.frequency().set_value(440.0);
+  solo.connect(ctx2.destination());
+  solo.start(0.0);
+  const AudioBuffer one = ctx2.start_rendering();
+
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ASSERT_FLOAT_EQ(two.channel(0)[i], 2.0f * one.channel(0)[i]) << i;
+  }
+}
+
+TEST(ChannelMergerTest, RoutesInputsToChannels) {
+  OfflineAudioContext ctx(2, 512, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& merger = ctx.create<ChannelMergerNode>(2);
+  osc.connect(merger, 0);  // channel 0 only
+  merger.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  bool ch0_active = false;
+  for (std::size_t i = 0; i < 512; ++i) {
+    if (buffer.channel(0)[i] != 0.0f) ch0_active = true;
+    ASSERT_EQ(buffer.channel(1)[i], 0.0f) << i;
+  }
+  EXPECT_TRUE(ch0_active);
+}
+
+TEST(ChannelMergerTest, InputCountValidation) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  EXPECT_THROW(ctx.create<ChannelMergerNode>(0), std::invalid_argument);
+  EXPECT_THROW(ctx.create<ChannelMergerNode>(kMaxChannels + 1),
+               std::invalid_argument);
+  auto& merger = ctx.create<ChannelMergerNode>(4);
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  EXPECT_THROW(osc.connect(merger, 4), std::out_of_range);
+}
+
+TEST(ScriptProcessorTest, FiresOncePerCompleteBlock) {
+  OfflineAudioContext ctx(1, 4096 + 100, kSampleRate,
+                          EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& script = ctx.create<ScriptProcessorNode>(1024);
+  osc.connect(script);
+  script.connect(ctx.destination());
+  osc.start(0.0);
+
+  std::vector<std::size_t> fire_frames;
+  script.set_on_audio_process(
+      [&](std::span<const float> block, std::size_t frame) {
+        EXPECT_EQ(block.size(), 1024u);
+        fire_frames.push_back(frame);
+      });
+  (void)ctx.start_rendering();
+  ASSERT_EQ(fire_frames.size(), 4u);  // 4196 frames -> 4 complete blocks
+  EXPECT_EQ(fire_frames[0], 1024u);
+  EXPECT_EQ(fire_frames[3], 4096u);
+}
+
+TEST(ScriptProcessorTest, BufferSizeValidation) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  EXPECT_THROW(ctx.create<ScriptProcessorNode>(100), std::invalid_argument);
+  EXPECT_THROW(ctx.create<ScriptProcessorNode>(128), std::invalid_argument);
+  EXPECT_THROW(ctx.create<ScriptProcessorNode>(32768), std::invalid_argument);
+}
+
+TEST(ScriptProcessorTest, BlockContainsRenderedAudio) {
+  OfflineAudioContext ctx(1, 2048, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& script = ctx.create<ScriptProcessorNode>(2048);
+  osc.connect(script);
+  script.connect(ctx.destination());
+  osc.start(0.0);
+
+  std::vector<float> captured;
+  script.set_on_audio_process(
+      [&](std::span<const float> block, std::size_t) {
+        captured.assign(block.begin(), block.end());
+      });
+  const AudioBuffer rendered = ctx.start_rendering();
+  ASSERT_EQ(captured.size(), 2048u);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    ASSERT_EQ(captured[i], rendered.channel(0)[i]) << i;
+  }
+}
+
+TEST(AudioBusTest, MonoToStereoReplicates) {
+  AudioBus mono(1), stereo(2);
+  mono.channel(0)[0] = 0.5f;
+  stereo.sum_from(mono);
+  EXPECT_EQ(stereo.channel(0)[0], 0.5f);
+  EXPECT_EQ(stereo.channel(1)[0], 0.5f);
+}
+
+TEST(AudioBusTest, StereoToMonoAverages) {
+  AudioBus stereo(2), mono(1);
+  stereo.channel(0)[0] = 1.0f;
+  stereo.channel(1)[0] = 0.0f;
+  mono.sum_from(stereo);
+  EXPECT_FLOAT_EQ(mono.channel(0)[0], 0.5f);
+}
+
+TEST(AudioBusTest, SumAccumulates) {
+  AudioBus a(1), b(1);
+  a.channel(0)[0] = 1.0f;
+  b.channel(0)[0] = 2.0f;
+  a.sum_from(b);
+  a.sum_from(b);
+  EXPECT_FLOAT_EQ(a.channel(0)[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace wafp::webaudio

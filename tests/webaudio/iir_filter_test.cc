@@ -1,0 +1,136 @@
+#include "webaudio/iir_filter_node.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "webaudio/biquad_filter_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+TEST(IIRFilterTest, CoefficientValidation) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  EXPECT_THROW(ctx.create<IIRFilterNode>(std::vector<double>{},
+                                         std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ctx.create<IIRFilterNode>(std::vector<double>{1.0},
+                                         std::vector<double>{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ctx.create<IIRFilterNode>(std::vector<double>{0.0, 0.0},
+                                         std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ctx.create<IIRFilterNode>(std::vector<double>(21, 1.0),
+                                         std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(IIRFilterTest, IdentityCoefficientsPassThrough) {
+  OfflineAudioContext ctx(1, 2048, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  auto& iir = ctx.create<IIRFilterNode>(std::vector<double>{1.0},
+                                        std::vector<double>{1.0});
+  osc.connect(iir);
+  iir.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer filtered = ctx.start_rendering();
+
+  OfflineAudioContext ref(1, 2048, kSampleRate, EngineConfig::reference());
+  auto& ref_osc = ref.create<OscillatorNode>(OscillatorType::kSine);
+  ref_osc.frequency().set_value(440.0);
+  ref_osc.connect(ref.destination());
+  ref_osc.start(0.0);
+  const AudioBuffer plain = ref.start_rendering();
+  for (std::size_t i = 0; i < 2048; ++i) {
+    ASSERT_EQ(filtered.channel(0)[i], plain.channel(0)[i]) << i;
+  }
+}
+
+TEST(IIRFilterTest, ScalingCoefficientScales) {
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  // b = [0.5], a = [2.0]: overall gain 0.25.
+  auto& iir = ctx.create<IIRFilterNode>(std::vector<double>{0.5},
+                                        std::vector<double>{2.0});
+  osc.connect(iir);
+  iir.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer out = ctx.start_rendering();
+  float max_abs = 0.0f;
+  for (const float v : out.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_NEAR(max_abs, 0.25f, 0.01f);
+}
+
+TEST(IIRFilterTest, MatchesEquivalentBiquad) {
+  // Feed the biquad's lowpass coefficients into the generic IIR node; the
+  // two must produce identical filtering behaviour at double precision.
+  OfflineAudioContext coeff_ctx(1, 128, kSampleRate,
+                                EngineConfig::reference());
+  auto& biquad = coeff_ctx.create<BiquadFilterNode>();
+  biquad.set_type(BiquadFilterType::kLowpass);
+  biquad.frequency().set_value(1500.0);
+  std::vector<float> probe = {400.0f, 1500.0f, 8000.0f};
+  std::vector<float> biquad_mag(3), biquad_phase(3);
+  biquad.get_frequency_response(probe, biquad_mag, biquad_phase);
+
+  // Reconstruct the same normalized coefficients the biquad derived (via
+  // its analytic response at a dense probe) by sampling is overkill; use
+  // the textbook formula directly with precise math instead.
+  const double w0 = std::numbers::pi * 1500.0 / (kSampleRate / 2.0);
+  const double alpha = std::sin(w0) / (2.0 * std::pow(10.0, 1.0 / 20.0));
+  const double a0 = 1.0 + alpha;
+  const std::vector<double> b = {(1.0 - std::cos(w0)) / 2.0,
+                                 1.0 - std::cos(w0),
+                                 (1.0 - std::cos(w0)) / 2.0};
+  const std::vector<double> a = {a0, -2.0 * std::cos(w0), 1.0 - alpha};
+
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  auto& iir = ctx.create<IIRFilterNode>(b, a);
+  std::vector<float> iir_mag(3), iir_phase(3);
+  iir.get_frequency_response(probe, iir_mag, iir_phase);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(iir_mag[i], biquad_mag[i], 1e-4f) << i;
+    EXPECT_NEAR(iir_phase[i], biquad_phase[i], 1e-4f) << i;
+  }
+}
+
+TEST(IIRFilterTest, OnePoleLowpassAttenuatesHighs) {
+  // y[n] = 0.05 x[n] + 0.95 y[n-1]: heavy lowpass.
+  auto render = [](double tone_hz) {
+    OfflineAudioContext ctx(1, 16384, kSampleRate, EngineConfig::reference());
+    auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+    osc.frequency().set_value(tone_hz);
+    auto& iir = ctx.create<IIRFilterNode>(std::vector<double>{0.05},
+                                          std::vector<double>{1.0, -0.95});
+    osc.connect(iir);
+    iir.connect(ctx.destination());
+    osc.start(0.0);
+    const AudioBuffer out = ctx.start_rendering();
+    double acc = 0.0;
+    for (std::size_t i = 8192; i < 16384; ++i) {
+      acc += static_cast<double>(out.channel(0)[i]) * out.channel(0)[i];
+    }
+    return std::sqrt(acc / 8192.0);
+  };
+  EXPECT_GT(render(100.0), 5.0 * render(8000.0));
+}
+
+TEST(IIRFilterTest, ResponseLengthValidation) {
+  OfflineAudioContext ctx(1, 128, kSampleRate, EngineConfig::reference());
+  auto& iir = ctx.create<IIRFilterNode>(std::vector<double>{1.0},
+                                        std::vector<double>{1.0});
+  std::vector<float> freqs(2), mag(2), phase(3);
+  EXPECT_THROW(iir.get_frequency_response(freqs, mag, phase),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wafp::webaudio

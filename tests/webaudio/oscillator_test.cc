@@ -1,0 +1,192 @@
+#include "webaudio/oscillator_node.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "webaudio/offline_audio_context.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+AudioBuffer render_oscillator(OscillatorType type, double frequency,
+                              std::size_t length = 8192) {
+  OfflineAudioContext ctx(1, length, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(type);
+  osc.frequency().set_value(frequency);
+  osc.connect(ctx.destination());
+  osc.start(0.0);
+  return ctx.start_rendering();
+}
+
+/// Count positive-going zero crossings to estimate frequency.
+double estimate_frequency(std::span<const float> samples) {
+  int crossings = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i - 1] <= 0.0f && samples[i] > 0.0f) ++crossings;
+  }
+  return static_cast<double>(crossings) * kSampleRate /
+         static_cast<double>(samples.size());
+}
+
+class OscillatorShapeTest : public ::testing::TestWithParam<OscillatorType> {};
+
+TEST_P(OscillatorShapeTest, FrequencyMatchesRequest) {
+  const AudioBuffer buffer = render_oscillator(GetParam(), 440.0);
+  EXPECT_NEAR(estimate_frequency(buffer.channel(0)), 440.0, 10.0);
+}
+
+TEST_P(OscillatorShapeTest, AmplitudeNormalizedToOne) {
+  const AudioBuffer buffer = render_oscillator(GetParam(), 440.0);
+  float max_abs = 0.0f;
+  for (const float v : buffer.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_GT(max_abs, 0.5f);
+  EXPECT_LE(max_abs, 1.001f);
+}
+
+TEST_P(OscillatorShapeTest, DeterministicAcrossRenders) {
+  const AudioBuffer a = render_oscillator(GetParam(), 10000.0);
+  const AudioBuffer b = render_oscillator(GetParam(), 10000.0);
+  for (std::size_t i = 0; i < a.length(); ++i) {
+    ASSERT_EQ(a.channel(0)[i], b.channel(0)[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardShapes, OscillatorShapeTest,
+    ::testing::Values(OscillatorType::kSine, OscillatorType::kSquare,
+                      OscillatorType::kSawtooth, OscillatorType::kTriangle),
+    [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(OscillatorTest, SineMatchesAnalyticWaveform) {
+  const AudioBuffer buffer = render_oscillator(OscillatorType::kSine, 441.0);
+  // Compare against std::sin up to wavetable interpolation error.
+  for (std::size_t i = 200; i < 1000; ++i) {
+    const double t = static_cast<double>(i) / kSampleRate;
+    const double want = std::sin(2.0 * std::numbers::pi * 441.0 * t);
+    EXPECT_NEAR(buffer.channel(0)[i], want, 0.01) << i;
+  }
+}
+
+TEST(OscillatorTest, SquareIsBandLimitedNotNaive) {
+  // A band-limited square exhibits Gibbs ripple near the edges rather than
+  // ideal flat +-1 plateaus.
+  const AudioBuffer buffer = render_oscillator(OscillatorType::kSquare, 440.0);
+  float max_abs = 0.0f;
+  for (const float v : buffer.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_GT(max_abs, 0.9f);  // overshoot or full amplitude present
+}
+
+TEST(OscillatorTest, StartIsRequiredForOutput) {
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.connect(ctx.destination());
+  // No start() call: silence.
+  const AudioBuffer buffer = ctx.start_rendering();
+  for (const float v : buffer.channel(0)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OscillatorTest, StopSilencesTail) {
+  OfflineAudioContext ctx(1, 8192, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  osc.connect(ctx.destination());
+  osc.start(0.0);
+  osc.stop(4096.0 / kSampleRate);
+  const AudioBuffer buffer = ctx.start_rendering();
+  bool head_active = false;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    if (buffer.channel(0)[i] != 0.0f) head_active = true;
+  }
+  EXPECT_TRUE(head_active);
+  for (std::size_t i = 4200; i < 8192; ++i) {
+    EXPECT_EQ(buffer.channel(0)[i], 0.0f) << i;
+  }
+}
+
+TEST(OscillatorTest, DoubleStartThrows) {
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.start(0.0);
+  EXPECT_THROW(osc.start(0.0), std::runtime_error);
+}
+
+TEST(OscillatorTest, StopBeforeStartThrows) {
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  EXPECT_THROW(osc.stop(0.5), std::runtime_error);
+}
+
+TEST(OscillatorTest, CustomTypeRequiresPeriodicWave) {
+  OfflineAudioContext ctx(1, 1024, kSampleRate, EngineConfig::reference());
+  EXPECT_THROW(ctx.create<OscillatorNode>(OscillatorType::kCustom),
+               std::invalid_argument);
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  EXPECT_THROW(osc.set_type(OscillatorType::kCustom), std::invalid_argument);
+}
+
+TEST(OscillatorTest, CustomWaveRenders) {
+  OfflineAudioContext ctx(1, 4096, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  const std::vector<double> real = {0.0, 0.5, 0.25};
+  const std::vector<double> imag = {0.0, 1.0, 0.0};
+  osc.set_periodic_wave(std::make_shared<const PeriodicWave>(
+      real, imag, kSampleRate, ctx.config()));
+  EXPECT_EQ(osc.type(), OscillatorType::kCustom);
+  osc.frequency().set_value(440.0);
+  osc.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  float max_abs = 0.0f;
+  for (const float v : buffer.channel(0)) {
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  EXPECT_GT(max_abs, 0.5f);
+}
+
+TEST(OscillatorTest, DetuneShiftsFrequency) {
+  OfflineAudioContext ctx(1, 16384, kSampleRate, EngineConfig::reference());
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  osc.frequency().set_value(440.0);
+  osc.detune().set_value(1200.0);  // one octave up
+  osc.connect(ctx.destination());
+  osc.start(0.0);
+  const AudioBuffer buffer = ctx.start_rendering();
+  EXPECT_NEAR(estimate_frequency(buffer.channel(0)), 880.0, 15.0);
+}
+
+TEST(PeriodicWaveTest, NormalizationScalesPeakToOne) {
+  const EngineConfig cfg = EngineConfig::reference();
+  const std::vector<double> real = {0.0, 0.0};
+  const std::vector<double> imag = {0.0, 0.001};  // tiny sine coefficient
+  const PeriodicWave wave(real, imag, kSampleRate, cfg, /*normalize=*/true);
+  float max_abs = 0.0f;
+  for (double phase = 0.0; phase < 1.0; phase += 1.0 / 1024.0) {
+    max_abs = std::max(max_abs, std::fabs(wave.sample(phase, 440.0)));
+  }
+  EXPECT_NEAR(max_abs, 1.0f, 1e-3);
+}
+
+TEST(PeriodicWaveTest, HighFundamentalUsesFewerPartials) {
+  const EngineConfig cfg = EngineConfig::reference();
+  const auto wave =
+      PeriodicWave::standard(OscillatorType::kSquare, kSampleRate, cfg);
+  // Near Nyquist the band-limited table is nearly a pure sine, so its shape
+  // at phase 0.25 approaches sin amplitude; at low fundamentals the square
+  // plateau is near 1 over a wide phase range.
+  const float low_f = wave->sample(0.125, 100.0);
+  const float high_f = wave->sample(0.125, 20000.0);
+  EXPECT_GT(low_f, 0.8f);
+  EXPECT_LT(std::fabs(high_f - low_f), 1.0f);  // same sign region, different shape
+  EXPECT_NE(low_f, high_f);
+}
+
+}  // namespace
+}  // namespace wafp::webaudio
