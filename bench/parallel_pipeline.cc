@@ -1,0 +1,194 @@
+// Serial-vs-parallel end-to-end study pipeline: times collection plus the
+// Table 1 / Table 2 / Fig 5 / Table 6 analyses at a sweep of thread counts
+// and emits machine-readable BENCH_parallel.json so successive PRs have a
+// perf trajectory to compare against.
+//
+//   ./build/bench/parallel_pipeline [--smoke] [--out FILE]
+//                                   [--users N] [--iters K]
+//
+// --smoke shrinks the study and the thread sweep for CI. The run also
+// cross-checks the determinism contract: every thread count must produce a
+// dataset with the same digest checksum as the serial run.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "study/dataset.h"
+#include "study/experiments.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace wafp;
+using study::Dataset;
+using study::StudyConfig;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Order-fixed FNV over every audio digest — the cheap bit-identity witness
+/// for the parallel-vs-serial parity check.
+std::uint64_t dataset_checksum(const Dataset& ds) {
+  std::uint64_t h = util::fnv1a64("dataset");
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+      for (const util::Digest& d : ds.audio_observations(u, id)) {
+        h = util::fnv1a64_mix(h, d.prefix64());
+      }
+    }
+  }
+  return h;
+}
+
+struct StageTimes {
+  double collect = 0.0;
+  double table1 = 0.0;
+  double table2 = 0.0;
+  double fig5 = 0.0;
+  double table6 = 0.0;
+  std::uint64_t checksum = 0;
+
+  [[nodiscard]] double total() const {
+    return collect + table1 + table2 + fig5 + table6;
+  }
+};
+
+StageTimes run_pipeline(StudyConfig cfg, std::size_t threads) {
+  cfg.threads = threads;
+  util::ThreadPool::set_shared_threads(threads);
+  StageTimes t;
+
+  auto start = Clock::now();
+  const Dataset ds = Dataset::collect(cfg);
+  t.collect = seconds_since(start);
+  t.checksum = dataset_checksum(ds);
+
+  start = Clock::now();
+  volatile std::size_t sink = study::table1_stability(ds).size();
+  t.table1 = seconds_since(start);
+
+  start = Clock::now();
+  for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+    sink = sink + static_cast<std::size_t>(
+                      study::vector_diversity(ds, id).distinct);
+  }
+  sink = sink + static_cast<std::size_t>(
+                    study::combined_audio_diversity(ds).distinct);
+  t.table2 = seconds_since(start);
+
+  start = Clock::now();
+  const std::size_t max_s = cfg.iterations >= 15 ? 15 : cfg.iterations / 2;
+  for (std::size_t s = 1; s <= max_s; ++s) {
+    for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+      sink = sink + static_cast<std::size_t>(
+                        1000.0 * study::cluster_agreement(ds, id, s).mean_ami);
+    }
+  }
+  t.fig5 = seconds_since(start);
+
+  start = Clock::now();
+  for (const std::size_t s : {cfg.iterations / 2u, cfg.iterations / 3u, 3u}) {
+    if (s == 0) continue;
+    for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+      sink = sink + static_cast<std::size_t>(
+                        1000.0 * study::fingerprint_match_score(ds, id, s));
+    }
+  }
+  t.table6 = seconds_since(start);
+  (void)sink;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StudyConfig cfg;
+  std::string out_path = "BENCH_parallel.json";
+  std::vector<std::size_t> thread_sweep = {1, 2, 4, 8};
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
+      cfg.num_users = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      cfg.iterations =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out FILE] [--users N] [--iters K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    cfg.num_users = 120;
+    cfg.iterations = 6;
+    thread_sweep = {1, 2};
+  }
+
+  std::printf("parallel_pipeline: %zu users x %u iterations, hardware=%zu\n",
+              cfg.num_users, cfg.iterations, util::default_thread_count());
+
+  std::vector<std::pair<std::size_t, StageTimes>> runs;
+  for (const std::size_t threads : thread_sweep) {
+    const StageTimes t = run_pipeline(cfg, threads);
+    std::printf(
+        "  threads=%zu  collect=%.3fs table1=%.3fs table2=%.3fs "
+        "fig5=%.3fs table6=%.3fs total=%.3fs checksum=%016llx\n",
+        threads, t.collect, t.table1, t.table2, t.fig5, t.table6, t.total(),
+        static_cast<unsigned long long>(t.checksum));
+    runs.emplace_back(threads, t);
+  }
+
+  bool parity_ok = true;
+  for (const auto& [threads, t] : runs) {
+    if (t.checksum != runs.front().second.checksum) parity_ok = false;
+  }
+  const double speedup =
+      runs.back().second.total() > 0.0
+          ? runs.front().second.total() / runs.back().second.total()
+          : 0.0;
+  std::printf("  parity=%s  speedup(%zut vs 1t)=%.2fx\n",
+              parity_ok ? "ok" : "MISMATCH", runs.back().first, speedup);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"parallel_pipeline\",\n");
+  std::fprintf(out, "  \"users\": %zu,\n", cfg.num_users);
+  std::fprintf(out, "  \"iterations\": %u,\n", cfg.iterations);
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n",
+               util::default_thread_count());
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"parity_ok\": %s,\n", parity_ok ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& [threads, t] = runs[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"collect_s\": %.6f, "
+                 "\"table1_s\": %.6f, \"table2_s\": %.6f, \"fig5_s\": %.6f, "
+                 "\"table6_s\": %.6f, \"total_s\": %.6f, "
+                 "\"dataset_checksum\": \"%016llx\"}%s\n",
+                 threads, t.collect, t.table1, t.table2, t.fig5, t.table6,
+                 t.total(), static_cast<unsigned long long>(t.checksum),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"speedup_max_threads_vs_serial\": %.4f\n", speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return parity_ok ? 0 : 1;
+}

@@ -12,12 +12,15 @@
 #include "collation/fingerprint_graph.h"
 #include "dsp/fft.h"
 #include "dsp/math_library.h"
+#include "fingerprint/render_cache.h"
 #include "fingerprint/vector.h"
 #include "platform/catalog.h"
 #include "platform/canvas_sim.h"
 #include "platform/synthetic_vectors.h"
+#include "study/dataset.h"
 #include "util/hash.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "webaudio/dynamics_compressor_node.h"
 #include "webaudio/offline_audio_context.h"
 #include "webaudio/oscillator_node.h"
@@ -227,6 +230,51 @@ void BM_DisjointSetUnion(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_DisjointSetUnion)->Arg(100000);
+
+void BM_RenderCacheHit(benchmark::State& state) {
+  // Hot-path lookup with the packed struct key: one class_hash over POD
+  // fields instead of the old heap-allocated string key build per call.
+  fingerprint::RenderCache cache;
+  const auto& vec = fingerprint::audio_vector(fingerprint::VectorId::kHybrid);
+  (void)cache.get(vec, bench_profile(), 0);  // warm: first call renders
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(vec, bench_profile(), 0));
+  }
+  state.SetLabel("sharded cache, warm key");
+}
+BENCHMARK(BM_RenderCacheHit);
+
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  // Dispatch + join overhead of one parallel_for over trivial work.
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint64_t> out(4096);
+  for (auto _ : state) {
+    pool.parallel_for(out.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = i * 2654435761u;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel("threads=" + std::to_string(pool.thread_count()));
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DatasetCollect(benchmark::State& state) {
+  // Serial-vs-parallel end-to-end collection; the full sweep with per-stage
+  // analysis timings lives in bench/parallel_pipeline (BENCH_parallel.json).
+  study::StudyConfig cfg;
+  cfg.num_users = 150;
+  cfg.iterations = 10;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(study::Dataset::collect(cfg));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cfg.num_users));
+  state.SetLabel("150 users x 10 iters, threads=" +
+                 std::to_string(cfg.threads));
+}
+BENCHMARK(BM_DatasetCollect)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -31,6 +31,10 @@ std::size_t DisjointSet::find(std::size_t x) const {
   return root;
 }
 
+void DisjointSet::flatten() const {
+  for (std::size_t i = 0; i < parent_.size(); ++i) (void)find(i);
+}
+
 bool DisjointSet::unite(std::size_t a, std::size_t b) {
   std::size_t ra = find(a);
   std::size_t rb = find(b);

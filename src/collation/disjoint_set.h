@@ -23,6 +23,11 @@ class DisjointSet {
   /// Representative of x's component (with path compression).
   [[nodiscard]] std::size_t find(std::size_t x) const;
 
+  /// Point every element directly at its root. find() writes nothing on an
+  /// already-flat forest, so after flatten() concurrent const queries from
+  /// many threads are data-race-free (until the next add/unite).
+  void flatten() const;
+
   /// Merge the components of a and b; returns true if they were distinct.
   bool unite(std::size_t a, std::size_t b);
 

@@ -64,6 +64,12 @@ class FingerprintGraph {
   [[nodiscard]] std::optional<std::size_t> user_component(
       std::uint32_t user) const;
 
+  /// Flatten the union-find so const queries (match, same_cluster,
+  /// extract_clustering) stop path-compressing — required before querying
+  /// one graph from multiple threads, since compression writes through a
+  /// mutable member. Cheap: one linear pass.
+  void freeze() const { nodes_.flatten(); }
+
  private:
   std::size_t user_node(std::uint32_t user);
   std::size_t efp_node(const util::Digest& efp);

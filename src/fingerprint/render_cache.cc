@@ -5,22 +5,45 @@ namespace wafp::fingerprint {
 const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
                                      const platform::PlatformProfile& profile,
                                      std::uint32_t jitter_state) {
-  std::string key = profile.audio.class_key();
-  key += '|';
-  key += vector.name();
-  key += '|';
-  key += std::to_string(jitter_state);
+  Key key;
+  key.stack = profile.audio;
+  key.stack_hash = profile.audio.class_hash();
+  key.vector = static_cast<std::uint32_t>(vector.id());
+  key.jitter = jitter_state;
 
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+  const std::size_t h = KeyHash{}(key);
+  Shard& shard = shards_[h % kShards];
+
+  Entry* entry = nullptr;
+  bool created = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(key);
+    if (inserted) it->second = std::make_unique<Entry>();
+    entry = it->second.get();
+    created = inserted;
   }
-  ++misses_;
-  webaudio::RenderJitter jitter;
-  jitter.state = jitter_state;
-  util::Digest digest = vector.run(profile, jitter);
-  return cache_.emplace(std::move(key), digest).first->second;
+  (created ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+
+  // Render outside the shard lock: renders are the expensive part, and
+  // holding the mutex across one would serialize every same-shard thread.
+  // call_once makes concurrent racers on this key wait for one render
+  // instead of duplicating it.
+  std::call_once(entry->once, [&] {
+    webaudio::RenderJitter jitter;
+    jitter.state = jitter_state;
+    entry->digest = vector.run(profile, jitter);
+  });
+  return entry->digest;
+}
+
+std::size_t RenderCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 }  // namespace wafp::fingerprint

@@ -8,10 +8,22 @@
 // phenomenon (Fig. 4: users in one cluster) and what makes a 2093-user x 30
 // iteration x 7 vector study tractable (a few hundred renders instead of
 // 440k).
+//
+// Concurrency: the cache is striped into kShards mutex-guarded shards
+// selected by the key hash, so parallel collection threads rarely contend
+// on the map itself. Renders happen outside the shard lock under a
+// per-entry std::call_once, so when two threads race on one cold key,
+// exactly one renders and the other waits for that result — concurrent
+// collection performs the same number of renders as serial collection.
+// Returned references stay valid for the cache's lifetime: entries are
+// heap-allocated and never erased.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <string>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "fingerprint/vector.h"
@@ -20,20 +32,63 @@ namespace wafp::fingerprint {
 
 class RenderCache {
  public:
+  static constexpr std::size_t kShards = 16;
+
   /// Digest of `vector` on `profile`'s stack with the given jitter state
-  /// (chaos-free); renders on first use.
+  /// (chaos-free); renders on first use. Safe to call concurrently.
   const util::Digest& get(const AudioFingerprintVector& vector,
                           const platform::PlatformProfile& profile,
                           std::uint32_t jitter_state);
 
-  [[nodiscard]] std::size_t entries() const { return cache_.size(); }
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t misses() const { return misses_; }
+  /// Distinct (stack, vector, jitter) classes seen so far.
+  [[nodiscard]] std::size_t entries() const;
+  /// Lookups that found an existing entry (possibly waiting on its
+  /// in-flight render).
+  [[nodiscard]] std::size_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that created the entry and rendered it; always == entries().
+  [[nodiscard]] std::size_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::unordered_map<std::string, util::Digest> cache_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  /// Packed key: the full stack (exact equality — a hash collision can
+  /// never alias two stacks) plus its precomputed class hash so probing
+  /// re-hashes nothing.
+  struct Key {
+    platform::AudioStack stack;
+    std::uint64_t stack_hash = 0;
+    std::uint32_t vector = 0;
+    std::uint32_t jitter = 0;
+
+    bool operator==(const Key& o) const {
+      return stack_hash == o.stack_hash && vector == o.vector &&
+             jitter == o.jitter && stack == o.stack;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::uint64_t h = k.stack_hash;
+      h ^= (static_cast<std::uint64_t>(k.vector) << 32) | k.jitter;
+      h *= 0x9E3779B97F4A7C15ULL;  // Fibonacci mix so shard index uses
+      return static_cast<std::size_t>(h ^ (h >> 29));  // well-stirred bits
+    }
+  };
+  /// Heap-allocated so references survive rehashing and the once_flag has a
+  /// stable address for waiters.
+  struct Entry {
+    std::once_flag once;
+    util::Digest digest;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> map;
+  };
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
 };
 
 }  // namespace wafp::fingerprint

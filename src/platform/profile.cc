@@ -1,7 +1,10 @@
 #include "platform/profile.h"
 
+#include <bit>
 #include <cstdio>
 #include <sstream>
+
+#include "util/hash.h"
 
 namespace wafp::platform {
 
@@ -61,6 +64,29 @@ std::string AudioStack::class_key() const {
       << (denormal == dsp::DenormalPolicy::kFlushToZero ? "ftz" : "ieee")
       << '|' << (fma_contraction ? "fma" : "mul+add") << '|' << buf;
   return key.str();
+}
+
+std::uint64_t AudioStack::class_hash() const {
+  auto mix_double = [](std::uint64_t h, double v) {
+    return util::fnv1a64_mix(h, std::bit_cast<std::uint64_t>(v));
+  };
+  std::uint64_t h = util::fnv1a64("wafp-audio-stack");
+  h = util::fnv1a64_mix(h, static_cast<std::uint64_t>(math));
+  h = util::fnv1a64_mix(h, static_cast<std::uint64_t>(fft));
+  h = util::fnv1a64_mix(h, static_cast<std::uint64_t>(twiddle));
+  h = util::fnv1a64_mix(h, static_cast<std::uint64_t>(denormal));
+  h = util::fnv1a64_mix(h, fma_contraction ? 1u : 0u);
+  h = mix_double(h, compressor.pre_delay_seconds);
+  h = mix_double(h, compressor.metering_release_seconds);
+  h = mix_double(h, compressor.release_zone1);
+  h = mix_double(h, compressor.release_zone2);
+  h = mix_double(h, compressor.release_zone3);
+  h = mix_double(h, compressor.release_zone4);
+  h = mix_double(h, compressor.makeup_exponent);
+  h = mix_double(h, compressor.knee_solver_tolerance);
+  h = mix_double(h, analyser.blackman_alpha);
+  h = mix_double(h, analyser.smoothing);
+  return h;
 }
 
 std::string PlatformProfile::user_agent() const {

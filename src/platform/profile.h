@@ -50,9 +50,14 @@ struct AudioStack {
 
   friend bool operator==(const AudioStack&, const AudioStack&) = default;
 
-  /// Canonical serialization of every knob; used as render-cache key and in
-  /// tests asserting which vectors can see which knobs.
+  /// Canonical serialization of every knob; used in exports and in tests
+  /// asserting which vectors can see which knobs.
   [[nodiscard]] std::string class_key() const;
+
+  /// FNV-1a over every knob's bit pattern: an allocation-free stand-in for
+  /// hashing class_key(). The render cache pairs it with operator== on the
+  /// full struct, so hash collisions cannot alias two distinct stacks.
+  [[nodiscard]] std::uint64_t class_hash() const;
 };
 
 /// Per-user instability model (paper §3.1 "fickleness"); see

@@ -1,11 +1,16 @@
 #include "study/dataset.h"
 
+#include <array>
+#include <cassert>
 #include <filesystem>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "fingerprint/collector.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 namespace wafp::study {
 namespace {
@@ -17,17 +22,27 @@ constexpr std::array<fingerprint::VectorId, 4> kStaticVectors = {
     fingerprint::VectorId::kMathJs,
 };
 
+/// Hex-nibble decode table: 0-15 for [0-9a-f], -1 otherwise.
+constexpr std::array<std::int8_t, 256> kNibbleTable = [] {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (int c = '0'; c <= '9'; ++c) t[static_cast<std::size_t>(c)] =
+      static_cast<std::int8_t>(c - '0');
+  for (int c = 'a'; c <= 'f'; ++c) t[static_cast<std::size_t>(c)] =
+      static_cast<std::int8_t>(c - 'a' + 10);
+  return t;
+}();
+
 util::Digest parse_digest_hex(const std::string& hex) {
   util::Digest d;
   if (hex.size() != 64) throw std::runtime_error("bad digest hex length");
-  auto nibble = [](char c) -> std::uint8_t {
-    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
-    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
-    throw std::runtime_error("bad digest hex digit");
-  };
   for (std::size_t i = 0; i < 32; ++i) {
-    d.bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
-                                           nibble(hex[2 * i + 1]));
+    const std::int8_t hi =
+        kNibbleTable[static_cast<std::uint8_t>(hex[2 * i])];
+    const std::int8_t lo =
+        kNibbleTable[static_cast<std::uint8_t>(hex[2 * i + 1])];
+    if (hi < 0 || lo < 0) throw std::runtime_error("bad digest hex digit");
+    d.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
   }
   return d;
 }
@@ -60,6 +75,42 @@ std::string static_vector_key(fingerprint::VectorId id,
   return key;
 }
 
+/// Cross-user memo for static-vector digests, striped like the render
+/// cache. Per-entry call_once gating: concurrent racers on one cold key
+/// wait for a single compute instead of duplicating it (Canvas rendering
+/// dominates the static-vector cost).
+class StaticVectorMemo {
+ public:
+  util::Digest get_or_compute(const std::string& key,
+                              fingerprint::VectorId id,
+                              const platform::PlatformProfile& profile) {
+    Shard& shard = shards_[util::fnv1a64(key) % kShards];
+    Entry* entry = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto [it, inserted] = shard.map.try_emplace(key);
+      if (inserted) it->second = std::make_unique<Entry>();
+      entry = it->second.get();
+    }
+    std::call_once(entry->once, [&] {
+      entry->digest = fingerprint::run_static_vector(id, profile);
+    });
+    return entry->digest;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Entry {
+    std::once_flag once;
+    util::Digest digest;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
 }  // namespace
 
 Dataset::Dataset(const StudyConfig& config)
@@ -72,11 +123,22 @@ Dataset::Dataset(const StudyConfig& config)
 }
 
 std::size_t Dataset::audio_vector_index(fingerprint::VectorId id) {
-  const auto ids = fingerprint::audio_vector_ids();
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    if (ids[i] == id) return i;
-  }
-  throw std::invalid_argument("not an audio vector");
+  // audio_vector_ids() lists the audio vectors in enum order (kDc..kFm =
+  // 0..6), so the index is the enum value itself; a one-time check guards
+  // the table against anyone reordering the registry.
+  [[maybe_unused]] static const bool order_checked = [] {
+    const auto ids = fingerprint::audio_vector_ids();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      assert(ids[i] == static_cast<fingerprint::VectorId>(i));
+      if (ids[i] != static_cast<fingerprint::VectorId>(i)) {
+        throw std::logic_error("audio_vector_ids() order changed");
+      }
+    }
+    return true;
+  }();
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= 7) throw std::invalid_argument("not an audio vector");
+  return index;
 }
 
 std::size_t Dataset::static_vector_index(fingerprint::VectorId id) {
@@ -89,35 +151,42 @@ std::size_t Dataset::static_vector_index(fingerprint::VectorId id) {
 Dataset Dataset::collect(const StudyConfig& config) {
   Dataset ds(config);
   fingerprint::RenderCache cache;
-  fingerprint::FingerprintCollector collector(cache);
-  std::unordered_map<std::string, util::Digest> static_cache;
-
+  StaticVectorMemo static_memo;
   const auto audio_ids = fingerprint::audio_vector_ids();
-  for (std::size_t u = 0; u < ds.population_->size(); ++u) {
-    const platform::StudyUser& user = ds.population_->user(u);
-    for (std::size_t v = 0; v < audio_ids.size(); ++v) {
-      for (std::uint32_t it = 0; it < config.iterations; ++it) {
-        ds.audio_[(u * audio_ids.size() + v) * config.iterations + it] =
-            collector.collect(user, audio_ids[v], it);
+
+  // One collector per chunk (its draw counters are thread-local tallies);
+  // the render cache and static memo are shared and concurrency-safe. Each
+  // chunk writes only its own users' slots, and every digest is a pure
+  // function of (profile stack, derived seed), so the dataset is
+  // bit-identical at any thread count.
+  auto collect_range = [&](std::size_t begin, std::size_t end) {
+    fingerprint::FingerprintCollector collector(cache);
+    for (std::size_t u = begin; u < end; ++u) {
+      const platform::StudyUser& user = ds.population_->user(u);
+      for (std::size_t v = 0; v < audio_ids.size(); ++v) {
+        for (std::uint32_t it = 0; it < config.iterations; ++it) {
+          ds.audio_[(u * audio_ids.size() + v) * config.iterations + it] =
+              collector.collect(user, audio_ids[v], it);
+        }
       }
-    }
-    for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
-      const std::string key = static_vector_key(kStaticVectors[s], user.profile);
-      if (key.empty()) {
+      for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
+        const std::string key =
+            static_vector_key(kStaticVectors[s], user.profile);
         ds.static_[u * kStaticVectors.size() + s] =
-            fingerprint::run_static_vector(kStaticVectors[s], user.profile);
-        continue;
-      }
-      const auto it = static_cache.find(key);
-      if (it != static_cache.end()) {
-        ds.static_[u * kStaticVectors.size() + s] = it->second;
-      } else {
-        const util::Digest d =
-            fingerprint::run_static_vector(kStaticVectors[s], user.profile);
-        static_cache.emplace(key, d);
-        ds.static_[u * kStaticVectors.size() + s] = d;
+            key.empty()
+                ? fingerprint::run_static_vector(kStaticVectors[s],
+                                                 user.profile)
+                : static_memo.get_or_compute(key, kStaticVectors[s],
+                                             user.profile);
       }
     }
+  };
+
+  if (config.threads == 1) {
+    collect_range(0, ds.population_->size());
+  } else {
+    util::ThreadPool pool(config.threads);
+    pool.parallel_for(ds.population_->size(), collect_range);
   }
   return ds;
 }
@@ -171,46 +240,49 @@ const util::Digest& Dataset::static_observation(
 }
 
 bool Dataset::save_csv(const std::string& path) const {
-  util::CsvWriter csv;
-  csv.add_row({std::to_string(config_.num_users),
-               std::to_string(config_.iterations),
-               std::to_string(config_.seed)});
+  // Streamed row by row: a full study is ~440k rows, which CsvWriter would
+  // otherwise buffer entirely before the first byte hits disk.
+  util::CsvStreamWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.write_row({std::to_string(config_.num_users),
+                 std::to_string(config_.iterations),
+                 std::to_string(config_.seed)});
   const auto audio_ids = fingerprint::audio_vector_ids();
   for (std::size_t u = 0; u < num_users(); ++u) {
+    const std::string user = std::to_string(u);
     for (std::size_t v = 0; v < audio_ids.size(); ++v) {
       for (std::uint32_t it = 0; it < config_.iterations; ++it) {
-        csv.add_row({std::to_string(u), std::string(to_string(audio_ids[v])),
-                     std::to_string(it),
-                     audio_[(u * 7 + v) * config_.iterations + it].hex()});
+        csv.write_row({user, to_string(audio_ids[v]), std::to_string(it),
+                       audio_[(u * 7 + v) * config_.iterations + it].hex()});
       }
     }
   }
   for (std::size_t u = 0; u < num_users(); ++u) {
+    const std::string user = std::to_string(u);
     for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
-      csv.add_row({std::to_string(u),
-                   std::string(to_string(kStaticVectors[s])), "0",
-                   static_[u * kStaticVectors.size() + s].hex()});
+      csv.write_row({user, to_string(kStaticVectors[s]), "0",
+                     static_[u * kStaticVectors.size() + s].hex()});
     }
   }
-  return csv.write_file(path);
+  return csv.finish();
 }
 
 bool Dataset::save_profiles_csv(const std::string& path) const {
-  util::CsvWriter csv;
-  csv.add_row({"user", "os", "os_version", "browser", "browser_version",
-               "engine", "arch", "device_model", "country", "simd_tier",
-               "flakiness", "user_agent", "audio_class_key"});
+  util::CsvStreamWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.write_row({"user", "os", "os_version", "browser", "browser_version",
+                 "engine", "arch", "device_model", "country", "simd_tier",
+                 "flakiness", "user_agent", "audio_class_key"});
   for (const platform::StudyUser& user : population_->users()) {
     const platform::PlatformProfile& p = user.profile;
-    csv.add_row({std::to_string(user.id), std::string(to_string(p.os)),
-                 p.os_version, std::string(to_string(p.browser)),
-                 p.browser_version, std::string(to_string(p.engine)),
-                 std::string(to_string(p.arch)), p.device_model, p.country,
-                 std::to_string(p.simd_tier),
-                 std::to_string(p.fickle.flakiness), p.user_agent(),
-                 p.audio.class_key()});
+    csv.write_row({std::to_string(user.id), to_string(p.os), p.os_version,
+                   to_string(p.browser), p.browser_version,
+                   to_string(p.engine), to_string(p.arch), p.device_model,
+                   p.country, std::to_string(p.simd_tier),
+                   std::to_string(p.fickle.flakiness), p.user_agent(),
+                   p.audio.class_key()});
   }
-  return csv.write_file(path);
+  return csv.finish();
 }
 
 }  // namespace wafp::study

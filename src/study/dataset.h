@@ -22,6 +22,13 @@ struct StudyConfig {
   std::uint64_t seed = 2021;
   platform::CatalogTuning tuning;
 
+  /// Parallelism degree for collect(): 0 = util::default_thread_count(),
+  /// 1 = fully serial. Any value produces a bit-identical dataset (every
+  /// digest is a pure function of the profile stack and a derived seed;
+  /// threads only partition the user range) — asserted by
+  /// tests/study/parallel_collect_test.cc.
+  std::size_t threads = 0;
+
   /// Follow-up study configuration (paper §5, Tables 4-5).
   [[nodiscard]] static StudyConfig followup() {
     StudyConfig cfg;
@@ -34,7 +41,8 @@ struct StudyConfig {
 class Dataset {
  public:
   /// Run the full collection: sample the population and collect every
-  /// (user, vector, iteration) digest through the render cache.
+  /// (user, vector, iteration) digest through the (sharded) render cache,
+  /// parallelized over users per config.threads.
   [[nodiscard]] static Dataset collect(const StudyConfig& config);
 
   /// Load from CSV if `path` exists and matches the config; otherwise

@@ -1,6 +1,7 @@
 #include "study/experiments.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
 #include <numeric>
@@ -9,11 +10,24 @@
 #include <unordered_set>
 
 #include "analysis/ami.h"
+#include "util/thread_pool.h"
 
 namespace wafp::study {
 namespace {
 
 using fingerprint::VectorId;
+
+/// Collated clusterings of the given vectors, computed concurrently (one
+/// task per vector on the shared pool). Each task builds its own graph, so
+/// results are identical to the serial loop; slot i belongs to ids[i].
+std::vector<std::vector<int>> collated_label_sets(
+    const Dataset& ds, std::span<const VectorId> ids) {
+  std::vector<std::vector<int>> label_sets(ids.size());
+  util::ThreadPool::shared().parallel_for_each(ids.size(), [&](std::size_t i) {
+    label_sets[i] = collated_clustering(ds, ids[i]).labels;
+  });
+  return label_sets;
+}
 
 std::vector<std::uint32_t> all_user_ids(const Dataset& ds) {
   std::vector<std::uint32_t> ids(ds.num_users());
@@ -103,27 +117,38 @@ AgreementPoint cluster_agreement(const Dataset& ds, VectorId id,
     return point;
   }
   const std::vector<std::uint32_t> ids = all_user_ids(ds);
-  std::vector<collation::Clustering> clusterings;
-  clusterings.reserve(subsets);
-  for (std::size_t i = 0; i < subsets; ++i) {
+  util::ThreadPool& pool = util::ThreadPool::shared();
+
+  // Each task builds one subset's graph, so clusterings match the serial
+  // loop exactly.
+  std::vector<collation::Clustering> clusterings(subsets);
+  pool.parallel_for_each(subsets, [&](std::size_t i) {
     const auto graph =
         build_graph(ds, id, static_cast<std::uint32_t>(i * s),
                     static_cast<std::uint32_t>((i + 1) * s));
-    clusterings.push_back(graph.extract_clustering(ids));
+    clusterings[i] = graph.extract_clustering(ids);
+  });
+
+  // All O(subsets^2) AMI pairs concurrently, reduced serially in a fixed
+  // order afterwards so the floating-point sum stays deterministic.
+  std::vector<std::pair<std::size_t, std::size_t>> pair_list;
+  for (std::size_t i = 0; i < subsets; ++i) {
+    for (std::size_t j = i + 1; j < subsets; ++j) pair_list.emplace_back(i, j);
   }
+  std::vector<double> amis(pair_list.size());
+  pool.parallel_for_each(pair_list.size(), [&](std::size_t p) {
+    amis[p] = analysis::adjusted_mutual_information(
+        clusterings[pair_list[p].first].labels,
+        clusterings[pair_list[p].second].labels);
+  });
+
   double total = 0.0;
   double min_ami = 1.0;
-  std::size_t pairs = 0;
-  for (std::size_t i = 0; i < subsets; ++i) {
-    for (std::size_t j = i + 1; j < subsets; ++j) {
-      const double ami = analysis::adjusted_mutual_information(
-          clusterings[i].labels, clusterings[j].labels);
-      total += ami;
-      min_ami = std::min(min_ami, ami);
-      ++pairs;
-    }
+  for (const double ami : amis) {
+    total += ami;
+    min_ami = std::min(min_ami, ami);
   }
-  point.mean_ami = total / static_cast<double>(pairs);
+  point.mean_ami = total / static_cast<double>(amis.size());
   point.min_ami = min_ami;
   return point;
 }
@@ -135,28 +160,45 @@ double fingerprint_match_score(const Dataset& ds, VectorId id,
 
   const collation::FingerprintGraph training =
       build_graph(ds, id, 0, static_cast<std::uint32_t>(s));
+  // Flatten the union-find: concurrent const queries must not
+  // path-compress, and flat finds are cheaper for every probe below.
+  training.freeze();
 
-  std::size_t probes = 0;
-  std::size_t successes = 0;
-  std::vector<util::Digest> probe;
-  for (std::size_t subset = 1; subset < subsets; ++subset) {
-    for (std::size_t u = 0; u < ds.num_users(); ++u) {
-      probe.clear();
-      for (std::size_t it = subset * s; it < (subset + 1) * s; ++it) {
-        probe.push_back(
-            ds.audio_observation(u, id, static_cast<std::uint32_t>(it)));
-      }
-      ++probes;
-      const auto matched = training.match(probe);
-      const auto expected =
-          training.user_component(static_cast<std::uint32_t>(u));
-      if (matched.has_value() && expected.has_value() &&
-          *matched == *expected) {
-        ++successes;
-      }
-    }
+  // Each user's training component is invariant across probe subsets;
+  // computed once instead of (subsets-1) times per user.
+  std::vector<std::optional<std::size_t>> expected(ds.num_users());
+  for (std::size_t u = 0; u < ds.num_users(); ++u) {
+    expected[u] = training.user_component(static_cast<std::uint32_t>(u));
   }
-  return static_cast<double>(successes) / static_cast<double>(probes);
+
+  // Probe batches in parallel over the flat (subset, user) index space;
+  // successes is a plain count, so relaxed atomic accumulation keeps the
+  // result exact.
+  const std::size_t probes = (subsets - 1) * ds.num_users();
+  std::atomic<std::size_t> successes{0};
+  util::ThreadPool::shared().parallel_for(
+      probes, [&](std::size_t begin, std::size_t end) {
+        std::vector<util::Digest> probe;
+        probe.reserve(s);
+        std::size_t local = 0;
+        for (std::size_t flat = begin; flat < end; ++flat) {
+          const std::size_t subset = 1 + flat / ds.num_users();
+          const std::size_t u = flat % ds.num_users();
+          probe.clear();
+          for (std::size_t it = subset * s; it < (subset + 1) * s; ++it) {
+            probe.push_back(
+                ds.audio_observation(u, id, static_cast<std::uint32_t>(it)));
+          }
+          const auto matched = training.match(probe);
+          if (matched.has_value() && expected[u].has_value() &&
+              *matched == *expected[u]) {
+            ++local;
+          }
+        }
+        successes.fetch_add(local, std::memory_order_relaxed);
+      });
+  return static_cast<double>(successes.load()) /
+         static_cast<double>(probes);
 }
 
 analysis::DiversityStats vector_diversity(const Dataset& ds, VectorId id) {
@@ -167,11 +209,8 @@ analysis::DiversityStats vector_diversity(const Dataset& ds, VectorId id) {
 }
 
 std::vector<int> combined_audio_labels(const Dataset& ds) {
-  std::vector<std::vector<int>> label_sets;
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
-    label_sets.push_back(collated_clustering(ds, id).labels);
-  }
-  return analysis::combine_labels(label_sets);
+  return analysis::combine_labels(
+      collated_label_sets(ds, fingerprint::audio_vector_ids()));
 }
 
 analysis::DiversityStats combined_audio_diversity(const Dataset& ds) {
@@ -180,20 +219,23 @@ analysis::DiversityStats combined_audio_diversity(const Dataset& ds) {
 
 std::vector<std::vector<double>> cross_vector_agreement(const Dataset& ds) {
   const auto ids = fingerprint::audio_vector_ids();
-  std::vector<std::vector<int>> labels;
-  for (const VectorId id : ids) {
-    labels.push_back(collated_clustering(ds, id).labels);
+  const std::vector<std::vector<int>> labels = collated_label_sets(ds, ids);
+
+  std::vector<std::pair<std::size_t, std::size_t>> pair_list;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) pair_list.emplace_back(i, j);
   }
   std::vector<std::vector<double>> matrix(
       ids.size(), std::vector<double>(ids.size(), 1.0));
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    for (std::size_t j = i + 1; j < ids.size(); ++j) {
-      const double ami =
-          analysis::adjusted_mutual_information(labels[i], labels[j]);
-      matrix[i][j] = ami;
-      matrix[j][i] = ami;
-    }
-  }
+  // Each task writes two distinct matrix cells; no two pairs share a cell.
+  util::ThreadPool::shared().parallel_for_each(
+      pair_list.size(), [&](std::size_t p) {
+        const auto [i, j] = pair_list[p];
+        const double ami =
+            analysis::adjusted_mutual_information(labels[i], labels[j]);
+        matrix[i][j] = ami;
+        matrix[j][i] = ami;
+      });
   return matrix;
 }
 

@@ -6,11 +6,11 @@
 namespace wafp::util {
 namespace {
 
-bool needs_quoting(const std::string& cell) {
-  return cell.find_first_of(",\"\n\r") != std::string::npos;
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
 }
 
-std::string quote(const std::string& cell) {
+std::string quote(std::string_view cell) {
   std::string out = "\"";
   for (const char c : cell) {
     if (c == '"') out += "\"\"";
@@ -43,6 +43,26 @@ bool CsvWriter::write_file(const std::string& path) const {
   if (!file) return false;
   file << str();
   return static_cast<bool>(file);
+}
+
+CsvStreamWriter::CsvStreamWriter(const std::string& path)
+    : out_(path, std::ios::binary) {}
+
+void CsvStreamWriter::write_row(
+    std::initializer_list<std::string_view> cells) {
+  bool first = true;
+  for (const std::string_view cell : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    if (needs_quoting(cell)) out_ << quote(cell);
+    else out_ << cell;
+  }
+  out_ << '\n';
+}
+
+bool CsvStreamWriter::finish() {
+  out_.flush();
+  return static_cast<bool>(out_);
 }
 
 std::vector<std::vector<std::string>> parse_csv(const std::string& text) {

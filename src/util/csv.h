@@ -3,7 +3,10 @@
 // analysis stages can be re-run without re-rendering audio.
 #pragma once
 
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wafp::util {
@@ -22,6 +25,25 @@ class CsvWriter {
 
  private:
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streams rows straight to a file as they are written (same RFC 4180
+/// quoting as CsvWriter) — constant memory, unlike CsvWriter, which buffers
+/// every row. Used for large exports such as the ~440k-row study dataset.
+class CsvStreamWriter {
+ public:
+  explicit CsvStreamWriter(const std::string& path);
+
+  /// False if the file could not be opened or a write failed.
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void write_row(std::initializer_list<std::string_view> cells);
+
+  /// Flush and report the final stream state.
+  bool finish();
+
+ private:
+  std::ofstream out_;
 };
 
 /// Parse CSV text (RFC 4180 quoting, LF or CRLF line endings).

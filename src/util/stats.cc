@@ -31,7 +31,15 @@ double max_value(std::span<const double> values) {
 }
 
 double ln_factorial(std::size_t n) {
+  // std::lgamma writes the process-global signgam, which is a data race
+  // when the analysis layer computes AMI terms from pool threads; the
+  // reentrant variant returns the same value without the global.
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
   return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 double log_factorial(std::size_t n) {

@@ -1,0 +1,162 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace wafp::util {
+namespace {
+
+/// Set while a thread is executing pool work; reentrant parallel_for from
+/// such a thread must run inline (a worker blocking on its own pool's queue
+/// would deadlock once all workers wait on each other).
+thread_local bool t_in_pool_task = false;
+
+std::unique_ptr<ThreadPool>& shared_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("WAFP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    t_in_pool_task = true;
+    task();
+    t_in_pool_task = false;
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (thread_count() * 8));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  // Degree-1 pools and reentrant calls run every chunk inline, in order.
+  if (workers_.empty() || t_in_pool_task || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * grain;
+      fn(begin, std::min(n, begin + grain));
+    }
+    return;
+  }
+
+  // Shared chunk-claiming state: workers and the caller race to claim chunk
+  // indices; each claimed chunk maps to a fixed [begin, end) range, so the
+  // partition never depends on who ran what.
+  struct Run {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pending{0};  // claimed but unfinished runners
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto run = std::make_shared<Run>();
+
+  auto drain = [run, n, grain, chunks, &fn] {
+    for (;;) {
+      const std::size_t c = run->next.fetch_add(1);
+      if (c >= chunks) return;
+      const std::size_t begin = c * grain;
+      try {
+        fn(begin, std::min(n, begin + grain));
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(run->error_mu);
+          if (!run->error) run->error = std::current_exception();
+        }
+        run->next.store(chunks);  // abandon unstarted chunks
+        return;
+      }
+    }
+  };
+
+  const std::size_t runners =
+      std::min(workers_.size(), chunks > 0 ? chunks - 1 : 0);
+  run->pending.store(runners);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < runners; ++i) {
+      // The task captures `run` by value: it stays alive even if a worker
+      // only gets scheduled after the caller finished every chunk itself.
+      queue_.emplace_back([run, drain] {
+        drain();
+        if (run->pending.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_lock(run->done_mu);
+          run->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  drain();  // the calling thread participates
+
+  {
+    std::unique_lock<std::mutex> lock(run->done_mu);
+    run->done_cv.wait(lock, [&] { return run->pending.load() == 0; });
+  }
+  if (run->error) std::rethrow_exception(run->error);
+}
+
+void ThreadPool::parallel_for_each(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      1);
+}
+
+ThreadPool& ThreadPool::shared() {
+  auto& slot = shared_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_shared_threads(std::size_t threads) {
+  shared_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace wafp::util

@@ -1,0 +1,77 @@
+// Fixed-size worker pool with a chunked parallel_for — the parallel
+// execution layer for the study pipeline (collection and analysis).
+//
+// Determinism contract: parallel_for partitions [0, n) into contiguous
+// chunks whose boundaries depend only on (n, grain); tasks write results
+// into caller-owned slots addressed by index, so the combined result is
+// bit-identical regardless of scheduling, thread count, or interleaving.
+// Every digest in the study is a pure function of (profile stack, derived
+// seed), which is what makes parallel collection equal to serial collection
+// byte for byte (asserted by tests/study/parallel_collect_test.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wafp::util {
+
+/// Parallelism degree to use when none is requested: the WAFP_THREADS
+/// environment variable if set and positive, else hardware_concurrency.
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism degree including the calling
+  /// thread: a pool of degree T spawns T-1 workers and the caller executes
+  /// chunks too, so degree 1 spawns nothing and runs everything inline.
+  /// 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism degree (workers + calling thread), always >= 1.
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Invoke fn(begin, end) over contiguous chunks covering [0, n).
+  /// `grain` is the chunk length (0 = pick one targeting ~8 chunks per
+  /// thread). Chunk boundaries are deterministic in (n, grain); execution
+  /// order is not — callers must write results only into index-addressed
+  /// slots. Blocks until every chunk ran. The first exception thrown by any
+  /// chunk is rethrown here (remaining unstarted chunks are skipped).
+  /// Reentrant calls from inside a chunk run inline on the calling worker,
+  /// so nesting cannot deadlock the pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Convenience wrapper: fn(i) for each i in [0, n), one index per call.
+  void parallel_for_each(std::size_t n,
+                         const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool for the analysis layer, sized by
+  /// default_thread_count() on first use (or set_shared_threads).
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// Replace the shared pool with one of the given degree. Not thread-safe
+  /// against concurrent shared() users — call between parallel regions
+  /// (benchmarks sweeping thread counts, CLI flag handling at startup).
+  static void set_shared_threads(std::size_t threads);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace wafp::util

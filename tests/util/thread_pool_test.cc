@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace wafp::util {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for_each(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> seen(kN);
+  pool.parallel_for(kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesRespectGrain) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(
+      103,
+      [&](std::size_t begin, std::size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(begin, end);
+      },
+      10);
+  ASSERT_EQ(chunks.size(), 11u);  // ceil(103 / 10)
+  std::sort(chunks.begin(), chunks.end());
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].first, c * 10);
+    EXPECT_EQ(chunks[c].second, std::min<std::size_t>(103, c * 10 + 10));
+  }
+}
+
+TEST(ThreadPoolTest, DegreeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran;
+  pool.parallel_for(5, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ran.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(ran.size(), 5u);
+  for (const auto id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin >= 40) throw std::runtime_error("boom");
+                        },
+                        10),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_each(
+                   10, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for_each(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(1000, [&](std::size_t begin, std::size_t end) {
+      std::size_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 499500u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for_each(8, [&](std::size_t) {
+    // A task scheduling onto its own pool must not wait on a queue its own
+    // worker is supposed to drain; inline execution makes this safe.
+    pool.parallel_for_each(10, [&](std::size_t j) { inner_total += j; });
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 45u);
+}
+
+TEST(ThreadPoolTest, SharedPoolResizable) {
+  ThreadPool::set_shared_threads(3);
+  EXPECT_EQ(ThreadPool::shared().thread_count(), 3u);
+  ThreadPool::set_shared_threads(1);
+  EXPECT_EQ(ThreadPool::shared().thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace wafp::util
