@@ -1,26 +1,43 @@
-// An online fingerprinter, as §3.2 envisions one: visitors are enrolled
-// into the collation graph as they arrive; returning visitors are
-// re-identified from a handful of fresh iterations — including the dynamic
-// cluster merges of the paper's Fig. 4 (a new visitor can reveal that two
-// previously distinct clusters were the same platform all along).
+// An online fingerprinter, as §3.2 envisions one — now a thin CLI over the
+// fault-tolerant collation service in src/service/. Visitors are enrolled
+// into the collation graph as their submissions stream through the full
+// validate -> queue -> WAL -> graph pipeline; returning visitors are
+// re-identified from a handful of fresh iterations, including the dynamic
+// cluster merges of the paper's Fig. 4.
 //
 //   ./build/examples/tracking_server [num_visitors]
+//       [--state-dir DIR]     persist WAL + snapshots (and recover on start)
+//       [--snapshot-every N]  checkpoint cadence in applied submissions
+//       [--drop-every N] [--dup-every N]  deterministic fault injection
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
+#include <cstring>
 #include <vector>
 
-#include "collation/fingerprint_graph.h"
 #include "fingerprint/collector.h"
 #include "platform/catalog.h"
 #include "platform/population.h"
+#include "service/collation_service.h"
 
 int main(int argc, char** argv) {
   using namespace wafp;
 
   std::size_t num_visitors = 400;
-  if (argc > 1) num_visitors = std::strtoul(argv[1], nullptr, 10);
+  service::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
+      config.state_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
+      config.snapshot_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drop-every") == 0 && i + 1 < argc) {
+      config.faults.drop_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dup-every") == 0 && i + 1 < argc) {
+      config.faults.duplicate_every = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      num_visitors = std::strtoul(argv[i], nullptr, 10);
+    }
+  }
 
   const fingerprint::VectorId vector = fingerprint::VectorId::kAm;
   constexpr std::uint32_t kEnrolIterations = 2;
@@ -31,17 +48,45 @@ int main(int argc, char** argv) {
   fingerprint::RenderCache cache;
   fingerprint::FingerprintCollector collector(cache);
 
-  // --- Phase 1: first visits enrol everyone. -----------------------------
-  collation::FingerprintGraph graph;
+  service::CollationService svc(config);
+  {
+    const auto s = svc.stats();
+    if (s.recovered_from_snapshot + s.recovered_from_wal > 0) {
+      std::printf("Recovered state: %llu submissions from snapshot, %llu "
+                  "replayed from WAL (checksum %016llx)\n\n",
+                  static_cast<unsigned long long>(s.recovered_from_snapshot),
+                  static_cast<unsigned long long>(s.recovered_from_wal),
+                  static_cast<unsigned long long>(svc.component_checksum()));
+    }
+  }
+
+  // --- Phase 1: first visits enrol everyone through the service. ---------
   std::size_t new_clusters = 0;
   std::size_t joined_existing = 0;
   std::size_t bridged_clusters = 0;
+  // Resume above any recovered per-user clocks so a re-run against the same
+  // state_dir does not trip the timestamp-regression validator.
+  std::uint64_t clock = svc.max_observed_timestamp();
   for (const platform::StudyUser& user : population.users()) {
-    const std::size_t before = graph.cluster_count();
+    const std::size_t before = svc.graph().cluster_count();
     for (std::uint32_t it = 0; it < kEnrolIterations; ++it) {
-      graph.add_observation(user.id, collector.collect(user, vector, it));
+      service::RawSubmission raw;
+      raw.user = user.id;
+      raw.vector = static_cast<std::uint32_t>(vector);
+      raw.timestamp = ++clock;
+      raw.efp_hex = collector.collect(user, vector, it).hex();
+      auto result = svc.submit(raw);
+      while (result.reason == service::Reject::kQueueFull) {
+        svc.pump();
+        result = svc.submit(raw);
+      }
+      if (!result.accepted()) {
+        std::printf("  rejected submission for user %u: %s\n", user.id,
+                    std::string(service::to_string(result.reason)).c_str());
+      }
     }
-    const std::size_t after = graph.cluster_count();
+    svc.pump();  // apply this visitor's submissions before inspecting
+    const std::size_t after = svc.graph().cluster_count();
     if (after > before) {
       ++new_clusters;  // a previously unseen fingerprint family
     } else if (after == before) {
@@ -53,15 +98,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto stats = svc.stats();
   std::printf("Enrolled %zu visitors (%u iterations each) -> %zu collated "
               "clusters, %zu elementary fingerprints\n",
-              num_visitors, kEnrolIterations, graph.cluster_count(),
-              graph.fingerprint_count());
+              num_visitors, kEnrolIterations, svc.graph().cluster_count(),
+              svc.graph().fingerprint_count());
   std::printf("  opened a new cluster : %zu visitors\n", new_clusters);
   std::printf("  joined an existing   : %zu visitors\n", joined_existing);
   std::printf("  bridged clusters     : %zu visitors (dynamic merge, "
-              "Fig. 4)\n\n",
+              "Fig. 4)\n",
               bridged_clusters);
+  std::printf("  service: %llu submitted, %llu accepted, %llu applied, "
+              "%llu WAL appends, %llu snapshots, %llu dropped by faults\n\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.applied),
+              static_cast<unsigned long long>(stats.wal_appends),
+              static_cast<unsigned long long>(stats.snapshots_written),
+              static_cast<unsigned long long>(stats.dropped_by_fault));
 
   // --- Phase 2: everyone returns; re-identify from fresh iterations. -----
   std::size_t identified = 0;
@@ -73,8 +127,8 @@ int main(int argc, char** argv) {
          it < kEnrolIterations + kReturnIterations; ++it) {
       probe.push_back(collector.collect(user, vector, it));
     }
-    const auto matched = graph.match(probe);
-    const auto expected = graph.user_component(user.id);
+    const auto matched = svc.match(probe);
+    const auto expected = svc.graph().user_component(user.id);
     if (matched.has_value() && expected.has_value() && *matched == *expected) {
       ++identified;
     } else {
@@ -89,10 +143,16 @@ int main(int argc, char** argv) {
   std::printf("Misses (fresh fingerprints never seen in enrolment): %zu\n",
               misses);
   std::printf("\nCluster sizes (largest 10):\n");
-  std::vector<std::size_t> sizes = graph.cluster_user_counts();
+  std::vector<std::size_t> sizes = svc.graph().cluster_user_counts();
   std::sort(sizes.rbegin(), sizes.rend());
   for (std::size_t i = 0; i < sizes.size() && i < 10; ++i) {
     std::printf("  #%zu: %zu users\n", i + 1, sizes[i]);
+  }
+  if (!config.state_dir.empty()) {
+    svc.drain_and_checkpoint();
+    std::printf("\nState checkpointed to %s (component checksum %016llx)\n",
+                config.state_dir.c_str(),
+                static_cast<unsigned long long>(svc.component_checksum()));
   }
   return 0;
 }

@@ -63,6 +63,11 @@ void ExpiringFingerprintGraph::add_observation(std::uint32_t user,
 }
 
 void ExpiringFingerprintGraph::expire_before(std::uint64_t cutoff) {
+  // Exclusive cutoff: entries stamped exactly at `cutoff` stay. Each pop is
+  // checked against the edge's *authoritative* timestamp in edge_timestamp_;
+  // a queue entry is stale (skipped) when the pair was refreshed to a newer
+  // timestamp, already expired, or duplicated at the same timestamp and
+  // handled by an earlier pop.
   while (!expiry_queue_.empty() && expiry_queue_.top().timestamp < cutoff) {
     const PendingExpiry entry = expiry_queue_.top();
     expiry_queue_.pop();
@@ -144,6 +149,47 @@ std::optional<std::uint32_t> ExpiringFingerprintGraph::match(
       groups.begin(), groups.end(),
       [](const auto& a, const auto& b) { return a.second < b.second; });
   return best->first;
+}
+
+std::vector<ExpiringObservation> ExpiringFingerprintGraph::live_observations()
+    const {
+  std::unordered_map<std::uint32_t, std::uint32_t> node_to_user;
+  node_to_user.reserve(user_nodes_.size());
+  for (const auto& [user, node] : user_nodes_) node_to_user.emplace(node, user);
+  std::unordered_map<std::uint32_t, const util::Digest*> node_to_efp;
+  node_to_efp.reserve(efp_nodes_.size());
+  for (const auto& [efp, node] : efp_nodes_) node_to_efp.emplace(node, &efp);
+
+  std::vector<ExpiringObservation> observations;
+  observations.reserve(edge_timestamp_.size());
+  for (const auto& [key, timestamp] : edge_timestamp_) {
+    const auto a = static_cast<std::uint32_t>(key >> 32);
+    const auto b = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    // pack_edge sorted the endpoints; recover which side is the user.
+    const auto user_it =
+        node_to_user.contains(a) ? node_to_user.find(a) : node_to_user.find(b);
+    const auto efp_it =
+        node_to_efp.contains(a) ? node_to_efp.find(a) : node_to_efp.find(b);
+    observations.push_back(
+        {user_it->second, *efp_it->second, timestamp});
+  }
+  std::sort(observations.begin(), observations.end(),
+            [](const ExpiringObservation& x, const ExpiringObservation& y) {
+              if (x.timestamp != y.timestamp) return x.timestamp < y.timestamp;
+              if (x.user != y.user) return x.user < y.user;
+              return x.efp < y.efp;
+            });
+  return observations;
+}
+
+ExpiringFingerprintGraph ExpiringFingerprintGraph::from_observations(
+    std::size_t max_nodes,
+    std::span<const ExpiringObservation> observations) {
+  ExpiringFingerprintGraph graph(max_nodes);
+  for (const ExpiringObservation& obs : observations) {
+    graph.add_observation(obs.user, obs.efp, obs.timestamp);
+  }
+  return graph;
 }
 
 std::optional<std::uint32_t> ExpiringFingerprintGraph::user_component(

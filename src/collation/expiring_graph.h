@@ -19,6 +19,17 @@
 
 namespace wafp::collation {
 
+/// One live (user, fingerprint, timestamp) edge, as exported for
+/// serialization. The timestamp is the *newest* observation of the pair.
+struct ExpiringObservation {
+  std::uint32_t user;
+  util::Digest efp;
+  std::uint64_t timestamp;
+
+  friend bool operator==(const ExpiringObservation&,
+                         const ExpiringObservation&) = default;
+};
+
 class ExpiringFingerprintGraph {
  public:
   /// `max_nodes` caps users + distinct fingerprints combined.
@@ -30,7 +41,15 @@ class ExpiringFingerprintGraph {
   void add_observation(std::uint32_t user, const util::Digest& efp,
                        std::uint64_t timestamp);
 
-  /// Drop every observation with timestamp < cutoff.
+  /// Drop every observation whose timestamp is *strictly less than*
+  /// `cutoff` (exclusive bound: an observation stamped exactly at `cutoff`
+  /// survives, so `expire_before(now - window)` keeps a closed
+  /// [now-window, now] interval live). A pair refreshed by re-observation
+  /// keeps only its *newest* timestamp — the stale expiry-queue entry from
+  /// the earlier observation is skipped when popped, including the boundary
+  /// case where the refresh lands exactly at `cutoff`. See
+  /// tests/collation/expiring_graph_test.cc (CutoffIsExclusive,
+  /// RefreshExactlyAtCutoffSurvives).
   void expire_before(std::uint64_t cutoff);
 
   /// Users currently holding at least one live observation.
@@ -62,6 +81,18 @@ class ExpiringFingerprintGraph {
   [[nodiscard]] bool nodes_connected(std::uint32_t a, std::uint32_t b) const {
     return connectivity_.connected(a, b);
   }
+
+  /// Every live edge with its newest timestamp, sorted by (timestamp, user,
+  /// digest) — a deterministic serialization image. Node handles are NOT
+  /// exported; they are an internal allocation detail.
+  [[nodiscard]] std::vector<ExpiringObservation> live_observations() const;
+
+  /// Rebuild a graph from exported observations (replayed in the sorted
+  /// order live_observations() produces, so the internal expiry queue ends
+  /// up equivalent). The result answers every public query identically to
+  /// the graph that was exported.
+  [[nodiscard]] static ExpiringFingerprintGraph from_observations(
+      std::size_t max_nodes, std::span<const ExpiringObservation> observations);
 
  private:
   struct PendingExpiry {

@@ -1,6 +1,7 @@
 #include "collation/fingerprint_graph.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace wafp::collation {
 
@@ -85,6 +86,82 @@ std::optional<std::size_t> FingerprintGraph::user_component(
   const auto it = user_nodes_.find(user);
   if (it == user_nodes_.end()) return std::nullopt;
   return nodes_.find(it->second);
+}
+
+FingerprintGraph::Export FingerprintGraph::export_state() const {
+  Export state;
+  state.users.assign(user_nodes_.begin(), user_nodes_.end());
+  std::sort(state.users.begin(), state.users.end());
+  state.fingerprints.assign(efp_nodes_.begin(), efp_nodes_.end());
+  std::sort(state.fingerprints.begin(), state.fingerprints.end());
+  state.roots.resize(nodes_.size());
+  for (std::size_t i = 0; i < state.roots.size(); ++i) {
+    state.roots[i] = nodes_.find(i);
+  }
+  return state;
+}
+
+FingerprintGraph FingerprintGraph::import_state(const Export& state) {
+  if (state.users.size() + state.fingerprints.size() != state.roots.size()) {
+    throw std::invalid_argument("FingerprintGraph::import_state: node count");
+  }
+  FingerprintGraph graph;
+  for (std::size_t i = 0; i < state.roots.size(); ++i) {
+    if (state.roots[i] >= state.roots.size()) {
+      throw std::invalid_argument("FingerprintGraph::import_state: bad root");
+    }
+    graph.nodes_.add();
+  }
+  for (const auto& [user, node] : state.users) {
+    if (node >= state.roots.size() ||
+        !graph.user_nodes_.emplace(user, node).second) {
+      throw std::invalid_argument("FingerprintGraph::import_state: bad user");
+    }
+  }
+  for (const auto& [efp, node] : state.fingerprints) {
+    if (node >= state.roots.size() ||
+        !graph.efp_nodes_.emplace(efp, node).second) {
+      throw std::invalid_argument("FingerprintGraph::import_state: bad efp");
+    }
+  }
+  for (std::size_t i = 0; i < state.roots.size(); ++i) {
+    graph.nodes_.unite(i, state.roots[i]);
+  }
+  return graph;
+}
+
+std::uint64_t FingerprintGraph::component_checksum() const {
+  // Canonical per-component hash: members in sorted order, tagged by kind.
+  std::unordered_map<std::size_t, std::uint64_t> component_hash;
+  std::vector<std::pair<std::uint32_t, std::size_t>> users(
+      user_nodes_.begin(), user_nodes_.end());
+  std::sort(users.begin(), users.end());
+  for (const auto& [user, node] : users) {
+    auto [it, inserted] =
+        component_hash.try_emplace(nodes_.find(node), util::fnv1a64("comp"));
+    it->second = util::fnv1a64_mix(it->second, 0xA0u);
+    it->second = util::fnv1a64_mix(it->second, user);
+  }
+  std::vector<std::pair<util::Digest, std::size_t>> efps(efp_nodes_.begin(),
+                                                         efp_nodes_.end());
+  std::sort(efps.begin(), efps.end());
+  for (const auto& [efp, node] : efps) {
+    auto [it, inserted] =
+        component_hash.try_emplace(nodes_.find(node), util::fnv1a64("comp"));
+    it->second = util::fnv1a64_mix(it->second, 0xB0u);
+    for (const std::uint8_t byte : efp.bytes) {
+      it->second = util::fnv1a64_mix(it->second, byte);
+    }
+  }
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(component_hash.size());
+  for (const auto& [root, h] : component_hash) hashes.push_back(h);
+  std::sort(hashes.begin(), hashes.end());
+  std::uint64_t checksum = util::fnv1a64("partition");
+  for (const std::uint64_t h : hashes) {
+    checksum = util::fnv1a64_mix(checksum, h);
+  }
+  return checksum;
 }
 
 }  // namespace wafp::collation

@@ -70,6 +70,33 @@ class FingerprintGraph {
   /// mutable member. Cheap: one linear pass.
   void freeze() const { nodes_.flatten(); }
 
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Portable, deterministic image of the graph for snapshotting: node maps
+  /// in sorted order plus each node's component root. Contains everything
+  /// needed to rebuild a graph with identical connected components (the
+  /// internal union-find tree shape is NOT preserved — only the partition,
+  /// which is the semantically meaningful state).
+  struct Export {
+    std::vector<std::pair<std::uint32_t, std::size_t>> users;  // by user id
+    std::vector<std::pair<util::Digest, std::size_t>> fingerprints;  // by hex
+    std::vector<std::size_t> roots;  // roots[node] = component root of node
+  };
+  [[nodiscard]] Export export_state() const;
+
+  /// Rebuild from an Export. Throws std::invalid_argument on inconsistent
+  /// input (node ids out of range, duplicate ids).
+  [[nodiscard]] static FingerprintGraph import_state(const Export& state);
+
+  /// Order-independent checksum of the *partition*: each component hashes
+  /// its sorted user ids and sorted fingerprint digests; component hashes
+  /// are sorted and chained. Two graphs get equal checksums iff they hold
+  /// the same users/fingerprints grouped into the same clusters —
+  /// regardless of insertion order, union order, or tree shape. This is the
+  /// crash-recovery parity witness (service snapshot + WAL replay must
+  /// reproduce it bit-identically).
+  [[nodiscard]] std::uint64_t component_checksum() const;
+
  private:
   std::size_t user_node(std::uint32_t user);
   std::size_t efp_node(const util::Digest& efp);

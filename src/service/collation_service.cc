@@ -1,0 +1,244 @@
+#include "service/collation_service.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace wafp::service {
+
+CollationService::CollationService(ServiceConfig config)
+    : config_(std::move(config)) {
+  if (!config_.sleeper) {
+    config_.sleeper = [](std::chrono::milliseconds d) {
+      std::this_thread::sleep_for(d);
+    };
+  }
+  if (!config_.state_dir.empty()) {
+    std::filesystem::create_directories(config_.state_dir);
+    recover();
+    // Open the WAL for appending only after replay read it.
+    wal_.emplace(wal_path());
+  }
+}
+
+CollationService::~CollationService() {
+  stop();
+  if (!crashed_ && wal_.has_value()) {
+    try {
+      drain_and_checkpoint();
+    } catch (...) {
+      // Destructors must not throw; an uncheckpointed tail stays in the
+      // WAL, which recovery replays — nothing durable is lost.
+    }
+  }
+}
+
+std::string CollationService::wal_path() const {
+  return (std::filesystem::path(config_.state_dir) / "submissions.wal")
+      .string();
+}
+
+std::string CollationService::snapshot_path() const {
+  return (std::filesystem::path(config_.state_dir) / "graph.snapshot")
+      .string();
+}
+
+void CollationService::recover() {
+  const auto snapshot = load_snapshot(snapshot_path());
+  if (snapshot.has_value()) {
+    graph_ = collation::FingerprintGraph::import_state(snapshot->graph);
+    for (const auto& [user, ts] : snapshot->user_clocks) {
+      validator_.observe_timestamp(user, ts);
+    }
+    stats_.applied = snapshot->applied;
+    stats_.recovered_from_snapshot = snapshot->applied;
+  }
+  const WalReplay replay = Wal::replay(wal_path());
+  for (const Submission& s : replay.records) {
+    validator_.observe_timestamp(s.user, s.timestamp);
+    graph_.add_observation(s.user, s.efp);
+    ++stats_.applied;
+    ++stats_.recovered_from_wal;
+    ++applied_since_snapshot_;
+  }
+  // Note: if a crash hit between snapshot rename and WAL truncation, the
+  // replayed records overlap the snapshot. add_observation is idempotent on
+  // the partition, so the components are still exact; only the applied
+  // counter can overcount across that narrow window.
+}
+
+SubmitResult CollationService::submit(const RawSubmission& raw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.submitted;
+  if (crashed_) return {Reject::kShutdown};
+
+  Submission s;
+  const Reject reason = validator_.validate(raw, s);
+  switch (reason) {
+    case Reject::kMalformedHash: ++stats_.rejected_hash; return {reason};
+    case Reject::kUnknownVector: ++stats_.rejected_vector; return {reason};
+    case Reject::kTimestampRegression:
+      ++stats_.rejected_timestamp;
+      return {reason};
+    default: break;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    ++stats_.rejected_queue_full;
+    return {Reject::kQueueFull};
+  }
+
+  ++stats_.accepted;
+  validator_.observe_timestamp(s.user, s.timestamp);
+  const std::uint64_t ordinal = ++fault_clock_.accepted;
+  if (FaultClock::hits(ordinal, config_.faults.drop_every)) {
+    // Network loss after the ack: the submission never reaches the queue.
+    ++stats_.dropped_by_fault;
+    return {Reject::kNone};
+  }
+  queue_.push_back(s);
+  if (FaultClock::hits(ordinal, config_.faults.duplicate_every)) {
+    queue_.push_back(s);  // duplicate delivery (may exceed the bound by one)
+    ++stats_.duplicated_by_fault;
+  }
+  if (FaultClock::hits(ordinal, config_.faults.reorder_every) &&
+      queue_.size() >= 2) {
+    std::swap(queue_[queue_.size() - 1], queue_[queue_.size() - 2]);
+  }
+  return {Reject::kNone};
+}
+
+void CollationService::append_with_retry(const Submission& s) {
+  if (!wal_.has_value()) return;
+  const std::uint64_t ordinal = ++fault_clock_.appends;
+  const bool hard = ordinal == config_.faults.fail_append_hard_at;
+  const bool transient =
+      ordinal == config_.faults.fail_append_at ||
+      FaultClock::hits(ordinal, config_.faults.fail_append_every);
+  for (std::size_t attempt = 0; attempt <= config_.max_append_retries;
+       ++attempt) {
+    const bool inject = hard || (transient && attempt == 0);
+    if (wal_->append(s, inject)) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.wal_appends;
+      }
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.wal_retries;
+    }
+    if (attempt < config_.max_append_retries) {
+      config_.sleeper(config_.retry_backoff * (1u << attempt));
+    }
+  }
+  throw WalAppendError("WAL append failed after " +
+                       std::to_string(1 + config_.max_append_retries) +
+                       " attempts");
+}
+
+std::size_t CollationService::pump(std::size_t max_records) {
+  std::size_t applied = 0;
+  while (applied < max_records) {
+    Submission s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty() || crashed_) break;
+      s = queue_.front();
+      queue_.pop_front();
+    }
+    try {
+      append_with_retry(s);
+    } catch (...) {
+      // Not durable => not applied. Requeue at the front so a later pump
+      // (or an operator intervention) can retry in order.
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_front(s);
+      throw;
+    }
+    apply(s);
+    ++applied;
+    maybe_snapshot();
+  }
+  return applied;
+}
+
+void CollationService::apply(const Submission& s) {
+  graph_.add_observation(s.user, s.efp);
+  ++applied_since_snapshot_;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.applied;
+}
+
+void CollationService::maybe_snapshot() {
+  if (!wal_.has_value() || config_.snapshot_every == 0) return;
+  if (applied_since_snapshot_ < config_.snapshot_every) return;
+  checkpoint();
+}
+
+void CollationService::checkpoint() {
+  if (!wal_.has_value()) return;
+  SnapshotState state;
+  {
+    // mu_ also covers validator_: submit() writes user clocks concurrently.
+    std::lock_guard<std::mutex> lock(mu_);
+    state.applied = stats_.applied;
+    state.user_clocks.assign(validator_.clocks().begin(),
+                             validator_.clocks().end());
+  }
+  state.graph = graph_.export_state();
+  if (!write_snapshot(snapshot_path(), state)) return;  // keep WAL intact
+  if (config_.faults.corrupt_snapshot) {
+    corrupt_snapshot_file(snapshot_path());
+  }
+  wal_->reset();
+  applied_since_snapshot_ = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.snapshots_written;
+}
+
+void CollationService::drain_and_checkpoint() {
+  stop();
+  while (pump() > 0) {
+  }
+  if (wal_.has_value() && applied_since_snapshot_ > 0) checkpoint();
+}
+
+void CollationService::crash() {
+  stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+  queue_.clear();
+  graph_ = collation::FingerprintGraph();
+}
+
+void CollationService::start() {
+  if (running_.exchange(true)) return;
+  worker_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      if (pump(256) == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+}
+
+void CollationService::stop() {
+  if (!running_.exchange(false)) return;
+  if (worker_.joinable()) worker_.join();
+}
+
+ServiceStats CollationService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t CollationService::max_observed_timestamp() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t newest = 0;
+  for (const auto& [user, ts] : validator_.clocks()) {
+    newest = std::max(newest, ts);
+  }
+  return newest;
+}
+
+}  // namespace wafp::service

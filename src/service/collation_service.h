@@ -1,0 +1,151 @@
+// CollationService: the library-grade online collation engine behind
+// examples/tracking_server.cpp.
+//
+// The paper's collation scheme (§3.2) is an online algorithm — submissions
+// stream in and the user↔fingerprint bipartite graph merges clusters as
+// they arrive. This service wraps that graph with what a production
+// deployment needs and the happy-path demo lacked:
+//
+//   validate -> enqueue (bounded, backpressure) -> WAL append (retry with
+//   backoff) -> apply to graph -> periodic snapshot
+//
+// Durability model: WAL-before-apply, snapshot-then-truncate. Replay after
+// a crash is idempotent (re-uniting an existing user↔fingerprint edge is a
+// no-op for the partition), so the snapshot/WAL-truncation race loses
+// nothing. Recovery = load snapshot (checksum-verified) + replay WAL;
+// the resulting components are bit-identical to an uninterrupted run,
+// witnessed by FingerprintGraph::component_checksum().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+
+#include "collation/fingerprint_graph.h"
+#include "service/fault_injection.h"
+#include "service/snapshot.h"
+#include "service/types.h"
+#include "service/validator.h"
+#include "service/wal.h"
+
+namespace wafp::service {
+
+struct ServiceConfig {
+  /// Directory for WAL + snapshot; empty = volatile in-memory service.
+  std::string state_dir;
+
+  /// Ingest queue bound; submit() returns kQueueFull beyond it.
+  std::size_t queue_capacity = 4096;
+
+  /// Snapshot after this many applied submissions (0 = never snapshot;
+  /// recovery then replays the whole WAL).
+  std::size_t snapshot_every = 1024;
+
+  /// WAL append retry policy for transient failures: total attempts =
+  /// 1 + max_append_retries, sleeping retry_backoff * 2^attempt between.
+  std::size_t max_append_retries = 3;
+  std::chrono::milliseconds retry_backoff{1};
+
+  /// Injectable sleeper so tests assert the backoff schedule without
+  /// wall-clock waits; defaults to std::this_thread::sleep_for.
+  std::function<void(std::chrono::milliseconds)> sleeper;
+
+  FaultPlan faults;
+};
+
+/// Thrown when a WAL append keeps failing past the retry budget: the
+/// submission cannot be made durable, so it is not applied.
+class WalAppendError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CollationService {
+ public:
+  /// Construction runs recovery when state_dir holds prior state. Throws
+  /// SnapshotCorruptError if the snapshot exists but fails verification.
+  explicit CollationService(ServiceConfig config);
+  ~CollationService();
+
+  CollationService(const CollationService&) = delete;
+  CollationService& operator=(const CollationService&) = delete;
+
+  /// Validate and enqueue one raw submission. Thread-safe. kQueueFull asks
+  /// the caller to back off and resubmit (pump() drains the queue).
+  SubmitResult submit(const RawSubmission& raw);
+
+  /// Drain up to `max_records` queued submissions into the WAL + graph.
+  /// Returns the number applied. Call from one thread at a time (the
+  /// background worker counts as that thread while running).
+  std::size_t pump(std::size_t max_records = SIZE_MAX);
+
+  /// Background ingestion: a worker thread pumps until stop(). submit()
+  /// keeps working concurrently.
+  void start();
+  void stop();
+
+  /// Flush everything queued, then snapshot if state is dirty. The orderly
+  /// shutdown path (the destructor calls it for persistent services).
+  void drain_and_checkpoint();
+
+  /// Fault hook: abandon all in-memory state *without* checkpointing, as a
+  /// kill -9 would. The next service constructed on the same state_dir
+  /// recovers from snapshot + WAL. (In-memory-only services lose
+  /// everything, which is the point.)
+  void crash();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Newest timestamp any user's clock has reached (0 if none). Lets a
+  /// resuming producer pick timestamps that clear the recovered clocks
+  /// instead of tripping kTimestampRegression.
+  [[nodiscard]] std::uint64_t max_observed_timestamp() const;
+
+  /// The live collation graph. Queries are safe against a stopped or
+  /// pump()-quiescent service; see FingerprintGraph for the threading rules.
+  [[nodiscard]] const collation::FingerprintGraph& graph() const {
+    return graph_;
+  }
+
+  /// Component checksum of the current graph (crash-recovery witness).
+  [[nodiscard]] std::uint64_t component_checksum() const {
+    return graph_.component_checksum();
+  }
+
+  /// Probe matching, forwarded to the graph (§3.3 "fingerprint match").
+  [[nodiscard]] std::optional<std::size_t> match(
+      std::span<const util::Digest> probe) const {
+    return graph_.match(probe);
+  }
+
+ private:
+  [[nodiscard]] std::string wal_path() const;
+  [[nodiscard]] std::string snapshot_path() const;
+  void recover();
+  void append_with_retry(const Submission& s);
+  void apply(const Submission& s);
+  void maybe_snapshot();
+  void checkpoint();
+
+  ServiceConfig config_;
+  SubmissionValidator validator_;
+  collation::FingerprintGraph graph_;
+  std::optional<Wal> wal_;
+  FaultClock fault_clock_;
+  std::uint64_t applied_since_snapshot_ = 0;
+  bool crashed_ = false;
+
+  mutable std::mutex mu_;  // guards queue_ and stats_
+  std::deque<Submission> queue_;
+  ServiceStats stats_;
+
+  std::thread worker_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace wafp::service

@@ -1,0 +1,164 @@
+#include "service/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "service/validator.h"
+#include "util/hash.h"
+
+namespace wafp::service {
+namespace {
+
+constexpr std::string_view kHeader = "wafp-snapshot v1";
+
+std::string checksum_hex(std::string_view body) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(body)));
+  return buf;
+}
+
+/// Pulls one whitespace-delimited token; throws on EOF.
+template <typename T>
+T expect(std::istream& in, const char* what) {
+  T value;
+  if (!(in >> value)) {
+    throw SnapshotCorruptError(std::string("snapshot: missing ") + what);
+  }
+  return value;
+}
+
+void expect_keyword(std::istream& in, std::string_view keyword) {
+  const auto token = expect<std::string>(in, "keyword");
+  if (token != keyword) {
+    throw SnapshotCorruptError("snapshot: expected '" + std::string(keyword) +
+                               "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string encode_snapshot(const SnapshotState& state) {
+  std::ostringstream body;
+  body << kHeader << '\n';
+  body << "applied " << state.applied << '\n';
+  auto clocks = state.user_clocks;
+  std::sort(clocks.begin(), clocks.end());
+  body << "clocks " << clocks.size() << '\n';
+  for (const auto& [user, ts] : clocks) body << user << ' ' << ts << '\n';
+  body << "users " << state.graph.users.size() << '\n';
+  for (const auto& [user, node] : state.graph.users) {
+    body << user << ' ' << node << '\n';
+  }
+  body << "efps " << state.graph.fingerprints.size() << '\n';
+  for (const auto& [efp, node] : state.graph.fingerprints) {
+    body << efp.hex() << ' ' << node << '\n';
+  }
+  body << "roots " << state.graph.roots.size() << '\n';
+  for (const std::size_t root : state.graph.roots) body << root << '\n';
+  std::string text = body.str();
+  text += "checksum " + checksum_hex(text) + '\n';
+  return text;
+}
+
+SnapshotState decode_snapshot(const std::string& text) {
+  // Verify the whole-file checksum before parsing anything else.
+  const std::size_t mark = text.rfind("checksum ");
+  if (mark == std::string::npos || mark + 9 + 16 > text.size()) {
+    throw SnapshotCorruptError("snapshot: missing checksum trailer");
+  }
+  const std::string_view body(text.data(), mark);
+  const std::string_view stored(text.data() + mark + 9, 16);
+  if (stored != checksum_hex(body)) {
+    throw SnapshotCorruptError("snapshot: checksum mismatch");
+  }
+
+  std::istringstream in{std::string(body)};
+  std::string header_word, header_version;
+  in >> header_word >> header_version;
+  if (header_word + " " + header_version != kHeader) {
+    throw SnapshotCorruptError("snapshot: bad header");
+  }
+
+  SnapshotState state;
+  expect_keyword(in, "applied");
+  state.applied = expect<std::uint64_t>(in, "applied count");
+  expect_keyword(in, "clocks");
+  const auto num_clocks = expect<std::size_t>(in, "clock count");
+  state.user_clocks.reserve(num_clocks);
+  for (std::size_t i = 0; i < num_clocks; ++i) {
+    const auto user = expect<std::uint32_t>(in, "clock user");
+    const auto ts = expect<std::uint64_t>(in, "clock timestamp");
+    state.user_clocks.emplace_back(user, ts);
+  }
+  expect_keyword(in, "users");
+  const auto num_users = expect<std::size_t>(in, "user count");
+  state.graph.users.reserve(num_users);
+  for (std::size_t i = 0; i < num_users; ++i) {
+    const auto user = expect<std::uint32_t>(in, "user id");
+    const auto node = expect<std::size_t>(in, "user node");
+    state.graph.users.emplace_back(user, node);
+  }
+  expect_keyword(in, "efps");
+  const auto num_efps = expect<std::size_t>(in, "efp count");
+  state.graph.fingerprints.reserve(num_efps);
+  for (std::size_t i = 0; i < num_efps; ++i) {
+    const auto hex = expect<std::string>(in, "efp hex");
+    const auto digest = parse_efp_hex(hex);
+    if (!digest.has_value()) {
+      throw SnapshotCorruptError("snapshot: bad efp hex");
+    }
+    const auto node = expect<std::size_t>(in, "efp node");
+    state.graph.fingerprints.emplace_back(*digest, node);
+  }
+  expect_keyword(in, "roots");
+  const auto num_roots = expect<std::size_t>(in, "root count");
+  state.graph.roots.reserve(num_roots);
+  for (std::size_t i = 0; i < num_roots; ++i) {
+    state.graph.roots.push_back(expect<std::size_t>(in, "root"));
+  }
+  return state;
+}
+
+bool write_snapshot(const std::string& path, const SnapshotState& state) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << encode_snapshot(state);
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<SnapshotState> load_snapshot(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotCorruptError("snapshot: unreadable file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return decode_snapshot(buffer.str());
+}
+
+void corrupt_snapshot_file(const std::string& path) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!file) return;
+  file.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(file.tellg());
+  if (size <= 0) return;
+  const std::streamoff offset = size / 2;
+  file.seekg(offset);
+  char byte = 0;
+  file.get(byte);
+  file.seekp(offset);
+  file.put(static_cast<char>(byte ^ 0x20));
+  file.flush();
+}
+
+}  // namespace wafp::service

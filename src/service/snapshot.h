@@ -1,0 +1,56 @@
+// Checksummed snapshots of the collation state.
+//
+// A snapshot captures the full service state — the fingerprint graph's
+// partition (via FingerprintGraph::export_state), the per-user timestamp
+// clocks, and the applied-submission count — under a whole-file FNV-1a
+// checksum. Writes go to `<path>.tmp` first and are renamed into place, so
+// a crash mid-write leaves the previous snapshot intact; a snapshot that
+// rots on disk afterwards is *detected* (checksum mismatch => typed
+// SnapshotCorruptError), never silently half-loaded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "collation/fingerprint_graph.h"
+#include "service/types.h"
+
+namespace wafp::service {
+
+struct SnapshotState {
+  std::uint64_t applied = 0;  // submissions folded into the graph so far
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> user_clocks;
+  collation::FingerprintGraph::Export graph;
+};
+
+/// Thrown when a snapshot file exists but fails structural or checksum
+/// validation. Recovery treats this as fatal: the WAL was truncated when
+/// the snapshot was written, so the lost prefix is not reconstructible.
+class SnapshotCorruptError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize to a string (exposed for tests; stable, deterministic output).
+[[nodiscard]] std::string encode_snapshot(const SnapshotState& state);
+
+/// Parse + verify; throws SnapshotCorruptError on any mismatch.
+[[nodiscard]] SnapshotState decode_snapshot(const std::string& text);
+
+/// Write atomically (tmp file + rename). Returns false on I/O failure.
+[[nodiscard]] bool write_snapshot(const std::string& path,
+                                  const SnapshotState& state);
+
+/// Load a snapshot if `path` exists; nullopt when absent (fresh service).
+/// Throws SnapshotCorruptError when present but invalid.
+[[nodiscard]] std::optional<SnapshotState> load_snapshot(
+    const std::string& path);
+
+/// Deterministic corruption hook: XOR one mid-file byte. Used by the
+/// fault-injection plan so recovery-failure paths are testable.
+void corrupt_snapshot_file(const std::string& path);
+
+}  // namespace wafp::service

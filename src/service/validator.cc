@@ -1,0 +1,79 @@
+#include "service/validator.h"
+
+namespace wafp::service {
+namespace {
+
+/// -1 for non-hex; tolerates only lowercase, matching Digest::hex().
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string_view to_string(Reject r) {
+  switch (r) {
+    case Reject::kNone: return "accepted";
+    case Reject::kMalformedHash: return "malformed hash";
+    case Reject::kUnknownVector: return "unknown vector";
+    case Reject::kTimestampRegression: return "timestamp regression";
+    case Reject::kQueueFull: return "queue full";
+    case Reject::kShutdown: return "shutting down";
+  }
+  return "unknown";
+}
+
+bool is_valid_efp_hex(std::string_view hex) {
+  if (hex.size() != 64) return false;
+  for (const char c : hex) {
+    if (hex_nibble(c) < 0) return false;
+  }
+  return true;
+}
+
+bool is_known_vector(std::uint32_t raw) {
+  return fingerprint::to_string(static_cast<fingerprint::VectorId>(raw)) !=
+         "unknown";
+}
+
+std::optional<util::Digest> parse_efp_hex(std::string_view hex) {
+  if (!is_valid_efp_hex(hex)) return std::nullopt;
+  util::Digest d;
+  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>((hex_nibble(hex[2 * i]) << 4) |
+                                           hex_nibble(hex[2 * i + 1]));
+  }
+  return d;
+}
+
+Reject SubmissionValidator::validate(const RawSubmission& raw,
+                                     Submission& out) const {
+  const auto digest = parse_efp_hex(raw.efp_hex);
+  if (!digest.has_value()) return Reject::kMalformedHash;
+  if (!is_known_vector(raw.vector)) return Reject::kUnknownVector;
+  const auto it = last_timestamp_.find(raw.user);
+  if (it != last_timestamp_.end() && raw.timestamp < it->second) {
+    return Reject::kTimestampRegression;
+  }
+  out.user = raw.user;
+  out.vector = static_cast<fingerprint::VectorId>(raw.vector);
+  out.timestamp = raw.timestamp;
+  out.efp = *digest;
+  return Reject::kNone;
+}
+
+void SubmissionValidator::observe_timestamp(std::uint32_t user,
+                                            std::uint64_t timestamp) {
+  auto [it, inserted] = last_timestamp_.try_emplace(user, timestamp);
+  if (!inserted && timestamp > it->second) it->second = timestamp;
+}
+
+std::optional<std::uint64_t> SubmissionValidator::last_timestamp(
+    std::uint32_t user) const {
+  const auto it = last_timestamp_.find(user);
+  if (it == last_timestamp_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace wafp::service

@@ -1,0 +1,50 @@
+// Submission validation: the trust boundary between the network and the
+// collation graph. Everything downstream (WAL, snapshots, the graph) may
+// assume a `Submission` is well-formed because it can only be produced here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "service/types.h"
+
+namespace wafp::service {
+
+/// Stateful validator: tracks the newest accepted timestamp per user so
+/// client-claimed clocks must be non-decreasing *per user* (equal is fine —
+/// several vectors are submitted per visit). Cross-user ordering is
+/// unconstrained; real submissions interleave arbitrarily.
+class SubmissionValidator {
+ public:
+  /// Validate `raw`; on success fills `out`. Does NOT record the
+  /// timestamp — callers call observe_timestamp() once the submission is
+  /// actually admitted, so a rejection further down the pipeline (e.g.
+  /// queue backpressure) leaves the user's clock untouched.
+  [[nodiscard]] Reject validate(const RawSubmission& raw,
+                                Submission& out) const;
+
+  /// Re-arm the per-user clocks from recovered state (crash recovery replays
+  /// the WAL through the validator too, so post-recovery ingest keeps the
+  /// same monotonicity guarantee the uninterrupted run had).
+  void observe_timestamp(std::uint32_t user, std::uint64_t timestamp);
+
+  [[nodiscard]] std::optional<std::uint64_t> last_timestamp(
+      std::uint32_t user) const;
+
+  /// All per-user clocks (snapshotted alongside the graph).
+  [[nodiscard]] const std::unordered_map<std::uint32_t, std::uint64_t>&
+  clocks() const {
+    return last_timestamp_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> last_timestamp_;
+};
+
+/// Stateless pieces, exposed for tests.
+[[nodiscard]] bool is_valid_efp_hex(std::string_view hex);
+[[nodiscard]] bool is_known_vector(std::uint32_t raw);
+[[nodiscard]] std::optional<util::Digest> parse_efp_hex(std::string_view hex);
+
+}  // namespace wafp::service

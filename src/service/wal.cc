@@ -1,0 +1,139 @@
+#include "service/wal.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "service/validator.h"
+#include "util/csv.h"
+
+namespace wafp::service {
+namespace {
+
+constexpr std::string_view kHeader = "wafp-wal v1";
+
+std::string canonical_fields(const Submission& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%u|%u|%llu|",
+                static_cast<unsigned>(s.user),
+                static_cast<unsigned>(s.vector),
+                static_cast<unsigned long long>(s.timestamp));
+  return std::string(buf) + s.efp.hex();
+}
+
+std::string crc_hex(std::uint64_t crc) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(crc));
+  return buf;
+}
+
+/// Strict decimal parse into a uint64; rejects empty/overlong/non-digit.
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t wal_record_crc(const Submission& s) {
+  return util::fnv1a64(canonical_fields(s));
+}
+
+std::string wal_record_line(const Submission& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%u,%u,%llu,",
+                static_cast<unsigned>(s.user),
+                static_cast<unsigned>(s.vector),
+                static_cast<unsigned long long>(s.timestamp));
+  return std::string(buf) + s.efp.hex() + ',' + crc_hex(wal_record_crc(s));
+}
+
+Wal::Wal(std::string path) : path_(std::move(path)) {
+  const bool fresh = !std::filesystem::exists(path_);
+  open_for_append();
+  if (fresh && out_) {
+    out_ << kHeader << '\n';
+    out_.flush();
+  }
+}
+
+void Wal::open_for_append() {
+  out_.close();
+  out_.clear();
+  out_.open(path_, std::ios::binary | std::ios::app);
+}
+
+bool Wal::append(const Submission& s, bool inject_failure) {
+  if (inject_failure) {
+    // Model an I/O error surfaced before the record reached the disk; the
+    // reopen mirrors what a real handler would do with a failed descriptor.
+    open_for_append();
+    return false;
+  }
+  if (!out_) open_for_append();
+  out_ << wal_record_line(s) << '\n';
+  out_.flush();
+  if (!out_) {
+    open_for_append();
+    return false;
+  }
+  return true;
+}
+
+void Wal::reset() {
+  out_.close();
+  out_.clear();
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  out_ << kHeader << '\n';
+  out_.flush();
+}
+
+WalReplay Wal::replay(const std::string& path) {
+  WalReplay result;
+  if (!std::filesystem::exists(path)) {
+    result.header_ok = true;  // fresh service: nothing to replay
+    return result;
+  }
+  const auto rows = util::read_csv_file(path);
+  if (rows.empty() || rows[0].size() != 1 || rows[0][0] != kHeader) {
+    result.corrupt_tail_lines = rows.size();
+    return result;
+  }
+  result.header_ok = true;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    Submission s;
+    std::uint64_t user = 0, vector = 0;
+    if (row.size() != 5 || !parse_u64(row[0], user) || user > UINT32_MAX ||
+        !parse_u64(row[1], vector) ||
+        !is_known_vector(static_cast<std::uint32_t>(vector)) ||
+        !parse_u64(row[2], s.timestamp)) {
+      result.corrupt_tail_lines = rows.size() - i;
+      break;
+    }
+    const auto digest = parse_efp_hex(row[3]);
+    if (!digest.has_value()) {
+      result.corrupt_tail_lines = rows.size() - i;
+      break;
+    }
+    s.user = static_cast<std::uint32_t>(user);
+    s.vector = static_cast<fingerprint::VectorId>(vector);
+    s.efp = *digest;
+    if (row[4] != crc_hex(wal_record_crc(s))) {
+      result.corrupt_tail_lines = rows.size() - i;
+      break;
+    }
+    result.records.push_back(s);
+  }
+  return result;
+}
+
+}  // namespace wafp::service

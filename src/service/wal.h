@@ -1,0 +1,64 @@
+// Write-ahead submission log.
+//
+// Every accepted submission is appended (and flushed) here *before* it is
+// applied to the in-memory collation graph, so a crash loses at most the
+// one submission whose append never completed. Records are CSV rows
+//
+//   user,vector,timestamp,efp_hex,crc16hex
+//
+// with a per-record FNV-1a checksum over the canonical field string. Replay
+// parses with util::parse_csv, verifies each record, and stops at the first
+// invalid one — a torn tail (partial final write) is detected and dropped
+// rather than poisoning the graph.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "service/types.h"
+
+namespace wafp::service {
+
+/// Per-record checksum, exposed for tests.
+[[nodiscard]] std::uint64_t wal_record_crc(const Submission& s);
+
+/// Serialize one record (no trailing newline), exposed for tests.
+[[nodiscard]] std::string wal_record_line(const Submission& s);
+
+struct WalReplay {
+  std::vector<Submission> records;
+  std::size_t corrupt_tail_lines = 0;  // lines dropped at the torn tail
+  bool header_ok = false;
+};
+
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  explicit Wal(std::string path);
+
+  /// Append one record and flush. Returns false when the write fails —
+  /// either a real stream error or `inject_failure` (the deterministic
+  /// fault hook; nothing is written in that case, modeling an I/O error
+  /// caught before the record hit the disk). After a failure the stream is
+  /// reopened so a retry can succeed.
+  [[nodiscard]] bool append(const Submission& s, bool inject_failure = false);
+
+  /// Truncate the log (called after a snapshot captured its contents).
+  void reset();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Parse and verify the log at `path`. Missing file = empty replay with
+  /// header_ok=true (a fresh service has no log yet).
+  [[nodiscard]] static WalReplay replay(const std::string& path);
+
+ private:
+  void open_for_append();
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace wafp::service

@@ -104,7 +104,14 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
     } else if (c == '\n') {
       end_row();
     } else if (c == '\r') {
-      // Swallow; the following '\n' (if any) ends the row.
+      // A row terminator: CRLF counts once, and a lone CR (old-Mac endings,
+      // or a cell that should have been quoted) ends the row too instead of
+      // being silently dropped from the cell.
+      // A row terminator: CRLF counts once, and a lone CR (old-Mac endings,
+      // or a cell that should have been quoted) ends the row too instead of
+      // being silently dropped from the cell.
+      end_row();
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
     } else {
       cell += c;
       cell_started = true;

@@ -46,7 +46,12 @@ class CsvStreamWriter {
   std::ofstream out_;
 };
 
-/// Parse CSV text (RFC 4180 quoting, LF or CRLF line endings).
+/// Parse CSV text (RFC 4180 quoting; LF, CRLF, or lone-CR line endings all
+/// terminate a row — CR and LF inside quoted cells are preserved verbatim).
+/// An unterminated quoted cell at end-of-file (including a lone trailing
+/// quote) yields the content accumulated so far rather than being dropped.
+/// Guarantee: parse_csv(CsvWriter::str()) round-trips every cell exactly,
+/// for arbitrary cell bytes (tests/util/csv_test.cc, RoundTrip*).
 [[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
     const std::string& text);
 

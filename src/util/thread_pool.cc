@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 namespace wafp::util {
 namespace {
@@ -20,10 +22,27 @@ std::unique_ptr<ThreadPool>& shared_slot() {
 
 }  // namespace
 
+std::size_t parse_thread_count(std::string_view text) {
+  constexpr std::size_t kMaxThreads = 4096;
+  const auto fail = [text](const char* why) {
+    throw std::invalid_argument("invalid thread count \"" +
+                                std::string(text) + "\": " + why);
+  };
+  if (text.empty()) fail("empty");
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') fail("not a decimal integer");
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMaxThreads - digit) / 10) fail("exceeds the 4096 cap");
+    value = value * 10 + digit;
+  }
+  if (value == 0) fail("must be at least 1");
+  return value;
+}
+
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("WAFP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+    return parse_thread_count(env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

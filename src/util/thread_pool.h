@@ -15,13 +15,22 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 namespace wafp::util {
 
+/// Strictly parse a thread-count string: decimal digits only, value in
+/// [1, 4096]. Throws std::invalid_argument with a descriptive message on
+/// anything else — empty strings, signs, trailing junk ("8x"), zero, or
+/// overflowing values. Used for WAFP_THREADS so a typo'd environment fails
+/// loudly instead of being silently truncated to a nonsense degree.
+[[nodiscard]] std::size_t parse_thread_count(std::string_view text);
+
 /// Parallelism degree to use when none is requested: the WAFP_THREADS
-/// environment variable if set and positive, else hardware_concurrency.
+/// environment variable if set (validated by parse_thread_count; invalid
+/// values throw std::invalid_argument), else hardware_concurrency.
 [[nodiscard]] std::size_t default_thread_count();
 
 class ThreadPool {

@@ -46,6 +46,11 @@ void DelayNode::process(std::size_t start_frame, std::size_t frames) {
       // Wrap into [0, ring_frames_).
       double wrapped = std::fmod(read_pos, static_cast<double>(ring_frames_));
       if (wrapped < 0.0) wrapped += static_cast<double>(ring_frames_);
+      // Seam guard: when delay_frames is tiny (below ~half an ulp of the
+      // ring length), `ring_frames_ + wrapped_negative` rounds back up to
+      // exactly ring_frames_, and idx0 would read one past the buffer. A
+      // position that close to the seam is the just-written sample.
+      if (wrapped >= static_cast<double>(ring_frames_)) wrapped = 0.0;
       const auto idx0 = static_cast<std::size_t>(wrapped);
       const std::size_t idx1 = (idx0 + 1) % ring_frames_;
       const auto frac = static_cast<float>(wrapped - static_cast<double>(idx0));

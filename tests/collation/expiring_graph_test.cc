@@ -106,6 +106,74 @@ TEST(ExpiringGraphTest, SlidingWindowChurn) {
   EXPECT_EQ(graph.cluster_count(), 0u);
 }
 
+TEST(ExpiringGraphTest, CutoffIsExclusive) {
+  // expire_before(c) drops timestamps strictly below c: an observation
+  // stamped exactly at the cutoff survives, so expire_before(now - window)
+  // keeps the closed interval [now - window, now] live.
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 19);  // strictly below: expires
+  graph.add_observation(2, efp(2), 20);  // exactly at cutoff: survives
+  graph.add_observation(3, efp(3), 21);  // above: survives
+  graph.expire_before(20);
+  EXPECT_FALSE(graph.user_component(1).has_value());
+  EXPECT_TRUE(graph.user_component(2).has_value());
+  EXPECT_TRUE(graph.user_component(3).has_value());
+  EXPECT_EQ(graph.active_user_count(), 2u);
+}
+
+TEST(ExpiringGraphTest, RefreshExactlyAtCutoffSurvives) {
+  // Boundary regression: a pair first observed below the cutoff and then
+  // refreshed *exactly at* the cutoff must survive -- the stale expiry-queue
+  // entry from the first observation has to be recognised as superseded.
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 10);
+  graph.add_observation(1, efp(1), 20);  // refresh lands on the cutoff
+  graph.expire_before(20);
+  EXPECT_EQ(graph.active_user_count(), 1u);
+  EXPECT_EQ(graph.observation_count(), 1u);
+  // One tick later the (single) refreshed timestamp finally ages out.
+  graph.expire_before(21);
+  EXPECT_EQ(graph.active_user_count(), 0u);
+}
+
+TEST(ExpiringGraphTest, OutOfOrderRefreshKeepsNewestTimestamp) {
+  // Timestamps may arrive out of order; the pair's lifetime is governed by
+  // its newest observation, not its latest-arriving one.
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 50);
+  graph.add_observation(1, efp(1), 30);  // older refresh: no-op on expiry
+  graph.expire_before(40);
+  EXPECT_EQ(graph.active_user_count(), 1u);
+  graph.expire_before(51);
+  EXPECT_EQ(graph.active_user_count(), 0u);
+}
+
+TEST(ExpiringGraphTest, LiveObservationsRoundTrip) {
+  ExpiringFingerprintGraph graph(64);
+  graph.add_observation(1, efp(1), 10);
+  graph.add_observation(2, efp(1), 15);
+  graph.add_observation(2, efp(2), 12);
+  graph.add_observation(3, efp(3), 20);
+  graph.add_observation(1, efp(1), 30);  // refresh: newest timestamp wins
+  graph.expire_before(12);               // drops nothing but exercises state
+
+  const auto observations = graph.live_observations();
+  ASSERT_EQ(observations.size(), 4u);
+  // Sorted by (timestamp, user, efp); the refreshed pair reports 30.
+  EXPECT_EQ(observations[0].timestamp, 12u);
+  EXPECT_EQ(observations.back().timestamp, 30u);
+  EXPECT_EQ(observations.back().user, 1u);
+
+  const auto restored =
+      ExpiringFingerprintGraph::from_observations(64, observations);
+  EXPECT_EQ(restored.active_user_count(), graph.active_user_count());
+  EXPECT_EQ(restored.observation_count(), graph.observation_count());
+  EXPECT_EQ(restored.cluster_count(), graph.cluster_count());
+  EXPECT_EQ(restored.same_cluster(1, 2), graph.same_cluster(1, 2));
+  EXPECT_EQ(restored.same_cluster(1, 3), graph.same_cluster(1, 3));
+  EXPECT_EQ(restored.live_observations(), observations);
+}
+
 TEST(ExpiringGraphTest, CapacityExhaustionThrows) {
   ExpiringFingerprintGraph graph(3);
   graph.add_observation(1, efp(1), 1);   // 2 nodes

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "collation/fingerprint_graph.h"
+#include "service/snapshot.h"
+#include "service/wal.h"
+
+namespace wafp::service {
+namespace {
+
+util::Digest efp(int i) { return util::sha256("ws-" + std::to_string(i)); }
+
+Submission sub(std::uint32_t user, int print, std::uint64_t ts) {
+  Submission s;
+  s.user = user;
+  s.vector = fingerprint::VectorId::kFft;
+  s.timestamp = ts;
+  s.efp = efp(print);
+  return s;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(std::string name) : path_(std::move(name)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::string file(const char* name) const {
+    return (std::filesystem::path(path_) / name).string();
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  TempDir dir("wal_test_rt");
+  const std::string path = dir.file("log.wal");
+  {
+    Wal wal(path);
+    EXPECT_TRUE(wal.append(sub(1, 1, 10)));
+    EXPECT_TRUE(wal.append(sub(2, 1, 11)));
+    EXPECT_TRUE(wal.append(sub(3, 2, 12)));
+  }
+  const WalReplay replay = Wal::replay(path);
+  EXPECT_TRUE(replay.header_ok);
+  EXPECT_EQ(replay.corrupt_tail_lines, 0u);
+  ASSERT_EQ(replay.records.size(), 3u);
+  EXPECT_EQ(replay.records[0].user, 1u);
+  EXPECT_EQ(replay.records[1].timestamp, 11u);
+  EXPECT_EQ(replay.records[2].efp, efp(2));
+  EXPECT_EQ(replay.records[2].vector, fingerprint::VectorId::kFft);
+}
+
+TEST(WalTest, MissingFileIsEmptyReplay) {
+  const WalReplay replay = Wal::replay("does_not_exist_894.wal");
+  EXPECT_TRUE(replay.header_ok);
+  EXPECT_TRUE(replay.records.empty());
+}
+
+TEST(WalTest, TornTailIsDroppedNotPoisonous) {
+  TempDir dir("wal_test_torn");
+  const std::string path = dir.file("log.wal");
+  {
+    Wal wal(path);
+    EXPECT_TRUE(wal.append(sub(1, 1, 10)));
+    EXPECT_TRUE(wal.append(sub(2, 2, 11)));
+  }
+  {
+    // Simulate a crash mid-append: half a record, no newline.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "3,5,12,abcd";
+  }
+  const WalReplay replay = Wal::replay(path);
+  EXPECT_TRUE(replay.header_ok);
+  ASSERT_EQ(replay.records.size(), 2u);  // intact prefix survives
+  EXPECT_EQ(replay.corrupt_tail_lines, 1u);
+}
+
+TEST(WalTest, BitFlippedRecordFailsItsCrc) {
+  TempDir dir("wal_test_crc");
+  const std::string path = dir.file("log.wal");
+  {
+    Wal wal(path);
+    EXPECT_TRUE(wal.append(sub(1, 1, 10)));
+  }
+  // Corrupt one hex digit of the stored digest.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(20);
+  char c = 0;
+  file.seekg(20);
+  file.get(c);
+  file.seekp(20);
+  file.put(c == 'a' ? 'b' : 'a');
+  file.close();
+  const WalReplay replay = Wal::replay(path);
+  EXPECT_TRUE(replay.records.empty());
+  EXPECT_EQ(replay.corrupt_tail_lines, 1u);
+}
+
+TEST(WalTest, InjectedAppendFailureWritesNothing) {
+  TempDir dir("wal_test_inject");
+  const std::string path = dir.file("log.wal");
+  Wal wal(path);
+  EXPECT_FALSE(wal.append(sub(1, 1, 10), /*inject_failure=*/true));
+  EXPECT_TRUE(wal.append(sub(1, 1, 10)));  // retry path works
+  const WalReplay replay = Wal::replay(path);
+  ASSERT_EQ(replay.records.size(), 1u);  // exactly once
+}
+
+TEST(FingerprintGraphExportTest, ImportPreservesComponents) {
+  collation::FingerprintGraph graph;
+  graph.add_observation(1, efp(1));
+  graph.add_observation(2, efp(1));  // 1-2 share a print
+  graph.add_observation(2, efp(2));
+  graph.add_observation(3, efp(3));  // singleton
+  const auto restored =
+      collation::FingerprintGraph::import_state(graph.export_state());
+  EXPECT_EQ(restored.user_count(), graph.user_count());
+  EXPECT_EQ(restored.fingerprint_count(), graph.fingerprint_count());
+  EXPECT_EQ(restored.cluster_count(), graph.cluster_count());
+  EXPECT_TRUE(restored.same_cluster(1, 2));
+  EXPECT_FALSE(restored.same_cluster(1, 3));
+  EXPECT_EQ(restored.component_checksum(), graph.component_checksum());
+}
+
+TEST(FingerprintGraphExportTest, ChecksumIsInsertionOrderInvariant) {
+  collation::FingerprintGraph a;
+  a.add_observation(1, efp(1));
+  a.add_observation(2, efp(1));
+  a.add_observation(3, efp(9));
+  collation::FingerprintGraph b;
+  b.add_observation(3, efp(9));
+  b.add_observation(2, efp(1));
+  b.add_observation(1, efp(1));
+  EXPECT_EQ(a.component_checksum(), b.component_checksum());
+
+  collation::FingerprintGraph c;  // different partition: all merged
+  c.add_observation(1, efp(1));
+  c.add_observation(2, efp(1));
+  c.add_observation(3, efp(1));
+  c.add_observation(3, efp(9));
+  EXPECT_NE(a.component_checksum(), c.component_checksum());
+}
+
+TEST(FingerprintGraphExportTest, ImportRejectsInconsistentState) {
+  collation::FingerprintGraph graph;
+  graph.add_observation(1, efp(1));
+  auto state = graph.export_state();
+  state.roots.push_back(99);  // node count no longer matches
+  EXPECT_THROW((void)collation::FingerprintGraph::import_state(state),
+               std::invalid_argument);
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTrip) {
+  collation::FingerprintGraph graph;
+  graph.add_observation(7, efp(1));
+  graph.add_observation(8, efp(1));
+  graph.add_observation(9, efp(4));
+  SnapshotState state;
+  state.applied = 42;
+  state.user_clocks = {{7, 100}, {8, 105}, {9, 99}};
+  state.graph = graph.export_state();
+
+  const SnapshotState decoded = decode_snapshot(encode_snapshot(state));
+  EXPECT_EQ(decoded.applied, 42u);
+  EXPECT_EQ(decoded.user_clocks, state.user_clocks);
+  const auto restored =
+      collation::FingerprintGraph::import_state(decoded.graph);
+  EXPECT_EQ(restored.component_checksum(), graph.component_checksum());
+}
+
+TEST(SnapshotTest, WriteLoadRoundTrip) {
+  TempDir dir("snap_test_rt");
+  const std::string path = dir.file("graph.snapshot");
+  collation::FingerprintGraph graph;
+  graph.add_observation(1, efp(1));
+  SnapshotState state;
+  state.applied = 1;
+  state.graph = graph.export_state();
+  ASSERT_TRUE(write_snapshot(path, state));
+  const auto loaded = load_snapshot(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->applied, 1u);
+}
+
+TEST(SnapshotTest, MissingSnapshotIsNullopt) {
+  EXPECT_FALSE(load_snapshot("does_not_exist_894.snapshot").has_value());
+}
+
+TEST(SnapshotTest, CorruptionIsDetected) {
+  TempDir dir("snap_test_corrupt");
+  const std::string path = dir.file("graph.snapshot");
+  collation::FingerprintGraph graph;
+  for (int i = 0; i < 20; ++i) {
+    graph.add_observation(static_cast<std::uint32_t>(i), efp(i % 5));
+  }
+  SnapshotState state;
+  state.applied = 20;
+  state.graph = graph.export_state();
+  ASSERT_TRUE(write_snapshot(path, state));
+  corrupt_snapshot_file(path);
+  EXPECT_THROW((void)load_snapshot(path), SnapshotCorruptError);
+}
+
+TEST(SnapshotTest, TruncationIsDetected) {
+  TempDir dir("snap_test_trunc");
+  const std::string path = dir.file("graph.snapshot");
+  collation::FingerprintGraph graph;
+  graph.add_observation(1, efp(1));
+  SnapshotState state;
+  state.graph = graph.export_state();
+  ASSERT_TRUE(write_snapshot(path, state));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW((void)load_snapshot(path), SnapshotCorruptError);
+}
+
+}  // namespace
+}  // namespace wafp::service

@@ -72,5 +72,76 @@ TEST(CsvTest, MissingFileReturnsEmpty) {
   EXPECT_TRUE(read_csv_file("does_not_exist_12345.csv").empty());
 }
 
+TEST(CsvTest, LoneCarriageReturnEndsRow) {
+  // Regression: a bare CR (old-Mac line ending) used to be dropped from the
+  // cell, silently merging two rows into "a,bc,d".
+  const auto rows = parse_csv("a,b\rc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, MixedLineEndingsInOneDocument) {
+  const auto rows = parse_csv("a\nb\r\nc\rd");
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][0], "b");
+  EXPECT_EQ(rows[2][0], "c");
+  EXPECT_EQ(rows[3][0], "d");
+}
+
+TEST(CsvTest, QuotedCrlfIsPreservedVerbatim) {
+  // Regression: inside quotes, CR and CRLF are cell content, not row
+  // terminators -- and the CR must not be eaten.
+  const auto rows = parse_csv("\"x\r\ny\",z\n\"lone\rcr\",w\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "x\r\ny");
+  EXPECT_EQ(rows[0][1], "z");
+  EXPECT_EQ(rows[1][0], "lone\rcr");
+}
+
+TEST(CsvTest, LoneQuoteAtEofYieldsAccumulatedCell) {
+  // Regression: an unterminated quote at end-of-file used to drop the row.
+  const auto lone = parse_csv("a,\"");
+  ASSERT_EQ(lone.size(), 1u);
+  EXPECT_EQ(lone[0], (std::vector<std::string>{"a", ""}));
+  const auto partial = parse_csv("x\n\"unclosed,cell");
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[1], (std::vector<std::string>{"unclosed,cell"}));
+}
+
+TEST(CsvTest, RoundTripExhaustiveOverDelimiterAlphabet) {
+  // Property test: every cell of length <= 3 over the full delimiter
+  // alphabet, paired exhaustively into two-cell rows, must round-trip
+  // through CsvWriter -> parse_csv byte-for-byte. This covers every CR/LF/
+  // quote/comma adjacency the satellite bugs lived in (156^2 rows).
+  const std::string alphabet = "a,\"\n\r";
+  std::vector<std::string> cells = {""};
+  std::size_t prev_begin = 0;
+  for (int len = 1; len <= 3; ++len) {
+    const std::size_t prev_end = cells.size();
+    for (std::size_t i = prev_begin; i < prev_end; ++i) {
+      for (const char c : alphabet) cells.push_back(cells[i] + c);
+    }
+    prev_begin = prev_end;
+  }
+  ASSERT_EQ(cells.size(), 156u);  // 1 + 5 + 25 + 125
+
+  CsvWriter writer;
+  std::vector<std::vector<std::string>> expected;
+  expected.reserve(cells.size() * cells.size());
+  for (const auto& left : cells) {
+    for (const auto& right : cells) {
+      writer.add_row({left, right});
+      expected.push_back({left, right});
+    }
+  }
+  const auto parsed = parse_csv(writer.str());
+  ASSERT_EQ(parsed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(parsed[i], expected[i]) << "row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace wafp::util

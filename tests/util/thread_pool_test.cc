@@ -119,5 +119,34 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(default_thread_count(), 1u);
 }
 
+TEST(ThreadPoolTest, ParseThreadCountAcceptsDecimalIntegers) {
+  EXPECT_EQ(parse_thread_count("1"), 1u);
+  EXPECT_EQ(parse_thread_count("8"), 8u);
+  EXPECT_EQ(parse_thread_count("0016"), 16u);  // leading zeros are fine
+  EXPECT_EQ(parse_thread_count("4096"), 4096u);  // the cap itself
+}
+
+TEST(ThreadPoolTest, ParseThreadCountRejectsGarbageWithClearErrors) {
+  // Regression: WAFP_THREADS used to go through atoi-style parsing, where
+  // "8x" silently became 8 and "abc" silently became the hardware count.
+  EXPECT_THROW((void)parse_thread_count(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("-1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("+4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("8x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count(" 8"), std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("4097"), std::invalid_argument);  // > cap
+  EXPECT_THROW((void)parse_thread_count("99999999999999999999"),  // would overflow
+               std::invalid_argument);
+  try {
+    (void)parse_thread_count("8x");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending value so a bad env var is debuggable.
+    EXPECT_NE(std::string(e.what()).find("8x"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace wafp::util

@@ -1,0 +1,101 @@
+// DelayNode interpolation-seam tests. The regression case: a delay smaller
+// than ~half an ulp of the ring length used to round the wrapped read
+// position up to exactly ring_frames_, indexing one sample past the ring
+// buffer (see delay_node.cc). The pinning cases fix the interpolation
+// behaviour at delay = 0, half a frame, and maxDelay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "webaudio/delay_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/source_nodes.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+/// Render `input` through a DelayNode with the given settings.
+AudioBuffer render_through_delay(const std::vector<float>& input,
+                                 double max_delay_seconds,
+                                 float delay_seconds) {
+  OfflineAudioContext ctx(1, input.size(), kSampleRate,
+                          EngineConfig::reference());
+  auto buffer =
+      std::make_shared<AudioBuffer>(1, input.size(), kSampleRate);
+  std::copy(input.begin(), input.end(), buffer->channel(0).begin());
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  source.set_buffer(buffer);
+  auto& delay = ctx.create<DelayNode>(max_delay_seconds);
+  delay.delay_time().set_value(delay_seconds);
+  source.connect(delay);
+  delay.connect(ctx.destination());
+  source.start(0.0);
+  return ctx.start_rendering();
+}
+
+TEST(DelayNodeSeamTest, TinyDelayDoesNotReadPastTheRing) {
+  // Regression: delay 1e-20 s (a normal float, immune to flush-to-zero)
+  // is 4.4e-16 frames -- far below half an ulp of the ring length, so the
+  // wrapped read position at the write head rounded to exactly ring_frames_
+  // and read out of bounds. A delay this small must behave as passthrough.
+  std::vector<float> input(512, 0.0f);
+  input[0] = 0.625f;  // distinctive first sample: the old OOB read hit here
+  input[1] = -0.25f;
+  input[300] = 1.0f;
+  const AudioBuffer out = render_through_delay(input, 1.0, 1e-20f);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(out.channel(0)[i])) << i;
+    EXPECT_NEAR(out.channel(0)[i], input[i], 1e-6f) << i;
+  }
+}
+
+TEST(DelayNodeSeamTest, ZeroDelayIsBitExactPassthrough) {
+  std::vector<float> input(256);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = std::sin(0.1f * static_cast<float>(i));
+  }
+  const AudioBuffer out = render_through_delay(input, 0.5, 0.0f);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    // delay_frames == 0 means the read head sits on the just-written
+    // sample with frac == 0: exact, not merely approximate.
+    EXPECT_EQ(out.channel(0)[i], input[i]) << i;
+  }
+}
+
+TEST(DelayNodeSeamTest, HalfFrameDelayInterpolatesImpulse) {
+  // A 0.5-frame delay of a unit impulse must split it across two samples.
+  std::vector<float> input(128, 0.0f);
+  input[0] = 1.0f;
+  const AudioBuffer out = render_through_delay(
+      input, 0.5, static_cast<float>(0.5 / kSampleRate));
+  EXPECT_NEAR(out.channel(0)[0], 0.5f, 1e-3f);
+  EXPECT_NEAR(out.channel(0)[1], 0.5f, 1e-3f);
+  for (std::size_t i = 2; i < input.size(); ++i) {
+    EXPECT_NEAR(out.channel(0)[i], 0.0f, 1e-6f) << i;
+  }
+}
+
+TEST(DelayNodeSeamTest, FullScaleDelayShiftsByMaxDelay) {
+  // delayTime == maxDelay: output is silent for maxDelay frames, then the
+  // input appears (within interpolation error on a smooth ramp).
+  constexpr double kMaxDelay = 0.01;  // 441 frames at 44.1 kHz
+  constexpr std::size_t kDelayFrames = 441;
+  std::vector<float> input(1024);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i) / 1000.0f;  // smooth ramp from 0
+  }
+  const AudioBuffer out = render_through_delay(
+      input, kMaxDelay, static_cast<float>(kMaxDelay));
+  for (std::size_t i = 0; i < kDelayFrames; ++i) {
+    EXPECT_NEAR(out.channel(0)[i], 0.0f, 1e-3f) << i;
+  }
+  for (std::size_t i = kDelayFrames; i < input.size(); ++i) {
+    ASSERT_NEAR(out.channel(0)[i], input[i - kDelayFrames], 2e-3f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace wafp::webaudio
