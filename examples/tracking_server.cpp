@@ -25,6 +25,12 @@ int main(int argc, char** argv) {
 
   std::size_t num_visitors = 400;
   service::ServiceConfig config;
+  const auto usage = [&] {
+    std::fprintf(stderr,
+                 "usage: %s [num_visitors] [--state-dir DIR] "
+                 "[--snapshot-every N] [--drop-every N] [--dup-every N]\n",
+                 argv[0]);
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
       config.state_dir = argv[++i];
@@ -34,8 +40,20 @@ int main(int argc, char** argv) {
       config.faults.drop_every = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--dup-every") == 0 && i + 1 < argc) {
       config.faults.duplicate_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (argv[i][0] == '-') {
+      // A typo'd or value-less flag must not fall through to the visitor
+      // count (it would silently run an empty study).
+      std::fprintf(stderr, "unrecognized or incomplete flag: %s\n", argv[i]);
+      usage();
+      return 2;
     } else {
-      num_visitors = std::strtoul(argv[i], nullptr, 10);
+      char* end = nullptr;
+      num_visitors = std::strtoul(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || num_visitors == 0) {
+        std::fprintf(stderr, "invalid visitor count: %s\n", argv[i]);
+        usage();
+        return 2;
+      }
     }
   }
 

@@ -170,6 +170,11 @@ std::vector<ExpiringObservation> ExpiringFingerprintGraph::live_observations()
         node_to_user.contains(a) ? node_to_user.find(a) : node_to_user.find(b);
     const auto efp_it =
         node_to_efp.contains(a) ? node_to_efp.find(a) : node_to_efp.find(b);
+    if (user_it == node_to_user.end() || efp_it == node_to_efp.end()) {
+      // Nodes are never erased today, so every live edge should resolve;
+      // skip rather than dereference end() if pruning is ever added.
+      continue;
+    }
     observations.push_back(
         {user_it->second, *efp_it->second, timestamp});
   }

@@ -60,6 +60,14 @@ void CollationService::recover() {
     ++stats_.recovered_from_wal;
     ++applied_since_snapshot_;
   }
+  // A torn tail (or missing header) must be rewritten away before the WAL
+  // reopens for append: a record appended onto a partial final line would
+  // merge with it, and the *next* replay would stop at that merged line and
+  // silently discard every valid record written after the tear.
+  if (replay.needs_repair()) {
+    Wal::repair(wal_path(), replay);
+    stats_.wal_tail_lines_dropped += replay.corrupt_tail_lines;
+  }
   // Note: if a crash hit between snapshot rename and WAL truncation, the
   // replayed records overlap the snapshot. add_observation is idempotent on
   // the partition, so the components are still exact; only the applied
@@ -213,9 +221,28 @@ void CollationService::crash() {
 
 void CollationService::start() {
   if (running_.exchange(true)) return;
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  if (worker_.joinable()) worker_.join();  // reap a self-stopped worker
   worker_ = std::thread([this] {
     while (running_.load(std::memory_order_relaxed)) {
-      if (pump(256) == 0) {
+      std::size_t applied = 0;
+      try {
+        applied = pump(256);
+      } catch (const WalAppendError&) {
+        // pump() already requeued the submission. An exception escaping a
+        // thread function would std::terminate the process, so record the
+        // hard failure and park the worker; queued work stays intact for a
+        // manual pump() or a restarted worker to retry. Clear running_
+        // *before* publishing the stat so an observer that sees the failure
+        // count can immediately start() a replacement worker.
+        running_.store(false, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.wal_append_failures;
+        }
+        break;
+      }
+      if (applied == 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
     }
@@ -223,7 +250,8 @@ void CollationService::start() {
 }
 
 void CollationService::stop() {
-  if (!running_.exchange(false)) return;
+  running_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(worker_mu_);
   if (worker_.joinable()) worker_.join();
 }
 

@@ -85,7 +85,10 @@ class CollationService {
   std::size_t pump(std::size_t max_records = SIZE_MAX);
 
   /// Background ingestion: a worker thread pumps until stop(). submit()
-  /// keeps working concurrently.
+  /// keeps working concurrently. If a WAL append exhausts its retry budget
+  /// the worker records the failure (stats().wal_append_failures) and parks
+  /// itself instead of terminating the process; the failed submission stays
+  /// queued, and start() may be called again to resume.
   void start();
   void stop();
 
@@ -145,6 +148,7 @@ class CollationService {
   ServiceStats stats_;
 
   std::thread worker_;
+  std::mutex worker_mu_;  // serializes join/launch of worker_
   std::atomic<bool> running_{false};
 };
 

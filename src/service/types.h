@@ -64,6 +64,8 @@ struct ServiceStats {
   std::uint64_t applied = 0;              // reached the collation graph
   std::uint64_t wal_appends = 0;          // successful WAL record writes
   std::uint64_t wal_retries = 0;          // transient append failures retried
+  std::uint64_t wal_append_failures = 0;  // retry budget exhausted (worker)
+  std::uint64_t wal_tail_lines_dropped = 0;  // torn lines repaired at recovery
   std::uint64_t snapshots_written = 0;
   std::uint64_t recovered_from_snapshot = 0;  // submissions restored
   std::uint64_t recovered_from_wal = 0;       // submissions replayed

@@ -96,6 +96,23 @@ void Wal::reset() {
   out_.flush();
 }
 
+bool Wal::repair(const std::string& path, const WalReplay& replay) {
+  if (!replay.needs_repair()) return true;
+  const std::string tmp = path + ".repair";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << kHeader << '\n';
+    for (const Submission& s : replay.records) {
+      out << wal_record_line(s) << '\n';
+    }
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
 WalReplay Wal::replay(const std::string& path) {
   WalReplay result;
   if (!std::filesystem::exists(path)) {

@@ -9,7 +9,10 @@
 // with a per-record FNV-1a checksum over the canonical field string. Replay
 // parses with util::parse_csv, verifies each record, and stops at the first
 // invalid one — a torn tail (partial final write) is detected and dropped
-// rather than poisoning the graph.
+// rather than poisoning the graph. A torn (or headerless) log must then be
+// repaired *before* reopening for append: appending onto a partial final
+// line would merge the new record into the torn line, and the next replay
+// would stop there and silently discard everything written after the tear.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,13 @@ struct WalReplay {
   std::vector<Submission> records;
   std::size_t corrupt_tail_lines = 0;  // lines dropped at the torn tail
   bool header_ok = false;
+
+  /// True when the on-disk log does not end at a fully valid record (torn
+  /// tail, missing header, or empty file) and must be rewritten before it
+  /// is safe to append to.
+  [[nodiscard]] bool needs_repair() const {
+    return !header_ok || corrupt_tail_lines > 0;
+  }
 };
 
 class Wal {
@@ -53,6 +63,12 @@ class Wal {
   /// Parse and verify the log at `path`. Missing file = empty replay with
   /// header_ok=true (a fresh service has no log yet).
   [[nodiscard]] static WalReplay replay(const std::string& path);
+
+  /// Atomically rewrite the log at `path` to exactly the header plus
+  /// `replay.records` (temp file + rename), dropping the torn tail and
+  /// restoring a missing header. No-op when `replay` needs no repair.
+  /// Returns false if the rewrite itself failed (log left untouched).
+  static bool repair(const std::string& path, const WalReplay& replay);
 
  private:
   void open_for_append();

@@ -107,9 +107,6 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
       // A row terminator: CRLF counts once, and a lone CR (old-Mac endings,
       // or a cell that should have been quoted) ends the row too instead of
       // being silently dropped from the cell.
-      // A row terminator: CRLF counts once, and a lone CR (old-Mac endings,
-      // or a cell that should have been quoted) ends the row too instead of
-      // being silently dropped from the cell.
       end_row();
       if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
     } else {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "service/validator.h"
 
@@ -212,6 +214,38 @@ TEST(CollationServiceTest, BackgroundWorkerDrainsQueue) {
   svc.pump();  // whatever the worker had not reached yet
   EXPECT_EQ(svc.stats().applied, 100u);
   EXPECT_EQ(svc.graph().user_count(), 50u);
+}
+
+TEST(CollationServiceTest, WorkerSurvivesHardAppendFailure) {
+  // Regression: a WalAppendError escaping the worker's thread function
+  // called std::terminate, killing the whole process instead of surfacing
+  // the typed error through stats.
+  const std::string dir = "svc_test_worker_hard_state";
+  std::filesystem::remove_all(dir);
+  ServiceConfig config;
+  config.state_dir = dir;
+  config.max_append_retries = 1;
+  config.faults.fail_append_hard_at = 1;
+  config.sleeper = [](std::chrono::milliseconds) {};
+  CollationService svc(std::move(config));
+  svc.start();
+  ASSERT_TRUE(svc.submit(raw_of(1, 1, 1)).accepted());
+  for (int i = 0; i < 5000 && svc.stats().wal_append_failures == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(svc.stats().wal_append_failures, 1u);
+  EXPECT_EQ(svc.stats().applied, 0u);  // not durable => not applied
+  // The submission stayed queued and the fault ordinal has passed; a
+  // restarted worker drains it.
+  svc.start();
+  for (int i = 0; i < 5000 && svc.stats().applied == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  svc.stop();
+  EXPECT_EQ(svc.stats().applied, 1u);
+  EXPECT_EQ(svc.graph().user_count(), 1u);
+  svc.crash();  // skip the destructor checkpoint; state dir is removed next
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CollationServiceTest, ShutdownAfterCrashRejectsSubmissions) {

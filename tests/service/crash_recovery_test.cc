@@ -149,6 +149,76 @@ TEST(CrashRecoveryTest, RecoverySurvivesTornWalTail) {
   std::filesystem::remove_all(dir);
 }
 
+ServiceConfig wal_only_config(const std::string& dir) {
+  ServiceConfig config;
+  config.state_dir = dir;
+  config.snapshot_every = 0;  // keep every record in the WAL
+  return config;
+}
+
+TEST(CrashRecoveryTest, AppendsAfterTornTailSurviveTheNextRecovery) {
+  // Regression: recovery used to leave the torn partial line in place, so
+  // the first post-recovery append merged into it; the *next* recovery then
+  // stopped at that merged line and silently discarded every valid, acked
+  // record appended after the tear.
+  const std::string dir = "cr_state_torn_append";
+  std::filesystem::remove_all(dir);
+  const auto trace = make_trace();
+  {
+    CollationService svc(wal_only_config(dir));
+    for (std::size_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(svc.submit(trace[i]).accepted());
+    }
+    svc.pump();
+    svc.crash();
+  }
+  {
+    // Crash mid-append: a partial record with no trailing newline.
+    std::ofstream wal(std::filesystem::path(dir) / "submissions.wal",
+                      std::ios::binary | std::ios::app);
+    wal << "12,6,999,deadbeef";
+  }
+  {
+    CollationService svc(wal_only_config(dir));
+    EXPECT_EQ(svc.stats().wal_tail_lines_dropped, 1u);
+    for (std::size_t i = 50; i < 100; ++i) {
+      ASSERT_TRUE(svc.submit(trace[i]).accepted());
+    }
+    svc.pump();
+    svc.crash();
+  }
+  CollationService svc(wal_only_config(dir));
+  EXPECT_EQ(svc.stats().recovered_from_wal, 100u);
+  const std::vector<RawSubmission> first_hundred(trace.begin(),
+                                                 trace.begin() + 100);
+  EXPECT_EQ(svc.component_checksum(), uninterrupted_checksum(first_hundred));
+  svc.crash();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CrashRecoveryTest, HeaderlessWalIsRepairedNotPoisonous) {
+  // Regression: a pre-existing empty (0-byte) WAL used to make every later
+  // append land in a headerless file that the next replay discarded
+  // wholesale.
+  const std::string dir = "cr_state_headerless";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  { std::ofstream wal(std::filesystem::path(dir) / "submissions.wal"); }
+  const auto trace = make_trace();
+  {
+    CollationService svc(wal_only_config(dir));
+    for (std::size_t i = 0; i < 20; ++i) {
+      ASSERT_TRUE(svc.submit(trace[i]).accepted());
+    }
+    svc.pump();
+    svc.crash();
+  }
+  CollationService svc(wal_only_config(dir));
+  EXPECT_EQ(svc.stats().recovered_from_wal, 20u);
+  svc.crash();
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CrashRecoveryTest, CorruptSnapshotIsReportedNotSilentlyUsed) {
   const std::string dir = "cr_state_corrupt";
   std::filesystem::remove_all(dir);
