@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Sec. 4: additive value of audio fingerprinting", &wafp::study::report_additive_value);
+  return wafp::bench::run_report(
+      "Sec. 4: additive value of audio fingerprinting",
+      &wafp::study::report_additive_value);
 }

@@ -34,7 +34,8 @@ inline study::Dataset timed_followup_dataset() {
   return ds;
 }
 
-inline int run_report(const char* title, std::string (*report)(const study::Dataset&),
+inline int run_report(const char* title,
+                      std::string (*report)(const study::Dataset&),
                       bool followup = false) {
   std::printf("=== %s ===\n", title);
   const study::Dataset ds =

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Fig. 3: distribution of distinct Hybrid fingerprints", &wafp::study::report_fig3);
+  return wafp::bench::run_report(
+      "Fig. 3: distribution of distinct Hybrid fingerprints",
+      &wafp::study::report_fig3);
 }

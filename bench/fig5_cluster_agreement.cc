@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Fig. 5: cluster-agreement AMI vs subset size", &wafp::study::report_fig5);
+  return wafp::bench::run_report(
+      "Fig. 5: cluster-agreement AMI vs subset size",
+      &wafp::study::report_fig5);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Fig. 9: cross-vector cluster agreement", &wafp::study::report_fig9);
+  return wafp::bench::run_report(
+      "Fig. 9: cross-vector cluster agreement",
+      &wafp::study::report_fig9);
 }

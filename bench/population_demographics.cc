@@ -50,7 +50,8 @@ int main() {
   }
   std::fputs(browser_table.render().c_str(), stdout);
 
-  std::printf("\nCountries represented: %zu (paper: 57)\n", country_counts.size());
+  std::printf("\nCountries represented: %zu (paper: 57)\n",
+              country_counts.size());
   std::printf("Countries with >= 100 participants (paper: US, IN, BR, IT):\n");
   for (const auto& [country, count] : country_counts) {
     if (count >= 100) std::printf("  %s: %d\n", country.c_str(), count);

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Sec. 5: e_norm ranking stability across user subsets", &wafp::study::report_subset_rankings);
+  return wafp::bench::run_report(
+      "Sec. 5: e_norm ranking stability across user subsets",
+      &wafp::study::report_subset_rankings);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Table 1: per-user fingerprint stability", &wafp::study::report_table1);
+  return wafp::bench::run_report(
+      "Table 1: per-user fingerprint stability",
+      &wafp::study::report_table1);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Table 2: diversity of audio fingerprints", &wafp::study::report_table2);
+  return wafp::bench::run_report(
+      "Table 2: diversity of audio fingerprints",
+      &wafp::study::report_table2);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Table 3: diversity of Canvas/Fonts/User-Agent", &wafp::study::report_table3);
+  return wafp::bench::run_report(
+      "Table 3: diversity of Canvas/Fonts/User-Agent",
+      &wafp::study::report_table3);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Table 4: audio vs Math JS fingerprinting (follow-up)", &wafp::study::report_table4, true);
+  return wafp::bench::run_report(
+      "Table 4: audio vs Math JS fingerprinting (follow-up)",
+      &wafp::study::report_table4, true);
 }

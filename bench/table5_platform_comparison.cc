@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Table 5: per-platform DC vs Math JS (follow-up)", &wafp::study::report_table5, true);
+  return wafp::bench::run_report(
+      "Table 5: per-platform DC vs Math JS (follow-up)",
+      &wafp::study::report_table5, true);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Table 6: fingerprint match scores", &wafp::study::report_table6);
+  return wafp::bench::run_report(
+      "Table 6: fingerprint match scores",
+      &wafp::study::report_table6);
 }

@@ -2,5 +2,7 @@
 #include "bench_common.h"
 
 int main() {
-  return wafp::bench::run_report("Sec. 4: User-Agent span analysis (W3C claim check)", &wafp::study::report_ua_span);
+  return wafp::bench::run_report(
+      "Sec. 4: User-Agent span analysis (W3C claim check)",
+      &wafp::study::report_ua_span);
 }

@@ -1,10 +1,10 @@
 #include "analysis/ami.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
 
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace wafp::analysis {
@@ -28,7 +28,7 @@ std::vector<int> densify(std::span<const int> labels, std::size_t& k) {
 
 ContingencyTable build_contingency(std::span<const int> a,
                                    std::span<const int> b) {
-  assert(a.size() == b.size());
+  WAFP_DCHECK(a.size() == b.size());
   std::size_t ka = 0, kb = 0;
   const std::vector<int> da = densify(a, ka);
   const std::vector<int> db = densify(b, kb);

@@ -1,10 +1,10 @@
 #include "analysis/conditional.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "analysis/ami.h"
 #include "analysis/entropy.h"
+#include "util/check.h"
 
 namespace wafp::analysis {
 namespace {
@@ -19,7 +19,7 @@ double entropy_bits_of(std::span<const int> labels) {
 
 double mutual_information_bits(std::span<const int> x,
                                std::span<const int> y) {
-  assert(x.size() == y.size());
+  WAFP_DCHECK(x.size() == y.size());
   const ContingencyTable table = build_contingency(x, y);
   return mutual_information(table) / kLn2;  // nats -> bits
 }

@@ -1,9 +1,10 @@
 #include "analysis/entropy.h"
 
-#include <cassert>
 #include <cmath>
 #include <map>
 #include <unordered_map>
+
+#include "util/check.h"
 
 namespace wafp::analysis {
 
@@ -48,7 +49,7 @@ std::vector<int> combine_labels(std::span<const std::vector<int>> label_sets) {
   if (label_sets.empty()) return {};
   const std::size_t n = label_sets.front().size();
   for (const auto& set : label_sets) {
-    assert(set.size() == n);
+    WAFP_DCHECK(set.size() == n);
     (void)set;
   }
 

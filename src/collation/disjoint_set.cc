@@ -1,6 +1,6 @@
 #include "collation/disjoint_set.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace wafp::collation {
 
@@ -19,7 +19,7 @@ std::size_t DisjointSet::add() {
 }
 
 std::size_t DisjointSet::find(std::size_t x) const {
-  assert(x < parent_.size());
+  WAFP_DCHECK(x < parent_.size());
   std::size_t root = x;
   while (parent_[root] != root) root = parent_[root];
   // Path compression.

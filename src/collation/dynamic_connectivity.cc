@@ -1,8 +1,8 @@
 #include "collation/dynamic_connectivity.h"
 
-#include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace wafp::collation {
@@ -111,7 +111,7 @@ bool DynamicConnectivity::find_replacement(std::uint32_t u, std::uint32_t v,
     while (const auto edge = forest.find_flagged_edge(side_v)) {
       const auto [a, b] = *edge;
       auto& info = edges_.at(edge_key(a, b));
-      assert(info.tree && info.level == i);
+      WAFP_DCHECK(info.tree && info.level == i);
       info.level = i + 1;
       forest.set_edge_flag(a, b, false);
       forests_[i + 1].link(a, b);

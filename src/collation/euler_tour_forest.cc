@@ -1,6 +1,6 @@
 #include "collation/euler_tour_forest.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace wafp::collation {
 
@@ -128,7 +128,7 @@ void EulerTourForest::reroot(std::uint32_t u) {
 }
 
 void EulerTourForest::link(std::uint32_t u, std::uint32_t v) {
-  assert(!connected(u, v));
+  WAFP_DCHECK(!connected(u, v));
   reroot(u);
   reroot(v);
   Node* arc_uv = allocate(false, u, v);
@@ -143,7 +143,7 @@ void EulerTourForest::link(std::uint32_t u, std::uint32_t v) {
 void EulerTourForest::cut(std::uint32_t u, std::uint32_t v) {
   const auto it_uv = arcs_.find(arc_key(u, v));
   const auto it_vu = arcs_.find(arc_key(v, u));
-  assert(it_uv != arcs_.end() && it_vu != arcs_.end());
+  WAFP_DCHECK(it_uv != arcs_.end() && it_vu != arcs_.end());
   Node* first = it_uv->second;
   Node* second = it_vu->second;
   if (index_of(first) > index_of(second)) std::swap(first, second);
@@ -152,11 +152,11 @@ void EulerTourForest::cut(std::uint32_t u, std::uint32_t v) {
   const std::uint32_t first_index = index_of(first);
   auto [prefix, rest1] = split(root, first_index);
   auto [first_alone, rest2] = split(rest1, 1);
-  assert(first_alone == first);
+  WAFP_DCHECK(first_alone == first);
   const std::uint32_t second_index = index_of(second);
   auto [middle, rest3] = split(rest2, second_index);
   auto [second_alone, suffix] = split(rest3, 1);
-  assert(second_alone == second);
+  WAFP_DCHECK(second_alone == second);
 
   merge(prefix, suffix);  // the u-side tour (circularly rotated)
   (void)middle;           // the v-side tour stands alone
@@ -177,7 +177,7 @@ void EulerTourForest::set_vertex_flag(std::uint32_t u, bool flag) {
 void EulerTourForest::set_edge_flag(std::uint32_t u, std::uint32_t v,
                                     bool flag) {
   const auto it = arcs_.find(arc_key(u, v));
-  assert(it != arcs_.end());
+  WAFP_DCHECK(it != arcs_.end());
   Node* n = it->second;
   if (n->edge_flag == flag) return;
   n->edge_flag = flag;

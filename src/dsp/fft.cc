@@ -1,10 +1,11 @@
 #include "dsp/fft.h"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <unordered_map>
 #include <vector>
+
+#include "util/check.h"
 
 namespace wafp::dsp {
 namespace {
@@ -375,11 +376,11 @@ class Radix2Fft final : public FftEngine {
   }
 
   void forward(std::span<double> re, std::span<double> im) const override {
-    assert(im.size() == re.size() && supports_size(re.size()));
+    WAFP_DCHECK(im.size() == re.size() && supports_size(re.size()));
     radix2_forward(re, im, twiddles_.get<double>(re.size()));
   }
   void forward(std::span<float> re, std::span<float> im) const override {
-    assert(im.size() == re.size() && supports_size(re.size()));
+    WAFP_DCHECK(im.size() == re.size() && supports_size(re.size()));
     radix2_forward(re, im, twiddles_.get<float>(re.size()));
   }
 
@@ -399,11 +400,11 @@ class Radix4Fft final : public FftEngine {
   }
 
   void forward(std::span<double> re, std::span<double> im) const override {
-    assert(im.size() == re.size() && supports_size(re.size()));
+    WAFP_DCHECK(im.size() == re.size() && supports_size(re.size()));
     radix4_recurse(re, im, twiddles_);
   }
   void forward(std::span<float> re, std::span<float> im) const override {
-    assert(im.size() == re.size() && supports_size(re.size()));
+    WAFP_DCHECK(im.size() == re.size() && supports_size(re.size()));
     radix4_recurse(re, im, twiddles_);
   }
 
@@ -423,11 +424,11 @@ class SplitRadixFft final : public FftEngine {
   }
 
   void forward(std::span<double> re, std::span<double> im) const override {
-    assert(im.size() == re.size() && supports_size(re.size()));
+    WAFP_DCHECK(im.size() == re.size() && supports_size(re.size()));
     split_radix_recurse(re, im, twiddles_);
   }
   void forward(std::span<float> re, std::span<float> im) const override {
-    assert(im.size() == re.size() && supports_size(re.size()));
+    WAFP_DCHECK(im.size() == re.size() && supports_size(re.size()));
     split_radix_recurse(re, im, twiddles_);
   }
 
@@ -445,11 +446,11 @@ class BluesteinFft final : public FftEngine {
   bool supports_size(std::size_t n) const override { return n > 0; }
 
   void forward(std::span<double> re, std::span<double> im) const override {
-    assert(im.size() == re.size());
+    WAFP_DCHECK(im.size() == re.size());
     bluestein_forward(re, im, twiddles_);
   }
   void forward(std::span<float> re, std::span<float> im) const override {
-    assert(im.size() == re.size());
+    WAFP_DCHECK(im.size() == re.size());
     bluestein_forward(re, im, twiddles_);
   }
 
@@ -513,7 +514,7 @@ void naive_dft(std::span<const double> in_re, std::span<const double> in_im,
                std::span<double> out_re, std::span<double> out_im,
                const MathLibrary& math) {
   const std::size_t n = in_re.size();
-  assert(in_im.size() == n && out_re.size() == n && out_im.size() == n);
+  WAFP_DCHECK(in_im.size() == n && out_re.size() == n && out_im.size() == n);
   for (std::size_t k = 0; k < n; ++k) {
     double sum_r = 0.0, sum_i = 0.0;
     for (std::size_t t = 0; t < n; ++t) {

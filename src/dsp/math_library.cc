@@ -118,7 +118,8 @@ double pow_via(double base, double exponent,
                double (*exp_fn)(double), double (*log_fn)(double)) {
   if (exponent == 0.0) return 1.0;
   if (base == 0.0) return exponent > 0.0 ? 0.0
-                                         : std::numeric_limits<double>::infinity();
+                                         : std::numeric_limits<
+                                               double>::infinity();
   if (base < 0.0) {
     // Only integral exponents are meaningful for negative bases.
     const double rounded = std::nearbyint(exponent);
@@ -403,7 +404,9 @@ class TableMath final : public MathLibrary {
   double log10(double x) const override { return log(x) / kLn10; }
   double pow(double b, double e) const override {
     if (e == 0.0) return 1.0;
-    if (b == 0.0) return e > 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    if (b == 0.0) {
+      return e > 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
     if (b < 0.0) return std::numeric_limits<double>::quiet_NaN();
     return exp(e * log(b));
   }

@@ -1,7 +1,8 @@
 #include "dsp/window.h"
 
-#include <cassert>
 #include <numbers>
+
+#include "util/check.h"
 
 namespace wafp::dsp {
 
@@ -21,7 +22,7 @@ std::vector<double> blackman_window(std::size_t size, const MathLibrary& math,
 }
 
 void apply_window(std::span<double> data, std::span<const double> window) {
-  assert(data.size() == window.size());
+  WAFP_DCHECK(data.size() == window.size());
   for (std::size_t i = 0; i < data.size(); ++i) data[i] *= window[i];
 }
 

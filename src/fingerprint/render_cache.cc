@@ -17,7 +17,7 @@ const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
   Entry* entry = nullptr;
   bool created = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     auto [it, inserted] = shard.map.try_emplace(key);
     if (inserted) it->second = std::make_unique<Entry>();
     entry = it->second.get();
@@ -40,7 +40,7 @@ const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
 std::size_t RenderCache::entries() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

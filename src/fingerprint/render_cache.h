@@ -27,6 +27,8 @@
 #include <unordered_map>
 
 #include "fingerprint/vector.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace wafp::fingerprint {
 
@@ -82,8 +84,11 @@ class RenderCache {
     util::Digest digest;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> map;
+    mutable util::Mutex mu;
+    /// Entries are pointees, not values: the map (bucket array, rehashing)
+    /// is guarded, while each Entry's digest is published by its once_flag.
+    std::unordered_map<Key, std::unique_ptr<Entry>, KeyHash> map
+        WAFP_GUARDED_BY(mu);
   };
 
   std::array<Shard, kShards> shards_;

@@ -40,7 +40,8 @@ constexpr std::array kFirefoxVersions = {
     "86.0.1", "87.0.1", "82.0", "68.0",
 };
 
-constexpr std::array kSamsungVersions = {"13.2", "14.0", "12.1", "13.0", "11.2"};
+constexpr std::array kSamsungVersions = {"13.2", "14.0", "12.1", "13.0",
+                                         "11.2"};
 constexpr std::array kSilkVersions = {"86.2.8", "85.3.6", "84.1.9"};
 
 constexpr std::array kWindowsVersions = {"10.0", "6.1", "6.3"};

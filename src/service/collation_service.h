@@ -21,12 +21,13 @@
 #include <chrono>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 
 #include "collation/fingerprint_graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "service/fault_injection.h"
 #include "service/snapshot.h"
 #include "service/types.h"
@@ -135,20 +136,25 @@ class CollationService {
   void maybe_snapshot();
   void checkpoint();
 
+  // Pump-thread-owned state: graph_, wal_, applied_since_snapshot_ and the
+  // append ordinal of fault_clock_ are only touched by the single thread
+  // allowed inside pump() (see pump()'s contract) plus the constructor's
+  // recovery path; they carry no mutex on purpose — readers of graph() must
+  // quiesce the service first, exactly as documented above.
   ServiceConfig config_;
-  SubmissionValidator validator_;
   collation::FingerprintGraph graph_;
   std::optional<Wal> wal_;
   FaultClock fault_clock_;
   std::uint64_t applied_since_snapshot_ = 0;
-  bool crashed_ = false;
 
-  mutable std::mutex mu_;  // guards queue_ and stats_
-  std::deque<Submission> queue_;
-  ServiceStats stats_;
+  mutable util::Mutex mu_;
+  SubmissionValidator validator_ WAFP_GUARDED_BY(mu_);
+  std::deque<Submission> queue_ WAFP_GUARDED_BY(mu_);
+  ServiceStats stats_ WAFP_GUARDED_BY(mu_);
+  bool crashed_ WAFP_GUARDED_BY(mu_) = false;
 
-  std::thread worker_;
-  std::mutex worker_mu_;  // serializes join/launch of worker_
+  util::Mutex worker_mu_;  // serializes join/launch of worker_
+  std::thread worker_ WAFP_GUARDED_BY(worker_mu_);
   std::atomic<bool> running_{false};
 };
 

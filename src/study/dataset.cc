@@ -1,7 +1,6 @@
 #include "study/dataset.h"
 
 #include <array>
-#include <cassert>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -9,7 +8,10 @@
 #include <unordered_map>
 
 #include "fingerprint/collector.h"
+#include "util/check.h"
 #include "util/csv.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace wafp::study {
@@ -87,7 +89,7 @@ class StaticVectorMemo {
     Shard& shard = shards_[util::fnv1a64(key) % kShards];
     Entry* entry = nullptr;
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(shard.mu);
       auto [it, inserted] = shard.map.try_emplace(key);
       if (inserted) it->second = std::make_unique<Entry>();
       entry = it->second.get();
@@ -105,8 +107,9 @@ class StaticVectorMemo {
     util::Digest digest;
   };
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::string, std::unique_ptr<Entry>> map;
+    util::Mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map
+        WAFP_GUARDED_BY(mu);
   };
   std::array<Shard, kShards> shards_;
 };
@@ -129,10 +132,8 @@ std::size_t Dataset::audio_vector_index(fingerprint::VectorId id) {
   [[maybe_unused]] static const bool order_checked = [] {
     const auto ids = fingerprint::audio_vector_ids();
     for (std::size_t i = 0; i < ids.size(); ++i) {
-      assert(ids[i] == static_cast<fingerprint::VectorId>(i));
-      if (ids[i] != static_cast<fingerprint::VectorId>(i)) {
-        throw std::logic_error("audio_vector_ids() order changed");
-      }
+      WAFP_CHECK(ids[i] == static_cast<fingerprint::VectorId>(i))
+          << "audio_vector_ids() order changed at index " << i;
     }
     return true;
   }();

@@ -223,7 +223,9 @@ std::vector<std::vector<double>> cross_vector_agreement(const Dataset& ds) {
 
   std::vector<std::pair<std::size_t, std::size_t>> pair_list;
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    for (std::size_t j = i + 1; j < ids.size(); ++j) pair_list.emplace_back(i, j);
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      pair_list.emplace_back(i, j);
+    }
   }
   std::vector<std::vector<double>> matrix(
       ids.size(), std::vector<double>(ids.size(), 1.0));

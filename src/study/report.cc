@@ -107,7 +107,8 @@ std::string report_fig3(const Dataset& ds) {
   for (std::size_t i = 0; i < histogram.size(); ++i) {
     cumulative += static_cast<double>(histogram[i]) /
                   static_cast<double>(ds.num_users());
-    out << TextTable::fmt(cumulative, 3) << (i + 1 < histogram.size() ? " " : "");
+    out << TextTable::fmt(cumulative, 3)
+        << (i + 1 < histogram.size() ? " " : "");
   }
   out << "\n";
   return out.str();

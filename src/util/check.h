@@ -1,0 +1,111 @@
+// WAFP_CHECK / WAFP_DCHECK: uniform contract-check macros.
+//
+//   WAFP_CHECK(n > 0) << "need at least one frame, got " << n;
+//
+// On failure the full message — "WAFP_CHECK failed: <condition> at
+// file:line[: <streamed context>]" — is written to stderr and the process
+// aborts. Failing a check means an internal invariant is broken: the
+// renderer would otherwise produce a plausible-but-wrong fingerprint, or
+// the service would collate garbage, and the reproducibility claims
+// (bit-identical parallel parity, AMI >= 0.986) would silently rot.
+// Aborting loudly is the contract.
+//
+// WAFP_CHECK is always on, in every build type. WAFP_DCHECK follows
+// assert() semantics: active unless NDEBUG (or always, with
+// WAFP_FORCE_DCHECK defined); when inactive neither the condition nor the
+// streamed operands are evaluated, but both still compile, so a disabled
+// check can never hide a build break or an unused-variable warning.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace wafp::util {
+
+namespace internal {
+
+/// Accumulates the failure message; aborts when destroyed at the end of the
+/// full expression (after every `<<` operand has been appended).
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "WAFP_CHECK failed: " << condition << " at " << file << ":"
+            << line;
+  }
+
+  CheckFailStream(const CheckFailStream&) = delete;
+  CheckFailStream& operator=(const CheckFailStream&) = delete;
+
+  [[noreturn]] ~CheckFailStream() {
+    // '\n' + explicit flush (not std::endl): the message must hit the
+    // stream before abort(), and lint bans endl on principle.
+    std::cerr << stream_.str() << '\n' << std::flush;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    if (!prefixed_) {
+      stream_ << ": ";
+      prefixed_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool prefixed_ = false;
+};
+
+/// Swallows every streamed operand of a disabled WAFP_DCHECK. The operands
+/// are compiled (so they stay warning-free and type-checked) but the
+/// ternary's true branch means they are never evaluated at runtime.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// `&` binds looser than `<<`, so `Voidify() & stream << a << b` lets the
+/// whole streamed chain build first, then collapses it to void — which is
+/// what makes the macros usable inside a `? :` with a void arm.
+struct Voidify {
+  // Const refs so both shapes bind: a bare `Stream(...)` (prvalue, no
+  // message operands) and `Stream(...) << a << b` (lvalue reference to the
+  // still-alive temporary).
+  void operator&(const CheckFailStream&) {}
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace internal
+
+#if !defined(NDEBUG) || defined(WAFP_FORCE_DCHECK)
+#define WAFP_DCHECK_IS_ON 1
+#else
+#define WAFP_DCHECK_IS_ON 0
+#endif
+
+/// True when WAFP_DCHECK is active in this build — lets tests branch
+/// between "this dies" and "this is a no-op" without preprocessor soup.
+inline constexpr bool kDcheckIsOn = WAFP_DCHECK_IS_ON == 1;
+
+#define WAFP_CHECK(condition)                                        \
+  (condition) ? (void)0                                              \
+              : ::wafp::util::internal::Voidify() &                  \
+                    ::wafp::util::internal::CheckFailStream(         \
+                        __FILE__, __LINE__, #condition)
+
+#if WAFP_DCHECK_IS_ON
+#define WAFP_DCHECK(condition) WAFP_CHECK(condition)
+#else
+#define WAFP_DCHECK(condition)                  \
+  true ? (void)0                                \
+       : ::wafp::util::internal::Voidify() &    \
+             (::wafp::util::internal::NullStream() << !(condition))
+#endif
+
+}  // namespace wafp::util

@@ -72,8 +72,10 @@ class Sha256 {
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::uint8_t> data);
 
 /// Mix an existing FNV state with more data (chained hashing).
-[[nodiscard]] std::uint64_t fnv1a64_mix(std::uint64_t state, std::string_view data);
-[[nodiscard]] std::uint64_t fnv1a64_mix(std::uint64_t state, std::uint64_t value);
+[[nodiscard]] std::uint64_t fnv1a64_mix(std::uint64_t state,
+                                        std::string_view data);
+[[nodiscard]] std::uint64_t fnv1a64_mix(std::uint64_t state,
+                                        std::uint64_t value);
 
 /// Hex encode arbitrary bytes.
 [[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);

@@ -1,0 +1,75 @@
+// Annotated mutex / lock / condvar wrappers for thread-safety analysis.
+//
+// wafp::util::Mutex is a std::mutex carrying the CAPABILITY annotation, so
+// members declared WAFP_GUARDED_BY(mu_) are compile-time checked on Clang:
+// touching them without the lock is a -Wthread-safety error. MutexLock is
+// the RAII guard (SCOPED_CAPABILITY), CondVar the matching condition
+// variable (condition_variable_any, so it waits on the annotated Mutex
+// directly — no unannotated unique_lock escape hatch in the middle of a
+// guarded region).
+//
+// Style note: prefer `MutexLock lock(mu_);` over raw lock()/unlock() pairs;
+// the scoped form is both exception-safe and what the analysis reasons
+// about most precisely.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace wafp::util {
+
+class WAFP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WAFP_ACQUIRE() { mu_.lock(); }
+  void unlock() WAFP_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() WAFP_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over an annotated Mutex (std::lock_guard analogue).
+class WAFP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WAFP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() WAFP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() takes the mutex the
+/// caller already holds (enforced by WAFP_REQUIRES) and re-holds it on
+/// return, exactly like std::condition_variable — but without forcing the
+/// caller through an unannotated std::unique_lock. Use the manual
+/// `while (!pred) cv.wait(mu);` form: a predicate lambda cannot carry
+/// REQUIRES annotations portably, the explicit loop can.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and re-acquire before returning.
+  /// Spurious wakeups happen; always re-check the predicate in a loop.
+  void wait(Mutex& mu) WAFP_REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace wafp::util

@@ -1,11 +1,11 @@
 #include "util/rng.h"
 
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <numeric>
 
+#include "util/check.h"
 #include "util/hash.h"
 
 namespace wafp::util {
@@ -47,7 +47,7 @@ std::uint64_t Rng::next_u64() {
 }
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
-  assert(bound > 0);
+  WAFP_DCHECK(bound > 0);
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t x = next_u64();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -70,7 +70,7 @@ double Rng::next_double() {
 bool Rng::next_bool(double p_true) { return next_double() < p_true; }
 
 std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  WAFP_DCHECK(lo <= hi);
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(next_below(span));
 }
@@ -94,9 +94,9 @@ Rng Rng::fork(std::uint64_t index) const {
 
 CategoricalSampler::CategoricalSampler(std::span<const double> weights) {
   const std::size_t n = weights.size();
-  assert(n > 0);
+  WAFP_DCHECK(n > 0);
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  assert(total > 0.0);
+  WAFP_DCHECK(total > 0.0);
 
   prob_.assign(n, 0.0);
   alias_.assign(n, 0);
@@ -130,7 +130,7 @@ std::size_t CategoricalSampler::sample(Rng& rng) const {
 }
 
 ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
-  assert(n > 0);
+  WAFP_DCHECK(n > 0);
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t k = 0; k < n; ++k) {

@@ -16,8 +16,10 @@ namespace wafp::util {
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
 /// Derive a child seed from (seed, label) deterministically.
-[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::string_view label);
-[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index);
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::string_view label);
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::uint64_t index);
 
 /// xoshiro256** 1.0 — fast, high-quality, deterministic across platforms
 /// (unlike std::mt19937 distributions, whose results are unspecified).

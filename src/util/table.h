@@ -43,6 +43,7 @@ class TextTable {
 /// Render a square matrix as a heatmap with one shaded cell per entry
 /// (Fig. 9-style). Values are expected in [0, 1].
 [[nodiscard]] std::string render_heatmap(std::span<const std::string> labels,
-                                         const std::vector<std::vector<double>>& m);
+                                         const std::vector<std::vector<double>>&
+                                             m);
 
 }  // namespace wafp::util

@@ -1,0 +1,65 @@
+// Clang thread-safety-analysis annotation macros.
+//
+// These attach locking contracts to types and functions so `clang
+// -Wthread-safety` proves at compile time that every access to shared
+// mutable state happens under the mutex that guards it — the concurrency
+// invariants the parallel study pipeline (bit-identical parallel parity)
+// and the collation service (crash-recovery checksums) rely on become type
+// errors instead of data races. On compilers without the attribute family
+// (GCC, MSVC) every macro expands to nothing, so annotated code builds
+// everywhere; the analysis itself runs in the dedicated Clang CI job (see
+// DESIGN.md "Static analysis & invariants").
+//
+// Naming follows the de-facto standard set by abseil/base/thread_annotations.h
+// so the vocabulary is familiar: GUARDED_BY for data, REQUIRES for
+// preconditions, ACQUIRE/RELEASE for lock transitions, CAPABILITY /
+// SCOPED_CAPABILITY for the mutex types themselves.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WAFP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WAFP_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define WAFP_CAPABILITY(x) WAFP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define WAFP_SCOPED_CAPABILITY WAFP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read or written while holding `x`.
+#define WAFP_GUARDED_BY(x) WAFP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be touched while holding `x`.
+#define WAFP_PT_GUARDED_BY(x) WAFP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: caller must hold the given capabilities.
+#define WAFP_REQUIRES(...) \
+  WAFP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: caller must NOT hold the given capabilities
+/// (deadlock prevention for self-locking functions).
+#define WAFP_EXCLUDES(...) WAFP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capabilities and holds them on return.
+#define WAFP_ACQUIRE(...) \
+  WAFP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases capabilities the caller held on entry.
+#define WAFP_RELEASE(...) \
+  WAFP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; holds it iff the return value equals
+/// the first macro argument.
+#define WAFP_TRY_ACQUIRE(...) \
+  WAFP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the mutex guarding its result.
+#define WAFP_RETURN_CAPABILITY(x) WAFP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking is correct for reasons the analysis
+/// cannot see (init/teardown paths, lock-free handoff). Use sparingly and
+/// leave a comment explaining why at every use site.
+#define WAFP_NO_THREAD_SAFETY_ANALYSIS \
+  WAFP_THREAD_ANNOTATION(no_thread_safety_analysis)

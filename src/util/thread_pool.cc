@@ -58,7 +58,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -69,8 +69,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -105,10 +105,10 @@ void ThreadPool::parallel_for(
   struct Run {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> pending{0};  // claimed but unfinished runners
-    std::exception_ptr error;
-    std::mutex error_mu;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
+    Mutex error_mu;
+    std::exception_ptr error WAFP_GUARDED_BY(error_mu);
+    Mutex done_mu;
+    CondVar done_cv;
   };
   auto run = std::make_shared<Run>();
 
@@ -121,7 +121,7 @@ void ThreadPool::parallel_for(
         fn(begin, std::min(n, begin + grain));
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(run->error_mu);
+          MutexLock lock(run->error_mu);
           if (!run->error) run->error = std::current_exception();
         }
         run->next.store(chunks);  // abandon unstarted chunks
@@ -134,14 +134,14 @@ void ThreadPool::parallel_for(
       std::min(workers_.size(), chunks > 0 ? chunks - 1 : 0);
   run->pending.store(runners);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < runners; ++i) {
       // The task captures `run` by value: it stays alive even if a worker
       // only gets scheduled after the caller finished every chunk itself.
       queue_.emplace_back([run, drain] {
         drain();
         if (run->pending.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(run->done_mu);
+          MutexLock done_lock(run->done_mu);
           run->done_cv.notify_all();
         }
       });
@@ -152,10 +152,15 @@ void ThreadPool::parallel_for(
   drain();  // the calling thread participates
 
   {
-    std::unique_lock<std::mutex> lock(run->done_mu);
-    run->done_cv.wait(lock, [&] { return run->pending.load() == 0; });
+    MutexLock lock(run->done_mu);
+    while (run->pending.load() != 0) run->done_cv.wait(run->done_mu);
   }
-  if (run->error) std::rethrow_exception(run->error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(run->error_mu);
+    error = run->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for_each(

@@ -10,14 +10,15 @@
 // byte for byte (asserted by tests/study/parallel_collect_test.cc).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace wafp::util {
 
@@ -77,10 +78,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ WAFP_GUARDED_BY(mu_);
+  bool stop_ WAFP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wafp::util

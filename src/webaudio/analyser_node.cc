@@ -1,12 +1,12 @@
 #include "webaudio/analyser_node.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "dsp/fma.h"
 #include "dsp/window.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "webaudio/offline_audio_context.h"
 
@@ -77,7 +77,7 @@ void AnalyserNode::process(std::size_t /*start_frame*/, std::size_t frames) {
 
 void AnalyserNode::gather_block(std::span<double> block,
                                 std::size_t skew) const {
-  assert(block.size() == fft_size_);
+  WAFP_DCHECK(block.size() == fft_size_);
   const std::size_t start =
       (write_index_ + kRingFrames - fft_size_ - skew) % kRingFrames;
   for (std::size_t i = 0; i < fft_size_; ++i) {

@@ -1,8 +1,9 @@
 #include "webaudio/audio_bus.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace wafp::webaudio {
 
@@ -31,7 +32,7 @@ void AudioBus::zero() {
 }
 
 void AudioBus::sum_from(const AudioBus& source) {
-  assert(source.frames_ == frames_);
+  WAFP_DCHECK(source.frames_ == frames_);
   if (source.channels_ == channels_) {
     for (std::size_t c = 0; c < channels_; ++c) {
       const float* in = source.channel(c);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "webaudio/graph_validator.h"
 #include "webaudio/offline_audio_context.h"
 
 namespace wafp::webaudio {
@@ -20,10 +21,19 @@ void AudioNode::connect(AudioNode& destination, std::size_t input) {
   if (input >= destination.inputs_.size()) {
     throw std::out_of_range("AudioNode::connect: invalid input index");
   }
+  validate_connection(*this, destination, input);
   destination.inputs_[input].push_back(this);
 }
 
-void AudioNode::connect(AudioParam& param) { param.add_input(this); }
+void AudioNode::connect(AudioParam& param) {
+  AudioNode* owner = context_.owner_of(param);
+  if (owner == nullptr) {
+    throw std::invalid_argument(
+        "AudioNode::connect: parameter belongs to a different context");
+  }
+  validate_param_connection(*this, *owner, param);
+  param.add_input(this);
+}
 
 std::span<AudioNode* const> AudioNode::input_sources(std::size_t input) const {
   if (input >= inputs_.size()) {

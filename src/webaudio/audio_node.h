@@ -36,7 +36,8 @@ class AudioNode {
   void connect(AudioParam& param);
 
   [[nodiscard]] std::size_t num_inputs() const { return inputs_.size(); }
-  [[nodiscard]] std::span<AudioNode* const> input_sources(std::size_t input) const;
+  [[nodiscard]] std::span<AudioNode* const> input_sources(
+      std::size_t input) const;
 
   /// The node's output for the current quantum.
   [[nodiscard]] const AudioBus& output() const { return output_; }

@@ -1,9 +1,9 @@
 #include "webaudio/audio_param.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -43,7 +43,7 @@ void AudioParam::exponential_ramp_to_value_at_time(double value,
 }
 
 void AudioParam::add_input(AudioNode* source) {
-  assert(source != nullptr);
+  WAFP_DCHECK(source != nullptr);
   inputs_.push_back(source);
 }
 
@@ -65,7 +65,8 @@ double AudioParam::value_at_time(double time,
         case EventType::kLinearRamp: {
           if (e.time == prev_time) return e.value;
           const double frac = (time - prev_time) / (e.time - prev_time);
-          return prev_value + (e.value - prev_value) * std::clamp(frac, 0.0, 1.0);
+          return prev_value +
+                 (e.value - prev_value) * std::clamp(frac, 0.0, 1.0);
         }
         case EventType::kExponentialRamp: {
           if (e.time == prev_time || prev_value == 0.0 ||

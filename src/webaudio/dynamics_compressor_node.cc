@@ -92,7 +92,8 @@ double DynamicsCompressorNode::saturate(double x) const {
   if (x < curve_.knee_end_linear) return knee_curve(x);
   // Beyond the knee: constant dB-slope region.
   const double x_db = m.linear_to_decibels(x);
-  const double y_knee_db = m.linear_to_decibels(knee_curve(curve_.knee_end_linear));
+  const double y_knee_db =
+      m.linear_to_decibels(knee_curve(curve_.knee_end_linear));
   const double y_db = y_knee_db + curve_.slope * (x_db - curve_.knee_end_db);
   return m.decibels_to_linear(y_db);
 }

@@ -1,0 +1,88 @@
+#include "webaudio/graph_validator.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.h"
+#include "webaudio/audio_node.h"
+#include "webaudio/audio_param.h"
+#include "webaudio/channel_merger_node.h"
+#include "webaudio/source_nodes.h"
+
+namespace wafp::webaudio {
+
+bool breaks_cycles(const AudioNode& node) {
+  return node.node_name() == "DelayNode";
+}
+
+bool closes_delay_free_cycle(const AudioNode& source,
+                             const AudioNode& destination) {
+  // Either endpoint being a delay puts a delay in any cycle the new edge
+  // closes.
+  if (breaks_cycles(source) || breaks_cycles(destination)) return false;
+  if (&source == &destination) return true;  // delay-free self-loop
+
+  // DFS upstream from `source`: if `destination` is reachable through
+  // non-delay nodes, destination already feeds source, so the new edge
+  // source -> destination closes a delay-free loop. Delay nodes are not
+  // expanded (any path through them carries a delay) and cannot match.
+  std::unordered_set<const AudioNode*> visited;
+  std::vector<const AudioNode*> stack{&source};
+  visited.insert(&source);
+  while (!stack.empty()) {
+    const AudioNode* node = stack.back();
+    stack.pop_back();
+    const auto visit = [&](const AudioNode* up) -> bool {
+      if (up == &destination) return true;
+      if (!breaks_cycles(*up) && visited.insert(up).second) {
+        stack.push_back(up);
+      }
+      return false;
+    };
+    for (std::size_t i = 0; i < node->num_inputs(); ++i) {
+      for (const AudioNode* up : node->input_sources(i)) {
+        if (visit(up)) return true;
+      }
+    }
+    // params() is non-const by signature; modulation edges must be walked
+    // too (the AM/FM vectors build cycles only a param edge could close).
+    for (AudioParam* param : const_cast<AudioNode*>(node)->params()) {
+      for (const AudioNode* up : param->inputs()) {
+        if (visit(up)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void validate_connection(const AudioNode& source, const AudioNode& destination,
+                         std::size_t input) {
+  WAFP_CHECK(!closes_delay_free_cycle(source, destination))
+      << source.node_name() << " -> " << destination.node_name() << " (input "
+      << input << ") closes a cycle with no DelayNode in it; the graph "
+      << "could never render";
+  if (destination.node_name() == "ChannelMergerNode") {
+    WAFP_CHECK(source.output().channels() == 1)
+        << "ChannelMergerNode input " << input << " must be mono, got "
+        << source.output().channels() << " channels from "
+        << source.node_name();
+  }
+  if (const auto* splitter =
+          dynamic_cast<const ChannelSplitterNode*>(&destination)) {
+    WAFP_CHECK(splitter->channel() < source.output().channels())
+        << "ChannelSplitterNode selects channel " << splitter->channel()
+        << " but " << source.node_name() << " only produces "
+        << source.output().channels() << " channel(s)";
+  }
+}
+
+void validate_param_connection(const AudioNode& source,
+                               const AudioNode& param_owner,
+                               const AudioParam& param) {
+  WAFP_CHECK(!closes_delay_free_cycle(source, param_owner))
+      << source.node_name() << " -> " << param_owner.node_name() << "."
+      << param.name() << " closes a cycle with no DelayNode in it; the "
+      << "graph could never render";
+}
+
+}  // namespace wafp::webaudio

@@ -1,0 +1,58 @@
+// Connect-time audio-graph validation.
+//
+// Every fingerprint digest is a pure function of (audio stack, vector,
+// jitter) — but only if the graph the vector builds is the graph the
+// renderer actually computes. A malformed graph used to surface late (a
+// cycle threw std::runtime_error at start_rendering) or not at all (a
+// channel mismatch silently up/down-mixed into a plausible-but-wrong
+// signal). This validator moves those contracts to the moment the edge is
+// created, where the offending call site is still on the stack:
+//
+//   * a connection that closes a cycle with no DelayNode in it can never
+//     render (there is no topological order) — WAFP_CHECK-abort at
+//     connect(). Cycles *through* a DelayNode are accepted here (real Web
+//     Audio allows delay feedback); this engine's renderer still rejects
+//     them at start_rendering() as an unsupported feature, but that is a
+//     recoverable std::runtime_error, not a contract violation.
+//   * ChannelMergerNode inputs must be mono (the merger stacks K mono
+//     lanes into one K-channel bus; feeding it a stereo bus would average
+//     channels and fake a lane).
+//   * ChannelSplitterNode must select a channel its source actually
+//     produces, otherwise it would extract silence.
+//
+// All checks are WAFP_CHECK (active in every build type): a bad graph must
+// never produce a fingerprint.
+#pragma once
+
+#include <cstddef>
+
+namespace wafp::webaudio {
+
+class AudioNode;
+class AudioParam;
+
+/// True when `node` breaks feedback loops (i.e. is a DelayNode: it reads
+/// from the past, so a cycle through it has a well-defined semantics).
+[[nodiscard]] bool breaks_cycles(const AudioNode& node);
+
+/// True when some upstream path source <- ... <- destination exists that
+/// contains no DelayNode — i.e. adding the edge source -> destination
+/// would close a delay-free (unrenderable) cycle. Walks both audio-input
+/// and parameter-modulation edges.
+[[nodiscard]] bool closes_delay_free_cycle(const AudioNode& source,
+                                           const AudioNode& destination);
+
+/// Validate the node edge source -> destination.input before it is added.
+/// Aborts via WAFP_CHECK on a delay-free cycle or a channel-count rule
+/// violation (merger wants mono, splitter wants its channel to exist).
+void validate_connection(const AudioNode& source, const AudioNode& destination,
+                         std::size_t input);
+
+/// Validate the modulation edge source -> param before it is added.
+/// `param_owner` is the node whose params() contains `param`. Aborts via
+/// WAFP_CHECK on a delay-free cycle through the parameter edge.
+void validate_param_connection(const AudioNode& source,
+                               const AudioNode& param_owner,
+                               const AudioParam& param);
+
+}  // namespace wafp::webaudio

@@ -34,7 +34,8 @@ class IIRFilterNode final : public AudioNode {
 
  private:
   std::vector<double> b_;  // normalized feedforward
-  std::vector<double> a_;  // normalized feedback (a[0] == 1 implied, stored from a[1])
+  // normalized feedback (a[0] == 1 implied, stored from a[1])
+  std::vector<double> a_;
   AudioBus input_scratch_;
   // Per channel delay lines for x and y history.
   std::vector<std::vector<double>> x_history_;

@@ -37,6 +37,15 @@ OfflineAudioContext::OfflineAudioContext(std::size_t channels,
 
 OfflineAudioContext::~OfflineAudioContext() = default;
 
+AudioNode* OfflineAudioContext::owner_of(const AudioParam& param) const {
+  for (const auto& node : nodes_) {
+    for (const AudioParam* candidate : node->params()) {
+      if (candidate == &param) return node.get();
+    }
+  }
+  return nullptr;
+}
+
 std::vector<AudioNode*> OfflineAudioContext::topological_order() const {
   enum class Mark { kUnvisited, kInProgress, kDone };
   std::unordered_map<const AudioNode*, Mark> marks;

@@ -37,6 +37,11 @@ class OfflineAudioContext {
   }
 
   [[nodiscard]] DestinationNode& destination() { return *destination_; }
+
+  /// The node of this context whose params() contains `param`, or nullptr
+  /// when the parameter belongs to no node here (e.g. another context).
+  /// Used by connect-time validation of modulation edges.
+  [[nodiscard]] AudioNode* owner_of(const AudioParam& param) const;
   [[nodiscard]] double sample_rate() const { return sample_rate_; }
   [[nodiscard]] std::size_t length() const { return length_; }
   [[nodiscard]] const EngineConfig& config() const { return config_; }

@@ -1,10 +1,11 @@
 #include "webaudio/periodic_wave.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace wafp::webaudio {
 namespace {
@@ -92,7 +93,9 @@ PeriodicWave::PeriodicWave(std::span<const double> real,
     // Blink-style: one scale derived from the full-bandwidth table, applied
     // to every range so relative band-limiting is preserved.
     float max_abs = 0.0f;
-    for (const float v : tables_.back()) max_abs = std::max(max_abs, std::fabs(v));
+    for (const float v : tables_.back()) {
+      max_abs = std::max(max_abs, std::fabs(v));
+    }
     if (max_abs > 0.0f) {
       const float scale = 1.0f / max_abs;
       for (auto& table : tables_) {
@@ -134,7 +137,7 @@ float PeriodicWave::table_lookup(const std::vector<float>& table,
 }
 
 float PeriodicWave::sample(double phase, double fundamental_hz) const {
-  assert(phase >= 0.0 && phase < 1.0);
+  WAFP_DCHECK(phase >= 0.0 && phase < 1.0);
   const double pos = range_position(fundamental_hz);
   const auto lower = static_cast<std::size_t>(pos);
   const auto frac = static_cast<float>(pos - static_cast<double>(lower));

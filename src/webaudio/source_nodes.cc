@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "webaudio/offline_audio_context.h"
 
 namespace wafp::webaudio {
@@ -60,6 +61,17 @@ void AudioBufferSourceNode::set_buffer(
   if (!buffer) {
     throw std::invalid_argument("AudioBufferSourceNode: null buffer");
   }
+  // Attaching a buffer is a connect-type operation: the node resamples by
+  // linear interpolation (position advances by buffer_rate/context_rate),
+  // which is only meaningful for sane rate ratios. Web Audio contexts and
+  // buffers both live in [8 kHz, 96 kHz] (a 12x span); past 16x the
+  // "resampled" signal is interpolation garbage that would still hash into
+  // a plausible-looking fingerprint — fail loudly instead.
+  const double ratio = buffer->sample_rate() / sample_rate();
+  WAFP_CHECK(ratio >= 1.0 / 16.0 && ratio <= 16.0)
+      << "buffer sample rate " << buffer->sample_rate()
+      << " Hz is out of the supported resampling band of the context rate "
+      << sample_rate() << " Hz";
   buffer_ = std::move(buffer);
   mutable_output().set_channel_count(buffer_->channel_count());
 }

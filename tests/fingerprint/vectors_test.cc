@@ -187,12 +187,13 @@ TEST(VectorRegistryTest, NamesAndIds) {
   }
   EXPECT_TRUE(is_static_vector(VectorId::kCanvas));
   EXPECT_TRUE(is_static_vector(VectorId::kMathJs));
-  EXPECT_THROW(audio_vector(VectorId::kCanvas), std::invalid_argument);
+  EXPECT_THROW((void)audio_vector(VectorId::kCanvas), std::invalid_argument);
 }
 
 TEST(StaticVectorTest, RunStaticRejectsAudioIds) {
   const platform::PlatformProfile p = windows_profile();
-  EXPECT_THROW(run_static_vector(VectorId::kDc, p), std::invalid_argument);
+  EXPECT_THROW((void)run_static_vector(VectorId::kDc, p),
+               std::invalid_argument);
   EXPECT_EQ(run_static_vector(VectorId::kUserAgent, p),
             util::sha256(p.user_agent()));
 }

@@ -69,7 +69,9 @@ TEST(CatalogTest, BrowserOsCombinationsAreRealistic) {
 
 TEST(CatalogTest, CountryPoolIsWide) {
   std::map<std::string, int> countries;
-  for (const auto& u : test_population().users()) ++countries[u.profile.country];
+  for (const auto& u : test_population().users()) {
+    ++countries[u.profile.country];
+  }
   // Paper: 57 countries; US, India, Brazil, Italy each >= 100 participants.
   EXPECT_GE(countries.size(), 40u);
   EXPECT_GE(countries["US"], 100);

@@ -1,0 +1,38 @@
+// Compile-FAILURE fixture for the thread-safety smoke test.
+//
+// This file accesses a WAFP_GUARDED_BY member without holding its mutex.
+// Under `clang -Wthread-safety -Werror=thread-safety` it must NOT compile;
+// the CMake try_compile in tests/CMakeLists.txt asserts exactly that. If
+// this file ever starts compiling on Clang, the annotation layer has
+// silently stopped guarding anything — which is the failure mode this
+// smoke test exists to catch.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_without_lock() {
+    ++value_;  // BAD: guarded write, no lock held -> -Wthread-safety error
+  }
+
+  void unlock_twice() {
+    mu_.lock();
+    mu_.unlock();
+    mu_.unlock();  // BAD: releasing a capability that is not held
+  }
+
+ private:
+  wafp::util::Mutex mu_;
+  int value_ WAFP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment_without_lock();
+  c.unlock_twice();
+  return 0;
+}

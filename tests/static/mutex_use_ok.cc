@@ -1,0 +1,44 @@
+// Compile-SUCCESS fixture for the thread-safety smoke test.
+//
+// Correctly disciplined use of the annotated primitives: every guarded
+// access under a MutexLock, condition waits through CondVar on the held
+// mutex. Must compile cleanly under `clang -Wthread-safety
+// -Werror=thread-safety`; together with mutex_misuse_fail.cc this pins
+// both directions of the analysis (accepts good code, rejects bad code).
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    wafp::util::MutexLock lock(mu_);
+    ++value_;
+    cv_.notify_all();
+  }
+
+  void wait_for_positive() {
+    wafp::util::MutexLock lock(mu_);
+    while (value_ <= 0) cv_.wait(mu_);
+  }
+
+  [[nodiscard]] int value() {
+    wafp::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  wafp::util::Mutex mu_;
+  wafp::util::CondVar cv_;
+  int value_ WAFP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  c.wait_for_positive();
+  return c.value() == 1 ? 0 : 1;
+}

@@ -91,8 +91,10 @@ TEST(ClusterAgreementTest, DcAgreementPerfect) {
 }
 
 TEST(ClusterAgreementTest, LargerSubsetsAgreeAtLeastAsWell) {
-  const double small = cluster_agreement(study(), VectorId::kHybrid, 2).mean_ami;
-  const double large = cluster_agreement(study(), VectorId::kHybrid, 6).mean_ami;
+  const double small =
+      cluster_agreement(study(), VectorId::kHybrid, 2).mean_ami;
+  const double large =
+      cluster_agreement(study(), VectorId::kHybrid, 6).mean_ami;
   EXPECT_GE(large, small - 0.02);
 }
 

@@ -1,0 +1,86 @@
+// WAFP_CHECK / WAFP_DCHECK semantics: failure message shape, streamed
+// context, evaluation guarantees, and the assert-style on/off behaviour of
+// the debug variant.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wafp::util {
+namespace {
+
+TEST(CheckTest, PassingCheckIsANoOp) {
+  int evaluations = 0;
+  WAFP_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);  // condition evaluated exactly once
+}
+
+TEST(CheckTest, PassingCheckDoesNotEvaluateMessageOperands) {
+  int message_evaluations = 0;
+  const auto expensive = [&] {
+    ++message_evaluations;
+    return std::string("never built");
+  };
+  WAFP_CHECK(true) << expensive();
+  EXPECT_EQ(message_evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailureNamesConditionFileAndLine) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // The message must carry enough to debug from a crash log alone:
+  // the literal condition text and the file:line of the check.
+  EXPECT_DEATH(WAFP_CHECK(1 + 1 == 3),
+               "WAFP_CHECK failed: 1 \\+ 1 == 3 at .*check_test\\.cc:[0-9]+");
+}
+
+TEST(CheckDeathTest, StreamedContextIsAppended) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const int frames = 17;
+  EXPECT_DEATH(WAFP_CHECK(frames % 2 == 0) << "odd frame count " << frames,
+               "WAFP_CHECK failed: frames % 2 == 0 at .*: "
+               "odd frame count 17");
+}
+
+TEST(CheckDeathTest, DcheckDiesExactlyWhenEnabled) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  if constexpr (kDcheckIsOn) {
+    EXPECT_DEATH(WAFP_DCHECK(false) << "debug contract",
+                 "WAFP_CHECK failed: false");
+  } else {
+    WAFP_DCHECK(false) << "compiled out";  // must be a silent no-op
+  }
+}
+
+TEST(CheckTest, DisabledDcheckEvaluatesNothing) {
+  // When DCHECK is off, neither the condition nor the message operands may
+  // run (assert() semantics). When on, the condition runs — use a passing
+  // one so the test body is the same in both build types.
+  int condition_evaluations = 0;
+  int message_evaluations = 0;
+  const auto count_condition = [&] {
+    ++condition_evaluations;
+    return true;
+  };
+  const auto count_message = [&] {
+    ++message_evaluations;
+    return "ctx";
+  };
+  WAFP_DCHECK(count_condition()) << count_message();
+  EXPECT_EQ(condition_evaluations, kDcheckIsOn ? 1 : 0);
+  EXPECT_EQ(message_evaluations, 0);  // messages never run on success
+}
+
+TEST(CheckTest, CheckIsUsableInsideIfWithoutBraces) {
+  // The ternary expansion must not swallow a dangling else.
+  if (true)
+    WAFP_CHECK(true) << "then-branch";
+  else
+    WAFP_CHECK(false) << "else-branch";  // would abort if mis-associated
+}
+
+}  // namespace
+}  // namespace wafp::util

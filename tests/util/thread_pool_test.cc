@@ -57,7 +57,9 @@ TEST(ThreadPoolTest, DegreeOnePoolRunsInline) {
   const auto caller = std::this_thread::get_id();
   std::vector<std::thread::id> ran;
   pool.parallel_for(5, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) ran.push_back(std::this_thread::get_id());
+    for (std::size_t i = begin; i < end; ++i) {
+      ran.push_back(std::this_thread::get_id());
+    }
   });
   ASSERT_EQ(ran.size(), 5u);
   for (const auto id : ran) EXPECT_EQ(id, caller);
@@ -136,8 +138,9 @@ TEST(ThreadPoolTest, ParseThreadCountRejectsGarbageWithClearErrors) {
   EXPECT_THROW((void)parse_thread_count("8x"), std::invalid_argument);
   EXPECT_THROW((void)parse_thread_count("abc"), std::invalid_argument);
   EXPECT_THROW((void)parse_thread_count(" 8"), std::invalid_argument);
-  EXPECT_THROW((void)parse_thread_count("4097"), std::invalid_argument);  // > cap
-  EXPECT_THROW((void)parse_thread_count("99999999999999999999"),  // would overflow
+  EXPECT_THROW((void)parse_thread_count("4097"),  // > cap
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_thread_count("99999999999999999999"),  // overflow
                std::invalid_argument);
   try {
     (void)parse_thread_count("8x");

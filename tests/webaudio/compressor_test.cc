@@ -106,7 +106,8 @@ TEST(CompressorTest, MathVariantChangesOutputBits) {
   poly_cfg.math = dsp::make_math_library(dsp::MathVariant::kFastPoly);
   poly_cfg.fft = dsp::make_fft_engine(dsp::FftVariant::kRadix2, poly_cfg.math);
 
-  const CompressorRun a = run_compressor(1.0, 12.0, -24.0, std::move(precise_cfg));
+  const CompressorRun a =
+      run_compressor(1.0, 12.0, -24.0, std::move(precise_cfg));
   const CompressorRun b = run_compressor(1.0, 12.0, -24.0, std::move(poly_cfg));
   bool any_diff = false;
   for (std::size_t i = 0; i < a.buffer.length(); ++i) {

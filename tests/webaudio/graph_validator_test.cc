@@ -1,0 +1,160 @@
+// Connect-time graph validation: delay-free cycles, channel-count rules,
+// and buffer sample-rate sanity die at the offending call, not 30 renders
+// later as a plausible-but-wrong digest.
+#include "webaudio/graph_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "webaudio/audio_buffer.h"
+#include "webaudio/channel_merger_node.h"
+#include "webaudio/delay_node.h"
+#include "webaudio/gain_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+#include "webaudio/source_nodes.h"
+
+namespace wafp::webaudio {
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+OfflineAudioContext make_context() {
+  return OfflineAudioContext(1, 256, kSampleRate, EngineConfig::reference());
+}
+
+TEST(GraphValidatorDeathTest, DirectCycleWithoutDelayDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& a = ctx.create<GainNode>();
+  auto& b = ctx.create<GainNode>();
+  a.connect(b);
+  EXPECT_DEATH(b.connect(a), "closes a cycle with no DelayNode");
+}
+
+TEST(GraphValidatorDeathTest, SelfLoopWithoutDelayDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& a = ctx.create<GainNode>();
+  EXPECT_DEATH(a.connect(a), "closes a cycle with no DelayNode");
+}
+
+TEST(GraphValidatorDeathTest, LongCycleWithoutDelayDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& a = ctx.create<GainNode>();
+  auto& b = ctx.create<GainNode>();
+  auto& c = ctx.create<GainNode>();
+  a.connect(b);
+  b.connect(c);
+  EXPECT_DEATH(c.connect(a), "closes a cycle with no DelayNode");
+}
+
+TEST(GraphValidatorDeathTest, ParamEdgeCycleWithoutDelayDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  auto& gain = ctx.create<GainNode>();
+  osc.connect(gain);
+  // gain modulating the oscillator that feeds it: a feedback loop through
+  // a parameter edge, just as unrenderable as an audio-edge loop.
+  EXPECT_DEATH(gain.connect(osc.frequency()),
+               "closes a cycle with no DelayNode");
+}
+
+TEST(GraphValidatorTest, CycleThroughDelayIsAcceptedAtConnectTime) {
+  auto ctx = make_context();
+  auto& gain = ctx.create<GainNode>();
+  auto& delay = ctx.create<DelayNode>(0.1);
+  gain.connect(delay);
+  delay.connect(gain);  // classic feedback echo: legal Web Audio
+  gain.connect(ctx.destination());
+  // This engine does not *render* feedback yet; that limitation stays a
+  // recoverable error, distinct from the contract-violation abort above.
+  EXPECT_THROW((void)ctx.start_rendering(), std::runtime_error);
+}
+
+TEST(GraphValidatorTest, DelaySelfLoopIsAcceptedAtConnectTime) {
+  auto ctx = make_context();
+  auto& delay = ctx.create<DelayNode>(0.1);
+  delay.connect(delay);
+  SUCCEED();
+}
+
+TEST(GraphValidatorDeathTest, MergerInputMustBeMono) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& merger = ctx.create<ChannelMergerNode>(4);
+  auto& stereo = ctx.create<GainNode>(/*channels=*/2);
+  EXPECT_DEATH(stereo.connect(merger, 1),
+               "ChannelMergerNode input 1 must be mono");
+}
+
+TEST(GraphValidatorTest, MergerAcceptsMonoInputs) {
+  auto ctx = make_context();
+  auto& merger = ctx.create<ChannelMergerNode>(4);
+  auto& mono = ctx.create<GainNode>();
+  mono.connect(merger, 0);
+  mono.connect(merger, 3);
+  SUCCEED();
+}
+
+TEST(GraphValidatorDeathTest, SplitterChannelMustExistInSource) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& stereo = ctx.create<GainNode>(/*channels=*/2);
+  auto& splitter = ctx.create<ChannelSplitterNode>(/*channel=*/3);
+  EXPECT_DEATH(stereo.connect(splitter),
+               "ChannelSplitterNode selects channel 3");
+}
+
+TEST(GraphValidatorTest, SplitterAcceptsInRangeChannel) {
+  auto ctx = make_context();
+  auto& stereo = ctx.create<GainNode>(/*channels=*/2);
+  auto& splitter = ctx.create<ChannelSplitterNode>(/*channel=*/1);
+  stereo.connect(splitter);
+  SUCCEED();
+}
+
+TEST(GraphValidatorDeathTest, BufferSampleRateFarFromContextDies) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ctx = make_context();
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  // 1 kHz into a 44.1 kHz context is a 44x ratio: linear interpolation
+  // over that gap produces aliasing garbage, not a resampled signal.
+  auto buffer = std::make_shared<AudioBuffer>(1, 64, 1000.0);
+  EXPECT_DEATH(source.set_buffer(buffer),
+               "out of the supported resampling band");
+}
+
+TEST(GraphValidatorTest, BufferSampleRateWithinBandIsAccepted) {
+  auto ctx = make_context();
+  auto& source = ctx.create<AudioBufferSourceNode>();
+  source.set_buffer(std::make_shared<AudioBuffer>(1, 64, 8000.0));
+  source.set_buffer(std::make_shared<AudioBuffer>(1, 64, 96000.0));
+  SUCCEED();
+}
+
+TEST(GraphValidatorTest, CrossContextParamConnectThrows) {
+  auto ctx1 = make_context();
+  auto ctx2 = make_context();
+  auto& osc = ctx1.create<OscillatorNode>(OscillatorType::kSine);
+  auto& gain = ctx2.create<GainNode>();
+  // Previously unchecked: the modulation edge was silently added across
+  // contexts and the foreign node was then processed out of order (or not
+  // at all) by the other context's renderer.
+  EXPECT_THROW(osc.connect(gain.gain()), std::invalid_argument);
+}
+
+TEST(GraphValidatorTest, ReachabilityHelperWalksParamEdges) {
+  auto ctx = make_context();
+  auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
+  auto& gain = ctx.create<GainNode>();
+  osc.connect(gain.gain());
+  EXPECT_TRUE(closes_delay_free_cycle(gain, osc));
+  EXPECT_FALSE(closes_delay_free_cycle(osc, gain));
+}
+
+}  // namespace
+}  // namespace wafp::webaudio

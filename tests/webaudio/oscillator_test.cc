@@ -184,7 +184,8 @@ TEST(PeriodicWaveTest, HighFundamentalUsesFewerPartials) {
   const float low_f = wave->sample(0.125, 100.0);
   const float high_f = wave->sample(0.125, 20000.0);
   EXPECT_GT(low_f, 0.8f);
-  EXPECT_LT(std::fabs(high_f - low_f), 1.0f);  // same sign region, different shape
+  // same sign region, different shape
+  EXPECT_LT(std::fabs(high_f - low_f), 1.0f);
   EXPECT_NE(low_f, high_f);
 }
 
