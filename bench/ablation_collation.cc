@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "bench_common.h"
+#include "fingerprint/vector_registry.h"
 #include "study/experiments.h"
 #include "util/table.h"
 
@@ -25,7 +26,9 @@ int main() {
 
   util::TextTable table({"Vector", "naive self-match", "digest-set match",
                          "graph collation (paper)"});
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const VectorId id : audio_ids) {
     // Train structures from iterations [0, kTrain).
     std::unordered_map<util::Digest, std::set<std::uint32_t>> owners;
     std::vector<std::set<util::Digest>> own(ds.num_users());

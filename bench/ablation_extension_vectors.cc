@@ -8,6 +8,7 @@
 
 #include "analysis/entropy.h"
 #include "fingerprint/render_cache.h"
+#include "fingerprint/vector_registry.h"
 #include "platform/catalog.h"
 #include "platform/population.h"
 #include "util/table.h"
@@ -41,7 +42,9 @@ int main() {
 
   util::TextTable table({"Vector", "Distinct", "Entropy", "e_norm"});
   std::vector<std::vector<int>> paper_seven;
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const VectorId id : audio_ids) {
     std::vector<int> labels = labels_for(id);
     const auto stats = analysis::diversity_from_labels(labels);
     table.add_row({std::string(to_string(id)),
@@ -52,7 +55,9 @@ int main() {
   }
 
   std::vector<std::vector<int>> all_nine = paper_seven;
-  for (const VectorId id : fingerprint::extension_vector_ids()) {
+  const auto ext_ids =
+      fingerprint::VectorRegistry::instance().extension_ids();
+  for (const VectorId id : ext_ids) {
     std::vector<int> labels = labels_for(id);
     const auto stats = analysis::diversity_from_labels(labels);
     table.add_row({std::string(to_string(id)) + " (ext)",

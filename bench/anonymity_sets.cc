@@ -4,6 +4,7 @@
 // defenses (§4 "Mitigations").
 #include "analysis/anonymity.h"
 #include "bench_common.h"
+#include "fingerprint/vector_registry.h"
 #include "study/experiments.h"
 #include "util/table.h"
 
@@ -27,7 +28,9 @@ int main() {
                    util::TextTable::fmt(s.expected_k, 1)});
   };
 
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const VectorId id : audio_ids) {
     add_row(std::string(to_string(id)),
             study::collated_clustering(ds, id).labels);
   }

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "fingerprint/vector_registry.h"
+#include "obs/metrics.h"
 #include "study/dataset.h"
 #include "study/experiments.h"
 #include "util/hash.h"
@@ -36,7 +38,9 @@ double seconds_since(Clock::time_point start) {
 std::uint64_t dataset_checksum(const Dataset& ds) {
   std::uint64_t h = util::fnv1a64("dataset");
   for (std::size_t u = 0; u < ds.num_users(); ++u) {
-    for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+    const auto audio_ids =
+        fingerprint::VectorRegistry::instance().audio_ids();
+    for (const fingerprint::VectorId id : audio_ids) {
       for (const util::Digest& d : ds.audio_observations(u, id)) {
         h = util::fnv1a64_mix(h, d.prefix64());
       }
@@ -73,7 +77,9 @@ StageTimes run_pipeline(StudyConfig cfg, std::size_t threads) {
   t.table1 = seconds_since(start);
 
   start = Clock::now();
-  for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const fingerprint::VectorId id : audio_ids) {
     sink = sink + static_cast<std::size_t>(
                       study::vector_diversity(ds, id).distinct);
   }
@@ -84,7 +90,9 @@ StageTimes run_pipeline(StudyConfig cfg, std::size_t threads) {
   start = Clock::now();
   const std::size_t max_s = cfg.iterations >= 15 ? 15 : cfg.iterations / 2;
   for (std::size_t s = 1; s <= max_s; ++s) {
-    for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+    const auto audio_ids =
+        fingerprint::VectorRegistry::instance().audio_ids();
+    for (const fingerprint::VectorId id : audio_ids) {
       sink = sink + static_cast<std::size_t>(
                         1000.0 * study::cluster_agreement(ds, id, s).mean_ami);
     }
@@ -94,7 +102,9 @@ StageTimes run_pipeline(StudyConfig cfg, std::size_t threads) {
   start = Clock::now();
   for (const std::size_t s : {cfg.iterations / 2u, cfg.iterations / 3u, 3u}) {
     if (s == 0) continue;
-    for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+    const auto audio_ids =
+        fingerprint::VectorRegistry::instance().audio_ids();
+    for (const fingerprint::VectorId id : audio_ids) {
       sink = sink + static_cast<std::size_t>(
                         1000.0 * study::fingerprint_match_score(ds, id, s));
     }
@@ -186,7 +196,11 @@ int main(int argc, char** argv) {
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"speedup_max_threads_vs_serial\": %.4f\n", speedup);
+  std::fprintf(out, "  \"speedup_max_threads_vs_serial\": %.4f,\n", speedup);
+  // Per-stage observability block: the same registry the pipeline recorded
+  // into while running (render/cache/collect histograms and counters).
+  std::fprintf(out, "  \"metrics\": %s\n",
+               wafp::obs::MetricsRegistry::global().render_json().c_str());
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());

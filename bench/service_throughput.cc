@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/collation_service.h"
 #include "util/hash.h"
 
@@ -153,14 +154,16 @@ int main(int argc, char** argv) {
                "  \"durable_submissions_per_sec\": %.1f,\n"
                "  \"recovery_seconds\": %.6f,\n"
                "  \"component_checksum\": \"%016llx\",\n"
-               "  \"recovery_parity\": %s\n"
+               "  \"recovery_parity\": %s,\n"
+               "  \"metrics\": %s\n"
                "}\n",
                smoke ? "true" : "false", submissions, users,
                static_cast<double>(submissions) / mem.seconds,
                static_cast<double>(submissions) / durable.seconds,
                recovery_seconds,
                static_cast<unsigned long long>(recovered_checksum),
-               parity ? "true" : "false");
+               parity ? "true" : "false",
+               obs::MetricsRegistry::global().render_json().c_str());
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return parity ? 0 : 1;

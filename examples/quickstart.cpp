@@ -9,6 +9,7 @@
 
 #include "fingerprint/collector.h"
 #include "fingerprint/vector.h"
+#include "fingerprint/vector_registry.h"
 #include "platform/catalog.h"
 #include "platform/population.h"
 
@@ -35,7 +36,9 @@ int main() {
   fingerprint::FingerprintCollector collector(cache);
 
   std::printf("Audio fingerprints (3 iterations each):\n");
-  for (const fingerprint::VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const fingerprint::VectorId id : audio_ids) {
     std::printf("  %-15s", std::string(to_string(id)).c_str());
     for (std::uint32_t iteration = 0; iteration < 3; ++iteration) {
       const util::Digest d = collector.collect(user, id, iteration);

@@ -9,6 +9,8 @@
 //       [--state-dir DIR]     persist WAL + snapshots (and recover on start)
 //       [--snapshot-every N]  checkpoint cadence in applied submissions
 //       [--drop-every N] [--dup-every N]  deterministic fault injection
+//       [--metrics-every N]   dump the Prometheus-style metrics text every
+//                             N enrolled visitors (and once at the end)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "fingerprint/collector.h"
+#include "obs/metrics.h"
 #include "platform/catalog.h"
 #include "platform/population.h"
 #include "service/collation_service.h"
@@ -24,11 +27,13 @@ int main(int argc, char** argv) {
   using namespace wafp;
 
   std::size_t num_visitors = 400;
+  std::size_t metrics_every = 0;
   service::ServiceConfig config;
   const auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s [num_visitors] [--state-dir DIR] "
-                 "[--snapshot-every N] [--drop-every N] [--dup-every N]\n",
+                 "[--snapshot-every N] [--drop-every N] [--dup-every N] "
+                 "[--metrics-every N]\n",
                  argv[0]);
   };
   for (int i = 1; i < argc; ++i) {
@@ -40,6 +45,8 @@ int main(int argc, char** argv) {
       config.faults.drop_every = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--dup-every") == 0 && i + 1 < argc) {
       config.faults.duplicate_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
+      metrics_every = std::strtoul(argv[++i], nullptr, 10);
     } else if (argv[i][0] == '-') {
       // A typo'd or value-less flag must not fall through to the visitor
       // count (it would silently run an empty study).
@@ -85,6 +92,7 @@ int main(int argc, char** argv) {
   // Resume above any recovered per-user clocks so a re-run against the same
   // state_dir does not trip the timestamp-regression validator.
   std::uint64_t clock = svc.max_observed_timestamp();
+  std::size_t enrolled = 0;
   for (const platform::StudyUser& user : population.users()) {
     const std::size_t before = svc.graph().cluster_count();
     for (std::uint32_t it = 0; it < kEnrolIterations; ++it) {
@@ -113,6 +121,11 @@ int main(int argc, char** argv) {
       // The paper's Fig. 4 U5 case: the visitor's fingerprints connected
       // clusters that were previously considered distinct.
       ++bridged_clusters;
+    }
+    ++enrolled;
+    if (metrics_every > 0 && enrolled % metrics_every == 0) {
+      std::printf("--- metrics after %zu visitors ---\n%s\n", enrolled,
+                  obs::MetricsRegistry::global().render_text().c_str());
     }
   }
 
@@ -171,6 +184,10 @@ int main(int argc, char** argv) {
     std::printf("\nState checkpointed to %s (component checksum %016llx)\n",
                 config.state_dir.c_str(),
                 static_cast<unsigned long long>(svc.component_checksum()));
+  }
+  if (metrics_every > 0) {
+    std::printf("--- final metrics ---\n%s",
+                obs::MetricsRegistry::global().render_text().c_str());
   }
   return 0;
 }

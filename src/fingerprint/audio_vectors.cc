@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fingerprint/vector.h"
+#include "fingerprint/vector_registry.h"
 #include "webaudio/analyser_node.h"
 #include "webaudio/channel_merger_node.h"
 #include "webaudio/dynamics_compressor_node.h"
@@ -322,13 +323,8 @@ std::string_view to_string(VectorId id) {
 const AudioFingerprintVector& extension_vector_instance(VectorId id);
 
 std::span<const VectorId> audio_vector_ids() {
-  static constexpr std::array<VectorId, 7> kIds = {
-      VectorId::kDc,           VectorId::kFft,
-      VectorId::kHybrid,       VectorId::kCustomSignal,
-      VectorId::kMergedSignals, VectorId::kAm,
-      VectorId::kFm,
-  };
-  return kIds;
+  // Deprecated wrapper: the registry owns the canonical catalogue now.
+  return VectorRegistry::instance().audio_ids();
 }
 
 const AudioFingerprintVector& audio_vector(VectorId id) {

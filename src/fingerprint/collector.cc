@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace wafp::fingerprint {
@@ -17,7 +18,41 @@ std::uint64_t draw_tag(VectorId id, std::uint32_t iteration) {
   return (static_cast<std::uint64_t>(id) << 32) | iteration;
 }
 
+/// Checked before any member binds to it: a null cache must fail loudly,
+/// not dereference.
+RenderCache& checked_cache(RenderCache* cache) {
+  WAFP_CHECK(cache != nullptr) << "CollectorOptions::cache is required";
+  return *cache;
+}
+
+CollectorOptions legacy_options(RenderCache& cache) {
+  CollectorOptions options;
+  options.cache = &cache;
+  return options;
+}
+
 }  // namespace
+
+FingerprintCollector::FingerprintCollector(RenderCache& cache)
+    : FingerprintCollector(legacy_options(cache)) {}
+
+FingerprintCollector::FingerprintCollector(const CollectorOptions& options)
+    : cache_(checked_cache(options.cache)),
+      metrics_(options.metrics ? *options.metrics
+                               : obs::MetricsRegistry::global()),
+      clock_(options.clock),
+      stable_counter_(metrics_.counter(
+          "wafp_collect_stable_draws_total",
+          "Collector draws that resolved to the stable (no-jitter) state")),
+      jitter_counter_(metrics_.counter(
+          "wafp_collect_jitter_draws_total",
+          "Collector draws that resolved to a recurring platform jitter "
+          "state")),
+      chaos_counter_(metrics_.counter(
+          "wafp_collect_chaos_draws_total",
+          "Collector draws that resolved to a one-off chaotic glitch")),
+      collect_ns_(metrics_.histogram(
+          "wafp_collect_ns", "FingerprintCollector::collect latency (ns)")) {}
 
 webaudio::RenderJitter FingerprintCollector::draw_jitter(
     const platform::StudyUser& user, const AudioFingerprintVector& vector,
@@ -62,11 +97,12 @@ util::Digest FingerprintCollector::collect(const platform::StudyUser& user,
   if (is_static_vector(id)) {
     return run_static_vector(id, user.profile);
   }
+  const std::uint64_t t0 = now_ns();
   const AudioFingerprintVector& vector = audio_vector(id);
   const webaudio::RenderJitter jitter = draw_jitter(user, vector, iteration);
 
   if (jitter.chaos_seed != 0) {
-    ++stats_.chaos_draws;
+    chaos_counter_.inc();
     // A chaotic glitch perturbs analyser bins by one ULP, so its digest is
     // distinct from every stable digest and from every other glitch; derive
     // it from the stable render plus the glitch entropy instead of paying
@@ -76,14 +112,18 @@ util::Digest FingerprintCollector::collect(const platform::StudyUser& user,
     hasher.update(std::span<const std::uint8_t>(base.bytes));
     hasher.update("chaotic-glitch");
     hasher.update_u64(jitter.chaos_seed);
-    return hasher.finish();
+    util::Digest digest = hasher.finish();
+    collect_ns_.observe(now_ns() - t0);
+    return digest;
   }
   if (jitter.state != 0) {
-    ++stats_.jitter_draws;
+    jitter_counter_.inc();
   } else {
-    ++stats_.stable_draws;
+    stable_counter_.inc();
   }
-  return cache_.get(vector, user.profile, jitter.state);
+  const util::Digest& digest = cache_.get(vector, user.profile, jitter.state);
+  collect_ns_.observe(now_ns() - t0);
+  return digest;
 }
 
 util::Digest FingerprintCollector::collect_rendered(
@@ -94,6 +134,14 @@ util::Digest FingerprintCollector::collect_rendered(
   const AudioFingerprintVector& vector = audio_vector(id);
   const webaudio::RenderJitter jitter = draw_jitter(user, vector, iteration);
   return vector.run(user.profile, jitter);
+}
+
+CollectorStats FingerprintCollector::stats() const {
+  CollectorStats snapshot;
+  snapshot.stable_draws = static_cast<std::size_t>(stable_counter_.value());
+  snapshot.jitter_draws = static_cast<std::size_t>(jitter_counter_.value());
+  snapshot.chaos_draws = static_cast<std::size_t>(chaos_counter_.value());
+  return snapshot;
 }
 
 }  // namespace wafp::fingerprint

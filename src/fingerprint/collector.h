@@ -8,19 +8,49 @@
 
 #include "fingerprint/render_cache.h"
 #include "fingerprint/vector.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "platform/population.h"
 
 namespace wafp::fingerprint {
 
+/// Snapshot of the collector's draw tallies. Returned by value from
+/// FingerprintCollector::stats(); the live counters behind it are sharded
+/// registry instruments, so reading a snapshot is safe while parallel_for
+/// workers are still collecting. Counts are cumulative per metrics
+/// registry: collectors sharing a registry (the default — the process
+/// global) share tallies, which is what the study harness wants when it
+/// fans one logical collection out across worker chunks.
 struct CollectorStats {
   std::size_t stable_draws = 0;
   std::size_t jitter_draws = 0;
   std::size_t chaos_draws = 0;
 };
 
+/// How to build a FingerprintCollector. Instrumentation is injected here
+/// rather than reached for globally, so tests can pin a private registry
+/// and a manual clock (see obs::ManualClock) while production code leaves
+/// both defaulted.
+struct CollectorOptions {
+  /// Required: the shared render memo (concurrency-safe; see render_cache.h).
+  RenderCache* cache = nullptr;
+  /// Metrics sink for draw counters and collect-latency histograms.
+  /// nullptr = obs::MetricsRegistry::global().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Timestamp source for the collect-latency histogram; unset = the
+  /// registry's clock (which tests can also override via
+  /// MetricsRegistry::set_clock). Mirrors ServiceConfig::sleeper.
+  obs::ClockFn clock;
+};
+
 class FingerprintCollector {
  public:
-  explicit FingerprintCollector(RenderCache& cache) : cache_(cache) {}
+  explicit FingerprintCollector(const CollectorOptions& options);
+
+  /// Deprecated: legacy constructor kept for source compatibility; wraps
+  /// CollectorOptions{&cache} (global registry, registry clock). Prefer the
+  /// options form; will be removed next release.
+  explicit FingerprintCollector(RenderCache& cache);
 
   /// Deterministically draw the jitter state for (user, vector, iteration):
   /// an event occurs with probability min(0.93, flakiness * susceptibility);
@@ -44,12 +74,25 @@ class FingerprintCollector {
                                               VectorId id,
                                               std::uint32_t iteration);
 
-  [[nodiscard]] const CollectorStats& stats() const { return stats_; }
+  /// Snapshot of the draw tallies (see CollectorStats for scope caveats).
+  [[nodiscard]] CollectorStats stats() const;
   [[nodiscard]] RenderCache& cache() { return cache_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
 
  private:
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return clock_ ? clock_() : metrics_.now_ns();
+  }
+
   RenderCache& cache_;
-  CollectorStats stats_;
+  obs::MetricsRegistry& metrics_;
+  obs::ClockFn clock_;
+  /// Registry instruments are heap-stable, so references resolved once at
+  /// construction stay valid and keep collect() off the registry maps.
+  obs::Counter& stable_counter_;
+  obs::Counter& jitter_counter_;
+  obs::Counter& chaos_counter_;
+  obs::Histogram& collect_ns_;
 };
 
 }  // namespace wafp::fingerprint

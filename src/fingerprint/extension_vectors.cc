@@ -12,6 +12,7 @@
 #include <numbers>
 
 #include "fingerprint/vector.h"
+#include "fingerprint/vector_registry.h"
 #include "webaudio/analyser_node.h"
 #include "webaudio/biquad_filter_node.h"
 #include "webaudio/dynamics_compressor_node.h"
@@ -153,9 +154,8 @@ class DistortionVector final : public AudioFingerprintVector {
 }  // namespace
 
 std::span<const VectorId> extension_vector_ids() {
-  static constexpr std::array<VectorId, 2> kIds = {VectorId::kFilterSweep,
-                                                   VectorId::kDistortion};
-  return kIds;
+  // Deprecated wrapper: the registry owns the canonical catalogue now.
+  return VectorRegistry::instance().extension_ids();
 }
 
 const AudioFingerprintVector& extension_vector_instance(VectorId id) {

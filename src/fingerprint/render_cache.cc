@@ -2,6 +2,19 @@
 
 namespace wafp::fingerprint {
 
+RenderCache::RenderCache(obs::MetricsRegistry* metrics)
+    : metrics_(metrics ? *metrics : obs::MetricsRegistry::global()),
+      hit_counter_(metrics_.counter("wafp_cache_hits_total",
+                                    "Render-cache lookups that found an "
+                                    "existing entry")),
+      miss_counter_(metrics_.counter("wafp_cache_misses_total",
+                                     "Render-cache lookups that created the "
+                                     "entry and rendered it")),
+      dedup_wait_counter_(metrics_.counter(
+          "wafp_cache_dedup_waits_total",
+          "Render-cache hits that blocked on another thread's in-flight "
+          "render of the same key")) {}
+
 const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
                                      const platform::PlatformProfile& profile,
                                      std::uint32_t jitter_state) {
@@ -23,7 +36,18 @@ const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
     entry = it->second.get();
     created = inserted;
   }
-  (created ? misses_ : hits_).fetch_add(1, std::memory_order_relaxed);
+  if (created) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter_.inc();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    hit_counter_.inc();
+    // A hit on an entry whose render hasn't published yet is about to park
+    // inside call_once until the renderer finishes.
+    if (!entry->ready.load(std::memory_order_acquire)) {
+      dedup_wait_counter_.inc();
+    }
+  }
 
   // Render outside the shard lock: renders are the expensive part, and
   // holding the mutex across one would serialize every same-shard thread.
@@ -32,7 +56,14 @@ const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
   std::call_once(entry->once, [&] {
     webaudio::RenderJitter jitter;
     jitter.state = jitter_state;
+    const std::uint64_t t0 = metrics_.now_ns();
     entry->digest = vector.run(profile, jitter);
+    metrics_
+        .histogram("wafp_render_vector_ns",
+                   "Cold-cache render duration per fingerprint vector (ns)",
+                   obs::label("vector", vector.name()))
+        .observe(metrics_.now_ns() - t0);
+    entry->ready.store(true, std::memory_order_release);
   });
   return entry->digest;
 }

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "fingerprint/vector.h"
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -35,6 +36,11 @@ namespace wafp::fingerprint {
 class RenderCache {
  public:
   static constexpr std::size_t kShards = 16;
+
+  /// `metrics` is the sink for cache hit/miss/dedup-wait counters and the
+  /// per-vector render-time histograms; nullptr means
+  /// obs::MetricsRegistry::global(). Purely observational.
+  explicit RenderCache(obs::MetricsRegistry* metrics = nullptr);
 
   /// Digest of `vector` on `profile`'s stack with the given jitter state
   /// (chaos-free); renders on first use. Safe to call concurrently.
@@ -81,6 +87,9 @@ class RenderCache {
   /// stable address for waiters.
   struct Entry {
     std::once_flag once;
+    /// Set (release) after `digest` is published; a hit that observes
+    /// !ready is about to block on an in-flight render (a dedup wait).
+    std::atomic<bool> ready{false};
     util::Digest digest;
   };
   struct Shard {
@@ -94,6 +103,16 @@ class RenderCache {
   std::array<Shard, kShards> shards_;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+
+  /// Registry-backed mirrors of the per-instance tallies above (the
+  /// per-instance atomics stay authoritative for `hits()`/`misses()`; the
+  /// registry aggregates across every cache in the process). Counter
+  /// references are resolved once at construction — instruments are
+  /// heap-stable — so `get()` never touches the registry maps.
+  obs::MetricsRegistry& metrics_;
+  obs::Counter& hit_counter_;
+  obs::Counter& miss_counter_;
+  obs::Counter& dedup_wait_counter_;
 };
 
 }  // namespace wafp::fingerprint

@@ -35,9 +35,13 @@ enum class VectorId {
 [[nodiscard]] std::string_view to_string(VectorId id);
 
 /// The seven Web Audio vectors, in the paper's table order.
+/// Deprecated: thin wrapper over VectorRegistry::instance().audio_ids()
+/// (see fingerprint/vector_registry.h); will be removed next release.
 [[nodiscard]] std::span<const VectorId> audio_vector_ids();
 
 /// The post-paper extension vectors (see extension_vectors.cc).
+/// Deprecated: thin wrapper over VectorRegistry::instance().extension_ids();
+/// will be removed next release.
 [[nodiscard]] std::span<const VectorId> extension_vector_ids();
 
 /// One Web Audio fingerprinting vector: builds its audio graph on a

@@ -1,0 +1,77 @@
+#include "fingerprint/vector_registry.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace wafp::fingerprint {
+
+namespace {
+
+constexpr std::array<VectorId, 13> kAllIds = {
+    VectorId::kDc,           VectorId::kFft,
+    VectorId::kHybrid,       VectorId::kCustomSignal,
+    VectorId::kMergedSignals, VectorId::kAm,
+    VectorId::kFm,           VectorId::kCanvas,
+    VectorId::kFonts,        VectorId::kUserAgent,
+    VectorId::kMathJs,       VectorId::kFilterSweep,
+    VectorId::kDistortion,
+};
+
+constexpr bool is_extension_vector(VectorId id) {
+  return id == VectorId::kFilterSweep || id == VectorId::kDistortion;
+}
+
+}  // namespace
+
+VectorRegistry::VectorRegistry() {
+  entries_.reserve(kAllIds.size());
+  for (const VectorId id : kAllIds) {
+    VectorEntry e;
+    e.id = id;
+    e.name = to_string(id);
+    e.caps.extension = is_extension_vector(id);
+    if (is_static_vector(id)) {
+      static_ids_.push_back(id);
+    } else {
+      e.caps.audio = true;
+      e.vector = &audio_vector(id);
+      e.caps.jittery = e.vector->jitter_susceptibility() > 0.0;
+      if (e.caps.extension) {
+        extension_ids_.push_back(id);
+      } else {
+        audio_ids_.push_back(id);
+      }
+    }
+    entries_.push_back(e);
+  }
+}
+
+const VectorRegistry& VectorRegistry::instance() {
+  static const VectorRegistry registry;
+  return registry;
+}
+
+const VectorEntry& VectorRegistry::entry(VectorId id) const {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= entries_.size()) {
+    throw std::invalid_argument("VectorRegistry: unknown vector id");
+  }
+  return entries_[index];
+}
+
+const VectorEntry* VectorRegistry::find(std::string_view name) const {
+  for (const VectorEntry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+util::Digest VectorRegistry::run(VectorId id,
+                                 const platform::PlatformProfile& profile,
+                                 const webaudio::RenderJitter& jitter) const {
+  const VectorEntry& e = entry(id);
+  if (e.caps.is_static()) return run_static_vector(id, profile);
+  return e.vector->run(profile, jitter);
+}
+
+}  // namespace wafp::fingerprint

@@ -1,0 +1,52 @@
+// Injectable time source for the observability layer.
+//
+// Every duration the metrics registry records flows through a ClockFn so
+// tests (and deterministic replays) can substitute a manual clock — the
+// same pattern ServiceConfig::sleeper uses for retry backoff. The default
+// is the monotonic steady clock in nanoseconds; wall-clock time never
+// enters a metric, so dumps are comparable across restarts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace wafp::obs {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).
+[[nodiscard]] inline std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A time source: returns "now" in nanoseconds. Must be monotone
+/// non-decreasing and safe to call from any thread.
+using ClockFn = std::function<std::uint64_t()>;
+
+/// Deterministic clock for tests: time only moves when advance() is called.
+/// Thread-safe (reads and advances are atomic), so it can drive spans on
+/// worker threads too.
+class ManualClock {
+ public:
+  explicit ManualClock(std::uint64_t start_ns = 0) : ns_(start_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return ns_.load(std::memory_order_acquire);
+  }
+  void advance(std::uint64_t delta_ns) {
+    ns_.fetch_add(delta_ns, std::memory_order_acq_rel);
+  }
+
+  /// A ClockFn view of this clock. The clock must outlive the function.
+  [[nodiscard]] ClockFn fn() {
+    return [this] { return now_ns(); };
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_;
+};
+
+}  // namespace wafp::obs

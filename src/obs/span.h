@@ -1,0 +1,92 @@
+// Lightweight RAII trace spans.
+//
+//   void render() {
+//     WAFP_SPAN("render/fft");       // records into MetricsRegistry::global()
+//     ...
+//   }
+//
+// Each thread keeps its own span stack, so nested spans compose into a
+// path ("collect/render/fft") that becomes the `span` label of the
+// wafp_span_ns histogram family when the span closes. Spans are strictly
+// scoped (LIFO per thread) and cost two clock reads plus one histogram
+// observe; timing flows through the owning registry's injectable clock, so
+// tests drive spans with a ManualClock and assert exact durations and
+// ordering (ScopedTraceCapture).
+//
+// Spans never feed back into the pipeline: an instrumented render produces
+// bit-identical digests with or without them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace wafp::obs {
+
+/// One completed span, as seen by ScopedTraceCapture.
+struct SpanEvent {
+  std::string path;       // "outer/inner" — the nesting at completion time
+  std::size_t depth = 0;  // 0 = top-level
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+class ScopedSpan {
+ public:
+  /// Records into MetricsRegistry::global().
+  explicit ScopedSpan(std::string_view name);
+  /// Records into `registry` (tests, per-service registries).
+  ScopedSpan(MetricsRegistry& registry, std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Current nesting depth of this thread's span stack.
+  [[nodiscard]] static std::size_t depth();
+  /// "a/b/c" path of the currently open spans on this thread ("" if none).
+  [[nodiscard]] static std::string current_path();
+
+ private:
+  MetricsRegistry& registry_;
+  std::uint64_t start_ns_;
+};
+
+/// Test hook: while alive, every span completed on this thread is appended
+/// to events() (in completion order — inner spans land before the outer
+/// span that contains them). Captures nest: the innermost capture wins.
+class ScopedTraceCapture {
+ public:
+  ScopedTraceCapture();
+  ~ScopedTraceCapture();
+
+  ScopedTraceCapture(const ScopedTraceCapture&) = delete;
+  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;
+
+  [[nodiscard]] const std::vector<SpanEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  friend class ScopedSpan;
+  std::vector<SpanEvent> events_;
+  ScopedTraceCapture* prev_ = nullptr;
+};
+
+#define WAFP_OBS_CONCAT2(a, b) a##b
+#define WAFP_OBS_CONCAT(a, b) WAFP_OBS_CONCAT2(a, b)
+
+/// Open a span for the rest of the enclosing scope, recorded into the
+/// global registry.
+#define WAFP_SPAN(name) \
+  ::wafp::obs::ScopedSpan WAFP_OBS_CONCAT(wafp_span_, __LINE__)(name)
+
+/// Same, recorded into an explicit registry.
+#define WAFP_SPAN_IN(registry, name)                                 \
+  ::wafp::obs::ScopedSpan WAFP_OBS_CONCAT(wafp_span_, __LINE__)((registry), \
+                                                               (name))
+
+}  // namespace wafp::obs

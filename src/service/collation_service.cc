@@ -3,10 +3,40 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "obs/span.h"
+
 namespace wafp::service {
 
 CollationService::CollationService(ServiceConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      metrics_(config_.metrics ? *config_.metrics
+                               : obs::MetricsRegistry::global()),
+      queue_depth_gauge_(metrics_.gauge(
+          "wafp_service_queue_depth", "Submissions waiting in the ingest "
+                                      "queue")),
+      ingest_apply_ns_(metrics_.histogram(
+          "wafp_service_ingest_apply_ns",
+          "Latency from submit() enqueue to graph apply (ns)")),
+      wal_append_ns_(metrics_.histogram(
+          "wafp_wal_append_ns",
+          "One WAL append attempt, write through flush (ns)")),
+      snapshot_ns_(metrics_.histogram("wafp_service_snapshot_ns",
+                                      "Checkpoint (snapshot write + WAL "
+                                      "truncate) duration (ns)")),
+      wal_appends_counter_(metrics_.counter("wafp_wal_appends_total",
+                                            "Successful WAL record writes")),
+      wal_retries_counter_(metrics_.counter(
+          "wafp_wal_retries_total", "Transient WAL append failures retried")),
+      applied_counter_(metrics_.counter(
+          "wafp_service_applied_total",
+          "Submissions applied to the collation graph (excluding recovery "
+          "replay)")),
+      recovered_snapshot_counter_(metrics_.counter(
+          "wafp_service_recovered_from_snapshot_total",
+          "Submissions restored from the snapshot at recovery")),
+      recovered_wal_counter_(metrics_.counter(
+          "wafp_service_recovered_from_wal_total",
+          "Submissions replayed from the WAL at recovery")) {
   if (!config_.sleeper) {
     config_.sleeper = [](std::chrono::milliseconds d) {
       std::this_thread::sleep_for(d);
@@ -16,7 +46,7 @@ CollationService::CollationService(ServiceConfig config)
     std::filesystem::create_directories(config_.state_dir);
     recover();
     // Open the WAL for appending only after replay read it.
-    wal_.emplace(wal_path());
+    wal_.emplace(wal_path(), &metrics_);
   }
 }
 
@@ -48,6 +78,7 @@ std::string CollationService::snapshot_path() const {
 }
 
 void CollationService::recover() {
+  WAFP_SPAN_IN(metrics_, "service/recover");
   // Runs from the constructor, before any other thread can exist; the lock
   // is uncontended and exists so validator_/stats_ writes satisfy their
   // GUARDED_BY(mu_) contract without an analysis escape hatch.
@@ -60,6 +91,7 @@ void CollationService::recover() {
     }
     stats_.applied = snapshot->applied;
     stats_.recovered_from_snapshot = snapshot->applied;
+    recovered_snapshot_counter_.inc(snapshot->applied);
   }
   const WalReplay replay = Wal::replay(wal_path());
   for (const Submission& s : replay.records) {
@@ -69,6 +101,7 @@ void CollationService::recover() {
     ++stats_.recovered_from_wal;
     ++applied_since_snapshot_;
   }
+  recovered_wal_counter_.inc(replay.records.size());
   // A torn tail (or missing header) must be rewritten away before the WAL
   // reopens for append: a record appended onto a partial final line would
   // merge with it, and the *next* replay would stop at that merged line and
@@ -111,15 +144,17 @@ SubmitResult CollationService::submit(const RawSubmission& raw) {
     ++stats_.dropped_by_fault;
     return {Reject::kNone};
   }
-  queue_.push_back(s);
+  const QueuedSubmission qs{s, metrics_.now_ns()};
+  queue_.push_back(qs);
   if (FaultClock::hits(ordinal, config_.faults.duplicate_every)) {
-    queue_.push_back(s);  // duplicate delivery (may exceed the bound by one)
+    queue_.push_back(qs);  // duplicate delivery (may exceed the bound by one)
     ++stats_.duplicated_by_fault;
   }
   if (FaultClock::hits(ordinal, config_.faults.reorder_every) &&
       queue_.size() >= 2) {
     std::swap(queue_[queue_.size() - 1], queue_[queue_.size() - 2]);
   }
+  queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
   return {Reject::kNone};
 }
 
@@ -133,13 +168,18 @@ void CollationService::append_with_retry(const Submission& s) {
   for (std::size_t attempt = 0; attempt <= config_.max_append_retries;
        ++attempt) {
     const bool inject = hard || (transient && attempt == 0);
-    if (wal_->append(s, inject)) {
+    const std::uint64_t t0 = metrics_.now_ns();
+    const bool ok = wal_->append(s, inject);
+    wal_append_ns_.observe(metrics_.now_ns() - t0);
+    if (ok) {
+      wal_appends_counter_.inc();
       {
         util::MutexLock lock(mu_);
         ++stats_.wal_appends;
       }
       return;
     }
+    wal_retries_counter_.inc();
     {
       util::MutexLock lock(mu_);
       ++stats_.wal_retries;
@@ -156,23 +196,26 @@ void CollationService::append_with_retry(const Submission& s) {
 std::size_t CollationService::pump(std::size_t max_records) {
   std::size_t applied = 0;
   while (applied < max_records) {
-    Submission s;
+    QueuedSubmission qs;
     {
       util::MutexLock lock(mu_);
       if (queue_.empty() || crashed_) break;
-      s = queue_.front();
+      qs = queue_.front();
       queue_.pop_front();
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
     }
     try {
-      append_with_retry(s);
+      append_with_retry(qs.s);
     } catch (...) {
       // Not durable => not applied. Requeue at the front so a later pump
       // (or an operator intervention) can retry in order.
       util::MutexLock lock(mu_);
-      queue_.push_front(s);
+      queue_.push_front(qs);
+      queue_depth_gauge_.set(static_cast<std::int64_t>(queue_.size()));
       throw;
     }
-    apply(s);
+    apply(qs.s);
+    ingest_apply_ns_.observe(metrics_.now_ns() - qs.enqueued_ns);
     ++applied;
     maybe_snapshot();
   }
@@ -182,6 +225,7 @@ std::size_t CollationService::pump(std::size_t max_records) {
 void CollationService::apply(const Submission& s) {
   graph_.add_observation(s.user, s.efp);
   ++applied_since_snapshot_;
+  applied_counter_.inc();
   util::MutexLock lock(mu_);
   ++stats_.applied;
 }
@@ -194,6 +238,8 @@ void CollationService::maybe_snapshot() {
 
 void CollationService::checkpoint() {
   if (!wal_.has_value()) return;
+  WAFP_SPAN_IN(metrics_, "service/checkpoint");
+  const std::uint64_t t0 = metrics_.now_ns();
   SnapshotState state;
   {
     // mu_ also covers validator_: submit() writes user clocks concurrently.
@@ -209,6 +255,7 @@ void CollationService::checkpoint() {
   }
   wal_->reset();
   applied_since_snapshot_ = 0;
+  snapshot_ns_.observe(metrics_.now_ns() - t0);
   util::MutexLock lock(mu_);
   ++stats_.snapshots_written;
 }
@@ -225,6 +272,7 @@ void CollationService::crash() {
   util::MutexLock lock(mu_);
   crashed_ = true;
   queue_.clear();
+  queue_depth_gauge_.set(0);
   graph_ = collation::FingerprintGraph();
 }
 

@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "collation/fingerprint_graph.h"
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "service/fault_injection.h"
@@ -55,6 +56,12 @@ struct ServiceConfig {
   /// Injectable sleeper so tests assert the backoff schedule without
   /// wall-clock waits; defaults to std::this_thread::sleep_for.
   std::function<void(std::chrono::milliseconds)> sleeper;
+
+  /// Metrics sink for queue depth, ingest->apply latency, WAL timings,
+  /// snapshot duration, and recovery counters. nullptr =
+  /// obs::MetricsRegistry::global(). Purely observational; pair with
+  /// MetricsRegistry::set_clock for deterministic latency tests.
+  obs::MetricsRegistry* metrics = nullptr;
 
   FaultPlan faults;
 };
@@ -128,6 +135,13 @@ class CollationService {
   }
 
  private:
+  /// One queued record plus its enqueue timestamp, so pump() can observe
+  /// the ingest->apply latency the moment a submission reaches the graph.
+  struct QueuedSubmission {
+    Submission s;
+    std::uint64_t enqueued_ns = 0;
+  };
+
   [[nodiscard]] std::string wal_path() const;
   [[nodiscard]] std::string snapshot_path() const;
   void recover();
@@ -142,6 +156,21 @@ class CollationService {
   // recovery path; they carry no mutex on purpose — readers of graph() must
   // quiesce the service first, exactly as documented above.
   ServiceConfig config_;
+
+  /// Resolved metrics sink plus instrument references (heap-stable in the
+  /// registry, so resolving once at construction keeps the hot paths off
+  /// the registry maps).
+  obs::MetricsRegistry& metrics_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Histogram& ingest_apply_ns_;
+  obs::Histogram& wal_append_ns_;
+  obs::Histogram& snapshot_ns_;
+  obs::Counter& wal_appends_counter_;
+  obs::Counter& wal_retries_counter_;
+  obs::Counter& applied_counter_;
+  obs::Counter& recovered_snapshot_counter_;
+  obs::Counter& recovered_wal_counter_;
+
   collation::FingerprintGraph graph_;
   std::optional<Wal> wal_;
   FaultClock fault_clock_;
@@ -149,7 +178,7 @@ class CollationService {
 
   mutable util::Mutex mu_;
   SubmissionValidator validator_ WAFP_GUARDED_BY(mu_);
-  std::deque<Submission> queue_ WAFP_GUARDED_BY(mu_);
+  std::deque<QueuedSubmission> queue_ WAFP_GUARDED_BY(mu_);
   ServiceStats stats_ WAFP_GUARDED_BY(mu_);
   bool crashed_ WAFP_GUARDED_BY(mu_) = false;
 

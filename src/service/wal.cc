@@ -56,7 +56,11 @@ std::string wal_record_line(const Submission& s) {
   return std::string(buf) + s.efp.hex() + ',' + crc_hex(wal_record_crc(s));
 }
 
-Wal::Wal(std::string path) : path_(std::move(path)) {
+Wal::Wal(std::string path, obs::MetricsRegistry* metrics)
+    : path_(std::move(path)),
+      metrics_(metrics ? *metrics : obs::MetricsRegistry::global()),
+      fsync_ns_(metrics_.histogram("wafp_wal_fsync_ns",
+                                   "Per-append WAL flush-to-OS time (ns)")) {
   const bool fresh = !std::filesystem::exists(path_);
   open_for_append();
   if (fresh && out_) {
@@ -80,7 +84,9 @@ bool Wal::append(const Submission& s, bool inject_failure) {
   }
   if (!out_) open_for_append();
   out_ << wal_record_line(s) << '\n';
+  const std::uint64_t t0 = metrics_.now_ns();
   out_.flush();
+  fsync_ns_.observe(metrics_.now_ns() - t0);
   if (!out_) {
     open_for_append();
     return false;

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/types.h"
 
 namespace wafp::service {
@@ -45,8 +46,10 @@ struct WalReplay {
 
 class Wal {
  public:
-  /// Opens (creating if absent) the log at `path` for appending.
-  explicit Wal(std::string path);
+  /// Opens (creating if absent) the log at `path` for appending. `metrics`
+  /// receives the per-append flush ("fsync") timing histogram; nullptr =
+  /// obs::MetricsRegistry::global().
+  explicit Wal(std::string path, obs::MetricsRegistry* metrics = nullptr);
 
   /// Append one record and flush. Returns false when the write fails —
   /// either a real stream error or `inject_failure` (the deterministic
@@ -75,6 +78,10 @@ class Wal {
 
   std::string path_;
   std::ofstream out_;
+  obs::MetricsRegistry& metrics_;
+  /// Flush-to-OS time per append: the durability cost of WAL-before-apply,
+  /// split out from the full append so queue stalls can be attributed.
+  obs::Histogram& fsync_ns_;
 };
 
 }  // namespace wafp::service

@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "fingerprint/collector.h"
+#include "fingerprint/vector_registry.h"
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/csv.h"
 #include "util/mutex.h"
@@ -17,12 +19,11 @@
 namespace wafp::study {
 namespace {
 
-constexpr std::array<fingerprint::VectorId, 4> kStaticVectors = {
-    fingerprint::VectorId::kCanvas,
-    fingerprint::VectorId::kFonts,
-    fingerprint::VectorId::kUserAgent,
-    fingerprint::VectorId::kMathJs,
-};
+/// The study's non-audio vectors, in registry order (which the snapshot
+/// layout below depends on).
+std::span<const fingerprint::VectorId> static_ids() {
+  return fingerprint::VectorRegistry::instance().static_ids();
+}
 
 /// Hex-nibble decode table: 0-15 for [0-9a-f], -1 otherwise.
 constexpr std::array<std::int8_t, 256> kNibbleTable = [] {
@@ -122,15 +123,15 @@ Dataset::Dataset(const StudyConfig& config)
       population_(std::make_unique<platform::Population>(
           *catalog_, config.num_users, config.seed)) {
   audio_.resize(config.num_users * 7 * config.iterations);
-  static_.resize(config.num_users * kStaticVectors.size());
+  static_.resize(config.num_users * static_ids().size());
 }
 
 std::size_t Dataset::audio_vector_index(fingerprint::VectorId id) {
-  // audio_vector_ids() lists the audio vectors in enum order (kDc..kFm =
-  // 0..6), so the index is the enum value itself; a one-time check guards
-  // the table against anyone reordering the registry.
+  // The registry lists the audio vectors in enum order (kDc..kFm = 0..6),
+  // so the index is the enum value itself; a one-time check guards the
+  // table against anyone reordering the registry.
   [[maybe_unused]] static const bool order_checked = [] {
-    const auto ids = fingerprint::audio_vector_ids();
+    const auto ids = fingerprint::VectorRegistry::instance().audio_ids();
     for (std::size_t i = 0; i < ids.size(); ++i) {
       WAFP_CHECK(ids[i] == static_cast<fingerprint::VectorId>(i))
           << "audio_vector_ids() order changed at index " << i;
@@ -143,25 +144,29 @@ std::size_t Dataset::audio_vector_index(fingerprint::VectorId id) {
 }
 
 std::size_t Dataset::static_vector_index(fingerprint::VectorId id) {
-  for (std::size_t i = 0; i < kStaticVectors.size(); ++i) {
-    if (kStaticVectors[i] == id) return i;
+  for (std::size_t i = 0; i < static_ids().size(); ++i) {
+    if (static_ids()[i] == id) return i;
   }
   throw std::invalid_argument("not a static vector");
 }
 
 Dataset Dataset::collect(const StudyConfig& config) {
+  WAFP_SPAN("study/collect");
   Dataset ds(config);
   fingerprint::RenderCache cache;
   StaticVectorMemo static_memo;
-  const auto audio_ids = fingerprint::audio_vector_ids();
+  const auto audio_ids = fingerprint::VectorRegistry::instance().audio_ids();
 
-  // One collector per chunk (its draw counters are thread-local tallies);
-  // the render cache and static memo are shared and concurrency-safe. Each
-  // chunk writes only its own users' slots, and every digest is a pure
-  // function of (profile stack, derived seed), so the dataset is
-  // bit-identical at any thread count.
+  // One collector per chunk (its draw counters are sharded registry
+  // instruments, safe under concurrent increments); the render cache and
+  // static memo are shared and concurrency-safe. Each chunk writes only its
+  // own users' slots, and every digest is a pure function of (profile
+  // stack, derived seed), so the dataset is bit-identical at any thread
+  // count — metrics are purely observational.
+  fingerprint::CollectorOptions collector_options;
+  collector_options.cache = &cache;
   auto collect_range = [&](std::size_t begin, std::size_t end) {
-    fingerprint::FingerprintCollector collector(cache);
+    fingerprint::FingerprintCollector collector(collector_options);
     for (std::size_t u = begin; u < end; ++u) {
       const platform::StudyUser& user = ds.population_->user(u);
       for (std::size_t v = 0; v < audio_ids.size(); ++v) {
@@ -170,14 +175,14 @@ Dataset Dataset::collect(const StudyConfig& config) {
               collector.collect(user, audio_ids[v], it);
         }
       }
-      for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
+      for (std::size_t s = 0; s < static_ids().size(); ++s) {
         const std::string key =
-            static_vector_key(kStaticVectors[s], user.profile);
-        ds.static_[u * kStaticVectors.size() + s] =
+            static_vector_key(static_ids()[s], user.profile);
+        ds.static_[u * static_ids().size() + s] =
             key.empty()
-                ? fingerprint::run_static_vector(kStaticVectors[s],
+                ? fingerprint::run_static_vector(static_ids()[s],
                                                  user.profile)
-                : static_memo.get_or_compute(key, kStaticVectors[s],
+                : static_memo.get_or_compute(key, static_ids()[s],
                                              user.profile);
       }
     }
@@ -237,7 +242,7 @@ std::span<const util::Digest> Dataset::audio_observations(
 
 const util::Digest& Dataset::static_observation(
     std::size_t user, fingerprint::VectorId id) const {
-  return static_[user * kStaticVectors.size() + static_vector_index(id)];
+  return static_[user * static_ids().size() + static_vector_index(id)];
 }
 
 bool Dataset::save_csv(const std::string& path) const {
@@ -248,7 +253,7 @@ bool Dataset::save_csv(const std::string& path) const {
   csv.write_row({std::to_string(config_.num_users),
                  std::to_string(config_.iterations),
                  std::to_string(config_.seed)});
-  const auto audio_ids = fingerprint::audio_vector_ids();
+  const auto audio_ids = fingerprint::VectorRegistry::instance().audio_ids();
   for (std::size_t u = 0; u < num_users(); ++u) {
     const std::string user = std::to_string(u);
     for (std::size_t v = 0; v < audio_ids.size(); ++v) {
@@ -260,9 +265,9 @@ bool Dataset::save_csv(const std::string& path) const {
   }
   for (std::size_t u = 0; u < num_users(); ++u) {
     const std::string user = std::to_string(u);
-    for (std::size_t s = 0; s < kStaticVectors.size(); ++s) {
-      csv.write_row({user, to_string(kStaticVectors[s]), "0",
-                     static_[u * kStaticVectors.size() + s].hex()});
+    for (std::size_t s = 0; s < static_ids().size(); ++s) {
+      csv.write_row({user, to_string(static_ids()[s]), "0",
+                     static_[u * static_ids().size() + s].hex()});
     }
   }
   return csv.finish();

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "analysis/ami.h"
+#include "fingerprint/vector_registry.h"
 #include "util/thread_pool.h"
 
 namespace wafp::study {
@@ -75,7 +76,8 @@ std::vector<int> static_labels(const Dataset& ds, VectorId id) {
 
 std::vector<StabilityRow> table1_stability(const Dataset& ds) {
   std::vector<StabilityRow> rows;
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids = fingerprint::VectorRegistry::instance().audio_ids();
+  for (const VectorId id : audio_ids) {
     StabilityRow row;
     row.id = id;
     row.min = std::numeric_limits<std::size_t>::max();
@@ -210,7 +212,8 @@ analysis::DiversityStats vector_diversity(const Dataset& ds, VectorId id) {
 
 std::vector<int> combined_audio_labels(const Dataset& ds) {
   return analysis::combine_labels(
-      collated_label_sets(ds, fingerprint::audio_vector_ids()));
+      collated_label_sets(
+          ds, fingerprint::VectorRegistry::instance().audio_ids()));
 }
 
 analysis::DiversityStats combined_audio_diversity(const Dataset& ds) {
@@ -218,7 +221,7 @@ analysis::DiversityStats combined_audio_diversity(const Dataset& ds) {
 }
 
 std::vector<std::vector<double>> cross_vector_agreement(const Dataset& ds) {
-  const auto ids = fingerprint::audio_vector_ids();
+  const auto ids = fingerprint::VectorRegistry::instance().audio_ids();
   const std::vector<std::vector<int>> labels = collated_label_sets(ds, ids);
 
   std::vector<std::pair<std::size_t, std::size_t>> pair_list;
@@ -323,8 +326,10 @@ std::vector<std::vector<std::string>> subset_rankings(const Dataset& ds,
                                                       std::size_t parts) {
   // Vectors ranked: the 7 audio vectors (collated within the subset) plus
   // Canvas, Fonts, User-Agent.
-  std::vector<VectorId> ranked_ids(fingerprint::audio_vector_ids().begin(),
-                                   fingerprint::audio_vector_ids().end());
+  const auto ranked_span =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  std::vector<VectorId> ranked_ids(ranked_span.begin(),
+                                   ranked_span.end());
   ranked_ids.push_back(VectorId::kCanvas);
   ranked_ids.push_back(VectorId::kFonts);
   ranked_ids.push_back(VectorId::kUserAgent);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "fingerprint/vector_registry.h"
 #include "study/experiments.h"
 #include "util/table.h"
 
@@ -122,7 +123,9 @@ std::string report_fig5(const Dataset& ds) {
                    "FM"});
   for (std::size_t s = 1; s <= 15; ++s) {
     std::vector<std::string> row{std::to_string(s)};
-    for (const VectorId id : fingerprint::audio_vector_ids()) {
+    const auto audio_ids =
+        fingerprint::VectorRegistry::instance().audio_ids();
+    for (const VectorId id : audio_ids) {
       row.push_back(TextTable::fmt(cluster_agreement(ds, id, s).mean_ami, 4));
     }
     table.add_row(std::move(row));
@@ -136,7 +139,9 @@ std::string report_table6(const Dataset& ds) {
   out << "Table 6: fingerprint match scores (paper minimum: 0.9899 at "
          "s=3)\n";
   TextTable table({"Vector", "s=15", "s=10", "s=3"});
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const VectorId id : audio_ids) {
     table.add_row({vector_name(id),
                    TextTable::fmt(fingerprint_match_score(ds, id, 15), 4),
                    TextTable::fmt(fingerprint_match_score(ds, id, 10), 4),
@@ -180,7 +185,9 @@ std::string report_table3(const Dataset& ds) {
 std::string report_fig9(const Dataset& ds) {
   const auto matrix = cross_vector_agreement(ds);
   std::vector<std::string> labels;
-  for (const VectorId id : fingerprint::audio_vector_ids()) {
+  const auto audio_ids =
+      fingerprint::VectorRegistry::instance().audio_ids();
+  for (const VectorId id : audio_ids) {
     labels.push_back(vector_name(id));
   }
   std::ostringstream out;

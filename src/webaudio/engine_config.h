@@ -14,6 +14,10 @@
 #include "dsp/fft.h"
 #include "dsp/math_library.h"
 
+namespace wafp::obs {
+class MetricsRegistry;
+}  // namespace wafp::obs
+
 namespace wafp::webaudio {
 
 /// Micro-variants of the dynamics-compressor kernel, representing vendor /
@@ -88,6 +92,11 @@ struct EngineConfig {
   CompressorTuning compressor;
   AnalyserTuning analyser;
   RenderJitter jitter;
+
+  /// Metrics sink for render instrumentation (per-node process time,
+  /// whole-render latency). nullptr = obs::MetricsRegistry::global().
+  /// Purely observational: digests are identical with any sink.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// A config with host math, radix-2 FFT, and no jitter.
   [[nodiscard]] static EngineConfig reference();

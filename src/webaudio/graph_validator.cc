@@ -3,6 +3,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "webaudio/audio_node.h"
 #include "webaudio/audio_param.h"
@@ -10,6 +11,28 @@
 #include "webaudio/source_nodes.h"
 
 namespace wafp::webaudio {
+
+namespace {
+
+/// Validation tallies (global registry: connect-time checks run before any
+/// per-context metrics sink exists, and they are build-time rare). The
+/// rejection counter is bumped *before* the WAFP_CHECK aborts so a crash
+/// dump's metrics still show what the validator caught.
+obs::Counter& validations_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "wafp_graph_validations_total",
+      "Audio-graph edge validations performed at connect time");
+  return c;
+}
+
+obs::Counter& rejections_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "wafp_graph_rejections_total",
+      "Audio-graph edges rejected by the connect-time validator");
+  return c;
+}
+
+}  // namespace
 
 bool breaks_cycles(const AudioNode& node) {
   return node.node_name() == "DelayNode";
@@ -57,29 +80,37 @@ bool closes_delay_free_cycle(const AudioNode& source,
 
 void validate_connection(const AudioNode& source, const AudioNode& destination,
                          std::size_t input) {
-  WAFP_CHECK(!closes_delay_free_cycle(source, destination))
+  validations_counter().inc();
+  const bool delay_free_cycle = closes_delay_free_cycle(source, destination);
+  const bool merger_multichannel =
+      destination.node_name() == "ChannelMergerNode" &&
+      source.output().channels() != 1;
+  const auto* splitter = dynamic_cast<const ChannelSplitterNode*>(&destination);
+  const bool splitter_out_of_range =
+      splitter != nullptr && splitter->channel() >= source.output().channels();
+  if (delay_free_cycle || merger_multichannel || splitter_out_of_range) {
+    rejections_counter().inc();
+  }
+  WAFP_CHECK(!delay_free_cycle)
       << source.node_name() << " -> " << destination.node_name() << " (input "
       << input << ") closes a cycle with no DelayNode in it; the graph "
       << "could never render";
-  if (destination.node_name() == "ChannelMergerNode") {
-    WAFP_CHECK(source.output().channels() == 1)
-        << "ChannelMergerNode input " << input << " must be mono, got "
-        << source.output().channels() << " channels from "
-        << source.node_name();
-  }
-  if (const auto* splitter =
-          dynamic_cast<const ChannelSplitterNode*>(&destination)) {
-    WAFP_CHECK(splitter->channel() < source.output().channels())
-        << "ChannelSplitterNode selects channel " << splitter->channel()
-        << " but " << source.node_name() << " only produces "
-        << source.output().channels() << " channel(s)";
-  }
+  WAFP_CHECK(!merger_multichannel)
+      << "ChannelMergerNode input " << input << " must be mono, got "
+      << source.output().channels() << " channels from " << source.node_name();
+  WAFP_CHECK(!splitter_out_of_range)
+      << "ChannelSplitterNode selects channel "
+      << (splitter ? splitter->channel() : 0) << " but " << source.node_name()
+      << " only produces " << source.output().channels() << " channel(s)";
 }
 
 void validate_param_connection(const AudioNode& source,
                                const AudioNode& param_owner,
                                const AudioParam& param) {
-  WAFP_CHECK(!closes_delay_free_cycle(source, param_owner))
+  validations_counter().inc();
+  const bool delay_free_cycle = closes_delay_free_cycle(source, param_owner);
+  if (delay_free_cycle) rejections_counter().inc();
+  WAFP_CHECK(!delay_free_cycle)
       << source.node_name() << " -> " << param_owner.node_name() << "."
       << param.name() << " closes a cycle with no DelayNode in it; the "
       << "graph could never render";

@@ -1,0 +1,152 @@
+// End-to-end observability: a CollationService wired to a private
+// MetricsRegistry must move its queue-depth gauge, ingest->apply latency,
+// and WAL timing families as submissions flow through pump().
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "service/collation_service.h"
+#include "util/hash.h"
+
+namespace wafp::service {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(std::string name) : path_(std::move(name)) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+RawSubmission raw_of(std::uint32_t user, int print, std::uint64_t ts) {
+  RawSubmission raw;
+  raw.user = user;
+  raw.vector = static_cast<std::uint32_t>(fingerprint::VectorId::kAm);
+  raw.timestamp = ts;
+  raw.efp_hex = util::sha256("obs-" + std::to_string(print)).hex();
+  return raw;
+}
+
+TEST(ServiceMetricsTest, QueueDepthGaugeTracksSubmitAndPump) {
+  obs::MetricsRegistry reg;
+  ServiceConfig cfg;
+  cfg.metrics = &reg;
+  CollationService svc(cfg);
+
+  obs::Gauge& depth = reg.gauge("wafp_service_queue_depth");
+  EXPECT_EQ(depth.value(), 0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(svc.submit(raw_of(1, i, 10 + i)).reason, Reject::kNone);
+  }
+  EXPECT_EQ(depth.value(), 5);
+  EXPECT_EQ(svc.pump(2), 2u);
+  EXPECT_EQ(depth.value(), 3);
+  EXPECT_EQ(svc.pump(), 3u);
+  EXPECT_EQ(depth.value(), 0);
+}
+
+TEST(ServiceMetricsTest, IngestApplyLatencyUsesInjectedClock) {
+  obs::MetricsRegistry reg;
+  obs::ManualClock clock(1'000);
+  reg.set_clock(clock.fn());
+  ServiceConfig cfg;
+  cfg.metrics = &reg;
+  CollationService svc(cfg);
+
+  ASSERT_EQ(svc.submit(raw_of(7, 1, 1)).reason, Reject::kNone);
+  clock.advance(5'000);  // submission sits queued for exactly 5us
+  ASSERT_EQ(svc.pump(), 1u);
+
+  const auto snap =
+      reg.histogram("wafp_service_ingest_apply_ns").snapshot();
+  ASSERT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 5'000u);
+  EXPECT_EQ(reg.counter("wafp_service_applied_total").value(), 1u);
+}
+
+TEST(ServiceMetricsTest, WalTimingsAndCountersMoveDuringDurablePump) {
+  TempDir dir("obs_service_metrics_wal");
+  obs::MetricsRegistry reg;
+  ServiceConfig cfg;
+  cfg.state_dir = dir.path();
+  cfg.snapshot_every = 2;
+  cfg.metrics = &reg;
+  {
+    CollationService svc(cfg);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_EQ(svc.submit(raw_of(2, i, 100 + i)).reason, Reject::kNone);
+    }
+    ASSERT_EQ(svc.pump(), 4u);
+    EXPECT_EQ(reg.counter("wafp_wal_appends_total").value(), 4u);
+    EXPECT_EQ(reg.counter("wafp_wal_retries_total").value(), 0u);
+    EXPECT_EQ(reg.histogram("wafp_wal_append_ns").snapshot().count, 4u);
+    EXPECT_EQ(reg.histogram("wafp_wal_fsync_ns").snapshot().count, 4u);
+    // snapshot_every=2 -> at least one snapshot was taken and timed.
+    EXPECT_GE(reg.histogram("wafp_service_snapshot_ns").snapshot().count,
+              1u);
+  }
+
+  // Reconstructing on the same state_dir records the recovery counters:
+  // the destructor checkpointed, so all 4 submissions come back from the
+  // snapshot and none from the WAL.
+  obs::MetricsRegistry recovery_reg;
+  ServiceConfig recover_cfg;
+  recover_cfg.state_dir = dir.path();
+  recover_cfg.metrics = &recovery_reg;
+  CollationService recovered(recover_cfg);
+  EXPECT_EQ(
+      recovery_reg.counter("wafp_service_recovered_from_snapshot_total")
+          .value(),
+      4u);
+  EXPECT_EQ(
+      recovery_reg.counter("wafp_service_recovered_from_wal_total").value(),
+      0u);
+}
+
+TEST(ServiceMetricsTest, RetryCounterMovesWhenAppendsFail) {
+  TempDir dir("obs_service_metrics_retry");
+  obs::MetricsRegistry reg;
+  ServiceConfig cfg;
+  cfg.state_dir = dir.path();
+  cfg.metrics = &reg;
+  cfg.faults.fail_append_at = 1;  // first append fails once, then succeeds
+  cfg.sleeper = [](std::chrono::milliseconds) {};
+  CollationService svc(cfg);
+
+  ASSERT_EQ(svc.submit(raw_of(3, 1, 1)).reason, Reject::kNone);
+  ASSERT_EQ(svc.pump(), 1u);
+  EXPECT_EQ(reg.counter("wafp_wal_retries_total").value(), 1u);
+  // Only the successful attempt counts as an append, but both attempts
+  // are timed.
+  EXPECT_EQ(reg.counter("wafp_wal_appends_total").value(), 1u);
+  EXPECT_EQ(reg.histogram("wafp_wal_append_ns").snapshot().count, 2u);
+}
+
+TEST(ServiceMetricsTest, RenderTextExportsTheServiceFamilies) {
+  obs::MetricsRegistry reg;
+  ServiceConfig cfg;
+  cfg.metrics = &reg;
+  CollationService svc(cfg);
+  ASSERT_EQ(svc.submit(raw_of(9, 1, 1)).reason, Reject::kNone);
+  ASSERT_EQ(svc.pump(), 1u);
+
+  const std::string text = reg.render_text();
+  for (const char* family :
+       {"wafp_service_queue_depth", "wafp_service_ingest_apply_ns",
+        "wafp_service_applied_total", "wafp_wal_appends_total"}) {
+    EXPECT_NE(text.find(family), std::string::npos)
+        << "missing family " << family;
+  }
+}
+
+}  // namespace
+}  // namespace wafp::service

@@ -1,0 +1,124 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace wafp::obs {
+namespace {
+
+TEST(SpanTest, DepthAndPathTrackNesting) {
+  MetricsRegistry reg;
+  EXPECT_EQ(ScopedSpan::depth(), 0u);
+  EXPECT_EQ(ScopedSpan::current_path(), "");
+  {
+    ScopedSpan outer(reg, "outer");
+    EXPECT_EQ(ScopedSpan::depth(), 1u);
+    EXPECT_EQ(ScopedSpan::current_path(), "outer");
+    {
+      ScopedSpan inner(reg, "inner");
+      EXPECT_EQ(ScopedSpan::depth(), 2u);
+      EXPECT_EQ(ScopedSpan::current_path(), "outer/inner");
+    }
+    EXPECT_EQ(ScopedSpan::depth(), 1u);
+    EXPECT_EQ(ScopedSpan::current_path(), "outer");
+  }
+  EXPECT_EQ(ScopedSpan::depth(), 0u);
+  EXPECT_EQ(ScopedSpan::current_path(), "");
+}
+
+TEST(SpanTest, CaptureRecordsCompletionOrderAndPaths) {
+  MetricsRegistry reg;
+  ScopedTraceCapture capture;
+  {
+    ScopedSpan outer(reg, "collect");
+    { ScopedSpan inner(reg, "render"); }
+    { ScopedSpan inner(reg, "digest"); }
+  }
+  { ScopedSpan solo(reg, "report"); }
+  const auto& events = capture.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Inner spans complete before the outer span that contains them.
+  EXPECT_EQ(events[0].path, "collect/render");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].path, "collect/digest");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].path, "collect");
+  EXPECT_EQ(events[2].depth, 0u);
+  EXPECT_EQ(events[3].path, "report");
+  EXPECT_EQ(events[3].depth, 0u);
+}
+
+TEST(SpanTest, ManualClockGivesExactDurations) {
+  MetricsRegistry reg;
+  ManualClock clock(1'000);
+  reg.set_clock(clock.fn());
+  ScopedTraceCapture capture;
+  {
+    ScopedSpan outer(reg, "outer");  // starts at 1000
+    clock.advance(10);
+    {
+      ScopedSpan inner(reg, "inner");  // starts at 1010
+      clock.advance(5);
+    }  // ends at 1015
+    clock.advance(100);
+  }  // ends at 1115
+  const auto& events = capture.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].path, "outer/inner");
+  EXPECT_EQ(events[0].start_ns, 1'010u);
+  EXPECT_EQ(events[0].end_ns, 1'015u);
+  EXPECT_EQ(events[1].path, "outer");
+  EXPECT_EQ(events[1].start_ns, 1'000u);
+  EXPECT_EQ(events[1].end_ns, 1'115u);
+}
+
+TEST(SpanTest, ObservesIntoSpanHistogramFamily) {
+  MetricsRegistry reg;
+  ManualClock clock(0);
+  reg.set_clock(clock.fn());
+  {
+    ScopedSpan span(reg, "stage");
+    clock.advance(2'000'000);  // 2ms
+  }
+  Histogram& h =
+      reg.histogram("wafp_span_ns", "", label("span", "stage"));
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 2'000'000u);
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("wafp_span_ns_count{span=\"stage\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(SpanTest, MacroExpandsToAScopedSpan) {
+  MetricsRegistry reg;
+  ScopedTraceCapture capture;
+  {
+    WAFP_SPAN_IN(reg, "macro_stage");
+    EXPECT_EQ(ScopedSpan::depth(), 1u);
+  }
+  ASSERT_EQ(capture.events().size(), 1u);
+  EXPECT_EQ(capture.events()[0].path, "macro_stage");
+}
+
+TEST(SpanTest, NestedCapturesInnermostWins) {
+  MetricsRegistry reg;
+  ScopedTraceCapture outer_capture;
+  {
+    ScopedTraceCapture inner_capture;
+    { ScopedSpan s(reg, "only_inner_sees_this"); }
+    EXPECT_EQ(inner_capture.events().size(), 1u);
+  }
+  { ScopedSpan s(reg, "outer_sees_this"); }
+  ASSERT_EQ(outer_capture.events().size(), 1u);
+  EXPECT_EQ(outer_capture.events()[0].path, "outer_sees_this");
+}
+
+}  // namespace
+}  // namespace wafp::obs
