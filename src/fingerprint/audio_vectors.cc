@@ -74,7 +74,8 @@ class DcVector final : public AudioFingerprintVector {
   double jitter_susceptibility() const override { return 0.0; }
 
   util::Digest run(const platform::PlatformProfile& profile,
-                   const webaudio::RenderJitter& jitter) const override {
+                   const webaudio::RenderJitter& jitter,
+                   std::vector<float>* capture) const override {
     OfflineAudioContext ctx(1, kRenderFrames, kSampleRate,
                             config_for(profile, jitter));
     auto& osc = ctx.create<OscillatorNode>(OscillatorType::kTriangle);
@@ -85,10 +86,9 @@ class DcVector final : public AudioFingerprintVector {
     osc.start(0.0);
 
     const webaudio::AudioBuffer rendered = ctx.start_rendering();
-    util::Sha256 hasher;
-    hasher.update(name());
-    hasher.update(rendered.channel(0));
-    return hasher.finish();
+    DigestTap tap(name(), capture);
+    tap.write(rendered.channel(0));
+    return tap.finish();
   }
 };
 
@@ -101,7 +101,8 @@ class FftVector final : public AudioFingerprintVector {
   double jitter_susceptibility() const override { return 0.75; }
 
   util::Digest run(const platform::PlatformProfile& profile,
-                   const webaudio::RenderJitter& jitter) const override {
+                   const webaudio::RenderJitter& jitter,
+                   std::vector<float>* capture) const override {
     OfflineAudioContext ctx(1, kRenderFrames, kSampleRate,
                             config_for(profile, jitter));
     auto& osc = ctx.create<OscillatorNode>(OscillatorType::kTriangle);
@@ -117,16 +118,15 @@ class FftVector final : public AudioFingerprintVector {
     mute.connect(ctx.destination());
     osc.start(0.0);
 
-    util::Sha256 hasher;
-    hasher.update(name());
+    DigestTap tap(name(), capture);
     std::vector<float> freq(analyser.frequency_bin_count());
     script.set_on_audio_process(
         [&](std::span<const float> /*block*/, std::size_t /*frame*/) {
           analyser.get_float_frequency_data(freq);
-          hasher.update(std::span<const float>(freq));
+          tap.write(freq);
         });
     (void)ctx.start_rendering();
-    return hasher.finish();
+    return tap.finish();
   }
 };
 
@@ -137,7 +137,8 @@ class FftVector final : public AudioFingerprintVector {
 class HybridFamilyVector : public AudioFingerprintVector {
  public:
   util::Digest run(const platform::PlatformProfile& profile,
-                   const webaudio::RenderJitter& jitter) const override {
+                   const webaudio::RenderJitter& jitter,
+                   std::vector<float>* capture) const override {
     OfflineAudioContext ctx(1, kRenderFrames, kSampleRate,
                             config_for(profile, jitter));
     const std::size_t channels = signal_channels();
@@ -155,17 +156,16 @@ class HybridFamilyVector : public AudioFingerprintVector {
     script.connect(mute);
     mute.connect(ctx.destination());
 
-    util::Sha256 hasher;
-    hasher.update(name());
+    DigestTap tap(name(), capture);
     std::vector<float> freq(analyser.frequency_bin_count());
     script.set_on_audio_process(
         [&](std::span<const float> block, std::size_t /*frame*/) {
-          hasher.update(block);  // compressor output (time domain)
+          tap.write(block);  // compressor output (time domain)
           analyser.get_float_frequency_data(freq);
-          hasher.update(std::span<const float>(freq));
+          tap.write(freq);
         });
     (void)ctx.start_rendering();
-    return hasher.finish();
+    return tap.finish();
   }
 
  protected:

@@ -53,7 +53,8 @@ class FilterSweepVector final : public AudioFingerprintVector {
   double jitter_susceptibility() const override { return 1.20; }
 
   util::Digest run(const platform::PlatformProfile& profile,
-                   const webaudio::RenderJitter& jitter) const override {
+                   const webaudio::RenderJitter& jitter,
+                   std::vector<float>* capture) const override {
     OfflineAudioContext ctx(1, kRenderFrames, kSampleRate,
                             config_for(profile, jitter));
     auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSawtooth);
@@ -76,14 +77,13 @@ class FilterSweepVector final : public AudioFingerprintVector {
     mute.connect(ctx.destination());
     osc.start(0.0);
 
-    util::Sha256 hasher;
-    hasher.update(name());
+    DigestTap tap(name(), capture);
     std::vector<float> freq(analyser.frequency_bin_count());
     script.set_on_audio_process(
         [&](std::span<const float> block, std::size_t /*frame*/) {
-          hasher.update(block);
+          tap.write(block);
           analyser.get_float_frequency_data(freq);
-          hasher.update(std::span<const float>(freq));
+          tap.write(freq);
         });
     (void)ctx.start_rendering();
 
@@ -93,9 +93,9 @@ class FilterSweepVector final : public AudioFingerprintVector {
       probe[i] = static_cast<float>(50.0 * static_cast<double>(i + 1));
     }
     filter.get_frequency_response(probe, mag, phase);
-    hasher.update(std::span<const float>(mag));
-    hasher.update(std::span<const float>(phase));
-    return hasher.finish();
+    tap.write(mag);
+    tap.write(phase);
+    return tap.finish();
   }
 };
 
@@ -105,7 +105,8 @@ class DistortionVector final : public AudioFingerprintVector {
   double jitter_susceptibility() const override { return 1.30; }
 
   util::Digest run(const platform::PlatformProfile& profile,
-                   const webaudio::RenderJitter& jitter) const override {
+                   const webaudio::RenderJitter& jitter,
+                   std::vector<float>* capture) const override {
     OfflineAudioContext ctx(1, kRenderFrames, kSampleRate,
                             config_for(profile, jitter));
     auto& osc = ctx.create<OscillatorNode>(OscillatorType::kSine);
@@ -137,17 +138,16 @@ class DistortionVector final : public AudioFingerprintVector {
     mute.connect(ctx.destination());
     osc.start(0.0);
 
-    util::Sha256 hasher;
-    hasher.update(name());
+    DigestTap tap(name(), capture);
     std::vector<float> freq(analyser.frequency_bin_count());
     script.set_on_audio_process(
         [&](std::span<const float> block, std::size_t /*frame*/) {
-          hasher.update(block);
+          tap.write(block);
           analyser.get_float_frequency_data(freq);
-          hasher.update(std::span<const float>(freq));
+          tap.write(freq);
         });
     (void)ctx.start_rendering();
-    return hasher.finish();
+    return tap.finish();
   }
 };
 

@@ -6,6 +6,7 @@
 #include <array>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "platform/profile.h"
 #include "util/hash.h"
@@ -44,6 +45,34 @@ enum class VectorId {
 /// will be removed next release.
 [[nodiscard]] std::span<const VectorId> extension_vector_ids();
 
+/// Funnels a vector's characteristic output into its digest and, when a
+/// capture buffer is supplied, records the exact float stream the digest
+/// covers — in hash order. Every sample that can influence a fingerprint
+/// goes through write(), so two renders with equal digests captured equal
+/// streams, and two renders with different digests can be diffed down to
+/// the first diverging sample (see src/testing/pcm_digest.h).
+class DigestTap {
+ public:
+  DigestTap(std::string_view vector_name, std::vector<float>* capture)
+      : capture_(capture) {
+    hasher_.update(vector_name);
+  }
+
+  void write(std::span<const float> samples) {
+    hasher_.update(samples);
+    if (capture_ != nullptr) {
+      capture_->insert(capture_->end(), samples.begin(), samples.end());
+    }
+  }
+
+  /// Finalize; the tap must not be written to afterwards.
+  [[nodiscard]] util::Digest finish() { return hasher_.finish(); }
+
+ private:
+  util::Sha256 hasher_;
+  std::vector<float>* capture_;
+};
+
 /// One Web Audio fingerprinting vector: builds its audio graph on a
 /// platform-configured OfflineAudioContext, renders, and hashes the
 /// characteristic outputs.
@@ -63,9 +92,18 @@ class AudioFingerprintVector {
   /// Render the vector's graph on the given platform with the given jitter
   /// state and return the fingerprint digest. Deterministic in
   /// (profile.audio, jitter).
+  [[nodiscard]] util::Digest run(const platform::PlatformProfile& profile,
+                                 const webaudio::RenderJitter& jitter) const {
+    return run(profile, jitter, nullptr);
+  }
+
+  /// As above, additionally capturing the digested sample stream into
+  /// `capture` (append-only; pass nullptr to skip). The digest is identical
+  /// with or without capture — the conformance suite asserts it.
   [[nodiscard]] virtual util::Digest run(
       const platform::PlatformProfile& profile,
-      const webaudio::RenderJitter& jitter) const = 0;
+      const webaudio::RenderJitter& jitter,
+      std::vector<float>* capture) const = 0;
 };
 
 /// Registry lookup (objects are stateless singletons).

@@ -79,6 +79,13 @@ std::string label(std::string_view key, std::string_view value) {
   out.append(key);
   out.append("=\"");
   for (const char c : value) {
+    // Prometheus exposition format: label values escape backslash, quote,
+    // and line-feed (a raw '\n' would terminate the sample line early and
+    // corrupt the whole scrape).
+    if (c == '\n') {
+      out.append("\\n");
+      continue;
+    }
     if (c == '"' || c == '\\') out.push_back('\\');
     out.push_back(c);
   }

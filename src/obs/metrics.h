@@ -139,8 +139,9 @@ class Histogram {
   std::array<Shard, kShards> shards_;
 };
 
-/// Renders `key="value"` for use as a metric label (quotes and backslashes
-/// in `value` are escaped). Concatenate multiple labels with ','.
+/// Renders `key="value"` for use as a metric label (quotes, backslashes,
+/// and newlines in `value` are escaped per the Prometheus exposition
+/// format). Concatenate multiple labels with ','.
 [[nodiscard]] std::string label(std::string_view key, std::string_view value);
 
 class MetricsRegistry {

@@ -1,0 +1,27 @@
+#include "testing/build_stamp.h"
+
+// The three WAFP_STAMP_* macros are injected by src/testing/CMakeLists.txt
+// from the configured toolchain; the fallbacks only exist so stray direct
+// compilations still build.
+#ifndef WAFP_STAMP_COMPILER
+#define WAFP_STAMP_COMPILER "unknown"
+#endif
+#ifndef WAFP_STAMP_BUILD_TYPE
+#define WAFP_STAMP_BUILD_TYPE "unknown"
+#endif
+#ifndef WAFP_STAMP_SANITIZER
+#define WAFP_STAMP_SANITIZER "none"
+#endif
+
+namespace wafp::testing {
+
+BuildStamp BuildStamp::current() {
+  BuildStamp stamp;
+  stamp.compiler = WAFP_STAMP_COMPILER;
+  stamp.build_type = WAFP_STAMP_BUILD_TYPE;
+  stamp.sanitizer = WAFP_STAMP_SANITIZER;
+  if (stamp.sanitizer.empty()) stamp.sanitizer = "none";
+  return stamp;
+}
+
+}  // namespace wafp::testing

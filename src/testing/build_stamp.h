@@ -1,0 +1,35 @@
+// Build-configuration stamp for golden files.
+//
+// Golden vectors are only meaningful if we know what produced them: a
+// golden regenerated under -fsanitize=address or from a stray Debug build
+// would bless whatever that build happens to render. The stamp records the
+// compiler, build type, and sanitizer state at compile time (injected by
+// src/testing/CMakeLists.txt); tools/regen_goldens refuses to regenerate
+// from a dirty build, and the conformance loader verifies at load that the
+// committed goldens came from a sanitizer-clean build.
+//
+// The stamp is provenance, not a compatibility key: renders are required to
+// be bit-identical across compilers (all reference math is routed through
+// src/dsp/math_library — see testing/stacks.h), so a GCC-generated golden
+// must pass under Clang. The cross-compiler CI jobs enforce exactly that.
+#pragma once
+
+#include <string>
+
+namespace wafp::testing {
+
+struct BuildStamp {
+  std::string compiler;    // "GNU 13.2.0", "Clang 17.0.6", ...
+  std::string build_type;  // "RelWithDebInfo", "Release", ...
+  std::string sanitizer;   // "none", "address,undefined", "thread", ...
+
+  /// A build whose output is fit to become a golden: no sanitizers.
+  [[nodiscard]] bool clean() const { return sanitizer == "none"; }
+
+  friend bool operator==(const BuildStamp&, const BuildStamp&) = default;
+
+  /// The stamp of the binary asking.
+  [[nodiscard]] static BuildStamp current();
+};
+
+}  // namespace wafp::testing

@@ -1,0 +1,35 @@
+// Comparison policy for the conformance suite.
+//
+// There is exactly ONE sanctioned tolerance in this subsystem, and it is
+// reserved for floating-point *analysis metrics* (AMI, entropy, match
+// scores) whose summation order legitimately changes under metamorphic
+// transformations (permuting users reorders a sum; IEEE addition is not
+// associative). Everything hash-shaped — fingerprint digests, PCM bit
+// patterns, rolling digests, component checksums — is compared with
+// operator== and nothing else: those quantities are defined bit-exactly,
+// and a comparison that silently fell back to "close enough" would let a
+// real DSP or collation regression hide inside the tolerance.
+// tests/conformance/exact_compare_test.cc asserts both directions: a
+// one-ULP PCM change must fail the golden comparison, and the sanctioned
+// tolerance must reject anything beyond it.
+#pragma once
+
+#include <cmath>
+
+namespace wafp::testing {
+
+/// The one sanctioned tolerance: relative error bound for analysis metrics
+/// recomputed under a different (but mathematically equivalent) operation
+/// order. 1e-9 is ~1e7 ULPs of headroom for a double near 1.0 — far above
+/// reordering noise (observed < 1e-13 on the study's sizes), far below any
+/// semantically meaningful AMI/entropy difference.
+inline constexpr double kMetricRelTolerance = 1e-9;
+
+/// |a - b| <= kMetricRelTolerance * max(1, |a|, |b|). Use ONLY for analysis
+/// metrics under reordering; never for digests, checksums, or PCM.
+[[nodiscard]] inline bool metric_close(double a, double b) {
+  const double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= kMetricRelTolerance * scale;
+}
+
+}  // namespace wafp::testing

@@ -1,0 +1,198 @@
+#include "testing/graph_gen.h"
+
+#include <utility>
+#include <vector>
+
+#include "testing/pcm_digest.h"
+#include "testing/stacks.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "webaudio/analyser_node.h"
+#include "webaudio/biquad_filter_node.h"
+#include "webaudio/channel_merger_node.h"
+#include "webaudio/delay_node.h"
+#include "webaudio/dynamics_compressor_node.h"
+#include "webaudio/gain_node.h"
+#include "webaudio/offline_audio_context.h"
+#include "webaudio/oscillator_node.h"
+#include "webaudio/source_nodes.h"
+#include "webaudio/wave_shaper_node.h"
+
+namespace wafp::testing {
+
+namespace {
+
+constexpr double kSampleRate = 44100.0;
+
+using webaudio::AudioNode;
+
+/// A generated node plus the fact the merger rule cares about: whether its
+/// output bus is mono (only mono nodes may feed a ChannelMergerNode input).
+struct GenNode {
+  AudioNode* node = nullptr;
+  bool mono = true;
+};
+
+AudioNode* pick_mono(util::Rng& rng, const std::vector<GenNode>& nodes) {
+  // Sources are always created first and always mono, so this terminates.
+  for (;;) {
+    const GenNode& candidate = nodes[rng.next_below(nodes.size())];
+    if (candidate.mono) return candidate.node;
+  }
+}
+
+}  // namespace
+
+webaudio::AudioBuffer render_seeded_graph(std::uint64_t seed,
+                                          webaudio::EngineConfig config) {
+  util::Rng rng(seed);
+  webaudio::OfflineAudioContext ctx(1 + rng.next_below(2),
+                                    2048 + rng.next_below(4096), kSampleRate,
+                                    std::move(config));
+
+  std::vector<GenNode> nodes;
+
+  // Sources (all mono by construction).
+  const std::size_t num_sources = 1 + rng.next_below(3);
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    if (rng.next_bool(0.8)) {
+      auto& osc = ctx.create<webaudio::OscillatorNode>(
+          static_cast<webaudio::OscillatorType>(rng.next_below(4)));
+      osc.frequency().set_value(20.0 + rng.next_double() * 15000.0);
+      osc.start(0.0);
+      nodes.push_back({&osc, true});
+    } else {
+      auto& constant = ctx.create<webaudio::ConstantSourceNode>();
+      constant.offset().set_value(rng.next_double() * 2.0 - 1.0);
+      constant.start(0.0);
+      nodes.push_back({&constant, true});
+    }
+  }
+
+  // Processors, each connected to 1-2 already-created nodes — edges only
+  // point from earlier nodes to later ones, so the graph is acyclic by
+  // construction and the connect-time validator never fires.
+  const std::size_t num_processors = 2 + rng.next_below(9);
+  for (std::size_t i = 0; i < num_processors; ++i) {
+    GenNode gen;
+    bool connected = false;
+    switch (rng.next_below(8)) {
+      case 0: {
+        auto& gain = ctx.create<webaudio::GainNode>();
+        gain.gain().set_value(rng.next_double() * 2.0);
+        gen.node = &gain;
+        break;
+      }
+      case 1: {
+        auto& filter = ctx.create<webaudio::BiquadFilterNode>();
+        filter.set_type(
+            static_cast<webaudio::BiquadFilterType>(rng.next_below(8)));
+        filter.frequency().set_value(50.0 + rng.next_double() * 18000.0);
+        filter.q().set_value(0.5 + rng.next_double() * 10.0);
+        filter.gain().set_value(rng.next_double() * 20.0 - 10.0);
+        gen.node = &filter;
+        break;
+      }
+      case 2: {
+        auto& delay = ctx.create<webaudio::DelayNode>(0.2);
+        delay.delay_time().set_value(rng.next_double() * 0.2);
+        gen.node = &delay;
+        break;
+      }
+      case 3: {
+        auto& shaper = ctx.create<webaudio::WaveShaperNode>();
+        std::vector<float> curve(65);
+        for (std::size_t k = 0; k < curve.size(); ++k) {
+          const double x = static_cast<double>(k) / 32.0 - 1.0;
+          curve[k] = static_cast<float>(ctx.math().tanh(3.0 * x));
+        }
+        shaper.set_curve(std::move(curve));
+        shaper.set_oversample(
+            static_cast<webaudio::OverSampleType>(rng.next_below(3)));
+        gen.node = &shaper;
+        break;
+      }
+      case 4: {
+        gen.node = &ctx.create<webaudio::DynamicsCompressorNode>();
+        break;
+      }
+      case 5: {
+        gen.node = &ctx.create<webaudio::AnalyserNode>();
+        break;
+      }
+      case 6: {
+        // Merger: 2 mono lanes -> one stereo bus. Its inputs must be mono
+        // (validator rule), so draw exclusively from the mono pool.
+        auto& merger = ctx.create<webaudio::ChannelMergerNode>(2);
+        pick_mono(rng, nodes)->connect(merger, 0);
+        pick_mono(rng, nodes)->connect(merger, 1);
+        gen.node = &merger;
+        gen.mono = false;
+        connected = true;
+        break;
+      }
+      default: {
+        // Panner: mono/stereo in -> stereo out; pan gains run through the
+        // platform math library, so it also exercises portable sin/cos.
+        auto& panner = ctx.create<webaudio::StereoPannerNode>();
+        panner.pan().set_value(rng.next_double() * 2.0 - 1.0);
+        gen.node = &panner;
+        gen.mono = false;
+        break;
+      }
+    }
+    if (!connected) {
+      const std::size_t fan_in = 1 + rng.next_below(2);
+      for (std::size_t f = 0; f < fan_in; ++f) {
+        nodes[rng.next_below(nodes.size())].node->connect(*gen.node);
+      }
+    }
+    // A stereo bus occasionally gets split back to mono (channel 0 always
+    // exists, satisfying the splitter validator rule).
+    if (!gen.mono && rng.next_bool(0.5)) {
+      auto& splitter = ctx.create<webaudio::ChannelSplitterNode>(0);
+      gen.node->connect(splitter);
+      nodes.push_back({&splitter, true});
+    }
+    nodes.push_back(gen);
+  }
+
+  // Occasionally modulate a carrier frequency with a scaled early source.
+  if (rng.next_bool(0.5)) {
+    auto& mod_gain = ctx.create<webaudio::GainNode>();
+    mod_gain.gain().set_value(rng.next_double() * 50.0);
+    nodes[0].node->connect(mod_gain);
+    auto& carrier =
+        ctx.create<webaudio::OscillatorNode>(webaudio::OscillatorType::kSine);
+    carrier.frequency().set_value(440.0);
+    carrier.start(0.0);
+    mod_gain.connect(carrier.frequency());
+    carrier.connect(ctx.destination());
+  }
+
+  // Funnel the last few nodes into the destination.
+  for (std::size_t i = nodes.size() >= 3 ? nodes.size() - 3 : 0;
+       i < nodes.size(); ++i) {
+    nodes[i].node->connect(ctx.destination());
+  }
+  return ctx.start_rendering();
+}
+
+webaudio::EngineConfig portable_engine_config() {
+  const GoldenStack* stack = find_golden_stack("blink-fdlibm-radix2-ftz");
+  WAFP_CHECK(stack != nullptr);
+  return profile_for(stack->stack).make_engine_config();
+}
+
+std::uint64_t seeded_graph_digest(std::uint64_t seed) {
+  const webaudio::AudioBuffer buffer =
+      render_seeded_graph(seed, portable_engine_config());
+  std::uint64_t digest = 0;
+  for (std::size_t c = 0; c < buffer.channel_count(); ++c) {
+    digest ^= rolling_digest64(buffer.channel(c),
+                               static_cast<std::uint32_t>(c + 1));
+  }
+  return digest;
+}
+
+}  // namespace wafp::testing

@@ -1,0 +1,39 @@
+// Seeded structured Web Audio graph generator.
+//
+// Promoted from the ad-hoc generator in tests/webaudio/engine_fuzz_test.cc
+// so every suite (engine fuzz, conformance fuzz, corpus replay) draws from
+// the same distribution. The generator is random-but-valid: graphs are
+// acyclic by construction (edges only point from earlier-created nodes to
+// later ones), ChannelMergerNode inputs are always mono, and
+// ChannelSplitterNode always selects a channel its source produces — so
+// every generated graph passes the connect-time validator and renders.
+//
+// Determinism contract: the whole graph (topology, node parameters,
+// context shape) is a pure function of (seed, config). Committed corpus
+// digests additionally fix config = portable_engine_config(), which routes
+// all math through src/dsp/math_library (never host libm).
+#pragma once
+
+#include <cstdint>
+
+#include "webaudio/audio_buffer.h"
+#include "webaudio/engine_config.h"
+
+namespace wafp::testing {
+
+/// Build the graph for `seed` and render it on `config`. Throws only on
+/// engine contract violations — a throw is itself a fuzz finding.
+[[nodiscard]] webaudio::AudioBuffer render_seeded_graph(
+    std::uint64_t seed, webaudio::EngineConfig config);
+
+/// Fixed portable render platform for committed digests: fdlibm math,
+/// radix-2 FFT, flush-to-zero, no jitter. Bit-identical on every
+/// conforming host/toolchain (unlike EngineConfig::reference(), which
+/// links the host libm).
+[[nodiscard]] webaudio::EngineConfig portable_engine_config();
+
+/// rolling_digest64 over all channels of the `seed` render on the portable
+/// config — the quantity recorded in tests/conformance/corpus entries.
+[[nodiscard]] std::uint64_t seeded_graph_digest(std::uint64_t seed);
+
+}  // namespace wafp::testing

@@ -1,0 +1,126 @@
+#include "testing/pcm_digest.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace wafp::testing {
+
+namespace {
+
+/// splitmix64-style avalanche; full 64-bit mixing per lane.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+[[nodiscard]] std::uint32_t sample_bits(float v) {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t rolling_digest64(std::span<const float> samples,
+                               std::uint64_t seed) {
+  std::uint64_t h = mix64(seed ^ (samples.size() * 0x9E3779B97F4A7C15ULL));
+  for (const float v : samples) {
+    h = mix64(h ^ sample_bits(v));
+  }
+  return h;
+}
+
+PcmFingerprint fingerprint_pcm(std::span<const float> samples) {
+  PcmFingerprint fp;
+  fp.count = samples.size();
+  fp.rolling = rolling_digest64(samples);
+  const std::size_t edge =
+      std::min<std::size_t>(PcmFingerprint::kEdgeSamples, samples.size());
+  fp.head.reserve(edge);
+  fp.tail.reserve(edge);
+  for (std::size_t i = 0; i < edge; ++i) {
+    fp.head.push_back(sample_bits(samples[i]));
+    fp.tail.push_back(sample_bits(samples[samples.size() - edge + i]));
+  }
+  for (std::size_t start = 0; start < samples.size();
+       start += PcmFingerprint::kBlockSamples) {
+    const std::size_t len = std::min<std::size_t>(
+        PcmFingerprint::kBlockSamples, samples.size() - start);
+    fp.blocks.push_back(rolling_digest64(samples.subspan(start, len)));
+  }
+  return fp;
+}
+
+std::optional<PcmDivergence> diverges_from(const PcmFingerprint& golden,
+                                           std::span<const float> live) {
+  const PcmFingerprint fresh = fingerprint_pcm(live);
+  if (fresh == golden) return std::nullopt;
+
+  PcmDivergence d;
+  char buf[160];
+  if (fresh.count != golden.count) {
+    d.sample_index = std::min(fresh.count, golden.count);
+    d.exact = true;
+    std::snprintf(buf, sizeof(buf),
+                  "stream length changed: golden %llu samples, live %llu",
+                  static_cast<unsigned long long>(golden.count),
+                  static_cast<unsigned long long>(fresh.count));
+    d.detail = buf;
+    return d;
+  }
+  // Exact index inside the head window.
+  for (std::size_t i = 0; i < golden.head.size(); ++i) {
+    if (fresh.head[i] != golden.head[i]) {
+      d.sample_index = i;
+      d.exact = true;
+      std::snprintf(buf, sizeof(buf),
+                    "first diverging sample index %zu (golden bits 0x%08x, "
+                    "live bits 0x%08x)",
+                    i, golden.head[i], fresh.head[i]);
+      d.detail = buf;
+      return d;
+    }
+  }
+  // Block-resolved index in the interior. A divergence in the *final*
+  // block overlaps the tail window, so refine it to a sample-exact index
+  // there when the tail has one.
+  const std::size_t nblocks = std::min(golden.blocks.size(),
+                                       fresh.blocks.size());
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    if (fresh.blocks[b] == golden.blocks[b]) continue;
+    if (b + 1 == nblocks) {
+      for (std::size_t i = 0; i < golden.tail.size(); ++i) {
+        if (fresh.tail[i] != golden.tail[i]) {
+          d.sample_index = golden.count - golden.tail.size() + i;
+          d.exact = true;
+          std::snprintf(buf, sizeof(buf),
+                        "first diverging sample index %llu (golden bits "
+                        "0x%08x, live bits 0x%08x)",
+                        static_cast<unsigned long long>(d.sample_index),
+                        golden.tail[i], fresh.tail[i]);
+          d.detail = buf;
+          return d;
+        }
+      }
+    }
+    d.sample_index = b * PcmFingerprint::kBlockSamples;
+    d.exact = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "first diverging sample in block %zu, samples [%llu, %llu)", b,
+        static_cast<unsigned long long>(d.sample_index),
+        static_cast<unsigned long long>(
+            d.sample_index + PcmFingerprint::kBlockSamples));
+    d.detail = buf;
+    return d;
+  }
+  d.sample_index = 0;
+  d.exact = false;
+  d.detail = "rolling digest differs but no window localized it";
+  return d;
+}
+
+}  // namespace wafp::testing

@@ -1,0 +1,68 @@
+// Sample-stream digests for conformance testing.
+//
+// A fingerprint digest (SHA-256) answers "did anything change?" but not
+// *where*. The conformance suite therefore fingerprints the captured sample
+// stream at three granularities: the raw bit patterns of the first and last
+// 64 samples, a rolling 64-bit digest of the whole stream, and one rolling
+// digest per fixed-size block. Comparing a live stream against a committed
+// PcmFingerprint localizes a DSP regression to an exact sample index inside
+// the head/tail windows and to a block-sized range elsewhere — without
+// committing megabytes of raw PCM.
+//
+// All digests hash IEEE-754 bit patterns (never float values), so they are
+// exact: a one-ULP change in any sample changes the fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wafp::testing {
+
+/// Seeded xxhash-style rolling digest over float bit patterns: multiply /
+/// xor-shift avalanche per lane, deterministic on every platform. Not
+/// cryptographic — collisions only need to be unlikely, regressions are
+/// adversarial to DSP code, not to the hash.
+[[nodiscard]] std::uint64_t rolling_digest64(std::span<const float> samples,
+                                             std::uint64_t seed = 0x9E3779B9u);
+
+/// Multi-granularity digest of one captured sample stream.
+struct PcmFingerprint {
+  /// Samples per `blocks` entry.
+  static constexpr std::size_t kBlockSamples = 2048;
+  /// Raw samples kept verbatim at each end of the stream.
+  static constexpr std::size_t kEdgeSamples = 64;
+
+  std::uint64_t count = 0;    // total samples in the stream
+  std::uint64_t rolling = 0;  // rolling_digest64 over the whole stream
+  std::vector<std::uint32_t> head;    // bit patterns of first <=64 samples
+  std::vector<std::uint32_t> tail;    // bit patterns of last <=64 samples
+  std::vector<std::uint64_t> blocks;  // rolling digest per 2048-sample block
+
+  friend bool operator==(const PcmFingerprint&,
+                         const PcmFingerprint&) = default;
+};
+
+[[nodiscard]] PcmFingerprint fingerprint_pcm(std::span<const float> samples);
+
+/// Where a live stream first departs from a committed fingerprint.
+struct PcmDivergence {
+  /// First diverging sample index. Exact inside the head/tail windows
+  /// (when the final block diverges, the tail refines it to the first
+  /// mismatch the tail window can see); elsewhere the start of the first
+  /// diverging block (`exact` is false).
+  std::uint64_t sample_index = 0;
+  bool exact = false;
+  std::string detail;  // human-readable one-liner for test failures
+};
+
+/// Compare a live stream against a committed fingerprint. Returns nullopt
+/// when they agree bit-for-bit; otherwise the most precise localization the
+/// fingerprint supports. The comparison is exact by construction — there is
+/// no tolerance parameter on purpose (see testing/compare.h).
+[[nodiscard]] std::optional<PcmDivergence> diverges_from(
+    const PcmFingerprint& golden, std::span<const float> live);
+
+}  // namespace wafp::testing

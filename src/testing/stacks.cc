@@ -1,0 +1,101 @@
+#include "testing/stacks.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace wafp::testing {
+
+namespace {
+
+/// Build the four stacks once. Each models a plausible browser build family
+/// and, between them, they cover every knob class an audio render can see:
+/// math kernels, FFT algorithm + twiddle scheme, denormal policy, FMA
+/// contraction, compressor tuning, and analyser tuning.
+std::array<GoldenStack, 4> make_stacks() {
+  std::array<GoldenStack, 4> stacks;
+
+  {
+    // A mainstream Blink-flavoured build: fdlibm math, textbook radix-2
+    // FFT, FTZ render thread (the typical x86 audio-thread setting).
+    GoldenStack& s = stacks[0];
+    s.name = "blink-fdlibm-radix2-ftz";
+    s.stack.math = dsp::MathVariant::kFdlibm;
+    s.stack.fft = dsp::FftVariant::kRadix2;
+    s.stack.twiddle = dsp::TwiddleMode::kDirect;
+    s.stack.denormal = dsp::DenormalPolicy::kFlushToZero;
+    s.stack.fma_contraction = false;
+  }
+  {
+    // A Gecko-flavoured build: independent compressor tuning constants,
+    // split-radix FFT with recurrence twiddles, gradual underflow.
+    GoldenStack& s = stacks[1];
+    s.name = "gecko-fastpoly-splitradix";
+    s.stack.math = dsp::MathVariant::kFastPoly;
+    s.stack.fft = dsp::FftVariant::kSplitRadix;
+    s.stack.twiddle = dsp::TwiddleMode::kRecurrence;
+    s.stack.denormal = dsp::DenormalPolicy::kPreserve;
+    s.stack.fma_contraction = false;
+    s.stack.compressor.pre_delay_seconds = 0.0055;
+    s.stack.compressor.metering_release_seconds = 0.30;
+    s.stack.compressor.release_zone2 = 1.15;
+    s.stack.compressor.makeup_exponent = 0.58;
+    s.stack.analyser.smoothing = 0.78;
+  }
+  {
+    // An ARM-ish mobile build: table-driven math, radix-4 FFT, FMA
+    // contraction on (wide NEON MACs), coarser knee solver.
+    GoldenStack& s = stacks[2];
+    s.name = "mobile-table-radix4-fma";
+    s.stack.math = dsp::MathVariant::kTable;
+    s.stack.fft = dsp::FftVariant::kRadix4;
+    s.stack.twiddle = dsp::TwiddleMode::kDirect;
+    s.stack.denormal = dsp::DenormalPolicy::kPreserve;
+    s.stack.fma_contraction = true;
+    s.stack.compressor.knee_solver_tolerance = 1e-6;
+  }
+  {
+    // A legacy long-tail build: float-precision vectorized math kernels,
+    // Bluestein FFT, non-default Blackman window constant.
+    GoldenStack& s = stacks[3];
+    s.name = "legacy-vectorized-bluestein";
+    s.stack.math = dsp::MathVariant::kVectorized;
+    s.stack.fft = dsp::FftVariant::kBluestein;
+    s.stack.twiddle = dsp::TwiddleMode::kRecurrence;
+    s.stack.denormal = dsp::DenormalPolicy::kFlushToZero;
+    s.stack.fma_contraction = false;
+    s.stack.analyser.blackman_alpha = 0.161;
+    s.stack.analyser.smoothing = 0.82;
+    s.stack.compressor.release_zone4 = 3.45;
+  }
+
+  for (const GoldenStack& s : stacks) {
+    WAFP_CHECK(s.stack.math != dsp::MathVariant::kPrecise)
+        << "golden stack '" << std::string(s.name)
+        << "' uses host libm (kPrecise); goldens must route all reference "
+           "math through src/dsp/math_library to stay portable";
+  }
+  return stacks;
+}
+
+}  // namespace
+
+std::span<const GoldenStack> golden_stacks() {
+  static const std::array<GoldenStack, 4> stacks = make_stacks();
+  return stacks;
+}
+
+const GoldenStack* find_golden_stack(std::string_view name) {
+  for (const GoldenStack& s : golden_stacks()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+platform::PlatformProfile profile_for(const platform::AudioStack& stack) {
+  platform::PlatformProfile profile;
+  profile.audio = stack;
+  return profile;
+}
+
+}  // namespace wafp::testing

@@ -1,0 +1,39 @@
+// The golden audio stacks: fixed, named, *portable* simulated platforms.
+//
+// Golden vectors are committed to the repository and compared bit-exactly
+// on every CI machine, so the stacks they render on must be deterministic
+// across hosts AND toolchains. The one knob that is not is
+// MathVariant::kPrecise — it calls the host libm, whose sin/exp/pow kernels
+// drift across glibc releases exactly the way the paper says real browser
+// libms drift. Every golden stack therefore carries one of the from-scratch
+// math variants (fdlibm/fastpoly/table/vectorized), which route all
+// reference math through src/dsp/math_library and compute identical bits on
+// any conforming platform. golden_stacks() WAFP_CHECKs that invariant so a
+// future stack cannot silently reintroduce host-libm drift.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "platform/profile.h"
+
+namespace wafp::testing {
+
+struct GoldenStack {
+  std::string_view name;  // stable id, appears in the golden file
+  platform::AudioStack stack;
+};
+
+/// The committed conformance stacks (>= 3; all portable-math). Order is
+/// stable — golden files reference stacks by name, not index.
+[[nodiscard]] std::span<const GoldenStack> golden_stacks();
+
+/// Stack by name, or nullptr.
+[[nodiscard]] const GoldenStack* find_golden_stack(std::string_view name);
+
+/// A minimal profile carrying `stack` — the only profile fields a render
+/// can observe (asserted by tests/fingerprint/render_cache_test.cc).
+[[nodiscard]] platform::PlatformProfile profile_for(
+    const platform::AudioStack& stack);
+
+}  // namespace wafp::testing

@@ -1,0 +1,142 @@
+// Differential testing of the collation structures against brute-force
+// oracles (src/testing/oracles.h): randomized op sequences drive the
+// production structure and an O(V*E) recompute-from-scratch reference in
+// lockstep, comparing cluster counts, membership queries, and the canonical
+// component checksum at fixed checkpoints. 540 sequences total across the
+// three structures — deterministic seeds, so a divergence is a replayable
+// one-line reproducer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "collation/dynamic_connectivity.h"
+#include "collation/expiring_graph.h"
+#include "collation/fingerprint_graph.h"
+#include "testing/oracles.h"
+#include "util/rng.h"
+
+namespace wafp::testing {
+namespace {
+
+constexpr std::size_t kUnionFindSequences = 260;
+constexpr std::size_t kExpiringSequences = 160;
+constexpr std::size_t kConnectivitySequences = 120;
+constexpr std::size_t kOpsPerSequence = 120;
+constexpr std::size_t kCheckEvery = 30;
+
+TEST(CollationOracleTest, FingerprintGraphMatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= kUnionFindSequences; ++seed) {
+    const std::vector<CollationOp> ops =
+        make_op_sequence(seed, kOpsPerSequence, /*with_expiry=*/false);
+    collation::FingerprintGraph graph;
+    RefBipartiteGraph ref;
+    util::Rng probe_rng(seed ^ 0x9E3779B97F4A7C15ULL);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const CollationOp& op = ops[i];
+      graph.add_observation(op.user, test_digest(op.efp_id));
+      ref.add_observation(op.user, test_digest(op.efp_id), op.timestamp);
+      if ((i + 1) % kCheckEvery != 0 && i + 1 != ops.size()) continue;
+
+      ASSERT_EQ(graph.cluster_count(), ref.cluster_count())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(graph.user_count(), ref.active_user_count())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(graph.fingerprint_count(), ref.active_fingerprint_count())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(graph.component_checksum(), ref.component_checksum())
+          << "seed " << seed << " op " << i
+          << ": partition checksum diverged";
+      for (int probe = 0; probe < 4; ++probe) {
+        const auto a = static_cast<std::uint32_t>(probe_rng.next_below(48));
+        const auto b = static_cast<std::uint32_t>(probe_rng.next_below(48));
+        ASSERT_EQ(graph.same_cluster(a, b), ref.same_cluster(a, b))
+            << "seed " << seed << " op " << i << " users " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(CollationOracleTest, ExpiringGraphMatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= kExpiringSequences; ++seed) {
+    const std::vector<CollationOp> ops =
+        make_op_sequence(seed, kOpsPerSequence, /*with_expiry=*/true);
+    collation::ExpiringFingerprintGraph graph(/*max_nodes=*/256);
+    RefBipartiteGraph ref;
+    util::Rng probe_rng(seed ^ 0xA5A5A5A5ULL);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const CollationOp& op = ops[i];
+      if (op.kind == CollationOp::Kind::kExpire) {
+        graph.expire_before(op.timestamp);
+        ref.expire_before(op.timestamp);
+      } else {
+        graph.add_observation(op.user, test_digest(op.efp_id), op.timestamp);
+        ref.add_observation(op.user, test_digest(op.efp_id), op.timestamp);
+      }
+      if ((i + 1) % kCheckEvery != 0 && i + 1 != ops.size()) continue;
+
+      ASSERT_EQ(graph.observation_count(), ref.observation_count())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(graph.active_user_count(), ref.active_user_count())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(graph.cluster_count(), ref.cluster_count())
+          << "seed " << seed << " op " << i;
+      ASSERT_EQ(graph.live_observations(), ref.live_observations())
+          << "seed " << seed << " op " << i << ": live edge set diverged";
+      for (int probe = 0; probe < 4; ++probe) {
+        const auto a = static_cast<std::uint32_t>(probe_rng.next_below(48));
+        const auto b = static_cast<std::uint32_t>(probe_rng.next_below(48));
+        ASSERT_EQ(graph.same_cluster(a, b), ref.same_cluster(a, b))
+            << "seed " << seed << " op " << i << " users " << a << "," << b;
+      }
+    }
+  }
+}
+
+TEST(CollationOracleTest, DynamicConnectivityMatchesBruteForce) {
+  constexpr std::size_t kVertices = 48;
+  for (std::uint64_t seed = 1; seed <= kConnectivitySequences; ++seed) {
+    util::Rng rng(seed * 0x51eeb4u + 7);
+    collation::DynamicConnectivity dyn(kVertices);
+    RefConnectivity ref(kVertices);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> live_edges;
+    for (std::size_t i = 0; i < 150; ++i) {
+      // Deletions target known-live edges so they actually exercise the
+      // replacement search, not the absent-edge no-op path.
+      const bool do_delete = !live_edges.empty() && rng.next_bool(0.35);
+      if (do_delete) {
+        const std::size_t pick = rng.next_below(live_edges.size());
+        const auto [u, v] = live_edges[pick];
+        ASSERT_EQ(dyn.delete_edge(u, v), ref.delete_edge(u, v))
+            << "seed " << seed << " op " << i;
+        live_edges[pick] = live_edges.back();
+        live_edges.pop_back();
+      } else {
+        const auto u = static_cast<std::uint32_t>(rng.next_below(kVertices));
+        const auto v = static_cast<std::uint32_t>(rng.next_below(kVertices));
+        const bool inserted_ref = ref.insert_edge(u, v);
+        ASSERT_EQ(dyn.insert_edge(u, v), inserted_ref)
+            << "seed " << seed << " op " << i;
+        if (inserted_ref) live_edges.emplace_back(u, v);
+      }
+      ASSERT_EQ(dyn.edge_count(), ref.edge_count());
+      for (int probe = 0; probe < 3; ++probe) {
+        const auto a = static_cast<std::uint32_t>(rng.next_below(kVertices));
+        const auto b = static_cast<std::uint32_t>(rng.next_below(kVertices));
+        ASSERT_EQ(dyn.connected(a, b), ref.connected(a, b))
+            << "seed " << seed << " op " << i << " pair " << a << "," << b;
+      }
+      if ((i + 1) % 25 == 0 || i + 1 == 150) {
+        ASSERT_EQ(dyn.component_count(), ref.component_count())
+            << "seed " << seed << " op " << i;
+        const auto probe =
+            static_cast<std::uint32_t>(rng.next_below(kVertices));
+        ASSERT_EQ(dyn.component_size(probe), ref.component_size(probe))
+            << "seed " << seed << " op " << i << " vertex " << probe;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wafp::testing

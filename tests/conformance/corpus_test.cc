@@ -1,0 +1,74 @@
+// Corpus replay: every committed `<seed> <digest>` reproducer must render
+// to exactly its recorded digest on the portable engine config. The corpus
+// pins past fuzz findings (and a baseline seed range) so a regression that
+// only one particular topology triggers stays caught forever.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "testing/graph_gen.h"
+
+namespace wafp::testing {
+namespace {
+
+struct CorpusEntry {
+  std::string file;
+  std::uint64_t seed = 0;
+  std::uint64_t digest = 0;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  const std::string dir = std::string(WAFP_CONFORMANCE_DIR) + "/corpus";
+  std::vector<CorpusEntry> entries;
+  std::vector<std::filesystem::path> files;
+  for (const auto& item : std::filesystem::directory_iterator(dir)) {
+    if (item.path().extension() == ".corpus") files.push_back(item.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      CorpusEntry entry;
+      entry.file = path.filename().string();
+      std::istringstream fields(line);
+      std::string digest_hex;
+      if (!(fields >> entry.seed >> digest_hex) || digest_hex.size() != 16) {
+        ADD_FAILURE() << entry.file << ":" << line_no
+                      << ": malformed corpus line '" << line << "'";
+        continue;
+      }
+      entry.digest = std::stoull(digest_hex, nullptr, 16);
+      entries.push_back(entry);
+    }
+  }
+  return entries;
+}
+
+TEST(CorpusTest, EveryReproducerStillMatches) {
+  const std::vector<CorpusEntry> corpus = load_corpus();
+  ASSERT_GE(corpus.size(), 16u) << "corpus went missing or nearly empty";
+  for (const CorpusEntry& entry : corpus) {
+    const std::uint64_t live = seeded_graph_digest(entry.seed);
+    char expected[24], got[24];
+    std::snprintf(expected, sizeof(expected), "%016llx",
+                  static_cast<unsigned long long>(entry.digest));
+    std::snprintf(got, sizeof(got), "%016llx",
+                  static_cast<unsigned long long>(live));
+    EXPECT_EQ(live, entry.digest)
+        << entry.file << " seed " << entry.seed << ": expected digest "
+        << expected << ", rendered " << got;
+  }
+}
+
+}  // namespace
+}  // namespace wafp::testing

@@ -1,0 +1,117 @@
+// The comparison-policy guard (see src/testing/compare.h): hash-shaped
+// quantities are compared bit-exactly, full stop. This suite fails if any
+// layer of the conformance machinery ever became tolerant — a one-ULP
+// change in a single sample MUST flunk the PCM comparison — and pins the
+// one sanctioned tolerance to its documented bound from both sides.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/math_library.h"
+#include "testing/compare.h"
+#include "testing/pcm_digest.h"
+#include "testing/stacks.h"
+
+namespace wafp::testing {
+namespace {
+
+std::vector<float> ramp(std::size_t n) {
+  std::vector<float> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = 0.25f + 1e-4f * static_cast<float>(i);
+  }
+  return samples;
+}
+
+float one_ulp_up(float v) {
+  return std::bit_cast<float>(std::bit_cast<std::uint32_t>(v) + 1);
+}
+
+TEST(ExactCompareTest, OneUlpChangeFailsThePcmComparison) {
+  // 3 blocks worth of samples; perturb one interior sample by one ULP at a
+  // time and require a reported divergence at (or bounding) that index.
+  std::vector<float> samples = ramp(3 * PcmFingerprint::kBlockSamples);
+  const PcmFingerprint golden = fingerprint_pcm(samples);
+  ASSERT_FALSE(diverges_from(golden, samples).has_value());
+
+  const std::size_t interior = PcmFingerprint::kBlockSamples + 17;
+  samples[interior] = one_ulp_up(samples[interior]);
+  const auto divergence = diverges_from(golden, samples);
+  ASSERT_TRUE(divergence.has_value())
+      << "a one-ULP change slipped through — the comparison has gone "
+         "approximate";
+  EXPECT_FALSE(divergence->exact);
+  EXPECT_EQ(divergence->sample_index, PcmFingerprint::kBlockSamples);
+}
+
+TEST(ExactCompareTest, HeadAndTailDivergencesAreSampleExact) {
+  std::vector<float> samples = ramp(3 * PcmFingerprint::kBlockSamples);
+  const PcmFingerprint golden = fingerprint_pcm(samples);
+
+  std::vector<float> head_broken = samples;
+  head_broken[5] = one_ulp_up(head_broken[5]);
+  auto divergence = diverges_from(golden, head_broken);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_TRUE(divergence->exact);
+  EXPECT_EQ(divergence->sample_index, 5u);
+
+  std::vector<float> tail_broken = samples;
+  const std::size_t tail_index = tail_broken.size() - 3;
+  tail_broken[tail_index] = one_ulp_up(tail_broken[tail_index]);
+  divergence = diverges_from(golden, tail_broken);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_TRUE(divergence->exact);
+  EXPECT_EQ(divergence->sample_index, tail_index);
+}
+
+TEST(ExactCompareTest, LengthChangesAreDivergences) {
+  const std::vector<float> samples = ramp(4096);
+  const PcmFingerprint golden = fingerprint_pcm(samples);
+  const std::vector<float> truncated(samples.begin(), samples.end() - 1);
+  const auto divergence = diverges_from(golden, truncated);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->sample_index, truncated.size());
+}
+
+TEST(ExactCompareTest, RollingDigestSeesEveryLaneAndTheLength) {
+  const std::vector<float> samples = ramp(512);
+  const std::uint64_t base = rolling_digest64(samples);
+  std::vector<float> perturbed = samples;
+  perturbed[300] = one_ulp_up(perturbed[300]);
+  EXPECT_NE(rolling_digest64(perturbed), base);
+  // Same prefix, shorter stream: length is mixed into the seed.
+  EXPECT_NE(rolling_digest64({samples.data(), samples.size() - 1}), base);
+  // Zero vs negative zero differ in bits, so they differ in digest.
+  std::vector<float> zeros(8, 0.0f);
+  std::vector<float> negzeros(8, -0.0f);
+  EXPECT_NE(rolling_digest64(zeros), rolling_digest64(negzeros));
+}
+
+TEST(ExactCompareTest, SanctionedToleranceRejectsBeyondItsBound) {
+  // Inside: reordering-scale noise passes.
+  EXPECT_TRUE(metric_close(0.731205881, 0.731205881 + 1e-13));
+  EXPECT_TRUE(metric_close(0.0, 0.0));
+  EXPECT_TRUE(metric_close(1.0, 1.0 + 0.5 * kMetricRelTolerance));
+  // Outside: anything semantically meaningful fails.
+  EXPECT_FALSE(metric_close(1.0, 1.0 + 10.0 * kMetricRelTolerance));
+  EXPECT_FALSE(metric_close(0.73, 0.74));
+  EXPECT_FALSE(metric_close(0.0, 1e-8));
+}
+
+TEST(ExactCompareTest, GoldenStacksNeverTouchHostLibm) {
+  // Satellite guard for cross-toolchain goldens: reference math must route
+  // through src/dsp/math_library (kPrecise delegates to the host libm,
+  // whose kernels drift across glibc releases — the very drift the paper
+  // measures in browsers, and exactly what a committed golden cannot
+  // tolerate).
+  for (const GoldenStack& gs : golden_stacks()) {
+    EXPECT_NE(gs.stack.math, dsp::MathVariant::kPrecise)
+        << "stack '" << gs.name << "'";
+  }
+}
+
+}  // namespace
+}  // namespace wafp::testing

@@ -1,0 +1,144 @@
+// Golden-vector conformance: every audio fingerprint vector rendered on
+// every golden stack must match the committed digest AND the committed PCM
+// fingerprint bit-for-bit. Any DSP change — intended or not — fails here
+// with the vector, the stack, and the first diverging sample index; an
+// intended change re-blesses via `cmake --build build --target
+// regen_goldens`.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fingerprint/vector_registry.h"
+#include "testing/golden.h"
+#include "testing/stacks.h"
+
+namespace wafp::testing {
+namespace {
+
+#ifndef WAFP_CONFORMANCE_DIR
+#error "build must define WAFP_CONFORMANCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+const GoldenFile& goldens() {
+  static const GoldenFile file =
+      GoldenFile::load(std::string(WAFP_CONFORMANCE_DIR) +
+                       "/goldens/audio_vectors.golden");
+  return file;
+}
+
+std::vector<const fingerprint::VectorEntry*> audio_entries() {
+  std::vector<const fingerprint::VectorEntry*> entries;
+  for (const fingerprint::VectorEntry& entry :
+       fingerprint::VectorRegistry::instance().all()) {
+    if (entry.caps.audio) entries.push_back(&entry);
+  }
+  return entries;
+}
+
+TEST(GoldenVectorTest, FileCoversEveryVectorOnEveryStack) {
+  // Acceptance floor: all audio vectors (7 study + 2 extension) x >= 3
+  // stacks. The committed file must cover the full cross product so a
+  // skipped render can't silently shrink coverage.
+  const auto entries = audio_entries();
+  ASSERT_GE(entries.size(), 7u);
+  ASSERT_GE(golden_stacks().size(), 3u);
+  EXPECT_EQ(goldens().records.size(),
+            entries.size() * golden_stacks().size());
+  for (const GoldenStack& gs : golden_stacks()) {
+    for (const fingerprint::VectorEntry* entry : entries) {
+      EXPECT_NE(goldens().find(gs.name, entry->name), nullptr)
+          << "no golden record for stack '" << gs.name << "' vector '"
+          << entry->name << "'";
+    }
+  }
+}
+
+TEST(GoldenVectorTest, StampIsSanitizerClean) {
+  EXPECT_TRUE(goldens().stamp.clean());
+}
+
+TEST(GoldenVectorTest, EveryRenderMatchesItsGolden) {
+  for (const GoldenStack& gs : golden_stacks()) {
+    const platform::PlatformProfile profile = profile_for(gs.stack);
+    for (const fingerprint::VectorEntry* entry : audio_entries()) {
+      const GoldenRecord* rec = goldens().find(gs.name, entry->name);
+      ASSERT_NE(rec, nullptr);
+      std::vector<float> capture;
+      const util::Digest digest =
+          entry->vector->run(profile, webaudio::RenderJitter{}, &capture);
+      EXPECT_EQ(digest.hex(), rec->digest_hex)
+          << "digest changed: vector '" << entry->name << "' on stack '"
+          << gs.name << "'";
+      const auto divergence = diverges_from(rec->pcm, capture);
+      if (divergence.has_value()) {
+        ADD_FAILURE() << "PCM diverges: vector '" << entry->name
+                      << "' on stack '" << gs.name << "': "
+                      << divergence->detail;
+      }
+    }
+  }
+}
+
+TEST(GoldenVectorTest, CaptureDoesNotPerturbTheDigest) {
+  const GoldenStack& gs = golden_stacks()[0];
+  const platform::PlatformProfile profile = profile_for(gs.stack);
+  for (const fingerprint::VectorEntry* entry : audio_entries()) {
+    std::vector<float> capture;
+    const util::Digest with_capture =
+        entry->vector->run(profile, webaudio::RenderJitter{}, &capture);
+    const util::Digest without =
+        entry->vector->run(profile, webaudio::RenderJitter{});
+    EXPECT_EQ(with_capture, without) << entry->name;
+    EXPECT_FALSE(capture.empty()) << entry->name;
+  }
+}
+
+TEST(GoldenVectorTest, DcIgnoresJitterButFftDoesNot) {
+  // The committed goldens are rendered jitter-free; the paper's fickleness
+  // model says DC must still match them under jitter while the analyser
+  // path (FFT) must not (engine_config.h, RenderJitter).
+  const GoldenStack& gs = golden_stacks()[0];
+  const platform::PlatformProfile profile = profile_for(gs.stack);
+  const webaudio::RenderJitter skew{.state = 3, .chaos_seed = 0};
+
+  const auto& registry = fingerprint::VectorRegistry::instance();
+  const util::Digest dc =
+      registry.entry(fingerprint::VectorId::kDc).vector->run(profile, skew);
+  EXPECT_EQ(dc.hex(),
+            goldens().find(gs.name, "DC")->digest_hex);
+
+  const util::Digest fft =
+      registry.entry(fingerprint::VectorId::kFft).vector->run(profile, skew);
+  EXPECT_NE(fft.hex(), goldens().find(gs.name, "FFT")->digest_hex);
+}
+
+TEST(GoldenVectorTest, LoaderRejectsSanitizedStamp) {
+  const std::string dir = ::testing::TempDir();
+  GoldenFile file = goldens();
+  file.stamp.sanitizer = "address,undefined";
+  const std::string path = dir + "/sanitized.golden";
+  file.save(path);
+  EXPECT_THROW((void)GoldenFile::load(path), std::runtime_error);
+}
+
+TEST(GoldenVectorTest, LoaderRejectsMalformedInput) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/roundtrip.golden";
+  goldens().save(path);
+  const GoldenFile reloaded = GoldenFile::load(path);
+  EXPECT_EQ(reloaded.records, goldens().records);
+  EXPECT_EQ(reloaded.stamp, goldens().stamp);
+
+  // Appending an unknown key must be a hard load error, never a skip.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "record\nstack x\nvector y\nwhatever z\nend\n";
+  }
+  EXPECT_THROW((void)GoldenFile::load(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wafp::testing

@@ -1,0 +1,184 @@
+// Metamorphic checks over the study/analysis layer: properties that must
+// hold for *any* dataset, checked on a small real one. AMI and the match
+// pipeline cannot care what order users arrive in or what integers name the
+// clusters; entropy cannot grow when clusters merge; and the render cache
+// must be a pure memoization — hit, miss, and direct render all produce the
+// same digest. These are the invariances the paper's tables silently assume
+// (its user ids and cluster labels are arbitrary), made executable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "analysis/ami.h"
+#include "analysis/entropy.h"
+#include "collation/fingerprint_graph.h"
+#include "fingerprint/render_cache.h"
+#include "fingerprint/vector_registry.h"
+#include "study/dataset.h"
+#include "study/experiments.h"
+#include "testing/compare.h"
+#include "testing/stacks.h"
+#include "util/rng.h"
+
+namespace wafp::testing {
+namespace {
+
+/// One small collected dataset shared by the study-layer checks (collection
+/// renders through the cache, so 40 users cost a handful of renders).
+const study::Dataset& dataset() {
+  static const study::Dataset ds = [] {
+    study::StudyConfig config;
+    config.num_users = 40;
+    config.iterations = 5;
+    config.seed = 777;
+    config.threads = 1;
+    return study::Dataset::collect(config);
+  }();
+  return ds;
+}
+
+std::vector<std::size_t> cluster_sizes(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (int label : labels) max_label = std::max(max_label, label);
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(max_label + 1), 0);
+  for (int label : labels) ++sizes[static_cast<std::size_t>(label)];
+  return sizes;
+}
+
+TEST(MetamorphicStudyTest, AmiIsInvariantUnderUserPermutation) {
+  const study::Dataset& ds = dataset();
+  const std::vector<int> a =
+      study::collated_clustering(ds, fingerprint::VectorId::kHybrid).labels;
+  const std::vector<int> b =
+      study::collated_clustering(ds, fingerprint::VectorId::kFft).labels;
+  ASSERT_EQ(a.size(), b.size());
+  const double base_ami = analysis::adjusted_mutual_information(a, b);
+  const double base_nmi = analysis::normalized_mutual_information(a, b);
+
+  // Shuffle the *users* (the same permutation applied to both labelings):
+  // agreement between the clusterings is a property of the pairing, not of
+  // the order the users are listed in.
+  std::vector<std::size_t> perm(a.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Rng rng(20260807);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  std::vector<int> pa(a.size()), pb(b.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    pa[i] = a[perm[i]];
+    pb[i] = b[perm[i]];
+  }
+  EXPECT_TRUE(metric_close(analysis::adjusted_mutual_information(pa, pb),
+                           base_ami))
+      << "AMI moved under a user permutation";
+  EXPECT_TRUE(metric_close(analysis::normalized_mutual_information(pa, pb),
+                           base_nmi))
+      << "NMI moved under a user permutation";
+}
+
+TEST(MetamorphicStudyTest, AmiIsInvariantUnderLabelRenaming) {
+  const study::Dataset& ds = dataset();
+  const auto ca =
+      study::collated_clustering(ds, fingerprint::VectorId::kHybrid);
+  const auto cb = study::collated_clustering(ds, fingerprint::VectorId::kAm);
+  const double base_ami =
+      analysis::adjusted_mutual_information(ca.labels, cb.labels);
+
+  // Rename cluster ids through a bijection (reverse the dense range): the
+  // integers naming the clusters are arbitrary bookkeeping.
+  std::vector<int> renamed = ca.labels;
+  for (int& label : renamed) label = (ca.num_clusters - 1) - label;
+  EXPECT_TRUE(metric_close(
+      analysis::adjusted_mutual_information(renamed, cb.labels), base_ami))
+      << "AMI moved under a cluster-label renaming";
+  // Self-agreement is exactly chance-corrected 1 and survives renaming too.
+  EXPECT_TRUE(metric_close(
+      analysis::adjusted_mutual_information(ca.labels, renamed), 1.0));
+}
+
+TEST(MetamorphicStudyTest, EntropyNeverGrowsWhenClustersMerge) {
+  const study::Dataset& ds = dataset();
+  const std::vector<int> labels =
+      study::collated_clustering(ds, fingerprint::VectorId::kDc).labels;
+  std::vector<std::size_t> sizes = cluster_sizes(labels);
+  ASSERT_GE(sizes.size(), 2u)
+      << "degenerate dataset: need >= 2 clusters to merge";
+  const double base = analysis::shannon_entropy_bits(sizes);
+
+  // Making the users of two clusters indistinguishable merges the clusters;
+  // diversity must not increase, for every choice of pair.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    for (std::size_t j = i + 1; j < sizes.size(); ++j) {
+      std::vector<std::size_t> merged = sizes;
+      merged[i] += merged[j];
+      merged.erase(merged.begin() + static_cast<std::ptrdiff_t>(j));
+      const double after = analysis::shannon_entropy_bits(merged);
+      ASSERT_LE(after, base + 1e-12) << "merging clusters " << i << " and "
+                                     << j << " increased entropy";
+    }
+  }
+
+  // Cloning the whole population (every cluster size doubled) changes no
+  // proportion, hence no entropy.
+  std::vector<std::size_t> doubled = sizes;
+  for (std::size_t& s : doubled) s *= 2;
+  EXPECT_TRUE(metric_close(analysis::shannon_entropy_bits(doubled), base));
+
+  // And the normalized form is 1 exactly when everyone is unique.
+  const std::vector<std::size_t> singletons(labels.size(), 1);
+  EXPECT_TRUE(metric_close(
+      analysis::normalized_entropy(singletons, labels.size()), 1.0));
+}
+
+TEST(MetamorphicStudyTest, MatchIsInvariantUnderProbePermutation) {
+  const study::Dataset& ds = dataset();
+  const auto id = fingerprint::VectorId::kHybrid;
+  // Train on iterations [0,3), probe with [3,5) — the §3.3 split.
+  const collation::FingerprintGraph graph = study::build_graph(ds, id, 0, 3);
+  for (std::size_t user = 0; user < ds.num_users(); ++user) {
+    std::vector<util::Digest> probe;
+    for (std::uint32_t it = 3; it < ds.iterations(); ++it) {
+      probe.push_back(ds.audio_observation(user, id, it));
+    }
+    const auto forward = graph.match(probe);
+    std::reverse(probe.begin(), probe.end());
+    const auto reversed = graph.match(probe);
+    ASSERT_EQ(forward, reversed)
+        << "user " << user << ": match() depends on probe order";
+  }
+}
+
+TEST(MetamorphicStudyTest, CacheHitAndMissAndDirectRenderAgree) {
+  const GoldenStack* gs = find_golden_stack("gecko-fastpoly-splitradix");
+  ASSERT_NE(gs, nullptr);
+  const platform::PlatformProfile profile = profile_for(gs->stack);
+  fingerprint::RenderCache cache;
+  std::size_t checked = 0;
+  for (const fingerprint::VectorEntry& entry :
+       fingerprint::VectorRegistry::instance().all()) {
+    if (!entry.caps.audio) continue;
+    for (const std::uint32_t jitter_state : {0u, 3u}) {
+      const util::Digest direct = entry.vector->run(
+          profile, webaudio::RenderJitter{.state = jitter_state});
+      const util::Digest miss = cache.get(*entry.vector, profile,
+                                          jitter_state);
+      const util::Digest hit = cache.get(*entry.vector, profile,
+                                         jitter_state);
+      ASSERT_EQ(miss, direct) << entry.name << " jitter " << jitter_state
+                              << ": cache-miss render diverged";
+      ASSERT_EQ(hit, miss) << entry.name << " jitter " << jitter_state
+                           << ": cache hit returned different bits";
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 14u);  // 7 audio vectors x 2 jitter states minimum
+  EXPECT_EQ(cache.misses(), checked);
+  EXPECT_EQ(cache.hits(), checked);
+}
+
+}  // namespace
+}  // namespace wafp::testing

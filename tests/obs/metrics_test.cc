@@ -100,9 +100,17 @@ TEST(HistogramTest, EmptyHistogramReportsZeroQuantiles) {
   EXPECT_DOUBLE_EQ(h.snapshot().p99(), 0.0);
 }
 
-TEST(LabelTest, EscapesQuotesAndBackslashes) {
+TEST(LabelTest, EscapesQuotesBackslashesAndNewlines) {
   EXPECT_EQ(label("vector", "dc"), "vector=\"dc\"");
   EXPECT_EQ(label("k", "a\"b\\c"), "k=\"a\\\"b\\\\c\"");
+  // A raw '\n' in a label value would terminate the exposition line early
+  // and corrupt every sample after it; it must render as the two
+  // characters '\' 'n'.
+  EXPECT_EQ(label("k", "a\nb"), "k=\"a\\nb\"");
+  EXPECT_EQ(label("k", "\n"), "k=\"\\n\"");
+  // Compositions: an escaped quote right before a newline stays unambiguous.
+  EXPECT_EQ(label("ua", "Mozilla \"5.0\"\n\\x"),
+            "ua=\"Mozilla \\\"5.0\\\"\\n\\\\x\"");
 }
 
 TEST(RegistryTest, SameFamilyAndLabelsReturnsSameInstrument) {
@@ -153,7 +161,16 @@ constexpr std::string_view kGoldenText =
     "wafp_c_ns_bucket{le=\"200\"} 2\n"
     "wafp_c_ns_bucket{le=\"+Inf\"} 3\n"
     "wafp_c_ns_sum 450\n"
-    "wafp_c_ns_count 3\n";
+    "wafp_c_ns_count 3\n"
+    "# HELP wafp_d_total Hostile labels\n"
+    "# TYPE wafp_d_total counter\n"
+    "wafp_d_total{ua=\"Mozilla \\\"5.0\\\"\\nlike \\\\Gecko\"} 1\n"
+    "# HELP wafp_e_ns Never observed\n"
+    "# TYPE wafp_e_ns histogram\n"
+    "wafp_e_ns_bucket{le=\"100\"} 0\n"
+    "wafp_e_ns_bucket{le=\"+Inf\"} 0\n"
+    "wafp_e_ns_sum 0\n"
+    "wafp_e_ns_count 0\n";
 
 TEST(RegistryTest, TextExportMatchesGolden) {
   MetricsRegistry reg;
@@ -165,6 +182,15 @@ TEST(RegistryTest, TextExportMatchesGolden) {
   h.observe(50);
   h.observe(150);
   h.observe(250);
+  // A label value with an embedded quote, newline, and backslash must come
+  // out as one well-formed exposition line.
+  reg.counter("wafp_d_total", "Hostile labels",
+              label("ua", "Mozilla \"5.0\"\nlike \\Gecko"))
+      .inc();
+  // A registered-but-never-observed histogram still renders a complete
+  // (all-zero) bucket series.
+  const std::array<std::uint64_t, 1> bounds_e = {100};
+  reg.histogram("wafp_e_ns", "Never observed", "", bounds_e);
   EXPECT_EQ(reg.render_text(), kGoldenText);
 }
 
@@ -178,6 +204,24 @@ TEST(RegistryTest, JsonExportFlattensUnlabeledScalars) {
   EXPECT_NE(json.find("\"wafp_c_ns\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p50\": 50"), std::string::npos) << json;
+}
+
+TEST(RegistryTest, JsonExportHandlesZeroObservationHistograms) {
+  MetricsRegistry reg;
+  const std::array<std::uint64_t, 2> bounds = {100, 200};
+  reg.histogram("wafp_empty_ns", "Registered, never observed", "", bounds);
+  reg.histogram("wafp_empty_ns", "", label("vector", "dc"), bounds);
+  const std::string json = reg.render_json();
+  // Both instruments render full snapshots with zero counts and zero
+  // quantiles — not NaN, not a division blowup, not an omitted family.
+  EXPECT_NE(json.find("\"wafp_empty_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"vector=\\\"dc\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 0, \"sum\": 0, \"p50\": 0, \"p95\": 0, "
+                      "\"p99\": 0"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
 }
 
 TEST(RegistryTest, HistogramObserveIsSafeUnderContention) {

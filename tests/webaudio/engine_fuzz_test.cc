@@ -1,142 +1,42 @@
 // Robustness sweep: build random audio graphs from the full node set and
-// render them. Whatever the topology (fan-in, fan-out, chains, parameter
-// modulation), the engine must finish, produce finite samples, and stay
-// deterministic. Catches lifetime/ordering bugs no targeted test reaches.
+// render them. Whatever the topology (fan-in, fan-out, chains, mergers,
+// splitters, parameter modulation), the engine must finish, produce finite
+// samples, and stay deterministic. Catches lifetime/ordering bugs no
+// targeted test reaches.
+//
+// The graphs come from the shared conformance generator
+// (src/testing/graph_gen.h) — the same seeds render here, in the
+// conformance fuzz suite, and in the committed corpus
+// (tests/conformance/corpus/), so a failure in any of them is a one-line
+// `seed` reproducer in all of them.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <vector>
+#include <cstddef>
 
-#include "util/rng.h"
-#include "webaudio/analyser_node.h"
-#include "webaudio/biquad_filter_node.h"
-#include "webaudio/channel_merger_node.h"
-#include "webaudio/delay_node.h"
-#include "webaudio/dynamics_compressor_node.h"
-#include "webaudio/gain_node.h"
-#include "webaudio/offline_audio_context.h"
-#include "webaudio/oscillator_node.h"
-#include "webaudio/source_nodes.h"
-#include "webaudio/wave_shaper_node.h"
+#include "testing/graph_gen.h"
+#include "webaudio/audio_buffer.h"
+#include "webaudio/engine_config.h"
 
 namespace wafp::webaudio {
 namespace {
 
-constexpr double kSampleRate = 44100.0;
-
-/// Build a random graph of up to `max_nodes` processing nodes fed by a few
-/// sources, all funnelled into the destination.
-AudioBuffer render_random_graph(std::uint64_t seed) {
-  util::Rng rng(seed);
-  OfflineAudioContext ctx(1 + rng.next_below(2), 2048 + rng.next_below(4096),
-                          kSampleRate, EngineConfig::reference());
-
-  std::vector<AudioNode*> nodes;
-
-  // Sources.
-  const std::size_t num_sources = 1 + rng.next_below(3);
-  for (std::size_t i = 0; i < num_sources; ++i) {
-    if (rng.next_bool(0.8)) {
-      auto& osc = ctx.create<OscillatorNode>(static_cast<OscillatorType>(
-          rng.next_below(4)));
-      osc.frequency().set_value(20.0 + rng.next_double() * 15000.0);
-      osc.start(0.0);
-      nodes.push_back(&osc);
-    } else {
-      auto& constant = ctx.create<ConstantSourceNode>();
-      constant.offset().set_value(rng.next_double() * 2.0 - 1.0);
-      constant.start(0.0);
-      nodes.push_back(&constant);
-    }
-  }
-
-  // Processors, each connected to 1-2 already-created nodes (keeps the
-  // graph acyclic by construction).
-  const std::size_t num_processors = 2 + rng.next_below(8);
-  for (std::size_t i = 0; i < num_processors; ++i) {
-    AudioNode* node = nullptr;
-    switch (rng.next_below(6)) {
-      case 0: {
-        auto& gain = ctx.create<GainNode>();
-        gain.gain().set_value(rng.next_double() * 2.0);
-        node = &gain;
-        break;
-      }
-      case 1: {
-        auto& filter = ctx.create<BiquadFilterNode>();
-        filter.set_type(static_cast<BiquadFilterType>(rng.next_below(8)));
-        filter.frequency().set_value(50.0 + rng.next_double() * 18000.0);
-        filter.q().set_value(0.5 + rng.next_double() * 10.0);
-        filter.gain().set_value(rng.next_double() * 20.0 - 10.0);
-        node = &filter;
-        break;
-      }
-      case 2: {
-        auto& delay = ctx.create<DelayNode>(0.2);
-        delay.delay_time().set_value(rng.next_double() * 0.2);
-        node = &delay;
-        break;
-      }
-      case 3: {
-        auto& shaper = ctx.create<WaveShaperNode>();
-        std::vector<float> curve(65);
-        for (std::size_t k = 0; k < curve.size(); ++k) {
-          const float x = static_cast<float>(k) / 32.0f - 1.0f;
-          curve[k] = std::tanh(3.0f * x);
-        }
-        shaper.set_curve(std::move(curve));
-        shaper.set_oversample(
-            static_cast<OverSampleType>(rng.next_below(3)));
-        node = &shaper;
-        break;
-      }
-      case 4: {
-        node = &ctx.create<DynamicsCompressorNode>();
-        break;
-      }
-      default: {
-        node = &ctx.create<AnalyserNode>();
-        break;
-      }
-    }
-    const std::size_t fan_in = 1 + rng.next_below(2);
-    for (std::size_t f = 0; f < fan_in; ++f) {
-      nodes[rng.next_below(nodes.size())]->connect(*node);
-    }
-    nodes.push_back(node);
-  }
-
-  // Occasionally modulate a parameter with an early source.
-  if (rng.next_bool(0.5)) {
-    auto& mod_gain = ctx.create<GainNode>();
-    mod_gain.gain().set_value(rng.next_double() * 50.0);
-    nodes[0]->connect(mod_gain);
-    auto& carrier = ctx.create<OscillatorNode>(OscillatorType::kSine);
-    carrier.frequency().set_value(440.0);
-    carrier.start(0.0);
-    mod_gain.connect(carrier.frequency());
-    carrier.connect(ctx.destination());
-  }
-
-  // Funnel the last few nodes into the destination.
-  for (std::size_t i = nodes.size() >= 3 ? nodes.size() - 3 : 0;
-       i < nodes.size(); ++i) {
-    nodes[i]->connect(ctx.destination());
-  }
-  return ctx.start_rendering();
-}
-
 class EngineFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EngineFuzzTest, RandomGraphRendersFiniteAndDeterministic) {
-  const AudioBuffer first = render_random_graph(GetParam());
+  // The reference config (not the portable conformance config): this suite
+  // guards the engine itself, under the exact settings the unit tests use.
+  const AudioBuffer first =
+      testing::render_seeded_graph(GetParam(), EngineConfig::reference());
   for (std::size_t c = 0; c < first.channel_count(); ++c) {
     for (const float v : first.channel(c)) {
       ASSERT_TRUE(std::isfinite(v));
     }
   }
-  const AudioBuffer second = render_random_graph(GetParam());
+  const AudioBuffer second =
+      testing::render_seeded_graph(GetParam(), EngineConfig::reference());
   ASSERT_EQ(first.length(), second.length());
+  ASSERT_EQ(first.channel_count(), second.channel_count());
   for (std::size_t c = 0; c < first.channel_count(); ++c) {
     for (std::size_t i = 0; i < first.length(); ++i) {
       ASSERT_EQ(first.channel(c)[i], second.channel(c)[i])

@@ -1,0 +1,132 @@
+// Regenerate the committed conformance artifacts:
+//
+//   * tests/conformance/goldens/audio_vectors.golden — digest + PCM
+//     fingerprint for every audio vector on every golden stack.
+//   * tests/conformance/corpus/generator_v1.corpus — seed -> expected
+//     digest lines for the seeded graph generator on the portable config.
+//
+// Invoked via `cmake --build build --target regen_goldens`, which passes
+// the source-tree output paths. The tool refuses to run from a dirty build
+// (any sanitizer active): instrumented builds legitimately change
+// floating-point codegen, and a golden blessed by one would fail every
+// clean build. `--force` overrides for local experiments; the conformance
+// loader still rejects files stamped by a sanitized build, so a forced
+// dirty golden cannot silently pass CI.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fingerprint/vector_registry.h"
+#include "testing/build_stamp.h"
+#include "testing/golden.h"
+#include "testing/graph_gen.h"
+#include "testing/pcm_digest.h"
+#include "testing/stacks.h"
+#include "webaudio/engine_config.h"
+
+namespace {
+
+constexpr std::uint64_t kCorpusSeedBegin = 1;
+constexpr std::uint64_t kCorpusSeedEnd = 33;  // exclusive; 32 reproducers
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --goldens <path> --corpus <path> [--force]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string goldens_path;
+  std::string corpus_path;
+  bool force = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
+    } else if (std::strcmp(argv[i], "--goldens") == 0 && i + 1 < argc) {
+      goldens_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (goldens_path.empty() && corpus_path.empty()) return usage(argv[0]);
+
+  const auto stamp = wafp::testing::BuildStamp::current();
+  if (!stamp.clean()) {
+    std::fprintf(stderr,
+                 "regen_goldens: refusing to regenerate from a dirty build "
+                 "(sanitizer=%s). Reconfigure without sanitizers, or pass "
+                 "--force to write anyway (the conformance loader will still "
+                 "reject the result).\n",
+                 stamp.sanitizer.c_str());
+    if (!force) return 1;
+    std::fprintf(stderr, "regen_goldens: --force given, continuing.\n");
+  }
+  std::printf("regen_goldens: build stamp: %s / %s / %s\n",
+              stamp.compiler.c_str(), stamp.build_type.c_str(),
+              stamp.sanitizer.c_str());
+
+  if (!goldens_path.empty()) {
+    wafp::testing::GoldenFile file;
+    file.stamp = stamp;
+    const auto& registry = wafp::fingerprint::VectorRegistry::instance();
+    for (const wafp::testing::GoldenStack& gs :
+         wafp::testing::golden_stacks()) {
+      const wafp::platform::PlatformProfile profile =
+          wafp::testing::profile_for(gs.stack);
+      for (const wafp::fingerprint::VectorEntry& entry : registry.all()) {
+        if (!entry.caps.audio) continue;
+        std::vector<float> capture;
+        const wafp::util::Digest digest = entry.vector->run(
+            profile, wafp::webaudio::RenderJitter{}, &capture);
+        wafp::testing::GoldenRecord rec;
+        rec.stack = std::string(gs.name);
+        rec.vector_name = std::string(entry.name);
+        rec.digest_hex = digest.hex();
+        rec.pcm = wafp::testing::fingerprint_pcm(capture);
+        file.records.push_back(std::move(rec));
+      }
+    }
+    file.save(goldens_path);
+    std::printf("regen_goldens: wrote %zu records to %s\n",
+                file.records.size(), goldens_path.c_str());
+  }
+
+  if (!corpus_path.empty()) {
+    std::string out;
+    out +=
+        "# Seeded-graph regression corpus: one reproducer per line,\n"
+        "# `<seed> <expected digest>` where the digest is\n"
+        "# testing::seeded_graph_digest(seed) (portable engine config).\n"
+        "# Replayed by tests/conformance/corpus_test.cc. Append a line to\n"
+        "# pin any future fuzz finding; regenerate digests with the\n"
+        "# regen_goldens build target.\n";
+    for (std::uint64_t seed = kCorpusSeedBegin; seed < kCorpusSeedEnd;
+         ++seed) {
+      char line[64];
+      std::snprintf(line, sizeof(line), "%llu %016llx\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(
+                        wafp::testing::seeded_graph_digest(seed)));
+      out += line;
+    }
+    std::FILE* f = std::fopen(corpus_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(out.data(), 1, out.size(), f) != out.size() ||
+        std::fclose(f) != 0) {
+      std::fprintf(stderr, "regen_goldens: cannot write %s\n",
+                   corpus_path.c_str());
+      return 1;
+    }
+    std::printf("regen_goldens: wrote %llu corpus entries to %s\n",
+                static_cast<unsigned long long>(kCorpusSeedEnd -
+                                                kCorpusSeedBegin),
+                corpus_path.c_str());
+  }
+  return 0;
+}
