@@ -8,6 +8,7 @@
 //
 //   ./build/bench/check_bench_json FILE
 //       [--require KEY]...            top-level key must exist
+//       [--require-min KEY VALUE]     top-level key must be a number >= VALUE
 //       [--require-metric-prefix P]   "metrics" must hold >= 1 family
 //                                     whose name starts with P
 //
@@ -228,16 +229,21 @@ class JsonParser {
 int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required_keys;
+  std::vector<std::pair<std::string, double>> required_minimums;
   std::vector<std::string> metric_prefixes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
       required_keys.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--require-min") == 0 && i + 2 < argc) {
+      const char* key = argv[++i];
+      required_minimums.emplace_back(key, std::strtod(argv[++i], nullptr));
     } else if (std::strcmp(argv[i], "--require-metric-prefix") == 0 &&
                i + 1 < argc) {
       metric_prefixes.emplace_back(argv[++i]);
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr,
                    "usage: %s FILE [--require KEY]... "
+                   "[--require-min KEY VALUE]... "
                    "[--require-metric-prefix P]...\n",
                    argv[0]);
       return 2;
@@ -280,6 +286,30 @@ int main(int argc, char** argv) {
     if (!root->members.contains(key)) {
       std::fprintf(stderr, "%s: missing required key \"%s\"\n", path.c_str(),
                    key.c_str());
+      ++failures;
+    }
+  }
+
+  for (const auto& [key, minimum] : required_minimums) {
+    const auto it = root->members.find(key);
+    if (it == root->members.end()) {
+      std::fprintf(stderr, "%s: missing required key \"%s\"\n", path.c_str(),
+                   key.c_str());
+      ++failures;
+      continue;
+    }
+    if (it->second->type != JsonValue::Type::kNumber) {
+      std::fprintf(stderr, "%s: key \"%s\" is not a number\n", path.c_str(),
+                   key.c_str());
+      ++failures;
+      continue;
+    }
+    const double value = std::strtod(it->second->text.c_str(), nullptr);
+    if (!(value >= minimum)) {
+      std::fprintf(stderr, "%s: key \"%s\" = %s is below the required "
+                   "minimum %g\n",
+                   path.c_str(), key.c_str(), it->second->text.c_str(),
+                   minimum);
       ++failures;
     }
   }

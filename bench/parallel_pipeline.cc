@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fingerprint/vector_registry.h"
@@ -145,16 +146,24 @@ int main(int argc, char** argv) {
     thread_sweep = {1, 2};
   }
 
-  std::printf("parallel_pipeline: %zu users x %u iterations, hardware=%zu\n",
-              cfg.num_users, cfg.iterations, util::default_thread_count());
+  // hardware_concurrency() is the honest capacity figure for judging the
+  // sweep: a "speedup" measured with more software threads than hardware
+  // threads is timeslicing noise, not parallelism. 0 means unknown.
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf(
+      "parallel_pipeline: %zu users x %u iterations, hardware=%u "
+      "(default pool=%zu)\n",
+      cfg.num_users, cfg.iterations, hardware, util::default_thread_count());
 
   std::vector<std::pair<std::size_t, StageTimes>> runs;
   for (const std::size_t threads : thread_sweep) {
     const StageTimes t = run_pipeline(cfg, threads);
+    const bool oversubscribed = hardware != 0 && threads > hardware;
     std::printf(
-        "  threads=%zu  collect=%.3fs table1=%.3fs table2=%.3fs "
+        "  threads=%zu%s  collect=%.3fs table1=%.3fs table2=%.3fs "
         "fig5=%.3fs table6=%.3fs total=%.3fs checksum=%016llx\n",
-        threads, t.collect, t.table1, t.table2, t.fig5, t.table6, t.total(),
+        threads, oversubscribed ? " (oversubscribed)" : "", t.collect,
+        t.table1, t.table2, t.fig5, t.table6, t.total(),
         static_cast<unsigned long long>(t.checksum));
     runs.emplace_back(threads, t);
   }
@@ -167,8 +176,14 @@ int main(int argc, char** argv) {
       runs.back().second.total() > 0.0
           ? runs.front().second.total() / runs.back().second.total()
           : 0.0;
-  std::printf("  parity=%s  speedup(%zut vs 1t)=%.2fx\n",
-              parity_ok ? "ok" : "MISMATCH", runs.back().first, speedup);
+  // The headline speedup compares the max-thread run against serial; it is
+  // only a parallelism measurement when that run actually had a core per
+  // thread (and the host reported its core count at all).
+  const bool speedup_valid =
+      hardware != 0 && runs.back().first <= hardware;
+  std::printf("  parity=%s  speedup(%zut vs 1t)=%.2fx%s\n",
+              parity_ok ? "ok" : "MISMATCH", runs.back().first, speedup,
+              speedup_valid ? "" : " [invalid: oversubscribed host]");
 
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
@@ -181,22 +196,28 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"iterations\": %u,\n", cfg.iterations);
   std::fprintf(out, "  \"hardware_threads\": %zu,\n",
                util::default_thread_count());
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hardware);
   std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(out, "  \"parity_ok\": %s,\n", parity_ok ? "true" : "false");
   std::fprintf(out, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const auto& [threads, t] = runs[i];
+    const bool oversubscribed = hardware != 0 && threads > hardware;
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"collect_s\": %.6f, "
+                 "    {\"threads\": %zu, \"oversubscribed\": %s, "
+                 "\"collect_s\": %.6f, "
                  "\"table1_s\": %.6f, \"table2_s\": %.6f, \"fig5_s\": %.6f, "
                  "\"table6_s\": %.6f, \"total_s\": %.6f, "
                  "\"dataset_checksum\": \"%016llx\"}%s\n",
-                 threads, t.collect, t.table1, t.table2, t.fig5, t.table6,
-                 t.total(), static_cast<unsigned long long>(t.checksum),
+                 threads, oversubscribed ? "true" : "false", t.collect,
+                 t.table1, t.table2, t.fig5, t.table6, t.total(),
+                 static_cast<unsigned long long>(t.checksum),
                  i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out, "  \"speedup_max_threads_vs_serial\": %.4f,\n", speedup);
+  std::fprintf(out, "  \"speedup_valid\": %s,\n",
+               speedup_valid ? "true" : "false");
   // Per-stage observability block: the same registry the pipeline recorded
   // into while running (render/cache/collect histograms and counters).
   std::fprintf(out, "  \"metrics\": %s\n",

@@ -1,45 +1,87 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <numbers>
 #include <unordered_map>
 #include <vector>
 
+#include "dsp/simd.h"
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace wafp::dsp {
 namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
+// Steady-state allocation counters (see fft_counters in fft.h). Twiddle
+// builds and scratch-pool growth should happen on the first render of a
+// given graph shape and never again.
+std::atomic<std::uint64_t> g_twiddle_builds{0};
+std::atomic<std::uint64_t> g_scratch_growths{0};
+
 template <typename T>
 struct TwiddleTables {
   std::vector<T> cos;
   std::vector<T> sin;
+  // Stage-major packed twiddles for the iterative radix-2 kernel: for each
+  // stage len = 2, 4, ..., n the len/2 factors (wr, wi) with wi pre-negated,
+  // laid out contiguously so the butterfly kernel reads them linearly.
+  // Values are copies of cos/sin entries (negation is exact), so results
+  // are bit-identical to indexing cos/sin strided. Built for power-of-two
+  // sizes only; stage s (len = 2^(s+1)) starts at stage_offset[s].
+  std::vector<T> stage_wr;
+  std::vector<T> stage_wi;
+  std::vector<std::size_t> stage_offset;
 };
+
+template <typename T>
+void build_stage_tables(TwiddleTables<T>& t, std::size_t n) {
+  if (!is_power_of_two(n) || n < 2) return;
+  t.stage_wr.reserve(n - 1);
+  t.stage_wi.reserve(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t step = n / len;
+    t.stage_offset.push_back(t.stage_wr.size());
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      t.stage_wr.push_back(t.cos[k * step]);
+      t.stage_wi.push_back(-t.sin[k * step]);
+    }
+  }
+}
 
 /// Per-size twiddle tables, per precision. Double tables come from the
 /// platform math library directly. Float tables are *not* mere casts: in
 /// recurrence mode the complex-multiplication recurrence runs in float (as
 /// float FFT libraries do), so its characteristic drift is visible at float
-/// scale. Cached per engine; engines are single-thread objects.
+/// scale.
+///
+/// Thread-safe: lookups and builds run under a mutex, and entries are
+/// heap-allocated so the returned references stay valid across rehashes.
+/// This is what lets engines be shared across render threads (profile.cc
+/// memoizes one engine per (variant, twiddle mode, math) key).
 class TwiddleCache {
  public:
   TwiddleCache(std::shared_ptr<const MathLibrary> math, TwiddleMode mode)
       : math_(std::move(math)), mode_(mode) {}
 
   const TwiddleTables<double>& get_double(std::size_t n) const {
+    util::MutexLock lock(mu_);
     auto it = cache_d_.find(n);
-    if (it != cache_d_.end()) return it->second;
-    TwiddleTables<double> t;
-    t.cos.resize(n);
-    t.sin.resize(n);
+    if (it != cache_d_.end()) return *it->second;
+    auto t = std::make_unique<TwiddleTables<double>>();
+    t->cos.resize(n);
+    t->sin.resize(n);
     if (mode_ == TwiddleMode::kDirect || n < 2) {
       for (std::size_t k = 0; k < n; ++k) {
         const double phase =
             kTwoPi * static_cast<double>(k) / static_cast<double>(n);
-        t.cos[k] = math_->cos(phase);
-        t.sin[k] = math_->sin(phase);
+        t->cos[k] = math_->cos(phase);
+        t->sin[k] = math_->sin(phase);
       }
     } else {
       // w_k = w_{k-1} * w_1, re-anchored every 256 steps to bound drift.
@@ -53,29 +95,32 @@ class TwiddleCache {
           cr = math_->cos(phase);
           sr = math_->sin(phase);
         }
-        t.cos[k] = cr;
-        t.sin[k] = sr;
+        t->cos[k] = cr;
+        t->sin[k] = sr;
         const double next_c = cr * c1 - sr * s1;
         const double next_s = cr * s1 + sr * c1;
         cr = next_c;
         sr = next_s;
       }
     }
-    return cache_d_.emplace(n, std::move(t)).first->second;
+    build_stage_tables(*t, n);
+    g_twiddle_builds.fetch_add(1, std::memory_order_relaxed);
+    return *cache_d_.emplace(n, std::move(t)).first->second;
   }
 
   const TwiddleTables<float>& get_float(std::size_t n) const {
+    util::MutexLock lock(mu_);
     auto it = cache_f_.find(n);
-    if (it != cache_f_.end()) return it->second;
-    TwiddleTables<float> t;
-    t.cos.resize(n);
-    t.sin.resize(n);
+    if (it != cache_f_.end()) return *it->second;
+    auto t = std::make_unique<TwiddleTables<float>>();
+    t->cos.resize(n);
+    t->sin.resize(n);
     if (mode_ == TwiddleMode::kDirect || n < 2) {
       for (std::size_t k = 0; k < n; ++k) {
         const double phase =
             kTwoPi * static_cast<double>(k) / static_cast<double>(n);
-        t.cos[k] = static_cast<float>(math_->cos(phase));
-        t.sin[k] = static_cast<float>(math_->sin(phase));
+        t->cos[k] = static_cast<float>(math_->cos(phase));
+        t->sin[k] = static_cast<float>(math_->sin(phase));
       }
     } else {
       // Float recurrence: the drift is O(k * 2^-24) — exactly the rounding
@@ -90,15 +135,17 @@ class TwiddleCache {
           cr = static_cast<float>(math_->cos(phase));
           sr = static_cast<float>(math_->sin(phase));
         }
-        t.cos[k] = cr;
-        t.sin[k] = sr;
+        t->cos[k] = cr;
+        t->sin[k] = sr;
         const float next_c = cr * c1 - sr * s1;
         const float next_s = cr * s1 + sr * c1;
         cr = next_c;
         sr = next_s;
       }
     }
-    return cache_f_.emplace(n, std::move(t)).first->second;
+    build_stage_tables(*t, n);
+    g_twiddle_builds.fetch_add(1, std::memory_order_relaxed);
+    return *cache_f_.emplace(n, std::move(t)).first->second;
   }
 
   template <typename T>
@@ -115,11 +162,62 @@ class TwiddleCache {
  private:
   std::shared_ptr<const MathLibrary> math_;
   TwiddleMode mode_;
-  mutable std::unordered_map<std::size_t, TwiddleTables<double>> cache_d_;
-  mutable std::unordered_map<std::size_t, TwiddleTables<float>> cache_f_;
+  mutable util::Mutex mu_;
+  mutable std::unordered_map<std::size_t,
+                             std::unique_ptr<TwiddleTables<double>>>
+      cache_d_ WAFP_GUARDED_BY(mu_);
+  mutable std::unordered_map<std::size_t,
+                             std::unique_ptr<TwiddleTables<float>>>
+      cache_f_ WAFP_GUARDED_BY(mu_);
 };
 
+/// --- Per-thread recursion scratch ---------------------------------------
+
+/// Reusable buffers for the recursive kernels, slotted by recursion depth so
+/// nested levels never alias. After the first transform of a given size the
+/// render loop runs allocation-free (verified by the fft_counters hook).
+template <typename T>
+class ScratchPool {
+ public:
+  /// Returns a span over the slot's storage. Deeper recursion levels may
+  /// grow `buffers_` itself, which moves the inner vector objects — so
+  /// callers get a span over the (stable) heap data, never a reference to
+  /// the vector.
+  std::span<T> get(std::size_t slot, std::size_t size) {
+    if (slot >= buffers_.size()) buffers_.resize(slot + 1);
+    auto& b = buffers_[slot];
+    if (b.capacity() < size) {
+      g_scratch_growths.fetch_add(1, std::memory_order_relaxed);
+    }
+    b.resize(size);
+    return std::span<T>(b.data(), size);
+  }
+
+ private:
+  std::vector<std::vector<T>> buffers_;
+};
+
+template <typename T>
+ScratchPool<T>& tls_scratch() {
+  thread_local ScratchPool<T> pool;
+  return pool;
+}
+
+// Recursion slot layout: up to kSlotsPerLevel buffers per depth.
+constexpr std::size_t kSlotsPerLevel = 6;
+
 /// --- Algorithm kernels, templated over the scalar type ------------------
+
+template <typename T>
+void butterfly_stage(T* re, T* im, std::size_t half, const T* wr,
+                     const T* wi) {
+  const SimdOps& ops = simd_ops();
+  if constexpr (std::is_same_v<T, float>) {
+    ops.butterfly_f32(re, im, half, wr, wi);
+  } else {
+    ops.butterfly_f64(re, im, half, wr, wi);
+  }
+}
 
 template <typename T>
 void radix2_forward(std::span<T> re, std::span<T> im,
@@ -138,28 +236,23 @@ void radix2_forward(std::span<T> re, std::span<T> im,
     }
   }
 
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t step = n / len;
+  // Stage-major packed twiddles + the SIMD butterfly kernel. Arithmetic is
+  // identical to the classic triple loop (the kernel mirrors it op-for-op
+  // and the packed factors are exact copies), just executed lane-parallel.
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++stage) {
+    const std::size_t half = len / 2;
+    const T* wr = tw.stage_wr.data() + tw.stage_offset[stage];
+    const T* wi = tw.stage_wi.data() + tw.stage_offset[stage];
     for (std::size_t base = 0; base < n; base += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const T wr = tw.cos[k * step];
-        const T wi = -tw.sin[k * step];
-        const std::size_t a = base + k;
-        const std::size_t b = base + k + len / 2;
-        const T tr = re[b] * wr - im[b] * wi;
-        const T ti = re[b] * wi + im[b] * wr;
-        re[b] = re[a] - tr;
-        im[b] = im[a] - ti;
-        re[a] += tr;
-        im[a] += ti;
-      }
+      butterfly_stage(re.data() + base, im.data() + base, half, wr, wi);
     }
   }
 }
 
 template <typename T>
 void radix4_recurse(std::span<T> re, std::span<T> im,
-                    const TwiddleCache& twiddles) {
+                    const TwiddleCache& twiddles, std::size_t depth = 0) {
   const std::size_t n = re.size();
   if (n <= 1) return;
   if (n == 2) {
@@ -172,20 +265,22 @@ void radix4_recurse(std::span<T> re, std::span<T> im,
   }
 
   const auto& tw = twiddles.get<T>(n);
+  ScratchPool<T>& pool = tls_scratch<T>();
   if (n % 4 != 0) {
     // Radix-2 split for sizes 2 * odd-power-of-two.
     const std::size_t h = n / 2;
-    std::vector<T> sub_re(n), sub_im(n);
+    const std::span<T> sub_re = pool.get(depth * kSlotsPerLevel + 0, n);
+    const std::span<T> sub_im = pool.get(depth * kSlotsPerLevel + 1, n);
     for (std::size_t m = 0; m < h; ++m) {
       sub_re[m] = re[2 * m];
       sub_im[m] = im[2 * m];
       sub_re[h + m] = re[2 * m + 1];
       sub_im[h + m] = im[2 * m + 1];
     }
-    radix4_recurse(std::span(sub_re).subspan(0, h),
-                   std::span(sub_im).subspan(0, h), twiddles);
-    radix4_recurse(std::span(sub_re).subspan(h, h),
-                   std::span(sub_im).subspan(h, h), twiddles);
+    radix4_recurse(sub_re.subspan(0, h), sub_im.subspan(0, h), twiddles,
+                   depth + 1);
+    radix4_recurse(sub_re.subspan(h, h), sub_im.subspan(h, h), twiddles,
+                   depth + 1);
     for (std::size_t k = 0; k < h; ++k) {
       const T wr = tw.cos[k];
       const T wi = -tw.sin[k];
@@ -200,7 +295,8 @@ void radix4_recurse(std::span<T> re, std::span<T> im,
   }
 
   const std::size_t q = n / 4;
-  std::vector<T> sub_re(n), sub_im(n);
+  const std::span<T> sub_re = pool.get(depth * kSlotsPerLevel + 0, n);
+  const std::span<T> sub_im = pool.get(depth * kSlotsPerLevel + 1, n);
   for (std::size_t j = 0; j < 4; ++j) {
     for (std::size_t m = 0; m < q; ++m) {
       sub_re[j * q + m] = re[4 * m + j];
@@ -208,8 +304,8 @@ void radix4_recurse(std::span<T> re, std::span<T> im,
     }
   }
   for (std::size_t j = 0; j < 4; ++j) {
-    radix4_recurse(std::span(sub_re).subspan(j * q, q),
-                   std::span(sub_im).subspan(j * q, q), twiddles);
+    radix4_recurse(sub_re.subspan(j * q, q), sub_im.subspan(j * q, q),
+                   twiddles, depth + 1);
   }
   for (std::size_t k = 0; k < q; ++k) {
     // t_j = W_n^{jk} * S_j[k]
@@ -237,7 +333,8 @@ void radix4_recurse(std::span<T> re, std::span<T> im,
 
 template <typename T>
 void split_radix_recurse(std::span<T> re, std::span<T> im,
-                         const TwiddleCache& twiddles) {
+                         const TwiddleCache& twiddles,
+                         std::size_t depth = 0) {
   const std::size_t n = re.size();
   if (n <= 1) return;
   if (n == 2) {
@@ -252,7 +349,13 @@ void split_radix_recurse(std::span<T> re, std::span<T> im,
   const std::size_t q = n / 4;
 
   // u = x[2m], z = x[4m+1], zp = x[4m+3]
-  std::vector<T> u_re(h), u_im(h), z_re(q), z_im(q), zp_re(q), zp_im(q);
+  ScratchPool<T>& pool = tls_scratch<T>();
+  const std::span<T> u_re = pool.get(depth * kSlotsPerLevel + 0, h);
+  const std::span<T> u_im = pool.get(depth * kSlotsPerLevel + 1, h);
+  const std::span<T> z_re = pool.get(depth * kSlotsPerLevel + 2, q);
+  const std::span<T> z_im = pool.get(depth * kSlotsPerLevel + 3, q);
+  const std::span<T> zp_re = pool.get(depth * kSlotsPerLevel + 4, q);
+  const std::span<T> zp_im = pool.get(depth * kSlotsPerLevel + 5, q);
   for (std::size_t m = 0; m < h; ++m) {
     u_re[m] = re[2 * m];
     u_im[m] = im[2 * m];
@@ -263,9 +366,9 @@ void split_radix_recurse(std::span<T> re, std::span<T> im,
     zp_re[m] = re[4 * m + 3];
     zp_im[m] = im[4 * m + 3];
   }
-  split_radix_recurse(std::span<T>(u_re), std::span<T>(u_im), twiddles);
-  split_radix_recurse(std::span<T>(z_re), std::span<T>(z_im), twiddles);
-  split_radix_recurse(std::span<T>(zp_re), std::span<T>(zp_im), twiddles);
+  split_radix_recurse(u_re, u_im, twiddles, depth + 1);
+  split_radix_recurse(z_re, z_im, twiddles, depth + 1);
+  split_radix_recurse(zp_re, zp_im, twiddles, depth + 1);
 
   const auto& tw = twiddles.get<T>(n);
   for (std::size_t k = 0; k < q; ++k) {
@@ -312,7 +415,9 @@ void bluestein_forward(std::span<T> re, std::span<T> im,
 
   // Chirp w_k = exp(-i*pi*k^2/n); phases use k^2 mod 2n to stay accurate.
   const MathLibrary& math = twiddles.math();
-  std::vector<T> wr(n), wi(n);
+  ScratchPool<T>& pool = tls_scratch<T>();
+  const std::span<T> wr = pool.get(0, n);
+  const std::span<T> wi = pool.get(1, n);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t k2 = (k * k) % (2 * n);
     const double phase =
@@ -321,15 +426,22 @@ void bluestein_forward(std::span<T> re, std::span<T> im,
     wi[k] = static_cast<T>(-math.sin(phase));
   }
 
-  // a_k = x_k * w_k, padded to m.
-  std::vector<T> ar(m, T{0}), ai(m, T{0});
+  // a_k = x_k * w_k, padded to m. Pool memory is reused, so the padding
+  // zeros are written explicitly.
+  const std::span<T> ar = pool.get(2, m);
+  const std::span<T> ai = pool.get(3, m);
+  std::fill(ar.begin() + static_cast<std::ptrdiff_t>(n), ar.end(), T{0});
+  std::fill(ai.begin() + static_cast<std::ptrdiff_t>(n), ai.end(), T{0});
   for (std::size_t k = 0; k < n; ++k) {
     ar[k] = re[k] * wr[k] - im[k] * wi[k];
     ai[k] = re[k] * wi[k] + im[k] * wr[k];
   }
 
   // b_k = conj(w_k), arranged circularly so b[-k] lands at m-k.
-  std::vector<T> br(m, T{0}), bi(m, T{0});
+  const std::span<T> br = pool.get(4, m);
+  const std::span<T> bi = pool.get(5, m);
+  std::fill(br.begin(), br.end(), T{0});
+  std::fill(bi.begin(), bi.end(), T{0});
   br[0] = wr[0];
   bi[0] = -wi[0];
   for (std::size_t k = 1; k < n; ++k) {
@@ -340,8 +452,8 @@ void bluestein_forward(std::span<T> re, std::span<T> im,
   }
 
   const auto& core_tw = twiddles.get<T>(m);
-  radix2_forward(std::span<T>(ar), std::span<T>(ai), core_tw);
-  radix2_forward(std::span<T>(br), std::span<T>(bi), core_tw);
+  radix2_forward(ar, ai, core_tw);
+  radix2_forward(br, bi, core_tw);
   for (std::size_t k = 0; k < m; ++k) {
     const T cr = ar[k] * br[k] - ai[k] * bi[k];
     const T ci = ar[k] * bi[k] + ai[k] * br[k];
@@ -349,7 +461,7 @@ void bluestein_forward(std::span<T> re, std::span<T> im,
     ai[k] = ci;
   }
   // Inverse core via the swap trick.
-  radix2_forward(std::span<T>(ai), std::span<T>(ar), core_tw);
+  radix2_forward(ai, ar, core_tw);
   const T scale = T{1} / static_cast<T>(m);
   for (std::size_t k = 0; k < m; ++k) {
     ar[k] *= scale;
@@ -483,15 +595,22 @@ void FftEngine::inverse(std::span<double> re, std::span<double> im) const {
   // imaginary parts.
   forward(im, re);
   const double scale = 1.0 / static_cast<double>(re.size());
-  for (double& v : re) v *= scale;
-  for (double& v : im) v *= scale;
+  const SimdOps& ops = simd_ops();
+  ops.vscale_f64(re.data(), scale, re.size());
+  ops.vscale_f64(im.data(), scale, im.size());
 }
 
 void FftEngine::inverse(std::span<float> re, std::span<float> im) const {
   forward(im, re);
   const float scale = 1.0f / static_cast<float>(re.size());
-  for (float& v : re) v *= scale;
-  for (float& v : im) v *= scale;
+  const SimdOps& ops = simd_ops();
+  ops.vscale_f32(re.data(), scale, re.size());
+  ops.vscale_f32(im.data(), scale, im.size());
+}
+
+FftCounters fft_counters() {
+  return {g_twiddle_builds.load(std::memory_order_relaxed),
+          g_scratch_growths.load(std::memory_order_relaxed)};
 }
 
 std::unique_ptr<FftEngine> make_fft_engine(

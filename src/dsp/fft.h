@@ -14,6 +14,7 @@
 // what the fingerprint hash sees.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -42,7 +43,9 @@ enum class TwiddleMode { kDirect, kRecurrence };
 
 /// A complex FFT engine. Engines are constructed against a MathLibrary so
 /// that even the twiddle factors inherit the platform's libm flavour.
-/// Engines cache twiddle tables per size; they are not thread-safe.
+/// Engines cache twiddle tables per size under an internal mutex and keep
+/// recursion scratch in thread-local pools, so a single engine may be
+/// shared across render threads.
 class FftEngine {
  public:
   virtual ~FftEngine() = default;
@@ -84,5 +87,16 @@ void naive_dft(std::span<const double> in_re, std::span<const double> in_im,
 [[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
   return n > 0 && (n & (n - 1)) == 0;
 }
+
+/// Process-wide allocation telemetry for the render hot path: twiddle-table
+/// builds and recursion scratch-pool growths. Both should settle after the
+/// first render of a graph shape; the allocation-audit test asserts the
+/// steady state stays at zero deltas.
+struct FftCounters {
+  std::uint64_t twiddle_builds;
+  std::uint64_t scratch_growths;
+};
+
+[[nodiscard]] FftCounters fft_counters();
 
 }  // namespace wafp::dsp

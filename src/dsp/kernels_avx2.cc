@@ -1,0 +1,463 @@
+// AVX2+FMA backend: 8-wide float / 4-wide double kernels, plus vectorized
+// fma-scheme transcendentals. Compiled with -mavx2 -mfma -ffp-contract=off
+// on x86; on other architectures this TU degrades to the scalar table.
+//
+// Bit-identity notes: transparent kernels use only single-rounding
+// instructions and never fuse (all fusion here is the *explicit* vfmadd
+// family, which equals libm's correctly-rounded fma/fmaf). The scheme
+// transcendentals mirror the portable bodies in kernels_internal.h
+// operation-for-operation: vroundpd == nearbyint (round-half-even),
+// vfnmadd(k,c,x) == fma(-k,c,x), the 2^k scale is built from the same
+// exponent bits, and quadrant selection goes through the same compare
+// structure — so each lane equals the scalar reference exactly. Inputs
+// outside a kernel's vector fast path (non-finite, out-of-range) fall back
+// to the reference loop for that block, byte-for-byte by construction.
+#include "dsp/kernels_internal.h"
+#include "dsp/simd_tables.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+
+namespace wafp::dsp::simd_detail {
+namespace {
+
+[[nodiscard]] inline __m256 abs_mask_ps() {
+  return _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+}
+
+[[nodiscard]] inline __m256d abs_mask_pd() {
+  return _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+}
+
+[[nodiscard]] inline __m256d sign_mask_pd() {
+  return _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL)));
+}
+
+void mul_f32_avx2(float* dst, const float* a, const float* b,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  mul_f32_ref(dst + i, a + i, b + i, n - i);
+}
+
+void add_f32_avx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                            _mm256_loadu_ps(src + i)));
+  }
+  add_f32_ref(dst + i, src + i, n - i);
+}
+
+void mac_f32_avx2(float* dst, const float* src, float k, std::size_t n) {
+  const __m256 vk = _mm256_set1_ps(k);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // Two roundings on purpose: the reference is unfused dst += src*k.
+    const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(src + i), vk);
+    _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), prod));
+  }
+  mac_f32_ref(dst + i, src + i, k, n - i);
+}
+
+void scale_f32_avx2(float* dst, float k, std::size_t n) {
+  const __m256 vk = _mm256_set1_ps(k);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i), vk));
+  }
+  scale_f32_ref(dst + i, k, n - i);
+}
+
+void scale_f64_avx2(double* dst, double k, std::size_t n) {
+  const __m256d vk = _mm256_set1_pd(k);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(_mm256_loadu_pd(dst + i), vk));
+  }
+  scale_f64_ref(dst + i, k, n - i);
+}
+
+void abs_f32_avx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask_ps()));
+  }
+  abs_f32_ref(dst + i, src + i, n - i);
+}
+
+void abs_max_f32_avx2(float* acc, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 a = _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask_ps());
+    _mm256_storeu_ps(acc + i, _mm256_max_ps(a, _mm256_loadu_ps(acc + i)));
+  }
+  abs_max_f32_ref(acc + i, src + i, n - i);
+}
+
+float max_abs_f32_avx2(const float* src, std::size_t n) {
+  __m256 vmax = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vmax = _mm256_max_ps(
+        _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask_ps()), vmax);
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vmax);
+  float m = lanes[0];
+  for (int l = 1; l < 8; ++l) {
+    if (lanes[l] > m) m = lanes[l];
+  }
+  const float tail = max_abs_f32_ref(src + i, n - i);
+  return tail > m ? tail : m;
+}
+
+void window_f32_avx2(float* dst, const double* block, const double* window,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 b = _mm256_set_m128(
+        _mm256_cvtpd_ps(_mm256_loadu_pd(block + i + 4)),
+        _mm256_cvtpd_ps(_mm256_loadu_pd(block + i)));
+    const __m256 w = _mm256_set_m128(
+        _mm256_cvtpd_ps(_mm256_loadu_pd(window + i + 4)),
+        _mm256_cvtpd_ps(_mm256_loadu_pd(window + i)));
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(b, w));
+  }
+  window_f32_ref(dst + i, block + i, window + i, n - i);
+}
+
+void mag_f32_avx2(float* dst, const float* re, const float* im, float scale,
+                  bool fused, std::size_t n) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  if (fused) {
+    for (; i + 8 <= n; i += 8) {
+      const __m256 r = _mm256_loadu_ps(re + i);
+      const __m256 m = _mm256_loadu_ps(im + i);
+      const __m256 sum = _mm256_fmadd_ps(r, r, _mm256_mul_ps(m, m));
+      _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_sqrt_ps(sum), vscale));
+    }
+  } else {
+    for (; i + 8 <= n; i += 8) {
+      const __m256 r = _mm256_loadu_ps(re + i);
+      const __m256 m = _mm256_loadu_ps(im + i);
+      const __m256 sum = _mm256_add_ps(_mm256_mul_ps(r, r), _mm256_mul_ps(m, m));
+      _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_sqrt_ps(sum), vscale));
+    }
+  }
+  mag_f32_ref(dst + i, re + i, im + i, scale, fused, n - i);
+}
+
+void smooth_f32_avx2(float* smoothed, const float* mag, float tau,
+                     float one_minus_tau, std::size_t n) {
+  const __m256 vtau = _mm256_set1_ps(tau);
+  const __m256 vomt = _mm256_set1_ps(one_minus_tau);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_mul_ps(vtau, _mm256_loadu_ps(smoothed + i));
+    const __m256 m = _mm256_mul_ps(vomt, _mm256_loadu_ps(mag + i));
+    _mm256_storeu_ps(smoothed + i, _mm256_add_ps(s, m));
+  }
+  smooth_f32_ref(smoothed + i, mag + i, tau, one_minus_tau, n - i);
+}
+
+void butterfly_f32_avx2(float* re, float* im, std::size_t half,
+                        const float* wr, const float* wi) {
+  std::size_t k = 0;
+  for (; k + 8 <= half; k += 8) {
+    const __m256 br = _mm256_loadu_ps(re + half + k);
+    const __m256 bi = _mm256_loadu_ps(im + half + k);
+    const __m256 cr = _mm256_loadu_ps(wr + k);
+    const __m256 ci = _mm256_loadu_ps(wi + k);
+    const __m256 tr =
+        _mm256_sub_ps(_mm256_mul_ps(br, cr), _mm256_mul_ps(bi, ci));
+    const __m256 ti =
+        _mm256_add_ps(_mm256_mul_ps(br, ci), _mm256_mul_ps(bi, cr));
+    const __m256 ar = _mm256_loadu_ps(re + k);
+    const __m256 ai = _mm256_loadu_ps(im + k);
+    _mm256_storeu_ps(re + half + k, _mm256_sub_ps(ar, tr));
+    _mm256_storeu_ps(im + half + k, _mm256_sub_ps(ai, ti));
+    _mm256_storeu_ps(re + k, _mm256_add_ps(ar, tr));
+    _mm256_storeu_ps(im + k, _mm256_add_ps(ai, ti));
+  }
+  for (; k < half; ++k) {
+    const float tr = re[half + k] * wr[k] - im[half + k] * wi[k];
+    const float ti = re[half + k] * wi[k] + im[half + k] * wr[k];
+    re[half + k] = re[k] - tr;
+    im[half + k] = im[k] - ti;
+    re[k] += tr;
+    im[k] += ti;
+  }
+}
+
+void butterfly_f64_avx2(double* re, double* im, std::size_t half,
+                        const double* wr, const double* wi) {
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m256d br = _mm256_loadu_pd(re + half + k);
+    const __m256d bi = _mm256_loadu_pd(im + half + k);
+    const __m256d cr = _mm256_loadu_pd(wr + k);
+    const __m256d ci = _mm256_loadu_pd(wi + k);
+    const __m256d tr =
+        _mm256_sub_pd(_mm256_mul_pd(br, cr), _mm256_mul_pd(bi, ci));
+    const __m256d ti =
+        _mm256_add_pd(_mm256_mul_pd(br, ci), _mm256_mul_pd(bi, cr));
+    const __m256d ar = _mm256_loadu_pd(re + k);
+    const __m256d ai = _mm256_loadu_pd(im + k);
+    _mm256_storeu_pd(re + half + k, _mm256_sub_pd(ar, tr));
+    _mm256_storeu_pd(im + half + k, _mm256_sub_pd(ai, ti));
+    _mm256_storeu_pd(re + k, _mm256_add_pd(ar, tr));
+    _mm256_storeu_pd(im + k, _mm256_add_pd(ai, ti));
+  }
+  for (; k < half; ++k) {
+    const double tr = re[half + k] * wr[k] - im[half + k] * wi[k];
+    const double ti = re[half + k] * wi[k] + im[half + k] * wr[k];
+    re[half + k] = re[k] - tr;
+    im[half + k] = im[k] - ti;
+    re[k] += tr;
+    im[k] += ti;
+  }
+}
+
+// --- Vectorized fma-scheme transcendentals --------------------------------
+
+struct TrigParts {
+  __m256d q;
+  __m256d sin_r;
+  __m256d cos_r;
+};
+
+[[nodiscard]] inline TrigParts trig_parts(__m256d x) {
+  const __m256d k = _mm256_round_pd(
+      _mm256_mul_pd(x, _mm256_set1_pd(kTwoOverPi)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kPio2Hi), x);
+  r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kPio2Lo), r);
+  const __m256d z = _mm256_mul_pd(r, r);
+
+  __m256d p = _mm256_set1_pd(kS6);
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kS5));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kS4));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kS3));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kS2));
+  p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kS1));
+  const __m256d sin_r = _mm256_fmadd_pd(_mm256_mul_pd(r, z), p, r);
+
+  __m256d pc = _mm256_set1_pd(kC6);
+  pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(kC5));
+  pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(kC4));
+  pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(kC3));
+  pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(kC2));
+  pc = _mm256_fmadd_pd(pc, z, _mm256_set1_pd(kC1));
+  const __m256d base = _mm256_sub_pd(
+      _mm256_set1_pd(1.0), _mm256_mul_pd(_mm256_set1_pd(0.5), z));
+  const __m256d cos_r = _mm256_fmadd_pd(_mm256_mul_pd(z, z), pc, base);
+
+  const __m256d q = _mm256_sub_pd(
+      k, _mm256_mul_pd(_mm256_set1_pd(4.0),
+                       _mm256_floor_pd(
+                           _mm256_mul_pd(k, _mm256_set1_pd(0.25)))));
+  return {q, sin_r, cos_r};
+}
+
+// Non-finite lanes would produce NaNs whose payload/sign depends on which
+// fma instruction form propagates them; route those blocks to the reference.
+[[nodiscard]] inline bool all_lanes_finite(__m256d v) {
+  const __m256d ok = _mm256_cmp_pd(_mm256_and_pd(v, abs_mask_pd()),
+                                   _mm256_set1_pd(HUGE_VAL), _CMP_LT_OQ);
+  return _mm256_movemask_pd(ok) == 0xF;
+}
+
+// Vector mirror of lane_squeeze(): arguments in float's normal finite range
+// round through a float lane (cvtpd2ps/cvtps2pd is the same IEEE rounding
+// as the scalar cast), everything else passes through via the blend.
+[[nodiscard]] inline __m256d lane_squeeze_pd(__m256d v) {
+  const __m256d av = _mm256_and_pd(v, abs_mask_pd());
+  const __m256d in_range = _mm256_and_pd(
+      _mm256_cmp_pd(av, _mm256_set1_pd(kLaneFloatMin), _CMP_GE_OQ),
+      _mm256_cmp_pd(av, _mm256_set1_pd(kLaneFloatMax), _CMP_LE_OQ));
+  const __m256d rounded = _mm256_cvtps_pd(_mm256_cvtpd_ps(v));
+  return _mm256_blendv_pd(v, rounded, in_range);
+}
+
+void sin_fma_avx2(const double* x, double* out, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d three = _mm256_set1_pd(3.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    if (!all_lanes_finite(vx)) {
+      sin_fma_ref(x + i, out + i, 4);
+      continue;
+    }
+    const TrigParts t = trig_parts(lane_squeeze_pd(vx));
+    const __m256d use_cos =
+        _mm256_or_pd(_mm256_cmp_pd(t.q, one, _CMP_EQ_OQ),
+                     _mm256_cmp_pd(t.q, three, _CMP_EQ_OQ));
+    const __m256d v = _mm256_blendv_pd(t.sin_r, t.cos_r, use_cos);
+    const __m256d neg = _mm256_cmp_pd(t.q, two, _CMP_GE_OQ);
+    _mm256_storeu_pd(out + i,
+                     _mm256_xor_pd(v, _mm256_and_pd(neg, sign_mask_pd())));
+  }
+  sin_fma_ref(x + i, out + i, n - i);
+}
+
+void cos_fma_avx2(const double* x, double* out, std::size_t n) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d three = _mm256_set1_pd(3.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    if (!all_lanes_finite(vx)) {
+      cos_fma_ref(x + i, out + i, 4);
+      continue;
+    }
+    const TrigParts t = trig_parts(lane_squeeze_pd(vx));
+    const __m256d use_sin =
+        _mm256_or_pd(_mm256_cmp_pd(t.q, one, _CMP_EQ_OQ),
+                     _mm256_cmp_pd(t.q, three, _CMP_EQ_OQ));
+    const __m256d v = _mm256_blendv_pd(t.cos_r, t.sin_r, use_sin);
+    const __m256d neg = _mm256_or_pd(_mm256_cmp_pd(t.q, one, _CMP_EQ_OQ),
+                                     _mm256_cmp_pd(t.q, two, _CMP_EQ_OQ));
+    _mm256_storeu_pd(out + i,
+                     _mm256_xor_pd(v, _mm256_and_pd(neg, sign_mask_pd())));
+  }
+  cos_fma_ref(x + i, out + i, n - i);
+}
+
+void exp_fma_avx2(const double* x, double* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d ax = _mm256_and_pd(vx, abs_mask_pd());
+    const __m256d ok =
+        _mm256_cmp_pd(ax, _mm256_set1_pd(kExpBound), _CMP_LE_OQ);
+    if (_mm256_movemask_pd(ok) != 0xF) {
+      exp_fma_ref(x + i, out + i, 4);
+      continue;
+    }
+    const __m256d sx = lane_squeeze_pd(vx);
+    const __m256d k = _mm256_round_pd(
+        _mm256_mul_pd(sx, _mm256_set1_pd(kInvLn2)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    __m256d r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kLn2Hi), sx);
+    r = _mm256_fnmadd_pd(k, _mm256_set1_pd(kLn2Lo), r);
+    __m256d p = _mm256_set1_pd(kE13);
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE12));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE11));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE10));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE9));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE8));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE7));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE6));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE5));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE4));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE3));
+    p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(kE2));
+    const __m256d acc = _mm256_fmadd_pd(
+        _mm256_mul_pd(r, r), p, _mm256_add_pd(_mm256_set1_pd(1.0), r));
+    // 2^k from exponent bits, exactly as pow2i().
+    const __m128i k32 = _mm256_cvtpd_epi32(k);
+    const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+    const __m256i expo = _mm256_slli_epi64(
+        _mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+    _mm256_storeu_pd(out + i,
+                     _mm256_mul_pd(acc, _mm256_castsi256_pd(expo)));
+  }
+  exp_fma_ref(x + i, out + i, n - i);
+}
+
+void log_fma_avx2(const double* x, double* out, std::size_t n) {
+  constexpr double kMinNormal = 2.2250738585072014e-308;
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d ok = _mm256_and_pd(
+        _mm256_cmp_pd(vx, _mm256_set1_pd(kMinNormal), _CMP_GE_OQ),
+        _mm256_cmp_pd(vx, _mm256_set1_pd(HUGE_VAL), _CMP_LT_OQ));
+    if (_mm256_movemask_pd(ok) != 0xF) {
+      log_fma_ref(x + i, out + i, 4);
+      continue;
+    }
+    const __m256i bits = _mm256_castpd_si256(lane_squeeze_pd(vx));
+    // Exponent field -> double via a 64->32 lane gather (values are tiny).
+    const __m256i eraw = _mm256_srli_epi64(bits, 52);
+    const __m128i e32 = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(
+        eraw, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0)));
+    __m256d e = _mm256_sub_pd(_mm256_cvtepi32_pd(e32),
+                              _mm256_set1_pd(1022.0));
+    __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL)),
+        _mm256_set1_epi64x(0x3FE0000000000000LL)));
+    const __m256d small =
+        _mm256_cmp_pd(m, _mm256_set1_pd(kSqrtHalf), _CMP_LT_OQ);
+    m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(2.0)), small);
+    e = _mm256_sub_pd(e, _mm256_and_pd(small, one));
+    const __m256d s =
+        _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+    const __m256d z = _mm256_mul_pd(s, s);
+    __m256d p = _mm256_set1_pd(kL10);
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL9));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL8));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL7));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL6));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL5));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL4));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL3));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL2));
+    p = _mm256_fmadd_pd(p, z, _mm256_set1_pd(kL1));
+    const __m256d lm = _mm256_fmadd_pd(_mm256_mul_pd(s, z), p,
+                                       _mm256_mul_pd(_mm256_set1_pd(2.0), s));
+    const __m256d lo = _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Lo), lm);
+    _mm256_storeu_pd(out + i,
+                     _mm256_fmadd_pd(e, _mm256_set1_pd(kLn2Hi), lo));
+  }
+  log_fma_ref(x + i, out + i, n - i);
+}
+
+}  // namespace
+
+const SimdOps& avx2_table() {
+  static constexpr SimdOps ops = {
+      .backend = SimdBackend::kAvx2,
+      .vmul_f32 = mul_f32_avx2,
+      .vadd_f32 = add_f32_avx2,
+      .vmac_f32 = mac_f32_avx2,
+      .vscale_f32 = scale_f32_avx2,
+      .vscale_f64 = scale_f64_avx2,
+      .vabs_f32 = abs_f32_avx2,
+      .vabs_max_f32 = abs_max_f32_avx2,
+      .vmax_abs_f32 = max_abs_f32_avx2,
+      .vwindow_f32 = window_f32_avx2,
+      .vmag_f32 = mag_f32_avx2,
+      .vsmooth_f32 = smooth_f32_avx2,
+      .butterfly_f32 = butterfly_f32_avx2,
+      .butterfly_f64 = butterfly_f64_avx2,
+      .vsin_fma = sin_fma_avx2,
+      .vcos_fma = cos_fma_avx2,
+      .vexp_fma = exp_fma_avx2,
+      .vlog_fma = log_fma_avx2,
+  };
+  return ops;
+}
+
+}  // namespace wafp::dsp::simd_detail
+
+#else  // !x86
+
+namespace wafp::dsp::simd_detail {
+
+const SimdOps& avx2_table() { return scalar_table(); }
+
+}  // namespace wafp::dsp::simd_detail
+
+#endif

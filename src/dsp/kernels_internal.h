@@ -1,0 +1,486 @@
+// Shared kernel bodies for the SIMD layer (simd.h). Included by every
+// backend TU (kernels_{scalar,sse2,avx2}.cc) and by math_library.cc.
+//
+// Two kinds of function live here:
+//
+//  * Transparent reference kernels (`*_ref`): elementwise IEEE ops whose
+//    result is a single rounding per element. Vector backends must match
+//    them bit-for-bit; they are also the tail/fallback path inside the
+//    vector TUs. Backends may only change *speed*, never bits.
+//
+//  * Scheme transcendentals (`*_fma_one`, `*_estrin_one`): the numeric
+//    semantics of the kSimdSse2 (Estrin, plain double ops) and kSimdAvx2
+//    (Horner with fused multiply-adds) math variants. Their bits are a
+//    property of the *scheme*, not of the executing backend: the AVX2
+//    vector implementations mirror these bodies operation-for-operation,
+//    so WAFP_SIMD never changes a digest.
+//
+// Every kernel TU compiles with -ffp-contract=off so no implicit fusion
+// can leak in; all fusing is explicit std::fma / *_fmadd_* intrinsics
+// (both correctly rounded, hence identical).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace wafp::dsp::simd_detail {
+
+// --- Shared constants ------------------------------------------------------
+
+inline constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+inline constexpr double kPio2Hi = 1.57079632679489655800e+00;
+inline constexpr double kPio2Lo = 6.12323399573676603587e-17;
+inline constexpr double kInvLn2 = 1.44269504088896338700e+00;
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kLn2 = 6.93147180559945286227e-01;
+inline constexpr double kInvLn10 = 4.34294481903251816668e-01;
+inline constexpr double kSqrtHalf = 7.07106781186547524401e-01;
+
+// sin(r) ~= r + r*z*P(z), z = r^2, r in [-pi/4, pi/4] (fdlibm-style).
+inline constexpr double kS1 = -1.66666666666666324348e-01;
+inline constexpr double kS2 = 8.33333333332248946124e-03;
+inline constexpr double kS3 = -1.98412698298579493134e-04;
+inline constexpr double kS4 = 2.75573137070700676789e-06;
+inline constexpr double kS5 = -2.50507602534068634195e-08;
+inline constexpr double kS6 = 1.58969099521155010221e-10;
+
+// cos(r) ~= (1 - z/2) + z*z*Q(z).
+inline constexpr double kC1 = 4.16666666666666019037e-02;
+inline constexpr double kC2 = -1.38888888888741095749e-03;
+inline constexpr double kC3 = 2.48015872894767294178e-05;
+inline constexpr double kC4 = -2.75573143513906633035e-07;
+inline constexpr double kC5 = 2.08757232129817482790e-09;
+inline constexpr double kC6 = -1.13596475577881948265e-11;
+
+// exp(r) ~= (1 + r) + r*r*E(r), r in [-ln2/2, ln2/2]; E covers 1/2!..1/13!.
+inline constexpr double kE2 = 5.00000000000000000000e-01;
+inline constexpr double kE3 = 1.66666666666666666667e-01;
+inline constexpr double kE4 = 4.16666666666666666667e-02;
+inline constexpr double kE5 = 8.33333333333333333333e-03;
+inline constexpr double kE6 = 1.38888888888888888889e-03;
+inline constexpr double kE7 = 1.98412698412698412698e-04;
+inline constexpr double kE8 = 2.48015873015873015873e-05;
+inline constexpr double kE9 = 2.75573192239858906526e-06;
+inline constexpr double kE10 = 2.75573192239858906526e-07;
+inline constexpr double kE11 = 2.50521083854417187751e-08;
+inline constexpr double kE12 = 2.08767569878680989792e-09;
+inline constexpr double kE13 = 1.60590438368216145994e-10;
+
+// log(m) ~= 2s + s*z*L(z), s = (m-1)/(m+1), z = s^2, m in [sqrt(1/2),
+// sqrt(2)); L holds 2/3, 2/5, ... 2/21.
+inline constexpr double kL1 = 2.0 / 3.0;
+inline constexpr double kL2 = 2.0 / 5.0;
+inline constexpr double kL3 = 2.0 / 7.0;
+inline constexpr double kL4 = 2.0 / 9.0;
+inline constexpr double kL5 = 2.0 / 11.0;
+inline constexpr double kL6 = 2.0 / 13.0;
+inline constexpr double kL7 = 2.0 / 15.0;
+inline constexpr double kL8 = 2.0 / 17.0;
+inline constexpr double kL9 = 2.0 / 19.0;
+inline constexpr double kL10 = 2.0 / 21.0;
+
+/// Saturation bound for the scheme exp kernels: |x| <= 700 keeps the
+/// 2^k scale inside one normal bit-built multiply (|k| <= 1011).
+inline constexpr double kExpBound = 700.0;
+
+// --- Bit-level helpers (identical in scalar and vector paths) --------------
+
+/// 2^k as a double built straight from exponent bits; k must lie in
+/// [-1022, 1023]. Both the portable and the vector scheme kernels scale by
+/// exactly this value, never via std::ldexp, so the bits cannot depend on
+/// the libm in play.
+[[nodiscard]] inline double pow2i(long long k) {
+  return std::bit_cast<double>(
+      static_cast<std::uint64_t>(1023LL + k) << 52);
+}
+
+/// Quadrant of the reduced angle as a double in {0,1,2,3} (and NaN for
+/// non-finite inputs): q = k mod 4 computed without any float->int
+/// conversion so arbitrary finite magnitudes stay well-defined in both the
+/// scalar and the vector path.
+[[nodiscard]] inline double quadrant_mod4(double k) {
+  return k - 4.0 * std::floor(k * 0.25);
+}
+
+// --- kSimdAvx2 scheme: Horner evaluation with explicit fma ----------------
+
+[[nodiscard]] inline double sin_poly_fma(double r, double z) {
+  double p = kS6;
+  p = std::fma(p, z, kS5);
+  p = std::fma(p, z, kS4);
+  p = std::fma(p, z, kS3);
+  p = std::fma(p, z, kS2);
+  p = std::fma(p, z, kS1);
+  return std::fma(r * z, p, r);
+}
+
+[[nodiscard]] inline double cos_poly_fma(double z) {
+  double p = kC6;
+  p = std::fma(p, z, kC5);
+  p = std::fma(p, z, kC4);
+  p = std::fma(p, z, kC3);
+  p = std::fma(p, z, kC2);
+  p = std::fma(p, z, kC1);
+  return std::fma(z * z, p, 1.0 - 0.5 * z);
+}
+
+[[nodiscard]] inline double trig_select_sin(double q, double sin_r,
+                                            double cos_r) {
+  const double v = (q == 1.0 || q == 3.0) ? cos_r : sin_r;
+  return (q >= 2.0) ? -v : v;
+}
+
+[[nodiscard]] inline double trig_select_cos(double q, double sin_r,
+                                            double cos_r) {
+  const double v = (q == 1.0 || q == 3.0) ? sin_r : cos_r;
+  return (q == 1.0 || q == 2.0) ? -v : v;
+}
+
+// --- Lane precision (the float-visible scheme signature) -------------------
+//
+// Sub-ULP double differences between polynomial evaluation orders vanish
+// when a rendered sample truncates to float32, so evaluation order alone is
+// not fingerprint surface. What *is* float-visible in real vectorized
+// pipelines is their single-precision lane traffic, and the two SIMD math
+// generations model it from opposite ends:
+//
+//   * kSimdSse2 (Estrin): computes in double, writes each RESULT through a
+//     float lane (the classic packed-single DSP pipeline).
+//   * kSimdAvx2 (fma): reads each ARGUMENT through a float lane, then
+//     evaluates in double with fused ops (pd evaluation over ps-width data).
+//
+// Values outside float's normal finite range pass through unchanged, so
+// both schemes stay total on doubles: no spurious overflow to inf, no
+// flush of double-denormal log arguments to -inf. The squeeze itself is a
+// single IEEE double->float->double rounding, bit-identical between a C
+// cast and cvtpd2ps/cvtps2pd, so WAFP_SIMD still never changes a digest.
+inline constexpr double kLaneFloatMin = 1.17549435082228750797e-38;
+inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
+
+[[nodiscard]] inline double lane_squeeze(double v) {
+  const double av = std::fabs(v);
+  if (av >= kLaneFloatMin && av <= kLaneFloatMax) {
+    return static_cast<double>(static_cast<float>(v));
+  }
+  return v;
+}
+
+// Scheme-defined non-finite handling, shared by all four trig kernels: NaN
+// passes through, +/-inf maps to the default quiet NaN. Pinning this here
+// keeps NaNs out of the fma chains below, whose NaN sign/payload propagation
+// would otherwise depend on which fma instruction form the compiler picks.
+[[nodiscard]] inline bool trig_nonfinite(double x, double& out) {
+  if (!(std::fabs(x) < HUGE_VAL)) {
+    out = std::isnan(x) ? x : std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  return false;
+}
+
+[[nodiscard]] inline double sin_fma_one(double x) {
+  double special;
+  if (trig_nonfinite(x, special)) return special;
+  x = lane_squeeze(x);
+  const double k = std::nearbyint(x * kTwoOverPi);
+  double r = std::fma(-k, kPio2Hi, x);
+  r = std::fma(-k, kPio2Lo, r);
+  const double z = r * r;
+  return trig_select_sin(quadrant_mod4(k), sin_poly_fma(r, z),
+                         cos_poly_fma(z));
+}
+
+[[nodiscard]] inline double cos_fma_one(double x) {
+  double special;
+  if (trig_nonfinite(x, special)) return special;
+  x = lane_squeeze(x);
+  const double k = std::nearbyint(x * kTwoOverPi);
+  double r = std::fma(-k, kPio2Hi, x);
+  r = std::fma(-k, kPio2Lo, r);
+  const double z = r * r;
+  return trig_select_cos(quadrant_mod4(k), sin_poly_fma(r, z),
+                         cos_poly_fma(z));
+}
+
+[[nodiscard]] inline double exp_fma_one(double x) {
+  if (!(std::fabs(x) <= kExpBound)) {
+    // Scheme-defined saturation (documented in DESIGN.md §3g): the kernel
+    // is exact only on the DSP range; beyond it, hard 0 / inf / NaN.
+    if (std::isnan(x)) return x;
+    return x > 0.0 ? HUGE_VAL : 0.0;
+  }
+  x = lane_squeeze(x);
+  const double k = std::nearbyint(x * kInvLn2);
+  double r = std::fma(-k, kLn2Hi, x);
+  r = std::fma(-k, kLn2Lo, r);
+  double p = kE13;
+  p = std::fma(p, r, kE12);
+  p = std::fma(p, r, kE11);
+  p = std::fma(p, r, kE10);
+  p = std::fma(p, r, kE9);
+  p = std::fma(p, r, kE8);
+  p = std::fma(p, r, kE7);
+  p = std::fma(p, r, kE6);
+  p = std::fma(p, r, kE5);
+  p = std::fma(p, r, kE4);
+  p = std::fma(p, r, kE3);
+  p = std::fma(p, r, kE2);
+  const double acc = std::fma(r * r, p, 1.0 + r);
+  return acc * pow2i(static_cast<long long>(k));
+}
+
+[[nodiscard]] inline double log_fma_one(double x) {
+  constexpr double kMinNormal = 2.2250738585072014e-308;
+  if (!(x >= kMinNormal) || x == HUGE_VAL) {
+    // 0 -> -inf, negatives/NaN -> NaN, +inf -> +inf; denormals route
+    // through a prescale so the mantissa bits read out normalized.
+    if (x == 0.0) return -HUGE_VAL;
+    if (!(x > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+    if (x == HUGE_VAL) return x;
+    return log_fma_one(x * 0x1p54) - 54.0 * kLn2;
+  }
+  x = lane_squeeze(x);
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  double e = static_cast<double>(
+      static_cast<std::int64_t>((bits >> 52) & 0x7FF) - 1022);
+  double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFULL) |
+                                   0x3FE0000000000000ULL);
+  if (m < kSqrtHalf) {
+    m = m * 2.0;
+    e = e - 1.0;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  double p = kL10;
+  p = std::fma(p, z, kL9);
+  p = std::fma(p, z, kL8);
+  p = std::fma(p, z, kL7);
+  p = std::fma(p, z, kL6);
+  p = std::fma(p, z, kL5);
+  p = std::fma(p, z, kL4);
+  p = std::fma(p, z, kL3);
+  p = std::fma(p, z, kL2);
+  p = std::fma(p, z, kL1);
+  const double lm = std::fma(s * z, p, 2.0 * s);
+  const double lo = std::fma(e, kLn2Lo, lm);
+  return std::fma(e, kLn2Hi, lo);
+}
+
+// --- kSimdSse2 scheme: Estrin evaluation, plain double ops ----------------
+
+[[nodiscard]] inline double sin_poly_estrin(double r, double z) {
+  const double z2 = z * z;
+  const double b0 = kS1 + kS2 * z;
+  const double b1 = kS3 + kS4 * z;
+  const double b2 = kS5 + kS6 * z;
+  const double p = (b0 + b1 * z2) + b2 * (z2 * z2);
+  return r + (r * z) * p;
+}
+
+[[nodiscard]] inline double cos_poly_estrin(double z) {
+  const double z2 = z * z;
+  const double b0 = kC1 + kC2 * z;
+  const double b1 = kC3 + kC4 * z;
+  const double b2 = kC5 + kC6 * z;
+  const double p = (b0 + b1 * z2) + b2 * (z2 * z2);
+  return (1.0 - 0.5 * z) + z2 * p;
+}
+
+[[nodiscard]] inline double sin_estrin_one(double x) {
+  double special;
+  if (trig_nonfinite(x, special)) return special;
+  const double k = std::nearbyint(x * kTwoOverPi);
+  const double r = (x - k * kPio2Hi) - k * kPio2Lo;
+  const double z = r * r;
+  return lane_squeeze(trig_select_sin(quadrant_mod4(k),
+                                      sin_poly_estrin(r, z),
+                                      cos_poly_estrin(z)));
+}
+
+[[nodiscard]] inline double cos_estrin_one(double x) {
+  double special;
+  if (trig_nonfinite(x, special)) return special;
+  const double k = std::nearbyint(x * kTwoOverPi);
+  const double r = (x - k * kPio2Hi) - k * kPio2Lo;
+  const double z = r * r;
+  return lane_squeeze(trig_select_cos(quadrant_mod4(k),
+                                      sin_poly_estrin(r, z),
+                                      cos_poly_estrin(z)));
+}
+
+[[nodiscard]] inline double exp_estrin_one(double x) {
+  if (!(std::fabs(x) <= kExpBound)) {
+    if (std::isnan(x)) return x;
+    return x > 0.0 ? HUGE_VAL : 0.0;
+  }
+  const double k = std::nearbyint(x * kInvLn2);
+  const double r = (x - k * kLn2Hi) - k * kLn2Lo;
+  const double r2 = r * r;
+  const double r4 = r2 * r2;
+  const double r8 = r4 * r4;
+  const double b0 = kE2 + kE3 * r;
+  const double b1 = kE4 + kE5 * r;
+  const double b2 = kE6 + kE7 * r;
+  const double b3 = kE8 + kE9 * r;
+  const double b4 = kE10 + kE11 * r;
+  const double b5 = kE12 + kE13 * r;
+  const double c0 = b0 + b1 * r2;
+  const double c1 = b2 + b3 * r2;
+  const double c2 = b4 + b5 * r2;
+  const double p = (c0 + c1 * r4) + c2 * r8;
+  const double acc = (1.0 + r) + r2 * p;
+  return lane_squeeze(acc * pow2i(static_cast<long long>(k)));
+}
+
+[[nodiscard]] inline double log_estrin_one(double x) {
+  constexpr double kMinNormal = 2.2250738585072014e-308;
+  if (!(x >= kMinNormal) || x == HUGE_VAL) {
+    if (x == 0.0) return -HUGE_VAL;
+    if (!(x > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+    if (x == HUGE_VAL) return x;
+    return log_estrin_one(x * 0x1p54) - 54.0 * kLn2;
+  }
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  double e = static_cast<double>(
+      static_cast<std::int64_t>((bits >> 52) & 0x7FF) - 1022);
+  double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFULL) |
+                                   0x3FE0000000000000ULL);
+  if (m < kSqrtHalf) {
+    m = m * 2.0;
+    e = e - 1.0;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  const double z2 = z * z;
+  const double z4 = z2 * z2;
+  const double z8 = z4 * z4;
+  const double b0 = kL1 + kL2 * z;
+  const double b1 = kL3 + kL4 * z;
+  const double b2 = kL5 + kL6 * z;
+  const double b3 = kL7 + kL8 * z;
+  const double b4 = kL9 + kL10 * z;
+  const double c0 = b0 + b1 * z2;
+  const double c1 = b2 + b3 * z2;
+  const double p = (c0 + c1 * z4) + b4 * z8;
+  const double lm = 2.0 * s + (s * z) * p;
+  return lane_squeeze((e * kLn2Hi + lm) + e * kLn2Lo);
+}
+
+// --- Transparent reference kernels ----------------------------------------
+// One IEEE rounding per written element; any backend's vector code must be
+// bit-identical to these loops (asserted by tests/dsp/simd_test.cc).
+
+inline void mul_f32_ref(float* dst, const float* a, const float* b,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+inline void add_f32_ref(float* dst, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+inline void mac_f32_ref(float* dst, const float* src, float k,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i] * k;
+}
+
+inline void scale_f32_ref(float* dst, float k, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= k;
+}
+
+inline void scale_f64_ref(double* dst, double k, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= k;
+}
+
+inline void abs_f32_ref(float* dst, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::fabs(src[i]);
+}
+
+inline void abs_max_f32_ref(float* acc, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    // Mirrors std::max(acc, a): keep acc unless a is strictly greater.
+    if (a > acc[i]) acc[i] = a;
+  }
+}
+
+[[nodiscard]] inline float max_abs_f32_ref(const float* src, std::size_t n) {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(src[i]);
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+inline void window_f32_ref(float* dst, const double* block,
+                           const double* window, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<float>(block[i]) * static_cast<float>(window[i]);
+  }
+}
+
+inline void mag_f32_ref(float* dst, const float* re, const float* im,
+                        float scale, bool fused, std::size_t n) {
+  if (fused) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] =
+          std::sqrt(std::fma(re[i], re[i], im[i] * im[i])) * scale;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]) * scale;
+    }
+  }
+}
+
+inline void smooth_f32_ref(float* smoothed, const float* mag, float tau,
+                           float one_minus_tau, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    smoothed[i] = tau * smoothed[i] + one_minus_tau * mag[i];
+  }
+}
+
+template <typename T>
+inline void butterfly_ref(T* re, T* im, std::size_t half, const T* wr,
+                          const T* wi) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const T tr = re[half + k] * wr[k] - im[half + k] * wi[k];
+    const T ti = re[half + k] * wi[k] + im[half + k] * wr[k];
+    re[half + k] = re[k] - tr;
+    im[half + k] = im[k] - ti;
+    re[k] += tr;
+    im[k] += ti;
+  }
+}
+
+inline void butterfly_f32_ref(float* re, float* im, std::size_t half,
+                              const float* wr, const float* wi) {
+  butterfly_ref<float>(re, im, half, wr, wi);
+}
+
+inline void butterfly_f64_ref(double* re, double* im, std::size_t half,
+                              const double* wr, const double* wi) {
+  butterfly_ref<double>(re, im, half, wr, wi);
+}
+
+inline void sin_fma_ref(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sin_fma_one(x[i]);
+}
+
+inline void cos_fma_ref(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = cos_fma_one(x[i]);
+}
+
+inline void exp_fma_ref(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp_fma_one(x[i]);
+}
+
+inline void log_fma_ref(const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = log_fma_one(x[i]);
+}
+
+}  // namespace wafp::dsp::simd_detail

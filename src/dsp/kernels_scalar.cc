@@ -1,0 +1,33 @@
+// Scalar backend: the reference loops themselves. Compiled with
+// -ffp-contract=off (see src/dsp/CMakeLists.txt) so the semantics pinned by
+// kernels_internal.h cannot pick up implicit fusion on any future target.
+#include "dsp/kernels_internal.h"
+#include "dsp/simd_tables.h"
+
+namespace wafp::dsp::simd_detail {
+
+const SimdOps& scalar_table() {
+  static constexpr SimdOps ops = {
+      .backend = SimdBackend::kScalar,
+      .vmul_f32 = mul_f32_ref,
+      .vadd_f32 = add_f32_ref,
+      .vmac_f32 = mac_f32_ref,
+      .vscale_f32 = scale_f32_ref,
+      .vscale_f64 = scale_f64_ref,
+      .vabs_f32 = abs_f32_ref,
+      .vabs_max_f32 = abs_max_f32_ref,
+      .vmax_abs_f32 = max_abs_f32_ref,
+      .vwindow_f32 = window_f32_ref,
+      .vmag_f32 = mag_f32_ref,
+      .vsmooth_f32 = smooth_f32_ref,
+      .butterfly_f32 = butterfly_f32_ref,
+      .butterfly_f64 = butterfly_f64_ref,
+      .vsin_fma = sin_fma_ref,
+      .vcos_fma = cos_fma_ref,
+      .vexp_fma = exp_fma_ref,
+      .vlog_fma = log_fma_ref,
+  };
+  return ops;
+}
+
+}  // namespace wafp::dsp::simd_detail

@@ -1,0 +1,241 @@
+// SSE2 backend: 4-wide float / 2-wide double vectorizations of the
+// transparent kernels. Compiled with -msse2 -ffp-contract=off on x86; on
+// other architectures this TU degrades to the scalar table.
+//
+// Bit-identity notes: every vector op here is a single-rounding IEEE
+// instruction (mulps/addps/subps/sqrtps/maxps/cvtpd2ps), so lane results
+// equal the scalar reference exactly. maxps(b, a) implements
+// "a > acc ? a : acc" with the same NaN behaviour as the reference's
+// explicit compare. Fused vmag has no SSE2 fma instruction, so that flavour
+// stays on the (libm fmaf) reference loop. The scheme transcendentals are
+// not vectorized at this tier; they run the shared portable bodies.
+#include "dsp/kernels_internal.h"
+#include "dsp/simd_tables.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+
+namespace wafp::dsp::simd_detail {
+namespace {
+
+void mul_f32_sse2(float* dst, const float* a, const float* b,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i,
+                  _mm_mul_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i)));
+  }
+  mul_f32_ref(dst + i, a + i, b + i, n - i);
+}
+
+void add_f32_sse2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i,
+                  _mm_add_ps(_mm_loadu_ps(dst + i), _mm_loadu_ps(src + i)));
+  }
+  add_f32_ref(dst + i, src + i, n - i);
+}
+
+void mac_f32_sse2(float* dst, const float* src, float k, std::size_t n) {
+  const __m128 vk = _mm_set1_ps(k);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 prod = _mm_mul_ps(_mm_loadu_ps(src + i), vk);
+    _mm_storeu_ps(dst + i, _mm_add_ps(_mm_loadu_ps(dst + i), prod));
+  }
+  mac_f32_ref(dst + i, src + i, k, n - i);
+}
+
+void scale_f32_sse2(float* dst, float k, std::size_t n) {
+  const __m128 vk = _mm_set1_ps(k);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i, _mm_mul_ps(_mm_loadu_ps(dst + i), vk));
+  }
+  scale_f32_ref(dst + i, k, n - i);
+}
+
+void scale_f64_sse2(double* dst, double k, std::size_t n) {
+  const __m128d vk = _mm_set1_pd(k);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i, _mm_mul_pd(_mm_loadu_pd(dst + i), vk));
+  }
+  scale_f64_ref(dst + i, k, n - i);
+}
+
+[[nodiscard]] inline __m128 abs_mask_ps() {
+  return _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+}
+
+void abs_f32_sse2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(dst + i, _mm_and_ps(_mm_loadu_ps(src + i), abs_mask_ps()));
+  }
+  abs_f32_ref(dst + i, src + i, n - i);
+}
+
+void abs_max_f32_sse2(float* acc, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 a = _mm_and_ps(_mm_loadu_ps(src + i), abs_mask_ps());
+    // maxps picks SRC1 only when strictly greater -> "a > acc ? a : acc".
+    _mm_storeu_ps(acc + i, _mm_max_ps(a, _mm_loadu_ps(acc + i)));
+  }
+  abs_max_f32_ref(acc + i, src + i, n - i);
+}
+
+float max_abs_f32_sse2(const float* src, std::size_t n) {
+  __m128 vmax = _mm_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vmax = _mm_max_ps(_mm_and_ps(_mm_loadu_ps(src + i), abs_mask_ps()), vmax);
+  }
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, vmax);
+  float m = lanes[0];
+  for (int l = 1; l < 4; ++l) {
+    if (lanes[l] > m) m = lanes[l];
+  }
+  const float tail = max_abs_f32_ref(src + i, n - i);
+  return tail > m ? tail : m;
+}
+
+void window_f32_sse2(float* dst, const double* block, const double* window,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 b = _mm_movelh_ps(_mm_cvtpd_ps(_mm_loadu_pd(block + i)),
+                                   _mm_cvtpd_ps(_mm_loadu_pd(block + i + 2)));
+    const __m128 w = _mm_movelh_ps(_mm_cvtpd_ps(_mm_loadu_pd(window + i)),
+                                   _mm_cvtpd_ps(_mm_loadu_pd(window + i + 2)));
+    _mm_storeu_ps(dst + i, _mm_mul_ps(b, w));
+  }
+  window_f32_ref(dst + i, block + i, window + i, n - i);
+}
+
+void mag_f32_sse2(float* dst, const float* re, const float* im, float scale,
+                  bool fused, std::size_t n) {
+  if (fused) {
+    // No SSE2 fma instruction; the fused flavour must keep libm's
+    // correctly-rounded fmaf semantics, so it stays scalar here.
+    mag_f32_ref(dst, re, im, scale, fused, n);
+    return;
+  }
+  const __m128 vscale = _mm_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 r = _mm_loadu_ps(re + i);
+    const __m128 m = _mm_loadu_ps(im + i);
+    const __m128 sum = _mm_add_ps(_mm_mul_ps(r, r), _mm_mul_ps(m, m));
+    _mm_storeu_ps(dst + i, _mm_mul_ps(_mm_sqrt_ps(sum), vscale));
+  }
+  mag_f32_ref(dst + i, re + i, im + i, scale, fused, n - i);
+}
+
+void smooth_f32_sse2(float* smoothed, const float* mag, float tau,
+                     float one_minus_tau, std::size_t n) {
+  const __m128 vtau = _mm_set1_ps(tau);
+  const __m128 vomt = _mm_set1_ps(one_minus_tau);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 s = _mm_mul_ps(vtau, _mm_loadu_ps(smoothed + i));
+    const __m128 m = _mm_mul_ps(vomt, _mm_loadu_ps(mag + i));
+    _mm_storeu_ps(smoothed + i, _mm_add_ps(s, m));
+  }
+  smooth_f32_ref(smoothed + i, mag + i, tau, one_minus_tau, n - i);
+}
+
+void butterfly_f32_sse2(float* re, float* im, std::size_t half,
+                        const float* wr, const float* wi) {
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m128 br = _mm_loadu_ps(re + half + k);
+    const __m128 bi = _mm_loadu_ps(im + half + k);
+    const __m128 cr = _mm_loadu_ps(wr + k);
+    const __m128 ci = _mm_loadu_ps(wi + k);
+    const __m128 tr = _mm_sub_ps(_mm_mul_ps(br, cr), _mm_mul_ps(bi, ci));
+    const __m128 ti = _mm_add_ps(_mm_mul_ps(br, ci), _mm_mul_ps(bi, cr));
+    const __m128 ar = _mm_loadu_ps(re + k);
+    const __m128 ai = _mm_loadu_ps(im + k);
+    _mm_storeu_ps(re + half + k, _mm_sub_ps(ar, tr));
+    _mm_storeu_ps(im + half + k, _mm_sub_ps(ai, ti));
+    _mm_storeu_ps(re + k, _mm_add_ps(ar, tr));
+    _mm_storeu_ps(im + k, _mm_add_ps(ai, ti));
+  }
+  for (; k < half; ++k) {
+    const float tr = re[half + k] * wr[k] - im[half + k] * wi[k];
+    const float ti = re[half + k] * wi[k] + im[half + k] * wr[k];
+    re[half + k] = re[k] - tr;
+    im[half + k] = im[k] - ti;
+    re[k] += tr;
+    im[k] += ti;
+  }
+}
+
+void butterfly_f64_sse2(double* re, double* im, std::size_t half,
+                        const double* wr, const double* wi) {
+  std::size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    const __m128d br = _mm_loadu_pd(re + half + k);
+    const __m128d bi = _mm_loadu_pd(im + half + k);
+    const __m128d cr = _mm_loadu_pd(wr + k);
+    const __m128d ci = _mm_loadu_pd(wi + k);
+    const __m128d tr = _mm_sub_pd(_mm_mul_pd(br, cr), _mm_mul_pd(bi, ci));
+    const __m128d ti = _mm_add_pd(_mm_mul_pd(br, ci), _mm_mul_pd(bi, cr));
+    const __m128d ar = _mm_loadu_pd(re + k);
+    const __m128d ai = _mm_loadu_pd(im + k);
+    _mm_storeu_pd(re + half + k, _mm_sub_pd(ar, tr));
+    _mm_storeu_pd(im + half + k, _mm_sub_pd(ai, ti));
+    _mm_storeu_pd(re + k, _mm_add_pd(ar, tr));
+    _mm_storeu_pd(im + k, _mm_add_pd(ai, ti));
+  }
+  for (; k < half; ++k) {
+    const double tr = re[half + k] * wr[k] - im[half + k] * wi[k];
+    const double ti = re[half + k] * wi[k] + im[half + k] * wr[k];
+    re[half + k] = re[k] - tr;
+    im[half + k] = im[k] - ti;
+    re[k] += tr;
+    im[k] += ti;
+  }
+}
+
+}  // namespace
+
+const SimdOps& sse2_table() {
+  static constexpr SimdOps ops = {
+      .backend = SimdBackend::kSse2,
+      .vmul_f32 = mul_f32_sse2,
+      .vadd_f32 = add_f32_sse2,
+      .vmac_f32 = mac_f32_sse2,
+      .vscale_f32 = scale_f32_sse2,
+      .vscale_f64 = scale_f64_sse2,
+      .vabs_f32 = abs_f32_sse2,
+      .vabs_max_f32 = abs_max_f32_sse2,
+      .vmax_abs_f32 = max_abs_f32_sse2,
+      .vwindow_f32 = window_f32_sse2,
+      .vmag_f32 = mag_f32_sse2,
+      .vsmooth_f32 = smooth_f32_sse2,
+      .butterfly_f32 = butterfly_f32_sse2,
+      .butterfly_f64 = butterfly_f64_sse2,
+      .vsin_fma = sin_fma_ref,
+      .vcos_fma = cos_fma_ref,
+      .vexp_fma = exp_fma_ref,
+      .vlog_fma = log_fma_ref,
+  };
+  return ops;
+}
+
+}  // namespace wafp::dsp::simd_detail
+
+#else  // !x86
+
+namespace wafp::dsp::simd_detail {
+
+const SimdOps& sse2_table() { return scalar_table(); }
+
+}  // namespace wafp::dsp::simd_detail
+
+#endif

@@ -6,6 +6,9 @@
 #include <numbers>
 #include <vector>
 
+#include "dsp/kernels_internal.h"
+#include "dsp/simd.h"
+
 namespace wafp::dsp {
 namespace {
 
@@ -449,6 +452,168 @@ class TableMath final : public MathLibrary {
   std::vector<double> tanh_table_;
 };
 
+/// --- Variants: SIMD batch-kernel schemes --------------------------------
+///
+/// Two generations of a batch-oriented math stack (DESIGN.md §3g). Both are
+/// defined by the portable one-element kernels in kernels_internal.h;
+/// kSimdAvx2's fma-Horner scheme additionally has vector implementations
+/// behind simd_ops(), which the batch overrides route through. The executing
+/// backend never changes result bits — the scheme itself is the fingerprint
+/// surface.
+
+constexpr double kInvLn10 = 4.34294481903251816668e-01;
+
+/// atan for the SIMD schemes: two argument halvings, degree-7 Taylor tail.
+/// (Distinct halving count / degree from the fdlibm and fastpoly variants.)
+double atan_two_halvings(double x) {
+  if (std::isnan(x)) return x;
+  const double ax = std::fabs(x);
+  double t = ax > 1.0 ? 1.0 / ax : ax;
+  t = t / (1.0 + std::sqrt(1.0 + t * t));
+  t = t / (1.0 + std::sqrt(1.0 + t * t));
+  const double z = t * t;
+  const double tail =
+      t * (1.0 + z * (-1.0 / 3.0 + z * (1.0 / 5.0 - z / 7.0)));
+  double r = 4.0 * tail;
+  if (ax > 1.0) r = kPi / 2.0 - r;
+  return x < 0.0 ? -r : r;
+}
+
+class SimdMath final : public MathLibrary {
+ public:
+  /// `fma_scheme` selects the newer Horner-with-fma generation (kSimdAvx2);
+  /// false selects the Estrin plain-ops generation (kSimdSse2).
+  explicit SimdMath(bool fma_scheme) : fma_scheme_(fma_scheme) {}
+
+  std::string_view name() const override {
+    return fma_scheme_ ? "simd-avx2" : "simd-sse2";
+  }
+  MathVariant variant() const override {
+    return fma_scheme_ ? MathVariant::kSimdAvx2 : MathVariant::kSimdSse2;
+  }
+
+  double sin(double x) const override {
+    return fma_scheme_ ? simd_detail::sin_fma_one(x)
+                       : simd_detail::sin_estrin_one(x);
+  }
+  double cos(double x) const override {
+    return fma_scheme_ ? simd_detail::cos_fma_one(x)
+                       : simd_detail::cos_estrin_one(x);
+  }
+  double exp(double x) const override {
+    return fma_scheme_ ? simd_detail::exp_fma_one(x)
+                       : simd_detail::exp_estrin_one(x);
+  }
+  double log(double x) const override {
+    return fma_scheme_ ? simd_detail::log_fma_one(x)
+                       : simd_detail::log_estrin_one(x);
+  }
+  double log10(double x) const override { return log(x) * kInvLn10; }
+  double pow(double b, double e) const override {
+    if (fma_scheme_) {
+      return pow_via(b, e, simd_detail::exp_fma_one,
+                     simd_detail::log_fma_one);
+    }
+    return pow_via(b, e, simd_detail::exp_estrin_one,
+                   simd_detail::log_estrin_one);
+  }
+  double tanh(double x) const override {
+    if (std::isnan(x)) return x;
+    const double ax = std::fabs(x);
+    double t;
+    if (ax >= 20.0) {
+      t = 1.0;
+    } else {
+      const double e2 = expm1(2.0 * ax);
+      t = e2 / (e2 + 2.0);
+    }
+    return x < 0.0 ? -t : t;
+  }
+  double atan(double x) const override { return atan_two_halvings(x); }
+  double sqrt(double x) const override { return std::sqrt(x); }
+  double expm1(double x) const override {
+    if (std::fabs(x) > 0.5) return exp(x) - 1.0;
+    // Scheme-consistent small-argument kernel: exp's Taylor tail minus 1.
+    const double r = x;
+    double p = simd_detail::kE13;
+    if (fma_scheme_) {
+      p = std::fma(p, r, simd_detail::kE12);
+      p = std::fma(p, r, simd_detail::kE11);
+      p = std::fma(p, r, simd_detail::kE10);
+      p = std::fma(p, r, simd_detail::kE9);
+      p = std::fma(p, r, simd_detail::kE8);
+      p = std::fma(p, r, simd_detail::kE7);
+      p = std::fma(p, r, simd_detail::kE6);
+      p = std::fma(p, r, simd_detail::kE5);
+      p = std::fma(p, r, simd_detail::kE4);
+      p = std::fma(p, r, simd_detail::kE3);
+      p = std::fma(p, r, simd_detail::kE2);
+      return std::fma(r * r, p, r);
+    }
+    p = p * r + simd_detail::kE12;
+    p = p * r + simd_detail::kE11;
+    p = p * r + simd_detail::kE10;
+    p = p * r + simd_detail::kE9;
+    p = p * r + simd_detail::kE8;
+    p = p * r + simd_detail::kE7;
+    p = p * r + simd_detail::kE6;
+    p = p * r + simd_detail::kE5;
+    p = p * r + simd_detail::kE4;
+    p = p * r + simd_detail::kE3;
+    p = p * r + simd_detail::kE2;
+    return (r * r) * p + r;
+  }
+
+  void sin_batch(const double* x, double* out, std::size_t n) const override {
+    if (fma_scheme_) {
+      simd_ops().vsin_fma(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = simd_detail::sin_estrin_one(x[i]);
+      }
+    }
+  }
+  void cos_batch(const double* x, double* out, std::size_t n) const override {
+    if (fma_scheme_) {
+      simd_ops().vcos_fma(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = simd_detail::cos_estrin_one(x[i]);
+      }
+    }
+  }
+  void exp_batch(const double* x, double* out, std::size_t n) const override {
+    if (fma_scheme_) {
+      simd_ops().vexp_fma(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = simd_detail::exp_estrin_one(x[i]);
+      }
+    }
+  }
+  void log_batch(const double* x, double* out, std::size_t n) const override {
+    if (fma_scheme_) {
+      simd_ops().vlog_fma(x, out, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = simd_detail::log_estrin_one(x[i]);
+      }
+    }
+  }
+  void linear_to_decibels_batch(const double* linear, double* out,
+                                std::size_t n) const override {
+    // Same computation as the scalar path: 20 * (log(x) * 1/ln10), with the
+    // <= 0 floor applied afterwards over the untouched input.
+    log_batch(linear, out, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = linear[i] <= 0.0 ? -1000.0 : 20.0 * (out[i] * kInvLn10);
+    }
+  }
+
+ private:
+  bool fma_scheme_;
+};
+
 }  // namespace
 
 std::string_view to_string(MathVariant v) {
@@ -460,8 +625,35 @@ std::string_view to_string(MathVariant v) {
     case MathVariant::kFastPolyTrim: return "fastpoly-trim";
     case MathVariant::kVectorized: return "vector-f32";
     case MathVariant::kTable: return "table-lerp";
+    case MathVariant::kSimdSse2: return "simd-sse2";
+    case MathVariant::kSimdAvx2: return "simd-avx2";
   }
   return "unknown";
+}
+
+void MathLibrary::sin_batch(const double* x, double* out,
+                            std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sin(x[i]);
+}
+
+void MathLibrary::cos_batch(const double* x, double* out,
+                            std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = cos(x[i]);
+}
+
+void MathLibrary::exp_batch(const double* x, double* out,
+                            std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp(x[i]);
+}
+
+void MathLibrary::log_batch(const double* x, double* out,
+                            std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = log(x[i]);
+}
+
+void MathLibrary::linear_to_decibels_batch(const double* linear, double* out,
+                                           std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = linear_to_decibels(linear[i]);
 }
 
 double MathLibrary::linear_to_decibels(double linear) const {
@@ -483,6 +675,8 @@ std::shared_ptr<const MathLibrary> make_math_library(MathVariant variant) {
       return std::make_shared<FastPolyMath>(true);
     case MathVariant::kVectorized: return std::make_shared<VectorizedMath>();
     case MathVariant::kTable: return std::make_shared<TableMath>();
+    case MathVariant::kSimdSse2: return std::make_shared<SimdMath>(false);
+    case MathVariant::kSimdAvx2: return std::make_shared<SimdMath>(true);
   }
   return std::make_shared<PreciseMath>();
 }

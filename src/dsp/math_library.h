@@ -12,6 +12,7 @@
 // differences.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string_view>
 
@@ -28,9 +29,11 @@ enum class MathVariant {
   kFastPolyTrim,  // even shorter kernels (embedded/legacy builds)
   kVectorized,    // float-precision intermediates (SIMD-like rounding)
   kTable,         // lookup-table + linear interpolation kernels
+  kSimdSse2,      // Estrin-scheme batch kernels (plain mul/add ops)
+  kSimdAvx2,      // Horner-with-fma batch kernels (vectorizable scheme)
 };
 
-inline constexpr int kNumMathVariants = 7;
+inline constexpr int kNumMathVariants = 9;
 
 [[nodiscard]] std::string_view to_string(MathVariant v);
 
@@ -53,6 +56,17 @@ class MathLibrary {
   [[nodiscard]] virtual double atan(double x) const = 0;
   [[nodiscard]] virtual double sqrt(double x) const = 0;
   [[nodiscard]] virtual double expm1(double x) const = 0;
+
+  /// Batch entry points for the DSP hot loops. The defaults loop over the
+  /// scalar virtuals, so every variant's batch results are bit-identical to
+  /// its scalar results; SIMD-scheme variants override these with the
+  /// vector-dispatched kernels (same bits, executed wide).
+  virtual void sin_batch(const double* x, double* out, std::size_t n) const;
+  virtual void cos_batch(const double* x, double* out, std::size_t n) const;
+  virtual void exp_batch(const double* x, double* out, std::size_t n) const;
+  virtual void log_batch(const double* x, double* out, std::size_t n) const;
+  virtual void linear_to_decibels_batch(const double* linear, double* out,
+                                        std::size_t n) const;
 
   /// dB conversions used by the analyser and compressor, derived from the
   /// virtual primitives so they inherit the variant's rounding behaviour.

@@ -1,0 +1,82 @@
+#include "dsp/simd.h"
+
+#include <cstdlib>
+
+#include "dsp/simd_tables.h"
+
+namespace wafp::dsp {
+
+std::string_view to_string(SimdBackend b) {
+  switch (b) {
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kSse2:
+      return "sse2";
+    case SimdBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<SimdBackend> parse_simd_backend(std::string_view value) {
+  if (value == "scalar") return SimdBackend::kScalar;
+  if (value == "sse2") return SimdBackend::kSse2;
+  if (value == "avx2") return SimdBackend::kAvx2;
+  return std::nullopt;
+}
+
+SimdBackend detect_simd_backend() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdBackend::kAvx2;
+  }
+  if (__builtin_cpu_supports("sse2")) {
+    return SimdBackend::kSse2;
+  }
+#endif
+  return SimdBackend::kScalar;
+}
+
+bool simd_backend_supported(SimdBackend b) {
+  // Backends are strictly ordered scalar < sse2 < avx2, and detection
+  // returns the highest executable tier.
+  return static_cast<int>(b) <= static_cast<int>(detect_simd_backend());
+}
+
+SimdBackend resolve_simd_backend(SimdBackend detected, const char* env) {
+  if (env != nullptr) {
+    const auto parsed = parse_simd_backend(env);
+    if (parsed.has_value() && simd_backend_supported(*parsed)) {
+      return *parsed;
+    }
+  }
+  return detected;
+}
+
+SimdBackend active_simd_backend() {
+  static const SimdBackend backend =
+      resolve_simd_backend(detect_simd_backend(), std::getenv("WAFP_SIMD"));
+  return backend;
+}
+
+const SimdOps& simd_ops_for(SimdBackend b) {
+  if (!simd_backend_supported(b)) {
+    return simd_detail::scalar_table();
+  }
+  switch (b) {
+    case SimdBackend::kScalar:
+      return simd_detail::scalar_table();
+    case SimdBackend::kSse2:
+      return simd_detail::sse2_table();
+    case SimdBackend::kAvx2:
+      return simd_detail::avx2_table();
+  }
+  return simd_detail::scalar_table();
+}
+
+const SimdOps& simd_ops() {
+  static const SimdOps& ops = simd_ops_for(active_simd_backend());
+  return ops;
+}
+
+}  // namespace wafp::dsp

@@ -1,0 +1,90 @@
+// Runtime-dispatched SIMD kernel layer (DESIGN.md §3g).
+//
+// A width-agnostic batch API over the DSP hot loops: elementwise
+// multiplies/accumulates, windowed accumulate, magnitude + dB pipelines,
+// FFT radix-2 butterflies, and the transcendental batch kernels behind the
+// kSimdSse2/kSimdAvx2 math variants. The backend (scalar / SSE2 / AVX2) is
+// picked once per process from CPUID, overridable with WAFP_SIMD for
+// deterministic A/B runs.
+//
+// Determinism contract: every kernel in SimdOps is bit-identical across
+// backends. The *transparent* kernels are single-rounding elementwise IEEE
+// ops; the *scheme* kernels (sin/cos/exp/log of the fma scheme) are defined
+// by portable reference code in kernels_internal.h that the vector
+// implementations mirror operation-for-operation. WAFP_SIMD therefore
+// changes speed, never digests — the fingerprint surface is carried by the
+// MathVariant, not by the executing host.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace wafp::dsp {
+
+enum class SimdBackend { kScalar, kSse2, kAvx2 };
+
+[[nodiscard]] std::string_view to_string(SimdBackend b);
+
+/// Parse a WAFP_SIMD value ("scalar" | "sse2" | "avx2"); nullopt for
+/// anything else (including empty).
+[[nodiscard]] std::optional<SimdBackend> parse_simd_backend(
+    std::string_view value);
+
+/// Best backend the host CPU can execute (AVX2 requires AVX2+FMA).
+[[nodiscard]] SimdBackend detect_simd_backend();
+
+/// True when the host can execute `b`'s kernels.
+[[nodiscard]] bool simd_backend_supported(SimdBackend b);
+
+/// Pure resolution rule (unit-testable): a parseable, host-supported `env`
+/// override wins; anything else resolves to `detected`.
+[[nodiscard]] SimdBackend resolve_simd_backend(SimdBackend detected,
+                                               const char* env);
+
+/// The process-wide backend: detect_simd_backend() + WAFP_SIMD, decided on
+/// first use and then pinned.
+[[nodiscard]] SimdBackend active_simd_backend();
+
+/// Batch kernel table. All pointers are non-null; semantics of each kernel
+/// are pinned by the matching *_ref loop in kernels_internal.h.
+struct SimdOps {
+  SimdBackend backend;
+
+  // Transparent elementwise kernels (bit-identical across backends).
+  void (*vmul_f32)(float* dst, const float* a, const float* b,
+                   std::size_t n);
+  void (*vadd_f32)(float* dst, const float* src, std::size_t n);
+  void (*vmac_f32)(float* dst, const float* src, float k, std::size_t n);
+  void (*vscale_f32)(float* dst, float k, std::size_t n);
+  void (*vscale_f64)(double* dst, double k, std::size_t n);
+  void (*vabs_f32)(float* dst, const float* src, std::size_t n);
+  void (*vabs_max_f32)(float* acc, const float* src, std::size_t n);
+  float (*vmax_abs_f32)(const float* src, std::size_t n);
+  void (*vwindow_f32)(float* dst, const double* block, const double* window,
+                      std::size_t n);
+  void (*vmag_f32)(float* dst, const float* re, const float* im, float scale,
+                   bool fused, std::size_t n);
+  void (*vsmooth_f32)(float* smoothed, const float* mag, float tau,
+                      float one_minus_tau, std::size_t n);
+  void (*butterfly_f32)(float* re, float* im, std::size_t half,
+                        const float* wr, const float* wi);
+  void (*butterfly_f64)(double* re, double* im, std::size_t half,
+                        const double* wr, const double* wi);
+
+  // Scheme transcendental batches (kSimdAvx2's fma-Horner semantics; bits
+  // never depend on the backend executing them).
+  void (*vsin_fma)(const double* x, double* out, std::size_t n);
+  void (*vcos_fma)(const double* x, double* out, std::size_t n);
+  void (*vexp_fma)(const double* x, double* out, std::size_t n);
+  void (*vlog_fma)(const double* x, double* out, std::size_t n);
+};
+
+/// Kernel table of the active backend.
+[[nodiscard]] const SimdOps& simd_ops();
+
+/// Kernel table of a specific backend; falls back to scalar when the host
+/// cannot execute `b` (used by benches and the bit-identity tests).
+[[nodiscard]] const SimdOps& simd_ops_for(SimdBackend b);
+
+}  // namespace wafp::dsp

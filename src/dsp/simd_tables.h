@@ -1,0 +1,13 @@
+// Internal: per-backend SimdOps tables, one per kernel TU. Only simd.cc
+// and the kernel TUs include this.
+#pragma once
+
+#include "dsp/simd.h"
+
+namespace wafp::dsp::simd_detail {
+
+[[nodiscard]] const SimdOps& scalar_table();
+[[nodiscard]] const SimdOps& sse2_table();
+[[nodiscard]] const SimdOps& avx2_table();
+
+}  // namespace wafp::dsp::simd_detail

@@ -12,11 +12,25 @@ std::vector<double> blackman_window(std::size_t size, const MathLibrary& math,
   const double kA1 = 0.5;
   const double kA2 = 0.5 * alpha;
 
+  // Batched: phases for both harmonics go through cos_batch, then one
+  // combine pass. Same per-element expressions as the classic loop, so the
+  // window is bit-identical for every math variant; SIMD-scheme variants
+  // run the cosine column vectorized.
   std::vector<double> window(size);
+  std::vector<double> phase(size);
+  std::vector<double> c2(size);
   for (std::size_t i = 0; i < size; ++i) {
     const double x = static_cast<double>(i) / static_cast<double>(size);
-    window[i] = kA0 - kA1 * math.cos(2.0 * std::numbers::pi * x) +
-                kA2 * math.cos(4.0 * std::numbers::pi * x);
+    phase[i] = 2.0 * std::numbers::pi * x;
+  }
+  math.cos_batch(phase.data(), window.data(), size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double x = static_cast<double>(i) / static_cast<double>(size);
+    phase[i] = 4.0 * std::numbers::pi * x;
+  }
+  math.cos_batch(phase.data(), c2.data(), size);
+  for (std::size_t i = 0; i < size; ++i) {
+    window[i] = kA0 - kA1 * window[i] + kA2 * c2[i];
   }
   return window;
 }

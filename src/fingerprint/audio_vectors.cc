@@ -19,6 +19,7 @@
 #include "webaudio/offline_audio_context.h"
 #include "webaudio/oscillator_node.h"
 #include "webaudio/periodic_wave.h"
+#include "webaudio/periodic_wave_cache.h"
 #include "webaudio/script_processor_node.h"
 
 namespace wafp::fingerprint {
@@ -61,8 +62,15 @@ std::shared_ptr<const PeriodicWave> make_custom_wave(
   for (std::size_t k = 1; k < imag.size(); ++k) {
     imag[k] = (k % 2 == 0) ? 0.0 : std::numbers::pi / 2.0;
   }
+  // Route through the config's wave cache so repeated renders of the same
+  // stack archetype reuse one table set instead of re-running kNumRanges
+  // inverse FFTs per render (the steady-state allocation audit pins this).
+  const EngineConfig& cfg = ctx.config();
+  if (cfg.wave_cache) {
+    return cfg.wave_cache->custom(kCustomReal, imag, kSampleRate, cfg);
+  }
   return std::make_shared<const PeriodicWave>(kCustomReal, imag, kSampleRate,
-                                              ctx.config());
+                                              cfg);
 }
 
 /// --- DC (Fig. 1): oscillator -> dynamics compressor -> destination. -----

@@ -1,0 +1,63 @@
+// BatchRenderer: archetype-grouped prewarm of the render cache.
+//
+// A population collect needs one render per distinct (audio stack, vector,
+// jitter state) class, but the natural user-major iteration order discovers
+// those classes scattered: cold renders interleave with hits, and parallel
+// workers pile onto the same cold keys (dedup waits). The batch path
+// inverts the order — callers enqueue every (vector, profile, jitter)
+// request up front, the renderer deduplicates them into classes, sorts the
+// classes by stack archetype, and renders each exactly once through the
+// shared RenderCache. Grouping by archetype keeps one platform's engine
+// parts (math library, FFT twiddles, wavetable cache — see
+// PlatformProfile::make_engine_config) hot across consecutive renders, and
+// gives parallel_for contiguous, balanced work. After render_all() the
+// user-major pass is pure cache hits.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fingerprint/render_cache.h"
+
+namespace wafp::fingerprint {
+
+struct BatchRenderStats {
+  std::size_t requests = 0;    // request() calls seen
+  std::size_t classes = 0;     // distinct render classes enqueued
+  std::size_t archetypes = 0;  // distinct stack archetypes among them
+};
+
+class BatchRenderer {
+ public:
+  explicit BatchRenderer(RenderCache& cache) : cache_(cache) {}
+
+  /// Record that the digest of `vector` on `profile`'s stack with
+  /// `jitter_state` will be needed. Duplicate classes collapse to one.
+  void request(const AudioFingerprintVector& vector,
+               const platform::PlatformProfile& profile,
+               std::uint32_t jitter_state);
+
+  /// Render every pending class through the cache, grouped by stack
+  /// archetype. `threads`: 1 = serial, 0 = util::default_thread_count().
+  /// Safe to call repeatedly; each call drains the pending set.
+  BatchRenderStats render_all(std::size_t threads = 1);
+
+ private:
+  struct Request {
+    const AudioFingerprintVector* vector;
+    const platform::PlatformProfile* profile;
+    std::uint32_t jitter;
+    std::uint64_t stack_hash;
+  };
+
+  RenderCache& cache_;
+  /// Dedup is keyed by (class_hash, vector, jitter) mixed into 64 bits. A
+  /// hash collision merely drops a class from the prewarm — the cache
+  /// renders it lazily on first real lookup — so correctness never rests
+  /// on hash uniqueness.
+  std::unordered_map<std::uint64_t, Request> pending_;
+  std::size_t requests_ = 0;
+};
+
+}  // namespace wafp::fingerprint

@@ -351,6 +351,17 @@ void DeviceCatalog::assign_audio_stack(PlatformProfile& p, Rng& rng,
       break;
   }
 
+  // --- SIMD-dispatched libm (DESIGN.md §3g): Linux Blink builds route the
+  // audio transcendentals through runtime-dispatched batch kernels, so the
+  // *user's CPU tier* — not the build — picks the numeric scheme. This
+  // splits otherwise identical Linux/Chrome builds into per-tier audio
+  // classes, while tier-0 hosts keep the classic table-driven kernels.
+  if (p.os == OsFamily::kLinux && p.engine == BrowserEngine::kBlink) {
+    a.math = p.simd_tier >= 2   ? dsp::MathVariant::kSimdAvx2
+             : p.simd_tier == 1 ? dsp::MathVariant::kSimdSse2
+                                : dsp::MathVariant::kTable;
+  }
+
   // --- FFT build: engine + runtime SIMD dispatch (analyser-visible only).
   if (p.engine == BrowserEngine::kGecko) {
     a.fft = dsp::FftVariant::kSplitRadix;

@@ -2,11 +2,42 @@
 
 #include <bit>
 #include <cstdio>
+#include <map>
 #include <sstream>
+#include <tuple>
 
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "webaudio/periodic_wave_cache.h"
 
 namespace wafp::platform {
+namespace {
+
+/// Process-wide memo for the heavyweight, immutable engine parts. Math
+/// libraries are stateless; FFT engines guard their twiddle cache with a
+/// mutex and keep scratch thread-local; wave caches are mutex-guarded — so
+/// every profile of the same stack archetype can share one instance of
+/// each. Sharing is digest-neutral (the parts are deterministic values);
+/// it turns per-render twiddle/wavetable builds into per-archetype ones.
+struct SharedEngineParts {
+  using FftKey = std::tuple<dsp::FftVariant, dsp::TwiddleMode, dsp::MathVariant>;
+
+  util::Mutex mu;
+  std::map<dsp::MathVariant, std::shared_ptr<const dsp::MathLibrary>> math
+      WAFP_GUARDED_BY(mu);
+  std::map<FftKey, std::shared_ptr<const dsp::FftEngine>> fft
+      WAFP_GUARDED_BY(mu);
+  std::map<FftKey, std::shared_ptr<webaudio::PeriodicWaveCache>> waves
+      WAFP_GUARDED_BY(mu);
+};
+
+SharedEngineParts& shared_engine_parts() {
+  static SharedEngineParts parts;
+  return parts;
+}
+
+}  // namespace
 
 std::string_view to_string(OsFamily v) {
   switch (v) {
@@ -145,8 +176,20 @@ std::string PlatformProfile::user_agent() const {
 
 webaudio::EngineConfig PlatformProfile::make_engine_config() const {
   webaudio::EngineConfig cfg;
-  cfg.math = dsp::make_math_library(audio.math);
-  cfg.fft = dsp::make_fft_engine(audio.fft, cfg.math, audio.twiddle);
+  auto& parts = shared_engine_parts();
+  const SharedEngineParts::FftKey key{audio.fft, audio.twiddle, audio.math};
+  {
+    util::MutexLock lock(parts.mu);
+    auto& math = parts.math[audio.math];
+    if (!math) math = dsp::make_math_library(audio.math);
+    cfg.math = math;
+    auto& fft = parts.fft[key];
+    if (!fft) fft = dsp::make_fft_engine(audio.fft, cfg.math, audio.twiddle);
+    cfg.fft = fft;
+    auto& waves = parts.waves[key];
+    if (!waves) waves = std::make_shared<webaudio::PeriodicWaveCache>();
+    cfg.wave_cache = waves;
+  }
   cfg.denormal = audio.denormal;
   cfg.fma_contraction = audio.fma_contraction;
   cfg.compressor = audio.compressor;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "fingerprint/batch_renderer.h"
 #include "fingerprint/collector.h"
 #include "fingerprint/vector_registry.h"
 #include "obs/span.h"
@@ -165,6 +166,32 @@ Dataset Dataset::collect(const StudyConfig& config) {
   // count — metrics are purely observational.
   fingerprint::CollectorOptions collector_options;
   collector_options.cache = &cache;
+
+  // Phase 1 — batched prewarm: enumerate every render class the collection
+  // below will ask for (draw_jitter is deterministic, so the jitter states
+  // replay identically) and render the distinct classes grouped by stack
+  // archetype. Chaotic draws derive from the stable render, so they enqueue
+  // state 0. Afterwards the user-major pass is pure cache hits, which is
+  // what makes it safe to parallelize without duplicate render work.
+  {
+    WAFP_SPAN("study/collect/prewarm");
+    fingerprint::FingerprintCollector draws(collector_options);
+    fingerprint::BatchRenderer batch(cache);
+    for (std::size_t u = 0; u < ds.population_->size(); ++u) {
+      const platform::StudyUser& user = ds.population_->user(u);
+      for (const fingerprint::VectorId id : audio_ids) {
+        const auto& vector = fingerprint::audio_vector(id);
+        for (std::uint32_t it = 0; it < config.iterations; ++it) {
+          const webaudio::RenderJitter jitter =
+              draws.draw_jitter(user, vector, it);
+          batch.request(vector, user.profile,
+                        jitter.chaos_seed != 0 ? 0 : jitter.state);
+        }
+      }
+    }
+    batch.render_all(config.threads);
+  }
+
   auto collect_range = [&](std::size_t begin, std::size_t end) {
     fingerprint::FingerprintCollector collector(collector_options);
     for (std::size_t u = begin; u < end; ++u) {

@@ -4,7 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
-#include "dsp/fma.h"
+#include <algorithm>
+
+#include "dsp/simd.h"
 #include "dsp/window.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -97,35 +99,44 @@ void AnalyserNode::get_float_frequency_data(std::span<float> out) {
   // 1. Gather the latest block; jitter state skews the read position.
   const std::size_t skew =
       static_cast<std::size_t>(cfg.jitter.state) * kSkewFramesPerState;
-  std::vector<double> block(fft_size_, 0.0);
-  gather_block(block, skew);
+  const std::size_t bins = frequency_bin_count();
+  block_scratch_.resize(fft_size_);
+  re_scratch_.resize(fft_size_);
+  im_scratch_.resize(fft_size_);
+  mag_scratch_.resize(bins);
+  db_lin_scratch_.resize(bins);
+  db_scratch_.resize(bins);
+  gather_block(block_scratch_, skew);
 
   // 2. Blackman window and FFT, both in float32 — as production analyser
   //    pipelines run (e.g. Blink's FFTFrame). Implementation rounding
   //    differences between FFT builds are therefore visible at the
   //    spectrum's leakage floor, which is what the FFT fingerprinting
-  //    vector harvests.
-  std::vector<float> re(fft_size_), im(fft_size_, 0.0f);
-  for (std::size_t i = 0; i < fft_size_; ++i) {
-    re[i] = static_cast<float>(block[i]) * static_cast<float>(window_[i]);
-  }
-  context().fft().forward(std::span<float>(re), std::span<float>(im));
+  //    vector harvests. The window/magnitude/smoothing columns run through
+  //    the batch kernel layer (dsp/simd.h), whose kernels are bit-identical
+  //    to the classic per-sample loops on every backend.
+  const dsp::SimdOps& ops = dsp::simd_ops();
+  ops.vwindow_f32(re_scratch_.data(), block_scratch_.data(), window_.data(),
+                  fft_size_);
+  std::fill(im_scratch_.begin(), im_scratch_.end(), 0.0f);
+  context().fft().forward(std::span<float>(re_scratch_),
+                          std::span<float>(im_scratch_));
 
   // 3. Magnitude, exponential smoothing, dB conversion (Blink order), all
   //    at float precision.
   const float scale = 1.0f / static_cast<float>(fft_size_);
   const auto tau = static_cast<float>(smoothing_);
-  const std::size_t bins = frequency_bin_count();
+  ops.vmag_f32(mag_scratch_.data(), re_scratch_.data(), im_scratch_.data(),
+               scale, cfg.fma_contraction, bins);
+  ops.vsmooth_f32(smoothed_magnitudes_.data(), mag_scratch_.data(), tau,
+                  1.0f - tau, bins);
   for (std::size_t k = 0; k < bins; ++k) {
-    const float mag =
-        std::sqrt(dsp::mul_add(re[k], re[k], im[k] * im[k],
-                               cfg.fma_contraction)) *
-        scale;
-    smoothed_magnitudes_[k] = tau * smoothed_magnitudes_[k] +
-                              (1.0f - tau) * mag;
-    const double db =
-        m.linear_to_decibels(static_cast<double>(smoothed_magnitudes_[k]));
-    if (k < out.size()) out[k] = static_cast<float>(db);
+    db_lin_scratch_[k] = static_cast<double>(smoothed_magnitudes_[k]);
+  }
+  m.linear_to_decibels_batch(db_lin_scratch_.data(), db_scratch_.data(), bins);
+  const std::size_t out_bins = std::min(bins, out.size());
+  for (std::size_t k = 0; k < out_bins; ++k) {
+    out[k] = static_cast<float>(db_scratch_[k]);
   }
 
   // 4. Chaotic glitch: a one-off transient perturbs a handful of bins by a
@@ -144,10 +155,10 @@ void AnalyserNode::get_float_frequency_data(std::span<float> out) {
 }
 
 void AnalyserNode::get_float_time_domain_data(std::span<float> out) const {
-  std::vector<double> block(fft_size_, 0.0);
-  gather_block(block, /*skew=*/0);
+  block_scratch_.resize(fft_size_);
+  gather_block(block_scratch_, /*skew=*/0);
   for (std::size_t i = 0; i < fft_size_ && i < out.size(); ++i) {
-    out[i] = static_cast<float>(block[i]);
+    out[i] = static_cast<float>(block_scratch_[i]);
   }
 }
 

@@ -61,6 +61,16 @@ class AnalyserNode final : public AudioNode {
   std::vector<double> window_;        // cached per fftSize
   std::size_t window_fft_size_ = 0;   // size the cache was built for
   std::uint64_t capture_counter_ = 0; // distinguishes chaos draws per call
+
+  // Capture scratch, grown to fftSize on first use so repeated captures
+  // allocate nothing. `block_scratch_` is mutable because the const
+  // time-domain getter shares it.
+  mutable std::vector<double> block_scratch_;
+  std::vector<float> re_scratch_;
+  std::vector<float> im_scratch_;
+  std::vector<float> mag_scratch_;
+  std::vector<double> db_lin_scratch_;
+  std::vector<double> db_scratch_;
 };
 
 }  // namespace wafp::webaudio

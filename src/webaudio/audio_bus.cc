@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dsp/simd.h"
 #include "util/check.h"
 
 namespace wafp::webaudio {
@@ -33,30 +34,25 @@ void AudioBus::zero() {
 
 void AudioBus::sum_from(const AudioBus& source) {
   WAFP_DCHECK(source.frames_ == frames_);
+  const dsp::SimdOps& ops = dsp::simd_ops();
   if (source.channels_ == channels_) {
     for (std::size_t c = 0; c < channels_; ++c) {
-      const float* in = source.channel(c);
-      float* out = channel(c);
-      for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i];
+      ops.vadd_f32(channel(c), source.channel(c), frames_);
     }
     return;
   }
   if (source.channels_ == 1) {
     // Mono -> N: replicate into every destination channel.
-    const float* in = source.channel(0);
     for (std::size_t c = 0; c < channels_; ++c) {
-      float* out = channel(c);
-      for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i];
+      ops.vadd_f32(channel(c), source.channel(0), frames_);
     }
     return;
   }
   if (channels_ == 1) {
     // N -> mono: average.
-    float* out = channel(0);
     const float scale = 1.0f / static_cast<float>(source.channels_);
     for (std::size_t c = 0; c < source.channels_; ++c) {
-      const float* in = source.channel(c);
-      for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i] * scale;
+      ops.vmac_f32(channel(0), source.channel(c), scale, frames_);
     }
     return;
   }
@@ -64,9 +60,7 @@ void AudioBus::sum_from(const AudioBus& source) {
   // last destination channel.
   for (std::size_t c = 0; c < source.channels_; ++c) {
     const std::size_t dest = std::min(c, channels_ - 1);
-    const float* in = source.channel(c);
-    float* out = channel(dest);
-    for (std::size_t i = 0; i < frames_; ++i) out[i] += in[i];
+    ops.vadd_f32(channel(dest), source.channel(c), frames_);
   }
 }
 

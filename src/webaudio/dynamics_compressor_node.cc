@@ -1,10 +1,12 @@
 #include "webaudio/dynamics_compressor_node.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "dsp/denormal.h"
 #include "dsp/fma.h"
+#include "dsp/simd.h"
 #include "webaudio/offline_audio_context.h"
 
 namespace wafp::webaudio {
@@ -145,15 +147,23 @@ void DynamicsCompressorNode::process(std::size_t start_frame,
       m.exp(-1.0 / (cfg.compressor.metering_release_seconds * sr));
 
   const std::size_t channels = out.channels();
+
+  // Stage 1 — look-ahead detection, batched: per-frame max |x| across
+  // channels through the abs-max kernel. abs_max_f32_ref mirrors
+  // std::max(acc, |v|) exactly (NaN keeps the accumulator), so this stage
+  // is bit-identical to the classic fused loop.
+  const dsp::SimdOps& ops = dsp::simd_ops();
+  std::array<float, kRenderQuantumFrames> frame_abs{};
+  for (std::size_t c = 0; c < channels; ++c) {
+    ops.vabs_max_f32(frame_abs.data(), input_scratch_.channel(c), frames);
+  }
+
+  // Stage 2 — the gain recursion. Inherently sequential (each frame's gain
+  // feeds the next), so it stays scalar; results land in a per-frame gain
+  // buffer for the vector-friendly output stage.
+  std::array<float, kRenderQuantumFrames> total_gain;
   for (std::size_t i = 0; i < frames; ++i) {
-    // Look-ahead detection on the *current* input; gain applies to the
-    // delayed signal.
-    double abs_input = 0.0;
-    for (std::size_t c = 0; c < channels; ++c) {
-      abs_input = std::max(
-          abs_input,
-          static_cast<double>(std::fabs(input_scratch_.channel(c)[i])));
-    }
+    const double abs_input = static_cast<double>(frame_abs[i]);
 
     double desired_gain = 1.0;
     if (abs_input > 1.0e-12) {
@@ -190,16 +200,26 @@ void DynamicsCompressorNode::process(std::size_t start_frame,
           metering_k * metering_gain_ + (1.0 - metering_k) * compressor_gain_;
     }
 
-    const auto total_gain =
-        static_cast<float>(compressor_gain_ * curve_.makeup_gain);
-    for (std::size_t c = 0; c < channels; ++c) {
-      float& delayed = pre_delay_[c][pre_delay_index_];
-      const float output_sample = delayed * total_gain;
-      delayed = input_scratch_.channel(c)[i];
-      out.channel(c)[i] = dsp::flush_denormal(output_sample, cfg.denormal);
-    }
-    pre_delay_index_ = (pre_delay_index_ + 1) % pre_delay_frames_;
+    total_gain[i] = static_cast<float>(compressor_gain_ * curve_.makeup_gain);
   }
+
+  // Stage 3 — apply gain to the delayed signal, channel-major. Each
+  // (channel, ring-slot) pair keeps its original read-then-write order, so
+  // the fission is exact even when the pre-delay is shorter than a quantum.
+  for (std::size_t c = 0; c < channels; ++c) {
+    auto& ring = pre_delay_[c];
+    const float* in = input_scratch_.channel(c);
+    float* dst = out.channel(c);
+    std::size_t idx = pre_delay_index_;
+    for (std::size_t i = 0; i < frames; ++i) {
+      float& delayed = ring[idx];
+      const float output_sample = delayed * total_gain[i];
+      delayed = in[i];
+      dst[i] = dsp::flush_denormal(output_sample, cfg.denormal);
+      idx = (idx + 1) % pre_delay_frames_;
+    }
+  }
+  pre_delay_index_ = (pre_delay_index_ + frames) % pre_delay_frames_;
   reduction_ = static_cast<float>(
       m.linear_to_decibels(std::max(metering_gain_, 1.0e-9)));
 }

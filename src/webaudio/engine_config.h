@@ -20,6 +20,8 @@ class MetricsRegistry;
 
 namespace wafp::webaudio {
 
+class PeriodicWaveCache;
+
 /// Micro-variants of the dynamics-compressor kernel, representing vendor /
 /// version differences (Chromium revisions, Gecko's independent kernel).
 struct CompressorTuning {
@@ -92,6 +94,12 @@ struct EngineConfig {
   CompressorTuning compressor;
   AnalyserTuning analyser;
   RenderJitter jitter;
+
+  /// Shared wavetable cache (periodic_wave_cache.h). Waves depend only on
+  /// `fft` and `math`, so configs built from the same platform stack should
+  /// share one instance. nullptr = oscillators build waves per render
+  /// (value-identical, just slower).
+  std::shared_ptr<PeriodicWaveCache> wave_cache;
 
   /// Metrics sink for render instrumentation (per-node process time,
   /// whole-render latency). nullptr = obs::MetricsRegistry::global().

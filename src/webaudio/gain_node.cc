@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "dsp/simd.h"
 #include "webaudio/offline_audio_context.h"
 
 namespace wafp::webaudio {
@@ -20,10 +21,10 @@ void GainNode::process(std::size_t start_frame, std::size_t frames) {
                        sample_rate(), math());
 
   AudioBus& out = mutable_output();
+  const dsp::SimdOps& ops = dsp::simd_ops();
   for (std::size_t c = 0; c < out.channels(); ++c) {
-    const float* in = input_scratch_.channel(c);
-    float* dst = out.channel(c);
-    for (std::size_t i = 0; i < frames; ++i) dst[i] = in[i] * gain_values[i];
+    ops.vmul_f32(out.channel(c), input_scratch_.channel(c),
+                 gain_values.data(), frames);
   }
 }
 

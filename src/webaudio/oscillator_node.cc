@@ -1,10 +1,12 @@
 #include "webaudio/oscillator_node.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <stdexcept>
 
 #include "webaudio/offline_audio_context.h"
+#include "webaudio/periodic_wave_cache.h"
 
 namespace wafp::webaudio {
 
@@ -61,7 +63,10 @@ void OscillatorNode::process(std::size_t start_frame, std::size_t frames) {
   if (!started_) return;
 
   if (!wave_) {
-    wave_ = PeriodicWave::standard(type_, sample_rate(), context().config());
+    const auto& cfg = context().config();
+    wave_ = cfg.wave_cache
+                ? cfg.wave_cache->standard(type_, sample_rate(), cfg)
+                : PeriodicWave::standard(type_, sample_rate(), cfg);
   }
 
   std::array<float, kRenderQuantumFrames> freq_values;
@@ -75,6 +80,39 @@ void OscillatorNode::process(std::size_t start_frame, std::size_t frames) {
 
   float* samples = out.channel(0);
   const double dt = 1.0 / sample_rate();
+
+  // Constant-rate fast path: when neither param is automated this quantum
+  // and every frame is live, the detune pow and the wavetable range
+  // selection hoist out of the loop. Both are pure functions of the (now
+  // constant) frequency, so the emitted samples are bit-identical to the
+  // generic loop — only the phase recursion remains per sample.
+  const bool freq_constant =
+      std::all_of(freq_values.begin(), freq_values.begin() + frames,
+                  [&](float v) { return v == freq_values[0]; });
+  const bool detune_constant =
+      std::all_of(detune_values.begin(), detune_values.begin() + frames,
+                  [&](float v) { return v == detune_values[0]; });
+  const double last_t =
+      start_time + static_cast<double>(frames - 1) * dt;
+  const bool all_live =
+      frames > 0 && start_time >= start_time_ &&
+      (stop_time_ < 0.0 || last_t < stop_time_);
+
+  if (freq_constant && detune_constant && all_live) {
+    double f = freq_values[0];
+    if (detune_values[0] != 0.0f) {
+      f *= math().pow(2.0, static_cast<double>(detune_values[0]) / 1200.0);
+    }
+    const auto sampler = wave_->constant_rate_sampler(f);
+    const double dphase = f * dt;
+    for (std::size_t i = 0; i < frames; ++i) {
+      samples[i] = sampler(phase_);
+      phase_ += dphase;
+      phase_ -= std::floor(phase_);  // wrap to [0, 1)
+    }
+    return;
+  }
+
   for (std::size_t i = 0; i < frames; ++i) {
     const double t = start_time + static_cast<double>(i) * dt;
     if (t < start_time_ || (stop_time_ >= 0.0 && t >= stop_time_)) {

@@ -1,16 +1,20 @@
 #include "webaudio/periodic_wave.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
+#include "dsp/simd.h"
 #include "util/check.h"
 
 namespace wafp::webaudio {
 namespace {
 
 constexpr double kPi = std::numbers::pi;
+
+std::atomic<std::uint64_t> g_wave_builds{0};
 
 /// Fourier sine coefficients b_k (k >= 1) of the spec waveforms. These are
 /// exact rational-in-pi constants; platform flavour enters through the
@@ -91,18 +95,24 @@ PeriodicWave::PeriodicWave(std::span<const double> real,
 
   if (normalize) {
     // Blink-style: one scale derived from the full-bandwidth table, applied
-    // to every range so relative band-limiting is preserved.
-    float max_abs = 0.0f;
-    for (const float v : tables_.back()) {
-      max_abs = std::max(max_abs, std::fabs(v));
-    }
+    // to every range so relative band-limiting is preserved. Both the
+    // max-|x| reduction (order-independent, hence exact) and the rescale go
+    // through the batch kernel layer.
+    const dsp::SimdOps& ops = dsp::simd_ops();
+    const auto& full = tables_.back();
+    const float max_abs = ops.vmax_abs_f32(full.data(), full.size());
     if (max_abs > 0.0f) {
       const float scale = 1.0f / max_abs;
       for (auto& table : tables_) {
-        for (float& v : table) v *= scale;
+        ops.vscale_f32(table.data(), scale, table.size());
       }
     }
   }
+  g_wave_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t periodic_wave_builds() {
+  return g_wave_builds.load(std::memory_order_relaxed);
 }
 
 std::shared_ptr<const PeriodicWave> PeriodicWave::standard(
@@ -146,6 +156,18 @@ float PeriodicWave::sample(double phase, double fundamental_hz) const {
   const float b = table_lookup(tables_[lower + 1], phase);
   // Blend toward the less band-limited table as the fundamental drops.
   return a + frac * (b - a);
+}
+
+PeriodicWave::ConstantRateSampler PeriodicWave::constant_rate_sampler(
+    double fundamental_hz) const {
+  const double pos = range_position(fundamental_hz);
+  const auto lower = static_cast<std::size_t>(pos);
+  const auto frac = static_cast<float>(pos - static_cast<double>(lower));
+  ConstantRateSampler s;
+  s.lower_ = &tables_[lower];
+  s.frac_ = frac;
+  if (frac != 0.0f && lower + 1 < kNumRanges) s.upper_ = &tables_[lower + 1];
+  return s;
 }
 
 }  // namespace wafp::webaudio

@@ -6,6 +6,7 @@
 // carries the platform fingerprint.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -16,6 +17,12 @@
 namespace wafp::webaudio {
 
 enum class OscillatorType { kSine, kSquare, kSawtooth, kTriangle, kCustom };
+
+/// Process-wide count of PeriodicWave constructions. Building a wave runs
+/// kNumRanges inverse FFTs, so the wave cache (periodic_wave_cache.h) should
+/// hold this flat across repeated renders; the allocation-audit test asserts
+/// exactly that.
+[[nodiscard]] std::uint64_t periodic_wave_builds();
 
 [[nodiscard]] std::string_view to_string(OscillatorType t);
 
@@ -39,6 +46,29 @@ class PeriodicWave {
   /// Waveform value at `phase` in [0, 1) for the given fundamental; the
   /// fundamental picks (and blends) the band-limited range tables.
   [[nodiscard]] float sample(double phase, double fundamental_hz) const;
+
+  /// Hoisted range selection for a constant fundamental: resolves the range
+  /// tables and blend fraction once, then samples with exactly the same
+  /// arithmetic as sample(). This is the oscillator's constant-rate fast
+  /// path — it drops a log2 + clamp from every sample.
+  class ConstantRateSampler {
+   public:
+    [[nodiscard]] float operator()(double phase) const {
+      const float a = table_lookup(*lower_, phase);
+      if (frac_ == 0.0f || upper_ == nullptr) return a;
+      const float b = table_lookup(*upper_, phase);
+      return a + frac_ * (b - a);
+    }
+
+   private:
+    friend class PeriodicWave;
+    const std::vector<float>* lower_ = nullptr;
+    const std::vector<float>* upper_ = nullptr;  // null: no blend
+    float frac_ = 0.0f;
+  };
+
+  [[nodiscard]] ConstantRateSampler constant_rate_sampler(
+      double fundamental_hz) const;
 
   [[nodiscard]] double sample_rate() const { return sample_rate_; }
 

@@ -1,0 +1,49 @@
+#include "webaudio/periodic_wave_cache.h"
+
+#include <string_view>
+
+#include "util/hash.h"
+
+namespace wafp::webaudio {
+namespace {
+
+std::string_view raw_bytes(std::span<const double> v) {
+  return {reinterpret_cast<const char*>(v.data()), v.size_bytes()};
+}
+
+}  // namespace
+
+std::shared_ptr<const PeriodicWave> PeriodicWaveCache::standard(
+    OscillatorType type, double sample_rate, const EngineConfig& config) {
+  const Key key{type, sample_rate};
+  {
+    util::MutexLock lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Build outside the lock: construction is deterministic, so if two
+  // threads race the duplicates are value-identical and either may win.
+  auto wave = PeriodicWave::standard(type, sample_rate, config);
+  util::MutexLock lock(mu_);
+  return cache_.emplace(key, std::move(wave)).first->second;
+}
+
+std::shared_ptr<const PeriodicWave> PeriodicWaveCache::custom(
+    std::span<const double> real, std::span<const double> imag,
+    double sample_rate, const EngineConfig& config, bool normalize) {
+  std::uint64_t h = util::fnv1a64(raw_bytes(real));
+  h = util::fnv1a64_mix(h, static_cast<std::uint64_t>(real.size()));
+  h = util::fnv1a64_mix(h, raw_bytes(imag));
+  const CustomKey key{h, sample_rate, normalize};
+  {
+    util::MutexLock lock(mu_);
+    const auto it = custom_cache_.find(key);
+    if (it != custom_cache_.end()) return it->second;
+  }
+  auto wave = std::make_shared<const PeriodicWave>(real, imag, sample_rate,
+                                                   config, normalize);
+  util::MutexLock lock(mu_);
+  return custom_cache_.emplace(key, std::move(wave)).first->second;
+}
+
+}  // namespace wafp::webaudio

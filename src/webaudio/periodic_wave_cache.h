@@ -1,0 +1,52 @@
+// Shared cache of standard PeriodicWave tables.
+//
+// Building a wave runs kNumRanges inverse FFTs through the platform's math
+// library, so rebuilding the same four spec waveforms for every oscillator
+// of every render is the single largest avoidable cost in a population
+// collect. One cache instance is attached to each distinct EngineConfig
+// (see PlatformProfile::make_engine_config): waves only depend on the
+// config's FFT engine and math library, so every render sharing a config
+// can share its tables. Entries are immutable after construction and never
+// evicted; the cache is safe to hit from concurrent render threads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <tuple>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "webaudio/periodic_wave.h"
+
+namespace wafp::webaudio {
+
+class PeriodicWaveCache {
+ public:
+  /// The cached equivalent of PeriodicWave::standard(). `config` must be
+  /// the config this cache is attached to — it is only consulted on a miss.
+  [[nodiscard]] std::shared_ptr<const PeriodicWave> standard(
+      OscillatorType type, double sample_rate, const EngineConfig& config);
+
+  /// The cached equivalent of constructing a PeriodicWave from Fourier
+  /// coefficients. Keyed by the raw coefficient bits, so value-identical
+  /// spectra share one table set per cache (i.e. per stack archetype).
+  [[nodiscard]] std::shared_ptr<const PeriodicWave> custom(
+      std::span<const double> real, std::span<const double> imag,
+      double sample_rate, const EngineConfig& config, bool normalize = true);
+
+ private:
+  using Key = std::pair<OscillatorType, double>;
+  // (spectrum hash, sample rate, normalize)
+  using CustomKey = std::tuple<std::uint64_t, double, bool>;
+
+  mutable util::Mutex mu_;
+  std::map<Key, std::shared_ptr<const PeriodicWave>> cache_
+      WAFP_GUARDED_BY(mu_);
+  std::map<CustomKey, std::shared_ptr<const PeriodicWave>> custom_cache_
+      WAFP_GUARDED_BY(mu_);
+};
+
+}  // namespace wafp::webaudio

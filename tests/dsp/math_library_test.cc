@@ -14,7 +14,8 @@ const std::vector<MathVariant> kAllVariants = {
     MathVariant::kPrecise,      MathVariant::kFdlibm,
     MathVariant::kFdlibmLegacy, MathVariant::kFastPoly,
     MathVariant::kFastPolyTrim, MathVariant::kVectorized,
-    MathVariant::kTable,
+    MathVariant::kTable,        MathVariant::kSimdSse2,
+    MathVariant::kSimdAvx2,
 };
 
 /// Worst acceptable absolute error per variant on moderate arguments.
@@ -27,6 +28,11 @@ double tolerance(MathVariant v) {
     case MathVariant::kFastPolyTrim: return 1e-5;
     case MathVariant::kVectorized: return 1e-4;  // float precision
     case MathVariant::kTable: return 2e-3;       // linear interpolation
+    // The SIMD schemes round through a float lane (results for the Estrin
+    // scheme, arguments for the FMA scheme), so their error floor is the
+    // single-precision ulp (~6e-8), scaled by the argument for kSimdAvx2.
+    case MathVariant::kSimdSse2: return 1e-6;
+    case MathVariant::kSimdAvx2: return 1e-6;
   }
   return 1e-3;
 }
@@ -159,6 +165,50 @@ TEST(MathLibraryTest, VariantsDifferBitwise) {
     }
   }
   EXPECT_EQ(indistinguishable_pairs, 0);
+}
+
+TEST(MathLibraryTest, BatchEntryPointsMatchScalarBitwise) {
+  // The batch API is an execution-strategy knob, not a semantics knob: for
+  // every variant, batched results must equal the scalar virtuals exactly.
+  std::vector<double> xs;
+  for (double x = -30.0; x <= 30.0; x += 0.217) xs.push_back(x);
+  xs.push_back(0.0);
+  xs.push_back(1e-300);
+  xs.push_back(std::numeric_limits<double>::quiet_NaN());
+  for (const auto variant : kAllVariants) {
+    const auto lib = make_math_library(variant);
+    std::vector<double> got(xs.size());
+    const auto check = [&](const char* what, double scalar, double batched) {
+      const bool equal =
+          scalar == batched || (std::isnan(scalar) && std::isnan(batched));
+      EXPECT_TRUE(equal) << to_string(variant) << " " << what
+                         << " scalar=" << scalar << " batch=" << batched;
+    };
+    lib->sin_batch(xs.data(), got.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      check("sin", lib->sin(xs[i]), got[i]);
+    }
+    lib->cos_batch(xs.data(), got.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      check("cos", lib->cos(xs[i]), got[i]);
+    }
+    lib->exp_batch(xs.data(), got.data(), xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      check("exp", lib->exp(xs[i]), got[i]);
+    }
+    std::vector<double> pos(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      pos[i] = std::fabs(xs[i]) + 1e-3;
+    }
+    lib->log_batch(pos.data(), got.data(), pos.size());
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      check("log", lib->log(pos[i]), got[i]);
+    }
+    lib->linear_to_decibels_batch(pos.data(), got.data(), pos.size());
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      check("lin2db", lib->linear_to_decibels(pos[i]), got[i]);
+    }
+  }
 }
 
 TEST(MathLibraryTest, DeterministicAcrossInstances) {

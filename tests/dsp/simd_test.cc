@@ -1,0 +1,363 @@
+#include "dsp/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "dsp/kernels_internal.h"
+
+namespace wafp::dsp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kQNan = std::numeric_limits<double>::quiet_NaN();
+
+// Sizes chosen to exercise empty input, sub-vector tails, exact vector
+// multiples for 2/4/8-wide lanes, and a render-quantum-sized run.
+const std::vector<std::size_t> kSizes = {0, 1, 2, 3, 5, 7, 8, 9, 16, 31, 128};
+
+std::vector<float> random_f32(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-8.0F, 8.0F);
+  std::vector<float> out(n);
+  for (auto& v : out) v = dist(rng);
+  if (n >= 8) {
+    // Edge lanes: the kernels must treat these exactly like scalar code.
+    out[1] = -0.0F;
+    out[3] = std::numeric_limits<float>::quiet_NaN();
+    out[5] = std::numeric_limits<float>::infinity();
+    out[7] = 1e-41F;  // denormal
+  }
+  return out;
+}
+
+std::vector<double> random_f64(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-8.0, 8.0);
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+template <typename T>
+void expect_bitwise_equal(const std::vector<T>& got, const std::vector<T>& want,
+                          const char* what, std::size_t n) {
+  ASSERT_EQ(got.size(), want.size());
+  if (!got.empty()) {
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(T)), 0)
+        << what << " diverges from scalar at n=" << n;
+  }
+}
+
+std::vector<SimdBackend> backends_under_test() {
+  return {SimdBackend::kScalar, SimdBackend::kSse2, SimdBackend::kAvx2};
+}
+
+TEST(SimdDispatchTest, ParseRecognisesExactlyTheThreeBackends) {
+  EXPECT_EQ(parse_simd_backend("scalar"), SimdBackend::kScalar);
+  EXPECT_EQ(parse_simd_backend("sse2"), SimdBackend::kSse2);
+  EXPECT_EQ(parse_simd_backend("avx2"), SimdBackend::kAvx2);
+  EXPECT_FALSE(parse_simd_backend("").has_value());
+  EXPECT_FALSE(parse_simd_backend("AVX2").has_value());
+  EXPECT_FALSE(parse_simd_backend("sse4.2").has_value());
+  EXPECT_FALSE(parse_simd_backend("scalar ").has_value());
+}
+
+TEST(SimdDispatchTest, ToStringRoundTrips) {
+  for (const auto b : backends_under_test()) {
+    const auto parsed = parse_simd_backend(to_string(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+}
+
+TEST(SimdDispatchTest, ResolvePrefersSupportedOverride) {
+  const SimdBackend detected = detect_simd_backend();
+  // No override / junk override -> detected.
+  EXPECT_EQ(resolve_simd_backend(detected, nullptr), detected);
+  EXPECT_EQ(resolve_simd_backend(detected, ""), detected);
+  EXPECT_EQ(resolve_simd_backend(detected, "turbo"), detected);
+  // Scalar is supported everywhere, so it always wins as an override.
+  EXPECT_EQ(resolve_simd_backend(detected, "scalar"), SimdBackend::kScalar);
+  // A supported non-scalar override wins; an unsupported one is ignored.
+  for (const auto b : {SimdBackend::kSse2, SimdBackend::kAvx2}) {
+    const auto resolved =
+        resolve_simd_backend(SimdBackend::kScalar, to_string(b).data());
+    if (simd_backend_supported(b)) {
+      EXPECT_EQ(resolved, b);
+    } else {
+      EXPECT_EQ(resolved, SimdBackend::kScalar);
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ActiveBackendIsSupportedAndStable) {
+  const SimdBackend active = active_simd_backend();
+  EXPECT_TRUE(simd_backend_supported(active));
+  EXPECT_EQ(active_simd_backend(), active);
+  EXPECT_EQ(simd_ops().backend, simd_ops_for(active).backend);
+}
+
+TEST(SimdDispatchTest, UnsupportedRequestFallsBackToScalarTable) {
+  for (const auto b : backends_under_test()) {
+    const SimdOps& ops = simd_ops_for(b);
+    if (simd_backend_supported(b)) {
+      EXPECT_EQ(ops.backend, b);
+    } else {
+      EXPECT_EQ(ops.backend, SimdBackend::kScalar);
+    }
+  }
+}
+
+TEST(SimdKernelTest, TransparentKernelsBitIdenticalAcrossBackends) {
+  const SimdOps& ref = simd_ops_for(SimdBackend::kScalar);
+  for (const auto backend : backends_under_test()) {
+    const SimdOps& ops = simd_ops_for(backend);
+    for (const std::size_t n : kSizes) {
+      const auto a = random_f32(n, 1);
+      const auto b = random_f32(n, 2);
+      const auto d64 = random_f64(n, 3);
+      const auto w64 = random_f64(n, 4);
+
+      std::vector<float> got(n), want(n);
+      ops.vmul_f32(got.data(), a.data(), b.data(), n);
+      ref.vmul_f32(want.data(), a.data(), b.data(), n);
+      expect_bitwise_equal(got, want, "vmul_f32", n);
+
+      got = a;
+      want = a;
+      ops.vadd_f32(got.data(), b.data(), n);
+      ref.vadd_f32(want.data(), b.data(), n);
+      expect_bitwise_equal(got, want, "vadd_f32", n);
+
+      got = a;
+      want = a;
+      ops.vmac_f32(got.data(), b.data(), 0.7F, n);
+      ref.vmac_f32(want.data(), b.data(), 0.7F, n);
+      expect_bitwise_equal(got, want, "vmac_f32", n);
+
+      got = a;
+      want = a;
+      ops.vscale_f32(got.data(), -1.3F, n);
+      ref.vscale_f32(want.data(), -1.3F, n);
+      expect_bitwise_equal(got, want, "vscale_f32", n);
+
+      std::vector<double> got64 = d64;
+      std::vector<double> want64 = d64;
+      ops.vscale_f64(got64.data(), 0.031, n);
+      ref.vscale_f64(want64.data(), 0.031, n);
+      expect_bitwise_equal(got64, want64, "vscale_f64", n);
+
+      ops.vabs_f32(got.data(), a.data(), n);
+      ref.vabs_f32(want.data(), a.data(), n);
+      expect_bitwise_equal(got, want, "vabs_f32", n);
+
+      got = b;
+      want = b;
+      ops.vabs_max_f32(got.data(), a.data(), n);
+      ref.vabs_max_f32(want.data(), a.data(), n);
+      expect_bitwise_equal(got, want, "vabs_max_f32", n);
+
+      const float got_max = ops.vmax_abs_f32(a.data(), n);
+      const float want_max = ref.vmax_abs_f32(a.data(), n);
+      EXPECT_EQ(std::memcmp(&got_max, &want_max, sizeof(float)), 0)
+          << "vmax_abs_f32 diverges at n=" << n;
+
+      ops.vwindow_f32(got.data(), d64.data(), w64.data(), n);
+      ref.vwindow_f32(want.data(), d64.data(), w64.data(), n);
+      expect_bitwise_equal(got, want, "vwindow_f32", n);
+
+      for (const bool fused : {false, true}) {
+        ops.vmag_f32(got.data(), a.data(), b.data(), 0.25F, fused, n);
+        ref.vmag_f32(want.data(), a.data(), b.data(), 0.25F, fused, n);
+        expect_bitwise_equal(got, want, fused ? "vmag_f32/fused" : "vmag_f32",
+                             n);
+      }
+
+      got = a;
+      want = a;
+      ops.vsmooth_f32(got.data(), b.data(), 0.8F, 0.2F, n);
+      ref.vsmooth_f32(want.data(), b.data(), 0.8F, 0.2F, n);
+      expect_bitwise_equal(got, want, "vsmooth_f32", n);
+    }
+  }
+}
+
+TEST(SimdKernelTest, ButterflyKernelsBitIdenticalAcrossBackends) {
+  const SimdOps& ref = simd_ops_for(SimdBackend::kScalar);
+  for (const auto backend : backends_under_test()) {
+    const SimdOps& ops = simd_ops_for(backend);
+    for (const std::size_t half : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{4}, std::size_t{8},
+                                   std::size_t{13}, std::size_t{64}}) {
+      const auto re0 = random_f32(2 * half, 11);
+      const auto im0 = random_f32(2 * half, 12);
+      const auto wr = random_f32(half, 13);
+      const auto wi = random_f32(half, 14);
+
+      auto re_got = re0;
+      auto im_got = im0;
+      auto re_want = re0;
+      auto im_want = im0;
+      ops.butterfly_f32(re_got.data(), im_got.data(), half, wr.data(),
+                        wi.data());
+      ref.butterfly_f32(re_want.data(), im_want.data(), half, wr.data(),
+                        wi.data());
+      expect_bitwise_equal(re_got, re_want, "butterfly_f32/re", half);
+      expect_bitwise_equal(im_got, im_want, "butterfly_f32/im", half);
+
+      const auto dre0 = random_f64(2 * half, 15);
+      const auto dim0 = random_f64(2 * half, 16);
+      const auto dwr = random_f64(half, 17);
+      const auto dwi = random_f64(half, 18);
+      auto dre_got = dre0;
+      auto dim_got = dim0;
+      auto dre_want = dre0;
+      auto dim_want = dim0;
+      ops.butterfly_f64(dre_got.data(), dim_got.data(), half, dwr.data(),
+                        dwi.data());
+      ref.butterfly_f64(dre_want.data(), dim_want.data(), half, dwr.data(),
+                        dwi.data());
+      expect_bitwise_equal(dre_got, dre_want, "butterfly_f64/re", half);
+      expect_bitwise_equal(dim_got, dim_want, "butterfly_f64/im", half);
+    }
+  }
+}
+
+std::vector<double> scheme_probe_inputs() {
+  std::vector<double> x = random_f64(96, 21);
+  // Trig stress: near multiples of pi/2 where quadrant selection flips, and
+  // large arguments where the two-step reduction loses accuracy gracefully.
+  const double half_pi = 1.57079632679489661923;
+  for (int k = -8; k <= 8; ++k) {
+    x.push_back(k * half_pi);
+    x.push_back(k * half_pi + 1e-9);
+  }
+  x.insert(x.end(), {0.0, -0.0, 1e-308, 4.9e-324, 1e3, -1e3, 1e6, -1e6,
+                     // exp saturation boundary and beyond
+                     699.9999, 700.0, 700.0001, -700.0001, 710.0, -745.0,
+                     // log structure: around 1, around sqrt(1/2), huge/tiny
+                     0.5, 0.7071, 0.70711, 1.0, 1.0000001, 2.0, 1e308,
+                     kInf, -kInf, kQNan});
+  return x;
+}
+
+TEST(SimdKernelTest, FmaSchemeBatchesBitIdenticalAcrossBackends) {
+  const auto x = scheme_probe_inputs();
+  const SimdOps& ref = simd_ops_for(SimdBackend::kScalar);
+  using BatchFn = void (*)(const double*, double*, std::size_t);
+  const std::vector<std::pair<const char*, BatchFn SimdOps::*>> kernels = {
+      {"vsin_fma", &SimdOps::vsin_fma},
+      {"vcos_fma", &SimdOps::vcos_fma},
+      {"vexp_fma", &SimdOps::vexp_fma},
+      {"vlog_fma", &SimdOps::vlog_fma},
+  };
+  for (const auto backend : backends_under_test()) {
+    const SimdOps& ops = simd_ops_for(backend);
+    for (const auto& [name, fn] : kernels) {
+      for (const std::size_t n : kSizes) {
+        if (n > x.size()) continue;
+        std::vector<double> got(n), want(n);
+        (ops.*fn)(x.data(), got.data(), n);
+        (ref.*fn)(x.data(), want.data(), n);
+        expect_bitwise_equal(got, want, name, n);
+      }
+      // Full probe set, including the offset starts a batched caller sees.
+      std::vector<double> got(x.size()), want(x.size());
+      (ops.*fn)(x.data(), got.data(), x.size());
+      (ref.*fn)(x.data(), want.data(), x.size());
+      expect_bitwise_equal(got, want, name, x.size());
+    }
+  }
+}
+
+TEST(SimdSchemeTest, FmaSchemeTracksLibmOnModerateArguments) {
+  // The FMA scheme rounds its *argument* through a float lane, so the error
+  // budget is the single-precision input ulp propagated through the
+  // function: |x| * 2^-25 * |f'(x)| plus the double-precision polynomial
+  // error underneath.
+  for (double x = -20.0; x <= 20.0; x += 0.0137) {
+    const double in_ulp = std::fabs(x) * 6e-8 + 1e-13;
+    EXPECT_NEAR(simd_detail::sin_fma_one(x), std::sin(x), in_ulp)
+        << "x=" << x;
+    EXPECT_NEAR(simd_detail::cos_fma_one(x), std::cos(x), in_ulp)
+        << "x=" << x;
+    EXPECT_NEAR(simd_detail::exp_fma_one(x), std::exp(x),
+                std::exp(x) * in_ulp)
+        << "x=" << x;
+  }
+  for (double x = 1e-3; x <= 1e3; x *= 1.37) {
+    // log(x * (1 + eps)) = log(x) + eps, so input rounding gives a flat
+    // absolute error of ~2^-25 regardless of magnitude.
+    EXPECT_NEAR(simd_detail::log_fma_one(x), std::log(x), 1e-7)
+        << "x=" << x;
+  }
+}
+
+TEST(SimdSchemeTest, EstrinSchemeTracksLibmOnModerateArguments) {
+  // The Estrin scheme rounds its *result* through a float lane: the error
+  // is one single-precision ulp of the result, i.e. ~|f(x)| * 2^-25.
+  for (double x = -20.0; x <= 20.0; x += 0.0137) {
+    EXPECT_NEAR(simd_detail::sin_estrin_one(x), std::sin(x), 1e-7)
+        << "x=" << x;
+    EXPECT_NEAR(simd_detail::cos_estrin_one(x), std::cos(x), 1e-7)
+        << "x=" << x;
+    EXPECT_NEAR(simd_detail::exp_estrin_one(x), std::exp(x),
+                std::exp(x) * 1e-7 + 1e-300)
+        << "x=" << x;
+  }
+  for (double x = 1e-3; x <= 1e3; x *= 1.37) {
+    EXPECT_NEAR(simd_detail::log_estrin_one(x), std::log(x),
+                std::fabs(std::log(x)) * 1e-7 + 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(SimdSchemeTest, SchemesAreDistinctFromEachOtherAndFromLibm) {
+  // The two schemes are fingerprint surfaces: over a probe sweep they must
+  // disagree in the low bits with each other and with the host libm.
+  int estrin_vs_fma = 0;
+  int fma_vs_libm = 0;
+  int estrin_vs_libm = 0;
+  int probes = 0;
+  for (double x = 0.11; x <= 50.0; x += 0.173) {
+    ++probes;
+    const double f = simd_detail::sin_fma_one(x);
+    const double e = simd_detail::sin_estrin_one(x);
+    const double l = std::sin(x);
+    estrin_vs_fma += (std::memcmp(&f, &e, sizeof(double)) != 0);
+    fma_vs_libm += (std::memcmp(&f, &l, sizeof(double)) != 0);
+    estrin_vs_libm += (std::memcmp(&e, &l, sizeof(double)) != 0);
+  }
+  EXPECT_GT(estrin_vs_fma, probes / 20);
+  EXPECT_GT(fma_vs_libm, probes / 20);
+  EXPECT_GT(estrin_vs_libm, probes / 20);
+}
+
+TEST(SimdSchemeTest, ExpFmaSaturationAndSpecials) {
+  EXPECT_EQ(simd_detail::exp_fma_one(701.0), HUGE_VAL);
+  EXPECT_EQ(simd_detail::exp_fma_one(-701.0), 0.0);
+  EXPECT_EQ(simd_detail::exp_fma_one(kInf), HUGE_VAL);
+  EXPECT_EQ(simd_detail::exp_fma_one(-kInf), 0.0);
+  EXPECT_TRUE(std::isnan(simd_detail::exp_fma_one(kQNan)));
+  EXPECT_EQ(simd_detail::exp_fma_one(0.0), 1.0);
+}
+
+TEST(SimdSchemeTest, LogFmaSpecials) {
+  EXPECT_EQ(simd_detail::log_fma_one(0.0), -HUGE_VAL);
+  EXPECT_EQ(simd_detail::log_fma_one(-0.0), -HUGE_VAL);
+  EXPECT_TRUE(std::isnan(simd_detail::log_fma_one(-1.0)));
+  EXPECT_TRUE(std::isnan(simd_detail::log_fma_one(kQNan)));
+  EXPECT_EQ(simd_detail::log_fma_one(kInf), kInf);
+  EXPECT_EQ(simd_detail::log_fma_one(1.0), 0.0);
+  // Denormal input routes through the 2^54 rescale.
+  const double denorm = 4.9406564584124654e-324;
+  EXPECT_NEAR(simd_detail::log_fma_one(denorm), std::log(denorm), 1e-10);
+}
+
+}  // namespace
+}  // namespace wafp::dsp

@@ -1,0 +1,109 @@
+#include "fingerprint/batch_renderer.h"
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/vector.h"
+#include "platform/catalog.h"
+#include "util/rng.h"
+
+namespace wafp::fingerprint {
+namespace {
+
+platform::PlatformProfile profile_with_math(dsp::MathVariant math) {
+  const platform::DeviceCatalog catalog;
+  util::Rng rng(29);
+  platform::PlatformProfile p = catalog.sample_profile(rng);
+  p.audio = {};
+  p.audio.math = math;
+  return p;
+}
+
+TEST(BatchRendererTest, DeduplicatesRepeatedRequests) {
+  RenderCache cache;
+  BatchRenderer batch(cache);
+  const auto p = profile_with_math(dsp::MathVariant::kPrecise);
+  const auto& vec = audio_vector(VectorId::kDc);
+  batch.request(vec, p, 0);
+  batch.request(vec, p, 0);
+  batch.request(vec, p, 0);
+  const BatchRenderStats stats = batch.render_all();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.classes, 1u);
+  EXPECT_EQ(stats.archetypes, 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(BatchRendererTest, CountsClassesAndArchetypes) {
+  RenderCache cache;
+  BatchRenderer batch(cache);
+  const auto a = profile_with_math(dsp::MathVariant::kPrecise);
+  const auto b = profile_with_math(dsp::MathVariant::kSimdAvx2);
+  for (const VectorId id : {VectorId::kDc, VectorId::kFft}) {
+    batch.request(audio_vector(id), a, 0);
+    batch.request(audio_vector(id), b, 0);
+  }
+  const BatchRenderStats stats = batch.render_all();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.classes, 4u);
+  // Two distinct audio stacks -> two archetype groups.
+  EXPECT_EQ(stats.archetypes, 2u);
+  EXPECT_EQ(cache.entries(), 4u);
+}
+
+TEST(BatchRendererTest, WarmsCacheToPureHits) {
+  RenderCache cache;
+  BatchRenderer batch(cache);
+  const auto p = profile_with_math(dsp::MathVariant::kTable);
+  for (const VectorId id : audio_vector_ids()) {
+    batch.request(audio_vector(id), p, 0);
+  }
+  const BatchRenderStats stats = batch.render_all();
+  EXPECT_EQ(cache.misses(), stats.classes);
+  // Every post-batch lookup is a hit and matches the direct render.
+  for (const VectorId id : audio_vector_ids()) {
+    const auto& vec = audio_vector(id);
+    EXPECT_EQ(cache.get(vec, p, 0), vec.run(p, {}));
+  }
+  EXPECT_EQ(cache.misses(), stats.classes);
+  EXPECT_EQ(cache.hits(), audio_vector_ids().size());
+}
+
+TEST(BatchRendererTest, RenderAllDrainsThePendingSet) {
+  RenderCache cache;
+  BatchRenderer batch(cache);
+  const auto p = profile_with_math(dsp::MathVariant::kPrecise);
+  batch.request(audio_vector(VectorId::kDc), p, 0);
+  (void)batch.render_all();
+  const BatchRenderStats again = batch.render_all();
+  EXPECT_EQ(again.requests, 0u);
+  EXPECT_EQ(again.classes, 0u);
+  EXPECT_EQ(again.archetypes, 0u);
+}
+
+TEST(BatchRendererTest, ParallelRenderMatchesSerial) {
+  const auto a = profile_with_math(dsp::MathVariant::kPrecise);
+  const auto b = profile_with_math(dsp::MathVariant::kSimdSse2);
+
+  RenderCache serial_cache;
+  BatchRenderer serial(serial_cache);
+  RenderCache parallel_cache;
+  BatchRenderer parallel(parallel_cache);
+  for (const VectorId id : audio_vector_ids()) {
+    for (const auto* p : {&a, &b}) {
+      serial.request(audio_vector(id), *p, 1);
+      parallel.request(audio_vector(id), *p, 1);
+    }
+  }
+  (void)serial.render_all(1);
+  (void)parallel.render_all(4);
+  for (const VectorId id : audio_vector_ids()) {
+    for (const auto* p : {&a, &b}) {
+      EXPECT_EQ(serial_cache.get(audio_vector(id), *p, 1),
+                parallel_cache.get(audio_vector(id), *p, 1))
+          << to_string(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wafp::fingerprint

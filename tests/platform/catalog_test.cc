@@ -179,6 +179,40 @@ TEST(CatalogTest, SimdTierIndependentOfBrowserVersion) {
   EXPECT_GE(multi_tier_versions, 3u);
 }
 
+TEST(CatalogTest, SimdBackedMathVariantsAppearOnLinuxBlinkOnly) {
+  // DESIGN.md §3g: Linux Blink routes audio transcendentals through the
+  // runtime-dispatched batch kernels, so the CPU tier picks the numeric
+  // scheme — tier>=2 the fma scheme, tier 1 the Estrin scheme, tier 0 the
+  // classic table kernels. A larger population than the study's 2093 makes
+  // the rare tier-1 x86 Linux slice (~5% of ~5%) reliably non-empty.
+  const DeviceCatalog catalog;
+  const Population population(catalog, 8000, 123);
+  std::size_t sse2 = 0;
+  std::size_t avx2 = 0;
+  for (const auto& u : population.users()) {
+    const auto& p = u.profile;
+    const bool simd_math = p.audio.math == dsp::MathVariant::kSimdSse2 ||
+                           p.audio.math == dsp::MathVariant::kSimdAvx2;
+    if (p.os == OsFamily::kLinux && p.engine == BrowserEngine::kBlink) {
+      if (p.simd_tier >= 2) {
+        EXPECT_EQ(p.audio.math, dsp::MathVariant::kSimdAvx2);
+        ++avx2;
+      } else if (p.simd_tier == 1) {
+        EXPECT_EQ(p.audio.math, dsp::MathVariant::kSimdSse2);
+        ++sse2;
+      } else {
+        EXPECT_EQ(p.audio.math, dsp::MathVariant::kTable);
+      }
+    } else {
+      EXPECT_FALSE(simd_math)
+          << to_string(p.os) << "/" << to_string(p.engine)
+          << " carries a SIMD math variant";
+    }
+  }
+  EXPECT_GT(avx2, 0u);
+  EXPECT_GT(sse2, 0u);
+}
+
 TEST(CatalogTest, JsMathFollowsEngineNotOs) {
   for (const auto& u : test_population().users()) {
     if (u.profile.engine == BrowserEngine::kBlink) {
