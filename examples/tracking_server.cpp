@@ -8,19 +8,24 @@
 //   ./build/examples/tracking_server [num_visitors]
 //       [--state-dir DIR]     persist WAL + snapshots (and recover on start)
 //       [--snapshot-every N]  checkpoint cadence in applied submissions
+//       [--fsync-wal]         fdatasync every WAL append (durable mode)
 //       [--drop-every N] [--dup-every N]  deterministic fault injection
+//       [--render-workers N]  serve renders through a RenderService worker
+//                             pool (continuous cross-visitor batching)
 //       [--metrics-every N]   dump the Prometheus-style metrics text every
 //                             N enrolled visitors (and once at the end)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "fingerprint/collector.h"
 #include "obs/metrics.h"
 #include "platform/catalog.h"
 #include "platform/population.h"
+#include "serve/render_service.h"
 #include "service/collation_service.h"
 
 int main(int argc, char** argv) {
@@ -28,12 +33,13 @@ int main(int argc, char** argv) {
 
   std::size_t num_visitors = 400;
   std::size_t metrics_every = 0;
+  std::size_t render_workers = 0;
   service::ServiceConfig config;
   const auto usage = [&] {
     std::fprintf(stderr,
                  "usage: %s [num_visitors] [--state-dir DIR] "
-                 "[--snapshot-every N] [--drop-every N] [--dup-every N] "
-                 "[--metrics-every N]\n",
+                 "[--snapshot-every N] [--fsync-wal] [--drop-every N] "
+                 "[--dup-every N] [--render-workers N] [--metrics-every N]\n",
                  argv[0]);
   };
   for (int i = 1; i < argc; ++i) {
@@ -41,6 +47,10 @@ int main(int argc, char** argv) {
       config.state_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
       config.snapshot_every = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fsync-wal") == 0) {
+      config.fsync_wal = true;
+    } else if (std::strcmp(argv[i], "--render-workers") == 0 && i + 1 < argc) {
+      render_workers = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--drop-every") == 0 && i + 1 < argc) {
       config.faults.drop_every = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--dup-every") == 0 && i + 1 < argc) {
@@ -73,6 +83,32 @@ int main(int argc, char** argv) {
   fingerprint::RenderCache cache;
   fingerprint::FingerprintCollector collector(cache);
 
+  // With --render-workers, renders route through the continuous-batching
+  // RenderService over the collector's shared cache: concurrent visitors
+  // hitting the same (stack, vector, jitter) class coalesce onto one
+  // render. Chaotic glitch draws are one-off digests with no render class,
+  // so those fall back to the collector's direct path.
+  std::optional<serve::RenderService> render_service;
+  if (render_workers > 0) {
+    serve::RenderServiceConfig serve_config;
+    serve_config.workers = render_workers;
+    render_service.emplace(cache, serve_config);
+  }
+  const auto fingerprint_of = [&](const platform::StudyUser& user,
+                                  std::uint32_t iteration) -> util::Digest {
+    if (!render_service.has_value()) {
+      return collector.collect(user, vector, iteration);
+    }
+    const fingerprint::AudioFingerprintVector& vec =
+        fingerprint::audio_vector(vector);
+    const webaudio::RenderJitter jitter =
+        collector.draw_jitter(user, vec, iteration);
+    if (jitter.chaos_seed != 0) {
+      return collector.collect(user, vector, iteration);
+    }
+    return render_service->render(vec, user.profile, jitter.state);
+  };
+
   service::CollationService svc(config);
   {
     const auto s = svc.stats();
@@ -100,7 +136,7 @@ int main(int argc, char** argv) {
       raw.user = user.id;
       raw.vector = static_cast<std::uint32_t>(vector);
       raw.timestamp = ++clock;
-      raw.efp_hex = collector.collect(user, vector, it).hex();
+      raw.efp_hex = fingerprint_of(user, it).hex();
       auto result = svc.submit(raw);
       while (result.reason == service::Reject::kQueueFull) {
         svc.pump();
@@ -156,7 +192,7 @@ int main(int argc, char** argv) {
     probe.clear();
     for (std::uint32_t it = kEnrolIterations;
          it < kEnrolIterations + kReturnIterations; ++it) {
-      probe.push_back(collector.collect(user, vector, it));
+      probe.push_back(fingerprint_of(user, it));
     }
     const auto matched = svc.match(probe);
     const auto expected = svc.graph().user_component(user.id);
@@ -178,6 +214,20 @@ int main(int argc, char** argv) {
   std::sort(sizes.rbegin(), sizes.rend());
   for (std::size_t i = 0; i < sizes.size() && i < 10; ++i) {
     std::printf("  #%zu: %zu users\n", i + 1, sizes[i]);
+  }
+  if (render_service.has_value()) {
+    render_service->stop();
+    const serve::ServeStats serve_stats = render_service->stats();
+    std::printf("\nRender service (%zu workers): %llu requests over %llu "
+                "classes (coalesce ratio %.2f), %llu batches, %llu rejected "
+                "by backpressure\n",
+                render_service->worker_count(),
+                static_cast<unsigned long long>(serve_stats.requests),
+                static_cast<unsigned long long>(serve_stats.classes),
+                serve_stats.coalesce_ratio(),
+                static_cast<unsigned long long>(serve_stats.batches),
+                static_cast<unsigned long long>(
+                    serve_stats.rejected_queue_full));
   }
   if (!config.state_dir.empty()) {
     svc.drain_and_checkpoint();

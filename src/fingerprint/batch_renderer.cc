@@ -1,66 +1,9 @@
 #include "fingerprint/batch_renderer.h"
 
-#include <algorithm>
-
-#include "util/hash.h"
-#include "util/thread_pool.h"
-
 namespace wafp::fingerprint {
 
-void BatchRenderer::request(const AudioFingerprintVector& vector,
-                            const platform::PlatformProfile& profile,
-                            std::uint32_t jitter_state) {
-  ++requests_;
-  const std::uint64_t stack_hash = profile.audio.class_hash();
-  std::uint64_t key = util::fnv1a64_mix(stack_hash,
-                                        static_cast<std::uint64_t>(vector.id()));
-  key = util::fnv1a64_mix(key, jitter_state);
-  pending_.try_emplace(key,
-                       Request{&vector, &profile, jitter_state, stack_hash});
-}
-
-BatchRenderStats BatchRenderer::render_all(std::size_t threads) {
-  std::vector<Request> classes;
-  classes.reserve(pending_.size());
-  for (const auto& [key, req] : pending_) classes.push_back(req);
-  pending_.clear();
-
-  // Archetype-major order: consecutive renders share engine parts, and the
-  // contiguous chunks parallel_for hands out stay within few archetypes.
-  std::sort(classes.begin(), classes.end(),
-            [](const Request& a, const Request& b) {
-              if (a.stack_hash != b.stack_hash) {
-                return a.stack_hash < b.stack_hash;
-              }
-              if (a.vector->id() != b.vector->id()) {
-                return a.vector->id() < b.vector->id();
-              }
-              return a.jitter < b.jitter;
-            });
-
-  BatchRenderStats stats;
-  stats.requests = requests_;
-  stats.classes = classes.size();
-  for (std::size_t i = 0; i < classes.size(); ++i) {
-    if (i == 0 || classes[i].stack_hash != classes[i - 1].stack_hash) {
-      ++stats.archetypes;
-    }
-  }
-  requests_ = 0;
-
-  auto render_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const Request& req = classes[i];
-      (void)cache_.get(*req.vector, *req.profile, req.jitter);
-    }
-  };
-  if (threads == 1) {
-    render_range(0, classes.size());
-  } else {
-    util::ThreadPool pool(threads);
-    pool.parallel_for(classes.size(), render_range);
-  }
-  return stats;
-}
+// The production instantiation lives here so every translation unit that
+// only uses the BatchRenderer alias links against one copy.
+template class BasicBatchRenderer<RenderClassKeyHash>;
 
 }  // namespace wafp::fingerprint

@@ -14,11 +14,13 @@
 // user-major pass is pure cache hits.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "fingerprint/render_cache.h"
+#include "util/thread_pool.h"
 
 namespace wafp::fingerprint {
 
@@ -28,36 +30,99 @@ struct BatchRenderStats {
   std::size_t archetypes = 0;  // distinct stack archetypes among them
 };
 
-class BatchRenderer {
+/// Dedup is keyed by the full RenderClassKey — exact stack equality, not a
+/// 64-bit mix — so two distinct classes whose hashes collide still both
+/// render (they merely share a bucket). `ClassHash` is a template parameter
+/// only so a regression test can force every class onto one hash value and
+/// prove that property; production code uses the BatchRenderer alias below.
+template <typename ClassHash = RenderClassKeyHash>
+class BasicBatchRenderer {
  public:
-  explicit BatchRenderer(RenderCache& cache) : cache_(cache) {}
+  explicit BasicBatchRenderer(RenderCache& cache) : cache_(cache) {}
 
   /// Record that the digest of `vector` on `profile`'s stack with
   /// `jitter_state` will be needed. Duplicate classes collapse to one.
+  ///
+  /// Lifetime: the renderer stores pointers, not copies — `vector` and
+  /// `profile` must stay alive and unmoved until the render_all() that
+  /// drains this request. Vectors from audio_vector()/VectorRegistry are
+  /// stateless process-lifetime singletons, so only `profile` needs care.
   void request(const AudioFingerprintVector& vector,
                const platform::PlatformProfile& profile,
-               std::uint32_t jitter_state);
+               std::uint32_t jitter_state) {
+    ++requests_;
+    pending_.try_emplace(make_render_class_key(vector, profile, jitter_state),
+                         Request{&vector, &profile});
+  }
 
   /// Render every pending class through the cache, grouped by stack
   /// archetype. `threads`: 1 = serial, 0 = util::default_thread_count().
   /// Safe to call repeatedly; each call drains the pending set.
-  BatchRenderStats render_all(std::size_t threads = 1);
+  BatchRenderStats render_all(std::size_t threads = 1) {
+    struct PendingClass {
+      RenderClassKey key;
+      Request req;
+    };
+    std::vector<PendingClass> classes;
+    classes.reserve(pending_.size());
+    for (const auto& [key, req] : pending_) {
+      classes.push_back(PendingClass{key, req});
+    }
+    pending_.clear();
+
+    // Archetype-major order: consecutive renders share engine parts, and
+    // the contiguous chunks parallel_for hands out stay within few
+    // archetypes.
+    std::sort(classes.begin(), classes.end(),
+              [](const PendingClass& a, const PendingClass& b) {
+                if (a.key.stack_hash != b.key.stack_hash) {
+                  return a.key.stack_hash < b.key.stack_hash;
+                }
+                if (a.key.vector != b.key.vector) {
+                  return a.key.vector < b.key.vector;
+                }
+                return a.key.jitter < b.key.jitter;
+              });
+
+    BatchRenderStats stats;
+    stats.requests = requests_;
+    stats.classes = classes.size();
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      if (i == 0 ||
+          classes[i].key.stack_hash != classes[i - 1].key.stack_hash) {
+        ++stats.archetypes;
+      }
+    }
+    requests_ = 0;
+
+    auto render_range = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const PendingClass& pc = classes[i];
+        (void)cache_.get(*pc.req.vector, *pc.req.profile, pc.key.jitter);
+      }
+    };
+    if (threads == 1 || classes.empty()) {
+      render_range(0, classes.size());
+    } else {
+      util::ThreadPool pool(threads);
+      pool.parallel_for(classes.size(), render_range);
+    }
+    return stats;
+  }
 
  private:
   struct Request {
     const AudioFingerprintVector* vector;
     const platform::PlatformProfile* profile;
-    std::uint32_t jitter;
-    std::uint64_t stack_hash;
   };
 
   RenderCache& cache_;
-  /// Dedup is keyed by (class_hash, vector, jitter) mixed into 64 bits. A
-  /// hash collision merely drops a class from the prewarm — the cache
-  /// renders it lazily on first real lookup — so correctness never rests
-  /// on hash uniqueness.
-  std::unordered_map<std::uint64_t, Request> pending_;
+  std::unordered_map<RenderClassKey, Request, ClassHash> pending_;
   std::size_t requests_ = 0;
 };
+
+using BatchRenderer = BasicBatchRenderer<>;
+
+extern template class BasicBatchRenderer<RenderClassKeyHash>;
 
 }  // namespace wafp::fingerprint

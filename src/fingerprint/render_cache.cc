@@ -2,6 +2,17 @@
 
 namespace wafp::fingerprint {
 
+RenderClassKey make_render_class_key(const AudioFingerprintVector& vector,
+                                     const platform::PlatformProfile& profile,
+                                     std::uint32_t jitter_state) {
+  RenderClassKey key;
+  key.stack = profile.audio;
+  key.stack_hash = profile.audio.class_hash();
+  key.vector = static_cast<std::uint32_t>(vector.id());
+  key.jitter = jitter_state;
+  return key;
+}
+
 RenderCache::RenderCache(obs::MetricsRegistry* metrics)
     : metrics_(metrics ? *metrics : obs::MetricsRegistry::global()),
       hit_counter_(metrics_.counter("wafp_cache_hits_total",
@@ -18,12 +29,7 @@ RenderCache::RenderCache(obs::MetricsRegistry* metrics)
 const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
                                      const platform::PlatformProfile& profile,
                                      std::uint32_t jitter_state) {
-  Key key;
-  key.stack = profile.audio;
-  key.stack_hash = profile.audio.class_hash();
-  key.vector = static_cast<std::uint32_t>(vector.id());
-  key.jitter = jitter_state;
-
+  const Key key = make_render_class_key(vector, profile, jitter_state);
   const std::size_t h = KeyHash{}(key);
   Shard& shard = shards_[h % kShards];
 

@@ -33,6 +33,40 @@
 
 namespace wafp::fingerprint {
 
+/// The render-equivalence class of one digest: the full AudioStack (exact
+/// equality — a hash collision can never alias two stacks) plus its
+/// precomputed class hash so probing re-hashes nothing, the vector id, and
+/// the chaos-free jitter state. Shared by RenderCache's shards,
+/// BatchRenderer's pending set, and serve::RenderService's coalescing map,
+/// so "same class" means exactly the same thing at every dedup layer.
+struct RenderClassKey {
+  platform::AudioStack stack;
+  std::uint64_t stack_hash = 0;
+  std::uint32_t vector = 0;
+  std::uint32_t jitter = 0;
+
+  bool operator==(const RenderClassKey& o) const {
+    return stack_hash == o.stack_hash && vector == o.vector &&
+           jitter == o.jitter && stack == o.stack;
+  }
+};
+
+struct RenderClassKeyHash {
+  std::size_t operator()(const RenderClassKey& k) const noexcept {
+    std::uint64_t h = k.stack_hash;
+    h ^= (static_cast<std::uint64_t>(k.vector) << 32) | k.jitter;
+    h *= 0x9E3779B97F4A7C15ULL;  // Fibonacci mix so shard index uses
+    return static_cast<std::size_t>(h ^ (h >> 29));  // well-stirred bits
+  }
+};
+
+/// The class key of `vector` rendered on `profile`'s stack with
+/// `jitter_state` (chaos-free). Only profile.audio reaches the key — the
+/// digest is a pure function of (AudioStack, vector, jitter), nothing else.
+[[nodiscard]] RenderClassKey make_render_class_key(
+    const AudioFingerprintVector& vector,
+    const platform::PlatformProfile& profile, std::uint32_t jitter_state);
+
 class RenderCache {
  public:
   static constexpr std::size_t kShards = 16;
@@ -61,28 +95,8 @@ class RenderCache {
   }
 
  private:
-  /// Packed key: the full stack (exact equality — a hash collision can
-  /// never alias two stacks) plus its precomputed class hash so probing
-  /// re-hashes nothing.
-  struct Key {
-    platform::AudioStack stack;
-    std::uint64_t stack_hash = 0;
-    std::uint32_t vector = 0;
-    std::uint32_t jitter = 0;
-
-    bool operator==(const Key& o) const {
-      return stack_hash == o.stack_hash && vector == o.vector &&
-             jitter == o.jitter && stack == o.stack;
-    }
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept {
-      std::uint64_t h = k.stack_hash;
-      h ^= (static_cast<std::uint64_t>(k.vector) << 32) | k.jitter;
-      h *= 0x9E3779B97F4A7C15ULL;  // Fibonacci mix so shard index uses
-      return static_cast<std::size_t>(h ^ (h >> 29));  // well-stirred bits
-    }
-  };
+  using Key = RenderClassKey;
+  using KeyHash = RenderClassKeyHash;
   /// Heap-allocated so references survive rehashing and the once_flag has a
   /// stable address for waiters.
   struct Entry {

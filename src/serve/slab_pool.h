@@ -1,0 +1,86 @@
+// SlabPool: slab-backed recycling allocator for the serving hot path.
+//
+// RenderService needs one Task slot per in-flight render class. Allocating
+// those per request would put an operator-new on every admission — exactly
+// the steady-state churn the PR 6 build-free audit exists to forbid. The
+// pool instead carves slots out of fixed-size slabs and recycles them
+// through a free list: slabs are only built while the pool grows toward the
+// peak in-flight demand, and once capacity covers that peak, acquire() and
+// release() touch nothing but the pre-reserved free list. The slab_builds()
+// counter is the audit hook — a steady-state phase must leave it unchanged,
+// the same way dsp::fft_counters() must not move across a warm re-render.
+//
+// Slots are pointer-stable for the pool's lifetime (slabs are never freed
+// until destruction), so waiters can hold a Task* across the release of the
+// admission lock. Not thread-safe: the caller serializes access under its
+// own mutex, which RenderService already holds at every acquire/release.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wafp::serve {
+
+template <typename T, std::size_t kSlabSize = 64>
+class SlabPool {
+ public:
+  static_assert(kSlabSize > 0, "a slab must hold at least one slot");
+
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// A default-initialized slot, recycled when available, slab-built when
+  /// not. The pointer stays valid until the pool is destroyed.
+  [[nodiscard]] T* acquire() {
+    if (free_.empty()) grow();
+    T* slot = free_.back();
+    free_.pop_back();
+    ++outstanding_;
+    return slot;
+  }
+
+  /// Return a slot obtained from acquire(). The slot is value-reset so the
+  /// next acquire never observes stale state. Never allocates: the free
+  /// list is reserved to full capacity at every grow().
+  void release(T* slot) {
+    WAFP_CHECK(slot != nullptr) << "SlabPool::release of null slot";
+    WAFP_CHECK(outstanding_ > 0)
+        << "SlabPool::release without a matching acquire";
+    *slot = T{};
+    free_.push_back(slot);
+    --outstanding_;
+  }
+
+  /// Monotonic count of slabs ever built — the steady-state audit counter.
+  [[nodiscard]] std::uint64_t slab_builds() const {
+    return static_cast<std::uint64_t>(slabs_.size());
+  }
+  /// Total slots across all slabs.
+  [[nodiscard]] std::size_t capacity() const {
+    return slabs_.size() * kSlabSize;
+  }
+  /// Slots currently acquired and not yet released.
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+
+ private:
+  void grow() {
+    slabs_.push_back(std::make_unique<std::array<T, kSlabSize>>());
+    // Reserve the free list to the new full capacity up front: release()
+    // must never reallocate, or the "steady state allocates nothing" claim
+    // would quietly depend on vector growth policy.
+    free_.reserve(slabs_.size() * kSlabSize);
+    for (T& slot : *slabs_.back()) free_.push_back(&slot);
+  }
+
+  std::vector<std::unique_ptr<std::array<T, kSlabSize>>> slabs_;
+  std::vector<T*> free_;
+  std::size_t outstanding_ = 0;
+};
+
+}  // namespace wafp::serve

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "obs/span.h"
+#include "util/check.h"
 
 namespace wafp::service {
 
@@ -46,7 +47,7 @@ CollationService::CollationService(ServiceConfig config)
     std::filesystem::create_directories(config_.state_dir);
     recover();
     // Open the WAL for appending only after replay read it.
-    wal_.emplace(wal_path(), &metrics_);
+    wal_.emplace(wal_path(), &metrics_, config_.fsync_wal);
   }
 }
 
@@ -194,6 +195,18 @@ void CollationService::append_with_retry(const Submission& s) {
 }
 
 std::size_t CollationService::pump(std::size_t max_records) {
+  // Enforce the single-caller contract: pump-owned state (graph_, wal_,
+  // applied_since_snapshot_) is mutex-free by design, so a second
+  // concurrent caller is memory corruption, not a performance bug. Abort
+  // loudly instead.
+  WAFP_CHECK(!pump_active_.exchange(true, std::memory_order_acquire))
+      << "CollationService::pump entered while another pump is in flight; "
+         "exactly one caller (or the background worker) may pump at a time";
+  struct PumpOwner {
+    std::atomic<bool>& active;
+    ~PumpOwner() { active.store(false, std::memory_order_release); }
+  } owner{pump_active_};
+
   std::size_t applied = 0;
   while (applied < max_records) {
     QueuedSubmission qs;

@@ -48,6 +48,12 @@ struct ServiceConfig {
   /// recovery then replays the whole WAL).
   std::size_t snapshot_every = 1024;
 
+  /// When true, every WAL append fdatasync()s to disk so records survive an
+  /// OS crash, not just a process crash. Default off: benches and tests
+  /// measure the flush-only path honestly, and recovery parity never
+  /// depended on fd-level sync (the kill model is process death).
+  bool fsync_wal = false;
+
   /// WAL append retry policy for transient failures: total attempts =
   /// 1 + max_append_retries, sleeping retry_backoff * 2^attempt between.
   std::size_t max_append_retries = 3;
@@ -89,7 +95,9 @@ class CollationService {
 
   /// Drain up to `max_records` queued submissions into the WAL + graph.
   /// Returns the number applied. Call from one thread at a time (the
-  /// background worker counts as that thread while running).
+  /// background worker counts as that thread while running); the contract
+  /// is enforced — a second concurrent caller trips a WAFP_CHECK abort
+  /// rather than silently corrupting the mutex-free pump-owned state.
   std::size_t pump(std::size_t max_records = SIZE_MAX);
 
   /// Background ingestion: a worker thread pumps until stop(). submit()
@@ -185,6 +193,9 @@ class CollationService {
   util::Mutex worker_mu_;  // serializes join/launch of worker_
   std::thread worker_ WAFP_GUARDED_BY(worker_mu_);
   std::atomic<bool> running_{false};
+  /// Owner flag backing pump()'s single-caller contract; set for the
+  /// duration of each pump() call and WAFP_CHECKed on entry.
+  std::atomic<bool> pump_active_{false};
 };
 
 }  // namespace wafp::service

@@ -47,16 +47,27 @@ struct WalReplay {
 class Wal {
  public:
   /// Opens (creating if absent) the log at `path` for appending. `metrics`
-  /// receives the per-append flush ("fsync") timing histogram; nullptr =
-  /// obs::MetricsRegistry::global().
-  explicit Wal(std::string path, obs::MetricsRegistry* metrics = nullptr);
+  /// receives the per-append flush/sync timing histograms; nullptr =
+  /// obs::MetricsRegistry::global(). When `fsync_writes` is true every
+  /// append additionally fdatasync()s the log, so a record survives an OS
+  /// crash, not just a process crash (POSIX only; elsewhere the flag
+  /// degrades to flush-only and the fsync histogram stays empty).
+  explicit Wal(std::string path, obs::MetricsRegistry* metrics = nullptr,
+               bool fsync_writes = false);
+  ~Wal();
 
-  /// Append one record and flush. Returns false when the write fails —
-  /// either a real stream error or `inject_failure` (the deterministic
-  /// fault hook; nothing is written in that case, modeling an I/O error
-  /// caught before the record hit the disk). After a failure the stream is
-  /// reopened so a retry can succeed.
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Append one record, flush, and (in fsync mode) sync to disk. Returns
+  /// false when the write fails — either a real stream/sync error or
+  /// `inject_failure` (the deterministic fault hook; nothing is written in
+  /// that case, modeling an I/O error caught before the record hit the
+  /// disk). After a failure the stream is reopened so a retry can succeed.
   [[nodiscard]] bool append(const Submission& s, bool inject_failure = false);
+
+  /// Whether appends fdatasync after flushing.
+  [[nodiscard]] bool fsync_writes() const { return fsync_writes_; }
 
   /// Truncate the log (called after a snapshot captured its contents).
   void reset();
@@ -75,12 +86,23 @@ class Wal {
 
  private:
   void open_for_append();
+  /// fdatasync the log's descriptor (lazily opened). False on sync failure;
+  /// trivially true on platforms without POSIX descriptors.
+  [[nodiscard]] bool sync_to_disk();
 
   std::string path_;
   std::ofstream out_;
+  bool fsync_writes_ = false;
+  /// POSIX descriptor used only for fdatasync; fsync flushes the inode's
+  /// dirty pages regardless of which descriptor wrote them, so the ofstream
+  /// keeps its buffered-write path. -1 until fsync mode first needs it.
+  int sync_fd_ = -1;
   obs::MetricsRegistry& metrics_;
-  /// Flush-to-OS time per append: the durability cost of WAL-before-apply,
-  /// split out from the full append so queue stalls can be attributed.
+  /// Flush-to-OS time per append: the userspace-buffer-to-page-cache cost
+  /// of WAL-before-apply, split out from the full append so queue stalls
+  /// can be attributed. This is NOT a disk sync — see fsync_ns_.
+  obs::Histogram& flush_ns_;
+  /// fdatasync time per append; only observed when fsync_writes is on.
   obs::Histogram& fsync_ns_;
 };
 

@@ -105,5 +105,80 @@ TEST(BatchRendererTest, ParallelRenderMatchesSerial) {
   }
 }
 
+// Degenerate hash mapping *every* class to one value: with it, any two
+// distinct render classes collide. The renderer must still render both —
+// dedup correctness rests on RenderClassKey::operator== (full-tuple
+// equality), never on hash uniqueness.
+struct ConstantHash {
+  std::size_t operator()(const RenderClassKey&) const noexcept { return 7; }
+};
+
+TEST(BatchRendererTest, HashCollisionsNeverDropAClass) {
+  // Regression: the renderer used to key its pending set by a bare 64-bit
+  // fnv1a64_mix value, so two distinct (stack, vector, jitter) classes
+  // landing on one hash silently dropped a render.
+  RenderCache cache;
+  BasicBatchRenderer<ConstantHash> batch(cache);
+  const auto a = profile_with_math(dsp::MathVariant::kPrecise);
+  const auto b = profile_with_math(dsp::MathVariant::kTable);
+  // Distinct stacks, distinct vectors, distinct jitters: every pair of
+  // these classes collides under ConstantHash.
+  batch.request(audio_vector(VectorId::kDc), a, 0);
+  batch.request(audio_vector(VectorId::kDc), b, 0);
+  batch.request(audio_vector(VectorId::kFft), a, 0);
+  batch.request(audio_vector(VectorId::kDc), a, 5);
+  const BatchRenderStats stats = batch.render_all();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.classes, 4u);  // nothing merged, nothing dropped
+  EXPECT_EQ(cache.entries(), 4u);
+  // True duplicates still collapse even when everything shares one hash.
+  batch.request(audio_vector(VectorId::kDc), a, 0);
+  batch.request(audio_vector(VectorId::kDc), a, 0);
+  const BatchRenderStats again = batch.render_all();
+  EXPECT_EQ(again.classes, 1u);
+  EXPECT_EQ(cache.entries(), 4u);  // pure hit, no new class
+}
+
+TEST(BatchRendererTest, EmptyRenderAllIsANoOp) {
+  RenderCache cache;
+  BatchRenderer batch(cache);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const BatchRenderStats stats = batch.render_all(threads);
+    EXPECT_EQ(stats.requests, 0u);
+    EXPECT_EQ(stats.classes, 0u);
+    EXPECT_EQ(stats.archetypes, 0u);
+  }
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(BatchRendererTest, StatsResetAcrossRequestRenderCycles) {
+  RenderCache cache;
+  BatchRenderer batch(cache);
+  const auto p = profile_with_math(dsp::MathVariant::kPrecise);
+
+  batch.request(audio_vector(VectorId::kDc), p, 0);
+  batch.request(audio_vector(VectorId::kDc), p, 0);
+  const BatchRenderStats first = batch.render_all();
+  EXPECT_EQ(first.requests, 2u);
+  EXPECT_EQ(first.classes, 1u);
+
+  // A second cycle counts only its own requests; the request tally must
+  // not leak across render_all() calls.
+  batch.request(audio_vector(VectorId::kFft), p, 0);
+  const BatchRenderStats second = batch.render_all();
+  EXPECT_EQ(second.requests, 1u);
+  EXPECT_EQ(second.classes, 1u);
+  EXPECT_EQ(second.archetypes, 1u);
+
+  // Re-requesting an already-rendered class is a new class for *this*
+  // cycle (the pending set drained), served as a cache hit.
+  const std::size_t misses_before = cache.misses();
+  batch.request(audio_vector(VectorId::kDc), p, 0);
+  const BatchRenderStats third = batch.render_all();
+  EXPECT_EQ(third.classes, 1u);
+  EXPECT_EQ(cache.misses(), misses_before);  // hit: no re-render
+}
+
 }  // namespace
 }  // namespace wafp::fingerprint

@@ -89,7 +89,9 @@ TEST(ServiceMetricsTest, WalTimingsAndCountersMoveDuringDurablePump) {
     EXPECT_EQ(reg.counter("wafp_wal_appends_total").value(), 4u);
     EXPECT_EQ(reg.counter("wafp_wal_retries_total").value(), 0u);
     EXPECT_EQ(reg.histogram("wafp_wal_append_ns").snapshot().count, 4u);
-    EXPECT_EQ(reg.histogram("wafp_wal_fsync_ns").snapshot().count, 4u);
+    EXPECT_EQ(reg.histogram("wafp_wal_flush_ns").snapshot().count, 4u);
+    // fsync_wal defaults off, so the real-fsync histogram must stay empty.
+    EXPECT_EQ(reg.histogram("wafp_wal_fsync_ns").snapshot().count, 0u);
     // snapshot_every=2 -> at least one snapshot was taken and timed.
     EXPECT_GE(reg.histogram("wafp_service_snapshot_ns").snapshot().count,
               1u);

@@ -1,0 +1,78 @@
+#include "serve/slab_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace wafp::serve {
+namespace {
+
+struct Slot {
+  int value = 0;
+  const char* tag = nullptr;
+};
+
+TEST(SlabPoolTest, AcquireHandsOutDistinctSlots) {
+  SlabPool<Slot, 4> pool;
+  std::unordered_set<Slot*> seen;
+  std::vector<Slot*> held;
+  for (int i = 0; i < 10; ++i) {
+    Slot* slot = pool.acquire();
+    EXPECT_TRUE(seen.insert(slot).second) << "slot handed out twice";
+    held.push_back(slot);
+  }
+  EXPECT_EQ(pool.outstanding(), 10u);
+  EXPECT_EQ(pool.slab_builds(), 3u);  // ceil(10 / 4)
+  EXPECT_EQ(pool.capacity(), 12u);
+  for (Slot* slot : held) pool.release(slot);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(SlabPoolTest, ReleaseResetsTheSlot) {
+  SlabPool<Slot, 2> pool;
+  Slot* slot = pool.acquire();
+  slot->value = 42;
+  slot->tag = "stale";
+  pool.release(slot);
+  // The recycled slot must come back value-initialized, never stale.
+  Slot* again = pool.acquire();
+  EXPECT_EQ(again, slot);  // LIFO free list recycles the hottest slot
+  EXPECT_EQ(again->value, 0);
+  EXPECT_EQ(again->tag, nullptr);
+  pool.release(again);
+}
+
+TEST(SlabPoolTest, SteadyStateBuildsNoSlabs) {
+  SlabPool<Slot, 8> pool;
+  // Warm to a peak of 8 outstanding slots.
+  std::vector<Slot*> held;
+  for (int i = 0; i < 8; ++i) held.push_back(pool.acquire());
+  for (Slot* slot : held) pool.release(slot);
+  const std::uint64_t builds = pool.slab_builds();
+
+  // Steady state: churn far more acquire/release cycles than the peak, at
+  // or below the peak concurrency. No new slab may be built.
+  for (int round = 0; round < 100; ++round) {
+    held.clear();
+    for (int i = 0; i < 8; ++i) held.push_back(pool.acquire());
+    for (Slot* slot : held) pool.release(slot);
+  }
+  EXPECT_EQ(pool.slab_builds(), builds);
+  EXPECT_EQ(pool.capacity(), 8u);
+}
+
+TEST(SlabPoolTest, PointersStayValidAcrossGrowth) {
+  SlabPool<Slot, 2> pool;
+  Slot* first = pool.acquire();
+  first->value = 7;
+  // Force several slab builds; the first slot must not move.
+  std::vector<Slot*> more;
+  for (int i = 0; i < 20; ++i) more.push_back(pool.acquire());
+  EXPECT_EQ(first->value, 7);
+  pool.release(first);
+  for (Slot* slot : more) pool.release(slot);
+}
+
+}  // namespace
+}  // namespace wafp::serve

@@ -248,6 +248,71 @@ TEST(CollationServiceTest, WorkerSurvivesHardAppendFailure) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CollationServiceTest, FsyncWalModeAppliesAndRecoversIdentically) {
+  const std::string dir = "svc_test_fsync_state";
+  std::filesystem::remove_all(dir);
+  std::uint64_t checksum = 0;
+  {
+    ServiceConfig config;
+    config.state_dir = dir;
+    config.fsync_wal = true;
+    config.snapshot_every = 0;  // keep every record in the WAL
+    CollationService svc(std::move(config));
+    for (std::uint32_t user = 0; user < 8; ++user) {
+      ASSERT_TRUE(
+          svc.submit(raw_of(user, static_cast<int>(user % 3), 1)).accepted());
+    }
+    EXPECT_EQ(svc.pump(), 8u);
+    checksum = svc.component_checksum();
+    svc.crash();  // recovery must come from the synced WAL alone
+  }
+  ServiceConfig recover_cfg;
+  recover_cfg.state_dir = dir;
+  recover_cfg.fsync_wal = true;
+  CollationService recovered(std::move(recover_cfg));
+  EXPECT_EQ(recovered.component_checksum(), checksum);
+  EXPECT_EQ(recovered.stats().recovered_from_wal, 8u);
+  recovered.crash();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CollationServiceDeathTest, ConcurrentPumpTripsTheOwnerGuard) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Deterministic double entry, no thread race needed: the first pump's
+  // retry backoff sleeper re-enters pump() on the same thread, which is
+  // exactly the overlap the single-caller contract forbids.
+  EXPECT_DEATH(
+      {
+        ServiceConfig config;
+        config.state_dir = "svc_test_pump_guard_state";
+        config.faults.fail_append_at = 1;  // force one retry (and a sleep)
+        CollationService* reentrant = nullptr;
+        config.sleeper = [&reentrant](std::chrono::milliseconds) {
+          (void)reentrant->pump();
+        };
+        CollationService svc(std::move(config));
+        reentrant = &svc;
+        (void)svc.submit(raw_of(1, 1, 1));
+        (void)svc.pump();
+      },
+      "pump entered while another pump is in flight");
+  std::filesystem::remove_all("svc_test_pump_guard_state");
+}
+
+TEST(CollationServiceTest, SequentialPumpsNeverTripTheGuard) {
+  // The guard must only fire on *overlapping* pumps: back-to-back serial
+  // pumps (including via drain_and_checkpoint and after an exception) are
+  // the documented workflow.
+  CollationService svc(ServiceConfig{});
+  ASSERT_TRUE(svc.submit(raw_of(1, 1, 1)).accepted());
+  EXPECT_EQ(svc.pump(1), 1u);
+  ASSERT_TRUE(svc.submit(raw_of(1, 2, 2)).accepted());
+  EXPECT_EQ(svc.pump(), 1u);
+  EXPECT_EQ(svc.pump(), 0u);  // empty queue, still no trip
+  svc.drain_and_checkpoint();
+  EXPECT_EQ(svc.graph().user_count(), 1u);
+}
+
 TEST(CollationServiceTest, ShutdownAfterCrashRejectsSubmissions) {
   CollationService svc(ServiceConfig{});
   ASSERT_TRUE(svc.submit(raw_of(1, 1, 1)).accepted());

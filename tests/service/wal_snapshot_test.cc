@@ -111,6 +111,55 @@ TEST(WalTest, InjectedAppendFailureWritesNothing) {
   ASSERT_EQ(replay.records.size(), 1u);  // exactly once
 }
 
+TEST(WalTest, FsyncModeRoundTripsAndTimesTheSync) {
+  TempDir dir("wal_test_fsync");
+  const std::string path = dir.file("log.wal");
+  obs::MetricsRegistry reg;
+  {
+    Wal wal(path, &reg, /*fsync_writes=*/true);
+    EXPECT_TRUE(wal.fsync_writes());
+    EXPECT_TRUE(wal.append(sub(1, 1, 10)));
+    EXPECT_TRUE(wal.append(sub(2, 2, 11)));
+    EXPECT_TRUE(wal.append(sub(3, 3, 12)));
+  }
+  const WalReplay replay = Wal::replay(path);
+  EXPECT_TRUE(replay.header_ok);
+  ASSERT_EQ(replay.records.size(), 3u);
+  // Every append flushed AND fdatasynced (POSIX; elsewhere the sync
+  // degrades to a no-op but is still timed per the mode contract).
+  EXPECT_EQ(reg.histogram("wafp_wal_flush_ns").snapshot().count, 3u);
+#ifdef __unix__
+  EXPECT_EQ(reg.histogram("wafp_wal_fsync_ns").snapshot().count, 3u);
+#endif
+}
+
+TEST(WalTest, FlushOnlyModeNeverTouchesTheFsyncHistogram) {
+  TempDir dir("wal_test_flushonly");
+  const std::string path = dir.file("log.wal");
+  obs::MetricsRegistry reg;
+  Wal wal(path, &reg);  // default: flush-only, the honest-bench mode
+  EXPECT_FALSE(wal.fsync_writes());
+  EXPECT_TRUE(wal.append(sub(1, 1, 10)));
+  EXPECT_TRUE(wal.append(sub(2, 2, 11)));
+  EXPECT_EQ(reg.histogram("wafp_wal_flush_ns").snapshot().count, 2u);
+  EXPECT_EQ(reg.histogram("wafp_wal_fsync_ns").snapshot().count, 0u);
+}
+
+TEST(WalTest, FsyncModeSurvivesResetAndInjectedFailure) {
+  TempDir dir("wal_test_fsync_reset");
+  const std::string path = dir.file("log.wal");
+  Wal wal(path, nullptr, /*fsync_writes=*/true);
+  EXPECT_TRUE(wal.append(sub(1, 1, 10)));
+  EXPECT_FALSE(wal.append(sub(2, 2, 11), /*inject_failure=*/true));
+  EXPECT_TRUE(wal.append(sub(2, 2, 11)));  // retry after failure works
+  wal.reset();                             // truncation keeps the same inode
+  EXPECT_TRUE(wal.append(sub(3, 3, 12)));
+  const WalReplay replay = Wal::replay(path);
+  EXPECT_TRUE(replay.header_ok);
+  ASSERT_EQ(replay.records.size(), 1u);
+  EXPECT_EQ(replay.records[0].user, 3u);
+}
+
 TEST(FingerprintGraphExportTest, ImportPreservesComponents) {
   collation::FingerprintGraph graph;
   graph.add_observation(1, efp(1));
