@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/portable_math.h"
 #include "util/stats.h"
 
 namespace wafp::analysis {
@@ -56,7 +57,7 @@ double mutual_information(const ContingencyTable& table) {
       const double pij = static_cast<double>(nij) / n;
       const double pi = static_cast<double>(table.row_sums[i]) / n;
       const double pj = static_cast<double>(table.col_sums[j]) / n;
-      mi += pij * std::log(pij / (pi * pj));
+      mi += pij * util::portable_log(pij / (pi * pj));
     }
   }
   return std::max(0.0, mi);
@@ -68,7 +69,7 @@ double marginal_entropy(std::span<const std::size_t> sums, std::size_t total) {
   for (const std::size_t s : sums) {
     if (s == 0) continue;
     const double p = static_cast<double>(s) / n;
-    h -= p * std::log(p);
+    h -= p * util::portable_log(p);
   }
   return h;
 }
@@ -90,7 +91,7 @@ double expected_mutual_information(const ContingencyTable& table) {
       for (std::size_t nij = std::max<std::size_t>(lo, 1); nij <= hi; ++nij) {
         const double term1 = static_cast<double>(nij) / nd;
         const double term2 =
-            std::log(nd * static_cast<double>(nij) /
+            util::portable_log(nd * static_cast<double>(nij) /
                      (static_cast<double>(ai) * static_cast<double>(bj)));
         const double ln_p =
             util::ln_factorial(ai) + util::ln_factorial(bj) +
@@ -98,7 +99,7 @@ double expected_mutual_information(const ContingencyTable& table) {
             ln_n_fact - util::ln_factorial(nij) -
             util::ln_factorial(ai - nij) - util::ln_factorial(bj - nij) -
             util::ln_factorial(n - ai - bj + nij);
-        emi += term1 * term2 * std::exp(ln_p);
+        emi += term1 * term2 * util::portable_exp(ln_p);
       }
     }
   }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/portable_math.h"
 
 namespace wafp::analysis {
 
@@ -16,7 +17,7 @@ double shannon_entropy_bits(std::span<const std::size_t> cluster_sizes) {
   for (const std::size_t s : cluster_sizes) {
     if (s == 0) continue;
     const double p = static_cast<double>(s) / static_cast<double>(total);
-    e -= p * std::log2(p);
+    e -= p * util::portable_log2(p);
   }
   return e;
 }
@@ -25,7 +26,7 @@ double normalized_entropy(std::span<const std::size_t> cluster_sizes,
                           std::size_t total_users) {
   if (total_users < 2) return 0.0;
   return shannon_entropy_bits(cluster_sizes) /
-         std::log2(static_cast<double>(total_users));
+         util::portable_log2(static_cast<double>(total_users));
 }
 
 DiversityStats diversity_from_labels(std::span<const int> labels) {

@@ -73,6 +73,14 @@ class TwiddleCache {
     util::MutexLock lock(mu_);
     auto it = cache_d_.find(n);
     if (it != cache_d_.end()) return *it->second;
+    // First transform of this size only — g_twiddle_builds counts it, and
+    // the steady-state audits assert it never recurs on the render path.
+    // wafp-lint: allow(nonallocating): first-size twiddle build (miss path)
+    return build_double(n);
+  }
+
+  const TwiddleTables<double>& build_double(std::size_t n) const
+      WAFP_REQUIRES(mu_) {
     auto t = std::make_unique<TwiddleTables<double>>();
     t->cos.resize(n);
     t->sin.resize(n);
@@ -112,6 +120,12 @@ class TwiddleCache {
     util::MutexLock lock(mu_);
     auto it = cache_f_.find(n);
     if (it != cache_f_.end()) return *it->second;
+    // wafp-lint: allow(nonallocating): first-size twiddle build (miss path)
+    return build_float(n);
+  }
+
+  const TwiddleTables<float>& build_float(std::size_t n) const
+      WAFP_REQUIRES(mu_) {
     auto t = std::make_unique<TwiddleTables<float>>();
     t->cos.resize(n);
     t->sin.resize(n);
@@ -184,11 +198,17 @@ class ScratchPool {
   /// callers get a span over the (stable) heap data, never a reference to
   /// the vector.
   std::span<T> get(std::size_t slot, std::size_t size) {
+    // Growth happens on the first transform of a given shape and is counted
+    // by g_scratch_growths; after that both resizes stay within capacity
+    // and allocate nothing (the steady-state audit asserts the counter is
+    // flat across the render loop).
+    // wafp-lint: allow(nonallocating): capacity-stable resize (audited)
     if (slot >= buffers_.size()) buffers_.resize(slot + 1);
     auto& b = buffers_[slot];
     if (b.capacity() < size) {
       g_scratch_growths.fetch_add(1, std::memory_order_relaxed);
     }
+    // wafp-lint: allow(nonallocating): capacity-stable resize (audited)
     b.resize(size);
     return std::span<T>(b.data(), size);
   }

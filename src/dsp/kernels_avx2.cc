@@ -18,6 +18,8 @@
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 
+#include "util/function_effects.h"
+
 namespace wafp::dsp::simd_detail {
 namespace {
 
@@ -35,7 +37,7 @@ namespace {
 }
 
 void mul_f32_avx2(float* dst, const float* a, const float* b,
-                  std::size_t n) {
+                  std::size_t n) WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(
@@ -44,7 +46,8 @@ void mul_f32_avx2(float* dst, const float* a, const float* b,
   mul_f32_ref(dst + i, a + i, b + i, n - i);
 }
 
-void add_f32_avx2(float* dst, const float* src, std::size_t n) {
+void add_f32_avx2(float* dst, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
@@ -53,7 +56,8 @@ void add_f32_avx2(float* dst, const float* src, std::size_t n) {
   add_f32_ref(dst + i, src + i, n - i);
 }
 
-void mac_f32_avx2(float* dst, const float* src, float k, std::size_t n) {
+void mac_f32_avx2(float* dst, const float* src, float k, std::size_t n)
+    WAFP_NONBLOCKING {
   const __m256 vk = _mm256_set1_ps(k);
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -64,7 +68,7 @@ void mac_f32_avx2(float* dst, const float* src, float k, std::size_t n) {
   mac_f32_ref(dst + i, src + i, k, n - i);
 }
 
-void scale_f32_avx2(float* dst, float k, std::size_t n) {
+void scale_f32_avx2(float* dst, float k, std::size_t n) WAFP_NONBLOCKING {
   const __m256 vk = _mm256_set1_ps(k);
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -73,7 +77,7 @@ void scale_f32_avx2(float* dst, float k, std::size_t n) {
   scale_f32_ref(dst + i, k, n - i);
 }
 
-void scale_f64_avx2(double* dst, double k, std::size_t n) {
+void scale_f64_avx2(double* dst, double k, std::size_t n) WAFP_NONBLOCKING {
   const __m256d vk = _mm256_set1_pd(k);
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -82,7 +86,8 @@ void scale_f64_avx2(double* dst, double k, std::size_t n) {
   scale_f64_ref(dst + i, k, n - i);
 }
 
-void abs_f32_avx2(float* dst, const float* src, std::size_t n) {
+void abs_f32_avx2(float* dst, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     _mm256_storeu_ps(dst + i,
@@ -91,7 +96,8 @@ void abs_f32_avx2(float* dst, const float* src, std::size_t n) {
   abs_f32_ref(dst + i, src + i, n - i);
 }
 
-void abs_max_f32_avx2(float* acc, const float* src, std::size_t n) {
+void abs_max_f32_avx2(float* acc, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     const __m256 a = _mm256_and_ps(_mm256_loadu_ps(src + i), abs_mask_ps());
@@ -100,7 +106,7 @@ void abs_max_f32_avx2(float* acc, const float* src, std::size_t n) {
   abs_max_f32_ref(acc + i, src + i, n - i);
 }
 
-float max_abs_f32_avx2(const float* src, std::size_t n) {
+float max_abs_f32_avx2(const float* src, std::size_t n) WAFP_NONBLOCKING {
   __m256 vmax = _mm256_setzero_ps();
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
@@ -118,7 +124,7 @@ float max_abs_f32_avx2(const float* src, std::size_t n) {
 }
 
 void window_f32_avx2(float* dst, const double* block, const double* window,
-                     std::size_t n) {
+                     std::size_t n) WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     const __m256 b = _mm256_set_m128(
@@ -133,7 +139,7 @@ void window_f32_avx2(float* dst, const double* block, const double* window,
 }
 
 void mag_f32_avx2(float* dst, const float* re, const float* im, float scale,
-                  bool fused, std::size_t n) {
+                  bool fused, std::size_t n) WAFP_NONBLOCKING {
   const __m256 vscale = _mm256_set1_ps(scale);
   std::size_t i = 0;
   if (fused) {
@@ -155,7 +161,7 @@ void mag_f32_avx2(float* dst, const float* re, const float* im, float scale,
 }
 
 void smooth_f32_avx2(float* smoothed, const float* mag, float tau,
-                     float one_minus_tau, std::size_t n) {
+                     float one_minus_tau, std::size_t n) WAFP_NONBLOCKING {
   const __m256 vtau = _mm256_set1_ps(tau);
   const __m256 vomt = _mm256_set1_ps(one_minus_tau);
   std::size_t i = 0;
@@ -168,7 +174,7 @@ void smooth_f32_avx2(float* smoothed, const float* mag, float tau,
 }
 
 void butterfly_f32_avx2(float* re, float* im, std::size_t half,
-                        const float* wr, const float* wi) {
+                        const float* wr, const float* wi) WAFP_NONBLOCKING {
   std::size_t k = 0;
   for (; k + 8 <= half; k += 8) {
     const __m256 br = _mm256_loadu_ps(re + half + k);
@@ -197,7 +203,7 @@ void butterfly_f32_avx2(float* re, float* im, std::size_t half,
 }
 
 void butterfly_f64_avx2(double* re, double* im, std::size_t half,
-                        const double* wr, const double* wi) {
+                        const double* wr, const double* wi) WAFP_NONBLOCKING {
   std::size_t k = 0;
   for (; k + 4 <= half; k += 4) {
     const __m256d br = _mm256_loadu_pd(re + half + k);
@@ -286,7 +292,8 @@ struct TrigParts {
   return _mm256_blendv_pd(v, rounded, in_range);
 }
 
-void sin_fma_avx2(const double* x, double* out, std::size_t n) {
+void sin_fma_avx2(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   const __m256d one = _mm256_set1_pd(1.0);
   const __m256d two = _mm256_set1_pd(2.0);
   const __m256d three = _mm256_set1_pd(3.0);
@@ -309,7 +316,8 @@ void sin_fma_avx2(const double* x, double* out, std::size_t n) {
   sin_fma_ref(x + i, out + i, n - i);
 }
 
-void cos_fma_avx2(const double* x, double* out, std::size_t n) {
+void cos_fma_avx2(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   const __m256d one = _mm256_set1_pd(1.0);
   const __m256d two = _mm256_set1_pd(2.0);
   const __m256d three = _mm256_set1_pd(3.0);
@@ -333,7 +341,8 @@ void cos_fma_avx2(const double* x, double* out, std::size_t n) {
   cos_fma_ref(x + i, out + i, n - i);
 }
 
-void exp_fma_avx2(const double* x, double* out, std::size_t n) {
+void exp_fma_avx2(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256d vx = _mm256_loadu_pd(x + i);
@@ -375,7 +384,8 @@ void exp_fma_avx2(const double* x, double* out, std::size_t n) {
   exp_fma_ref(x + i, out + i, n - i);
 }
 
-void log_fma_avx2(const double* x, double* out, std::size_t n) {
+void log_fma_avx2(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   constexpr double kMinNormal = 2.2250738585072014e-308;
   const __m256d one = _mm256_set1_pd(1.0);
   std::size_t i = 0;

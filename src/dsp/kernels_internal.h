@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/function_effects.h"
+
 namespace wafp::dsp::simd_detail {
 
 // --- Shared constants ------------------------------------------------------
@@ -93,7 +95,7 @@ inline constexpr double kExpBound = 700.0;
 /// [-1022, 1023]. Both the portable and the vector scheme kernels scale by
 /// exactly this value, never via std::ldexp, so the bits cannot depend on
 /// the libm in play.
-[[nodiscard]] inline double pow2i(long long k) {
+[[nodiscard]] inline double pow2i(long long k) WAFP_NONBLOCKING {
   return std::bit_cast<double>(
       static_cast<std::uint64_t>(1023LL + k) << 52);
 }
@@ -102,13 +104,13 @@ inline constexpr double kExpBound = 700.0;
 /// non-finite inputs): q = k mod 4 computed without any float->int
 /// conversion so arbitrary finite magnitudes stay well-defined in both the
 /// scalar and the vector path.
-[[nodiscard]] inline double quadrant_mod4(double k) {
+[[nodiscard]] inline double quadrant_mod4(double k) WAFP_NONBLOCKING {
   return k - 4.0 * std::floor(k * 0.25);
 }
 
 // --- kSimdAvx2 scheme: Horner evaluation with explicit fma ----------------
 
-[[nodiscard]] inline double sin_poly_fma(double r, double z) {
+[[nodiscard]] inline double sin_poly_fma(double r, double z) WAFP_NONBLOCKING {
   double p = kS6;
   p = std::fma(p, z, kS5);
   p = std::fma(p, z, kS4);
@@ -118,7 +120,7 @@ inline constexpr double kExpBound = 700.0;
   return std::fma(r * z, p, r);
 }
 
-[[nodiscard]] inline double cos_poly_fma(double z) {
+[[nodiscard]] inline double cos_poly_fma(double z) WAFP_NONBLOCKING {
   double p = kC6;
   p = std::fma(p, z, kC5);
   p = std::fma(p, z, kC4);
@@ -129,13 +131,13 @@ inline constexpr double kExpBound = 700.0;
 }
 
 [[nodiscard]] inline double trig_select_sin(double q, double sin_r,
-                                            double cos_r) {
+                                            double cos_r) WAFP_NONBLOCKING {
   const double v = (q == 1.0 || q == 3.0) ? cos_r : sin_r;
   return (q >= 2.0) ? -v : v;
 }
 
 [[nodiscard]] inline double trig_select_cos(double q, double sin_r,
-                                            double cos_r) {
+                                            double cos_r) WAFP_NONBLOCKING {
   const double v = (q == 1.0 || q == 3.0) ? sin_r : cos_r;
   return (q == 1.0 || q == 2.0) ? -v : v;
 }
@@ -161,7 +163,7 @@ inline constexpr double kExpBound = 700.0;
 inline constexpr double kLaneFloatMin = 1.17549435082228750797e-38;
 inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
 
-[[nodiscard]] inline double lane_squeeze(double v) {
+[[nodiscard]] inline double lane_squeeze(double v) WAFP_NONBLOCKING {
   const double av = std::fabs(v);
   if (av >= kLaneFloatMin && av <= kLaneFloatMax) {
     return static_cast<double>(static_cast<float>(v));
@@ -173,7 +175,8 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
 // passes through, +/-inf maps to the default quiet NaN. Pinning this here
 // keeps NaNs out of the fma chains below, whose NaN sign/payload propagation
 // would otherwise depend on which fma instruction form the compiler picks.
-[[nodiscard]] inline bool trig_nonfinite(double x, double& out) {
+[[nodiscard]] inline bool trig_nonfinite(double x, double& out)
+    WAFP_NONBLOCKING {
   if (!(std::fabs(x) < HUGE_VAL)) {
     out = std::isnan(x) ? x : std::numeric_limits<double>::quiet_NaN();
     return true;
@@ -181,7 +184,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
   return false;
 }
 
-[[nodiscard]] inline double sin_fma_one(double x) {
+[[nodiscard]] inline double sin_fma_one(double x) WAFP_NONBLOCKING {
   double special;
   if (trig_nonfinite(x, special)) return special;
   x = lane_squeeze(x);
@@ -193,7 +196,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
                          cos_poly_fma(z));
 }
 
-[[nodiscard]] inline double cos_fma_one(double x) {
+[[nodiscard]] inline double cos_fma_one(double x) WAFP_NONBLOCKING {
   double special;
   if (trig_nonfinite(x, special)) return special;
   x = lane_squeeze(x);
@@ -205,7 +208,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
                          cos_poly_fma(z));
 }
 
-[[nodiscard]] inline double exp_fma_one(double x) {
+[[nodiscard]] inline double exp_fma_one(double x) WAFP_NONBLOCKING {
   if (!(std::fabs(x) <= kExpBound)) {
     // Scheme-defined saturation (documented in DESIGN.md §3g): the kernel
     // is exact only on the DSP range; beyond it, hard 0 / inf / NaN.
@@ -232,7 +235,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
   return acc * pow2i(static_cast<long long>(k));
 }
 
-[[nodiscard]] inline double log_fma_one(double x) {
+[[nodiscard]] inline double log_fma_one(double x) WAFP_NONBLOCKING {
   constexpr double kMinNormal = 2.2250738585072014e-308;
   if (!(x >= kMinNormal) || x == HUGE_VAL) {
     // 0 -> -inf, negatives/NaN -> NaN, +inf -> +inf; denormals route
@@ -271,7 +274,8 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
 
 // --- kSimdSse2 scheme: Estrin evaluation, plain double ops ----------------
 
-[[nodiscard]] inline double sin_poly_estrin(double r, double z) {
+[[nodiscard]] inline double sin_poly_estrin(double r, double z)
+    WAFP_NONBLOCKING {
   const double z2 = z * z;
   const double b0 = kS1 + kS2 * z;
   const double b1 = kS3 + kS4 * z;
@@ -280,7 +284,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
   return r + (r * z) * p;
 }
 
-[[nodiscard]] inline double cos_poly_estrin(double z) {
+[[nodiscard]] inline double cos_poly_estrin(double z) WAFP_NONBLOCKING {
   const double z2 = z * z;
   const double b0 = kC1 + kC2 * z;
   const double b1 = kC3 + kC4 * z;
@@ -289,7 +293,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
   return (1.0 - 0.5 * z) + z2 * p;
 }
 
-[[nodiscard]] inline double sin_estrin_one(double x) {
+[[nodiscard]] inline double sin_estrin_one(double x) WAFP_NONBLOCKING {
   double special;
   if (trig_nonfinite(x, special)) return special;
   const double k = std::nearbyint(x * kTwoOverPi);
@@ -300,7 +304,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
                                       cos_poly_estrin(z)));
 }
 
-[[nodiscard]] inline double cos_estrin_one(double x) {
+[[nodiscard]] inline double cos_estrin_one(double x) WAFP_NONBLOCKING {
   double special;
   if (trig_nonfinite(x, special)) return special;
   const double k = std::nearbyint(x * kTwoOverPi);
@@ -311,7 +315,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
                                       cos_poly_estrin(z)));
 }
 
-[[nodiscard]] inline double exp_estrin_one(double x) {
+[[nodiscard]] inline double exp_estrin_one(double x) WAFP_NONBLOCKING {
   if (!(std::fabs(x) <= kExpBound)) {
     if (std::isnan(x)) return x;
     return x > 0.0 ? HUGE_VAL : 0.0;
@@ -335,7 +339,7 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
   return lane_squeeze(acc * pow2i(static_cast<long long>(k)));
 }
 
-[[nodiscard]] inline double log_estrin_one(double x) {
+[[nodiscard]] inline double log_estrin_one(double x) WAFP_NONBLOCKING {
   constexpr double kMinNormal = 2.2250738585072014e-308;
   if (!(x >= kMinNormal) || x == HUGE_VAL) {
     if (x == 0.0) return -HUGE_VAL;
@@ -374,32 +378,36 @@ inline constexpr double kLaneFloatMax = 3.40282346638528859812e+38;
 // bit-identical to these loops (asserted by tests/dsp/simd_test.cc).
 
 inline void mul_f32_ref(float* dst, const float* a, const float* b,
-                        std::size_t n) {
+                        std::size_t n) WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
 }
 
-inline void add_f32_ref(float* dst, const float* src, std::size_t n) {
+inline void add_f32_ref(float* dst, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 inline void mac_f32_ref(float* dst, const float* src, float k,
-                        std::size_t n) {
+                        std::size_t n) WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) dst[i] += src[i] * k;
 }
 
-inline void scale_f32_ref(float* dst, float k, std::size_t n) {
+inline void scale_f32_ref(float* dst, float k, std::size_t n) WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) dst[i] *= k;
 }
 
-inline void scale_f64_ref(double* dst, double k, std::size_t n) {
+inline void scale_f64_ref(double* dst, double k, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) dst[i] *= k;
 }
 
-inline void abs_f32_ref(float* dst, const float* src, std::size_t n) {
+inline void abs_f32_ref(float* dst, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) dst[i] = std::fabs(src[i]);
 }
 
-inline void abs_max_f32_ref(float* acc, const float* src, std::size_t n) {
+inline void abs_max_f32_ref(float* acc, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) {
     const float a = std::fabs(src[i]);
     // Mirrors std::max(acc, a): keep acc unless a is strictly greater.
@@ -407,7 +415,8 @@ inline void abs_max_f32_ref(float* acc, const float* src, std::size_t n) {
   }
 }
 
-[[nodiscard]] inline float max_abs_f32_ref(const float* src, std::size_t n) {
+[[nodiscard]] inline float max_abs_f32_ref(const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   float m = 0.0f;
   for (std::size_t i = 0; i < n; ++i) {
     const float a = std::fabs(src[i]);
@@ -417,14 +426,16 @@ inline void abs_max_f32_ref(float* acc, const float* src, std::size_t n) {
 }
 
 inline void window_f32_ref(float* dst, const double* block,
-                           const double* window, std::size_t n) {
+                           const double* window, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) {
     dst[i] = static_cast<float>(block[i]) * static_cast<float>(window[i]);
   }
 }
 
 inline void mag_f32_ref(float* dst, const float* re, const float* im,
-                        float scale, bool fused, std::size_t n) {
+                        float scale, bool fused, std::size_t n)
+    WAFP_NONBLOCKING {
   if (fused) {
     for (std::size_t i = 0; i < n; ++i) {
       dst[i] =
@@ -438,7 +449,8 @@ inline void mag_f32_ref(float* dst, const float* re, const float* im,
 }
 
 inline void smooth_f32_ref(float* smoothed, const float* mag, float tau,
-                           float one_minus_tau, std::size_t n) {
+                           float one_minus_tau, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) {
     smoothed[i] = tau * smoothed[i] + one_minus_tau * mag[i];
   }
@@ -446,7 +458,7 @@ inline void smooth_f32_ref(float* smoothed, const float* mag, float tau,
 
 template <typename T>
 inline void butterfly_ref(T* re, T* im, std::size_t half, const T* wr,
-                          const T* wi) {
+                          const T* wi) WAFP_NONBLOCKING {
   for (std::size_t k = 0; k < half; ++k) {
     const T tr = re[half + k] * wr[k] - im[half + k] * wi[k];
     const T ti = re[half + k] * wi[k] + im[half + k] * wr[k];
@@ -458,28 +470,34 @@ inline void butterfly_ref(T* re, T* im, std::size_t half, const T* wr,
 }
 
 inline void butterfly_f32_ref(float* re, float* im, std::size_t half,
-                              const float* wr, const float* wi) {
+                              const float* wr, const float* wi)
+    WAFP_NONBLOCKING {
   butterfly_ref<float>(re, im, half, wr, wi);
 }
 
 inline void butterfly_f64_ref(double* re, double* im, std::size_t half,
-                              const double* wr, const double* wi) {
+                              const double* wr, const double* wi)
+    WAFP_NONBLOCKING {
   butterfly_ref<double>(re, im, half, wr, wi);
 }
 
-inline void sin_fma_ref(const double* x, double* out, std::size_t n) {
+inline void sin_fma_ref(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) out[i] = sin_fma_one(x[i]);
 }
 
-inline void cos_fma_ref(const double* x, double* out, std::size_t n) {
+inline void cos_fma_ref(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) out[i] = cos_fma_one(x[i]);
 }
 
-inline void exp_fma_ref(const double* x, double* out, std::size_t n) {
+inline void exp_fma_ref(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) out[i] = exp_fma_one(x[i]);
 }
 
-inline void log_fma_ref(const double* x, double* out, std::size_t n) {
+inline void log_fma_ref(const double* x, double* out, std::size_t n)
+    WAFP_NONBLOCKING {
   for (std::size_t i = 0; i < n; ++i) out[i] = log_fma_one(x[i]);
 }
 

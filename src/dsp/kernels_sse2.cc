@@ -15,11 +15,13 @@
 #if defined(__x86_64__) || defined(__i386__)
 #include <emmintrin.h>
 
+#include "util/function_effects.h"
+
 namespace wafp::dsp::simd_detail {
 namespace {
 
 void mul_f32_sse2(float* dst, const float* a, const float* b,
-                  std::size_t n) {
+                  std::size_t n) WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     _mm_storeu_ps(dst + i,
@@ -28,7 +30,8 @@ void mul_f32_sse2(float* dst, const float* a, const float* b,
   mul_f32_ref(dst + i, a + i, b + i, n - i);
 }
 
-void add_f32_sse2(float* dst, const float* src, std::size_t n) {
+void add_f32_sse2(float* dst, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     _mm_storeu_ps(dst + i,
@@ -37,7 +40,8 @@ void add_f32_sse2(float* dst, const float* src, std::size_t n) {
   add_f32_ref(dst + i, src + i, n - i);
 }
 
-void mac_f32_sse2(float* dst, const float* src, float k, std::size_t n) {
+void mac_f32_sse2(float* dst, const float* src, float k, std::size_t n)
+    WAFP_NONBLOCKING {
   const __m128 vk = _mm_set1_ps(k);
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -47,7 +51,7 @@ void mac_f32_sse2(float* dst, const float* src, float k, std::size_t n) {
   mac_f32_ref(dst + i, src + i, k, n - i);
 }
 
-void scale_f32_sse2(float* dst, float k, std::size_t n) {
+void scale_f32_sse2(float* dst, float k, std::size_t n) WAFP_NONBLOCKING {
   const __m128 vk = _mm_set1_ps(k);
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -56,7 +60,7 @@ void scale_f32_sse2(float* dst, float k, std::size_t n) {
   scale_f32_ref(dst + i, k, n - i);
 }
 
-void scale_f64_sse2(double* dst, double k, std::size_t n) {
+void scale_f64_sse2(double* dst, double k, std::size_t n) WAFP_NONBLOCKING {
   const __m128d vk = _mm_set1_pd(k);
   std::size_t i = 0;
   for (; i + 2 <= n; i += 2) {
@@ -69,7 +73,8 @@ void scale_f64_sse2(double* dst, double k, std::size_t n) {
   return _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
 }
 
-void abs_f32_sse2(float* dst, const float* src, std::size_t n) {
+void abs_f32_sse2(float* dst, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     _mm_storeu_ps(dst + i, _mm_and_ps(_mm_loadu_ps(src + i), abs_mask_ps()));
@@ -77,7 +82,8 @@ void abs_f32_sse2(float* dst, const float* src, std::size_t n) {
   abs_f32_ref(dst + i, src + i, n - i);
 }
 
-void abs_max_f32_sse2(float* acc, const float* src, std::size_t n) {
+void abs_max_f32_sse2(float* acc, const float* src, std::size_t n)
+    WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m128 a = _mm_and_ps(_mm_loadu_ps(src + i), abs_mask_ps());
@@ -87,7 +93,7 @@ void abs_max_f32_sse2(float* acc, const float* src, std::size_t n) {
   abs_max_f32_ref(acc + i, src + i, n - i);
 }
 
-float max_abs_f32_sse2(const float* src, std::size_t n) {
+float max_abs_f32_sse2(const float* src, std::size_t n) WAFP_NONBLOCKING {
   __m128 vmax = _mm_setzero_ps();
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -104,7 +110,7 @@ float max_abs_f32_sse2(const float* src, std::size_t n) {
 }
 
 void window_f32_sse2(float* dst, const double* block, const double* window,
-                     std::size_t n) {
+                     std::size_t n) WAFP_NONBLOCKING {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m128 b = _mm_movelh_ps(_mm_cvtpd_ps(_mm_loadu_pd(block + i)),
@@ -117,7 +123,7 @@ void window_f32_sse2(float* dst, const double* block, const double* window,
 }
 
 void mag_f32_sse2(float* dst, const float* re, const float* im, float scale,
-                  bool fused, std::size_t n) {
+                  bool fused, std::size_t n) WAFP_NONBLOCKING {
   if (fused) {
     // No SSE2 fma instruction; the fused flavour must keep libm's
     // correctly-rounded fmaf semantics, so it stays scalar here.
@@ -136,7 +142,7 @@ void mag_f32_sse2(float* dst, const float* re, const float* im, float scale,
 }
 
 void smooth_f32_sse2(float* smoothed, const float* mag, float tau,
-                     float one_minus_tau, std::size_t n) {
+                     float one_minus_tau, std::size_t n) WAFP_NONBLOCKING {
   const __m128 vtau = _mm_set1_ps(tau);
   const __m128 vomt = _mm_set1_ps(one_minus_tau);
   std::size_t i = 0;
@@ -149,7 +155,7 @@ void smooth_f32_sse2(float* smoothed, const float* mag, float tau,
 }
 
 void butterfly_f32_sse2(float* re, float* im, std::size_t half,
-                        const float* wr, const float* wi) {
+                        const float* wr, const float* wi) WAFP_NONBLOCKING {
   std::size_t k = 0;
   for (; k + 4 <= half; k += 4) {
     const __m128 br = _mm_loadu_ps(re + half + k);
@@ -176,7 +182,7 @@ void butterfly_f32_sse2(float* re, float* im, std::size_t half,
 }
 
 void butterfly_f64_sse2(double* re, double* im, std::size_t half,
-                        const double* wr, const double* wi) {
+                        const double* wr, const double* wi) WAFP_NONBLOCKING {
   std::size_t k = 0;
   for (; k + 2 <= half; k += 2) {
     const __m128d br = _mm_loadu_pd(re + half + k);

@@ -1,5 +1,11 @@
 #include "dsp/math_library.h"
 
+// wafp-lint: allow-file(no-host-libm): this TU is the one place host libm
+// is *deliberately* reachable — kPrecise is defined as "whatever the build
+// host links" (the reference flavour), and the Vectorized/Table variants
+// wrap host calls behind their own rounding/tabulation. Everywhere else a
+// host transcendental is a determinism bug.
+
 #include <array>
 #include <cmath>
 #include <limits>
@@ -663,6 +669,30 @@ double MathLibrary::linear_to_decibels(double linear) const {
 
 double MathLibrary::decibels_to_linear(double db) const {
   return pow(10.0, db / 20.0);
+}
+
+double MathLibrary::atan2(double y, double x) const {
+  if (std::isnan(x) || std::isnan(y)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (y == 0.0) {
+    // atan2(+-0, x>0) = +-0; atan2(+-0, x<0) = +-pi.
+    if (x > 0.0 || (x == 0.0 && !std::signbit(x))) return y;
+    return std::copysign(kPi, y);
+  }
+  if (x == 0.0) return std::copysign(kPi / 2.0, y);
+  if (std::isinf(y)) {
+    if (std::isinf(x)) {
+      return std::copysign(x > 0.0 ? kPi / 4.0 : 3.0 * kPi / 4.0, y);
+    }
+    return std::copysign(kPi / 2.0, y);
+  }
+  if (std::isinf(x)) {
+    return x > 0.0 ? std::copysign(0.0, y) : std::copysign(kPi, y);
+  }
+  const double r = atan(y / x);
+  if (x > 0.0) return r;
+  return y < 0.0 ? r - kPi : r + kPi;
 }
 
 std::shared_ptr<const MathLibrary> make_math_library(MathVariant variant) {

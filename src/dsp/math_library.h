@@ -72,6 +72,14 @@ class MathLibrary {
   /// virtual primitives so they inherit the variant's rounding behaviour.
   [[nodiscard]] double linear_to_decibels(double linear) const;
   [[nodiscard]] double decibels_to_linear(double db) const;
+
+  /// Four-quadrant arctangent derived from the variant's atan, with IEEE
+  /// zero/infinity special cases. Filter phase responses
+  /// (getFrequencyResponse) go through this so they inherit the platform's
+  /// math flavour instead of leaking the build host's libm atan2 into the
+  /// digests — real browsers compute these phases with whatever libm they
+  /// link, which is exactly the surface we model.
+  [[nodiscard]] double atan2(double y, double x) const;
 };
 
 /// Factory. The returned object is immutable and thread-compatible.

@@ -37,7 +37,11 @@ const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
   bool created = false;
   {
     util::MutexLock lock(shard.mu);
+    // Cold-key inserts only: after warmup every class is already present
+    // and these lines are a pure lookup (the build-free steady state).
+    // wafp-lint: allow(nonallocating): cold-key shard insert (miss path)
     auto [it, inserted] = shard.map.try_emplace(key);
+    // wafp-lint: allow(nonallocating): cold-key entry allocation (miss path)
     if (inserted) it->second = std::make_unique<Entry>();
     entry = it->second.get();
     created = inserted;
@@ -58,20 +62,29 @@ const util::Digest& RenderCache::get(const AudioFingerprintVector& vector,
   // Render outside the shard lock: renders are the expensive part, and
   // holding the mutex across one would serialize every same-shard thread.
   // call_once makes concurrent racers on this key wait for one render
-  // instead of duplicating it.
-  std::call_once(entry->once, [&] {
-    webaudio::RenderJitter jitter;
-    jitter.state = jitter_state;
-    const std::uint64_t t0 = metrics_.now_ns();
-    entry->digest = vector.run(profile, jitter);
-    metrics_
-        .histogram("wafp_render_vector_ns",
-                   "Cold-cache render duration per fingerprint vector (ns)",
-                   obs::label("vector", vector.name()))
-        .observe(metrics_.now_ns() - t0);
-    entry->ready.store(true, std::memory_order_release);
-  });
+  // instead of duplicating it. On a warm entry the flag is already set and
+  // this is a single acquire load — the lambda (and the cold render behind
+  // it) never runs on the steady-state path.
+  // wafp-lint: allow(nonallocating): cold-key render behind call_once
+  std::call_once(entry->once, [&] { render_cold(*entry, vector, profile,
+                                                jitter_state); });
   return entry->digest;
+}
+
+void RenderCache::render_cold(Entry& entry,
+                              const AudioFingerprintVector& vector,
+                              const platform::PlatformProfile& profile,
+                              std::uint32_t jitter_state) {
+  webaudio::RenderJitter jitter;
+  jitter.state = jitter_state;
+  const std::uint64_t t0 = metrics_.now_ns();
+  entry.digest = vector.run(profile, jitter);
+  metrics_
+      .histogram("wafp_render_vector_ns",
+                 "Cold-cache render duration per fingerprint vector (ns)",
+                 obs::label("vector", vector.name()))
+      .observe(metrics_.now_ns() - t0);
+  entry.ready.store(true, std::memory_order_release);
 }
 
 std::size_t RenderCache::entries() const {

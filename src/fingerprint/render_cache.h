@@ -78,6 +78,11 @@ class RenderCache {
 
   /// Digest of `vector` on `profile`'s stack with the given jitter state
   /// (chaos-free); renders on first use. Safe to call concurrently.
+  /// Steady-state contract: once a (stack, vector, jitter) class has been
+  /// rendered, get() is a shard-map hit — no allocation, just the shard
+  /// lock and counter bumps. wafp_lint's nonallocating check walks this
+  /// path from the serve drain; the cold-key miss branch is the audited
+  /// exception (see render_cold).
   const util::Digest& get(const AudioFingerprintVector& vector,
                           const platform::PlatformProfile& profile,
                           std::uint32_t jitter_state);
@@ -97,6 +102,16 @@ class RenderCache {
  private:
   using Key = RenderClassKey;
   using KeyHash = RenderClassKeyHash;
+  struct Entry;
+
+  /// Cold-key path, run under the entry's once_flag: the render itself
+  /// plus first-touch creation of the per-vector latency histogram. Kept
+  /// out of the nonallocating contract — steady state never reaches it
+  /// (proven by the counter audits in the serve steady-state test).
+  void render_cold(Entry& entry, const AudioFingerprintVector& vector,
+                   const platform::PlatformProfile& profile,
+                   std::uint32_t jitter_state);
+
   /// Heap-allocated so references survive rehashing and the once_flag has a
   /// stable address for waiters.
   struct Entry {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "util/portable_math.h"
+
 namespace wafp::platform {
 namespace {
 
@@ -161,9 +163,12 @@ void draw_glyph(Surface& s, double origin_x, double baseline, char glyph,
 }
 
 std::uint8_t quantize(double linear, const AaProfile& aa) {
-  // Gamma-encode then quantize with the engine's rounding behaviour.
-  const double encoded = std::pow(std::clamp(linear, 0.0, 1.0),
-                                  1.0 / aa.gamma) * 255.0;
+  // Gamma-encode then quantize with the engine's rounding behaviour. The
+  // gamma flavour is a *profile* parameter (aa.gamma, round_half_up); the
+  // pow itself must be render-neutral or the build host's libm would leak
+  // into every simulated platform's canvas hash.
+  const double encoded =
+      util::portable_pow(std::clamp(linear, 0.0, 1.0), 1.0 / aa.gamma) * 255.0;
   return static_cast<std::uint8_t>(aa.round_half_up
                                        ? std::floor(encoded + 0.5)
                                        : std::floor(encoded));

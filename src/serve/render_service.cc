@@ -176,10 +176,7 @@ void RenderService::worker_loop() {
 
     // Render outside the lock: this is the expensive part, and the shared
     // RenderCache already serializes racers on a single cold key.
-    for (Task* task : batch) {
-      task->result = &cache_.get(*task->vector, *task->profile,
-                                 task->key.jitter);
-    }
+    render_batch(batch);
 
     {
       util::MutexLock lock(mu_);
@@ -197,6 +194,14 @@ void RenderService::worker_loop() {
       batches_counter_.inc();
     }
     done_cv_.notify_all();
+  }
+}
+
+void RenderService::render_batch(std::span<Task* const> batch)
+    WAFP_NONALLOCATING {
+  for (Task* task : batch) {
+    task->result =
+        &cache_.get(*task->vector, *task->profile, task->key.jitter);
   }
 }
 

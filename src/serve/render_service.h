@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,7 @@
 #include "fingerprint/render_cache.h"
 #include "obs/metrics.h"
 #include "serve/slab_pool.h"
+#include "util/function_effects.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -186,6 +188,12 @@ class RenderService {
                       std::uint32_t jitter_state, Ticket& ticket)
       WAFP_REQUIRES(mu_);
   void worker_loop();
+  /// Renders a popped batch through the shared cache, outside mu_. This is
+  /// the serving hot loop: on a warm cache it is lock-bump-and-return per
+  /// task, and WAFP_NONALLOCATING makes wafp_lint hold it (and everything
+  /// it reaches) to the steady-state build-free contract the slab/counter
+  /// audits check dynamically.
+  void render_batch(std::span<Task* const> batch) WAFP_NONALLOCATING;
 
   fingerprint::RenderCache& cache_;
   RenderServiceConfig config_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 
 #include "obs/span.h"
 #include "util/check.h"
@@ -47,7 +48,7 @@ CollationService::CollationService(ServiceConfig config)
     std::filesystem::create_directories(config_.state_dir);
     recover();
     // Open the WAL for appending only after replay read it.
-    wal_.emplace(wal_path(), &metrics_, config_.fsync_wal);
+    wal_ = std::make_unique<Wal>(wal_path(), &metrics_, config_.fsync_wal);
   }
 }
 
@@ -58,7 +59,7 @@ CollationService::~CollationService() {
     util::MutexLock lock(mu_);
     crashed = crashed_;
   }
-  if (!crashed && wal_.has_value()) {
+  if (!crashed && wal_ != nullptr) {
     try {
       drain_and_checkpoint();
     } catch (...) {
@@ -160,7 +161,7 @@ SubmitResult CollationService::submit(const RawSubmission& raw) {
 }
 
 void CollationService::append_with_retry(const Submission& s) {
-  if (!wal_.has_value()) return;
+  if (wal_ == nullptr) return;
   const std::uint64_t ordinal = ++fault_clock_.appends;
   const bool hard = ordinal == config_.faults.fail_append_hard_at;
   const bool transient =
@@ -244,13 +245,13 @@ void CollationService::apply(const Submission& s) {
 }
 
 void CollationService::maybe_snapshot() {
-  if (!wal_.has_value() || config_.snapshot_every == 0) return;
+  if (wal_ == nullptr || config_.snapshot_every == 0) return;
   if (applied_since_snapshot_ < config_.snapshot_every) return;
   checkpoint();
 }
 
 void CollationService::checkpoint() {
-  if (!wal_.has_value()) return;
+  if (wal_ == nullptr) return;
   WAFP_SPAN_IN(metrics_, "service/checkpoint");
   const std::uint64_t t0 = metrics_.now_ns();
   SnapshotState state;
@@ -277,7 +278,7 @@ void CollationService::drain_and_checkpoint() {
   stop();
   while (pump() > 0) {
   }
-  if (wal_.has_value() && applied_since_snapshot_ > 0) checkpoint();
+  if (wal_ != nullptr && applied_since_snapshot_ > 0) checkpoint();
 }
 
 void CollationService::crash() {

@@ -21,6 +21,7 @@
 #include <chrono>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <thread>
@@ -180,7 +181,12 @@ class CollationService {
   obs::Counter& recovered_wal_counter_;
 
   collation::FingerprintGraph graph_;
-  std::optional<Wal> wal_;
+  /// Null while the service runs without durable state (empty state_dir).
+  /// unique_ptr rather than optional: clang-tidy's
+  /// bugprone-unchecked-optional-access cannot see that the null checks in
+  /// pump-thread methods dominate every dereference, and a pointer states
+  /// the either-absent-or-stable ownership more directly anyway.
+  std::unique_ptr<Wal> wal_;
   FaultClock fault_clock_;
   std::uint64_t applied_since_snapshot_ = 0;
 

@@ -1,0 +1,50 @@
+// Function-effect annotations: the hot-path purity contract.
+//
+// WAFP_NONALLOCATING marks a function as part of the render pipeline's
+// build-free steady state: no allocation, deallocation, or exception may
+// execute in (or be reachable from) it. WAFP_NONBLOCKING is the stricter
+// form that additionally forbids locking. PR 6/7 proved these properties
+// dynamically — counter audits over fft twiddle/periodic-wave/slab build
+// counters — but only per-host and only after the fact; the annotations
+// turn the same contract into something a static pass proves over the
+// whole tree before any golden runs.
+//
+// Two enforcement layers, matching the thread_annotations.h pattern:
+//   1. Clang >= 19 with -Wfunction-effects: the macros expand to
+//      [[clang::nonallocating]] / [[clang::nonblocking]] and the compiler
+//      verifies the transitive property exactly. CMake probes for
+//      -Werror=function-effects and defines WAFP_ENABLE_FUNCTION_EFFECTS
+//      only when the toolchain has it (the attribute alone is not enough —
+//      without the warning pass it is inert, and older clangs reject the
+//      spelling).
+//   2. Everywhere else the macros expand to nothing and tools/lint's
+//      wafp_lint `nonallocating` check walks the call graph from every
+//      annotated function, flagging reachable allocation, locking, I/O,
+//      and throw constructs it recognizes (a conservative lexical
+//      approximation of the clang analysis; see DESIGN.md §3i).
+//
+// Placement: after the parameter list and noexcept-specifier, before any
+// virt-specifier — `void process(...) WAFP_NONALLOCATING override;`.
+// Annotate the canonical declaration (usually the header); wafp_lint
+// matches definitions to annotated declarations by qualified name.
+//
+// Cold paths that are provably build-free at steady state but not on first
+// touch (lazy twiddle tables, cache-miss inserts) are suppressed at the
+// call site with a reasoned pragma:
+//   // wafp-lint: allow(nonallocating): first-quantum lazy build, audited
+//   // by periodic_wave_builds() counters at steady state.
+#pragma once
+
+#if defined(WAFP_ENABLE_FUNCTION_EFFECTS) && defined(__clang__) && \
+    defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::nonallocating) && \
+    __has_cpp_attribute(clang::nonblocking)
+#define WAFP_NONALLOCATING [[clang::nonallocating]]
+#define WAFP_NONBLOCKING [[clang::nonblocking]]
+#endif
+#endif
+
+#ifndef WAFP_NONALLOCATING
+#define WAFP_NONALLOCATING  // no-op: wafp_lint enforces the contract
+#define WAFP_NONBLOCKING    // no-op: wafp_lint enforces the contract
+#endif

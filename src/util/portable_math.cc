@@ -1,0 +1,151 @@
+#include "util/portable_math.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace wafp::util {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+constexpr double kLn2 = std::numbers::ln2;
+constexpr double kInvLn2 = 1.4426950408889634074;  // 1/ln2
+
+// Cody-Waite split constants: the value is represented as hi + lo where hi
+// carries the leading bits exactly, so k*hi subtracts without rounding for
+// the small k the repo's argument ranges produce.
+constexpr double kPio2Hi = 1.57079632679489655800e+00;
+constexpr double kPio2Lo = 6.12323399573676603587e-17;
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+
+/// Reduce x to r in [-pi/4, pi/4], returning the quadrant index mod 4.
+int trig_reduce(double x, double& r) {
+  const double k_real = std::nearbyint(x / (kPi / 2.0));
+  const auto k = static_cast<long long>(k_real);
+  r = (x - k_real * kPio2Hi) - k_real * kPio2Lo;
+  return static_cast<int>(((k % 4) + 4) % 4);
+}
+
+/// Taylor sin on [-pi/4, pi/4]. 10 terms beyond x: the first dropped term
+/// is x^23/23! < 1e-22 at the interval edge — far below 1 ulp.
+double sin_kernel(double x) {
+  const double z = x * x;
+  double acc = 0.0;
+  for (int n = 10; n >= 1; --n) {
+    const double c = -1.0 / static_cast<double>((2 * n) * (2 * n + 1));
+    acc = c * (1.0 + acc) * z;
+  }
+  return x * (1.0 + acc);
+}
+
+/// Taylor cos on [-pi/4, pi/4], same depth as sin_kernel.
+double cos_kernel(double x) {
+  const double z = x * x;
+  double acc = 0.0;
+  for (int n = 10; n >= 1; --n) {
+    const double c = -1.0 / static_cast<double>((2 * n - 1) * (2 * n));
+    acc = c * (1.0 + acc) * z;
+  }
+  return 1.0 + acc;
+}
+
+}  // namespace
+
+double portable_sin(double x) {
+  if (!std::isfinite(x)) return std::numeric_limits<double>::quiet_NaN();
+  double r = 0.0;
+  switch (trig_reduce(x, r)) {
+    case 0: return sin_kernel(r);
+    case 1: return cos_kernel(r);
+    case 2: return -sin_kernel(r);
+    default: return -cos_kernel(r);
+  }
+}
+
+double portable_cos(double x) {
+  if (!std::isfinite(x)) return std::numeric_limits<double>::quiet_NaN();
+  double r = 0.0;
+  switch (trig_reduce(x, r)) {
+    case 0: return cos_kernel(r);
+    case 1: return -sin_kernel(r);
+    case 2: return -cos_kernel(r);
+    default: return sin_kernel(r);
+  }
+}
+
+double portable_exp(double x) {
+  if (std::isnan(x)) return x;
+  if (x > 709.0) return std::numeric_limits<double>::infinity();
+  if (x < -745.0) return 0.0;
+  const double k_real = std::nearbyint(x * kInvLn2);
+  const auto k = static_cast<int>(k_real);
+  const double r = (x - k_real * kLn2Hi) - k_real * kLn2Lo;
+  // Degree-18 Taylor on |r| <= ln2/2: truncation < 2e-26.
+  double acc = 1.0;
+  for (int n = 18; n >= 1; --n) {
+    acc = 1.0 + acc * r / static_cast<double>(n);
+  }
+  return std::ldexp(acc, k);
+}
+
+double portable_log(double x) {
+  if (std::isnan(x)) return x;
+  if (x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  if (std::isinf(x)) return x;
+  int e = 0;
+  double m = std::frexp(x, &e);  // m in [0.5, 1), both exact
+  if (m < std::numbers::sqrt2 / 2.0) {
+    m *= 2.0;
+    --e;
+  }
+  // atanh series: ln(m) = 2(s + s^3/3 + ...), s = (m-1)/(m+1), |s| <= 0.172.
+  // 12 terms beyond s: the first dropped term is s^27/27 < 3e-21 * s.
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  double acc = 0.0;
+  for (int n = 12; n >= 1; --n) {
+    acc = z * (1.0 / static_cast<double>(2 * n + 1) + acc);
+  }
+  return 2.0 * s * (1.0 + acc) + static_cast<double>(e) * kLn2;
+}
+
+double portable_log2(double x) {
+  if (std::isnan(x)) return x;
+  if (x < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (x == 0.0) return -std::numeric_limits<double>::infinity();
+  if (std::isinf(x)) return x;
+  int e = 0;
+  double m = std::frexp(x, &e);
+  if (m < std::numbers::sqrt2 / 2.0) {
+    m *= 2.0;
+    --e;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double z = s * s;
+  double acc = 0.0;
+  for (int n = 12; n >= 1; --n) {
+    acc = z * (1.0 / static_cast<double>(2 * n + 1) + acc);
+  }
+  // Exact integer part + mantissa log scaled into base 2. m == 1 gives an
+  // exact zero series, so powers of two come out exactly integral.
+  return static_cast<double>(e) + (2.0 * s * (1.0 + acc)) * kInvLn2;
+}
+
+double portable_pow(double base, double exponent) {
+  if (exponent == 0.0) return 1.0;
+  if (base == 0.0) {
+    return exponent > 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  if (base < 0.0) {
+    const double rounded = std::nearbyint(exponent);
+    if (rounded != exponent) return std::numeric_limits<double>::quiet_NaN();
+    const double magnitude = portable_exp(exponent * portable_log(-base));
+    const bool odd = std::fmod(rounded, 2.0) != 0.0;
+    return odd ? -magnitude : magnitude;
+  }
+  return portable_exp(exponent * portable_log(base));
+}
+
+}  // namespace wafp::util

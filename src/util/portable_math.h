@@ -1,0 +1,46 @@
+// Deterministic from-scratch transcendentals for render-neutral call sites.
+//
+// The repo's core invariant — enforced at lint time by wafp_lint's
+// no-host-libm check (tools/lint/) — is that no code on or near the render
+// path calls the host's libm transcendentals: those are exactly the
+// per-host codepath differences the paper blames for fingerprint diversity
+// (§5), so linking them would make our *own* committed digests a function
+// of the build host's libm. Platform-flavoured math goes through
+// dsp::MathLibrary; everything else that still needs a transcendental
+// (range selection, RNG shaping, analysis entropy/AMI terms) uses these
+// kernels instead. They are one fixed algorithm, not a variant surface:
+// every host computes bit-identical results.
+//
+// Accuracy: all kernels target near-1-ulp over the argument ranges the
+// repo produces (|x| within a few periods for trig — the range reduction
+// is Cody-Waite, not Payne-Hanek). They are not correctly rounded, and
+// they intentionally do not match any host libm bit-for-bit; what matters
+// is that they match *themselves* everywhere.
+#pragma once
+
+#include <cstddef>
+
+namespace wafp::util {
+
+/// sin/cos with Cody-Waite pi/2 reduction + high-degree Taylor kernels.
+/// Accurate to ~1 ulp for |x| up to a few hundred; NaN for non-finite x.
+[[nodiscard]] double portable_sin(double x);
+[[nodiscard]] double portable_cos(double x);
+
+/// exp via k*ln2 Cody-Waite reduction + degree-18 Taylor kernel.
+[[nodiscard]] double portable_exp(double x);
+
+/// Natural log via exact mantissa/exponent split (frexp) and the atanh
+/// series on [sqrt(1/2), sqrt(2)). Full libm edge semantics: log(0) = -inf,
+/// log(x<0) = NaN, log(inf) = inf.
+[[nodiscard]] double portable_log(double x);
+
+/// log2 derived from portable_log with the exponent separated exactly, so
+/// exact powers of two return exact integers.
+[[nodiscard]] double portable_log2(double x);
+
+/// pow via portable_exp(e * portable_log(b)) with the usual special cases
+/// (zero base, integral exponents of negative bases).
+[[nodiscard]] double portable_pow(double base, double exponent);
+
+}  // namespace wafp::util

@@ -7,6 +7,7 @@
 
 #include "util/check.h"
 #include "util/hash.h"
+#include "util/portable_math.h"
 
 namespace wafp::util {
 
@@ -77,11 +78,15 @@ std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {
 
 double Rng::next_gaussian() {
   // Box-Muller; discard the second variate to keep the stream stateless.
+  // log/cos go through the portable kernels, not host libm: gaussian draws
+  // feed jitter render inputs, so host-libm bits here would make committed
+  // golden digests a function of the build host (std::sqrt stays — IEEE
+  // requires it correctly rounded on every host).
   double u1 = next_double();
   const double u2 = next_double();
   if (u1 <= 0.0) u1 = 0x1.0p-53;
-  return std::sqrt(-2.0 * std::log(u1)) *
-         std::cos(2.0 * std::numbers::pi * u2);
+  return std::sqrt(-2.0 * portable_log(u1)) *
+         portable_cos(2.0 * std::numbers::pi * u2);
 }
 
 Rng Rng::fork(std::string_view label) const {
@@ -134,7 +139,9 @@ ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    // Portable pow for the same reason as next_gaussian: the Zipf CDF
+    // shapes which platform every simulated user draws.
+    acc += 1.0 / portable_pow(static_cast<double>(k + 1), exponent);
     cdf_[k] = acc;
   }
   for (double& v : cdf_) v /= acc;

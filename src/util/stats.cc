@@ -1,8 +1,12 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <numbers>
 #include <numeric>
+
+#include "util/portable_math.h"
 
 namespace wafp::util {
 
@@ -31,19 +35,39 @@ double max_value(std::span<const double> values) {
 }
 
 double ln_factorial(std::size_t n) {
-  // std::lgamma writes the process-global signgam, which is a data race
-  // when the analysis layer computes AMI terms from pool threads; the
-  // reentrant variant returns the same value without the global.
-#if defined(__GLIBC__) || defined(__APPLE__)
-  int sign = 0;
-  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
-#else
-  return std::lgamma(static_cast<double>(n) + 1.0);
-#endif
+  // Deterministic replacement for lgamma_r: host lgamma implementations
+  // differ across libms, and AMI/EMI sums thousands of these terms — the
+  // portable kernels make the analysis figures bit-identical on every
+  // build host. Thread-safety is preserved (no signgam global): the small-n
+  // table is a function-local static (one-time magic-static init), and the
+  // Stirling branch touches no shared state.
+  static const std::array<double, 64> small = [] {
+    std::array<double, 64> t{};
+    double acc = 0.0;
+    t[0] = 0.0;
+    for (std::size_t k = 1; k < t.size(); ++k) {
+      acc += portable_log(static_cast<double>(k));
+      t[k] = acc;
+    }
+    return t;
+  }();
+  if (n < small.size()) return small[n];
+  // Stirling series: ln n! = n ln n - n + ln(2 pi n)/2
+  //   + 1/(12n) - 1/(360n^3) + 1/(1260n^5) - 1/(1680n^7).
+  // At n >= 64 the first dropped term is < 5e-20 absolute.
+  const auto x = static_cast<double>(n);
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  const double series =
+      inv * (1.0 / 12.0 +
+             inv2 * (-1.0 / 360.0 +
+                     inv2 * (1.0 / 1260.0 + inv2 * (-1.0 / 1680.0))));
+  return x * portable_log(x) - x +
+         0.5 * portable_log(2.0 * std::numbers::pi * x) + series;
 }
 
 double log_factorial(std::size_t n) {
-  return ln_factorial(n) / std::log(2.0);
+  return ln_factorial(n) / std::numbers::ln2;
 }
 
 }  // namespace wafp::util

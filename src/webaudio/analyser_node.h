@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -46,7 +47,8 @@ class AnalyserNode final : public AudioNode {
   /// (getFloatTimeDomainData semantics).
   void get_float_time_domain_data(std::span<float> out) const;
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   /// Gather the latest fftSize ring samples, honouring the jitter skew.

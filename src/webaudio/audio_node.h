@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_bus.h"
 #include "webaudio/audio_param.h"
 
@@ -48,7 +49,8 @@ class AudioNode {
   /// Called once per quantum, after all upstream nodes. `start_frame` is the
   /// absolute frame index of the quantum start, `frames` how many frames of
   /// the quantum are within the render length.
-  virtual void process(std::size_t start_frame, std::size_t frames) = 0;
+  virtual void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING = 0;
 
   [[nodiscard]] OfflineAudioContext& context() { return context_; }
   [[nodiscard]] const OfflineAudioContext& context() const { return context_; }

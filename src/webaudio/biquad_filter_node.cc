@@ -220,7 +220,9 @@ void BiquadFilterNode::get_frequency_response(
     const double re = (num_re * den_re + num_im * den_im) / den_mag2;
     const double im = (num_im * den_re - num_re * den_im) / den_mag2;
     mag_response[i] = static_cast<float>(m.sqrt(re * re + im * im));
-    phase_response[i] = static_cast<float>(std::atan2(im, re));
+    // Through the variant atan2 (not host libm): the phase battery is
+    // hashed into the filter-response fingerprint vector.
+    phase_response[i] = static_cast<float>(m.atan2(im, re));
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include <array>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -58,7 +59,8 @@ class BiquadFilterNode final : public AudioNode {
                               std::span<float> mag_response,
                               std::span<float> phase_response);
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   struct Coefficients {

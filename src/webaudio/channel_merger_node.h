@@ -3,6 +3,7 @@
 // different-shaped oscillators into a single signal.
 #pragma once
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -15,7 +16,8 @@ class ChannelMergerNode final : public AudioNode {
     return "ChannelMergerNode";
   }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioBus input_scratch_;

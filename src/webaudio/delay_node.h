@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -23,7 +24,8 @@ class DelayNode final : public AudioNode {
 
   std::vector<AudioParam*> params() override { return {&delay_time_}; }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioParam delay_time_;

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -41,7 +42,8 @@ class DynamicsCompressorNode final : public AudioNode {
     return {&threshold_, &knee_, &ratio_, &attack_, &release_};
   }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   struct Curve {

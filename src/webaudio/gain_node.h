@@ -4,6 +4,7 @@
 // the modulated element of the AM vector (Fig. 8).
 #pragma once
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -20,7 +21,8 @@ class GainNode final : public AudioNode {
 
   std::vector<AudioParam*> params() override { return {&gain_}; }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioParam gain_;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -30,7 +31,8 @@ class IIRFilterNode final : public AudioNode {
                               std::span<float> mag_response,
                               std::span<float> phase_response) const;
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   std::vector<double> b_;  // normalized feedforward

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_buffer.h"
 #include "webaudio/audio_node.h"
 #include "webaudio/engine_config.h"
@@ -85,7 +86,8 @@ class DestinationNode final : public AudioNode {
     return "AudioDestinationNode";
   }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioBuffer& target_;

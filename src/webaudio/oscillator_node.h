@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 #include "webaudio/periodic_wave.h"
 
@@ -41,9 +42,14 @@ class OscillatorNode final : public AudioNode {
     return {&frequency_, &detune_};
   }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
+  /// First-quantum cold path: resolves the periodic wave (cache hit or
+  /// build). Kept out of the WAFP_NONALLOCATING contract — see process().
+  void build_wave();
+
   OscillatorType type_;
   std::shared_ptr<const PeriodicWave> wave_;
   AudioParam frequency_;

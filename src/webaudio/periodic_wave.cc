@@ -8,6 +8,7 @@
 
 #include "dsp/simd.h"
 #include "util/check.h"
+#include "util/portable_math.h"
 
 namespace wafp::webaudio {
 namespace {
@@ -133,8 +134,12 @@ std::shared_ptr<const PeriodicWave> PeriodicWave::standard(
 double PeriodicWave::range_position(double fundamental_hz) const {
   const double f = std::max(std::fabs(fundamental_hz), 1.0);
   const double allowed = std::max(nyquist_ / f, 1.0);
-  // Range r admits 4 * 2^r partials; invert that relationship.
-  const double pos = std::log2(allowed / 4.0);
+  // Range r admits 4 * 2^r partials; invert that relationship. Range
+  // selection is render-neutral plumbing (Blink computes it with whatever
+  // log2f it links, but for us a host-libm call here would fork committed
+  // goldens across build hosts), so it uses the portable kernel — the
+  // platform-flavoured math stays in the table synthesis above.
+  const double pos = util::portable_log2(allowed / 4.0);
   return std::clamp(pos, 0.0, static_cast<double>(kNumRanges - 1));
 }
 

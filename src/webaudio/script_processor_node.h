@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -30,7 +31,8 @@ class ScriptProcessorNode final : public AudioNode {
 
   [[nodiscard]] std::size_t buffer_size() const { return block_.size(); }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioBus input_scratch_;

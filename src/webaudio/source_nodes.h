@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_buffer.h"
 #include "webaudio/audio_node.h"
 
@@ -26,7 +27,8 @@ class ConstantSourceNode final : public AudioNode {
   void start(double when = 0.0);
   void stop(double when);
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioParam offset_;
@@ -55,7 +57,8 @@ class AudioBufferSourceNode final : public AudioNode {
   void start(double when = 0.0);
   void stop(double when);
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   std::shared_ptr<const AudioBuffer> buffer_;
@@ -82,7 +85,8 @@ class StereoPannerNode final : public AudioNode {
   [[nodiscard]] AudioParam& pan() { return pan_; }
   std::vector<AudioParam*> params() override { return {&pan_}; }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   AudioParam pan_;
@@ -103,7 +107,8 @@ class ChannelSplitterNode final : public AudioNode {
 
   [[nodiscard]] std::size_t channel() const { return channel_; }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   std::size_t channel_;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "util/function_effects.h"
 #include "webaudio/audio_node.h"
 
 namespace wafp::webaudio {
@@ -32,7 +33,8 @@ class WaveShaperNode final : public AudioNode {
   void set_oversample(OverSampleType type) { oversample_ = type; }
   [[nodiscard]] OverSampleType oversample() const { return oversample_; }
 
-  void process(std::size_t start_frame, std::size_t frames) override;
+  void process(std::size_t start_frame, std::size_t frames)
+      WAFP_NONALLOCATING override;
 
  private:
   [[nodiscard]] float shape(float x) const;

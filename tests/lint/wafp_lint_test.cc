@@ -1,0 +1,177 @@
+// Self-tests for wafp_lint (tools/lint): every fixture under
+// tools/lint/testdata/ carries `expect-lint: <check>` markers (trailing on
+// the offending line) or `expect-lint-next: <check>` markers (on the line
+// above, for findings whose anchor *is* a comment line), and the suite
+// asserts the reported (file, line, check) set equals the marker set
+// exactly — no missing findings, no extras. Registry-hygiene findings
+// anchor to the registry file and are asserted explicitly.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "checks.h"
+#include "gtest/gtest.h"
+#include "lexer.h"
+
+namespace wafp::lint {
+namespace {
+
+#ifndef WAFP_LINT_TESTDATA_DIR
+#error "WAFP_LINT_TESTDATA_DIR must point at tools/lint/testdata"
+#endif
+
+const char* const kFixtures[] = {
+    "libm_fixture.cc",   "effects_fixture.cc", "guarded_fixture.cc",
+    "metrics_fixture.cc", "dcheck_fixture.cc", "pragma_fixture.cc",
+};
+
+std::string testdata(const std::string& name) {
+  return std::string(WAFP_LINT_TESTDATA_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "unreadable fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+using Key = std::tuple<std::string, int, std::string>;  // file, line, check
+
+/// Collects `expect-lint:` / `expect-lint-next:` markers from one fixture.
+void collect_markers(const std::string& path, std::set<Key>* out) {
+  std::istringstream in(slurp(path));
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  auto check_after = [](const std::string& line, std::size_t pos,
+                        std::size_t taglen) {
+    std::string rest = line.substr(pos + taglen);
+    const auto b = rest.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string();
+    const auto e = rest.find_first_of(" \t", b);
+    return rest.substr(b, e == std::string::npos ? e : e - b);
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto pos = lines[i].find("expect-lint: ");
+    if (pos != std::string::npos) {
+      out->insert({path, static_cast<int>(i + 1),
+                   check_after(lines[i], pos, 13)});
+      continue;
+    }
+    pos = lines[i].find("expect-lint-next: ");
+    if (pos == std::string::npos) continue;
+    // Anchor on the next line that is not itself a -next marker.
+    std::size_t target = i + 1;
+    while (target < lines.size() &&
+           lines[target].find("expect-lint-next:") != std::string::npos) {
+      ++target;
+    }
+    out->insert({path, static_cast<int>(target + 1),
+                 check_after(lines[i], pos, 18)});
+  }
+}
+
+Project load_fixture_project() {
+  Project project;
+  for (const char* name : kFixtures) {
+    LexedFile f;
+    EXPECT_TRUE(lex_path(testdata(name), &f)) << name;
+    project.files.push_back(std::move(f));
+  }
+  project.registry_path = testdata("registry_fixture.txt");
+  project.registry = parse_registry(slurp(project.registry_path));
+  build_project_model(&project);
+  return project;
+}
+
+TEST(WafpLintFixtures, FindingsMatchMarkersExactly) {
+  const Project project = load_fixture_project();
+  const std::vector<Finding> findings = run_checks(project);
+
+  std::set<Key> expected;
+  for (const char* name : kFixtures) collect_markers(testdata(name), &expected);
+
+  std::set<Key> actual;
+  for (const Finding& f : findings) {
+    if (f.file == project.registry_path) continue;  // asserted separately
+    EXPECT_TRUE(f.error) << f.file << ":" << f.line << " " << f.message;
+    actual.insert({f.file, f.line, f.check});
+  }
+
+  for (const Key& k : expected) {
+    EXPECT_TRUE(actual.contains(k))
+        << "missing finding: " << std::get<0>(k) << ":" << std::get<1>(k)
+        << " [" << std::get<2>(k) << "]";
+  }
+  for (const Key& k : actual) {
+    EXPECT_TRUE(expected.contains(k))
+        << "unexpected finding: " << std::get<0>(k) << ":" << std::get<1>(k)
+        << " [" << std::get<2>(k) << "]";
+  }
+}
+
+TEST(WafpLintFixtures, RegistryHygiene) {
+  const Project project = load_fixture_project();
+  const std::vector<Finding> findings = run_checks(project);
+
+  // registry_fixture.txt: line 5 breaks sorted order; line 6 is malformed
+  // and (because of case) also breaks order; lines 4-6 are never used by
+  // any literal, so each draws a stale-entry warning.
+  std::set<std::pair<int, bool>> got;  // (line, error)
+  int errors = 0, warnings = 0;
+  for (const Finding& f : findings) {
+    if (f.file != project.registry_path) continue;
+    EXPECT_EQ(f.check, "metric-name");
+    got.insert({f.line, f.error});
+    (f.error ? errors : warnings)++;
+  }
+  EXPECT_EQ(errors, 3);
+  EXPECT_EQ(warnings, 3);
+  const std::set<std::pair<int, bool>> want = {
+      {5, true}, {6, true}, {4, false}, {5, false}, {6, false},
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(WafpLintFixtures, VaryingLibmClassification) {
+  EXPECT_TRUE(is_varying_libm("sin"));
+  EXPECT_TRUE(is_varying_libm("sinf"));
+  EXPECT_TRUE(is_varying_libm("atan2l"));
+  EXPECT_TRUE(is_varying_libm("lgamma_r"));
+  EXPECT_TRUE(is_varying_libm("erf"));  // 'f' tail is part of the base name
+  EXPECT_FALSE(is_varying_libm("sqrt"));
+  EXPECT_FALSE(is_varying_libm("fabs"));
+  EXPECT_FALSE(is_varying_libm("fma"));
+  EXPECT_FALSE(is_varying_libm("floor"));
+  EXPECT_FALSE(is_varying_libm("frexp"));
+}
+
+TEST(WafpLintFixtures, PragmaScope) {
+  const LexedFile f = lex_file(
+      "mem.cc",
+      "int a;\n"
+      "// wafp-lint: allow(nonallocating): standalone covers next line\n"
+      "int b;\n"
+      "int c;  // wafp-lint: allow(guarded-by): trailing covers own line\n"
+      "int d;\n");
+  EXPECT_TRUE(f.allowed("nonallocating", 2));
+  EXPECT_TRUE(f.allowed("nonallocating", 3));
+  EXPECT_FALSE(f.allowed("nonallocating", 4));
+  EXPECT_FALSE(f.allowed("guarded-by", 3));
+  EXPECT_TRUE(f.allowed("guarded-by", 4));
+  EXPECT_FALSE(f.allowed("guarded-by", 5));
+
+  const LexedFile g = lex_file(
+      "file.cc",
+      "// wafp-lint: allow-file(no-host-libm): whole file\n"
+      "int a;\n");
+  EXPECT_TRUE(g.allowed("no-host-libm", 999));
+  EXPECT_FALSE(g.allowed("nonallocating", 999));
+}
+
+}  // namespace
+}  // namespace wafp::lint

@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+// wafp-lint: allow-file(metric-name): the wafp_a/.../wafp_z families here
+// are synthetic names exercising the registry API itself, not real series.
+
 #include <gtest/gtest.h>
 
 #include <array>

@@ -1,0 +1,25 @@
+// Compile-FAILURE fixture for the function-effects smoke test.
+//
+// This WAFP_NONALLOCATING function allocates. Under
+// `clang -Werror=function-effects` (clang 19+) it must NOT compile; the
+// CMake try_compile in tests/CMakeLists.txt asserts exactly that. If this
+// file ever starts compiling on a toolchain where the probe succeeded, the
+// annotation layer has silently stopped guarding the hot path — the same
+// failure mode the thread-safety smoke guards against for locking.
+#include <vector>
+
+#include "util/function_effects.h"
+
+namespace {
+
+int allocate_on_hot_path(std::vector<int>& v) WAFP_NONALLOCATING {
+  v.push_back(1);  // BAD: allocation inside a nonallocating function
+  return v.back();
+}
+
+}  // namespace
+
+int main() {
+  std::vector<int> v;
+  return allocate_on_hot_path(v);
+}

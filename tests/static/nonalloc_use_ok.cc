@@ -1,0 +1,33 @@
+// Compile-SUCCESS fixture for the function-effects smoke test.
+//
+// Disciplined hot-path code: a WAFP_NONALLOCATING function that only does
+// arithmetic and calls other nonallocating functions. Under
+// `clang -Werror=function-effects` (clang 19+, probed by the root
+// CMakeLists) this must compile cleanly; the try_compile in
+// tests/CMakeLists.txt asserts that. On toolchains without the analysis
+// the macros are no-ops and the smoke test is skipped — wafp_lint is the
+// enforcement layer there.
+#include <cstddef>
+
+#include "util/function_effects.h"
+
+namespace {
+
+float scale_sample(float x, float gain) WAFP_NONALLOCATING {
+  return x * gain;
+}
+
+void scale_block(float* samples, std::size_t n,
+                 float gain) WAFP_NONALLOCATING {
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = scale_sample(samples[i], gain);
+  }
+}
+
+}  // namespace
+
+int main() {
+  float block[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  scale_block(block, 4, 0.5f);
+  return static_cast<int>(block[0]);
+}

@@ -1,0 +1,482 @@
+#include "checks.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wafp::lint {
+namespace {
+
+const std::unordered_set<std::string>& known_checks() {
+  static const std::unordered_set<std::string> kSet = {
+      "no-host-libm", "nonallocating", "nonblocking",
+      "guarded-by",   "metric-name",   "dcheck-purity",
+  };
+  return kSet;
+}
+
+// --------------------------------------------------------------------------
+// no-host-libm
+
+const std::unordered_set<std::string>& varying_libm_bases() {
+  // Transcendentals whose results legitimately differ across libm
+  // implementations (the paper's §5 "math library" causal factor). sqrt,
+  // fabs, floor, ceil, fma, frexp, ldexp, fmod, nearbyint, copysign, etc.
+  // are correctly-rounded/exact by IEEE-754 and are fine anywhere.
+  static const std::unordered_set<std::string> kSet = {
+      "sin",   "cos",   "tan",    "asin",   "acos",   "atan",   "atan2",
+      "sincos", "exp",  "exp2",   "expm1",  "log",    "log2",   "log10",
+      "log1p", "pow",   "cbrt",   "hypot",  "tgamma", "lgamma", "lgamma_r",
+      "erf",   "erfc",  "sinh",   "cosh",   "tanh",   "asinh",  "acosh",
+      "atanh", "j0",    "j1",     "y0",     "y1",
+  };
+  return kSet;
+}
+
+}  // namespace
+
+bool is_varying_libm(std::string_view name) {
+  std::string base(name);
+  if (base.size() > 1 && (base.back() == 'f' || base.back() == 'l')) {
+    const std::string stripped = base.substr(0, base.size() - 1);
+    if (varying_libm_bases().contains(stripped)) return true;
+  }
+  return varying_libm_bases().contains(base);
+}
+
+namespace {
+
+bool is_punct(const std::vector<Token>& toks, std::size_t i,
+              std::string_view p) {
+  return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+         toks[i].text == p;
+}
+
+bool is_ident(const std::vector<Token>& toks, std::size_t i) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdent;
+}
+
+void check_host_libm(const LexedFile& f, std::vector<Finding>* out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !is_varying_libm(toks[i].text)) {
+      continue;
+    }
+    if (!is_punct(toks, i + 1, "(")) continue;
+    std::string spelled = toks[i].text;
+    if (i > 0) {
+      // Member calls go through MathLibrary et al. — fine.
+      if (is_punct(toks, i - 1, ".") || is_punct(toks, i - 1, "->")) continue;
+      if (is_punct(toks, i - 1, "~")) continue;
+      if (is_punct(toks, i - 1, "::")) {
+        // Qualified: std::sin and ::sin are the host library; any other
+        // qualifier (PreciseMath::sin, util::..., portable shims) is not.
+        if (i >= 2 && is_ident(toks, i - 2)) {
+          if (toks[i - 2].text != "std") continue;
+          spelled = "std::" + spelled;
+        } else {
+          spelled = "::" + spelled;
+        }
+      } else if (is_ident(toks, i - 1)) {
+        // `double sin(double x)` — a declaration, unless the preceding
+        // identifier is a statement keyword putting us in expression
+        // context.
+        static const std::unordered_set<std::string> kExprKeywords = {
+            "return", "case", "co_return", "co_yield",
+        };
+        if (!kExprKeywords.contains(toks[i - 1].text)) continue;
+      }
+    }
+    if (f.allowed("no-host-libm", toks[i].line)) continue;
+    out->push_back(Finding{
+        "no-host-libm", f.path, toks[i].line, true,
+        "call to host libm '" + spelled +
+            "' — results vary across build hosts and would fork committed "
+            "goldens; route through dsp::MathLibrary (platform-flavoured "
+            "surface) or util::portable_* (render-neutral), or add a "
+            "reasoned 'wafp-lint: allow(no-host-libm)' pragma"});
+  }
+}
+
+// --------------------------------------------------------------------------
+// nonallocating / nonblocking (call-graph purity)
+
+const std::unordered_set<std::string>& alloc_denylist() {
+  static const std::unordered_set<std::string> kSet = {
+      "make_unique", "make_shared",  "allocate",     "deallocate",
+      "resize",      "reserve",      "push_back",    "emplace_back",
+      "emplace",     "emplace_front", "try_emplace", "insert",
+      "insert_or_assign", "assign",  "append",       "erase",
+      "substr",      "to_string",    "str",          "shrink_to_fit",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& io_denylist() {
+  static const std::unordered_set<std::string> kSet = {
+      "printf", "fprintf", "puts",  "putchar", "fwrite", "fread",
+      "fopen",  "fclose",  "fflush", "fsync",  "fdatasync", "getline",
+      "pwrite", "pread",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& atomic_ops() {
+  // std::atomic's operation set. Member calls with these names are atomics
+  // in practice; unioning them with same-named in-tree methods (e.g.
+  // `ready.load()` vs `GoldenFile::load`) fabricates call paths, so the
+  // purity walk treats them as effect-free leaves. (`wait` stays out: on
+  // an atomic it blocks, and it is on the blocking denylist.)
+  static const std::unordered_set<std::string> kSet = {
+      "load",      "store",     "exchange",  "compare_exchange_weak",
+      "compare_exchange_strong", "fetch_add", "fetch_sub",
+      "fetch_and", "fetch_or",  "fetch_xor", "test_and_set",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& blocking_denylist() {
+  static const std::unordered_set<std::string> kSet = {
+      "lock",      "unlock",      "try_lock",   "wait", "wait_for",
+      "wait_until", "call_once",  "sleep_for",  "sleep_until", "join",
+  };
+  return kSet;
+}
+
+struct GraphCheckConfig {
+  std::string check;  // finding id: "nonallocating" or "nonblocking"
+  bool include_blocking = false;
+};
+
+class PurityChecker {
+ public:
+  PurityChecker(const Project& project, std::vector<Finding>* out)
+      : project_(project), out_(out) {
+    for (const LexedFile& f : project.files) files_by_path_[f.path] = &f;
+    for (const FunctionDef& fn : project.model.functions) {
+      if (fn.is_definition) defs_by_name_[fn.name].push_back(&fn);
+      if (fn.annotated_nonallocating) annotated_keys_nonalloc_.insert(fn.key);
+      if (fn.annotated_nonblocking) annotated_keys_nonblock_.insert(fn.key);
+    }
+  }
+
+  void run(const GraphCheckConfig& cfg) {
+    // Roots: definitions whose key carries the annotation (possibly only on
+    // a header declaration).
+    const auto& keys = cfg.include_blocking ? annotated_keys_nonblock_
+                                            : annotated_keys_nonalloc_;
+    std::deque<const FunctionDef*> queue;
+    std::unordered_set<const FunctionDef*> visited;
+    std::unordered_map<const FunctionDef*, const FunctionDef*> parent;
+    for (const FunctionDef& fn : project_.model.functions) {
+      if (!fn.is_definition) continue;
+      const bool is_root =
+          keys.contains(fn.key) ||
+          (!cfg.include_blocking && annotated_keys_nonblock_.contains(fn.key));
+      if (is_root && visited.insert(&fn).second) queue.push_back(&fn);
+    }
+    std::set<std::tuple<std::string, int, std::string>> reported;
+    while (!queue.empty()) {
+      const FunctionDef* fn = queue.front();
+      queue.pop_front();
+      const LexedFile* lexed = files_by_path_.at(fn->file);
+      for (const EffectUse& e : fn->effects) {
+        const bool blocking = e.what.starts_with("lock ");
+        if (blocking != cfg.include_blocking) continue;  // other pass
+        if (lexed->allowed(cfg.check, e.line)) continue;
+        report(cfg, fn, e.line, "'" + e.what + "'", parent, &reported);
+      }
+      for (const CallSite& call : fn->calls) {
+        if (lexed->allowed(cfg.check, call.line)) continue;
+        if (call.member && atomic_ops().contains(call.name)) continue;
+        const auto it = defs_by_name_.find(call.name);
+        const bool external = it == defs_by_name_.end() ||
+                              call.qualifier == "std";
+        if (external) {
+          const bool alloc = alloc_denylist().contains(call.name) ||
+                             io_denylist().contains(call.name);
+          const bool blocking = blocking_denylist().contains(call.name);
+          if (cfg.include_blocking ? blocking : alloc) {
+            report(cfg, fn, call.line, "call to '" + call.name + "'", parent,
+                   &reported);
+          }
+          continue;
+        }
+        for (const FunctionDef* callee : it->second) {
+          if (visited.insert(callee).second) {
+            parent[callee] = fn;
+            queue.push_back(callee);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  void report(
+      const GraphCheckConfig& cfg, const FunctionDef* fn, int line,
+      const std::string& what,
+      const std::unordered_map<const FunctionDef*, const FunctionDef*>& parent,
+      std::set<std::tuple<std::string, int, std::string>>* reported) {
+    if (!reported->insert({fn->file, line, what}).second) return;
+    std::string path = fn->key;
+    const FunctionDef* cur = fn;
+    int hops = 0;
+    while (parent.contains(cur) && hops < 4) {
+      cur = parent.at(cur);
+      path = cur->key + " -> " + path;
+      ++hops;
+    }
+    if (parent.contains(cur)) path = "... -> " + path;
+    const char* verb = cfg.include_blocking ? "blocking construct"
+                                            : "allocation/IO/throw";
+    out_->push_back(Finding{
+        cfg.check, fn->file, line, true,
+        std::string(verb) + " reachable from a WAFP_" +
+            (cfg.include_blocking ? "NONBLOCKING" : "NONALLOCATING") +
+            " function: " + what + " (via " + path +
+            "); move it off the hot path or add a reasoned 'wafp-lint: "
+            "allow(" +
+            cfg.check + ")' pragma"});
+  }
+
+  const Project& project_;
+  std::vector<Finding>* out_;
+  std::unordered_map<std::string, const LexedFile*> files_by_path_;
+  std::unordered_map<std::string, std::vector<const FunctionDef*>>
+      defs_by_name_;
+  std::unordered_set<std::string> annotated_keys_nonalloc_;
+  std::unordered_set<std::string> annotated_keys_nonblock_;
+};
+
+// --------------------------------------------------------------------------
+// guarded-by
+
+void check_guarded_by(const Project& project,
+                      const std::unordered_map<std::string, const LexedFile*>&
+                          files_by_path,
+                      std::vector<Finding>* out) {
+  for (const ClassInfo& cls : project.model.classes) {
+    if (cls.mutexes.empty()) continue;
+    const std::unordered_set<std::string> refs(cls.guarded_refs.begin(),
+                                               cls.guarded_refs.end());
+    for (const MutexMember& m : cls.mutexes) {
+      if (refs.contains(m.member_name)) continue;
+      const auto it = files_by_path.find(m.file);
+      if (it != files_by_path.end() &&
+          it->second->allowed("guarded-by", m.line)) {
+        continue;
+      }
+      out->push_back(Finding{
+          "guarded-by", m.file, m.line, true,
+          "util::Mutex member '" + m.member_name + "' of '" +
+              (m.class_name.empty() ? std::string("<anon>") : m.class_name) +
+              "' is not referenced by any GUARDED_BY/PT_GUARDED_BY/"
+              "REQUIRES annotation — annotate what it protects or add a "
+              "reasoned 'wafp-lint: allow(guarded-by)' pragma"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// metric-name
+
+bool is_metric_literal(std::string_view s) {
+  if (!s.starts_with("wafp_")) return false;
+  if (s.back() == '_') return false;
+  char prev = '\0';
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+    if (c == '_' && prev == '_') return false;
+    prev = c;
+  }
+  return true;
+}
+
+void check_metric_names(const Project& project, std::vector<Finding>* out) {
+  // Registry hygiene: well-formed, strictly sorted (implies unique).
+  std::unordered_set<std::string> registered;
+  const std::string* prev = nullptr;
+  for (const auto& [line, name] : project.registry) {
+    if (!is_metric_literal(name)) {
+      out->push_back(Finding{
+          "metric-name", project.registry_path, line, true,
+          "registry entry '" + name +
+              "' is not a well-formed metric name (wafp_ prefix, "
+              "[a-z0-9_], no doubled/trailing underscore)"});
+    }
+    if (prev != nullptr && !(*prev < name)) {
+      out->push_back(Finding{
+          "metric-name", project.registry_path, line, true,
+          "registry entry '" + name + "' breaks strict sorted order after '" +
+              *prev + "' (keep the registry sorted and duplicate-free)"});
+    }
+    prev = &name;
+    registered.insert(name);
+  }
+
+  std::unordered_set<std::string> used;
+  auto scan = [&](const LexedFile& f) {
+    for (const Token& t : f.tokens) {
+      if (t.kind != TokKind::kString || !is_metric_literal(t.text)) continue;
+      used.insert(t.text);
+      if (registered.contains(t.text)) continue;
+      if (f.allowed("metric-name", t.line)) continue;
+      out->push_back(Finding{
+          "metric-name", f.path, t.line, true,
+          "metric name \"" + t.text +
+              "\" is not in the registry (" + project.registry_path +
+              ") — register it, or fix the typo"});
+    }
+  };
+  for (const LexedFile& f : project.files) scan(f);
+  for (const LexedFile& f : project.metric_extra_files) scan(f);
+
+  for (const auto& [line, name] : project.registry) {
+    if (!used.contains(name)) {
+      out->push_back(Finding{
+          "metric-name", project.registry_path, line, false,
+          "registered metric '" + name +
+              "' is never referenced by a string literal in the scanned "
+              "tree (stale entry?)"});
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// dcheck-purity
+
+void check_dcheck_purity(const LexedFile& f, std::vector<Finding>* out) {
+  const auto& toks = f.tokens;
+  static const std::unordered_set<std::string> kMutators = {
+      "insert",   "erase",       "push_back", "pop_back",  "emplace",
+      "emplace_back", "reset",   "release",   "clear",     "next_u64",
+      "next_double", "next_float", "next_below", "next_gaussian",
+      "fetch_add", "fetch_sub",  "store",     "exchange",  "swap",
+      "pop",      "push",        "advance",
+  };
+  static const std::unordered_set<std::string> kAssignOps = {
+      "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+      "++", "--",
+  };
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "WAFP_DCHECK" ||
+        !is_punct(toks, i + 1, "(")) {
+      continue;
+    }
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(toks, j, "(")) ++depth;
+      if (is_punct(toks, j, ")") && --depth == 0) break;
+      if (depth == 0) continue;
+      std::string offense;
+      if (toks[j].kind == TokKind::kPunct && kAssignOps.contains(toks[j].text)) {
+        offense = "operator '" + toks[j].text + "'";
+      } else if (toks[j].kind == TokKind::kIdent &&
+                 kMutators.contains(toks[j].text) &&
+                 is_punct(toks, j + 1, "(")) {
+        offense = "call to '" + toks[j].text + "'";
+      }
+      if (offense.empty()) continue;
+      if (f.allowed("dcheck-purity", toks[j].line)) continue;
+      out->push_back(Finding{
+          "dcheck-purity", f.path, toks[j].line, true,
+          "side effect inside WAFP_DCHECK: " + offense +
+              " — DCHECK arguments vanish in release builds, so they must "
+              "be pure (hoist the effect out of the check)"});
+    }
+    i = j;
+  }
+}
+
+// --------------------------------------------------------------------------
+// pragma hygiene
+
+void check_pragmas(const LexedFile& f, std::vector<Finding>* out) {
+  for (const int line : f.reasonless_pragma_lines) {
+    out->push_back(Finding{
+        "pragma", f.path, line, true,
+        "wafp-lint allow pragma has no reason — every suppression must "
+        "say why ('// wafp-lint: allow(<check>): <reason>')"});
+  }
+  for (const AllowPragma& p : f.pragmas) {
+    for (const std::string& c : p.checks) {
+      if (!known_checks().contains(c)) {
+        out->push_back(Finding{
+            "pragma", f.path, p.line, true,
+            "wafp-lint allow pragma names unknown check '" + c + "'"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void build_project_model(Project* project) {
+  for (const LexedFile& f : project->files) {
+    build_model(f, &project->model);
+  }
+}
+
+std::vector<Finding> run_checks(const Project& project) {
+  std::vector<Finding> findings;
+  std::unordered_map<std::string, const LexedFile*> files_by_path;
+  for (const LexedFile& f : project.files) files_by_path[f.path] = &f;
+
+  for (const LexedFile& f : project.files) {
+    check_host_libm(f, &findings);
+    check_dcheck_purity(f, &findings);
+    check_pragmas(f, &findings);
+  }
+  for (const LexedFile& f : project.metric_extra_files) {
+    check_pragmas(f, &findings);
+  }
+
+  PurityChecker purity(project, &findings);
+  purity.run(GraphCheckConfig{"nonallocating", false});
+  purity.run(GraphCheckConfig{"nonblocking", true});
+
+  check_guarded_by(project, files_by_path, &findings);
+  check_metric_names(project, &findings);
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<std::pair<int, std::string>> parse_registry(
+    std::string_view contents) {
+  std::vector<std::pair<int, std::string>> out;
+  int line = 0;
+  while (!contents.empty()) {
+    ++line;
+    const auto nl = contents.find('\n');
+    std::string_view raw =
+        nl == std::string_view::npos ? contents : contents.substr(0, nl);
+    contents = nl == std::string_view::npos ? std::string_view{}
+                                            : contents.substr(nl + 1);
+    const auto hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    while (!raw.empty() && (raw.back() == ' ' || raw.back() == '\t' ||
+                            raw.back() == '\r')) {
+      raw.remove_suffix(1);
+    }
+    while (!raw.empty() && (raw.front() == ' ' || raw.front() == '\t')) {
+      raw.remove_prefix(1);
+    }
+    if (raw.empty()) continue;
+    out.emplace_back(line, std::string(raw));
+  }
+  return out;
+}
+
+}  // namespace wafp::lint

@@ -1,0 +1,74 @@
+// The wafp_lint checks. Front-end-agnostic: everything here consumes the
+// lexer/model layer, so a libTooling driver could populate the same
+// structures from a real AST without touching check logic.
+//
+// Checks (ids are what `wafp-lint: allow(<id>)` pragmas name):
+//   no-host-libm   — implementation-varying libm transcendentals (sin, exp,
+//                    pow, atan2, lgamma, ...) called outside MathLibrary /
+//                    util::portable_*. IEEE-exact functions (sqrt, fabs,
+//                    floor, fma, frexp, ...) are deliberately NOT flagged —
+//                    they are bit-identical on every host.
+//   nonallocating  — allocation/deallocation/throw/IO reachable from a
+//                    WAFP_NONALLOCATING (or WAFP_NONBLOCKING) function via
+//                    the in-tree call graph (name-union resolution, which
+//                    over-approximates virtual dispatch).
+//   nonblocking    — additionally: locks, condition waits, call_once,
+//                    sleeps, joins reachable from WAFP_NONBLOCKING.
+//   guarded-by     — every util::Mutex class member must be referenced by
+//                    at least one thread-safety annotation (GUARDED_BY
+//                    family, or REQUIRES/ACQUIRE/... capability clauses).
+//   metric-name    — wafp_* string literals must appear in the metric-name
+//                    registry (tools/lint/metric_names.txt); the registry
+//                    itself must be sorted, duplicate-free and well-formed.
+//   dcheck-purity  — WAFP_DCHECK argument expressions must be side-effect
+//                    free (they vanish in release builds).
+//   pragma         — allow pragmas must carry a reason and name known
+//                    checks. Not suppressible.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+#include "model.h"
+
+namespace wafp::lint {
+
+struct Finding {
+  std::string check;
+  std::string file;
+  int line = 0;
+  bool error = true;  // false: warning (does not fail the build)
+  std::string message;
+};
+
+struct Project {
+  /// Files subject to every check (the src/ tree, or fixture files).
+  std::vector<LexedFile> files;
+  /// Extra files scanned only by the metric-name literal check (tests,
+  /// benches — places that assert on metric names but are not hot-path
+  /// code).
+  std::vector<LexedFile> metric_extra_files;
+  /// (line, name) registry entries plus the path findings attribute to.
+  std::string registry_path;
+  std::vector<std::pair<int, std::string>> registry;
+
+  SourceModel model;
+};
+
+/// Builds `project->model` from `project->files`.
+void build_project_model(Project* project);
+
+/// Runs every check; findings are sorted by (file, line).
+[[nodiscard]] std::vector<Finding> run_checks(const Project& project);
+
+/// Parses a registry file's contents ('#' comments, one name per line).
+[[nodiscard]] std::vector<std::pair<int, std::string>> parse_registry(
+    std::string_view contents);
+
+/// True when `name` is an implementation-varying libm entry point
+/// (including f/l suffixed forms).
+[[nodiscard]] bool is_varying_libm(std::string_view name);
+
+}  // namespace wafp::lint

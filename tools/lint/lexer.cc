@@ -1,0 +1,318 @@
+#include "lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace wafp::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "<=>", "->*", "...", "::", "->", "++", "--", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+/// Parses a `wafp-lint:` directive out of a line comment's text, if present.
+/// Grammar: `wafp-lint: allow(check[, check...])[: reason]` with an
+/// `allow-file` variant. Returns true when a directive was recognized.
+bool parse_pragma(std::string_view comment, int line, bool standalone,
+                  LexedFile* out) {
+  const auto tag = comment.find("wafp-lint:");
+  if (tag == std::string_view::npos) return false;
+  std::string_view rest = trim(comment.substr(tag + 10));
+  AllowPragma pragma;
+  pragma.line = line;
+  pragma.standalone = standalone;
+  if (rest.starts_with("allow-file(")) {
+    pragma.file_scope = true;
+    rest.remove_prefix(11);
+  } else if (rest.starts_with("allow(")) {
+    rest.remove_prefix(6);
+  } else {
+    return false;  // unknown directive; checks report it via pragma scan
+  }
+  const auto close = rest.find(')');
+  if (close == std::string_view::npos) return false;
+  std::string_view list = rest.substr(0, close);
+  rest = trim(rest.substr(close + 1));
+  while (!list.empty()) {
+    const auto comma = list.find(',');
+    const std::string_view item =
+        trim(comma == std::string_view::npos ? list : list.substr(0, comma));
+    if (!item.empty()) pragma.checks.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  if (rest.starts_with(":")) rest = trim(rest.substr(1));
+  pragma.reason = std::string(rest);
+  if (pragma.reason.empty()) out->reasonless_pragma_lines.push_back(line);
+  out->pragmas.push_back(std::move(pragma));
+  return true;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, LexedFile* out) : src_(src), out_(out) {}
+
+  void run() {
+    bool line_start = true;  // only whitespace/comments seen on this line
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+        line_start = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment(line_start);
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && line_start) {
+        skip_preprocessor_line();
+        line_start = true;
+        continue;
+      }
+      line_start = false;
+      if (is_ident_start(c)) {
+        lex_ident_or_prefixed_string();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*raw=*/false);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char_literal();
+        continue;
+      }
+      lex_punct();
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_->tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void lex_line_comment(bool standalone) {
+    const std::size_t start = i_;
+    while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+    (void)parse_pragma(src_.substr(start + 2, i_ - start - 2), line_,
+                       standalone, out_);
+  }
+
+  void lex_block_comment() {
+    i_ += 2;
+    while (i_ + 1 < src_.size() && !(src_[i_] == '*' && src_[i_ + 1] == '/')) {
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    i_ = std::min(i_ + 2, src_.size());
+  }
+
+  void skip_preprocessor_line() {
+    // Honors backslash continuations; also skips //-comment tails so a `\`
+    // inside one cannot fake a continuation.
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\\' && peek(1) == '\n') {
+        i_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        while (i_ < src_.size() && src_[i_] != '\n') ++i_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '\n') break;
+      ++i_;
+    }
+  }
+
+  void lex_ident_or_prefixed_string() {
+    const int line = line_;
+    const std::size_t start = i_;
+    while (i_ < src_.size() && is_ident_char(src_[i_])) ++i_;
+    std::string text(src_.substr(start, i_ - start));
+    // String-literal prefixes: u8"", u"", U"", L"", R"", u8R"", LR"", ...
+    if (i_ < src_.size() && src_[i_] == '"') {
+      static constexpr std::string_view kPrefixes[] = {
+          "u8", "u", "U", "L", "R", "u8R", "uR", "UR", "LR"};
+      if (std::find(std::begin(kPrefixes), std::end(kPrefixes), text) !=
+          std::end(kPrefixes)) {
+        lex_string(/*raw=*/text.back() == 'R');
+        return;
+      }
+    }
+    emit(TokKind::kIdent, std::move(text), line);
+  }
+
+  void lex_number() {
+    const int line = line_;
+    const std::size_t start = i_;
+    // pp-number: digits, idents, '.', digit separators, exponent signs.
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (is_ident_char(c) || c == '.') {
+        ++i_;
+        continue;
+      }
+      if (c == '\'' && is_ident_char(peek(1))) {
+        i_ += 2;
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > start) {
+        const char prev = src_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++i_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(TokKind::kNumber, std::string(src_.substr(start, i_ - start)), line);
+  }
+
+  void lex_string(bool raw) {
+    const int line = line_;
+    ++i_;  // opening quote
+    std::string text;
+    if (raw) {
+      std::string delim;
+      while (i_ < src_.size() && src_[i_] != '(') delim += src_[i_++];
+      ++i_;  // '('
+      const std::string close = ")" + delim + "\"";
+      const auto end = src_.find(close, i_);
+      const auto stop = end == std::string_view::npos ? src_.size() : end;
+      text.assign(src_.substr(i_, stop - i_));
+      line_ += static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+      i_ = std::min(stop + close.size(), src_.size());
+    } else {
+      while (i_ < src_.size() && src_[i_] != '"') {
+        if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+          text += src_[i_];
+          text += src_[i_ + 1];
+          i_ += 2;
+          continue;
+        }
+        if (src_[i_] == '\n') ++line_;  // unterminated; be forgiving
+        text += src_[i_++];
+      }
+      if (i_ < src_.size()) ++i_;  // closing quote
+    }
+    emit(TokKind::kString, std::move(text), line);
+  }
+
+  void lex_char_literal() {
+    const int line = line_;
+    ++i_;
+    std::string text;
+    while (i_ < src_.size() && src_[i_] != '\'') {
+      if (src_[i_] == '\\' && i_ + 1 < src_.size()) {
+        text += src_[i_];
+        text += src_[i_ + 1];
+        i_ += 2;
+        continue;
+      }
+      text += src_[i_++];
+    }
+    if (i_ < src_.size()) ++i_;
+    emit(TokKind::kNumber, std::move(text), line);  // char literals act as values
+  }
+
+  void lex_punct() {
+    const int line = line_;
+    for (const std::string_view p : kPuncts) {
+      if (src_.substr(i_).starts_with(p)) {
+        emit(TokKind::kPunct, std::string(p), line);
+        i_ += p.size();
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, src_[i_]), line);
+    ++i_;
+  }
+
+  std::string_view src_;
+  LexedFile* out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+bool LexedFile::allowed(std::string_view check, int line) const {
+  for (const AllowPragma& p : pragmas) {
+    const bool names_check =
+        std::find(p.checks.begin(), p.checks.end(), check) != p.checks.end();
+    if (!names_check) continue;
+    if (p.file_scope) return true;
+    // Same line always; the line directly below only when the pragma
+    // comment stands alone on its line (a trailing pragma covers exactly
+    // the code it trails).
+    if (p.line == line) return true;
+    if (p.standalone && p.line + 1 == line) return true;
+  }
+  return false;
+}
+
+LexedFile lex_file(std::string path, std::string_view content) {
+  LexedFile out;
+  out.path = std::move(path);
+  Lexer(content, &out).run();
+  return out;
+}
+
+bool lex_path(const std::string& path, LexedFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  *out = lex_file(path, content);
+  return true;
+}
+
+}  // namespace wafp::lint

@@ -1,0 +1,70 @@
+// Token-level front end of wafp_lint (tools/lint/README in DESIGN.md §3i).
+//
+// wafp_lint is deliberately not a clang plugin: the supported build
+// toolchain is GCC-only in places (no libTooling headers guaranteed), so
+// the checks run on a from-scratch C++ lexer plus a heuristic
+// definition/call extractor (model.h) that is precise for this repo's
+// committed style (clang-format enforced, no macros generating
+// definitions). The check logic lives in this library so the driver is
+// swappable for a libTooling front end later without touching a check.
+//
+// The lexer understands exactly what the checks need: identifiers, string
+// literals (incl. raw strings), numbers (incl. digit separators),
+// multi-char operators, comments (scanned for `wafp-lint:` pragmas), and
+// preprocessor lines (skipped wholesale so macro *definitions* are never
+// mistaken for uses).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wafp::lint {
+
+enum class TokKind {
+  kIdent,
+  kString,  // text = literal contents, quotes stripped, escapes kept raw
+  kNumber,
+  kPunct,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// A `// wafp-lint: allow(check[, check...]): reason` comment. Suppresses
+/// matching findings on its own line and, when the comment stands alone on
+/// its line, on the next code line. `allow-file` variants suppress for the
+/// whole file (reserved for math_library.cc's host-libm wrapping).
+struct AllowPragma {
+  std::vector<std::string> checks;
+  std::string reason;
+  bool file_scope = false;
+  /// The comment stood alone on its line (nothing but whitespace before
+  /// it); only such pragmas extend to the next line.
+  bool standalone = false;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<AllowPragma> pragmas;
+  /// Pragmas with an empty reason are themselves findings; collected here.
+  std::vector<int> reasonless_pragma_lines;
+
+  /// True when a non-file-scope pragma for `check` covers `line` (same line
+  /// or a standalone pragma comment on the line above), or a file-scope
+  /// pragma for `check` exists.
+  [[nodiscard]] bool allowed(std::string_view check, int line) const;
+};
+
+[[nodiscard]] LexedFile lex_file(std::string path, std::string_view content);
+
+/// Reads the file from disk and lexes it; returns false if unreadable.
+[[nodiscard]] bool lex_path(const std::string& path, LexedFile* out);
+
+}  // namespace wafp::lint

@@ -1,0 +1,637 @@
+#include "model.h"
+
+#include <array>
+#include <cctype>
+#include <unordered_set>
+
+namespace wafp::lint {
+namespace {
+
+const std::unordered_set<std::string>& control_keywords() {
+  static const std::unordered_set<std::string> kSet = {
+      "if",       "for",      "while",       "switch",       "return",
+      "sizeof",   "alignof",  "alignas",     "noexcept",     "decltype",
+      "typeid",   "catch",    "static_cast", "dynamic_cast", "const_cast",
+      "reinterpret_cast",     "co_await",    "co_return",    "co_yield",
+      "requires", "asm",      "throw",       "new",          "delete",
+      "void",     "int",      "bool",        "char",         "float",
+      "double",   "auto",     "long",        "short",        "unsigned",
+      "signed",   "wchar_t",  "char8_t",     "char16_t",     "char32_t",
+      "defined",  "static_assert",
+  };
+  return kSet;
+}
+
+bool is_macro_like(std::string_view name) {
+  bool has_upper = false;
+  for (const char c : name) {
+    if (std::islower(static_cast<unsigned char>(c)) != 0) return false;
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) has_upper = true;
+  }
+  return has_upper;
+}
+
+bool is_guarded_by_macro(std::string_view name) {
+  static const std::unordered_set<std::string> kSet = {
+      "GUARDED_BY",      "WAFP_GUARDED_BY",    "PT_GUARDED_BY",
+      "WAFP_PT_GUARDED_BY",
+  };
+  return kSet.contains(std::string(name));
+}
+
+bool is_capability_macro(std::string_view name) {
+  // Annotations that also "reference" a mutex for the guarded-by check.
+  static const std::unordered_set<std::string> kSet = {
+      "WAFP_REQUIRES",        "WAFP_ACQUIRE",      "WAFP_RELEASE",
+      "WAFP_EXCLUDES",        "WAFP_TRY_ACQUIRE",  "REQUIRES",
+      "ACQUIRE",              "RELEASE",           "EXCLUDES",
+      "EXCLUSIVE_LOCKS_REQUIRED",
+  };
+  return kSet.contains(std::string(name));
+}
+
+class Parser {
+ public:
+  Parser(const LexedFile& file, SourceModel* model)
+      : file_(file), toks_(file.tokens), model_(model) {}
+
+  void run() {
+    while (i_ < toks_.size()) top_level_step();
+    flush_classes();
+  }
+
+ private:
+  struct Scope {
+    enum Kind { kNamespace, kClass, kPlain } kind;
+    std::string name;
+    ClassInfo info;  // populated for kClass scopes
+  };
+
+  [[nodiscard]] const Token& tok(std::size_t i) const {
+    static const Token kEof{TokKind::kPunct, "", 0};
+    return i < toks_.size() ? toks_[i] : kEof;
+  }
+  [[nodiscard]] bool is_punct(std::size_t i, std::string_view p) const {
+    return tok(i).kind == TokKind::kPunct && tok(i).text == p;
+  }
+  [[nodiscard]] bool is_ident(std::size_t i, std::string_view name) const {
+    return tok(i).kind == TokKind::kIdent && tok(i).text == name;
+  }
+
+  /// Index just past a balanced (...) starting at `open` (which must be '(').
+  [[nodiscard]] std::size_t skip_parens(std::size_t open) const {
+    return skip_balanced(open, "(", ")");
+  }
+  [[nodiscard]] std::size_t skip_braces(std::size_t open) const {
+    return skip_balanced(open, "{", "}");
+  }
+  [[nodiscard]] std::size_t skip_balanced(std::size_t open, std::string_view l,
+                                          std::string_view r) const {
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < toks_.size(); ++i) {
+      if (is_punct(i, l)) ++depth;
+      if (is_punct(i, r) && --depth == 0) return i + 1;
+    }
+    return i;
+  }
+
+  /// Advances past a statement, honoring nested (), {}, [].
+  void skip_statement() {
+    int paren = 0;
+    int brace = 0;
+    while (i_ < toks_.size()) {
+      if (is_punct(i_, "(")) ++paren;
+      if (is_punct(i_, ")")) --paren;
+      if (is_punct(i_, "{")) ++brace;
+      if (is_punct(i_, "}")) --brace;
+      if (is_punct(i_, ";") && paren <= 0 && brace <= 0) {
+        ++i_;
+        return;
+      }
+      if (brace < 0) return;  // hit enclosing scope's '}'
+      ++i_;
+    }
+  }
+
+  void top_level_step() {
+    const Token& t = tok(i_);
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        scopes_.push_back(Scope{Scope::kPlain, "", {}});
+        ++i_;
+        return;
+      }
+      if (t.text == "}") {
+        pop_scope();
+        ++i_;
+        return;
+      }
+      ++i_;
+      return;
+    }
+    if (t.kind != TokKind::kIdent) {
+      ++i_;
+      return;
+    }
+    if (t.text == "namespace") {
+      parse_namespace();
+      return;
+    }
+    if (t.text == "class" || t.text == "struct" || t.text == "union") {
+      parse_class_head(i_ + 1);
+      return;
+    }
+    if (t.text == "enum") {
+      skip_enum();
+      return;
+    }
+    if (t.text == "template") {
+      skip_template_header();
+      return;
+    }
+    if (t.text == "using" || t.text == "typedef" || t.text == "static_assert") {
+      skip_statement();
+      return;
+    }
+    if (t.text == "friend") {
+      ++i_;
+      return;
+    }
+    if ((t.text == "public" || t.text == "private" || t.text == "protected") &&
+        is_punct(i_ + 1, ":")) {
+      i_ += 2;
+      return;
+    }
+    if (t.text == "extern" && tok(i_ + 1).kind == TokKind::kString) {
+      if (is_punct(i_ + 2, "{")) {
+        scopes_.push_back(Scope{Scope::kPlain, "", {}});
+        i_ += 3;
+      } else {
+        i_ += 2;
+      }
+      return;
+    }
+    parse_declaration();
+  }
+
+  void pop_scope() {
+    if (scopes_.empty()) return;
+    if (scopes_.back().kind == Scope::kClass) {
+      model_->classes.push_back(std::move(scopes_.back().info));
+    }
+    scopes_.pop_back();
+  }
+  void flush_classes() {
+    while (!scopes_.empty()) pop_scope();
+  }
+
+  void parse_namespace() {
+    ++i_;  // 'namespace'
+    std::string name;
+    while (tok(i_).kind == TokKind::kIdent || is_punct(i_, "::")) {
+      name += tok(i_).text;
+      ++i_;
+    }
+    if (is_punct(i_, "=")) {  // namespace alias
+      skip_statement();
+      return;
+    }
+    if (is_punct(i_, "{")) {
+      scopes_.push_back(Scope{Scope::kNamespace, std::move(name), {}});
+      ++i_;
+    }
+  }
+
+  void parse_class_head(std::size_t i) {
+    // Skip attributes / capability macros between the class-key and name.
+    while (i < toks_.size()) {
+      if (is_punct(i, "[") && is_punct(i + 1, "[")) {
+        int depth = 0;
+        while (i < toks_.size()) {
+          if (is_punct(i, "[")) ++depth;
+          if (is_punct(i, "]") && --depth == 0) break;
+          ++i;
+        }
+        ++i;
+        continue;
+      }
+      if (is_ident(i, "alignas") ||
+          (tok(i).kind == TokKind::kIdent && is_macro_like(tok(i).text))) {
+        ++i;
+        if (is_punct(i, "(")) i = skip_parens(i);
+        continue;
+      }
+      break;
+    }
+    std::string name;
+    if (tok(i).kind == TokKind::kIdent) {
+      name = tok(i).text;
+      ++i;
+      if (is_punct(i, "<")) i = skip_angles(i);  // explicit specialization
+    }
+    // Find what terminates the head: '{' opens the body, ';' is a forward
+    // declaration, '(' means this was no class head after all.
+    while (i < toks_.size()) {
+      if (is_punct(i, "{")) {
+        Scope scope{Scope::kClass, name, {}};
+        scope.info.name = name;
+        scopes_.push_back(std::move(scope));
+        i_ = i + 1;
+        return;
+      }
+      if (is_punct(i, ";")) {
+        i_ = i + 1;
+        return;
+      }
+      if (is_punct(i, "(")) {  // e.g. `struct stat st(...)` — treat as decl
+        i_ = i;
+        skip_statement();
+        return;
+      }
+      if (is_punct(i, "<")) {
+        i = skip_angles(i);
+        continue;
+      }
+      ++i;
+    }
+    i_ = i;
+  }
+
+  void skip_enum() {
+    ++i_;  // 'enum'
+    if (is_ident(i_, "class") || is_ident(i_, "struct")) ++i_;
+    while (tok(i_).kind == TokKind::kIdent || is_punct(i_, ":") ||
+           is_punct(i_, "::")) {
+      ++i_;
+    }
+    if (is_punct(i_, "{")) i_ = skip_braces(i_);
+    if (is_punct(i_, ";")) ++i_;
+  }
+
+  void skip_template_header() {
+    ++i_;  // 'template'
+    if (!is_punct(i_, "<")) return;
+    i_ = skip_angles(i_);
+  }
+
+  [[nodiscard]] std::size_t skip_angles(std::size_t open) const {
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < toks_.size(); ++i) {
+      if (is_punct(i, "<")) ++depth;
+      if (is_punct(i, "<<")) depth += 2;
+      if (is_punct(i, ">") && --depth <= 0) return i + 1;
+      if (is_punct(i, ">>")) {
+        depth -= 2;
+        if (depth <= 0) return i + 1;
+      }
+      if (is_punct(i, ";") || is_punct(i, "{")) return i;  // bail out
+    }
+    return i;
+  }
+
+  struct DeclName {
+    bool valid = false;
+    std::string terminal;   // "process"
+    std::string qualified;  // "GainNode::process" (explicit qualifiers only)
+  };
+
+  /// Reads a declarator name ending at token `last` (the token right before
+  /// an opening paren).
+  [[nodiscard]] DeclName read_name_backwards(std::size_t last) const {
+    DeclName out;
+    std::size_t j = last;
+    std::string name;
+    if (tok(j).kind == TokKind::kPunct && is_ident(j - 1, "operator")) {
+      out.valid = true;
+      out.terminal = "operator" + tok(j).text;
+      out.qualified = out.terminal;
+      if (j >= 3 && is_punct(j - 2, "::") &&
+          tok(j - 3).kind == TokKind::kIdent) {
+        out.qualified = tok(j - 3).text + "::" + out.terminal;
+      }
+      return out;
+    }
+    if (tok(j).kind != TokKind::kIdent) return out;
+    name = tok(j).text;
+    if (control_keywords().contains(name)) return out;
+    if (is_ident(j - 1, "operator")) {  // conversion operator
+      out.valid = true;
+      out.terminal = "operator " + name;
+      out.qualified = out.terminal;
+      return out;
+    }
+    if (j >= 1 && is_punct(j - 1, "~")) {
+      name = "~" + name;
+      --j;
+    }
+    std::string qualified = name;
+    while (j >= 2 && is_punct(j - 1, "::") &&
+           tok(j - 2).kind == TokKind::kIdent) {
+      qualified = tok(j - 2).text + "::" + qualified;
+      j -= 2;
+    }
+    out.valid = true;
+    out.terminal = std::move(name);
+    out.qualified = std::move(qualified);
+    return out;
+  }
+
+  [[nodiscard]] std::string class_scope_prefix() const {
+    std::string prefix;
+    for (const Scope& s : scopes_) {
+      if (s.kind == Scope::kClass && !s.name.empty()) {
+        prefix += s.name;
+        prefix += "::";
+      }
+    }
+    return prefix;
+  }
+
+  [[nodiscard]] ClassInfo* innermost_class() {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (it->kind == Scope::kClass) return &it->info;
+    }
+    return nullptr;
+  }
+
+  void parse_declaration() {
+    const std::size_t start = i_;
+    std::size_t i = start;
+    while (i < toks_.size()) {
+      const Token& t = tok(i);
+      if (t.kind != TokKind::kPunct) {
+        ++i;
+        continue;
+      }
+      if (t.text == ";") {
+        scan_member_decl(start, i);
+        i_ = i + 1;
+        return;
+      }
+      if (t.text == "}") {  // enclosing scope ends; malformed decl — bail
+        i_ = i;
+        return;
+      }
+      if (t.text == "=") {
+        scan_member_decl(start, i);
+        i_ = i;
+        skip_statement();
+        return;
+      }
+      if (t.text == "{") {  // brace-init variable
+        scan_member_decl(start, i);
+        i = skip_braces(i);
+        if (is_punct(i, ";")) ++i;
+        i_ = i;
+        return;
+      }
+      if (t.text == "(") {
+        const DeclName name = read_name_backwards(i - 1);
+        if (name.valid && !is_macro_like(name.terminal)) {
+          parse_function(name, i);
+          return;
+        }
+        if (name.valid && is_guarded_by_macro(name.terminal)) {
+          record_guard_refs(i, /*from_guarded_by=*/true);
+        } else if (name.valid && is_capability_macro(name.terminal)) {
+          record_guard_refs(i, /*from_guarded_by=*/false);
+        }
+        i = skip_parens(i);
+        continue;
+      }
+      ++i;
+    }
+    i_ = i;
+  }
+
+  /// Called when a member/variable declaration spanning [start, end) ended;
+  /// records util::Mutex members and annotation references at class scope.
+  void scan_member_decl(std::size_t start, std::size_t end) {
+    ClassInfo* cls = innermost_class();
+    if (cls == nullptr) return;
+    for (std::size_t i = start; i < end; ++i) {
+      if (!is_ident(i, "Mutex")) continue;
+      // Reject `MutexLock`-style idents (exact token match already ensures
+      // this) and member accesses `foo.Mutex`.
+      if (is_punct(i - 1, ".") || is_punct(i - 1, "->")) continue;
+      // Accept `Mutex name` and `util::Mutex name`.
+      if (is_punct(i - 1, "::") && !is_ident(i - 2, "util")) continue;
+      if (tok(i + 1).kind != TokKind::kIdent) continue;
+      MutexMember m;
+      m.class_name = cls->name;
+      m.member_name = tok(i + 1).text;
+      m.file = file_.path;
+      m.line = tok(i + 1).line;
+      cls->mutexes.push_back(std::move(m));
+    }
+  }
+
+  void record_guard_refs(std::size_t open_paren, bool from_guarded_by) {
+    (void)from_guarded_by;  // both families count as references
+    ClassInfo* cls = innermost_class();
+    if (cls == nullptr) return;
+    const std::size_t end = skip_parens(open_paren);
+    for (std::size_t i = open_paren + 1; i + 1 < end; ++i) {
+      if (tok(i).kind == TokKind::kIdent && !is_ident(i, "this")) {
+        cls->guarded_refs.push_back(tok(i).text);
+      }
+    }
+  }
+
+  void parse_function(const DeclName& name, std::size_t open_paren) {
+    FunctionDef fn;
+    fn.name = name.terminal;
+    fn.key = class_scope_prefix() + name.qualified;
+    fn.file = file_.path;
+    fn.line = tok(open_paren).line;
+
+    std::size_t i = skip_parens(open_paren);
+    bool trailing_return = false;
+    while (i < toks_.size()) {
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "WAFP_NONALLOCATING") fn.annotated_nonallocating = true;
+        if (t.text == "WAFP_NONBLOCKING") fn.annotated_nonblocking = true;
+        if (is_guarded_by_macro(t.text) && is_punct(i + 1, "(")) {
+          record_guard_refs(i + 1, true);
+        } else if (is_capability_macro(t.text) && is_punct(i + 1, "(")) {
+          record_guard_refs(i + 1, false);
+        }
+        ++i;
+        if (is_punct(i, "(")) i = skip_parens(i);  // noexcept(...), macros
+        continue;
+      }
+      if (is_punct(i, "->")) {
+        trailing_return = true;
+        ++i;
+        continue;
+      }
+      if (is_punct(i, ";")) {
+        model_->functions.push_back(std::move(fn));
+        i_ = i + 1;
+        return;
+      }
+      if (is_punct(i, "=")) {  // = default / = delete / = 0
+        model_->functions.push_back(std::move(fn));
+        i_ = i;
+        skip_statement();
+        return;
+      }
+      if (is_punct(i, ":") && !trailing_return) {
+        i = skip_ctor_init_list(i + 1, &fn);
+        continue;  // lands on the body '{' (or bails)
+      }
+      if (is_punct(i, "{")) {
+        fn.is_definition = true;
+        i_ = parse_body(i, &fn);
+        model_->functions.push_back(std::move(fn));
+        return;
+      }
+      if (is_punct(i, "(")) {
+        i = skip_parens(i);
+        continue;
+      }
+      if (is_punct(i, ",")) {  // multi-declarator statement; not a function
+        i_ = i;
+        skip_statement();
+        return;
+      }
+      ++i;
+    }
+    i_ = i;
+  }
+
+  /// Skips `member(init), member{init}, ...` and returns the index of the
+  /// body's '{'. Records constructions in the init list as calls.
+  [[nodiscard]] std::size_t skip_ctor_init_list(std::size_t i,
+                                               FunctionDef* fn) {
+    while (i < toks_.size()) {
+      if (is_punct(i, "(")) {
+        record_calls_in_range(i, skip_parens(i), fn);
+        i = skip_parens(i);
+        continue;
+      }
+      if (is_punct(i, "{")) {
+        // Member brace-init if it directly follows a name or template args;
+        // otherwise this is the constructor body.
+        if (tok(i - 1).kind == TokKind::kIdent || is_punct(i - 1, ">")) {
+          i = skip_braces(i);
+          continue;
+        }
+        return i;
+      }
+      if (is_punct(i, ";")) return i;  // malformed; bail
+      ++i;
+    }
+    return i;
+  }
+
+  /// Walks a function body, recording calls and effect uses. Returns the
+  /// index just past the closing '}'.
+  [[nodiscard]] std::size_t parse_body(std::size_t open_brace,
+                                       FunctionDef* fn) {
+    const std::size_t end = skip_braces(open_brace);
+    record_calls_in_range(open_brace + 1, end - 1, fn);
+    return end;
+  }
+
+  void record_calls_in_range(std::size_t begin, std::size_t end,
+                             FunctionDef* fn) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Token& t = tok(i);
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "new" && !is_punct(i - 1, "->") &&
+            !is_punct(i - 1, ".")) {
+          // `new` in expression context; `operator new` is caught via the
+          // preceding `operator` token being macro-filtered out.
+          fn->effects.push_back(EffectUse{"new", t.line});
+          continue;
+        }
+        if (t.text == "delete" && !is_punct(i + 1, ";") &&
+            !is_punct(i - 1, "=")) {
+          fn->effects.push_back(EffectUse{"delete", t.line});
+          continue;
+        }
+        if (t.text == "throw") {
+          fn->effects.push_back(EffectUse{"throw", t.line});
+          continue;
+        }
+        if (is_owning_container(t.text) && !is_punct(i - 1, ".") &&
+            !is_punct(i - 1, "->") && looks_like_owning_local(i)) {
+          fn->effects.push_back(
+              EffectUse{"construct " + t.text, t.line});
+          continue;
+        }
+        if (is_blocking_type(t.text) && !is_punct(i - 1, ".") &&
+            !is_punct(i - 1, "->")) {
+          fn->effects.push_back(EffectUse{"lock " + t.text, t.line});
+          continue;
+        }
+        if (is_punct(i + 1, "(") && !control_keywords().contains(t.text) &&
+            !is_macro_like(t.text)) {
+          CallSite call;
+          call.name = t.text;
+          call.line = t.line;
+          if (is_punct(i - 1, ".") || is_punct(i - 1, "->")) {
+            call.member = true;
+          } else if (is_punct(i - 1, "::") &&
+                     tok(i - 2).kind == TokKind::kIdent) {
+            call.qualifier = tok(i - 2).text;
+          }
+          fn->calls.push_back(std::move(call));
+          continue;
+        }
+      }
+    }
+  }
+
+  static bool is_owning_container(std::string_view name) {
+    static const std::unordered_set<std::string> kSet = {
+        "vector", "string",       "deque",         "list",
+        "map",    "unordered_map", "unordered_set", "set",
+        "ostringstream", "stringstream", "istringstream",
+    };
+    return kSet.contains(std::string(name));
+  }
+
+  static bool is_blocking_type(std::string_view name) {
+    static const std::unordered_set<std::string> kSet = {
+        "MutexLock", "ReaderMutexLock", "lock_guard", "unique_lock",
+        "scoped_lock", "shared_lock",
+    };
+    return kSet.contains(std::string(name));
+  }
+
+  /// True when the container ident at `i` starts a value declaration (e.g.
+  /// `std::vector<float> buf(...)`) rather than a reference/pointer binding
+  /// or a nested template argument.
+  [[nodiscard]] bool looks_like_owning_local(std::size_t i) const {
+    std::size_t j = i + 1;
+    if (is_punct(j, "<")) j = skip_angles(j);
+    // After the type: `&`/`*` → non-owning binding; `>` / `,` → it was a
+    // nested template argument; an identifier → owning local/temporary.
+    if (is_punct(j, "&") || is_punct(j, "&&") || is_punct(j, "*")) {
+      return false;
+    }
+    if (is_punct(j, ">") || is_punct(j, ",") || is_punct(j, ")")) return false;
+    if (is_punct(j, "::")) return false;  // e.g. vector<T>::size_type
+    return tok(j).kind == TokKind::kIdent || is_punct(j, "{") ||
+           is_punct(j, "(");
+  }
+
+  const LexedFile& file_;
+  const std::vector<Token>& toks_;
+  SourceModel* model_;
+  std::size_t i_ = 0;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace
+
+void build_model(const LexedFile& file, SourceModel* model) {
+  Parser(file, model).run();
+}
+
+}  // namespace wafp::lint

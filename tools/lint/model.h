@@ -1,0 +1,75 @@
+// Heuristic C++ source model built on the wafp_lint lexer.
+//
+// Extracts, per translation unit:
+//   - function definitions with a scope-qualified key ("GainNode::process"),
+//     their effect annotations (WAFP_NONALLOCATING / WAFP_NONBLOCKING, read
+//     from either the declaration or the definition), and the calls +
+//     effectful constructs (`new`, `throw`, co_await) inside their bodies;
+//   - class members of type util::Mutex and every mutex name referenced by
+//     a GUARDED_BY / PT_GUARDED_BY annotation in the same class.
+//
+// The parser is a single forward pass with a scope stack. It leans on the
+// repo's committed style (clang-format, no definition-generating macros) and
+// is conservative where C++ is ambiguous: anything it cannot classify is
+// simply not a function definition, and calls resolve by name union (every
+// in-tree definition with a matching terminal name), which over-approximates
+// virtual dispatch — exactly what a purity check wants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace wafp::lint {
+
+struct CallSite {
+  std::string name;       // terminal callee name ("get", "try_emplace")
+  std::string qualifier;  // "std", "util", "dsp", ... ("" for unqualified)
+  bool member = false;    // invoked via `.` or `->`
+  int line = 0;
+};
+
+/// An effectful construct that is not a named call: `new`/`delete`
+/// expressions and `throw`.
+struct EffectUse {
+  std::string what;  // "new", "delete", "throw"
+  int line = 0;
+};
+
+struct FunctionDef {
+  std::string name;   // terminal name, e.g. "process"
+  std::string key;    // scope-qualified, e.g. "GainNode::process"
+  std::string file;
+  int line = 0;
+  bool annotated_nonallocating = false;
+  bool annotated_nonblocking = false;
+  bool is_definition = false;  // false: declaration only (annotation carrier)
+  std::vector<CallSite> calls;
+  std::vector<EffectUse> effects;
+};
+
+struct MutexMember {
+  std::string class_name;
+  std::string member_name;
+  std::string file;
+  int line = 0;
+};
+
+struct ClassInfo {
+  std::string name;
+  /// Mutex names referenced by any GUARDED_BY/PT_GUARDED_BY/REQUIRES/...
+  /// annotation inside the class body (dereferences and `&` stripped).
+  std::vector<std::string> guarded_refs;
+  std::vector<MutexMember> mutexes;
+};
+
+struct SourceModel {
+  std::vector<FunctionDef> functions;
+  std::vector<ClassInfo> classes;
+};
+
+/// Parses one lexed file into `model` (appending).
+void build_model(const LexedFile& file, SourceModel* model);
+
+}  // namespace wafp::lint

@@ -1,0 +1,30 @@
+// wafp_lint fixture: dcheck-purity. Never compiled — lexed by
+// tests/lint/wafp_lint_test.cc. WAFP_DCHECK arguments vanish in release
+// builds, so mutation inside them is a correctness bug.
+#include <vector>
+
+namespace fixture {
+
+void pure_checks(int x, const std::vector<int>& v) {
+  WAFP_DCHECK(x > 0);
+  WAFP_DCHECK(v.size() == 3 && v.front() != 0);
+  // Mutator names without a call are just identifiers — not flagged.
+  const int push_back = x;
+  WAFP_DCHECK(push_back > 0);
+}
+
+void impure_checks(int x, std::vector<int>& v) {
+  WAFP_DCHECK(x++ > 0);  // expect-lint: dcheck-purity
+  WAFP_DCHECK(v.erase(v.begin()) != v.end());  // expect-lint: dcheck-purity
+  WAFP_DCHECK((x += 2) > 0);  // expect-lint: dcheck-purity
+}
+
+void allowed_check(int x) {
+  // wafp-lint: allow(dcheck-purity): fixture exercises the pragma
+  WAFP_DCHECK(x-- > 0);
+}
+
+// Effects outside a WAFP_DCHECK are out of scope for this check.
+void unrelated_effects(std::vector<int>& v) { v.push_back(1); }
+
+}  // namespace fixture

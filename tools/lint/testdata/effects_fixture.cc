@@ -1,0 +1,63 @@
+// wafp_lint fixture: nonallocating / nonblocking call-graph purity. Never
+// compiled — lexed by tests/lint/wafp_lint_test.cc. Findings anchor at the
+// effect (or denylisted-call) site, which may sit inside an un-annotated
+// callee reached from an annotated root.
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+int leaf_pure(int x) { return x + 1; }
+
+// Not annotated itself; reached from hot_calls_leaf below, so the effect
+// here is reported with the call path in the message.
+void leaf_allocates(std::vector<int>& v) {
+  v.push_back(1);  // expect-lint: nonallocating
+}
+
+void hot_direct_effects() WAFP_NONALLOCATING {
+  int* p = new int(3);  // expect-lint: nonallocating
+  delete p;             // expect-lint: nonallocating
+}
+
+void hot_calls_leaf(std::vector<int>& v) WAFP_NONALLOCATING {
+  leaf_pure(1);
+  leaf_allocates(v);
+}
+
+// Locking is permitted under WAFP_NONALLOCATING (matches clang's
+// [[clang::nonallocating]]): only the string construction is a finding.
+void hot_locks_ok(std::mutex& mu) WAFP_NONALLOCATING {
+  std::lock_guard<std::mutex> lock(mu);
+  std::string s = "boom";  // expect-lint: nonallocating
+}
+
+// WAFP_NONBLOCKING additionally bans blocking constructs; allocation in a
+// nonblocking function is still reported by the nonallocating pass.
+void rt_takes_lock(std::mutex& mu) WAFP_NONBLOCKING {
+  std::lock_guard<std::mutex> lock(mu);  // expect-lint: nonblocking
+}
+
+void rt_sleeps() WAFP_NONBLOCKING {
+  std::this_thread::sleep_for(  // expect-lint: nonblocking
+      std::chrono::milliseconds(1));
+}
+
+void hot_with_pragma() WAFP_NONALLOCATING {
+  // wafp-lint: allow(nonallocating): fixture cold path, reasoned
+  std::string s = "fine";
+  leaf_pure(static_cast<int>(s.size()));
+}
+
+// Pruning at the call site: the pragma stops traversal into the callee, so
+// leaf_throws produces no finding even though it throws.
+void leaf_throws() { throw 1; }
+
+void hot_pruned_edge() WAFP_NONALLOCATING {
+  // wafp-lint: allow(nonallocating): edge pruned, callee audited elsewhere
+  leaf_throws();
+}
+
+}  // namespace fixture

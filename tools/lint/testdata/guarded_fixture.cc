@@ -1,0 +1,49 @@
+// wafp_lint fixture: guarded-by. Never compiled — lexed by
+// tests/lint/wafp_lint_test.cc.
+#include <string>
+
+namespace fixture {
+
+class FullyAnnotated {
+ public:
+  void poke();
+
+ private:
+  util::Mutex mu_;
+  int value_ WAFP_GUARDED_BY(mu_) = 0;
+  mutable util::Mutex stats_mu_;
+  int reads_ WAFP_GUARDED_BY(stats_mu_) = 0;
+};
+
+// A mutex referenced only through a capability clause (REQUIRES family)
+// still counts as covered.
+class CapabilityOnly {
+ public:
+  void drain() WAFP_REQUIRES(mu_);
+
+ private:
+  util::Mutex mu_;
+};
+
+class Unguarded {
+ public:
+  int value() const { return value_; }
+
+ private:
+  util::Mutex lonely_mu_;  // expect-lint: guarded-by
+  int value_ = 0;
+};
+
+class AllowedUnguarded {
+ private:
+  // wafp-lint: allow(guarded-by): fixture exercises the pragma
+  util::Mutex audited_mu_;
+};
+
+// No mutex members at all: never inspected.
+class Plain {
+ private:
+  std::string name_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// wafp_lint fixture: no-host-libm. Never compiled — lexed by
+// tests/lint/wafp_lint_test.cc, which asserts the reported (line, check)
+// set equals the trailing `expect-lint:` markers exactly.
+#include <cmath>
+
+namespace fixture {
+
+// IEEE-exact functions are bit-identical on every host — never flagged.
+double ok_exact(double x) {
+  return std::sqrt(x) + std::fabs(x) + std::fma(x, x, x);
+}
+
+double bad_std(double x) { return std::sin(x); }  // expect-lint: no-host-libm
+
+double bad_global(double x) {
+  const double y = ::atan2(x, 1.0);  // expect-lint: no-host-libm
+  return y;
+}
+
+double bad_unqualified(double x) {
+  return exp(x);  // expect-lint: no-host-libm
+}
+
+double bad_suffixed(float x) {
+  return logf(x);  // expect-lint: no-host-libm
+}
+
+struct FlavouredMath {
+  double sin(double x) const { return x; }
+};
+
+// Member calls route through a flavoured surface (MathLibrary) — fine.
+double ok_member(const FlavouredMath& m, double x) { return m.sin(x); }
+
+// A declaration, not a call.
+double pow(double base, double exponent);
+
+double ok_allowed(double x) {
+  // wafp-lint: allow(no-host-libm): fixture exercises the standalone pragma
+  return std::cos(x);
+}
+
+double ok_trailing_allowed(double x) {
+  return std::tanh(x);  // wafp-lint: allow(no-host-libm): same-line pragma
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// wafp_lint fixture: metric-name. Never compiled — lexed by
+// tests/lint/wafp_lint_test.cc with testdata/registry_fixture.txt as the
+// registry. Registry-hygiene findings (sorting, well-formedness, stale
+// entries) anchor to the registry file and are asserted in test code.
+namespace fixture {
+
+const char* ok_registered() { return "wafp_fixture_ok_total"; }
+
+const char* bad_unregistered() {
+  return "wafp_fixture_typo_total";  // expect-lint: metric-name
+}
+
+// Not a full metric literal (spaces, uppercase, embedded prefix): the scan
+// only considers whole-literal wafp_[a-z0-9_]+ strings.
+const char* ok_not_a_metric_a() { return "prefix wafp_embedded suffix"; }
+const char* ok_not_a_metric_b() { return "WAFP_FIXTURE_MACROISH"; }
+const char* ok_not_a_metric_c() { return "wafp_trailing_"; }
+
+const char* ok_allowed() {
+  // wafp-lint: allow(metric-name): fixture exercises the pragma
+  return "wafp_fixture_suppressed_total";
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// wafp_lint fixture: pragma hygiene. The offense *is* the comment line, so
+// markers use the `expect-lint-next:` form on the line above.
+namespace fixture {
+
+// expect-lint-next: pragma
+// wafp-lint: allow(no-host-libm)
+int reasonless(int x) { return x; }
+
+// expect-lint-next: pragma
+// wafp-lint: allow(not-a-real-check): reason present, check unknown
+int unknown_check(int x) { return x; }
+
+// A list may misname several checks; the line is flagged either way.
+// expect-lint-next: pragma
+// wafp-lint: allow(bogus-one, bogus-two): two unknown checks
+int two_unknown(int x) { return x; }
+
+int fine(int x) {
+  return x;  // wafp-lint: allow(dcheck-purity): reasoned and known
+}
+
+}  // namespace fixture
