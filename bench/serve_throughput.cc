@@ -18,7 +18,6 @@
 //                                  [--users N] [--workers N]
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "platform/catalog.h"
 #include "platform/population.h"
 #include "serve/render_service.h"
+#include "util/flags.h"
 #include "webaudio/periodic_wave.h"
 
 namespace {
@@ -74,16 +74,14 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_serve.json";
   std::size_t users = 256;
   std::size_t workers = 0;  // 0 = RenderService's default (hardware) degree
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--users") == 0 && i + 1 < argc) {
-      users = std::strtoul(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = std::strtoul(argv[++i], nullptr, 10);
-    }
-  }
+  wafp::util::FlagParser flags(
+      "serve_throughput",
+      "Render-service coalescing benchmark (BENCH_serve.json).");
+  flags.flag("--smoke", &smoke, "tiny CI-sized run");
+  flags.flag("--out", &out_path, "output JSON path");
+  flags.flag("--users", &users, "simulated users in the request stream");
+  flags.flag("--workers", &workers, "render workers (0 = hardware degree)");
+  if (!flags.parse(argc, argv)) return flags.exit_code();
   if (smoke) users = std::min<std::size_t>(users, 48);
 
   const platform::DeviceCatalog catalog;

@@ -7,6 +7,8 @@
 //
 //   ./build/examples/tracking_server [num_visitors]
 //       [--state-dir DIR]     persist WAL + snapshots (and recover on start)
+//       [--shards N]          run the sharded engine with N shards (0 =
+//                             single-loop CollationService)
 //       [--snapshot-every N]  checkpoint cadence in applied submissions
 //       [--fsync-wal]         fdatasync every WAL append (durable mode)
 //       [--drop-every N] [--dup-every N]  deterministic fault injection
@@ -14,10 +16,10 @@
 //                             pool (continuous cross-visitor batching)
 //       [--metrics-every N]   dump the Prometheus-style metrics text every
 //                             N enrolled visitors (and once at the end)
+//       [--help]              generated usage (util::FlagParser)
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -26,7 +28,8 @@
 #include "platform/catalog.h"
 #include "platform/population.h"
 #include "serve/render_service.h"
-#include "service/collation_service.h"
+#include "service/sharded_collation_service.h"
+#include "util/flags.h"
 
 int main(int argc, char** argv) {
   using namespace wafp;
@@ -34,45 +37,31 @@ int main(int argc, char** argv) {
   std::size_t num_visitors = 400;
   std::size_t metrics_every = 0;
   std::size_t render_workers = 0;
+  std::size_t shards = 0;
   service::ServiceConfig config;
-  const auto usage = [&] {
-    std::fprintf(stderr,
-                 "usage: %s [num_visitors] [--state-dir DIR] "
-                 "[--snapshot-every N] [--fsync-wal] [--drop-every N] "
-                 "[--dup-every N] [--render-workers N] [--metrics-every N]\n",
-                 argv[0]);
-  };
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--state-dir") == 0 && i + 1 < argc) {
-      config.state_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
-      config.snapshot_every = std::strtoul(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--fsync-wal") == 0) {
-      config.fsync_wal = true;
-    } else if (std::strcmp(argv[i], "--render-workers") == 0 && i + 1 < argc) {
-      render_workers = std::strtoul(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--drop-every") == 0 && i + 1 < argc) {
-      config.faults.drop_every = std::strtoul(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--dup-every") == 0 && i + 1 < argc) {
-      config.faults.duplicate_every = std::strtoul(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--metrics-every") == 0 && i + 1 < argc) {
-      metrics_every = std::strtoul(argv[++i], nullptr, 10);
-    } else if (argv[i][0] == '-') {
-      // A typo'd or value-less flag must not fall through to the visitor
-      // count (it would silently run an empty study).
-      std::fprintf(stderr, "unrecognized or incomplete flag: %s\n", argv[i]);
-      usage();
-      return 2;
-    } else {
-      char* end = nullptr;
-      num_visitors = std::strtoul(argv[i], &end, 10);
-      if (end == argv[i] || *end != '\0' || num_visitors == 0) {
-        std::fprintf(stderr, "invalid visitor count: %s\n", argv[i]);
-        usage();
-        return 2;
-      }
-    }
-  }
+  util::FlagParser flags("tracking_server",
+                         "Online fingerprint collation demo (paper §3.2): "
+                         "enrol visitors through the collation service, then "
+                         "re-identify them from fresh iterations.");
+  flags.positional("num_visitors", &num_visitors, "visitors to enrol",
+                   /*min=*/1);
+  flags.flag("--state-dir", &config.state_dir,
+             "persist WAL + snapshots here and recover on start");
+  flags.flag("--shards", &shards,
+             "shard the collation engine this many ways (0 = single loop)");
+  flags.flag("--snapshot-every", &config.snapshot_every,
+             "checkpoint cadence in applied submissions");
+  flags.flag("--fsync-wal", &config.fsync_wal,
+             "fdatasync every WAL append (durable mode)");
+  flags.flag("--drop-every", &config.faults.drop_every,
+             "drop every Nth accepted submission (fault injection)");
+  flags.flag("--dup-every", &config.faults.duplicate_every,
+             "duplicate every Nth accepted submission (fault injection)");
+  flags.flag("--render-workers", &render_workers,
+             "serve renders through a RenderService pool of this size");
+  flags.flag("--metrics-every", &metrics_every,
+             "dump metrics text every N enrolled visitors");
+  if (!flags.parse(argc, argv)) return flags.exit_code();
 
   const fingerprint::VectorId vector = fingerprint::VectorId::kAm;
   constexpr std::uint32_t kEnrolIterations = 2;
@@ -109,7 +98,15 @@ int main(int argc, char** argv) {
     return render_service->render(vec, user.profile, jitter.state);
   };
 
-  service::CollationService svc(config);
+  // 0 shards = the classic single-loop service; N >= 1 = the sharded
+  // engine. Everything below this line only sees the CollationEngine
+  // interface, so the two deployments share one code path.
+  const std::unique_ptr<service::CollationEngine> engine =
+      service::make_engine(config, shards);
+  service::CollationEngine& svc = *engine;
+  if (shards > 0) {
+    std::printf("Sharded collation engine: %zu shards\n", shards);
+  }
   {
     const auto s = svc.stats();
     if (s.recovered_from_snapshot + s.recovered_from_wal > 0) {
@@ -130,7 +127,7 @@ int main(int argc, char** argv) {
   std::uint64_t clock = svc.max_observed_timestamp();
   std::size_t enrolled = 0;
   for (const platform::StudyUser& user : population.users()) {
-    const std::size_t before = svc.graph().cluster_count();
+    const std::size_t before = svc.cluster_count();
     for (std::uint32_t it = 0; it < kEnrolIterations; ++it) {
       service::RawSubmission raw;
       raw.user = user.id;
@@ -148,7 +145,7 @@ int main(int argc, char** argv) {
       }
     }
     svc.pump();  // apply this visitor's submissions before inspecting
-    const std::size_t after = svc.graph().cluster_count();
+    const std::size_t after = svc.cluster_count();
     if (after > before) {
       ++new_clusters;  // a previously unseen fingerprint family
     } else if (after == before) {
@@ -168,8 +165,8 @@ int main(int argc, char** argv) {
   const auto stats = svc.stats();
   std::printf("Enrolled %zu visitors (%u iterations each) -> %zu collated "
               "clusters, %zu elementary fingerprints\n",
-              num_visitors, kEnrolIterations, svc.graph().cluster_count(),
-              svc.graph().fingerprint_count());
+              num_visitors, kEnrolIterations, svc.cluster_count(),
+              svc.fingerprint_count());
   std::printf("  opened a new cluster : %zu visitors\n", new_clusters);
   std::printf("  joined an existing   : %zu visitors\n", joined_existing);
   std::printf("  bridged clusters     : %zu visitors (dynamic merge, "
@@ -195,7 +192,7 @@ int main(int argc, char** argv) {
       probe.push_back(fingerprint_of(user, it));
     }
     const auto matched = svc.match(probe);
-    const auto expected = svc.graph().user_component(user.id);
+    const auto expected = svc.user_component(user.id);
     if (matched.has_value() && expected.has_value() && *matched == *expected) {
       ++identified;
     } else {
@@ -210,7 +207,7 @@ int main(int argc, char** argv) {
   std::printf("Misses (fresh fingerprints never seen in enrolment): %zu\n",
               misses);
   std::printf("\nCluster sizes (largest 10):\n");
-  std::vector<std::size_t> sizes = svc.graph().cluster_user_counts();
+  std::vector<std::size_t> sizes = svc.cluster_user_counts();
   std::sort(sizes.rbegin(), sizes.rend());
   for (std::size_t i = 0; i < sizes.size() && i < 10; ++i) {
     std::printf("  #%zu: %zu users\n", i + 1, sizes[i]);

@@ -1,0 +1,108 @@
+// CollationEngine: the engine-agnostic API of the online collation
+// subsystem (DESIGN.md §3j).
+//
+// The paper's collation scheme (§3.2) is one algorithm — an online union
+// over the user↔fingerprint bipartite graph — but it admits more than one
+// execution strategy: a single apply loop over one graph with one WAL
+// (CollationService), or a fingerprint-hash-partitioned fleet of shards
+// with per-shard WALs and a cross-shard merge (ShardedCollationService).
+// Everything above the engine — the tracking-server CLI, the study parity
+// bridge, the oracle tests, the throughput benches — programs against this
+// interface, so engines are drop-in replacements for each other and every
+// correctness bar (brute-force oracles, component-checksum parity,
+// kill-every-k recovery) applies to all of them unchanged.
+//
+// Contract notes shared by every engine:
+//   * submit() is thread-safe; kQueueFull is backpressure, not failure —
+//     the caller pumps (or waits for the background workers) and resubmits.
+//   * pump() may be called from at most one thread at a time, and never
+//     while start()ed workers are running (engines enforce this loudly).
+//   * The query surface (counts, match, user_component, checksum) reads the
+//     collated state and requires the engine quiescent: stopped, or no
+//     pump() in flight. Engines do not snapshot-isolate queries.
+//   * component_checksum() is the canonical order-independent partition
+//     witness (FingerprintGraph::component_checksum spec); two engines fed
+//     the same applied observations MUST report the same checksum, whatever
+//     their internal layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "service/types.h"
+#include "util/hash.h"
+
+namespace wafp::service {
+
+class CollationEngine {
+ public:
+  virtual ~CollationEngine() = default;
+
+  /// Validate and enqueue one raw submission (thread-safe; see class
+  /// comment for the kQueueFull backpressure contract).
+  virtual SubmitResult submit(const RawSubmission& raw) = 0;
+
+  /// Drain up to `max_records` queued submissions into durable storage and
+  /// the collation state; returns the number applied. Single caller only.
+  virtual std::size_t pump(std::size_t max_records) = 0;
+
+  /// Convenience: drain everything currently queued.
+  std::size_t pump() { return pump(SIZE_MAX); }
+
+  /// Background ingestion workers (one per apply loop). submit() keeps
+  /// working concurrently; stop() joins the workers.
+  virtual void start() = 0;
+  virtual void stop() = 0;
+
+  /// Flush everything queued, then checkpoint durable engines. The orderly
+  /// shutdown path.
+  virtual void drain_and_checkpoint() = 0;
+
+  /// Fault hook: abandon all in-memory state without checkpointing, as a
+  /// kill -9 would. The next engine constructed on the same state_dir
+  /// recovers from its durable state.
+  virtual void crash() = 0;
+
+  [[nodiscard]] virtual ServiceStats stats() const = 0;
+
+  /// Newest timestamp any user's clock has reached (0 if none); lets a
+  /// resuming producer clear the recovered clocks.
+  [[nodiscard]] virtual std::uint64_t max_observed_timestamp() const = 0;
+
+  // --- Collated-state queries (engine quiescent; see class comment) -----
+
+  /// Canonical partition checksum (crash-recovery and cross-engine parity
+  /// witness).
+  [[nodiscard]] virtual std::uint64_t component_checksum() const = 0;
+
+  /// Number of collated fingerprints = connected components.
+  [[nodiscard]] virtual std::size_t cluster_count() const = 0;
+
+  [[nodiscard]] virtual std::size_t user_count() const = 0;
+  [[nodiscard]] virtual std::size_t fingerprint_count() const = 0;
+
+  /// Number of users in each cluster (unordered; fingerprint-only
+  /// components excluded).
+  [[nodiscard]] virtual std::vector<std::size_t> cluster_user_counts()
+      const = 0;
+
+  /// Probe matching (§3.3 "fingerprint match"): the component id the
+  /// majority of known probe fingerprints belong to. Component ids are
+  /// engine-internal — only comparable against user_component() of the
+  /// same engine with no applies in between.
+  [[nodiscard]] virtual std::optional<std::size_t> match(
+      std::span<const util::Digest> probe) const = 0;
+
+  /// Component id of a user (for comparing against match()).
+  [[nodiscard]] virtual std::optional<std::size_t> user_component(
+      std::uint32_t user) const = 0;
+
+ protected:
+  CollationEngine() = default;
+  CollationEngine(const CollationEngine&) = delete;
+  CollationEngine& operator=(const CollationEngine&) = delete;
+};
+
+}  // namespace wafp::service

@@ -1,0 +1,359 @@
+#include "service/sharded_collation_service.h"
+
+#include <bit>
+#include <exception>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wafp::service {
+namespace {
+
+/// Round-robin pump granularity: small enough that no shard's queue starves
+/// behind another's backlog, large enough to amortize the virtual call.
+constexpr std::size_t kPumpChunk = 256;
+
+}  // namespace
+
+ShardedCollationService::ShardedCollationService(ShardedServiceConfig config)
+    : config_(std::move(config)),
+      metrics_(config_.base.metrics != nullptr
+                   ? *config_.base.metrics
+                   : obs::MetricsRegistry::global()),
+      submissions_counter_(metrics_.counter(
+          "wafp_shard_submissions_total",
+          "Router-level submit() calls on the sharded collation engine")),
+      migrations_counter_(metrics_.counter(
+          "wafp_shard_migrations_total",
+          "Durable cross-shard migration records (a user's first fingerprint "
+          "routed to a shard they were not yet resident on)")),
+      cross_shard_users_gauge_(metrics_.gauge(
+          "wafp_shard_cross_shard_users",
+          "Users currently resident on more than one shard")),
+      view_builds_counter_(metrics_.counter(
+          "wafp_shard_merged_view_builds_total",
+          "Merged global graph view rebuilds (epoch cache misses)")),
+      view_build_ns_(metrics_.histogram(
+          "wafp_shard_merged_view_build_ns",
+          "Merged global graph view rebuild duration (ns)")),
+      recovery_ns_(metrics_.histogram(
+          "wafp_shard_recovery_ns",
+          "Per-shard recovery duration at engine construction (ns)")) {
+  WAFP_CHECK(config_.shards >= 1 && config_.shards <= kMaxShards)
+      << "shard count " << config_.shards << " outside [1, " << kMaxShards
+      << "]";
+  const bool durable = !config_.base.state_dir.empty();
+  if (durable) {
+    check_or_pin_shard_layout(config_.base.state_dir, config_.shards);
+  }
+
+  auto shard_config = [&](std::size_t index) {
+    ServiceConfig c = config_.base;
+    c.metrics = &metrics_;
+    c.state_dir =
+        durable ? shard_dir(config_.base.state_dir, index) : std::string();
+    // Network faults (drop/duplicate) run at the router on *global*
+    // accepted ordinals so the fault schedule matches the single-shard
+    // engine; only storage faults and reordering stay per shard.
+    c.faults.drop_every = 0;
+    c.faults.duplicate_every = 0;
+    return c;
+  };
+
+  // Each shard recovers its own snapshot + WAL at construction; with
+  // several durable shards that is embarrassingly parallel.
+  shards_.resize(config_.shards);
+  auto build_shard = [&](std::size_t index) {
+    const std::uint64_t t0 = metrics_.now_ns();
+    shards_[index] = std::make_unique<CollationService>(shard_config(index));
+    recovery_ns_.observe(metrics_.now_ns() - t0);
+  };
+  if (config_.parallel_recovery && durable && config_.shards > 1) {
+    std::vector<std::exception_ptr> errors(config_.shards);
+    std::vector<std::thread> workers;
+    workers.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      workers.emplace_back([&, i] {
+        try {
+          build_shard(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  } else {
+    for (std::size_t i = 0; i < config_.shards; ++i) build_shard(i);
+  }
+
+  // Re-arm the router from recovered shard state: global per-user clocks
+  // are the max over shard clocks (observe_timestamp max-merges), and
+  // residency masks come straight from the shard graphs.
+  util::MutexLock lock(mu_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (const auto& [user, ts] : shards_[i]->user_clocks()) {
+      validator_.observe_timestamp(user, ts);
+    }
+    for (const auto& [user, node] : shards_[i]->graph().export_state().users) {
+      note_residency_locked(user, i);
+    }
+  }
+  // Recovery-time residency expansions are not migrations — forget them.
+  migration_records_ = 0;
+}
+
+ShardedCollationService::~ShardedCollationService() {
+  // Stop the shard workers before the members unwind; each shard's own
+  // destructor then drains + checkpoints (unless crashed), exactly as a
+  // standalone service would.
+  stop();
+}
+
+SubmitResult ShardedCollationService::submit(const RawSubmission& raw) {
+  util::MutexLock lock(mu_);
+  submissions_counter_.inc();
+  ++stats_.submitted;
+  if (crashed_) return {Reject::kShutdown};
+
+  Submission s;
+  const Reject reason = validator_.validate(raw, s);
+  switch (reason) {
+    case Reject::kMalformedHash:
+      ++stats_.rejected_hash;
+      return {reason};
+    case Reject::kUnknownVector:
+      ++stats_.rejected_vector;
+      return {reason};
+    case Reject::kTimestampRegression:
+      ++stats_.rejected_timestamp;
+      return {reason};
+    case Reject::kNone:
+      break;
+    case Reject::kQueueFull:
+    case Reject::kShutdown:
+      WAFP_CHECK(false) << "validator returned pipeline-stage reject "
+                        << to_string(reason);
+  }
+
+  const std::size_t target = shard_for_digest(s.efp, shards_.size());
+
+  // Peek the next global fault ordinal without committing it: a queue-full
+  // rejection must consume no ordinal and observe no timestamp, matching
+  // the single engine (the caller's resubmit then lands on the same
+  // schedule slot).
+  const std::uint64_t ordinal = fault_clock_.accepted + 1;
+  const bool drop = FaultClock::hits(ordinal, config_.base.faults.drop_every);
+  if (!drop) {
+    const SubmitResult forwarded = shards_[target]->submit(raw);
+    if (forwarded.reason == Reject::kQueueFull) {
+      ++stats_.rejected_queue_full;
+      return forwarded;
+    }
+    // The router already validated globally; the shard's own validator is
+    // strictly weaker (its clocks are a subset), so any other rejection is
+    // a bug, not backpressure.
+    WAFP_CHECK(forwarded.accepted())
+        << "shard " << target << " rejected a router-validated submission: "
+        << to_string(forwarded);
+  }
+  fault_clock_.accepted = ordinal;
+  ++stats_.accepted;
+  validator_.observe_timestamp(s.user, s.timestamp);
+  if (drop) {
+    // Simulated network loss: acknowledged upstream, never reaches a shard.
+    ++stats_.dropped_by_fault;
+    return {Reject::kNone};
+  }
+  note_residency_locked(s.user, target);
+  if (FaultClock::hits(ordinal, config_.base.faults.duplicate_every)) {
+    ++stats_.duplicated_by_fault;
+    // Duplicate delivery routes identically (same digest); if it bounces
+    // off a full shard queue the duplicate is simply lost, which is fine —
+    // duplicates are semantically invisible either way.
+    (void)shards_[target]->submit(raw);
+  }
+  return {Reject::kNone};
+}
+
+std::size_t ShardedCollationService::pump(std::size_t max_records) {
+  // Round-robin in bounded chunks until every shard reports an empty
+  // queue (or the budget runs out). WalAppendError from a shard
+  // propagates; the failed record stays queued on that shard, same as the
+  // single engine's contract.
+  std::size_t total = 0;
+  bool progress = true;
+  while (progress && total < max_records) {
+    progress = false;
+    for (const auto& shard : shards_) {
+      if (total >= max_records) break;
+      const std::size_t budget = std::min(kPumpChunk, max_records - total);
+      const std::size_t pumped = shard->pump(budget);
+      total += pumped;
+      if (pumped > 0) progress = true;
+    }
+  }
+  return total;
+}
+
+void ShardedCollationService::start() {
+  for (const auto& shard : shards_) shard->start();
+}
+
+void ShardedCollationService::stop() {
+  for (const auto& shard : shards_) shard->stop();
+}
+
+void ShardedCollationService::drain_and_checkpoint() {
+  for (const auto& shard : shards_) shard->drain_and_checkpoint();
+}
+
+void ShardedCollationService::crash() {
+  for (const auto& shard : shards_) shard->crash();
+  util::MutexLock lock(mu_);
+  crashed_ = true;
+  residency_.clear();
+  cross_shard_users_ = 0;
+  cross_shard_users_gauge_.set(0);
+  generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ServiceStats ShardedCollationService::stats() const {
+  ServiceStats s;
+  {
+    util::MutexLock lock(mu_);
+    s = stats_;
+  }
+  // Ingest-side counters above are router-truth (shard-level submitted /
+  // accepted would double-count router forwards); everything from the WAL
+  // down lives on the shards.
+  for (const auto& shard : shards_) {
+    const ServiceStats ss = shard->stats();
+    s.applied += ss.applied;
+    s.wal_appends += ss.wal_appends;
+    s.wal_retries += ss.wal_retries;
+    s.wal_append_failures += ss.wal_append_failures;
+    s.wal_tail_lines_dropped += ss.wal_tail_lines_dropped;
+    s.snapshots_written += ss.snapshots_written;
+    s.recovered_from_snapshot += ss.recovered_from_snapshot;
+    s.recovered_from_wal += ss.recovered_from_wal;
+  }
+  return s;
+}
+
+ShardedStats ShardedCollationService::sharded_stats() const {
+  ShardedStats s;
+  s.shards = shards_.size();
+  {
+    util::MutexLock lock(mu_);
+    s.migration_records = migration_records_;
+    s.cross_shard_users = cross_shard_users_;
+  }
+  {
+    util::MutexLock lock(view_mu_);
+    s.merged_view_builds = view_builds_;
+  }
+  return s;
+}
+
+std::uint64_t ShardedCollationService::max_observed_timestamp() const {
+  util::MutexLock lock(mu_);
+  std::uint64_t max_ts = 0;
+  for (const auto& [user, ts] : validator_.clocks()) {
+    if (ts > max_ts) max_ts = ts;
+  }
+  return max_ts;
+}
+
+std::uint64_t ShardedCollationService::component_checksum() const {
+  return with_merged_view(
+      [](const collation::FingerprintGraph& g) {
+        return g.component_checksum();
+      });
+}
+
+std::size_t ShardedCollationService::cluster_count() const {
+  return with_merged_view(
+      [](const collation::FingerprintGraph& g) { return g.cluster_count(); });
+}
+
+std::size_t ShardedCollationService::user_count() const {
+  return with_merged_view(
+      [](const collation::FingerprintGraph& g) { return g.user_count(); });
+}
+
+std::size_t ShardedCollationService::fingerprint_count() const {
+  return with_merged_view([](const collation::FingerprintGraph& g) {
+    return g.fingerprint_count();
+  });
+}
+
+std::vector<std::size_t> ShardedCollationService::cluster_user_counts() const {
+  return with_merged_view([](const collation::FingerprintGraph& g) {
+    return g.cluster_user_counts();
+  });
+}
+
+std::optional<std::size_t> ShardedCollationService::match(
+    std::span<const util::Digest> probe) const {
+  return with_merged_view(
+      [probe](const collation::FingerprintGraph& g) { return g.match(probe); });
+}
+
+std::optional<std::size_t> ShardedCollationService::user_component(
+    std::uint32_t user) const {
+  return with_merged_view([user](const collation::FingerprintGraph& g) {
+    return g.user_component(user);
+  });
+}
+
+void ShardedCollationService::note_residency_locked(std::uint32_t user,
+                                                    std::size_t shard) {
+  const std::uint64_t bit = std::uint64_t{1} << shard;
+  auto [it, inserted] = residency_.try_emplace(user, bit);
+  if (inserted || (it->second & bit) != 0) return;
+  it->second |= bit;
+  ++migration_records_;
+  migrations_counter_.inc();
+  if (std::popcount(it->second) == 2) {
+    ++cross_shard_users_;
+    cross_shard_users_gauge_.set(
+        static_cast<std::int64_t>(cross_shard_users_));
+  }
+}
+
+void ShardedCollationService::refresh_view_locked() const {
+  std::vector<std::uint64_t> epoch;
+  epoch.reserve(shards_.size() + 1);
+  epoch.push_back(generation_.load(std::memory_order_relaxed));
+  for (const auto& shard : shards_) {
+    // Applied count is the graph-mutation epoch: the shard graph changes
+    // iff a record was applied, and crashes bump the generation above.
+    epoch.push_back(shard->stats().applied);
+  }
+  if (view_ != nullptr && view_epoch_ == epoch) return;
+  const std::uint64_t t0 = metrics_.now_ns();
+  auto fresh = std::make_unique<collation::FingerprintGraph>();
+  for (const auto& shard : shards_) {
+    fresh->merge_state(shard->graph().export_state());
+  }
+  view_ = std::move(fresh);
+  view_epoch_ = std::move(epoch);
+  ++view_builds_;
+  view_builds_counter_.inc();
+  view_build_ns_.observe(metrics_.now_ns() - t0);
+}
+
+std::unique_ptr<CollationEngine> make_engine(const ServiceConfig& base,
+                                             std::size_t shards) {
+  if (shards == 0) return std::make_unique<CollationService>(base);
+  ShardedServiceConfig config;
+  config.base = base;
+  config.shards = shards;
+  return std::make_unique<ShardedCollationService>(std::move(config));
+}
+
+}  // namespace wafp::service

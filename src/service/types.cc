@@ -1,0 +1,27 @@
+#include "service/types.h"
+
+#include "util/check.h"
+
+namespace wafp::service {
+
+std::string_view to_string(Reject r) {
+  // Exhaustive on purpose: no default case, so a new enumerator is a
+  // -Wswitch diagnostic here rather than a silently unmapped reject.
+  switch (r) {
+    case Reject::kNone: return "accepted";
+    case Reject::kMalformedHash: return "malformed hash";
+    case Reject::kUnknownVector: return "unknown vector";
+    case Reject::kTimestampRegression: return "timestamp regression";
+    case Reject::kQueueFull: return "queue full";
+    case Reject::kShutdown: return "shutting down";
+  }
+  WAFP_CHECK(false) << "unhandled Reject value "
+                    << static_cast<int>(r);
+  return "unreachable";
+}
+
+std::string_view to_string(const SubmitResult& result) {
+  return to_string(result.reason);
+}
+
+}  // namespace wafp::service

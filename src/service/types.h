@@ -42,14 +42,21 @@ enum class Reject {
   kShutdown,             // service is stopping; resubmit after restart
 };
 
+/// Human-readable reject reason. The single place submit outcomes become
+/// strings (CLI, tests, benches); implemented as an exhaustive switch with
+/// no default, so adding a Reject enumerator without a string is a
+/// compile-time -Wswitch error, never a silent "unknown".
 [[nodiscard]] std::string_view to_string(Reject r);
 
-/// Result of CollationService::submit(). Accepted submissions are queued,
+/// Result of CollationEngine::submit(). Accepted submissions are queued,
 /// not yet applied; rejected ones carry the reason.
 struct SubmitResult {
   Reject reason = Reject::kNone;
   [[nodiscard]] bool accepted() const { return reason == Reject::kNone; }
 };
+
+/// Same mapping for a full result ("accepted" iff result.accepted()).
+[[nodiscard]] std::string_view to_string(const SubmitResult& result);
 
 /// Observable counters, mostly for tests and the CLI.
 struct ServiceStats {

@@ -12,18 +12,6 @@ int hex_nibble(char c) {
 
 }  // namespace
 
-std::string_view to_string(Reject r) {
-  switch (r) {
-    case Reject::kNone: return "accepted";
-    case Reject::kMalformedHash: return "malformed hash";
-    case Reject::kUnknownVector: return "unknown vector";
-    case Reject::kTimestampRegression: return "timestamp regression";
-    case Reject::kQueueFull: return "queue full";
-    case Reject::kShutdown: return "shutting down";
-  }
-  return "unknown";
-}
-
 bool is_valid_efp_hex(std::string_view hex) {
   if (hex.size() != 64) return false;
   for (const char c : hex) {

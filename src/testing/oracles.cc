@@ -255,4 +255,46 @@ std::vector<CollationOp> make_op_sequence(std::uint64_t seed,
   return ops;
 }
 
+std::vector<service::RawSubmission> make_submission_trace(std::uint64_t seed,
+                                                          std::size_t length) {
+  const std::vector<CollationOp> ops =
+      make_op_sequence(seed, length, /*with_expiry=*/false);
+  std::vector<service::RawSubmission> trace;
+  trace.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    service::RawSubmission raw;
+    raw.user = ops[i].user;
+    raw.vector = static_cast<std::uint32_t>(i % 7);  // the 7 audio vectors
+    raw.timestamp = ops[i].timestamp;
+    raw.efp_hex = test_digest(ops[i].efp_id).hex();
+    trace.push_back(std::move(raw));
+  }
+  return trace;
+}
+
+util::Digest digest_from_hex(std::string_view hex) {
+  const auto nibble = [](char c) -> std::uint8_t {
+    return c <= '9' ? static_cast<std::uint8_t>(c - '0')
+                    : static_cast<std::uint8_t>(c - 'a' + 10);
+  };
+  util::Digest d;
+  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+  }
+  return d;
+}
+
+std::uint64_t brute_force_submission_checksum(
+    std::span<const service::RawSubmission> trace, std::uint64_t drop_every) {
+  RefBipartiteGraph ref;
+  std::uint64_t ordinal = 0;
+  for (const service::RawSubmission& raw : trace) {
+    ++ordinal;
+    if (drop_every != 0 && ordinal % drop_every == 0) continue;
+    ref.add_observation(raw.user, digest_from_hex(raw.efp_hex), 0);
+  }
+  return ref.component_checksum();
+}
+
 }  // namespace wafp::testing

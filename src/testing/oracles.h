@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "collation/expiring_graph.h"
+#include "service/types.h"
 #include "util/hash.h"
 
 namespace wafp::testing {
@@ -115,5 +117,24 @@ struct CollationOp {
 [[nodiscard]] std::vector<CollationOp> make_op_sequence(std::uint64_t seed,
                                                         std::size_t length,
                                                         bool with_expiry);
+
+/// Deterministic service-level submission trace: make_op_sequence (no
+/// expiry) rendered as RawSubmissions — vector ids cycling through the 7
+/// audio vectors, op timestamps, test_digest hex. Shared by every engine
+/// oracle suite so single-shard and sharded runs replay byte-identical
+/// traces.
+[[nodiscard]] std::vector<service::RawSubmission> make_submission_trace(
+    std::uint64_t seed, std::size_t length);
+
+/// Parse exactly the digest the service's validator parses from `hex`
+/// (64 lowercase hex chars), so oracle graphs see the service's bytes.
+[[nodiscard]] util::Digest digest_from_hex(std::string_view hex);
+
+/// Brute-force partition checksum of a trace after the explicit network
+/// drop model (drop every `drop_every`th submission, 1-based ordinals;
+/// 0 = lossless). The oracle for CollationEngine::component_checksum().
+[[nodiscard]] std::uint64_t brute_force_submission_checksum(
+    std::span<const service::RawSubmission> trace,
+    std::uint64_t drop_every = 0);
 
 }  // namespace wafp::testing

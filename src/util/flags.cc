@@ -1,0 +1,173 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wafp::util {
+
+FlagParser::FlagParser(std::string_view program, std::string_view description)
+    : program_(program), description_(description) {}
+
+void FlagParser::flag(std::string_view name, bool* value,
+                      std::string_view help) {
+  add_flag(name, help, *value ? "true" : "false", /*is_switch=*/true,
+           [value](std::string_view) {
+             *value = true;
+             return true;
+           });
+}
+
+void FlagParser::flag(std::string_view name, std::string* value,
+                      std::string_view help) {
+  add_flag(name, help, *value, /*is_switch=*/false,
+           [value](std::string_view text) {
+             value->assign(text);
+             return true;
+           });
+}
+
+void FlagParser::flag(std::string_view name, double* value,
+                      std::string_view help) {
+  add_flag(name, help, std::to_string(*value), /*is_switch=*/false,
+           [value](std::string_view text) {
+             const std::string copy(text);
+             char* end = nullptr;
+             const double parsed = std::strtod(copy.c_str(), &end);
+             if (end == copy.c_str() || *end != '\0') return false;
+             *value = parsed;
+             return true;
+           });
+}
+
+void FlagParser::positional(std::string_view name, std::size_t* value,
+                            std::string_view help, std::size_t min) {
+  WAFP_CHECK(!has_positional_) << "only one positional argument is supported";
+  has_positional_ = true;
+  positional_name_ = name;
+  positional_help_ = help;
+  positional_value_ = value;
+  positional_min_ = min;
+}
+
+void FlagParser::add_flag(std::string_view name, std::string_view help,
+                          std::string default_text, bool is_switch,
+                          std::function<bool(std::string_view)> set) {
+  WAFP_CHECK(name.size() > 2 && name[0] == '-' && name[1] == '-')
+      << "flag names must start with --, got " << name;
+  WAFP_CHECK(find(name) == nullptr) << "duplicate flag " << name;
+  Flag f;
+  f.name = name;
+  f.help = help;
+  f.default_text = std::move(default_text);
+  f.is_switch = is_switch;
+  f.set = std::move(set);
+  flags_.push_back(std::move(f));
+}
+
+FlagParser::Flag* FlagParser::find(std::string_view name) {
+  for (Flag& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string FlagParser::usage_line() const {
+  std::string line = "usage: " + program_;
+  if (has_positional_) line += " [" + positional_name_ + "]";
+  for (const Flag& f : flags_) {
+    line += " [" + f.name + (f.is_switch ? "]" : " V]");
+  }
+  return line;
+}
+
+std::string FlagParser::help_text() const {
+  std::string text = usage_line() + "\n";
+  if (!description_.empty()) text += description_ + "\n";
+  text += "\n";
+  if (has_positional_) {
+    text += "  " + positional_name_ + "\n        " + positional_help_ + "\n";
+  }
+  for (const Flag& f : flags_) {
+    text += "  " + f.name + (f.is_switch ? "" : " VALUE") + "\n        " +
+            f.help + " (default: " + f.default_text + ")\n";
+  }
+  return text;
+}
+
+bool FlagParser::parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+bool FlagParser::parse(int argc, char** argv) {
+  bool saw_positional = false;
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n%s\n", program_.c_str(), message.c_str(),
+                 usage_line().c_str());
+    exit_code_ = 2;
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      exit_code_ = 0;
+      return false;
+    }
+    if (arg.size() > 1 && arg[0] == '-') {
+      // `--name=value` splits here; `--name value` consumes the next arg.
+      const std::size_t eq = arg.find('=');
+      const std::string_view name =
+          eq == std::string_view::npos ? arg : arg.substr(0, eq);
+      Flag* f = find(name);
+      if (f == nullptr) {
+        return fail("unrecognized flag: " + std::string(arg));
+      }
+      if (f->is_switch) {
+        if (eq != std::string_view::npos) {
+          return fail(f->name + " takes no value");
+        }
+        (void)f->set({});
+        continue;
+      }
+      std::string_view value;
+      if (eq != std::string_view::npos) {
+        value = arg.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return fail("flag " + f->name + " is missing its value");
+      }
+      if (!f->set(value)) {
+        return fail("invalid value for " + f->name + ": " +
+                    std::string(value));
+      }
+      continue;
+    }
+    if (!has_positional_ || saw_positional) {
+      return fail("unexpected argument: " + std::string(arg));
+    }
+    std::uint64_t parsed = 0;
+    if (!parse_u64(arg, parsed) || parsed < positional_min_) {
+      return fail("invalid " + positional_name_ + ": " + std::string(arg));
+    }
+    *positional_value_ = static_cast<std::size_t>(parsed);
+    saw_positional = true;
+  }
+  return true;
+}
+
+}  // namespace wafp::util

@@ -1,12 +1,17 @@
 // Differential testing of the collation service under fault injection:
 // deterministic submission traces (from the shared op-sequence generator)
-// run through a CollationService with drop/duplicate/reorder/append-fail
+// run through a CollationEngine with drop/duplicate/reorder/append-fail
 // fault plans and kill-every-k crash-recovery loops, and the resulting
 // partition checksum is compared against the brute-force RefBipartiteGraph
 // — an oracle that shares no code with the union-find, the WAL, or the
 // snapshot path. Duplicates, reorders, transient append failures, and
 // crashes must be invisible in the checksum; drops must match an explicit
 // brute-force drop model, not merely "some other" result.
+//
+// Everything here drives the abstract CollationEngine interface (via
+// make_engine), so the same assertions hold verbatim for any engine; the
+// sharded engine's suite (sharded_oracle_test.cc) reuses the same shared
+// trace and oracle helpers.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,73 +20,30 @@
 #include <string>
 #include <vector>
 
-#include "service/collation_service.h"
+#include "service/sharded_collation_service.h"
 #include "testing/oracles.h"
 
 namespace wafp::testing {
 namespace {
 
-std::vector<service::RawSubmission> make_trace(std::uint64_t seed,
-                                               std::size_t length) {
-  const std::vector<CollationOp> ops =
-      make_op_sequence(seed, length, /*with_expiry=*/false);
-  std::vector<service::RawSubmission> trace;
-  trace.reserve(ops.size());
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    service::RawSubmission raw;
-    raw.user = ops[i].user;
-    raw.vector = static_cast<std::uint32_t>(i % 7);  // the 7 audio vectors
-    raw.timestamp = ops[i].timestamp;
-    raw.efp_hex = test_digest(ops[i].efp_id).hex();
-    trace.push_back(std::move(raw));
-  }
-  return trace;
-}
-
-/// Parse the hex the service would parse, so the oracle sees the exact
-/// digests the graph sees.
-util::Digest digest_from_hex(const std::string& hex) {
-  util::Digest d;
-  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
-    const auto nibble = [&](char c) -> std::uint8_t {
-      return c <= '9' ? static_cast<std::uint8_t>(c - '0')
-                      : static_cast<std::uint8_t>(c - 'a' + 10);
-    };
-    d.bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
-                                           nibble(hex[2 * i + 1]));
-  }
-  return d;
-}
-
-std::uint64_t brute_force_checksum(
-    const std::vector<service::RawSubmission>& trace,
-    std::uint64_t drop_every = 0) {
-  RefBipartiteGraph ref;
-  std::uint64_t ordinal = 0;
-  for (const service::RawSubmission& raw : trace) {
-    ++ordinal;
-    if (drop_every != 0 && ordinal % drop_every == 0) continue;
-    ref.add_observation(raw.user, digest_from_hex(raw.efp_hex), 0);
-  }
-  return ref.component_checksum();
-}
-
 TEST(ServiceOracleTest, CleanRunMatchesBruteForce) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const auto trace = make_trace(seed, 200);
-    service::CollationService svc{service::ServiceConfig{}};
+    const auto trace = make_submission_trace(seed, 200);
+    const auto svc = service::make_engine(service::ServiceConfig{},
+                                          /*shards=*/0);
     for (const auto& raw : trace) {
-      ASSERT_TRUE(svc.submit(raw).accepted());
+      ASSERT_TRUE(svc->submit(raw).accepted());
     }
-    svc.pump();
-    EXPECT_EQ(svc.component_checksum(), brute_force_checksum(trace))
+    svc->pump();
+    EXPECT_EQ(svc->component_checksum(),
+              brute_force_submission_checksum(trace))
         << "seed " << seed;
   }
 }
 
 TEST(ServiceOracleTest, DuplicateReorderAndAppendFaultsAreInvisible) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    const auto trace = make_trace(seed, 200);
+    const auto trace = make_submission_trace(seed, 200);
     const std::string dir =
         ::testing::TempDir() + "svc_oracle_faults_" + std::to_string(seed);
     std::filesystem::remove_all(dir);
@@ -93,15 +55,16 @@ TEST(ServiceOracleTest, DuplicateReorderAndAppendFaultsAreInvisible) {
     config.faults.fail_append_at = 3;     // one transient failure early...
     config.faults.fail_append_every = 41; // ...and recurring ones after
     config.sleeper = [](std::chrono::milliseconds) {};  // no real backoff
-    service::CollationService svc{std::move(config)};
+    const auto svc = service::make_engine(config, /*shards=*/0);
     for (const auto& raw : trace) {
-      ASSERT_TRUE(svc.submit(raw).accepted());
+      ASSERT_TRUE(svc->submit(raw).accepted());
     }
-    svc.pump();
-    const auto stats = svc.stats();
+    svc->pump();
+    const auto stats = svc->stats();
     EXPECT_GT(stats.duplicated_by_fault, 0u);
     EXPECT_GT(stats.wal_retries, 0u);
-    EXPECT_EQ(svc.component_checksum(), brute_force_checksum(trace))
+    EXPECT_EQ(svc->component_checksum(),
+              brute_force_submission_checksum(trace))
         << "seed " << seed
         << ": duplicates/reorders/retries leaked into the partition";
     std::filesystem::remove_all(dir);
@@ -112,25 +75,25 @@ TEST(ServiceOracleTest, DropFaultsMatchTheBruteForceDropModel) {
   const std::uint64_t drop_periods[] = {3, 5, 7, 11};
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     const std::uint64_t drop_every = drop_periods[seed % 4];
-    const auto trace = make_trace(seed, 200);
+    const auto trace = make_submission_trace(seed, 200);
     service::ServiceConfig config;
     config.faults.drop_every = drop_every;
-    service::CollationService svc{std::move(config)};
+    const auto svc = service::make_engine(config, /*shards=*/0);
     for (const auto& raw : trace) {
-      ASSERT_TRUE(svc.submit(raw).accepted());  // drops still ack
+      ASSERT_TRUE(svc->submit(raw).accepted());  // drops still ack
     }
-    svc.pump();
-    const auto stats = svc.stats();
+    svc->pump();
+    const auto stats = svc->stats();
     EXPECT_EQ(stats.dropped_by_fault, trace.size() / drop_every);
-    EXPECT_EQ(svc.component_checksum(),
-              brute_force_checksum(trace, drop_every))
+    EXPECT_EQ(svc->component_checksum(),
+              brute_force_submission_checksum(trace, drop_every))
         << "seed " << seed << " drop_every " << drop_every;
   }
 }
 
 TEST(ServiceOracleTest, KillEveryKRecoveryMatchesBruteForce) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-    const auto trace = make_trace(seed, 200);
+    const auto trace = make_submission_trace(seed, 200);
     const std::string dir =
         ::testing::TempDir() + "svc_oracle_crash_" + std::to_string(seed);
     std::filesystem::remove_all(dir);
@@ -142,18 +105,19 @@ TEST(ServiceOracleTest, KillEveryKRecoveryMatchesBruteForce) {
       config.faults.reorder_every = 9;
       return config;
     };
-    auto svc = std::make_unique<service::CollationService>(make_config());
+    auto svc = service::make_engine(make_config(), /*shards=*/0);
     const std::size_t kill_every = 17 + seed;  // vary the crash cadence
     for (std::size_t i = 0; i < trace.size(); ++i) {
       ASSERT_TRUE(svc->submit(trace[i]).accepted()) << "submission " << i;
       svc->pump();  // durable before the crash window opens
       if ((i + 1) % kill_every == 0) {
         svc->crash();
-        svc = std::make_unique<service::CollationService>(make_config());
+        svc = service::make_engine(make_config(), /*shards=*/0);
       }
     }
     svc->pump();
-    EXPECT_EQ(svc->component_checksum(), brute_force_checksum(trace))
+    EXPECT_EQ(svc->component_checksum(),
+              brute_force_submission_checksum(trace))
         << "seed " << seed
         << ": recovered partition diverged from the brute-force oracle";
     svc.reset();
