@@ -9,6 +9,12 @@
 //   ./build/bench/check_bench_json FILE
 //       [--require KEY]...            top-level key must exist
 //       [--require-min KEY VALUE]     top-level key must be a number >= VALUE
+//       [--require-min-parallel KEY VALUE]
+//                                     as --require-min, but SKIPPED (with a
+//                                     note, not a failure) when the file's
+//                                     "hardware_concurrency" is < 2 — a
+//                                     parallel-speedup floor is meaningless
+//                                     for a bench that ran on one core
 //       [--require-metric-prefix P]   "metrics" must hold >= 1 family
 //                                     whose name starts with P
 //
@@ -230,6 +236,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required_keys;
   std::vector<std::pair<std::string, double>> required_minimums;
+  std::vector<std::pair<std::string, double>> parallel_minimums;
   std::vector<std::string> metric_prefixes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require") == 0 && i + 1 < argc) {
@@ -237,6 +244,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--require-min") == 0 && i + 2 < argc) {
       const char* key = argv[++i];
       required_minimums.emplace_back(key, std::strtod(argv[++i], nullptr));
+    } else if (std::strcmp(argv[i], "--require-min-parallel") == 0 &&
+               i + 2 < argc) {
+      const char* key = argv[++i];
+      parallel_minimums.emplace_back(key, std::strtod(argv[++i], nullptr));
     } else if (std::strcmp(argv[i], "--require-metric-prefix") == 0 &&
                i + 1 < argc) {
       metric_prefixes.emplace_back(argv[++i]);
@@ -244,6 +255,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s FILE [--require KEY]... "
                    "[--require-min KEY VALUE]... "
+                   "[--require-min-parallel KEY VALUE]... "
                    "[--require-metric-prefix P]...\n",
                    argv[0]);
       return 2;
@@ -282,6 +294,31 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
+
+  // Parallel-only floors: fold into the plain minimums when the recorded
+  // host could actually run threads in parallel; otherwise announce the
+  // skip so the CI log shows the gate was consciously waived, not lost.
+  if (!parallel_minimums.empty()) {
+    double concurrency = 0.0;
+    const auto it = root->members.find("hardware_concurrency");
+    if (it != root->members.end() &&
+        it->second->type == JsonValue::Type::kNumber) {
+      concurrency = std::strtod(it->second->text.c_str(), nullptr);
+    }
+    if (concurrency >= 2.0) {
+      for (const auto& minimum : parallel_minimums) {
+        required_minimums.push_back(minimum);
+      }
+    } else {
+      for (const auto& [key, minimum] : parallel_minimums) {
+        std::printf(
+            "%s: skipping parallel floor \"%s\" >= %g "
+            "(hardware_concurrency = %g < 2)\n",
+            path.c_str(), key.c_str(), minimum, concurrency);
+      }
+    }
+  }
+
   for (const std::string& key : required_keys) {
     if (!root->members.contains(key)) {
       std::fprintf(stderr, "%s: missing required key \"%s\"\n", path.c_str(),

@@ -23,6 +23,12 @@ struct AnonymityStats {
   std::size_t below_20 = 0;
   /// Expected anonymity-set size of a random user (size-biased mean).
   double expected_k = 0.0;
+
+  /// Exact comparison (counts plus a deterministically-derived mean): the
+  /// drift-scenario oracle asserts streamed and reference verifiers agree
+  /// bit-for-bit, never within a tolerance.
+  friend bool operator==(const AnonymityStats&, const AnonymityStats&) =
+      default;
 };
 
 /// Compute anonymity statistics from dense cluster labels (one per user).

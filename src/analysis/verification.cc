@@ -1,0 +1,69 @@
+#include "analysis/verification.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace wafp::analysis {
+namespace {
+
+/// C(n, 2) without overflow for the populations this repo simulates.
+std::uint64_t pairs2(std::uint64_t n) { return n * (n - 1) / 2; }
+
+}  // namespace
+
+double VerificationCounts::fmr() const {
+  if (imposter_trials == 0) return 0.0;
+  return static_cast<double>(false_matches) /
+         static_cast<double>(imposter_trials);
+}
+
+double VerificationCounts::fnmr() const {
+  if (probes == 0) return 0.0;
+  return static_cast<double>(false_non_matches) /
+         static_cast<double>(probes);
+}
+
+VerificationCounts& VerificationCounts::operator+=(
+    const VerificationCounts& other) {
+  probes += other.probes;
+  genuine_accepts += other.genuine_accepts;
+  false_non_matches += other.false_non_matches;
+  false_matches += other.false_matches;
+  imposter_trials += other.imposter_trials;
+  return *this;
+}
+
+PairChurn pair_churn(std::span<const int> previous,
+                     std::span<const int> current) {
+  if (previous.size() != current.size()) {
+    throw std::invalid_argument("pair_churn: label vectors differ in length");
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> prev_counts;
+  std::unordered_map<std::uint64_t, std::uint64_t> cur_counts;
+  std::unordered_map<std::uint64_t, std::uint64_t> joint_counts;
+  for (std::size_t i = 0; i < previous.size(); ++i) {
+    const auto p = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+        previous[i]));
+    const auto c = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+        current[i]));
+    ++prev_counts[p];
+    ++cur_counts[c];
+    ++joint_counts[(p << 32) | c];
+  }
+  std::uint64_t prev_pairs = 0;
+  std::uint64_t cur_pairs = 0;
+  std::uint64_t joint_pairs = 0;
+  for (const auto& [label, n] : prev_counts) prev_pairs += pairs2(n);
+  for (const auto& [label, n] : cur_counts) cur_pairs += pairs2(n);
+  for (const auto& [label, n] : joint_counts) joint_pairs += pairs2(n);
+
+  PairChurn churn;
+  // Pairs together in both partitions stay joint_pairs; what the previous
+  // partition had beyond that was split apart, what the current one has
+  // beyond it was merged together.
+  churn.split_pairs = prev_pairs - joint_pairs;
+  churn.merge_pairs = cur_pairs - joint_pairs;
+  return churn;
+}
+
+}  // namespace wafp::analysis

@@ -1,0 +1,60 @@
+// Verification metrics (FMR/FNMR) and partition-churn pair counts for the
+// temporal-drift scenario suite (DESIGN.md §3k).
+//
+// The paper measures *identification*; the follow-up literature ("A
+// Large-scale Empirical Analysis of Browser Fingerprints Properties for
+// Web Authentication", PAPERS.md) frames the service-relevant question as
+// *verification*: a probe fingerprint either re-matches its own enrolled
+// identity (genuine trial) or collides with someone else's (imposter
+// trial). These are the pure counting primitives — integer counts in,
+// rates out — shared by the streamed scenario runner; the brute-force
+// RefVerifier in tests/scenario re-derives the same numbers from the
+// documented rules without touching this header's implementation details
+// (the formulas below ARE the spec).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wafp::analysis {
+
+/// Counts from one batch of verification trials. Each probed user
+/// contributes one genuine trial and (enrolled_users - 1) imposter trials;
+/// a probe whose matched cluster contains m enrolled users scores
+/// (m - [own identity in cluster]) false matches.
+struct VerificationCounts {
+  std::uint64_t probes = 0;             // genuine trials
+  std::uint64_t genuine_accepts = 0;    // matched own enrolled identity
+  std::uint64_t false_non_matches = 0;  // probes - genuine_accepts
+  std::uint64_t false_matches = 0;      // imposter collisions (see above)
+  std::uint64_t imposter_trials = 0;    // probes * (enrolled - 1)
+
+  /// False-match rate: false_matches / imposter_trials (0 when no trials).
+  [[nodiscard]] double fmr() const;
+  /// False-non-match rate: false_non_matches / probes (0 when no probes).
+  [[nodiscard]] double fnmr() const;
+
+  VerificationCounts& operator+=(const VerificationCounts& other);
+
+  friend bool operator==(const VerificationCounts&,
+                         const VerificationCounts&) = default;
+};
+
+/// Collation-stability churn between two epochs' cluster labelings of the
+/// same users, counted over user *pairs* (the contingency-table reading of
+/// Rand-index movement): a pair clustered together now but apart before is
+/// a merge-pair, apart now but together before a split-pair. Zero churn
+/// both ways iff the partitions are identical.
+struct PairChurn {
+  std::uint64_t merge_pairs = 0;
+  std::uint64_t split_pairs = 0;
+
+  friend bool operator==(const PairChurn&, const PairChurn&) = default;
+};
+
+/// Pair-count churn between dense label vectors of equal length. Runs in
+/// O(n) via sum-of-C(n,2) over the label and joint-label histograms.
+[[nodiscard]] PairChurn pair_churn(std::span<const int> previous,
+                                   std::span<const int> current);
+
+}  // namespace wafp::analysis

@@ -323,6 +323,8 @@ std::string_view to_string(VectorId id) {
     case VectorId::kMathJs: return "Math JS";
     case VectorId::kFilterSweep: return "Filter Sweep";
     case VectorId::kDistortion: return "Distortion";
+    case VectorId::kWasmFloat: return "WASM Float";
+    case VectorId::kWasmSimd: return "WASM SIMD";
   }
   return "unknown";
 }

@@ -1,0 +1,32 @@
+// WebAssembly-style compute vectors (see platform/wasm_sim.h): digest the
+// float batteries through the same DigestTap discipline as the audio
+// vectors, so the conformance goldens can capture and diff the exact
+// sample stream behind every digest.
+#include <stdexcept>
+#include <vector>
+
+#include "fingerprint/vector.h"
+#include "platform/wasm_sim.h"
+
+namespace wafp::fingerprint {
+
+util::Digest run_compute_vector(VectorId id,
+                                const platform::PlatformProfile& profile,
+                                std::vector<float>* capture) {
+  std::vector<float> battery;
+  switch (id) {
+    case VectorId::kWasmFloat:
+      battery = platform::wasm_float_battery(profile);
+      break;
+    case VectorId::kWasmSimd:
+      battery = platform::wasm_simd_battery(profile);
+      break;
+    default:
+      throw std::invalid_argument("run_compute_vector: not a compute vector");
+  }
+  DigestTap tap(to_string(id), capture);
+  tap.write(battery);
+  return tap.finish();
+}
+
+}  // namespace wafp::fingerprint

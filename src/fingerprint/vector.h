@@ -31,6 +31,11 @@ enum class VectorId {
   // the seven study vectors never touch.
   kFilterSweep,  // BiquadFilterNode response + filtered audio
   kDistortion,   // WaveShaperNode with 4x oversampling
+  // WebAssembly-style compute vectors (Guri & Fibert, PAPERS.md): float
+  // batteries probing the browser binary's libm generation, FMA
+  // contraction, and SIMD reduction width — no audio graph involved.
+  kWasmFloat,  // scalar f32 transcendental + Horner battery
+  kWasmSimd,   // v128 lane reductions (association order per simd_tier)
 };
 
 [[nodiscard]] std::string_view to_string(VectorId id);
@@ -113,10 +118,23 @@ class AudioFingerprintVector {
 [[nodiscard]] util::Digest run_static_vector(
     VectorId id, const platform::PlatformProfile& profile);
 
-/// True for the four non-audio vectors.
+/// Compute (WebAssembly-style) vectors: digest from the profile alone, with
+/// the battery's exact float stream optionally captured (append-only; pass
+/// nullptr to skip) so the conformance goldens can diff them sample-exactly
+/// like audio PCM. Throws std::invalid_argument for non-compute ids.
+[[nodiscard]] util::Digest run_compute_vector(
+    VectorId id, const platform::PlatformProfile& profile,
+    std::vector<float>* capture = nullptr);
+
+/// True for the four non-audio comparison vectors.
 [[nodiscard]] constexpr bool is_static_vector(VectorId id) {
   return id == VectorId::kCanvas || id == VectorId::kFonts ||
          id == VectorId::kUserAgent || id == VectorId::kMathJs;
+}
+
+/// True for the WebAssembly-style compute vectors.
+[[nodiscard]] constexpr bool is_compute_vector(VectorId id) {
+  return id == VectorId::kWasmFloat || id == VectorId::kWasmSimd;
 }
 
 }  // namespace wafp::fingerprint

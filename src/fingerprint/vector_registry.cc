@@ -7,14 +7,15 @@ namespace wafp::fingerprint {
 
 namespace {
 
-constexpr std::array<VectorId, 13> kAllIds = {
+constexpr std::array<VectorId, 15> kAllIds = {
     VectorId::kDc,           VectorId::kFft,
     VectorId::kHybrid,       VectorId::kCustomSignal,
     VectorId::kMergedSignals, VectorId::kAm,
     VectorId::kFm,           VectorId::kCanvas,
     VectorId::kFonts,        VectorId::kUserAgent,
     VectorId::kMathJs,       VectorId::kFilterSweep,
-    VectorId::kDistortion,
+    VectorId::kDistortion,   VectorId::kWasmFloat,
+    VectorId::kWasmSimd,
 };
 
 constexpr bool is_extension_vector(VectorId id) {
@@ -30,7 +31,10 @@ VectorRegistry::VectorRegistry() {
     e.id = id;
     e.name = to_string(id);
     e.caps.extension = is_extension_vector(id);
-    if (is_static_vector(id)) {
+    if (is_compute_vector(id)) {
+      e.caps.compute = true;
+      compute_ids_.push_back(id);
+    } else if (is_static_vector(id)) {
       static_ids_.push_back(id);
     } else {
       e.caps.audio = true;
@@ -70,6 +74,7 @@ util::Digest VectorRegistry::run(VectorId id,
                                  const platform::PlatformProfile& profile,
                                  const webaudio::RenderJitter& jitter) const {
   const VectorEntry& e = entry(id);
+  if (e.caps.compute) return run_compute_vector(id, profile);
   if (e.caps.is_static()) return run_static_vector(id, profile);
   return e.vector->run(profile, jitter);
 }

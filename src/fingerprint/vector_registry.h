@@ -23,9 +23,10 @@ struct VectorCapabilities {
   bool audio = false;      // renders through the webaudio engine
   bool jittery = false;    // susceptible to render-timing perturbation
   bool extension = false;  // beyond the paper's study set (§5 future work)
+  bool compute = false;    // WebAssembly-style float battery (no audio graph)
 
   /// Static vectors digest the profile alone (Canvas/Fonts/UA/MathJS).
-  [[nodiscard]] bool is_static() const { return !audio; }
+  [[nodiscard]] bool is_static() const { return !audio && !compute; }
 };
 
 struct VectorEntry {
@@ -56,6 +57,10 @@ class VectorRegistry {
   [[nodiscard]] std::span<const VectorId> static_ids() const {
     return static_ids_;
   }
+  /// The WebAssembly-style compute vectors (WASM Float, WASM SIMD).
+  [[nodiscard]] std::span<const VectorId> compute_ids() const {
+    return compute_ids_;
+  }
 
   /// Entry for `id`; throws std::invalid_argument for an unknown id.
   [[nodiscard]] const VectorEntry& entry(VectorId id) const;
@@ -76,6 +81,7 @@ class VectorRegistry {
   std::vector<VectorId> audio_ids_;
   std::vector<VectorId> extension_ids_;
   std::vector<VectorId> static_ids_;
+  std::vector<VectorId> compute_ids_;
 };
 
 }  // namespace wafp::fingerprint

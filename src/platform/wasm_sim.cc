@@ -1,0 +1,166 @@
+#include "platform/wasm_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <span>
+
+namespace wafp::platform {
+namespace {
+
+/// f32 multiply-add under the build's contraction policy. A contracted
+/// build keeps the product at full precision through the add (modelled by
+/// evaluating in double: a float product is exact in double, so the single
+/// rounding happens at the final demotion); an uncontracted build rounds
+/// the product to f32 first, exactly as -ffp-contract=off codegen does.
+float madd(bool contracted, float a, float b, float c) {
+  if (contracted) {
+    return static_cast<float>(static_cast<double>(a) * b + c);
+  }
+  return a * b + c;
+}
+
+/// Emit a full-precision f64 observation as two f32 values: the rounded
+/// head plus the scaled residual (Dekker-style split). A wasm module reads
+/// f64 results bit-exactly through a Float64Array, so demoting to a single
+/// f32 would erase exactly the low-order libm bits the battery exists to
+/// observe — fdlibm and fastpoly agree to f32 precision at most arguments.
+void push_f64(std::vector<float>& out, double x) {
+  const auto hi = static_cast<float>(x);
+  out.push_back(hi);
+  out.push_back(static_cast<float>((x - static_cast<double>(hi)) * 0x1p30));
+}
+
+/// Deterministic lane data shared by both reductions of the SIMD battery:
+/// a transcendental sweep through the profile's math library, demoted to
+/// f32 the way a wasm module's f64 -> f32 stores are.
+std::vector<float> lane_data(const dsp::MathLibrary& math, std::size_t n) {
+  std::vector<float> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = 0.37 + 0.83 * static_cast<double>(i);
+    data.push_back(static_cast<float>(math.sin(x) + 0.5 * math.cos(3.0 * x)));
+  }
+  return data;
+}
+
+/// Horizontal sum with `lanes`-wide association: partial sums accumulate
+/// per lane, then fold pairwise — the reduction tree a v128/v256/v512
+/// runtime emits. lanes == 1 degenerates to the strict left-to-right
+/// scalar fold.
+float lane_sum(std::span<const float> data, std::size_t lanes) {
+  if (lanes <= 1) {
+    float acc = 0.0f;
+    for (const float v : data) acc += v;
+    return acc;
+  }
+  std::vector<float> acc(lanes, 0.0f);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc[i % lanes] += data[i];
+  }
+  for (std::size_t width = lanes / 2; width >= 1; width /= 2) {
+    for (std::size_t i = 0; i < width; ++i) acc[i] += acc[i + width];
+    if (width == 1) break;
+  }
+  return acc[0];
+}
+
+/// Lane-wise dot product folded the same way, with the multiply-add inside
+/// each lane honouring the contraction policy.
+float lane_dot(std::span<const float> a, std::span<const float> b,
+               std::size_t lanes, bool contracted) {
+  if (lanes <= 1) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      acc = madd(contracted, a[i], b[i], acc);
+    }
+    return acc;
+  }
+  std::vector<float> acc(lanes, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc[i % lanes] = madd(contracted, a[i], b[i], acc[i % lanes]);
+  }
+  for (std::size_t width = lanes / 2; width >= 1; width /= 2) {
+    for (std::size_t i = 0; i < width; ++i) acc[i] += acc[i + width];
+    if (width == 1) break;
+  }
+  return acc[0];
+}
+
+}  // namespace
+
+std::vector<float> wasm_float_battery(const PlatformProfile& profile) {
+  // Wasm f32 math lowers onto the browser binary's libm — the *audio*
+  // stack's generation, not the JS engine's (a wasm module never calls
+  // Math.*). That coupling is what lets a drift scenario watch a libm
+  // upgrade move the compute fingerprint and the audio fingerprints
+  // together.
+  const auto math = dsp::make_math_library(profile.audio.math);
+  const bool fma = profile.audio.fma_contraction;
+  std::vector<float> values;
+  values.reserve(58);
+
+  constexpr std::array kArgs = {0.5,   1.0,     2.718281828, 123.456,
+                                1.0e4, -0.9999, 0.0078125,   77.7};
+  for (const double x : kArgs) {
+    push_f64(values, math->sin(x));
+    push_f64(values, math->exp(-x * 0.25));
+    push_f64(values, math->log(1.0 + x * x));
+  }
+  push_f64(values, math->pow(std::numbers::pi, 7.5));
+  push_f64(values, math->tanh(1.25));
+  push_f64(values, math->sqrt(1.0e-7));
+
+  // Horner chains over f32 state: every step is one multiply-add, so the
+  // contraction policy changes the rounding at every degree.
+  constexpr std::array kCoeffs = {1.0f,       -0.49997f, 0.0416666f,
+                                  -0.0013888f, 2.48e-5f, -2.7557e-7f};
+  for (const double x0 : {0.7, 1.9, 2.73, -1.31}) {
+    const auto x = static_cast<float>(x0);
+    float acc = kCoeffs[0];
+    for (std::size_t i = 1; i < kCoeffs.size(); ++i) {
+      acc = madd(fma, acc, x, kCoeffs[i]);
+    }
+    values.push_back(acc);
+  }
+  return values;
+}
+
+std::vector<float> wasm_simd_battery(const PlatformProfile& profile) {
+  const auto math = dsp::make_math_library(profile.audio.math);
+  const bool fma = profile.audio.fma_contraction;
+  // Tier -> lane width of the widest reduction the runtime will emit.
+  const std::size_t lanes = std::size_t{1}
+                            << (2 * static_cast<std::size_t>(std::clamp(
+                                    profile.simd_tier, 0, 3)));
+
+  const std::vector<float> data = lane_data(*math, 256);
+  std::vector<float> shifted(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    shifted[i] = data[(i + 17) % data.size()];
+  }
+
+  std::vector<float> values;
+  values.reserve(12);
+  // Reductions over nested prefixes: each prefix length exercises a
+  // different ragged tail of the lane partition.
+  for (const std::size_t n : {61UL, 128UL, 200UL, 256UL}) {
+    const std::span<const float> head(data.data(), n);
+    const std::span<const float> head_b(shifted.data(), n);
+    values.push_back(lane_sum(head, lanes));
+    values.push_back(lane_dot(head, head_b, lanes, fma));
+  }
+  // A second-order accumulation whose error feedback amplifies the
+  // association-order differences instead of averaging them out.
+  float feedback = 0.0f;
+  for (const std::size_t n : {32UL, 96UL, 224UL}) {
+    feedback = madd(fma, feedback, 0.875f,
+                    lane_sum(std::span<const float>(data.data(), n), lanes));
+  }
+  values.push_back(feedback);
+  return values;
+}
+
+}  // namespace wafp::platform

@@ -1,0 +1,38 @@
+// WebAssembly-style compute fingerprints (Guri & Fibert, PAPERS.md): a
+// wasm module's float results depend on the browser binary the module is
+// compiled into — the libm generation its f32/f64 kernels lower onto, the
+// FMA contraction policy of the build, and the SIMD lane width the runtime
+// selects for v128 reductions. Neither battery renders audio: they probe
+// the *compute* surface of the same per-platform knobs the audio stack
+// exposes, which is exactly why the collation graph should absorb them
+// like any other vector class.
+//
+// Determinism contract (mirrors synthetic_vectors.h): every value is a
+// pure function of the profile — WASM Float of (audio.math,
+// audio.fma_contraction), WASM SIMD of those plus simd_tier — and all
+// transcendentals route through dsp::make_math_library, never the host
+// libm, so the batteries are bit-stable across build hosts.
+#pragma once
+
+#include <vector>
+
+#include "platform/profile.h"
+
+namespace wafp::platform {
+
+/// Scalar battery: transcendental evaluations at fixed awkward arguments,
+/// each f64 result emitted as a head/residual f32 pair so every libm bit
+/// reaches the digest, plus f32 Horner polynomials whose rounding exposes
+/// the build's FMA contraction policy.
+[[nodiscard]] std::vector<float> wasm_float_battery(
+    const PlatformProfile& profile);
+
+/// v128 battery: lane-wise arithmetic folded by horizontal reductions whose
+/// association order follows the runtime's widest reduction (4^simd_tier
+/// accumulators: tier 0 = scalar fold, 1 = 4, 2 = 16, 3 = 64). Same data,
+/// different parenthesisation, different f32 roundings — the compute-side
+/// analogue of the analyser FFT's SIMD dispatch.
+[[nodiscard]] std::vector<float> wasm_simd_battery(
+    const PlatformProfile& profile);
+
+}  // namespace wafp::platform

@@ -1,0 +1,32 @@
+#include "scenario/drift_model.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wafp::scenario {
+
+double DriftModel::rate(DriftKind kind) const {
+  switch (kind) {
+    case DriftKind::kStackSwap: return stack_swap_rate;
+    case DriftKind::kSimdTier: return simd_tier_rate;
+    case DriftKind::kJitterRegime: return jitter_regime_rate;
+  }
+  throw std::invalid_argument("DriftModel::rate: unknown drift kind");
+}
+
+double drift_uniform(const DriftModel& model, std::uint32_t user,
+                     std::uint32_t epoch, DriftKind kind) {
+  std::uint64_t h = util::derive_seed(model.seed, user);
+  h = util::derive_seed(h, epoch);
+  h = util::derive_seed(h, static_cast<std::uint64_t>(kind));
+  // Top 53 bits to a double in [0, 1) — the standard xoshiro conversion.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool drift_event(const DriftModel& model, std::uint32_t user,
+                 std::uint32_t epoch, DriftKind kind) {
+  return drift_uniform(model, user, epoch, kind) < model.rate(kind);
+}
+
+}  // namespace wafp::scenario

@@ -1,0 +1,63 @@
+// DriftModel: deterministic temporal drift for the longitudinal scenario
+// suite (DESIGN.md §3k). Browsers upgrade, libm stacks swap, SIMD tiers
+// change when users replace hardware, and jitter regimes shift with OS
+// scheduler updates — the scenario models each as a per-(user, epoch)
+// event drawn from an independent rate.
+//
+// Coupled-lattice determinism contract: the decision for (user, epoch,
+// kind) compares a uniform u = drift_uniform(seed, user, epoch, kind) —
+// a pure function of those four values, *independent of the rate* —
+// against the kind's rate. Raising a rate therefore only ever adds events
+// to the set drawn at the lower rate (u < r1 implies u < r2 for r1 <= r2),
+// which is what makes FNMR structurally monotone in the drift rate and
+// lets the metamorphic suite assert it without statistical slop.
+#pragma once
+
+#include <cstdint>
+
+namespace wafp::scenario {
+
+/// The drift event kinds, in replay order within an epoch.
+enum class DriftKind : std::uint32_t {
+  /// Browser/libm upgrade: the user's audio stack moves to the next
+  /// neighbor in the scenario's catalog ring (see ScenarioPopulation).
+  kStackSwap = 0,
+  /// Hardware replacement: simd_tier steps to the next tier (mod 4).
+  kSimdTier = 1,
+  /// OS/scheduler update: the per-user jitter stream is re-keyed.
+  kJitterRegime = 2,
+};
+
+inline constexpr std::uint32_t kDriftKinds = 3;
+
+struct DriftModel {
+  /// Per-epoch per-user event probabilities, each in [0, 1].
+  double stack_swap_rate = 0.0;
+  double simd_tier_rate = 0.0;
+  double jitter_regime_rate = 0.0;
+
+  /// Synthetic-source only: a stack swap lands on a never-seen variant
+  /// (fresh per-(user, epoch) salt) instead of a catalog neighbor. This is
+  /// the worst case for verification — every swap guarantees unseen
+  /// digests — and the configuration under which FNMR monotonicity is
+  /// exact rather than typical.
+  bool fresh_variants = false;
+
+  /// Seed of the drift lattice; independent of the population seed so the
+  /// same cohort can be replayed under different drift histories.
+  std::uint64_t seed = 0x57AFD21F;
+
+  [[nodiscard]] double rate(DriftKind kind) const;
+};
+
+/// The lattice uniform for (user, epoch, kind) in [0, 1); pure in its
+/// arguments and independent of every rate.
+[[nodiscard]] double drift_uniform(const DriftModel& model, std::uint32_t user,
+                                   std::uint32_t epoch, DriftKind kind);
+
+/// Event decision: drift_uniform < rate(kind). Epoch 0 is enrollment and
+/// never drifts (callers only ask for epochs >= 1).
+[[nodiscard]] bool drift_event(const DriftModel& model, std::uint32_t user,
+                               std::uint32_t epoch, DriftKind kind);
+
+}  // namespace wafp::scenario

@@ -1,0 +1,136 @@
+#include "scenario/observe.h"
+
+#include <algorithm>
+
+#include "fingerprint/vector_registry.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace wafp::scenario {
+namespace {
+
+/// Synthetic-source cap on the per-iteration jitter-event probability;
+/// documented in observe.h (deliberately independent of the collector's
+/// rendered-path cap — the two sources share structure, not bits).
+constexpr double kMaxSyntheticEventProbability = 0.9;
+
+}  // namespace
+
+std::vector<fingerprint::VectorId> default_scenario_vectors() {
+  const auto& registry = fingerprint::VectorRegistry::instance();
+  std::vector<fingerprint::VectorId> ids;
+  ids.insert(ids.end(), registry.audio_ids().begin(),
+             registry.audio_ids().end());
+  ids.insert(ids.end(), registry.compute_ids().begin(),
+             registry.compute_ids().end());
+  return ids;
+}
+
+ScenarioStream::ScenarioStream(const ScenarioPopulation& population,
+                               ObservationSource source,
+                               std::vector<fingerprint::VectorId> vectors,
+                               std::size_t threads)
+    : population_(population),
+      source_(source),
+      vectors_(std::move(vectors)),
+      threads_(threads),
+      states_(population.size()) {
+  if (vectors_.empty()) vectors_ = default_scenario_vectors();
+  const auto& registry = fingerprint::VectorRegistry::instance();
+  for (const fingerprint::VectorId id : vectors_) {
+    const auto& caps = registry.entry(id).caps;
+    WAFP_CHECK(caps.audio || caps.compute)
+        << "scenario vectors must be audio or compute, got "
+        << fingerprint::to_string(id);
+  }
+  if (source_ == ObservationSource::kRendered) {
+    cache_ = std::make_unique<fingerprint::RenderCache>();
+    fingerprint::CollectorOptions options;
+    options.cache = cache_.get();
+    collector_ = std::make_unique<fingerprint::FingerprintCollector>(options);
+  }
+}
+
+util::Digest ScenarioStream::synthetic_digest(const platform::StudyUser& user,
+                                              const DriftState& state,
+                                              fingerprint::VectorId id,
+                                              std::uint32_t epoch) const {
+  const std::uint64_t class_material =
+      user.profile.audio.class_hash() ^ state.variant_salt;
+  util::Sha256 h;
+  h.update("wafp-scenario-efp");
+  h.update_u64(static_cast<std::uint64_t>(id));
+  h.update_u64(class_material);
+  if (id == fingerprint::VectorId::kWasmFloat) return h.finish();
+  if (id == fingerprint::VectorId::kWasmSimd) {
+    h.update_u64(static_cast<std::uint64_t>(user.profile.simd_tier));
+    return h.finish();
+  }
+
+  // Audio vector: draw the jitter state from the regime-keyed seed.
+  const auto& entry = fingerprint::VectorRegistry::instance().entry(id);
+  const double susceptibility = entry.vector->jitter_susceptibility();
+  const double p = std::min(kMaxSyntheticEventProbability,
+                            user.profile.fickle.flakiness * susceptibility);
+  util::Rng rng(util::derive_seed(util::derive_seed(user.seed, epoch),
+                                  static_cast<std::uint64_t>(id)));
+  std::uint64_t jitter_state = 0;
+  bool chaos = false;
+  if (p > 0.0 && rng.next_bool(p)) {
+    if (rng.next_bool(user.profile.fickle.jitter_share)) {
+      jitter_state =
+          1 + rng.next_below(std::max<std::uint32_t>(
+                  1, user.profile.fickle.jitter_states));
+    } else {
+      chaos = true;
+    }
+  }
+  h.update_u64(jitter_state);
+  if (chaos) {
+    // One-off glitch: fold in enough identity to make the digest unique
+    // across (user, epoch) and a chaotic draw unique within them.
+    h.update_u64(user.id);
+    h.update_u64(epoch);
+    h.update_u64(rng.next_u64());
+  }
+  return h.finish();
+}
+
+std::vector<Observation> ScenarioStream::epoch(std::uint32_t e) {
+  WAFP_CHECK(e == next_epoch_)
+      << "ScenarioStream epochs must be generated in order; expected "
+      << next_epoch_ << ", got " << e;
+  ++next_epoch_;
+  if (e >= 1) drift_events_ += population_.advance(states_, e);
+
+  const std::size_t users = population_.size();
+  std::vector<Observation> observations(users * vectors_.size());
+  const auto collect_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      const platform::StudyUser user = population_.user_at(u, states_[u]);
+      for (std::size_t v = 0; v < vectors_.size(); ++v) {
+        Observation& obs = observations[u * vectors_.size() + v];
+        obs.user = static_cast<std::uint32_t>(u);
+        obs.vector = vectors_[v];
+        if (source_ == ObservationSource::kSynthetic) {
+          obs.digest = synthetic_digest(user, states_[u], vectors_[v], e);
+        } else if (fingerprint::is_compute_vector(vectors_[v])) {
+          obs.digest =
+              fingerprint::run_compute_vector(vectors_[v], user.profile);
+        } else {
+          obs.digest = collector_->collect(user, vectors_[v], e);
+        }
+      }
+    }
+  };
+  if (threads_ == 1) {
+    collect_range(0, users);
+  } else {
+    util::ThreadPool pool(threads_);
+    pool.parallel_for(users, collect_range);
+  }
+  return observations;
+}
+
+}  // namespace wafp::scenario

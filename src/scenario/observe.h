@@ -1,0 +1,93 @@
+// ScenarioStream: the deterministic observation stream of a drift scenario
+// — for each epoch, every (user, vector) fingerprint digest the cohort
+// would submit, in user-major vector-minor order (DESIGN.md §3k).
+//
+// Two digest sources share the stream interface:
+//
+//   * kRendered routes audio vectors through the real
+//     FingerprintCollector (shared RenderCache, iteration = epoch) and
+//     compute vectors through run_compute_vector. With zero drift this
+//     reproduces study::Dataset::collect digests bit-for-bit — the §6
+//     tie-back the metamorphic suite asserts.
+//   * kSynthetic derives digests by hashing the drift-visible class
+//     material directly (documented below), skipping DSP entirely so the
+//     soak bench can stream 100k+ users.
+//
+// Synthetic digest spec (normative; the scenario oracle replays it):
+//   audio vector v of a user whose evolved stack has class hash H, salt S
+//   (DriftState::variant_salt), jitter state j:
+//       SHA-256("wafp-scenario-efp", u64(v), u64(H ^ S), u64(j))
+//   where j is drawn per (effective seed, epoch, v): an event occurs with
+//   probability min(0.9, flakiness * susceptibility(v)); a recurring event
+//   picks j in [1, jitter_states], otherwise the digest is chaotic — the
+//   draw's unique u64 is appended, making it distinct from every other
+//   digest. No event leaves j = 0.
+//   WASM Float:  SHA-256(tag, u64(v), u64(H ^ S))          (no jitter)
+//   WASM SIMD:   SHA-256(tag, u64(v), u64(H ^ S), u64(simd_tier))
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fingerprint/collector.h"
+#include "fingerprint/render_cache.h"
+#include "fingerprint/vector.h"
+#include "scenario/trajectory.h"
+#include "util/hash.h"
+
+namespace wafp::scenario {
+
+enum class ObservationSource { kSynthetic, kRendered };
+
+struct Observation {
+  std::uint32_t user = 0;  // logical (pre-permutation) user index
+  fingerprint::VectorId vector = fingerprint::VectorId::kDc;
+  util::Digest digest;
+};
+
+class ScenarioStream {
+ public:
+  /// `vectors` must name audio or compute vectors only; `threads`
+  /// parallelizes digest generation (0 = default_thread_count(), any value
+  /// yields a bit-identical stream).
+  ScenarioStream(const ScenarioPopulation& population,
+                 ObservationSource source,
+                 std::vector<fingerprint::VectorId> vectors,
+                 std::size_t threads);
+
+  /// The observations of epoch `e`. Must be called with e = 0, 1, 2, ...
+  /// in order (the stream advances its drift states incrementally).
+  [[nodiscard]] std::vector<Observation> epoch(std::uint32_t e);
+
+  /// Drift events applied so far (cumulative over generated epochs).
+  [[nodiscard]] std::uint64_t drift_events() const { return drift_events_; }
+
+  /// Current per-user drift states (valid for the last generated epoch).
+  [[nodiscard]] std::span<const DriftState> states() const { return states_; }
+
+  [[nodiscard]] std::span<const fingerprint::VectorId> vectors() const {
+    return vectors_;
+  }
+
+ private:
+  [[nodiscard]] util::Digest synthetic_digest(
+      const platform::StudyUser& user, const DriftState& state,
+      fingerprint::VectorId id, std::uint32_t epoch) const;
+
+  const ScenarioPopulation& population_;
+  ObservationSource source_;
+  std::vector<fingerprint::VectorId> vectors_;
+  std::size_t threads_ = 1;
+  std::uint32_t next_epoch_ = 0;
+  std::uint64_t drift_events_ = 0;
+  std::vector<DriftState> states_;
+  // Rendered source only.
+  std::unique_ptr<fingerprint::RenderCache> cache_;
+  std::unique_ptr<fingerprint::FingerprintCollector> collector_;
+};
+
+/// The default scenario vector set: the paper's seven audio vectors plus
+/// the two WebAssembly-style compute vectors.
+[[nodiscard]] std::vector<fingerprint::VectorId> default_scenario_vectors();
+
+}  // namespace wafp::scenario

@@ -1,0 +1,136 @@
+#include "scenario/trajectory.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wafp::scenario {
+
+ScenarioPopulation::ScenarioPopulation(std::size_t num_users,
+                                       std::uint64_t seed,
+                                       const platform::CatalogTuning& tuning,
+                                       DriftModel drift,
+                                       double flakiness_override)
+    : seed_(seed),
+      drift_(drift),
+      catalog_(std::make_unique<platform::DeviceCatalog>(tuning)),
+      population_(std::make_unique<platform::Population>(*catalog_, num_users,
+                                                         seed)) {
+  if (flakiness_override >= 0.0) {
+    // Population hands out const users; rebuild is unnecessary — the
+    // override is applied on the copies user_at() returns, keyed here.
+    override_flakiness_ = flakiness_override;
+  }
+
+  // The catalog ring: distinct enrolled stacks by ascending class_hash.
+  // class_hash pairs with operator== in the render cache precisely because
+  // it cannot alias distinct stacks in practice; sorting by it gives a
+  // deterministic neighbor order that no enum-order accident can perturb.
+  std::vector<platform::AudioStack> stacks;
+  stacks.reserve(population_->size());
+  for (const platform::StudyUser& user : population_->users()) {
+    stacks.push_back(user.profile.audio);
+  }
+  std::sort(stacks.begin(), stacks.end(),
+            [](const platform::AudioStack& a, const platform::AudioStack& b) {
+              return a.class_hash() < b.class_hash();
+            });
+  for (const platform::AudioStack& s : stacks) {
+    if (stack_ring_.empty() || !(stack_ring_.back() == s)) {
+      stack_ring_.push_back(s);
+    }
+  }
+  WAFP_CHECK(!stack_ring_.empty()) << "empty population";
+
+  ring_index_.reserve(population_->size());
+  for (const platform::StudyUser& user : population_->users()) {
+    const std::uint64_t h = user.profile.audio.class_hash();
+    const auto it = std::lower_bound(
+        stack_ring_.begin(), stack_ring_.end(), h,
+        [](const platform::AudioStack& s, std::uint64_t key) {
+          return s.class_hash() < key;
+        });
+    WAFP_CHECK(it != stack_ring_.end() && *it == user.profile.audio)
+        << "user stack missing from the catalog ring";
+    ring_index_.push_back(
+        static_cast<std::uint32_t>(it - stack_ring_.begin()));
+  }
+}
+
+std::uint64_t ScenarioPopulation::advance(std::span<DriftState> states,
+                                          std::uint32_t epoch) const {
+  WAFP_CHECK(states.size() == population_->size())
+      << "DriftState span does not cover the population";
+  WAFP_CHECK(epoch >= 1) << "epoch 0 is enrollment; it never drifts";
+  std::uint64_t events = 0;
+  for (std::size_t u = 0; u < states.size(); ++u) {
+    const auto user = static_cast<std::uint32_t>(u);
+    DriftState& s = states[u];
+    if (drift_event(drift_, user, epoch, DriftKind::kStackSwap)) {
+      ++s.stack_steps;
+      if (drift_.fresh_variants) {
+        s.variant_salt =
+            util::derive_seed(util::derive_seed(seed_, user), epoch);
+      }
+      ++events;
+    }
+    if (drift_event(drift_, user, epoch, DriftKind::kSimdTier)) {
+      ++s.simd_steps;
+      ++events;
+    }
+    if (drift_event(drift_, user, epoch, DriftKind::kJitterRegime)) {
+      ++s.jitter_regime;
+      ++events;
+    }
+  }
+  return events;
+}
+
+DriftState ScenarioPopulation::state_at(std::size_t u,
+                                        std::uint32_t epoch) const {
+  DriftState state;
+  const auto user = static_cast<std::uint32_t>(u);
+  for (std::uint32_t e = 1; e <= epoch; ++e) {
+    if (drift_event(drift_, user, e, DriftKind::kStackSwap)) {
+      ++state.stack_steps;
+      if (drift_.fresh_variants) {
+        state.variant_salt =
+            util::derive_seed(util::derive_seed(seed_, user), e);
+      }
+    }
+    if (drift_event(drift_, user, e, DriftKind::kSimdTier)) {
+      ++state.simd_steps;
+    }
+    if (drift_event(drift_, user, e, DriftKind::kJitterRegime)) {
+      ++state.jitter_regime;
+    }
+  }
+  return state;
+}
+
+platform::StudyUser ScenarioPopulation::user_at(
+    std::size_t u, const DriftState& state) const {
+  platform::StudyUser user = population_->user(u);
+  if (override_flakiness_ >= 0.0) {
+    user.profile.fickle.flakiness = override_flakiness_;
+  }
+  if (state.stack_steps > 0) {
+    const std::size_t slot =
+        (ring_index_[u] + state.stack_steps) % stack_ring_.size();
+    user.profile.audio = stack_ring_[slot];
+  }
+  if (state.simd_steps > 0) {
+    user.profile.simd_tier =
+        static_cast<int>((static_cast<std::uint32_t>(user.profile.simd_tier) +
+                          state.simd_steps) %
+                         4);
+  }
+  if (state.jitter_regime > 0) {
+    user.seed = util::derive_seed(user.seed, state.jitter_regime);
+  }
+  return user;
+}
+
+}  // namespace wafp::scenario

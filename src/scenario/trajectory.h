@@ -1,0 +1,89 @@
+// ScenarioPopulation: a study population plus per-user drift trajectories
+// over discrete epochs (DESIGN.md §3k).
+//
+// Epoch 0 is enrollment: every user carries the exact profile the catalog
+// sampled (bit-identical to what study::Dataset::collect sees for the same
+// (num_users, seed, tuning) — the zero-drift tie-back depends on it).
+// Epochs >= 1 replay drift events from the DriftModel in (epoch, user,
+// kind) order; the cumulative effect is a small DriftState per user from
+// which the evolved StudyUser is reconstructed:
+//
+//   * kStackSwap moves the user's audio stack forward along the "catalog
+//     ring": the distinct audio stacks present in the enrolled population,
+//     sorted by class_hash (a deterministic, population-derived neighbor
+//     structure). With DriftModel::fresh_variants, the swap instead keys a
+//     fresh variant salt = derive(derive(population seed, user), epoch) —
+//     synthetic digests then land on never-seen classes.
+//   * kSimdTier steps profile.simd_tier to (tier + steps) mod 4.
+//   * kJitterRegime re-keys the user's per-iteration jitter stream: the
+//     effective collection seed is the base seed for regime 0 (bit-compat
+//     with the static study) and derive_seed(base, regime) afterwards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "platform/catalog.h"
+#include "platform/population.h"
+#include "scenario/drift_model.h"
+
+namespace wafp::scenario {
+
+/// Cumulative drift effects for one user (all zero at enrollment).
+struct DriftState {
+  std::uint32_t stack_steps = 0;
+  std::uint32_t simd_steps = 0;
+  std::uint32_t jitter_regime = 0;
+  /// fresh_variants only: salt of the most recent swap (0 = none yet).
+  std::uint64_t variant_salt = 0;
+
+  friend bool operator==(const DriftState&, const DriftState&) = default;
+};
+
+class ScenarioPopulation {
+ public:
+  /// Sample the cohort exactly as the static study would; `flakiness
+  /// override` >= 0 pins every user's fickleness (the FNMR-monotonicity
+  /// test uses 0 to remove jitter noise from the comparison).
+  ScenarioPopulation(std::size_t num_users, std::uint64_t seed,
+                     const platform::CatalogTuning& tuning, DriftModel drift,
+                     double flakiness_override = -1.0);
+
+  [[nodiscard]] std::size_t size() const { return population_->size(); }
+  [[nodiscard]] const DriftModel& drift() const { return drift_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const platform::StudyUser& base_user(std::size_t u) const {
+    return population_->user(u);
+  }
+  /// The catalog ring (distinct enrolled stacks by ascending class_hash).
+  [[nodiscard]] std::span<const platform::AudioStack> stack_ring() const {
+    return stack_ring_;
+  }
+
+  /// Advance every user's DriftState by epoch `epoch`'s events (epoch >= 1;
+  /// `states` must hold size() entries, previously advanced to epoch - 1).
+  /// Returns the number of drift events applied.
+  std::uint64_t advance(std::span<DriftState> states,
+                        std::uint32_t epoch) const;
+
+  /// DriftState of one user at `epoch` (replays 1..epoch; O(epoch)).
+  [[nodiscard]] DriftState state_at(std::size_t u, std::uint32_t epoch) const;
+
+  /// The evolved StudyUser: drifted profile + regime-keyed seed. With a
+  /// zero DriftState this is bit-identical to base_user(u).
+  [[nodiscard]] platform::StudyUser user_at(std::size_t u,
+                                            const DriftState& state) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  DriftModel drift_;
+  double override_flakiness_ = -1.0;
+  std::unique_ptr<platform::DeviceCatalog> catalog_;
+  std::unique_ptr<platform::Population> population_;
+  std::vector<platform::AudioStack> stack_ring_;
+  std::vector<std::uint32_t> ring_index_;  // per user: base stack's slot
+};
+
+}  // namespace wafp::scenario

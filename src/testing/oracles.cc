@@ -4,6 +4,7 @@
 #include <deque>
 #include <string>
 
+#include "fingerprint/vector_registry.h"
 #include "util/rng.h"
 
 namespace wafp::testing {
@@ -264,7 +265,11 @@ std::vector<service::RawSubmission> make_submission_trace(std::uint64_t seed,
   for (std::size_t i = 0; i < ops.size(); ++i) {
     service::RawSubmission raw;
     raw.user = ops[i].user;
-    raw.vector = static_cast<std::uint32_t>(i % 7);  // the 7 audio vectors
+    // Cycle the full registry catalogue (audio, static, extension, and the
+    // WASM compute family): the collation graph treats every vector class
+    // identically, so the fuzz traces must too.
+    raw.vector = static_cast<std::uint32_t>(
+        i % fingerprint::VectorRegistry::instance().all().size());
     raw.timestamp = ops[i].timestamp;
     raw.efp_hex = test_digest(ops[i].efp_id).hex();
     trace.push_back(std::move(raw));

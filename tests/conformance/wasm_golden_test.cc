@@ -1,0 +1,102 @@
+// Golden conformance for the WebAssembly-style compute vectors: both
+// batteries evaluated on every golden stack must match the committed
+// digest AND the committed float-stream fingerprint bit-for-bit, exactly
+// like the audio goldens. Re-bless intended changes with the
+// `regen_goldens` build target (which now also rewrites
+// goldens/wasm_vectors.golden).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fingerprint/vector_registry.h"
+#include "testing/golden.h"
+#include "testing/pcm_digest.h"
+#include "testing/stacks.h"
+
+namespace wafp::testing {
+namespace {
+
+#ifndef WAFP_CONFORMANCE_DIR
+#error "build must define WAFP_CONFORMANCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+const GoldenFile& goldens() {
+  static const GoldenFile file = GoldenFile::load(
+      std::string(WAFP_CONFORMANCE_DIR) + "/goldens/wasm_vectors.golden");
+  return file;
+}
+
+TEST(WasmGoldenTest, FileCoversBothVectorsOnEveryStack) {
+  const auto compute_ids =
+      fingerprint::VectorRegistry::instance().compute_ids();
+  ASSERT_EQ(compute_ids.size(), 2u);
+  ASSERT_GE(golden_stacks().size(), 3u);
+  EXPECT_EQ(goldens().records.size(),
+            compute_ids.size() * golden_stacks().size());
+  for (const GoldenStack& gs : golden_stacks()) {
+    for (const fingerprint::VectorId id : compute_ids) {
+      EXPECT_NE(goldens().find(gs.name, fingerprint::to_string(id)), nullptr)
+          << "no golden record for stack '" << gs.name << "' vector '"
+          << fingerprint::to_string(id) << "'";
+    }
+  }
+}
+
+TEST(WasmGoldenTest, StampIsSanitizerClean) {
+  EXPECT_TRUE(goldens().stamp.clean());
+}
+
+TEST(WasmGoldenTest, EveryBatteryMatchesItsGolden) {
+  for (const GoldenStack& gs : golden_stacks()) {
+    const platform::PlatformProfile profile = profile_for(gs.stack);
+    for (const fingerprint::VectorId id :
+         fingerprint::VectorRegistry::instance().compute_ids()) {
+      const GoldenRecord* rec =
+          goldens().find(gs.name, fingerprint::to_string(id));
+      ASSERT_NE(rec, nullptr);
+      std::vector<float> capture;
+      const util::Digest digest =
+          fingerprint::run_compute_vector(id, profile, &capture);
+      EXPECT_EQ(digest.hex(), rec->digest_hex)
+          << "digest changed: vector '" << fingerprint::to_string(id)
+          << "' on stack '" << gs.name << "'";
+      const auto divergence = diverges_from(rec->pcm, capture);
+      if (divergence.has_value()) {
+        ADD_FAILURE() << "float stream diverges: vector '"
+                      << fingerprint::to_string(id) << "' on stack '"
+                      << gs.name << "': " << divergence->detail;
+      }
+    }
+  }
+}
+
+TEST(WasmGoldenTest, CaptureDoesNotPerturbTheDigest) {
+  const platform::PlatformProfile profile =
+      profile_for(golden_stacks()[0].stack);
+  for (const fingerprint::VectorId id :
+       fingerprint::VectorRegistry::instance().compute_ids()) {
+    std::vector<float> capture;
+    const util::Digest with_capture =
+        fingerprint::run_compute_vector(id, profile, &capture);
+    const util::Digest without = fingerprint::run_compute_vector(id, profile);
+    EXPECT_EQ(with_capture, without) << fingerprint::to_string(id);
+    EXPECT_FALSE(capture.empty()) << fingerprint::to_string(id);
+  }
+}
+
+TEST(WasmGoldenTest, DigestsAreDistinctAcrossStacks) {
+  // The batteries exist to discriminate browser binaries: on the four
+  // golden stacks (distinct math variants; one with FMA contraction) every
+  // (vector, stack) digest must be unique.
+  std::set<std::string> seen;
+  for (const GoldenRecord& rec : goldens().records) {
+    EXPECT_TRUE(seen.insert(rec.digest_hex).second)
+        << "duplicate digest across stacks: vector '" << rec.vector_name
+        << "' stack '" << rec.stack << "'";
+  }
+}
+
+}  // namespace
+}  // namespace wafp::testing

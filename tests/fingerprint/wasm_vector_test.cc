@@ -1,0 +1,161 @@
+// The WebAssembly-style compute vector family through the registry: the
+// catalogue lists it, dispatch reaches it with no special-casing, each
+// battery responds to exactly its documented knobs, and the analysis layer
+// picks the family up as one more label source (the §6 additive-value
+// structure, no code changes required).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/entropy.h"
+#include "fingerprint/vector_registry.h"
+#include "platform/catalog.h"
+#include "service/validator.h"
+#include "testing/stacks.h"
+#include "util/rng.h"
+
+namespace wafp::fingerprint {
+namespace {
+
+platform::PlatformProfile portable_profile() {
+  return testing::profile_for(testing::golden_stacks()[0].stack);
+}
+
+TEST(WasmVectorTest, RegistryEnumeratesTheComputeFamily) {
+  const auto& registry = VectorRegistry::instance();
+  EXPECT_EQ(registry.all().size(), 15u);
+  ASSERT_EQ(registry.compute_ids().size(), 2u);
+  EXPECT_EQ(registry.compute_ids()[0], VectorId::kWasmFloat);
+  EXPECT_EQ(registry.compute_ids()[1], VectorId::kWasmSimd);
+  // The family must not leak into the other slices.
+  EXPECT_EQ(registry.audio_ids().size(), 7u);
+  EXPECT_EQ(registry.extension_ids().size(), 2u);
+  EXPECT_EQ(registry.static_ids().size(), 4u);
+
+  for (const VectorId id : registry.compute_ids()) {
+    const VectorEntry& entry = registry.entry(id);
+    EXPECT_TRUE(entry.caps.compute);
+    EXPECT_FALSE(entry.caps.audio);
+    EXPECT_FALSE(entry.caps.jittery);
+    EXPECT_FALSE(entry.caps.is_static());
+    EXPECT_EQ(entry.vector, nullptr);  // no audio graph to render
+    EXPECT_TRUE(is_compute_vector(id));
+    EXPECT_FALSE(is_static_vector(id));
+  }
+  EXPECT_EQ(registry.find("WASM Float")->id, VectorId::kWasmFloat);
+  EXPECT_EQ(registry.find("WASM SIMD")->id, VectorId::kWasmSimd);
+}
+
+TEST(WasmVectorTest, RegistryRunDispatchesWithoutSpecialCasing) {
+  const platform::PlatformProfile profile = portable_profile();
+  const auto& registry = VectorRegistry::instance();
+  for (const VectorId id : registry.compute_ids()) {
+    const util::Digest via_registry =
+        registry.run(id, profile, webaudio::RenderJitter{});
+    EXPECT_EQ(via_registry, run_compute_vector(id, profile))
+        << to_string(id);
+    // Compute vectors cannot waver: jitter state is ignored.
+    const webaudio::RenderJitter skew{.state = 3, .chaos_seed = 99};
+    EXPECT_EQ(registry.run(id, profile, skew), via_registry) << to_string(id);
+  }
+}
+
+TEST(WasmVectorTest, ServiceValidatorKnowsTheFamily) {
+  EXPECT_TRUE(service::is_known_vector(
+      static_cast<std::uint32_t>(VectorId::kWasmFloat)));
+  EXPECT_TRUE(service::is_known_vector(
+      static_cast<std::uint32_t>(VectorId::kWasmSimd)));
+  EXPECT_FALSE(service::is_known_vector(15));
+}
+
+TEST(WasmVectorTest, RunComputeVectorRejectsNonComputeIds) {
+  const platform::PlatformProfile profile = portable_profile();
+  EXPECT_THROW(
+      { (void)run_compute_vector(VectorId::kDc, profile); },
+      std::invalid_argument);
+  EXPECT_THROW(
+      { (void)run_compute_vector(VectorId::kCanvas, profile); },
+      std::invalid_argument);
+}
+
+TEST(WasmVectorTest, FloatBatteryRespondsToMathAndFmaOnly) {
+  platform::PlatformProfile profile = portable_profile();
+  const util::Digest base =
+      run_compute_vector(VectorId::kWasmFloat, profile);
+
+  // Deterministic: same profile, same digest.
+  EXPECT_EQ(run_compute_vector(VectorId::kWasmFloat, profile), base);
+
+  // simd_tier is invisible to the scalar battery...
+  profile.simd_tier = 3;
+  EXPECT_EQ(run_compute_vector(VectorId::kWasmFloat, profile), base);
+
+  // ...but the FMA contraction policy and the libm generation are not.
+  profile.audio.fma_contraction = !profile.audio.fma_contraction;
+  const util::Digest contracted =
+      run_compute_vector(VectorId::kWasmFloat, profile);
+  EXPECT_NE(contracted, base);
+  profile = portable_profile();
+  profile.audio.math = dsp::MathVariant::kTable;
+  EXPECT_NE(run_compute_vector(VectorId::kWasmFloat, profile), base);
+}
+
+TEST(WasmVectorTest, SimdBatteryRespondsToEveryTier) {
+  platform::PlatformProfile profile = portable_profile();
+  std::set<std::string> digests;
+  for (int tier = 0; tier <= 3; ++tier) {
+    profile.simd_tier = tier;
+    digests.insert(run_compute_vector(VectorId::kWasmSimd, profile).hex());
+  }
+  // Each tier folds reductions with a different association order, so all
+  // four digests differ.
+  EXPECT_EQ(digests.size(), 4u);
+}
+
+TEST(WasmVectorTest, AnalysisLayerPicksUpTheFamilyAdditively) {
+  // The §6 additive-value structure with zero special-casing: digest the
+  // family across a catalog population, combine with a coarse base label,
+  // and the combined diversity can only grow.
+  const platform::DeviceCatalog catalog;
+  util::Rng rng(412);
+  constexpr std::size_t kUsers = 400;
+
+  std::vector<std::string> float_digests;
+  std::vector<int> base_labels;  // math variant: coarse "browser build"
+  float_digests.reserve(kUsers);
+  for (std::size_t i = 0; i < kUsers; ++i) {
+    const platform::PlatformProfile p = catalog.sample_profile(rng);
+    float_digests.push_back(
+        run_compute_vector(VectorId::kWasmFloat, p).hex());
+    base_labels.push_back(static_cast<int>(p.audio.math));
+  }
+  std::vector<int> wasm_labels;
+  {
+    std::vector<std::string> sorted = float_digests;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    for (const std::string& d : float_digests) {
+      wasm_labels.push_back(static_cast<int>(
+          std::lower_bound(sorted.begin(), sorted.end(), d) -
+          sorted.begin()));
+    }
+  }
+
+  const analysis::DiversityStats base =
+      analysis::diversity_from_labels(base_labels);
+  const std::vector<std::vector<int>> sets = {base_labels, wasm_labels};
+  const analysis::DiversityStats combined =
+      analysis::diversity_from_labels(analysis::combine_labels(sets));
+  EXPECT_GE(combined.distinct, base.distinct);
+  EXPECT_GE(combined.entropy, base.entropy);
+  // The battery separates at least the FMA axis within one math variant,
+  // so the family genuinely adds information over the base label.
+  EXPECT_GT(combined.distinct, base.distinct);
+}
+
+}  // namespace
+}  // namespace wafp::fingerprint

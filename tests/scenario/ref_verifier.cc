@@ -1,0 +1,129 @@
+#include "ref_verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+#include "util/check.h"
+
+namespace wafp::testing {
+
+RefVerifier::RefVerifier(std::size_t num_users)
+    : num_users_(num_users), user_digests_(num_users) {}
+
+std::vector<int> RefVerifier::components(
+    std::unordered_map<std::string, int>* digest_labels) const {
+  std::vector<int> labels(num_users_, -1);
+  int next = 0;
+  for (std::size_t root = 0; root < num_users_; ++root) {
+    if (labels[root] != -1) continue;
+    const int label = next++;
+    std::deque<std::uint32_t> frontier{static_cast<std::uint32_t>(root)};
+    labels[root] = label;
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop_front();
+      for (const std::string& digest : user_digests_[u]) {
+        if (digest_labels != nullptr) (*digest_labels)[digest] = label;
+        for (const std::uint32_t v : digest_users_.at(digest)) {
+          if (labels[v] == -1) {
+            labels[v] = label;
+            frontier.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+scenario::VerificationEpoch RefVerifier::epoch(
+    std::uint32_t epoch, std::span<const scenario::Observation> observations,
+    std::uint64_t drift_events) {
+  WAFP_CHECK(observations.size() % num_users_ == 0)
+      << "observations must cover every user uniformly";
+  const std::size_t per_user = observations.size() / num_users_;
+
+  scenario::VerificationEpoch record;
+  record.epoch = epoch;
+  record.drift_events = drift_events;
+
+  if (epoch >= 1) {
+    // Pre-ingest partition: per-user labels, per-digest labels, and the
+    // per-cluster user census.
+    std::unordered_map<std::string, int> digest_labels;
+    const std::vector<int> labels = components(&digest_labels);
+    std::unordered_map<int, std::uint64_t> census;
+    for (const int label : labels) ++census[label];
+
+    for (std::size_t u = 0; u < num_users_; ++u) {
+      // Per-digest votes in probe order; plurality, ties to the cluster
+      // whose first vote came earliest.
+      std::vector<int> vote_order;
+      std::unordered_map<int, std::uint64_t> votes;
+      for (std::size_t v = 0; v < per_user; ++v) {
+        const scenario::Observation& obs = observations[u * per_user + v];
+        WAFP_CHECK(obs.user == u) << "observation stream out of order";
+        const auto it = digest_labels.find(obs.digest.hex());
+        if (it == digest_labels.end()) continue;
+        auto [vote, inserted] = votes.try_emplace(it->second, 0);
+        if (inserted) vote_order.push_back(it->second);
+        ++vote->second;
+      }
+      std::optional<int> winner;
+      std::uint64_t best = 0;
+      for (const int cluster : vote_order) {
+        if (votes[cluster] > best) {
+          best = votes[cluster];
+          winner = cluster;
+        }
+      }
+
+      ++record.verification.probes;
+      record.verification.imposter_trials += num_users_ - 1;
+      if (winner.has_value() && *winner == labels[u]) {
+        ++record.verification.genuine_accepts;
+      } else {
+        ++record.verification.false_non_matches;
+      }
+      if (winner.has_value()) {
+        record.verification.false_matches +=
+            census[*winner] - (*winner == labels[u] ? 1 : 0);
+      }
+    }
+  }
+
+  // Ingest epoch digests into the bipartite record.
+  for (const scenario::Observation& obs : observations) {
+    const std::string hex = obs.digest.hex();
+    auto [it, inserted] = digest_users_.try_emplace(hex);
+    auto& users = it->second;
+    if (std::find(users.begin(), users.end(), obs.user) == users.end()) {
+      users.push_back(obs.user);
+      user_digests_[obs.user].push_back(hex);
+    }
+  }
+
+  // Post-ingest partition scoring. Churn by literal pair enumeration —
+  // the O(n^2) ground truth for analysis::pair_churn.
+  const std::vector<int> labels = components(nullptr);
+  record.cluster_count =
+      static_cast<std::size_t>(
+          *std::max_element(labels.begin(), labels.end())) +
+      1;
+  record.anonymity = analysis::anonymity_from_labels(labels);
+  if (epoch >= 1) {
+    for (std::size_t i = 0; i < num_users_; ++i) {
+      for (std::size_t j = i + 1; j < num_users_; ++j) {
+        const bool before = previous_labels_[i] == previous_labels_[j];
+        const bool now = labels[i] == labels[j];
+        if (!before && now) ++record.churn.merge_pairs;
+        if (before && !now) ++record.churn.split_pairs;
+      }
+    }
+  }
+  previous_labels_ = labels;
+  return record;
+}
+
+}  // namespace wafp::testing

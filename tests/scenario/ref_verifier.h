@@ -1,0 +1,51 @@
+// RefVerifier: the brute-force reference implementation of the drift
+// scenario's verification spec (src/scenario/scenario.h — the spec comment
+// there is the ONLY thing this file shares with the streamed runner; no
+// collation, service, or scenario verification code is reused).
+//
+// State is the raw bipartite record: which digests each user has ever
+// submitted. Every query recomputes connected components by breadth-first
+// search, matches each probe digest individually against the pre-ingest
+// partition, applies the documented plurality rule, and counts
+// FMR/FNMR/churn from first principles (churn by literal iteration over
+// all user pairs). Deliberately quadratic and allocation-happy: its only
+// job is to be obviously correct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace wafp::testing {
+
+class RefVerifier {
+ public:
+  explicit RefVerifier(std::size_t num_users);
+
+  /// Score one epoch in lockstep with the streamed runner: probe (epochs
+  /// >= 1), then ingest, then score the post-ingest partition. Must be
+  /// called with epoch = 0, 1, 2, ... in order. `drift_events` is copied
+  /// into the record (the ref verifier does not model drift; events are
+  /// observable only through the digests).
+  [[nodiscard]] scenario::VerificationEpoch epoch(
+      std::uint32_t epoch, std::span<const scenario::Observation> observations,
+      std::uint64_t drift_events);
+
+ private:
+  /// Dense per-user component labels of the current bipartite graph, by
+  /// BFS, numbered in ascending lowest-member-user order; also fills the
+  /// digest -> label map.
+  [[nodiscard]] std::vector<int> components(
+      std::unordered_map<std::string, int>* digest_labels) const;
+
+  std::size_t num_users_;
+  // user -> every distinct digest (hex) it ever submitted, and the reverse.
+  std::vector<std::vector<std::string>> user_digests_;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> digest_users_;
+  std::vector<int> previous_labels_;
+};
+
+}  // namespace wafp::testing

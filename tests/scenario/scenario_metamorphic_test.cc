@@ -1,0 +1,194 @@
+// Metamorphic properties of the drift scenario (DESIGN.md §3k):
+//
+//   * Zero drift is the static study: the rendered stream reproduces
+//     study::Dataset::collect digests bit-for-bit, and the runner's final
+//     partition equals the §6 collated clustering (cluster count and
+//     anonymity-set stats bit-identically).
+//   * Metrics depend only on equality structure: permuting engine user ids
+//     and relabeling submission timestamps change nothing.
+//   * FNMR is structurally monotone in the stack-swap drift rate (the
+//     coupled-lattice contract in drift_model.h makes this exact, not
+//     statistical).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/anonymity.h"
+#include "fingerprint/vector_registry.h"
+#include "scenario/scenario.h"
+#include "study/experiments.h"
+
+namespace wafp::scenario {
+namespace {
+
+// The rendered zero-drift stream is the static dataset, digest for digest:
+// epoch e of user u's audio vector v equals Dataset iteration e.
+TEST(ScenarioMetamorphicTest, ZeroDriftStreamReproducesDatasetDigests) {
+  study::StudyConfig study_config;
+  study_config.num_users = 20;
+  study_config.iterations = 4;
+  study_config.seed = 777;
+  study_config.threads = 1;
+  const study::Dataset dataset = study::Dataset::collect(study_config);
+
+  const auto audio_ids = fingerprint::VectorRegistry::instance().audio_ids();
+  ScenarioPopulation population(study_config.num_users, study_config.seed,
+                                study_config.tuning, DriftModel{});
+  ScenarioStream stream(
+      population, ObservationSource::kRendered,
+      std::vector<fingerprint::VectorId>(audio_ids.begin(), audio_ids.end()),
+      /*threads=*/1);
+  for (std::uint32_t e = 0; e < study_config.iterations; ++e) {
+    const std::vector<Observation> observations = stream.epoch(e);
+    ASSERT_EQ(observations.size(), study_config.num_users * audio_ids.size());
+    for (const Observation& obs : observations) {
+      ASSERT_EQ(obs.digest,
+                dataset.audio_observation(obs.user, obs.vector, e))
+          << "user " << obs.user << " vector "
+          << fingerprint::to_string(obs.vector) << " epoch " << e;
+    }
+  }
+  EXPECT_EQ(stream.drift_events(), 0U);
+}
+
+// The runner's final partition under zero drift equals the §6 collated
+// clustering of the same vector — count and anonymity stats bit-identical.
+TEST(ScenarioMetamorphicTest, ZeroDriftPartitionMatchesSection6Clustering) {
+  study::StudyConfig study_config;
+  study_config.num_users = 64;
+  study_config.iterations = 5;
+  study_config.seed = 909;
+  study_config.threads = 1;
+  const study::Dataset dataset = study::Dataset::collect(study_config);
+  const collation::Clustering clustering =
+      study::collated_clustering(dataset, fingerprint::VectorId::kDc);
+
+  ScenarioConfig config;
+  config.num_users = study_config.num_users;
+  config.epochs = study_config.iterations;
+  config.seed = study_config.seed;
+  config.tuning = study_config.tuning;
+  config.source = ObservationSource::kRendered;
+  config.vectors = {fingerprint::VectorId::kDc};
+  const ScenarioResult result = ScenarioRunner(config).run();
+
+  const VerificationEpoch& final_epoch = result.epochs.back();
+  EXPECT_EQ(final_epoch.cluster_count,
+            static_cast<std::size_t>(clustering.num_clusters));
+  EXPECT_EQ(final_epoch.anonymity,
+            analysis::anonymity_from_labels(clustering.labels));
+  EXPECT_EQ(result.drift_events, 0U);
+}
+
+ScenarioConfig synthetic_config() {
+  ScenarioConfig config;
+  config.num_users = 48;
+  config.epochs = 6;
+  config.seed = 1234;
+  config.drift.stack_swap_rate = 0.12;
+  config.drift.simd_tier_rate = 0.08;
+  config.drift.jitter_regime_rate = 0.07;
+  return config;
+}
+
+// Engine user ids are opaque: a seeded permutation of them changes no
+// metric (the scorecards consume only equality structure).
+TEST(ScenarioMetamorphicTest, UserIdPermutationInvariance) {
+  ScenarioConfig config = synthetic_config();
+  const ScenarioResult identity = ScenarioRunner(config).run();
+  for (const std::uint64_t salt : {0xBEEFULL, 0x5151AAULL}) {
+    config.user_id_salt = salt;
+    const ScenarioResult permuted = ScenarioRunner(config).run();
+    EXPECT_EQ(permuted.epochs, identity.epochs) << "salt " << salt;
+  }
+}
+
+// Submission timestamps are bookkeeping: any (base, stride) relabeling
+// leaves every metric AND the canonical partition checksum unchanged.
+TEST(ScenarioMetamorphicTest, TimestampRelabelingInvariance) {
+  ScenarioConfig config = synthetic_config();
+  const ScenarioResult baseline = ScenarioRunner(config).run();
+  const struct {
+    std::uint64_t base;
+    std::uint64_t stride;
+  } relabelings[] = {{1000, 1}, {1, 977}, {123456789, 3600}};
+  for (const auto& relabeling : relabelings) {
+    config.timestamp_base = relabeling.base;
+    config.timestamp_stride = relabeling.stride;
+    const ScenarioResult relabeled = ScenarioRunner(config).run();
+    EXPECT_EQ(relabeled.epochs, baseline.epochs)
+        << "base " << relabeling.base << " stride " << relabeling.stride;
+    EXPECT_EQ(relabeled.component_checksum, baseline.component_checksum)
+        << "base " << relabeling.base << " stride " << relabeling.stride;
+  }
+}
+
+// With pinned zero flakiness and fresh variants, a false non-match happens
+// exactly when a stack swap lands (never-seen digests), and the lattice
+// nests event sets across rates — so FNMR is exactly monotone, with zero
+// drift giving zero FNMR.
+TEST(ScenarioMetamorphicTest, FnmrIsMonotoneInStackSwapRate) {
+  ScenarioConfig config;
+  config.num_users = 64;
+  config.epochs = 8;
+  config.seed = 31337;
+  config.flakiness_override = 0.0;
+  config.drift.fresh_variants = true;
+  config.drift.simd_tier_rate = 0.0;
+  config.drift.jitter_regime_rate = 0.0;
+
+  std::uint64_t previous_fnm = 0;
+  bool first = true;
+  for (const double rate : {0.0, 0.05, 0.2, 0.5}) {
+    config.drift.stack_swap_rate = rate;
+    const ScenarioResult result = ScenarioRunner(config).run();
+    const analysis::VerificationCounts totals = result.totals();
+    if (rate == 0.0) {
+      EXPECT_EQ(totals.false_non_matches, 0U);
+      EXPECT_EQ(totals.genuine_accepts, totals.probes);
+      EXPECT_EQ(result.drift_events, 0U);
+    }
+    if (!first) {
+      EXPECT_GE(totals.false_non_matches, previous_fnm)
+          << "FNMR regressed when raising stack_swap_rate to " << rate;
+    }
+    previous_fnm = totals.false_non_matches;
+    first = false;
+  }
+  EXPECT_GT(previous_fnm, 0U) << "rate 0.5 over 8 epochs must swap someone";
+}
+
+// Zero drift + zero flakiness: the partition never moves after enrollment
+// — no churn, no false non-matches, constant anonymity stats.
+TEST(ScenarioMetamorphicTest, ZeroDriftZeroFlakinessIsStationary) {
+  ScenarioConfig config;
+  config.num_users = 96;
+  config.epochs = 7;
+  config.seed = 555;
+  config.flakiness_override = 0.0;
+  const ScenarioResult result = ScenarioRunner(config).run();
+
+  ASSERT_EQ(result.epochs.size(), config.epochs);
+  const VerificationEpoch& enrollment = result.epochs.front();
+  EXPECT_EQ(enrollment.verification, analysis::VerificationCounts{});
+  EXPECT_EQ(enrollment.churn, (analysis::PairChurn{}));
+  for (const VerificationEpoch& epoch : result.epochs) {
+    EXPECT_EQ(epoch.drift_events, 0U) << "epoch " << epoch.epoch;
+    EXPECT_EQ(epoch.churn, (analysis::PairChurn{})) << "epoch " << epoch.epoch;
+    EXPECT_EQ(epoch.anonymity, enrollment.anonymity)
+        << "epoch " << epoch.epoch;
+    EXPECT_EQ(epoch.cluster_count, enrollment.cluster_count)
+        << "epoch " << epoch.epoch;
+    if (epoch.epoch >= 1) {
+      EXPECT_EQ(epoch.verification.false_non_matches, 0U)
+          << "epoch " << epoch.epoch;
+      EXPECT_EQ(epoch.verification.genuine_accepts,
+                epoch.verification.probes)
+          << "epoch " << epoch.epoch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wafp::scenario

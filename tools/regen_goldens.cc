@@ -4,6 +4,9 @@
 //     fingerprint for every audio vector on every golden stack.
 //   * tests/conformance/corpus/generator_v1.corpus — seed -> expected
 //     digest lines for the seeded graph generator on the portable config.
+//   * tests/conformance/goldens/wasm_vectors.golden — digest + captured
+//     float stream for the WebAssembly-style compute vectors on the same
+//     golden stacks (profile_for defaults: simd_tier 0).
 //
 // Invoked via `cmake --build build --target regen_goldens`, which passes
 // the source-tree output paths. The tool refuses to run from a dirty build
@@ -32,7 +35,8 @@ constexpr std::uint64_t kCorpusSeedEnd = 33;  // exclusive; 32 reproducers
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --goldens <path> --corpus <path> [--force]\n",
+               "usage: %s --goldens <path> --corpus <path> "
+               "--wasm-goldens <path> [--force]\n",
                argv0);
   return 2;
 }
@@ -42,6 +46,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string goldens_path;
   std::string corpus_path;
+  std::string wasm_goldens_path;
   bool force = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--force") == 0) {
@@ -50,11 +55,15 @@ int main(int argc, char** argv) {
       goldens_path = argv[++i];
     } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
       corpus_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--wasm-goldens") == 0 && i + 1 < argc) {
+      wasm_goldens_path = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
-  if (goldens_path.empty() && corpus_path.empty()) return usage(argv[0]);
+  if (goldens_path.empty() && corpus_path.empty() && wasm_goldens_path.empty()) {
+    return usage(argv[0]);
+  }
 
   const auto stamp = wafp::testing::BuildStamp::current();
   if (!stamp.clean()) {
@@ -95,6 +104,31 @@ int main(int argc, char** argv) {
     file.save(goldens_path);
     std::printf("regen_goldens: wrote %zu records to %s\n",
                 file.records.size(), goldens_path.c_str());
+  }
+
+  if (!wasm_goldens_path.empty()) {
+    wafp::testing::GoldenFile file;
+    file.stamp = stamp;
+    const auto& registry = wafp::fingerprint::VectorRegistry::instance();
+    for (const wafp::testing::GoldenStack& gs :
+         wafp::testing::golden_stacks()) {
+      const wafp::platform::PlatformProfile profile =
+          wafp::testing::profile_for(gs.stack);
+      for (const wafp::fingerprint::VectorId id : registry.compute_ids()) {
+        std::vector<float> capture;
+        const wafp::util::Digest digest =
+            wafp::fingerprint::run_compute_vector(id, profile, &capture);
+        wafp::testing::GoldenRecord rec;
+        rec.stack = std::string(gs.name);
+        rec.vector_name = std::string(wafp::fingerprint::to_string(id));
+        rec.digest_hex = digest.hex();
+        rec.pcm = wafp::testing::fingerprint_pcm(capture);
+        file.records.push_back(std::move(rec));
+      }
+    }
+    file.save(wasm_goldens_path);
+    std::printf("regen_goldens: wrote %zu records to %s\n",
+                file.records.size(), wasm_goldens_path.c_str());
   }
 
   if (!corpus_path.empty()) {
